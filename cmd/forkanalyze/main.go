@@ -1,0 +1,111 @@
+// Command forkanalyze re-runs the paper's analysis over a previously
+// exported ledger (the blocks.csv / txs.csv pair forksim writes) without
+// re-simulating — the moral equivalent of the paper's database stage.
+//
+// Usage:
+//
+//	forksim -days 270 -out results/
+//	forkanalyze -dir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"forkwatch/internal/analysis"
+	"forkwatch/internal/export"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("forkanalyze: ")
+
+	var (
+		dir       = flag.String("dir", ".", "directory holding blocks.csv and txs.csv")
+		epoch     = flag.Uint64("epoch", 1469020840, "fork unix time (day-0 anchor)")
+		dayLength = flag.Uint64("daylen", 86_400, "seconds per simulated day in the export")
+	)
+	flag.Parse()
+
+	blocksF, err := os.Open(filepath.Join(*dir, "blocks.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer blocksF.Close()
+	blocks, err := export.ReadBlocks(blocksF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	txsF, err := os.Open(filepath.Join(*dir, "txs.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer txsF.Close()
+	txs, err := export.ReadTxs(txsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The day table (prices) is optional; with it, Fig 3 reconstructs too.
+	var dayRows []export.DayRow
+	if daysF, err := os.Open(filepath.Join(*dir, "days.csv")); err == nil {
+		dayRows, err = export.ReadDays(daysF)
+		daysF.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	col := analysis.NewCollector(*epoch)
+	export.ReplayAll(blocks, txs, dayRows, *epoch, *dayLength, col)
+
+	fmt.Printf("loaded %d blocks, %d transactions\n\n", len(blocks), len(txs))
+
+	days := lastDay(blocks, *epoch, *dayLength) + 1
+	fmt.Printf("Fig 1  ETC blocks/hr first 6h: %.1f;  max mean delta: %.0fs;  recovery hour: %d\n",
+		analysis.MeanOver(col.BlocksPerHour("ETC"), 0, 6),
+		analysis.MaxOver(col.HourlyMeanDelta("ETC"), 0, 96),
+		col.RecoveryHour("ETC", 14, 0.9, 6))
+	ethTx := col.TxPerDay("ETH")
+	etcTx := col.TxPerDay("ETC")
+	fmt.Printf("Fig 2  tx/day ETH %.0f, ETC %.0f (ratio %.1f:1);  contract%% ETH %.0f, ETC %.0f\n",
+		analysis.MeanOver(ethTx, 0, days), analysis.MeanOver(etcTx, 0, days),
+		safeRatio(analysis.MeanOver(ethTx, 0, days), analysis.MeanOver(etcTx, 0, days)),
+		analysis.MeanOver(col.PctContract("ETH"), 0, days),
+		analysis.MeanOver(col.PctContract("ETC"), 0, days))
+	fmt.Printf("Fig 4  echoes into ETC: %d; into ETH: %d; peak ETC echo share %.0f%%\n",
+		col.TotalEchoes("ETC"), col.TotalEchoes("ETH"),
+		analysis.MaxOver(col.EchoPct("ETC"), 0, days))
+	t5e := col.TopNShare("ETH", 5)
+	t5c := col.TopNShare("ETC", 5)
+	fmt.Printf("Fig 5  top-5 pool share: ETH mean %.2f;  ETC start %.2f -> end %.2f\n",
+		analysis.MeanOver(t5e, 0, days),
+		analysis.MeanOver(t5c, 0, 10), analysis.MeanOver(t5c, days-10, days))
+	if len(dayRows) > 0 {
+		fmt.Printf("Fig 3  hashes/USD correlation: %.4f\n", col.PayoffCorrelation(5))
+	} else {
+		fmt.Println("Fig 3  skipped: no days.csv in the export directory")
+	}
+}
+
+func lastDay(blocks []export.BlockRow, epoch, dayLength uint64) int {
+	last := 0
+	for _, b := range blocks {
+		if b.Time >= epoch {
+			if d := int((b.Time - epoch) / dayLength); d > last {
+				last = d
+			}
+		}
+	}
+	return last
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,112 @@
+// Command forksim runs the calibrated two-partition fork scenario and
+// regenerates every figure of the paper, printing a summary keyed to the
+// paper's observations O1–O6 and optionally writing the figure series and
+// the raw ledger export as CSV.
+//
+// Usage:
+//
+//	forksim -seed 1 -days 270 -out results/
+//	forksim -days 30 -mode full        # short run on the real chain substrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"forkwatch"
+	"forkwatch/internal/export"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("forksim: ")
+
+	var (
+		seed   = flag.Int64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
+		days   = flag.Int("days", 270, "days to simulate from the fork moment")
+		mode   = flag.String("mode", "fast", `ledger fidelity: "fast" or "full"`)
+		outDir = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
+	)
+	flag.Parse()
+
+	sc := forkwatch.NewScenario(*seed, *days)
+	switch *mode {
+	case "fast":
+		sc.Mode = forkwatch.ModeFast
+	case "full":
+		sc.Mode = forkwatch.ModeFull
+		if *days > 3 {
+			log.Printf("note: full mode executes every transaction on a real EVM; %d days will take a while", *days)
+		}
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	rep, rec, err := forkwatch.RunRecorded(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	if *outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeCSV := func(name string, s forkwatch.Series) {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := forkwatch.WriteFigureCSV(f, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	bph, diffH, deltaH := rep.Figure1()
+	writeCSV("fig1_blocks_per_hour.csv", bph)
+	writeCSV("fig1_difficulty.csv", diffH)
+	writeCSV("fig1_delta.csv", deltaH)
+	diffD, txD, pctC := rep.Figure2()
+	writeCSV("fig2_difficulty.csv", diffD)
+	writeCSV("fig2_tx_per_day.csv", txD)
+	writeCSV("fig2_pct_contract.csv", pctC)
+	hpu, corr := rep.Figure3()
+	writeCSV("fig3_hashes_per_usd.csv", hpu)
+	echoPct, echoes := rep.Figure4()
+	writeCSV("fig4_echo_pct.csv", echoPct)
+	writeCSV("fig4_echoes_per_day.csv", echoes)
+	for n, s := range rep.Figure5() {
+		writeCSV(fmt.Sprintf("fig5_top%d.csv", n), s)
+	}
+
+	blocksF, err := os.Create(filepath.Join(*outDir, "blocks.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer blocksF.Close()
+	if err := export.WriteBlocks(blocksF, rec.Blocks); err != nil {
+		log.Fatal(err)
+	}
+	txsF, err := os.Create(filepath.Join(*outDir, "txs.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer txsF.Close()
+	if err := export.WriteTxs(txsF, rec.Txs); err != nil {
+		log.Fatal(err)
+	}
+	daysF, err := os.Create(filepath.Join(*outDir, "days.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer daysF.Close()
+	if err := export.WriteDays(daysF, rec.Days); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote figures and ledger export to %s (fig3 correlation %.4f)", *outDir, corr)
+}

@@ -1,0 +1,60 @@
+package forkwatch_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"forkwatch"
+)
+
+// Example runs a miniature fork scenario end to end and reads one of the
+// paper's statistics from the report.
+func Example() {
+	sc := forkwatch.NewScenario(1, 2) // seed 1, two days
+	sc.DayLength = 3600               // compressed days keep the example fast
+	sc.Users = 20
+	sc.ETHTxPerDay = 10
+	sc.ETCTxPerDay = 4
+
+	rep, err := forkwatch.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("days observed:", rep.Collector.Days())
+	// Output: days observed: 2
+}
+
+// ExampleWriteFigureCSV shows the CSV shape cmd/forksim writes for every
+// figure.
+func ExampleWriteFigureCSV() {
+	s := forkwatch.Series{
+		Label: "blocks/hour",
+		ETH:   []float64{257, 256},
+		ETC:   []float64{3, 8},
+	}
+	if err := forkwatch.WriteFigureCSV(os.Stdout, s); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// index,eth_blocks/hour,etc_blocks/hour
+	// 0,257,3
+	// 1,256,8
+}
+
+// ExampleReport_Figure3 reads the market-efficiency statistic (the
+// paper's headline from Figure 3) off a short run.
+func ExampleReport_Figure3() {
+	sc := forkwatch.NewScenario(7, 3)
+	sc.DayLength = 3600
+	sc.Users = 20
+	sc.ETHTxPerDay = 10
+	sc.ETCTxPerDay = 4
+	rep, err := forkwatch.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series, _ := rep.Figure3()
+	fmt.Println("per-chain series lengths:", len(series.ETH), len(series.ETC))
+	// Output: per-chain series lengths: 3 3
+}

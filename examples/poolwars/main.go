@@ -1,0 +1,57 @@
+// poolwars demonstrates the paper's Figure 5 mechanism in isolation: ETH
+// inherited the pre-fork pool distribution wholesale, while ETC started
+// with a fragmented population of small pools that slowly consolidated —
+// under preferential attachment with a size-saturation cap — until its
+// top-1/3/5 block shares matched ETH's.
+//
+//	go run ./examples/poolwars
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"forkwatch/internal/pool"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+
+	// ETH: the big pre-fork pools moved over on day one — a Zipf
+	// population that stays put.
+	ethPools := pool.NewZipfPopulation("eth", 20, 1.0)
+	// ETC: the big pools left; 25 small operations remain.
+	etcPools := pool.NewUniformPopulation("etc", 25)
+
+	fmt.Println("day   | ETH top1 top3 top5 | ETC top1 top3 top5")
+	fmt.Println("------+--------------------+-------------------")
+	report := func(day int) {
+		fmt.Printf("%5d | %8.2f %4.2f %4.2f | %8.2f %4.2f %4.2f\n", day,
+			ethPools.TopNShare(1), ethPools.TopNShare(3), ethPools.TopNShare(5),
+			etcPools.TopNShare(1), etcPools.TopNShare(3), etcPools.TopNShare(5))
+	}
+
+	const (
+		days  = 240
+		churn = 0.15 // daily fraction of miners re-homing on ETC
+		alpha = 1.3  // preferential-attachment strength
+		cap   = 0.24 // attractiveness saturation (miners avoid mega-pools)
+	)
+	for day := 0; day <= days; day++ {
+		if day%30 == 0 {
+			report(day)
+		}
+		// ETH's population is already in its stationary shape.
+		etcPools.Consolidate(churn, alpha, cap, r)
+	}
+
+	fmt.Println()
+	fmt.Println("ETC's concentration converges toward ETH's levels over months —")
+	fmt.Println("the paper's observation O6 — without any coordination between miners:")
+	fmt.Println("preferential attachment (larger pools pay out more smoothly) balanced")
+	fmt.Println("against the documented aversion to pools nearing majority hashrate.")
+	fmt.Println()
+	fmt.Println("The full simulation attributes every mined block to a pool address and")
+	fmt.Println("recomputes these shares from block coinbases, as the paper does:")
+	fmt.Println("  go run ./cmd/forksim -days 270")
+}

@@ -1,0 +1,250 @@
+// Package forkwatch reproduces the measurement study "Stick a fork in it:
+// Analyzing the Ethereum network partition" (Kiffer, Levin, Mislove —
+// HotNets 2017) as a runnable system: a complete Ethereum-like substrate
+// (RLP, Keccak, Merkle-Patricia tries, an EVM, the Homestead difficulty
+// rule, PoW-sealed blocks, a partition-aware p2p wire protocol) plus a
+// calibrated two-chain fork simulation and the paper's full analysis
+// pipeline.
+//
+// The package is the public façade: configure a Scenario, Run it, and read
+// the Report, whose accessors correspond one-to-one to the paper's
+// figures. The cmd/ binaries and examples/ are thin clients of this API.
+//
+//	sc := forkwatch.NewScenario(1, 270)        // seed, days
+//	rep, err := forkwatch.Run(sc)
+//	fmt.Println(rep.Summary())
+//	fig3 := rep.Figure3()                      // hashes-per-USD series
+package forkwatch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"forkwatch/internal/analysis"
+	"forkwatch/internal/export"
+	"forkwatch/internal/sim"
+)
+
+// Re-exported simulation types: the Scenario knobs, the engine, the event
+// stream and the fidelity modes. See the sim package docs for field-level
+// detail.
+type (
+	// Scenario configures a fork simulation run.
+	Scenario = sim.Scenario
+	// Engine executes a Scenario.
+	Engine = sim.Engine
+	// Observer receives per-block and per-day events during a run.
+	Observer = sim.Observer
+	// BlockEvent describes one mined block.
+	BlockEvent = sim.BlockEvent
+	// DayEvent describes one simulated day.
+	DayEvent = sim.DayEvent
+	// Mode selects ledger fidelity.
+	Mode = sim.Mode
+	// Collector aggregates events into the paper's statistics.
+	Collector = analysis.Collector
+	// Recorder captures raw block/transaction rows for export.
+	Recorder = export.Recorder
+)
+
+// Ledger fidelities.
+const (
+	// ModeFast simulates headers and accounts (default; nine-month runs).
+	ModeFast = sim.ModeFast
+	// ModeFull materialises real blocks with EVM execution and tries.
+	ModeFull = sim.ModeFull
+)
+
+// NewScenario returns the calibrated default scenario: seed drives all
+// randomness; days is the horizon from the fork moment (the paper's study
+// spans ~270 days).
+func NewScenario(seed int64, days int) *Scenario {
+	return sim.NewScenario(seed, days)
+}
+
+// NewEngine builds an engine for custom orchestration (attach your own
+// observers before calling Run).
+func NewEngine(sc *Scenario) (*Engine, error) {
+	return sim.New(sc)
+}
+
+// Run executes the scenario and returns the analysis report.
+func Run(sc *Scenario) (*Report, error) {
+	eng, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	col := analysis.NewCollector(sc.Epoch)
+	eng.AddObserver(col)
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return &Report{Scenario: sc, Collector: col}, nil
+}
+
+// RunRecorded executes the scenario collecting both the report and the raw
+// export rows (for cmd/forksim's CSV output).
+func RunRecorded(sc *Scenario) (*Report, *Recorder, error) {
+	eng, err := sim.New(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := analysis.NewCollector(sc.Epoch)
+	rec := &export.Recorder{}
+	eng.AddObserver(col)
+	eng.AddObserver(rec)
+	if err := eng.Run(); err != nil {
+		return nil, nil, err
+	}
+	return &Report{Scenario: sc, Collector: col}, rec, nil
+}
+
+// Report exposes every figure of the paper computed over one run.
+type Report struct {
+	Scenario  *Scenario
+	Collector *Collector
+}
+
+// Series is a pair of aligned per-chain series.
+type Series struct {
+	// X is the index unit: hours since the fork for Figure 1, days for
+	// the rest.
+	Label    string
+	ETH, ETC []float64
+}
+
+// Figure1 returns the short-term dynamics: blocks/hour, mean difficulty
+// and mean inter-block delta per hour.
+func (r *Report) Figure1() (blocksPerHour, difficulty, delta Series) {
+	c := r.Collector
+	return Series{Label: "blocks/hour", ETH: c.BlocksPerHour("ETH"), ETC: c.BlocksPerHour("ETC")},
+		Series{Label: "difficulty", ETH: c.HourlyMeanDifficulty("ETH"), ETC: c.HourlyMeanDifficulty("ETC")},
+		Series{Label: "delta_seconds", ETH: c.HourlyMeanDelta("ETH"), ETC: c.HourlyMeanDelta("ETC")}
+}
+
+// Figure2 returns the long-term dynamics: daily difficulty, transactions
+// per day and percent contract transactions.
+func (r *Report) Figure2() (difficulty, txPerDay, pctContract Series) {
+	c := r.Collector
+	return Series{Label: "difficulty", ETH: c.DailyDifficulty("ETH"), ETC: c.DailyDifficulty("ETC")},
+		Series{Label: "tx/day", ETH: c.TxPerDay("ETH"), ETC: c.TxPerDay("ETC")},
+		Series{Label: "pct_contract", ETH: c.PctContract("ETH"), ETC: c.PctContract("ETC")}
+}
+
+// Figure3 returns the expected hashes-per-USD series and their Pearson
+// correlation (the paper's market-efficiency headline).
+func (r *Report) Figure3() (hashesPerUSD Series, correlation float64) {
+	c := r.Collector
+	return Series{Label: "hashes/USD", ETH: c.HashesPerUSD("ETH", 5), ETC: c.HashesPerUSD("ETC", 5)},
+		c.PayoffCorrelation(5)
+}
+
+// Figure4 returns the rebroadcast ("echo") series: percent of daily
+// transactions that are echoes and absolute echoes per day.
+func (r *Report) Figure4() (echoPct, echoesPerDay Series) {
+	c := r.Collector
+	return Series{Label: "echo_pct", ETH: c.EchoPct("ETH"), ETC: c.EchoPct("ETC")},
+		Series{Label: "echoes/day", ETH: c.EchoesPerDay("ETH"), ETC: c.EchoesPerDay("ETC")}
+}
+
+// Figure4SameDay returns Fig 4's "Same time" series: echoes mined on both
+// chains within the same day.
+func (r *Report) Figure4SameDay() Series {
+	c := r.Collector
+	return Series{Label: "same_day_echoes", ETH: c.SameDayEchoesPerDay("ETH"), ETC: c.SameDayEchoesPerDay("ETC")}
+}
+
+// Figure5 returns the top-N pool concentration series for n in {1, 3, 5}.
+func (r *Report) Figure5() map[int]Series {
+	c := r.Collector
+	out := make(map[int]Series, 3)
+	for _, n := range []int{1, 3, 5} {
+		out[n] = Series{
+			Label: fmt.Sprintf("top%d_share", n),
+			ETH:   c.TopNShare("ETH", n),
+			ETC:   c.TopNShare("ETC", n),
+		}
+	}
+	return out
+}
+
+// RecoveryHours returns experiment E2: the hour at which each chain
+// sustainably produced blocks at >= 90% of the target rate (-1 if never).
+func (r *Report) RecoveryHours() (eth, etc int) {
+	target := float64(14)
+	return r.Collector.RecoveryHour("ETH", target, 0.9, 6),
+		r.Collector.RecoveryHour("ETC", target, 0.9, 6)
+}
+
+// Summary renders the run's key findings against the paper's six
+// observations.
+func (r *Report) Summary() string {
+	c := r.Collector
+	var b strings.Builder
+	days := c.Days()
+	fmt.Fprintf(&b, "forkwatch run: %d days, seed %d\n", days, r.Scenario.Seed)
+
+	ethRec, etcRec := r.RecoveryHours()
+	fmt.Fprintf(&b, "O1/O2  ETC block rate first hours: %.0f/hr vs ETH %.0f/hr; max mean delta %.0fs; ETC recovery at hour %d (ETH %d)\n",
+		analysis.MeanOver(c.BlocksPerHour("ETC"), 0, 6),
+		analysis.MeanOver(c.BlocksPerHour("ETH"), 0, 6),
+		analysis.MaxOver(c.HourlyMeanDelta("ETC"), 0, 96),
+		etcRec, ethRec)
+
+	dEth := c.DailyDifficulty("ETH")
+	dEtc := c.DailyDifficulty("ETC")
+	if days > 1 {
+		last := days - 1
+		fmt.Fprintf(&b, "O3     difficulty ETH %.3g -> %.3g (x%.1f); ETC %.3g -> %.3g; final ratio %.1f:1\n",
+			dEth[0], dEth[last], safeDiv(dEth[last], dEth[0]),
+			dEtc[0], dEtc[last], safeDiv(dEth[last], dEtc[last]))
+	}
+
+	_, corr := r.Figure3()
+	fmt.Fprintf(&b, "O4     hashes/USD correlation ETH vs ETC: %.4f\n", corr)
+
+	fmt.Fprintf(&b, "O5     echoes: %d into ETC, %d into ETH; peak %.0f%% of ETC daily txs; last-10-day mean %.1f/day\n",
+		c.TotalEchoes("ETC"), c.TotalEchoes("ETH"),
+		analysis.MaxOver(c.EchoPct("ETC"), 0, days),
+		analysis.MeanOver(c.EchoesPerDay("ETC"), days-10, days))
+
+	if days > 1 {
+		last := days - 1
+		t5e := c.TopNShare("ETH", 5)
+		t5c := c.TopNShare("ETC", 5)
+		fmt.Fprintf(&b, "O6     top-5 pool share: ETH %.2f -> %.2f; ETC %.2f -> %.2f\n",
+			t5e[0], t5e[last], t5c[0], t5c[last])
+	}
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WriteFigureCSV writes one figure's series as CSV (index, eth, etc).
+func WriteFigureCSV(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "index,eth_%s,etc_%s\n", s.Label, s.Label); err != nil {
+		return err
+	}
+	n := len(s.ETH)
+	if len(s.ETC) > n {
+		n = len(s.ETC)
+	}
+	at := func(xs []float64, i int) float64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", i, at(s.ETH, i), at(s.ETC, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

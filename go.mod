@@ -1,0 +1,3 @@
+module forkwatch
+
+go 1.22

@@ -1,0 +1,389 @@
+// Package analysis computes the statistics behind every figure of the
+// paper from a stream of simulation (or replayed ledger) events: block
+// rates, difficulty and inter-block deltas (Fig 1/2), transaction volumes
+// and contract fractions (Fig 2), hashes-per-USD (Fig 3), cross-chain
+// rebroadcast "echoes" (Fig 4) and mining-pool concentration (Fig 5).
+//
+// It mirrors the paper's own pipeline: every block and transaction lands
+// in per-hour and per-day buckets keyed by chain, and echoes are detected
+// by joining the two ledgers on transaction hash with first-seen ordering,
+// exactly as §3.3 describes.
+package analysis
+
+import (
+	"math/big"
+
+	"forkwatch/internal/market"
+	"forkwatch/internal/pool"
+	"forkwatch/internal/sim"
+	"forkwatch/internal/types"
+)
+
+// HourBucket aggregates one chain-hour.
+type HourBucket struct {
+	Blocks    int
+	SumDiff   float64
+	SumDelta  float64
+	LastDelta uint64
+}
+
+// DayBucket aggregates one chain-day.
+type DayBucket struct {
+	Blocks      int
+	Txs         int
+	ContractTxs int
+	// Echoes counts transactions first seen on the other chain.
+	Echoes int
+	// SameDayEchoes counts echoes mined on both chains the same day.
+	SameDayEchoes int
+	// ByPool attributes the day's blocks to coinbase addresses (Fig 5).
+	ByPool map[types.Address]int
+	// Price and difficulty snapshots from the day event.
+	USD        float64
+	Difficulty float64
+	Hashrate   float64
+}
+
+type txSeen struct {
+	chain string
+	day   int
+}
+
+// Collector implements sim.Observer and accumulates every figure's series.
+type Collector struct {
+	epoch  uint64
+	hourly map[string][]*HourBucket
+	daily  map[string][]*DayBucket
+	seen   map[types.Hash]txSeen
+	days   int
+}
+
+// NewCollector returns a collector for a run starting at the given epoch.
+func NewCollector(epoch uint64) *Collector {
+	return &Collector{
+		epoch:  epoch,
+		hourly: map[string][]*HourBucket{},
+		daily:  map[string][]*DayBucket{},
+		seen:   map[types.Hash]txSeen{},
+	}
+}
+
+func (c *Collector) hour(chain string, h int) *HourBucket {
+	buckets := c.hourly[chain]
+	for len(buckets) <= h {
+		buckets = append(buckets, &HourBucket{})
+	}
+	c.hourly[chain] = buckets
+	return buckets[h]
+}
+
+func (c *Collector) day(chain string, d int) *DayBucket {
+	buckets := c.daily[chain]
+	for len(buckets) <= d {
+		buckets = append(buckets, &DayBucket{ByPool: map[types.Address]int{}})
+	}
+	c.daily[chain] = buckets
+	return buckets[d]
+}
+
+// OnBlock implements sim.Observer.
+func (c *Collector) OnBlock(ev *sim.BlockEvent) {
+	if ev.Time < c.epoch {
+		return
+	}
+	h := int((ev.Time - c.epoch) / 3600)
+	hb := c.hour(ev.Chain, h)
+	hb.Blocks++
+	d, _ := new(big.Float).SetInt(ev.Difficulty).Float64()
+	hb.SumDiff += d
+	hb.SumDelta += float64(ev.Delta)
+	hb.LastDelta = ev.Delta
+
+	db := c.day(ev.Chain, ev.Day)
+	db.Blocks++
+	db.ByPool[ev.Coinbase]++
+	other := otherChain(ev.Chain)
+	for _, tx := range ev.Txs {
+		db.Txs++
+		if tx.Contract {
+			db.ContractTxs++
+		}
+		if prev, ok := c.seen[tx.Hash]; ok && prev.chain == other {
+			db.Echoes++
+			if prev.day == ev.Day {
+				db.SameDayEchoes++
+			}
+		} else if !ok {
+			c.seen[tx.Hash] = txSeen{chain: ev.Chain, day: ev.Day}
+		}
+	}
+}
+
+// OnDay implements sim.Observer.
+func (c *Collector) OnDay(ev *sim.DayEvent) {
+	if ev.Day+1 > c.days {
+		c.days = ev.Day + 1
+	}
+	eth := c.day("ETH", ev.Day)
+	eth.USD = ev.ETHUSD
+	eth.Hashrate = ev.ETHHashrate
+	d, _ := new(big.Float).SetInt(ev.ETHDifficulty).Float64()
+	eth.Difficulty = d
+	etc := c.day("ETC", ev.Day)
+	etc.USD = ev.ETCUSD
+	etc.Hashrate = ev.ETCHashrate
+	d, _ = new(big.Float).SetInt(ev.ETCDifficulty).Float64()
+	etc.Difficulty = d
+}
+
+func otherChain(name string) string {
+	if name == "ETH" {
+		return "ETC"
+	}
+	return "ETH"
+}
+
+// Days returns the number of observed days: day events when the collector
+// was driven by a live simulation, otherwise (e.g. replaying an export,
+// which has no day events) the extent of the per-day block buckets.
+func (c *Collector) Days() int {
+	days := c.days
+	for _, buckets := range c.daily {
+		if len(buckets) > days {
+			days = len(buckets)
+		}
+	}
+	return days
+}
+
+// Hours returns the number of observed hours for a chain.
+func (c *Collector) Hours(chain string) int { return len(c.hourly[chain]) }
+
+// BlocksPerHour returns the Fig 1 (top) series for a chain.
+func (c *Collector) BlocksPerHour(chain string) []float64 {
+	out := make([]float64, len(c.hourly[chain]))
+	for i, b := range c.hourly[chain] {
+		out[i] = float64(b.Blocks)
+	}
+	return out
+}
+
+// HourlyMeanDifficulty returns the Fig 1 (middle) series: the mean block
+// difficulty per hour (0 for empty hours carries the previous value).
+func (c *Collector) HourlyMeanDifficulty(chain string) []float64 {
+	out := make([]float64, len(c.hourly[chain]))
+	prev := 0.0
+	for i, b := range c.hourly[chain] {
+		if b.Blocks > 0 {
+			prev = b.SumDiff / float64(b.Blocks)
+		}
+		out[i] = prev
+	}
+	return out
+}
+
+// HourlyMeanDelta returns the Fig 1 (bottom) series: the mean inter-block
+// time per hour in seconds.
+func (c *Collector) HourlyMeanDelta(chain string) []float64 {
+	out := make([]float64, len(c.hourly[chain]))
+	prev := 0.0
+	for i, b := range c.hourly[chain] {
+		if b.Blocks > 0 {
+			prev = b.SumDelta / float64(b.Blocks)
+		}
+		out[i] = prev
+	}
+	return out
+}
+
+// DailyDifficulty returns the Fig 2 (top) series.
+func (c *Collector) DailyDifficulty(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = c.daily[chain][i].Difficulty
+	}
+	return out
+}
+
+// TxPerDay returns the Fig 2 (middle) series.
+func (c *Collector) TxPerDay(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = float64(c.daily[chain][i].Txs)
+	}
+	return out
+}
+
+// PctContract returns the Fig 2 (bottom) series: percent of the day's
+// transactions that were contract calls.
+func (c *Collector) PctContract(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		b := c.daily[chain][i]
+		if b.Txs > 0 {
+			out[i] = 100 * float64(b.ContractTxs) / float64(b.Txs)
+		}
+	}
+	return out
+}
+
+// HashesPerUSD returns the Fig 3 series for a chain: expected hashes to
+// earn one USD, from the daily difficulty, reward and price.
+func (c *Collector) HashesPerUSD(chain string, rewardEther float64) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		b := c.daily[chain][i]
+		if b.USD > 0 {
+			out[i] = b.Difficulty / rewardEther / b.USD
+		}
+	}
+	return out
+}
+
+// PayoffCorrelation returns the Pearson correlation of the two chains'
+// hashes-per-USD series — the headline of Fig 3.
+func (c *Collector) PayoffCorrelation(rewardEther float64) float64 {
+	return market.Correlation(
+		c.HashesPerUSD("ETH", rewardEther),
+		c.HashesPerUSD("ETC", rewardEther),
+	)
+}
+
+// EchoesPerDay returns the Fig 4 (bottom) series for a chain: the number
+// of that day's transactions first seen on the other chain.
+func (c *Collector) EchoesPerDay(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = float64(c.daily[chain][i].Echoes)
+	}
+	return out
+}
+
+// EchoPct returns the Fig 4 (top) series: echoes as a percentage of the
+// chain's daily transactions.
+func (c *Collector) EchoPct(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		b := c.daily[chain][i]
+		if b.Txs > 0 {
+			out[i] = 100 * float64(b.Echoes) / float64(b.Txs)
+		}
+	}
+	return out
+}
+
+// SameDayEchoesPerDay returns the Fig 4 "Same time" series: echoes whose
+// original and rebroadcast both mined within the same day.
+func (c *Collector) SameDayEchoesPerDay(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = float64(c.daily[chain][i].SameDayEchoes)
+	}
+	return out
+}
+
+// TotalEchoes sums echo counts per chain direction: the value for chain
+// "ETC" counts transactions that appeared on ETH first and echoed into
+// ETC.
+func (c *Collector) TotalEchoes(chain string) int {
+	total := 0
+	for _, b := range c.daily[chain] {
+		total += b.Echoes
+	}
+	return total
+}
+
+// TopNShare returns the Fig 5 series for a chain: the fraction of each
+// day's blocks mined by the n most productive pools that day.
+func (c *Collector) TopNShare(chain string, n int) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = pool.TopNFromCounts(c.daily[chain][i].ByPool, n)
+	}
+	return out
+}
+
+// PoolGini returns the daily Gini coefficient of the chain's block
+// production across pools — a single-number view of Fig 5's concentration,
+// and the natural statistic for the paper's closing question about
+// whether pool distributions reflect fundamental market trends.
+func (c *Collector) PoolGini(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		counts := c.daily[chain][i].ByPool
+		w := make([]float64, 0, len(counts))
+		for _, n := range counts {
+			w = append(w, float64(n))
+		}
+		out[i] = pool.GiniOf(w)
+	}
+	return out
+}
+
+// RecoveryHour returns the first hour (since the fork) at which the
+// chain's block rate sustainably reached frac of the target rate
+// (86400/14/24 ≈ 257 blocks/hour at target), where "sustainably" means
+// the rate stays at or above that level for `sustain` consecutive hours.
+// Returns -1 if never. This is experiment E2: the paper measured ~2 days
+// for ETC.
+func (c *Collector) RecoveryHour(chain string, targetBlockTime float64, frac float64, sustain int) int {
+	rate := c.BlocksPerHour(chain)
+	want := frac * 3600 / targetBlockTime
+	run := 0
+	for h := 0; h < len(rate); h++ {
+		if rate[h] >= want {
+			run++
+			if run >= sustain {
+				return h - sustain + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// MeanOver returns the mean of series[from:to] (clamped); a convenience
+// for reporting.
+func MeanOver(series []float64, from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(series) {
+		to = len(series)
+	}
+	if to <= from {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range series[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+// MaxOver returns the maximum of series[from:to] (clamped).
+func MaxOver(series []float64, from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(series) {
+		to = len(series)
+	}
+	max := 0.0
+	for _, v := range series[from:to] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,269 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/trie"
+	"forkwatch/internal/types"
+)
+
+// Header carries a block's consensus fields.
+type Header struct {
+	ParentHash types.Hash
+	Number     uint64
+	// Time is the miner-declared unix timestamp; the difficulty filter
+	// keys off the delta to the parent (paper Fig 1, bottom panel).
+	Time       uint64
+	Difficulty *big.Int
+	GasLimit   uint64
+	GasUsed    uint64
+	// Coinbase receives the block reward; for pool-mined blocks it is
+	// the pool address, which is how the paper attributes blocks to
+	// pools (Fig 5).
+	Coinbase  types.Address
+	StateRoot types.Hash
+	TxRoot    types.Hash
+	// ReceiptRoot commits to the execution receipts, so peers can prove
+	// outcomes (e.g. the contract-call classification) against the
+	// header.
+	ReceiptRoot types.Hash
+	// Extra tags the software/fork the miner ran (the DAO fork blocks
+	// famously carried "dao-hard-fork").
+	Extra []byte
+	// UncleHash commits to the block's uncle-header list (see uncles.go).
+	UncleHash types.Hash
+	// Nonce and MixDigest are the simulated PoW seal (see pow package).
+	Nonce     uint64
+	MixDigest types.Hash
+}
+
+// SealHash is the hash the PoW seal commits to (header without the seal
+// fields).
+func (h *Header) SealHash() types.Hash {
+	enc := rlp.EncodeList(
+		rlp.Bytes(h.ParentHash.Bytes()),
+		rlp.Uint(h.Number),
+		rlp.Uint(h.Time),
+		rlp.BigInt(h.Difficulty),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.Bytes(h.Coinbase.Bytes()),
+		rlp.Bytes(h.StateRoot.Bytes()),
+		rlp.Bytes(h.TxRoot.Bytes()),
+		rlp.Bytes(h.ReceiptRoot.Bytes()),
+		rlp.Bytes(h.Extra),
+		rlp.Bytes(h.UncleHash.Bytes()),
+	)
+	sum := keccak.Sum256(enc)
+	return types.BytesToHash(sum[:])
+}
+
+// Hash is the block identity: keccak256 of the full header encoding.
+func (h *Header) Hash() types.Hash {
+	sum := keccak.Sum256(h.Encode())
+	return types.BytesToHash(sum[:])
+}
+
+// Encode returns the canonical RLP encoding of the header.
+func (h *Header) Encode() []byte {
+	return rlp.EncodeList(
+		rlp.Bytes(h.ParentHash.Bytes()),
+		rlp.Uint(h.Number),
+		rlp.Uint(h.Time),
+		rlp.BigInt(h.Difficulty),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.Bytes(h.Coinbase.Bytes()),
+		rlp.Bytes(h.StateRoot.Bytes()),
+		rlp.Bytes(h.TxRoot.Bytes()),
+		rlp.Bytes(h.ReceiptRoot.Bytes()),
+		rlp.Bytes(h.Extra),
+		rlp.Bytes(h.UncleHash.Bytes()),
+		rlp.Uint(h.Nonce),
+		rlp.Bytes(h.MixDigest.Bytes()),
+	)
+}
+
+// DecodeHeader parses a header from its RLP encoding.
+func DecodeHeader(enc []byte) (*Header, error) {
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad header encoding: %w", err)
+	}
+	return headerFromValue(v)
+}
+
+func headerFromValue(v rlp.Value) (*Header, error) {
+	items, err := v.ListOf(14)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad header structure: %w", err)
+	}
+	h := &Header{}
+	get := func(i int) ([]byte, error) { return items[i].AsBytes() }
+	b, err := get(0)
+	if err != nil {
+		return nil, err
+	}
+	h.ParentHash = types.BytesToHash(b)
+	if h.Number, err = items[1].AsUint(); err != nil {
+		return nil, err
+	}
+	if h.Time, err = items[2].AsUint(); err != nil {
+		return nil, err
+	}
+	if h.Difficulty, err = items[3].AsBigInt(); err != nil {
+		return nil, err
+	}
+	if h.GasLimit, err = items[4].AsUint(); err != nil {
+		return nil, err
+	}
+	if h.GasUsed, err = items[5].AsUint(); err != nil {
+		return nil, err
+	}
+	if b, err = get(6); err != nil {
+		return nil, err
+	}
+	h.Coinbase = types.BytesToAddress(b)
+	if b, err = get(7); err != nil {
+		return nil, err
+	}
+	h.StateRoot = types.BytesToHash(b)
+	if b, err = get(8); err != nil {
+		return nil, err
+	}
+	h.TxRoot = types.BytesToHash(b)
+	if b, err = get(9); err != nil {
+		return nil, err
+	}
+	h.ReceiptRoot = types.BytesToHash(b)
+	if h.Extra, err = get(10); err != nil {
+		return nil, err
+	}
+	if b, err = get(11); err != nil {
+		return nil, err
+	}
+	h.UncleHash = types.BytesToHash(b)
+	if h.Nonce, err = items[12].AsUint(); err != nil {
+		return nil, err
+	}
+	if b, err = get(13); err != nil {
+		return nil, err
+	}
+	h.MixDigest = types.BytesToHash(b)
+	return h, nil
+}
+
+// Copy returns a deep copy of the header.
+func (h *Header) Copy() *Header {
+	cp := *h
+	cp.Difficulty = types.BigCopy(h.Difficulty)
+	cp.Extra = append([]byte(nil), h.Extra...)
+	return &cp
+}
+
+// Block is a header plus its transaction list and uncle headers.
+type Block struct {
+	Header *Header
+	Txs    []*Transaction
+	Uncles []*Header
+}
+
+// Hash returns the block's identity (the header hash).
+func (b *Block) Hash() types.Hash { return b.Header.Hash() }
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// Encode returns the RLP encoding of the whole block.
+func (b *Block) Encode() []byte {
+	txs := make([]rlp.Value, len(b.Txs))
+	for i, tx := range b.Txs {
+		v, err := rlp.Decode(tx.Encode())
+		if err != nil {
+			panic(err) // own encoding always decodes
+		}
+		txs[i] = v
+	}
+	hv, err := rlp.Decode(b.Header.Encode())
+	if err != nil {
+		panic(err)
+	}
+	uncles := make([]rlp.Value, len(b.Uncles))
+	for i, u := range b.Uncles {
+		v, err := rlp.Decode(u.Encode())
+		if err != nil {
+			panic(err)
+		}
+		uncles[i] = v
+	}
+	return rlp.EncodeList(hv, rlp.List(txs...), rlp.List(uncles...))
+}
+
+// DecodeBlock parses a block from its RLP encoding.
+func DecodeBlock(enc []byte) (*Block, error) {
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad block encoding: %w", err)
+	}
+	items, err := v.ListOf(3)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad block structure: %w", err)
+	}
+	h, err := headerFromValue(items[0])
+	if err != nil {
+		return nil, err
+	}
+	txItems, err := items[1].AsList()
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{Header: h}
+	for _, tv := range txItems {
+		tx, err := txFromValue(tv)
+		if err != nil {
+			return nil, err
+		}
+		blk.Txs = append(blk.Txs, tx)
+	}
+	uncleItems, err := items[2].AsList()
+	if err != nil {
+		return nil, err
+	}
+	for _, uv := range uncleItems {
+		u, err := headerFromValue(uv)
+		if err != nil {
+			return nil, err
+		}
+		blk.Uncles = append(blk.Uncles, u)
+	}
+	return blk, nil
+}
+
+// ReceiptRoot computes the Merkle-Patricia root over the receipt list,
+// keyed by RLP(index) as in Ethereum.
+func ReceiptRoot(receipts []*Receipt) types.Hash {
+	tr := trie.NewEmpty(trie.NewMemDB())
+	for i, r := range receipts {
+		key := rlp.Encode(rlp.Uint(uint64(i)))
+		if err := tr.Update(key, r.Encode()); err != nil {
+			panic(err) // MemDB updates cannot fail
+		}
+	}
+	return tr.Hash()
+}
+
+// TxRoot computes the Merkle-Patricia root over the transaction list,
+// keyed by RLP(index) as in Ethereum.
+func TxRoot(txs []*Transaction) types.Hash {
+	tr := trie.NewEmpty(trie.NewMemDB())
+	for i, tx := range txs {
+		key := rlp.Encode(rlp.Uint(uint64(i)))
+		if err := tr.Update(key, tx.Encode()); err != nil {
+			panic(err) // MemDB updates cannot fail
+		}
+	}
+	return tr.Hash()
+}

@@ -1,0 +1,418 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"forkwatch/internal/state"
+	"forkwatch/internal/trie"
+	"forkwatch/internal/types"
+)
+
+// Insertion errors.
+var (
+	ErrKnownBlock      = errors.New("chain: block already known")
+	ErrUnknownParent   = errors.New("chain: unknown parent")
+	ErrInvalidHeader   = errors.New("chain: invalid header")
+	ErrInvalidBody     = errors.New("chain: invalid body")
+	ErrStateMismatch   = errors.New("chain: state root mismatch")
+	ErrSideOfPartition = errors.New("chain: block belongs to the other side of the DAO partition")
+)
+
+// DAOForkExtra is the extra-data marker pro-fork miners stamp on blocks
+// around the fork height. The supporting chain requires it; the classic
+// chain rejects it — this is the consensus-level partition mechanism.
+var DAOForkExtra = []byte("dao-hard-fork")
+
+// DAOForkExtraRange is how many blocks from the fork the marker is
+// enforced (10 in Ethereum).
+const DAOForkExtraRange = 10
+
+// Genesis specifies block zero.
+type Genesis struct {
+	// Difficulty seeds the difficulty filter.
+	Difficulty *big.Int
+	// Time is the genesis timestamp (simulation epoch).
+	Time uint64
+	// Alloc pre-funds accounts.
+	Alloc map[types.Address]*big.Int
+	// Code installs pre-deployed contracts (e.g. the DAO).
+	Code map[types.Address][]byte
+}
+
+// Blockchain is one partition's ledger: block store, state store, total
+// difficulty fork choice and the canonical index the analysis layer reads.
+// Safe for concurrent use.
+type Blockchain struct {
+	cfg  *Config
+	proc *Processor
+	db   trie.Database
+
+	mu         sync.RWMutex
+	blocks     map[types.Hash]*Block
+	tds        map[types.Hash]*big.Int
+	stateRoots map[types.Hash]types.Hash
+	receipts   map[types.Hash][]*Receipt
+	canon      map[uint64]types.Hash
+	head       *Block
+	genesis    *Block
+}
+
+// NewBlockchain creates a chain from genesis under the given rules.
+func NewBlockchain(cfg *Config, gen *Genesis) (*Blockchain, error) {
+	db := trie.NewMemDB()
+	st, err := state.New(types.Hash{}, db)
+	if err != nil {
+		return nil, err
+	}
+	for addr, bal := range gen.Alloc {
+		st.SetBalance(addr, bal)
+	}
+	for addr, code := range gen.Code {
+		st.SetCode(addr, code)
+	}
+	root, err := st.Commit()
+	if err != nil {
+		return nil, err
+	}
+	diff := gen.Difficulty
+	if diff == nil {
+		diff = types.BigCopy(cfg.MinimumDifficulty)
+	}
+	header := &Header{
+		Number:      0,
+		Time:        gen.Time,
+		Difficulty:  types.BigCopy(diff),
+		GasLimit:    cfg.GasLimit,
+		StateRoot:   root,
+		TxRoot:      TxRoot(nil),
+		ReceiptRoot: ReceiptRoot(nil),
+		UncleHash:   EmptyUncleHash,
+	}
+	genesis := &Block{Header: header}
+	bc := &Blockchain{
+		cfg:        cfg,
+		proc:       NewProcessor(cfg),
+		db:         db,
+		blocks:     map[types.Hash]*Block{genesis.Hash(): genesis},
+		tds:        map[types.Hash]*big.Int{genesis.Hash(): types.BigCopy(diff)},
+		stateRoots: map[types.Hash]types.Hash{genesis.Hash(): root},
+		receipts:   map[types.Hash][]*Receipt{},
+		canon:      map[uint64]types.Hash{0: genesis.Hash()},
+		head:       genesis,
+		genesis:    genesis,
+	}
+	return bc, nil
+}
+
+// NewSibling creates a second partition sharing this chain's genesis block
+// (and therefore its pre-fork state) under different rules. The returned
+// chain has its own stores; history built on one side never leaks into the
+// other except through explicit block/tx gossip — exactly the paper's
+// setting.
+func (bc *Blockchain) NewSibling(cfg *Config, gen *Genesis) (*Blockchain, error) {
+	sib, err := NewBlockchain(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	if sib.genesis.Hash() != bc.genesis.Hash() {
+		return nil, fmt.Errorf("chain: sibling genesis diverged: %s vs %s", sib.genesis.Hash(), bc.genesis.Hash())
+	}
+	return sib, nil
+}
+
+// Config returns the chain's rule set.
+func (bc *Blockchain) Config() *Config { return bc.cfg }
+
+// Processor returns the chain's transaction processor.
+func (bc *Blockchain) Processor() *Processor { return bc.proc }
+
+// Genesis returns block zero.
+func (bc *Blockchain) Genesis() *Block { return bc.genesis }
+
+// Head returns the current canonical head.
+func (bc *Blockchain) Head() *Block {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.head
+}
+
+// ForkID returns the fork id at the current head (for the p2p handshake).
+func (bc *Blockchain) ForkID() ForkID {
+	return bc.cfg.ForkIDAt(new(big.Int).SetUint64(bc.Head().Number()))
+}
+
+// GetBlock returns a block by hash.
+func (bc *Blockchain) GetBlock(h types.Hash) (*Block, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	b, ok := bc.blocks[h]
+	return b, ok
+}
+
+// HasBlock reports whether the block is known.
+func (bc *Blockchain) HasBlock(h types.Hash) bool {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	_, ok := bc.blocks[h]
+	return ok
+}
+
+// BlockByNumber returns the canonical block at the given height.
+func (bc *Blockchain) BlockByNumber(n uint64) (*Block, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	h, ok := bc.canon[n]
+	if !ok {
+		return nil, false
+	}
+	return bc.blocks[h], true
+}
+
+// TD returns the total difficulty of a known block.
+func (bc *Blockchain) TD(h types.Hash) (*big.Int, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	td, ok := bc.tds[h]
+	if !ok {
+		return nil, false
+	}
+	return types.BigCopy(td), true
+}
+
+// Receipts returns the execution receipts of a known block.
+func (bc *Blockchain) Receipts(h types.Hash) ([]*Receipt, bool) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	r, ok := bc.receipts[h]
+	return r, ok
+}
+
+// StateAt opens the state committed by the given block.
+func (bc *Blockchain) StateAt(h types.Hash) (*state.DB, error) {
+	bc.mu.RLock()
+	root, ok := bc.stateRoots[h]
+	bc.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("chain: no state for block %s", h)
+	}
+	return state.New(root, bc.db)
+}
+
+// HeadState opens the state at the canonical head.
+func (bc *Blockchain) HeadState() (*state.DB, error) {
+	return bc.StateAt(bc.Head().Hash())
+}
+
+// InsertBlock validates and executes a block, extends the store, and
+// performs total-difficulty fork choice. It returns ErrKnownBlock for
+// duplicates and ErrUnknownParent when the parent has not arrived yet
+// (callers queue and retry, as gossip is unordered).
+func (bc *Blockchain) InsertBlock(b *Block) error {
+	hash := b.Hash()
+
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+
+	if _, known := bc.blocks[hash]; known {
+		return ErrKnownBlock
+	}
+	parent, ok := bc.blocks[b.Header.ParentHash]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownParent, b.Header.ParentHash)
+	}
+	if err := bc.validateHeader(b.Header, parent.Header); err != nil {
+		return err
+	}
+	if err := bc.validateBody(b); err != nil {
+		return err
+	}
+
+	// Execute on the parent's state.
+	parentRoot := bc.stateRoots[parent.Hash()]
+	st, err := state.New(parentRoot, bc.db)
+	if err != nil {
+		return err
+	}
+	receipts, err := bc.proc.Process(b, st)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidBody, err)
+	}
+	root, err := st.Commit()
+	if err != nil {
+		return err
+	}
+	if root != b.Header.StateRoot {
+		return fmt.Errorf("%w: computed %s, header %s", ErrStateMismatch, root, b.Header.StateRoot)
+	}
+	if got := ReceiptRoot(receipts); got != b.Header.ReceiptRoot {
+		return fmt.Errorf("%w: receipt root %s, header %s", ErrInvalidBody, got, b.Header.ReceiptRoot)
+	}
+
+	bc.blocks[hash] = b
+	bc.stateRoots[hash] = root
+	bc.receipts[hash] = receipts
+	td := new(big.Int).Add(bc.tds[parent.Hash()], b.Header.Difficulty)
+	bc.tds[hash] = td
+
+	if td.Cmp(bc.tds[bc.head.Hash()]) > 0 {
+		bc.setHead(b)
+	}
+	return nil
+}
+
+// setHead makes b the canonical head, rewriting the number index along the
+// (possibly reorganised) path back to the old canonical chain.
+func (bc *Blockchain) setHead(b *Block) {
+	oldNumber := bc.head.Number()
+	bc.head = b
+	cur := b
+	for {
+		n := cur.Number()
+		if bc.canon[n] == cur.Hash() {
+			break
+		}
+		bc.canon[n] = cur.Hash()
+		if n == 0 {
+			break
+		}
+		cur = bc.blocks[cur.Header.ParentHash]
+	}
+	// A reorg to a shorter-but-heavier chain leaves stale tail entries.
+	for n := b.Number() + 1; n <= oldNumber; n++ {
+		delete(bc.canon, n)
+	}
+}
+
+func (bc *Blockchain) validateHeader(h, parent *Header) error {
+	if h.Number != parent.Number+1 {
+		return fmt.Errorf("%w: number %d after parent %d", ErrInvalidHeader, h.Number, parent.Number)
+	}
+	if h.Time <= parent.Time {
+		return fmt.Errorf("%w: timestamp %d not after parent %d", ErrInvalidHeader, h.Time, parent.Time)
+	}
+	want := CalcDifficulty(bc.cfg, h.Time, parent)
+	if h.Difficulty == nil || h.Difficulty.Cmp(want) != 0 {
+		return fmt.Errorf("%w: difficulty %v, want %v", ErrInvalidHeader, h.Difficulty, want)
+	}
+	if err := ValidateGasLimit(h.GasLimit, parent.GasLimit); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidHeader, err)
+	}
+	if h.GasUsed > h.GasLimit {
+		return fmt.Errorf("%w: gas used %d exceeds limit %d", ErrInvalidHeader, h.GasUsed, h.GasLimit)
+	}
+	// The DAO partition rule: within the enforcement window after the
+	// fork height, the supporting chain requires the marker and the
+	// classic chain rejects it.
+	if bc.cfg.DAOForkBlock != nil {
+		forkNum := bc.cfg.DAOForkBlock.Uint64()
+		if h.Number >= forkNum && h.Number < forkNum+DAOForkExtraRange {
+			hasMarker := string(h.Extra) == string(DAOForkExtra)
+			if bc.cfg.DAOForkSupport && !hasMarker {
+				return fmt.Errorf("%w: missing dao-hard-fork extra at block %d", ErrSideOfPartition, h.Number)
+			}
+			if !bc.cfg.DAOForkSupport && hasMarker {
+				return fmt.Errorf("%w: dao-hard-fork extra at block %d", ErrSideOfPartition, h.Number)
+			}
+		}
+	}
+	return nil
+}
+
+func (bc *Blockchain) validateBody(b *Block) error {
+	if got := TxRoot(b.Txs); got != b.Header.TxRoot {
+		return fmt.Errorf("%w: tx root %s, header %s", ErrInvalidBody, got, b.Header.TxRoot)
+	}
+	if err := bc.validateUncles(b); err != nil {
+		return err
+	}
+	for i, tx := range b.Txs {
+		if err := tx.VerifySig(); err != nil {
+			return fmt.Errorf("%w: tx %d: %v", ErrInvalidBody, i, err)
+		}
+	}
+	return nil
+}
+
+// BuildBlock assembles and executes a block on top of the current head:
+// the miner's job, minus the PoW seal. Transactions must already be valid
+// in head-state order. The returned block carries correct difficulty, gas
+// and roots and is ready for pow.Seal and InsertBlock.
+func (bc *Blockchain) BuildBlock(coinbase types.Address, time uint64, txs []*Transaction) (*Block, error) {
+	return bc.BuildBlockWithUncles(coinbase, time, txs, nil)
+}
+
+// BuildBlockWithUncles is BuildBlock with explicit uncle inclusion (see
+// CollectUncles for the miner's candidate set).
+func (bc *Blockchain) BuildBlockWithUncles(coinbase types.Address, time uint64, txs []*Transaction, uncles []*Header) (*Block, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+
+	parent := bc.head
+	if time <= parent.Header.Time {
+		time = parent.Header.Time + 1
+	}
+	header := &Header{
+		ParentHash: parent.Hash(),
+		Number:     parent.Number() + 1,
+		Time:       time,
+		Difficulty: CalcDifficulty(bc.cfg, time, parent.Header),
+		GasLimit:   NextGasLimit(parent.Header.GasLimit, bc.cfg.GasLimit),
+		Coinbase:   coinbase,
+	}
+	if bc.cfg.DAOForkBlock != nil && bc.cfg.DAOForkSupport {
+		forkNum := bc.cfg.DAOForkBlock.Uint64()
+		if header.Number >= forkNum && header.Number < forkNum+DAOForkExtraRange {
+			header.Extra = append([]byte(nil), DAOForkExtra...)
+		}
+	}
+	header.UncleHash = CalcUncleHash(uncles)
+	block := &Block{Header: header, Txs: txs, Uncles: uncles}
+
+	st, err := state.New(bc.stateRoots[parent.Hash()], bc.db)
+	if err != nil {
+		return nil, err
+	}
+	receipts, err := bc.proc.Process(block, st)
+	if err != nil {
+		return nil, err
+	}
+	root, err := st.Commit()
+	if err != nil {
+		return nil, err
+	}
+	var gasUsed uint64
+	for _, r := range receipts {
+		gasUsed += r.GasUsed
+	}
+	header.GasUsed = gasUsed
+	header.StateRoot = root
+	header.TxRoot = TxRoot(txs)
+	header.ReceiptRoot = ReceiptRoot(receipts)
+	return block, nil
+}
+
+// CanonicalBlocks returns the canonical blocks in [from, to] (inclusive,
+// clamped to the head). The analysis layer iterates these exactly as the
+// paper iterates its exported block table.
+func (bc *Blockchain) CanonicalBlocks(from, to uint64) []*Block {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	if to > bc.head.Number() {
+		to = bc.head.Number()
+	}
+	var out []*Block
+	for n := from; n <= to; n++ {
+		h, ok := bc.canon[n]
+		if !ok {
+			continue
+		}
+		out = append(out, bc.blocks[h])
+	}
+	return out
+}
+
+// Length returns the canonical height (head number).
+func (bc *Blockchain) Length() uint64 { return bc.Head().Number() }

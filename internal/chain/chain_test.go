@@ -1,0 +1,642 @@
+package chain
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/types"
+)
+
+var (
+	alice  = types.HexToAddress("0xa11ce")
+	bob    = types.HexToAddress("0xb0b")
+	pool1  = types.HexToAddress("0x9001")
+	dao    = types.HexToAddress("0xdao")
+	refund = types.HexToAddress("0x4ef")
+)
+
+func testGenesis() *Genesis {
+	return &Genesis{
+		Difficulty: big.NewInt(131072 * 4),
+		Time:       1_000_000,
+		Alloc: map[types.Address]*big.Int{
+			alice: new(big.Int).Mul(big.NewInt(1000), Ether),
+			dao:   new(big.Int).Mul(big.NewInt(500), Ether),
+		},
+	}
+}
+
+func newTestChain(t *testing.T, cfg *Config) *Blockchain {
+	t.Helper()
+	bc, err := NewBlockchain(cfg, testGenesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc
+}
+
+// mine builds, and inserts, one block at head.Time+interval with txs.
+func mine(t *testing.T, bc *Blockchain, interval uint64, txs ...*Transaction) *Block {
+	t.Helper()
+	b, err := bc.BuildBlock(pool1, bc.Head().Header.Time+interval, txs)
+	if err != nil {
+		t.Fatalf("BuildBlock: %v", err)
+	}
+	if err := bc.InsertBlock(b); err != nil {
+		t.Fatalf("InsertBlock: %v", err)
+	}
+	return b
+}
+
+func transfer(nonce uint64, from, to types.Address, wei int64, chainID uint64) *Transaction {
+	return NewTransaction(nonce, &to, big.NewInt(wei), 21_000, big.NewInt(1), nil).Sign(from, chainID)
+}
+
+func TestGenesisDeterministic(t *testing.T) {
+	a := newTestChain(t, MainnetLikeConfig())
+	b := newTestChain(t, MainnetLikeConfig())
+	if a.Genesis().Hash() != b.Genesis().Hash() {
+		t.Error("identical genesis specs should hash identically")
+	}
+	if a.Head().Number() != 0 {
+		t.Error("fresh chain head should be genesis")
+	}
+}
+
+func TestCalcDifficulty(t *testing.T) {
+	cfg := MainnetLikeConfig()
+	parent := &Header{Time: 1000, Difficulty: big.NewInt(1 << 22)}
+
+	fast := CalcDifficulty(cfg, 1005, parent) // 5s: raise by parent/2048
+	wantFast := new(big.Int).Add(parent.Difficulty, new(big.Int).Div(parent.Difficulty, big.NewInt(2048)))
+	if fast.Cmp(wantFast) != 0 {
+		t.Errorf("fast block difficulty = %v, want %v", fast, wantFast)
+	}
+
+	slow := CalcDifficulty(cfg, 1000+25, parent) // 25s: lower by parent/2048
+	wantSlow := new(big.Int).Sub(parent.Difficulty, new(big.Int).Div(parent.Difficulty, big.NewInt(2048)))
+	if slow.Cmp(wantSlow) != 0 {
+		t.Errorf("slow block difficulty = %v, want %v", slow, wantSlow)
+	}
+
+	// Very slow block: clamped at -99 steps.
+	glacial := CalcDifficulty(cfg, 1000+100_000, parent)
+	step := new(big.Int).Div(parent.Difficulty, big.NewInt(2048))
+	wantClamp := new(big.Int).Sub(parent.Difficulty, new(big.Int).Mul(step, big.NewInt(99)))
+	if glacial.Cmp(wantClamp) != 0 {
+		t.Errorf("clamped difficulty = %v, want %v", glacial, wantClamp)
+	}
+
+	// Floor at minimum difficulty.
+	tiny := &Header{Time: 1000, Difficulty: big.NewInt(131072)}
+	floored := CalcDifficulty(cfg, 1000+100_000, tiny)
+	if floored.Cmp(cfg.MinimumDifficulty) != 0 {
+		t.Errorf("floored difficulty = %v, want %v", floored, cfg.MinimumDifficulty)
+	}
+}
+
+func TestDifficultyRecoveryShape(t *testing.T) {
+	// After a difficulty far above what block times support, consecutive
+	// maximally-slow blocks decay difficulty by ~4.83% each: the paper's
+	// two-day ETC recovery. Check the decay factor.
+	cfg := MainnetLikeConfig()
+	h := &Header{Time: 0, Difficulty: big.NewInt(1 << 40)}
+	next := CalcDifficulty(cfg, 10_000, h)
+	ratio := new(big.Float).Quo(new(big.Float).SetInt(next), new(big.Float).SetInt(h.Difficulty))
+	f, _ := ratio.Float64()
+	if f < 0.95 || f > 0.953 {
+		t.Errorf("max decay ratio = %v, want ~0.9517 (1 - 99/2048)", f)
+	}
+}
+
+func TestMineTransfersAndReward(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	tx := transfer(0, alice, bob, 1234, 0)
+	mine(t, bc, 14, tx)
+
+	st, err := bc.HeadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.GetBalance(bob); got.Int64() != 1234 {
+		t.Errorf("bob = %v, want 1234", got)
+	}
+	// Coinbase got reward + fee (21000 gas at price 1).
+	wantPool := new(big.Int).Add(bc.Config().BlockReward, big.NewInt(21_000))
+	if got := st.GetBalance(pool1); got.Cmp(wantPool) != 0 {
+		t.Errorf("pool = %v, want %v", got, wantPool)
+	}
+	if st.GetNonce(alice) != 1 {
+		t.Error("sender nonce not advanced")
+	}
+	rec, ok := bc.Receipts(bc.Head().Hash())
+	if !ok || len(rec) != 1 {
+		t.Fatalf("receipts = %v, %v", rec, ok)
+	}
+	if !rec[0].Status || rec[0].GasUsed != 21_000 || rec[0].ContractCall {
+		t.Errorf("receipt = %+v", rec[0])
+	}
+}
+
+func TestTxEncodingRoundTrip(t *testing.T) {
+	to := bob
+	tx := NewTransaction(3, &to, big.NewInt(777), 50_000, big.NewInt(20), []byte{1, 0, 2}).Sign(alice, 61)
+	dec, err := DecodeTx(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hash() != tx.Hash() {
+		t.Error("decode changed tx hash")
+	}
+	if err := dec.VerifySig(); err != nil {
+		t.Errorf("decoded tx signature invalid: %v", err)
+	}
+	if dec.From != alice || dec.ChainID != 61 || dec.Nonce != 3 {
+		t.Errorf("decoded fields wrong: %+v", dec)
+	}
+	// Creation tx (nil To) round-trips too.
+	create := NewTransaction(0, nil, nil, 100_000, big.NewInt(1), []byte{0x60}).Sign(alice, 0)
+	dec2, err := DecodeTx(create.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.To != nil {
+		t.Error("creation tx recipient should stay nil")
+	}
+}
+
+func TestTamperedTxRejected(t *testing.T) {
+	tx := transfer(0, alice, bob, 10, 0)
+	tx.Value = big.NewInt(1_000_000) // tamper after signing
+	if err := tx.VerifySig(); err == nil {
+		t.Error("tampered tx should fail signature check")
+	}
+	// And a tampered sender.
+	tx2 := transfer(0, alice, bob, 10, 0)
+	tx2.From = bob
+	if err := tx2.VerifySig(); err == nil {
+		t.Error("sender swap should fail signature check")
+	}
+}
+
+func TestBlockEncodingRoundTrip(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	blk := mine(t, bc, 14, transfer(0, alice, bob, 5, 0))
+	dec, err := DecodeBlock(blk.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hash() != blk.Hash() {
+		t.Error("block hash changed across encode/decode")
+	}
+	if len(dec.Txs) != 1 || dec.Txs[0].Hash() != blk.Txs[0].Hash() {
+		t.Error("transactions corrupted across encode/decode")
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	good, err := bc.BuildBlock(pool1, bc.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongDiff := &Block{Header: good.Header.Copy(), Txs: nil}
+	wrongDiff.Header.Difficulty = new(big.Int).Add(wrongDiff.Header.Difficulty, big.NewInt(1))
+	if err := bc.InsertBlock(wrongDiff); !errors.Is(err, ErrInvalidHeader) {
+		t.Errorf("wrong difficulty: err = %v", err)
+	}
+
+	stale := &Block{Header: good.Header.Copy(), Txs: nil}
+	stale.Header.Time = bc.Genesis().Header.Time // not after parent
+	if err := bc.InsertBlock(stale); !errors.Is(err, ErrInvalidHeader) {
+		t.Errorf("stale timestamp: err = %v", err)
+	}
+
+	badRoot := &Block{Header: good.Header.Copy(), Txs: []*Transaction{transfer(0, alice, bob, 1, 0)}}
+	if err := bc.InsertBlock(badRoot); !errors.Is(err, ErrInvalidBody) {
+		t.Errorf("bad tx root: err = %v", err)
+	}
+
+	orphan := &Block{Header: good.Header.Copy(), Txs: nil}
+	orphan.Header.ParentHash = types.HexToHash("0xdead")
+	if err := bc.InsertBlock(orphan); !errors.Is(err, ErrUnknownParent) {
+		t.Errorf("orphan: err = %v", err)
+	}
+
+	if err := bc.InsertBlock(good); err != nil {
+		t.Fatalf("good block rejected: %v", err)
+	}
+	if err := bc.InsertBlock(good); !errors.Is(err, ErrKnownBlock) {
+		t.Errorf("duplicate: err = %v", err)
+	}
+
+	tampered := &Block{Header: good.Header.Copy(), Txs: nil}
+	tampered.Header.StateRoot = types.HexToHash("0xbadbad")
+	tampered.Header.Time += 1
+	tampered.Header.Difficulty = CalcDifficulty(bc.Config(), tampered.Header.Time, bc.Genesis().Header)
+	if err := bc.InsertBlock(tampered); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("bad state root: err = %v", err)
+	}
+}
+
+func TestForkChoiceHeaviestWins(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	genesis := bc.Genesis()
+
+	// Branch A: one slow block (lower difficulty).
+	slowA, err := bc.BuildBlock(pool1, genesis.Header.Time+60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.InsertBlock(slowA); err != nil {
+		t.Fatal(err)
+	}
+	if bc.Head().Hash() != slowA.Hash() {
+		t.Fatal("first block should become head")
+	}
+
+	// Branch B: competing fast block from genesis with higher difficulty.
+	fastHeader := &Header{
+		ParentHash:  genesis.Hash(),
+		Number:      1,
+		Time:        genesis.Header.Time + 5,
+		Difficulty:  CalcDifficulty(bc.Config(), genesis.Header.Time+5, genesis.Header),
+		GasLimit:    bc.Config().GasLimit,
+		Coinbase:    bob,
+		StateRoot:   genesis.Header.StateRoot, // no txs: only reward changes state
+		TxRoot:      TxRoot(nil),
+		ReceiptRoot: ReceiptRoot(nil),
+		UncleHash:   EmptyUncleHash,
+	}
+	// Recompute state root with the reward applied.
+	st, err := bc.StateAt(genesis.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddBalance(bob, bc.Config().BlockReward)
+	root, err := st.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastHeader.StateRoot = root
+	fastB := &Block{Header: fastHeader}
+	if err := bc.InsertBlock(fastB); err != nil {
+		t.Fatal(err)
+	}
+	if bc.Head().Hash() != fastB.Hash() {
+		t.Error("heavier competing block should win fork choice")
+	}
+	if got, _ := bc.BlockByNumber(1); got.Hash() != fastB.Hash() {
+		t.Error("canonical index not updated after reorg")
+	}
+}
+
+func TestReplaySemantics(t *testing.T) {
+	gen := testGenesis()
+	eth, err := NewBlockchain(ETHConfig(100, nil, refund), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etc, err := eth.NewSibling(ETCConfig(100), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy (chainID 0) transaction executes on both chains: the
+	// paper's rebroadcast vulnerability.
+	legacy := transfer(0, alice, bob, 42, 0)
+	mineOn := func(bc *Blockchain, txs ...*Transaction) error {
+		b, err := bc.BuildBlock(pool1, bc.Head().Header.Time+14, txs)
+		if err != nil {
+			return err
+		}
+		return bc.InsertBlock(b)
+	}
+	if err := mineOn(eth, legacy); err != nil {
+		t.Fatalf("legacy tx on ETH: %v", err)
+	}
+	if err := mineOn(etc, legacy); err != nil {
+		t.Fatalf("legacy tx replayed on ETC: %v", err)
+	}
+
+	// A chain-bound transaction fails on the other chain once EIP-155 is
+	// active there — and is not even recognised before activation.
+	eip155 := big.NewInt(2)
+	eth.Config().EIP155Block = eip155
+	etc.Config().EIP155Block = eip155
+
+	ethOnly := transfer(1, alice, bob, 10, 1) // bound to ETH (chain id 1)
+	if err := mineOn(eth, ethOnly); err != nil {
+		t.Fatalf("chain-bound tx on its own chain: %v", err)
+	}
+	if err := mineOn(etc, ethOnly); !errors.Is(err, ErrInvalidBody) && !errors.Is(err, ErrWrongChainID) {
+		t.Fatalf("chain-bound tx on other chain: err = %v, want wrong-chain failure", err)
+	}
+}
+
+func TestDAOForkPartition(t *testing.T) {
+	gen := testGenesis()
+	const forkBlock = 3
+	eth, err := NewBlockchain(ETHConfig(forkBlock, []types.Address{dao}, refund), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etc, err := eth.NewSibling(ETCConfig(forkBlock), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth.Genesis().Hash() != etc.Genesis().Hash() {
+		t.Fatal("chains must share genesis")
+	}
+
+	// Shared prefix: blocks 1 and 2 are valid on both chains.
+	for i := 0; i < 2; i++ {
+		b, err := eth.BuildBlock(pool1, eth.Head().Header.Time+14, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eth.InsertBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := etc.InsertBlock(b); err != nil {
+			t.Fatalf("pre-fork block rejected by ETC: %v", err)
+		}
+	}
+
+	// Fork block: each side builds its own.
+	ethFork, err := eth.BuildBlock(pool1, eth.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ethFork.Header.Extra) != string(DAOForkExtra) {
+		t.Error("ETH fork block should carry the dao-hard-fork marker")
+	}
+	if err := eth.InsertBlock(ethFork); err != nil {
+		t.Fatal(err)
+	}
+	etcFork, err := etc.BuildBlock(pool1, etc.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := etc.InsertBlock(etcFork); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-acceptance must fail from the fork height on.
+	if err := etc.InsertBlock(ethFork); !errors.Is(err, ErrSideOfPartition) {
+		t.Errorf("ETC accepting ETH fork block: err = %v", err)
+	}
+	if err := eth.InsertBlock(etcFork); !errors.Is(err, ErrSideOfPartition) {
+		t.Errorf("ETH accepting ETC fork block: err = %v", err)
+	}
+
+	// The irregular state change happened only on ETH.
+	ethSt, err := eth.HeadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	etcSt, err := etc.HeadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ethSt.GetBalance(dao).Sign() != 0 {
+		t.Error("ETH should have drained the DAO account")
+	}
+	want := new(big.Int).Mul(big.NewInt(500), Ether)
+	if ethSt.GetBalance(refund).Cmp(want) != 0 {
+		t.Error("ETH refund contract should hold the DAO balance")
+	}
+	if etcSt.GetBalance(dao).Cmp(want) != 0 {
+		t.Error("ETC should keep the DAO balance intact")
+	}
+
+	// Fork ids now differ and are incompatible.
+	if eth.ForkID().Compatible(etc.ForkID()) {
+		t.Error("post-fork fork ids should be incompatible")
+	}
+}
+
+func TestForkIDCompatibility(t *testing.T) {
+	pre := ForkID{}
+	ethID := ForkID{DAOForkBlock: 100, DAOForkSupport: true}
+	etcID := ForkID{DAOForkBlock: 100, DAOForkSupport: false}
+	if !pre.Compatible(ethID) || !pre.Compatible(etcID) {
+		t.Error("pre-fork nodes should peer with both sides")
+	}
+	if ethID.Compatible(etcID) {
+		t.Error("opposite sides should not peer")
+	}
+	if !ethID.Compatible(ethID) {
+		t.Error("same side should peer")
+	}
+}
+
+func TestTxPool(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	pool := NewTxPool(bc)
+
+	tx0 := transfer(0, alice, bob, 1, 0)
+	tx2 := transfer(2, alice, bob, 3, 0) // gap at nonce 1
+	if err := pool.Add(tx0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Add(tx0); !errors.Is(err, ErrKnownTx) {
+		t.Errorf("duplicate add: err = %v", err)
+	}
+	if err := pool.Add(tx2); err != nil {
+		t.Fatalf("future nonce should queue: %v", err)
+	}
+	if got := pool.Pending(); len(got) != 1 || got[0].Hash() != tx0.Hash() {
+		t.Errorf("pending should stop at the nonce gap: %v", got)
+	}
+
+	tx1 := transfer(1, alice, bob, 2, 0)
+	if err := pool.Add(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Pending(); len(got) != 3 {
+		t.Errorf("pending with gap filled = %d txs, want 3", len(got))
+	}
+
+	// Unfunded transaction is rejected outright.
+	broke := transfer(0, bob, alice, 1, 0)
+	if err := pool.Add(broke); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("unfunded add: err = %v", err)
+	}
+
+	// Mine the pending txs, then Reset drops them.
+	mine(t, bc, 14, pool.Pending()...)
+	pool.Reset()
+	if pool.Len() != 0 {
+		t.Errorf("pool should be empty after reset, has %d", pool.Len())
+	}
+}
+
+func TestPoolRejectsBadSignature(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	pool := NewTxPool(bc)
+	tx := transfer(0, alice, bob, 1, 0)
+	tx.Value = big.NewInt(999) // tamper
+	if err := pool.Add(tx); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered tx add: err = %v", err)
+	}
+}
+
+func TestCanonicalBlocksRange(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	for i := 0; i < 5; i++ {
+		mine(t, bc, 14)
+	}
+	blocks := bc.CanonicalBlocks(2, 100)
+	if len(blocks) != 4 { // 2,3,4,5
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+	if blocks[0].Number() != 2 || blocks[3].Number() != 5 {
+		t.Errorf("range bounds wrong: %d..%d", blocks[0].Number(), blocks[3].Number())
+	}
+}
+
+func TestContractCallClassification(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	// Deploy a trivial contract, then call it; receipts should classify
+	// both as contract transactions, and a plain send as not.
+	initCode := []byte{
+		0x60, 0x01, // PUSH1 1  (runtime length)
+		0x60, 0x00, // PUSH1 0
+		0x52,       // MSTORE (stores 0x...01 at mem[0:32])
+		0x60, 0x01, // PUSH1 1
+		0x60, 0x1f, // PUSH1 31 (return last byte = 0x01? runtime code 0x01... )
+		0xf3, // RETURN -> runtime code {0x01}? 0x01 is ADD; fine, never called with args
+	}
+	create := NewTransaction(0, nil, nil, 200_000, big.NewInt(1), initCode).Sign(alice, 0)
+	blk := mine(t, bc, 14, create)
+	recs, _ := bc.Receipts(blk.Hash())
+	if !recs[0].ContractCall {
+		t.Error("creation should classify as contract transaction")
+	}
+	contractAddr := recs[0].ContractAddress
+	if contractAddr.IsZero() {
+		t.Fatal("creation receipt missing contract address")
+	}
+
+	call := NewTransaction(1, &contractAddr, nil, 100_000, big.NewInt(1), nil).Sign(alice, 0)
+	send := transfer(2, alice, bob, 5, 0)
+	blk2 := mine(t, bc, 14, call, send)
+	recs2, _ := bc.Receipts(blk2.Hash())
+	if !recs2[0].ContractCall {
+		t.Error("call to code should classify as contract transaction")
+	}
+	if recs2[1].ContractCall {
+		t.Error("plain send should not classify as contract transaction")
+	}
+}
+
+// TestDifficultyBomb checks the exponential term activates and grows at
+// the right periods when enabled.
+func TestDifficultyBomb(t *testing.T) {
+	cfg := MainnetLikeConfig()
+	cfg.EnableBomb = true
+	parent := &Header{Number: 199_999, Time: 1000, Difficulty: big.NewInt(1 << 30)}
+	withBomb := CalcDifficulty(cfg, 1014, parent)
+	cfg.EnableBomb = false
+	without := CalcDifficulty(cfg, 1014, parent)
+	// Block 200_000: period 2, bomb = 2^0 = 1.
+	diff := new(big.Int).Sub(withBomb, without)
+	if diff.Int64() != 1 {
+		t.Errorf("bomb at period 2 = %v, want 1", diff)
+	}
+	cfg.EnableBomb = true
+	parent.Number = 999_999 // block 1_000_000: period 10, bomb 2^8
+	withBomb = CalcDifficulty(cfg, 1014, parent)
+	cfg.EnableBomb = false
+	without = CalcDifficulty(cfg, 1014, parent)
+	if new(big.Int).Sub(withBomb, without).Int64() != 256 {
+		t.Errorf("bomb at period 10 = %v, want 256", new(big.Int).Sub(withBomb, without))
+	}
+}
+
+// TestBombNegligibleInStudyWindow documents the DESIGN.md substitution:
+// across the paper's measurement window (blocks ~1.92M to ~3.5M) the bomb
+// contributes far less than 0.1% of difficulty, so the default scenarios
+// run without it.
+func TestBombNegligibleInStudyWindow(t *testing.T) {
+	cfg := MainnetLikeConfig()
+	for _, num := range []uint64{1_920_000, 2_500_000, 3_500_000} {
+		parent := &Header{Number: num - 1, Time: 1000, Difficulty: big.NewInt(70_000_000_000_000)}
+		cfg.EnableBomb = true
+		withBomb := CalcDifficulty(cfg, 1014, parent)
+		cfg.EnableBomb = false
+		without := CalcDifficulty(cfg, 1014, parent)
+		bomb := new(big.Float).SetInt(new(big.Int).Sub(withBomb, without))
+		rel, _ := new(big.Float).Quo(bomb, new(big.Float).SetInt(without)).Float64()
+		if rel > 0.001 {
+			t.Errorf("block %d: bomb contributes %.4f%% of difficulty — not negligible", num, rel*100)
+		}
+	}
+}
+
+func TestGasLimitVoting(t *testing.T) {
+	// Within bound: fine.
+	if err := ValidateGasLimit(4_700_000, 4_700_000); err != nil {
+		t.Errorf("equal limits: %v", err)
+	}
+	bound := uint64(4_700_000)/GasLimitBoundDivisor - 1
+	if err := ValidateGasLimit(4_700_000+bound, 4_700_000); err != nil {
+		t.Errorf("max upward step: %v", err)
+	}
+	if err := ValidateGasLimit(4_700_000+bound+1, 4_700_000); err == nil {
+		t.Error("over-bound step accepted")
+	}
+	if err := ValidateGasLimit(MinGasLimit-1, MinGasLimit+10); err == nil {
+		t.Error("sub-minimum limit accepted")
+	}
+
+	// NextGasLimit converges to the target from below and above.
+	limit := uint64(3_000_000)
+	steps := 0
+	for limit != 4_700_000 {
+		next := NextGasLimit(limit, 4_700_000)
+		if err := ValidateGasLimit(next, limit); err != nil {
+			t.Fatalf("vote produced illegal limit: %v", err)
+		}
+		if next <= limit {
+			t.Fatalf("vote did not move upward: %d -> %d", limit, next)
+		}
+		limit = next
+		if steps++; steps > 10_000 {
+			t.Fatal("vote did not converge")
+		}
+	}
+	down := NextGasLimit(5_000_000, 4_700_000)
+	if down >= 5_000_000 || down < 4_700_000 {
+		t.Errorf("downward vote = %d", down)
+	}
+}
+
+// TestGasLimitVoteOnChain: a chain whose genesis starts below the target
+// walks its gas limit up block by block, and a header jumping the bound
+// is rejected.
+func TestGasLimitVoteOnChain(t *testing.T) {
+	gen := testGenesis()
+	bc, err := NewBlockchain(MainnetLikeConfig(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := bc.Genesis().Header.GasLimit
+	b1 := mine(t, bc, 14)
+	if b1.Header.GasLimit != start { // genesis already at target
+		t.Errorf("limit moved from target: %d -> %d", start, b1.Header.GasLimit)
+	}
+	// Forge a header that jumps the bound.
+	good, err := bc.BuildBlock(pool1, bc.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Block{Header: good.Header.Copy()}
+	bad.Header.GasLimit = good.Header.GasLimit * 2
+	if err := bc.InsertBlock(bad); !errors.Is(err, ErrInvalidHeader) {
+		t.Errorf("bound-jumping gas limit: err = %v", err)
+	}
+}

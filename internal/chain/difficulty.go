@@ -1,0 +1,56 @@
+package chain
+
+import (
+	"math/big"
+
+	"forkwatch/internal/types"
+)
+
+// CalcDifficulty implements the Homestead difficulty filter, the mechanism
+// behind every panel of the paper's Figure 1:
+//
+//	diff = parent + parent/2048 * max(1 - (time-parent.time)/10, -clamp)
+//
+// A block 0–9 seconds after its parent raises difficulty by parent/2048; a
+// slower block lowers it by up to clamp*parent/2048 (clamp = 99 in
+// Homestead). The clamp is the "cap in the absolute difference" the paper
+// cites: when ~90% of ETC's hashpower vanished at the fork, difficulty
+// could fall at most ~4.6% per (very slow) block, which is why ETC took
+// ~two days to resume the 14-second target rate.
+//
+// The exponential difficulty bomb is omitted: it contributed under 0.1% of
+// difficulty in the measurement window (blocks ~1.9M–3.5M) and does not
+// affect any reported dynamics (recorded as a substitution in DESIGN.md).
+func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
+	// Validation guarantees time > parent.Time; guard anyway so a bad
+	// caller gets a maximal raise rather than a uint64 wraparound.
+	var delta uint64
+	if time > parent.Time {
+		delta = time - parent.Time
+	}
+	elapsed := new(big.Int).SetUint64(delta)
+
+	// adjust = max(1 - elapsed/10, -clamp)
+	adjust := new(big.Int).Div(elapsed, big.NewInt(10))
+	adjust.Sub(big.NewInt(1), adjust)
+	clamp := big.NewInt(-cfg.DifficultyClampFactor)
+	if adjust.Cmp(clamp) < 0 {
+		adjust = clamp
+	}
+
+	step := new(big.Int).Div(parent.Difficulty, cfg.DifficultyBoundDivisor)
+	diff := new(big.Int).Add(parent.Difficulty, step.Mul(step, adjust))
+
+	// Exponential difficulty bomb ("ice age"): +2^(number/100000 - 2).
+	// Off by default — at the fork height (~1.92M, period 19) it adds
+	// 2^17 against a ~7e13 difficulty, under a billionth; see
+	// TestBombNegligibleInStudyWindow.
+	if cfg.EnableBomb {
+		period := (parent.Number + 1) / 100_000
+		if period >= 2 {
+			bomb := new(big.Int).Lsh(big.NewInt(1), uint(period-2))
+			diff.Add(diff, bomb)
+		}
+	}
+	return types.BigMax(diff, cfg.MinimumDifficulty)
+}

@@ -1,0 +1,81 @@
+package chain
+
+import (
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/types"
+)
+
+// FuzzDecodeTx: arbitrary bytes must never panic the transaction decoder,
+// and successfully decoded transactions must re-encode stably (hash is a
+// fixed point).
+func FuzzDecodeTx(f *testing.F) {
+	valid := transfer(3, types.HexToAddress("0xaa"), types.HexToAddress("0xbb"), 99, 61)
+	f.Add(valid.Encode())
+	f.Add([]byte{0xc0})
+	f.Add([]byte{0xf8, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeTx(tx.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of decoded tx failed: %v", err)
+		}
+		if re.Hash() != tx.Hash() {
+			t.Fatal("tx hash not a fixed point of encode/decode")
+		}
+	})
+}
+
+// FuzzDecodeHeader mirrors FuzzDecodeTx for block headers.
+func FuzzDecodeHeader(f *testing.F) {
+	h := &Header{
+		ParentHash: types.HexToHash("0x01"),
+		Number:     7,
+		Time:       1_469_020_840,
+		Difficulty: big.NewInt(131072),
+		GasLimit:   4_700_000,
+		Extra:      []byte("dao-hard-fork"),
+	}
+	f.Add(h.Encode())
+	f.Add([]byte{0xc0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeHeader(h.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of decoded header failed: %v", err)
+		}
+		if re.Hash() != h.Hash() {
+			t.Fatal("header hash not a fixed point of encode/decode")
+		}
+	})
+}
+
+// FuzzDecodeBlock mirrors FuzzDecodeTx for whole blocks.
+func FuzzDecodeBlock(f *testing.F) {
+	blk := &Block{
+		Header: &Header{Difficulty: big.NewInt(1), TxRoot: TxRoot(nil)},
+		Txs:    []*Transaction{transfer(0, types.HexToAddress("0x01"), types.HexToAddress("0x02"), 1, 0)},
+	}
+	f.Add(blk.Encode())
+	f.Add([]byte{0xc2, 0xc0, 0xc0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeBlock(b.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of decoded block failed: %v", err)
+		}
+		if re.Hash() != b.Hash() {
+			t.Fatal("block hash not a fixed point of encode/decode")
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package chain
+
+import "fmt"
+
+// Gas-limit voting: Ethereum has no fixed block gas limit — each miner may
+// move it by at most parent/1024 per block, so the network "votes" it
+// toward whatever the miners target. The September–October 2016 DoS
+// attacks (which led to the ETH gas-repricing fork the paper mentions in
+// §2.1) were fought partly by miners voting the limit down.
+
+// GasLimitBoundDivisor bounds the per-block gas limit step (1024).
+const GasLimitBoundDivisor = 1024
+
+// MinGasLimit floors the gas limit (5000).
+const MinGasLimit = 5000
+
+// ValidateGasLimit checks the consensus bound on a child's gas limit.
+func ValidateGasLimit(limit, parentLimit uint64) error {
+	if limit < MinGasLimit {
+		return fmt.Errorf("gas limit %d below minimum %d", limit, MinGasLimit)
+	}
+	bound := parentLimit/GasLimitBoundDivisor - 1
+	var diff uint64
+	if limit > parentLimit {
+		diff = limit - parentLimit
+	} else {
+		diff = parentLimit - limit
+	}
+	if diff > bound {
+		return fmt.Errorf("gas limit %d out of bounds (parent %d ± %d)", limit, parentLimit, bound)
+	}
+	return nil
+}
+
+// NextGasLimit returns the limit a miner voting toward target would put in
+// its next block: the largest legal step in the target's direction.
+func NextGasLimit(parentLimit, target uint64) uint64 {
+	step := parentLimit/GasLimitBoundDivisor - 1
+	switch {
+	case parentLimit < target:
+		next := parentLimit + step
+		if next > target {
+			next = target
+		}
+		return next
+	case parentLimit > target:
+		next := parentLimit - step
+		if next < target {
+			next = target
+		}
+		if next < MinGasLimit {
+			next = MinGasLimit
+		}
+		return next
+	default:
+		return parentLimit
+	}
+}

@@ -1,0 +1,79 @@
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chain persistence: the canonical chain streams as consecutive
+// length-prefixed RLP blocks, the same format go-ethereum's export/import
+// uses in spirit. cmd/forknode nodes can snapshot and restore their
+// ledger; tests use it to clone chains.
+
+// ErrImportStopped reports an import aborted on the first rejected block.
+var ErrImportStopped = errors.New("chain: import stopped at invalid block")
+
+// maxPersistFrame bounds one stored block (DoS guard on import).
+const maxPersistFrame = 16 << 20
+
+// WriteChain streams the canonical chain — blocks 1 through the head — to
+// w. Genesis is not written: it is the identity of the chain and must
+// match on import.
+func (bc *Blockchain) WriteChain(w io.Writer) error {
+	head := bc.Head().Number()
+	for n := uint64(1); n <= head; n++ {
+		b, ok := bc.BlockByNumber(n)
+		if !ok {
+			return fmt.Errorf("chain: canonical gap at height %d", n)
+		}
+		enc := b.Encode()
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportChain reads blocks from r and inserts them in order, returning the
+// number of newly imported blocks. Already-known blocks are skipped; the
+// first otherwise-invalid block aborts with ErrImportStopped (wrapping the
+// cause).
+func (bc *Blockchain) ImportChain(r io.Reader) (int, error) {
+	imported := 0
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return imported, nil
+			}
+			return imported, err
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size > maxPersistFrame {
+			return imported, fmt.Errorf("%w: block frame of %d bytes", ErrImportStopped, size)
+		}
+		enc := make([]byte, size)
+		if _, err := io.ReadFull(r, enc); err != nil {
+			return imported, err
+		}
+		blk, err := DecodeBlock(enc)
+		if err != nil {
+			return imported, fmt.Errorf("%w: %v", ErrImportStopped, err)
+		}
+		switch err := bc.InsertBlock(blk); {
+		case err == nil:
+			imported++
+		case errors.Is(err, ErrKnownBlock):
+			// resuming over an overlap: fine
+		default:
+			return imported, fmt.Errorf("%w: block %d: %v", ErrImportStopped, blk.Number(), err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriteImportChainRoundTrip(t *testing.T) {
+	src := newTestChain(t, MainnetLikeConfig())
+	for i := 0; i < 10; i++ {
+		mine(t, src, 14, transfer(uint64(i), alice, bob, int64(i+1), 0))
+	}
+	var buf bytes.Buffer
+	if err := src.WriteChain(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newTestChain(t, MainnetLikeConfig())
+	n, err := dst.ImportChain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("imported %d blocks, want 10", n)
+	}
+	if dst.Head().Hash() != src.Head().Hash() {
+		t.Fatal("imported head differs from source")
+	}
+	// State came along: bob holds 1+2+...+10.
+	st, err := dst.HeadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.GetBalance(bob); got.Int64() != 55 {
+		t.Errorf("bob after import = %v, want 55", got)
+	}
+}
+
+func TestImportChainResumesOverOverlap(t *testing.T) {
+	src := newTestChain(t, MainnetLikeConfig())
+	for i := 0; i < 6; i++ {
+		mine(t, src, 14)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteChain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Destination already holds the first half.
+	dst := newTestChain(t, MainnetLikeConfig())
+	var half bytes.Buffer
+	if err := src.WriteChain(&half); err != nil {
+		t.Fatal(err)
+	}
+	// Import everything twice: second pass should import nothing new.
+	if _, err := dst.ImportChain(&half); err != nil {
+		t.Fatal(err)
+	}
+	n, err := dst.ImportChain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("overlap import added %d blocks, want 0", n)
+	}
+}
+
+func TestImportChainRejectsWrongRules(t *testing.T) {
+	// Build past the DAO fork on ETH rules; an ETC-ruled chain must stop
+	// at the partition boundary.
+	gen := testGenesis()
+	eth, err := NewBlockchain(ETHConfig(2, nil, refund), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		b, err := eth.BuildBlock(pool1, eth.Head().Header.Time+14, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eth.InsertBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eth.WriteChain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	etcChain, err := eth.NewSibling(ETCConfig(2), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := etcChain.ImportChain(&buf)
+	if !errors.Is(err, ErrImportStopped) {
+		t.Fatalf("cross-partition import: err = %v", err)
+	}
+	if n != 1 { // only the shared pre-fork block
+		t.Errorf("imported %d blocks before the partition, want 1", n)
+	}
+}
+
+func TestImportChainGarbage(t *testing.T) {
+	dst := newTestChain(t, MainnetLikeConfig())
+	if _, err := dst.ImportChain(bytes.NewReader([]byte{0, 0, 0, 3, 1, 2, 3})); !errors.Is(err, ErrImportStopped) {
+		t.Errorf("garbage import: err = %v", err)
+	}
+	if _, err := dst.ImportChain(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); !errors.Is(err, ErrImportStopped) {
+		t.Errorf("absurd frame import: err = %v", err)
+	}
+}

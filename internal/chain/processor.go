@@ -1,0 +1,153 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/evm"
+	"forkwatch/internal/state"
+	"forkwatch/internal/types"
+)
+
+// Processor executes blocks against state: per-transaction gas purchase,
+// EVM execution, fee payment and the coinbase reward, plus the DAO
+// irregular state change on the supporting chain at the fork block.
+type Processor struct {
+	cfg *Config
+}
+
+// NewProcessor returns a processor for the given rule set.
+func NewProcessor(cfg *Config) *Processor { return &Processor{cfg: cfg} }
+
+// ApplyDAOFork performs the irregular state change: every drained
+// account's balance moves to the refund contract. Called exactly once, at
+// the fork block, on the supporting chain.
+func (p *Processor) ApplyDAOFork(st *state.DB) {
+	for _, addr := range p.cfg.DAODrainList {
+		bal := st.GetBalance(addr)
+		if bal.Sign() == 0 {
+			continue
+		}
+		st.SubBalance(addr, bal)
+		st.AddBalance(p.cfg.DAORefundContract, bal)
+	}
+}
+
+// Process executes the block body on st (the parent's state) and returns
+// the receipts. st is mutated; the caller commits and checks the root.
+func (p *Processor) Process(block *Block, st *state.DB) ([]*Receipt, error) {
+	header := block.Header
+	num := new(big.Int).SetUint64(header.Number)
+	if p.cfg.DAOForkSupport && p.cfg.IsDAOFork(num) {
+		p.ApplyDAOFork(st)
+	}
+	var receipts []*Receipt
+	gasPool := header.GasLimit
+	for i, tx := range block.Txs {
+		rec, used, err := p.ApplyTransaction(tx, st, header, gasPool)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d (%s): %w", i, tx.Hash(), err)
+		}
+		gasPool -= used
+		receipts = append(receipts, rec)
+	}
+	// Coinbase reward plus the uncle schedule (uncle miners get the
+	// depth-scaled partial reward; the including miner 1/32 per uncle).
+	reward := types.BigCopy(p.cfg.BlockReward)
+	bonus := p.uncleRewards(header.Number, block.Uncles, func(a types.Address, r *big.Int) {
+		st.AddBalance(a, r)
+	})
+	reward.Add(reward, bonus)
+	st.AddBalance(header.Coinbase, reward)
+	return receipts, nil
+}
+
+// ValidateTx checks a transaction's signature, replay domain and funding
+// against the given state without executing it. Used by the tx pool and as
+// the first stage of ApplyTransaction.
+func (p *Processor) ValidateTx(tx *Transaction, st *state.DB, blockNum *big.Int) error {
+	if err := tx.VerifySig(); err != nil {
+		return err
+	}
+	// Replay protection: a chain-bound transaction only executes on its
+	// own chain — and only once the chain understands chain ids. Before
+	// EIP155Block, chain-bound txs are not yet recognised (mirrors the
+	// backwards-compatible rollout the paper describes).
+	if tx.ChainID != 0 {
+		if !p.cfg.IsEIP155(blockNum) {
+			return fmt.Errorf("%w: chain ids not active until block %v", ErrWrongChainID, p.cfg.EIP155Block)
+		}
+		if tx.ChainID != p.cfg.ChainID {
+			return fmt.Errorf("%w: tx bound to %d, chain is %d", ErrWrongChainID, tx.ChainID, p.cfg.ChainID)
+		}
+	}
+	nonce := st.GetNonce(tx.From)
+	switch {
+	case tx.Nonce < nonce:
+		return fmt.Errorf("%w: tx %d, account %d", ErrNonceTooLow, tx.Nonce, nonce)
+	case tx.Nonce > nonce:
+		return fmt.Errorf("%w: tx %d, account %d", ErrNonceTooHigh, tx.Nonce, nonce)
+	}
+	if tx.IntrinsicGas() > tx.GasLimit {
+		return fmt.Errorf("%w: need %d, limit %d", ErrIntrinsicGas, tx.IntrinsicGas(), tx.GasLimit)
+	}
+	if st.GetBalance(tx.From).Cmp(tx.Cost()) < 0 {
+		return fmt.Errorf("%w: have %v, need %v", ErrInsufficientFunds, st.GetBalance(tx.From), tx.Cost())
+	}
+	return nil
+}
+
+// ApplyTransaction executes one transaction, returning its receipt and the
+// gas it consumed from the block gas pool.
+func (p *Processor) ApplyTransaction(tx *Transaction, st *state.DB, header *Header, gasPool uint64) (*Receipt, uint64, error) {
+	num := new(big.Int).SetUint64(header.Number)
+	if err := p.ValidateTx(tx, st, num); err != nil {
+		return nil, 0, err
+	}
+	if tx.GasLimit > gasPool {
+		return nil, 0, fmt.Errorf("chain: block gas pool exhausted: tx wants %d, pool %d", tx.GasLimit, gasPool)
+	}
+
+	// Buy gas up front. The nonce bump for creations happens inside
+	// evm.Create (which derives the contract address from it); calls bump
+	// it here.
+	upfront := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(tx.GasLimit))
+	st.SubBalance(tx.From, upfront)
+	if !tx.IsContractCreation() {
+		st.SetNonce(tx.From, tx.Nonce+1)
+	}
+
+	machine := evm.New(st, evm.Context{
+		BlockNumber: num,
+		Timestamp:   header.Time,
+		Coinbase:    header.Coinbase,
+		ChainID:     p.cfg.ChainID,
+		Origin:      tx.From,
+		GasPrice:    tx.GasPrice,
+	})
+	gas := tx.GasLimit - tx.IntrinsicGas()
+
+	rec := &Receipt{TxHash: tx.Hash()}
+	var gasLeft uint64
+	var execErr error
+	if tx.IsContractCreation() {
+		rec.ContractCall = true
+		var addr types.Address
+		addr, gasLeft, execErr = machine.Create(tx.From, tx.Data, tx.Value, gas)
+		rec.ContractAddress = addr
+	} else {
+		rec.ContractCall = len(st.GetCode(*tx.To)) > 0
+		_, gasLeft, execErr = machine.Call(tx.From, *tx.To, tx.Data, tx.Value, gas)
+	}
+	rec.Status = execErr == nil
+
+	gasUsed := tx.GasLimit - gasLeft
+	rec.GasUsed = gasUsed
+
+	// Refund unused gas; pay the fee to the coinbase.
+	refund := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasLeft))
+	st.AddBalance(tx.From, refund)
+	fee := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasUsed))
+	st.AddBalance(header.Coinbase, fee)
+	return rec, gasUsed, nil
+}

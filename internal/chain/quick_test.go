@@ -1,0 +1,176 @@
+package chain
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"forkwatch/internal/types"
+)
+
+// quickTx generates structurally valid random transactions for
+// property-based tests.
+func quickTx(r *rand.Rand) *Transaction {
+	var to *types.Address
+	if r.Intn(4) > 0 {
+		a := types.BytesToAddress([]byte{byte(r.Intn(256)), byte(r.Intn(256))})
+		to = &a
+	}
+	data := make([]byte, r.Intn(64))
+	r.Read(data)
+	tx := NewTransaction(
+		uint64(r.Intn(1000)),
+		to,
+		big.NewInt(r.Int63n(1_000_000)),
+		21_000+uint64(r.Intn(500_000)),
+		big.NewInt(1+r.Int63n(100)),
+		data,
+	)
+	from := types.BytesToAddress([]byte{0xee, byte(r.Intn(256))})
+	chainID := uint64(0)
+	if r.Intn(2) == 1 {
+		chainID = uint64(1 + r.Intn(100))
+	}
+	return tx.Sign(from, chainID)
+}
+
+// Property: transaction encode/decode is the identity (same hash, same
+// fields, signature still valid).
+func TestQuickTxRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		tx := quickTx(r)
+		dec, err := DecodeTx(tx.Encode())
+		if err != nil {
+			t.Fatalf("decode: %v (%+v)", err, tx)
+		}
+		if dec.Hash() != tx.Hash() {
+			t.Fatal("hash changed across encode/decode")
+		}
+		if err := dec.VerifySig(); err != nil {
+			t.Fatalf("signature broken across encode/decode: %v", err)
+		}
+		if !reflect.DeepEqual(dec.Value, tx.Value) || dec.Nonce != tx.Nonce || dec.ChainID != tx.ChainID {
+			t.Fatal("fields changed across encode/decode")
+		}
+	}
+}
+
+// Property: header encode/decode is the identity on the hash.
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(parent types.Hash, num, tm, gasUsed uint64, coinbase types.Address, diff uint32, extra []byte) bool {
+		h := &Header{
+			ParentHash: parent,
+			Number:     num,
+			Time:       tm,
+			Difficulty: big.NewInt(int64(diff) + 1),
+			GasLimit:   4_700_000,
+			GasUsed:    gasUsed,
+			Coinbase:   coinbase,
+			StateRoot:  parent,
+			TxRoot:     parent,
+			Extra:      extra,
+			Nonce:      num ^ tm,
+			MixDigest:  parent,
+		}
+		dec, err := DecodeHeader(h.Encode())
+		if err != nil {
+			return false
+		}
+		return dec.Hash() == h.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the difficulty filter is monotone in the parent difficulty
+// and anti-monotone in the elapsed time, and never goes below the
+// minimum.
+func TestQuickDifficultyProperties(t *testing.T) {
+	cfg := MainnetLikeConfig()
+	f := func(d1, d2 uint32, delta1, delta2 uint16) bool {
+		base := int64(200_000)
+		pa := &Header{Time: 1000, Difficulty: big.NewInt(base + int64(d1))}
+		pb := &Header{Time: 1000, Difficulty: big.NewInt(base + int64(d1) + int64(d2) + 1)}
+		tm := uint64(1001 + delta1)
+
+		// Monotone in parent difficulty.
+		da := CalcDifficulty(cfg, tm, pa)
+		db := CalcDifficulty(cfg, tm, pb)
+		if da.Cmp(db) > 0 {
+			return false
+		}
+		// Anti-monotone in elapsed time.
+		later := tm + uint64(delta2)
+		dLater := CalcDifficulty(cfg, later, pa)
+		if dLater.Cmp(da) > 0 {
+			return false
+		}
+		// Floor.
+		return da.Cmp(cfg.MinimumDifficulty) >= 0 && dLater.Cmp(cfg.MinimumDifficulty) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TxRoot is order-sensitive (it commits to position) and
+// deterministic.
+func TestQuickTxRootProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		n := 2 + r.Intn(6)
+		txs := make([]*Transaction, n)
+		for j := range txs {
+			txs[j] = quickTx(r)
+		}
+		root1 := TxRoot(txs)
+		root2 := TxRoot(txs)
+		if root1 != root2 {
+			t.Fatal("TxRoot not deterministic")
+		}
+		// Swap two distinct transactions: the root must change.
+		if txs[0].Hash() != txs[1].Hash() {
+			swapped := append([]*Transaction(nil), txs...)
+			swapped[0], swapped[1] = swapped[1], swapped[0]
+			if TxRoot(swapped) == root1 {
+				t.Fatal("TxRoot insensitive to ordering")
+			}
+		}
+	}
+	if TxRoot(nil) != TxRoot([]*Transaction{}) {
+		t.Fatal("empty tx root should be stable")
+	}
+}
+
+// Property: mining a block with no transactions changes exactly one
+// balance (the coinbase) by exactly the reward.
+func TestQuickEmptyBlockConservation(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	for i := 0; i < 20; i++ {
+		cb := types.BytesToAddress([]byte{0x90, byte(i)})
+		before, err := bc.HeadState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		beforeBal := before.GetBalance(cb)
+		b, err := bc.BuildBlock(cb, bc.Head().Header.Time+uint64(5+i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.InsertBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		after, err := bc.HeadState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := new(big.Int).Sub(after.GetBalance(cb), beforeBal)
+		if gain.Cmp(bc.Config().BlockReward) != 0 {
+			t.Fatalf("coinbase gained %v, want %v", gain, bc.Config().BlockReward)
+		}
+	}
+}

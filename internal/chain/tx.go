@@ -1,0 +1,255 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// Transaction is one state transition: a value transfer, contract call or
+// contract creation.
+//
+// Authentication substitution: real Ethereum transactions carry a
+// secp256k1 signature from which the sender is recovered; forkwatch
+// carries the sender address plus a keccak "signature tag" binding the
+// sender to the signed payload. This preserves the property the paper's
+// echo analysis depends on — a transaction broadcast on one chain can be
+// rebroadcast verbatim on the other and will execute iff the sender's
+// nonce/balance still permit — including the EIP-155 fix: when ChainID is
+// non-zero the tag covers it, so the other chain rejects the replay.
+type Transaction struct {
+	Nonce    uint64
+	GasPrice *big.Int
+	GasLimit uint64
+	// To is the recipient; nil creates a contract.
+	To    *types.Address
+	Value *big.Int
+	Data  []byte
+	// ChainID is 0 for legacy (replayable) transactions, or the EIP-155
+	// chain id the sender bound the transaction to.
+	ChainID uint64
+
+	// From is the authenticated sender (see the substitution note).
+	From types.Address
+	// SigTag binds From to the payload; set by Sign.
+	SigTag types.Hash
+}
+
+// Tx errors.
+var (
+	ErrBadSignature      = errors.New("chain: invalid transaction signature tag")
+	ErrWrongChainID      = errors.New("chain: transaction signed for another chain")
+	ErrNonceTooLow       = errors.New("chain: nonce too low")
+	ErrNonceTooHigh      = errors.New("chain: nonce too high")
+	ErrInsufficientFunds = errors.New("chain: insufficient funds for gas * price + value")
+	ErrIntrinsicGas      = errors.New("chain: intrinsic gas exceeds gas limit")
+	ErrKnownTx           = errors.New("chain: transaction already known")
+)
+
+// NewTransaction constructs an unsigned transfer/call transaction.
+func NewTransaction(nonce uint64, to *types.Address, value *big.Int, gasLimit uint64, gasPrice *big.Int, data []byte) *Transaction {
+	if value == nil {
+		value = new(big.Int)
+	}
+	if gasPrice == nil {
+		gasPrice = new(big.Int)
+	}
+	return &Transaction{
+		Nonce:    nonce,
+		GasPrice: types.BigCopy(gasPrice),
+		GasLimit: gasLimit,
+		To:       to,
+		Value:    types.BigCopy(value),
+		Data:     append([]byte(nil), data...),
+	}
+}
+
+// Sign authenticates the transaction as coming from `from`, binding it to
+// chainID (0 leaves it replayable across the partition).
+func (tx *Transaction) Sign(from types.Address, chainID uint64) *Transaction {
+	tx.From = from
+	tx.ChainID = chainID
+	tx.SigTag = tx.sigPayloadHash()
+	return tx
+}
+
+// sigPayloadHash covers every signed field, including the sender and the
+// chain id (the latter only when non-zero, mirroring EIP-155's
+// backwards-compatible encoding).
+func (tx *Transaction) sigPayloadHash() types.Hash {
+	items := []rlp.Value{
+		rlp.Uint(tx.Nonce),
+		rlp.BigInt(tx.GasPrice),
+		rlp.Uint(tx.GasLimit),
+		toValue(tx.To),
+		rlp.BigInt(tx.Value),
+		rlp.Bytes(tx.Data),
+		rlp.Bytes(tx.From.Bytes()),
+	}
+	if tx.ChainID != 0 {
+		items = append(items, rlp.Uint(tx.ChainID))
+	}
+	h := keccak.Sum256(rlp.EncodeList(items...))
+	return types.BytesToHash(h[:])
+}
+
+// VerifySig checks the signature tag.
+func (tx *Transaction) VerifySig() error {
+	if tx.SigTag != tx.sigPayloadHash() {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Hash is the transaction identity: keccak256 of the full RLP encoding.
+// Replayed transactions keep their hash across chains, which is exactly
+// how the paper detects echoes.
+func (tx *Transaction) Hash() types.Hash {
+	h := keccak.Sum256(tx.Encode())
+	return types.BytesToHash(h[:])
+}
+
+// Encode returns the canonical RLP encoding.
+func (tx *Transaction) Encode() []byte {
+	return rlp.EncodeList(
+		rlp.Uint(tx.Nonce),
+		rlp.BigInt(tx.GasPrice),
+		rlp.Uint(tx.GasLimit),
+		toValue(tx.To),
+		rlp.BigInt(tx.Value),
+		rlp.Bytes(tx.Data),
+		rlp.Uint(tx.ChainID),
+		rlp.Bytes(tx.From.Bytes()),
+		rlp.Bytes(tx.SigTag.Bytes()),
+	)
+}
+
+// DecodeTx parses a transaction from its RLP encoding.
+func DecodeTx(enc []byte) (*Transaction, error) {
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad tx encoding: %w", err)
+	}
+	return txFromValue(v)
+}
+
+func txFromValue(v rlp.Value) (*Transaction, error) {
+	items, err := v.ListOf(9)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad tx structure: %w", err)
+	}
+	tx := &Transaction{}
+	if tx.Nonce, err = items[0].AsUint(); err != nil {
+		return nil, err
+	}
+	if tx.GasPrice, err = items[1].AsBigInt(); err != nil {
+		return nil, err
+	}
+	if tx.GasLimit, err = items[2].AsUint(); err != nil {
+		return nil, err
+	}
+	toBytes, err := items[3].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	switch len(toBytes) {
+	case 0:
+		tx.To = nil
+	case types.AddressLength:
+		a := types.BytesToAddress(toBytes)
+		tx.To = &a
+	default:
+		return nil, fmt.Errorf("chain: bad recipient length %d", len(toBytes))
+	}
+	if tx.Value, err = items[4].AsBigInt(); err != nil {
+		return nil, err
+	}
+	if tx.Data, err = items[5].AsBytes(); err != nil {
+		return nil, err
+	}
+	if tx.ChainID, err = items[6].AsUint(); err != nil {
+		return nil, err
+	}
+	fromB, err := items[7].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(fromB) != types.AddressLength {
+		return nil, fmt.Errorf("chain: bad sender length %d", len(fromB))
+	}
+	tx.From = types.BytesToAddress(fromB)
+	tagB, err := items[8].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	tx.SigTag = types.BytesToHash(tagB)
+	return tx, nil
+}
+
+// IsContractCreation reports whether the transaction deploys a contract.
+func (tx *Transaction) IsContractCreation() bool { return tx.To == nil }
+
+// Cost returns value + gasLimit*gasPrice, the sender's maximum outlay.
+func (tx *Transaction) Cost() *big.Int {
+	cost := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(tx.GasLimit))
+	return cost.Add(cost, tx.Value)
+}
+
+// IntrinsicGas is the base cost charged before execution: 21000 plus
+// calldata costs (4 per zero byte, 68 per non-zero byte, Homestead).
+func (tx *Transaction) IntrinsicGas() uint64 {
+	gas := uint64(21_000)
+	if tx.IsContractCreation() {
+		gas = 53_000
+	}
+	for _, b := range tx.Data {
+		if b == 0 {
+			gas += 4
+		} else {
+			gas += 68
+		}
+	}
+	return gas
+}
+
+func toValue(to *types.Address) rlp.Value {
+	if to == nil {
+		return rlp.Bytes(nil)
+	}
+	return rlp.Bytes(to.Bytes())
+}
+
+// Receipt records the outcome of one executed transaction.
+type Receipt struct {
+	TxHash          types.Hash
+	Status          bool
+	GasUsed         uint64
+	ContractAddress types.Address // set for creations
+	// ContractCall records whether the transaction invoked code (used
+	// by the Fig 2 bottom-panel classification).
+	ContractCall bool
+}
+
+// Encode returns the canonical RLP encoding of the receipt (committed to
+// by the header's receipt root).
+func (r *Receipt) Encode() []byte {
+	status := uint64(0)
+	if r.Status {
+		status = 1
+	}
+	contract := uint64(0)
+	if r.ContractCall {
+		contract = 1
+	}
+	return rlp.EncodeList(
+		rlp.Bytes(r.TxHash.Bytes()),
+		rlp.Uint(status),
+		rlp.Uint(r.GasUsed),
+		rlp.Bytes(r.ContractAddress.Bytes()),
+		rlp.Uint(contract),
+	)
+}

@@ -1,0 +1,162 @@
+package chain
+
+import (
+	"math/big"
+	"sort"
+	"sync"
+
+	"forkwatch/internal/types"
+)
+
+// TxPool holds pending transactions for one chain and selects executable
+// ones for block building. Replayed (echoed) transactions enter a chain
+// through this pool exactly like native ones — if the sender's nonce and
+// balance on *this* chain still admit the transaction, it is accepted,
+// which is the vulnerability the paper quantifies in Fig 4.
+type TxPool struct {
+	bc *Blockchain
+
+	mu      sync.Mutex
+	pending map[types.Address][]*Transaction // per sender, nonce-sorted
+	known   map[types.Hash]bool
+}
+
+// NewTxPool returns an empty pool bound to bc.
+func NewTxPool(bc *Blockchain) *TxPool {
+	return &TxPool{
+		bc:      bc,
+		pending: make(map[types.Address][]*Transaction),
+		known:   make(map[types.Hash]bool),
+	}
+}
+
+// Add validates tx against the head state and queues it. Transactions with
+// future nonces are queued; stale or unfunded ones are rejected.
+func (p *TxPool) Add(tx *Transaction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	hash := tx.Hash()
+	if p.known[hash] {
+		return ErrKnownTx
+	}
+	st, err := p.bc.HeadState()
+	if err != nil {
+		return err
+	}
+	headNum := new(big.Int).SetUint64(p.bc.Head().Number() + 1)
+	proc := p.bc.Processor()
+	if err := proc.ValidateTx(tx, st, headNum); err != nil {
+		// Future nonces are admissible in the pool; everything else is
+		// not.
+		if tx.Nonce > st.GetNonce(tx.From) && tx.VerifySig() == nil {
+			// fall through to queueing
+		} else {
+			return err
+		}
+	}
+	p.known[hash] = true
+	list := append(p.pending[tx.From], tx)
+	sort.Slice(list, func(i, j int) bool { return list[i].Nonce < list[j].Nonce })
+	p.pending[tx.From] = list
+	return nil
+}
+
+// Has reports whether the pool has seen the transaction.
+func (p *TxPool) Has(h types.Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.known[h]
+}
+
+// Len returns the number of queued transactions.
+func (p *TxPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, l := range p.pending {
+		n += len(l)
+	}
+	return n
+}
+
+// Pending returns an executable transaction sequence for the next block:
+// per sender, consecutive nonces starting at the account nonce, stopping
+// when the cumulative gas limit would overflow the block. Senders are
+// visited in deterministic address order so simulation runs reproduce.
+func (p *TxPool) Pending() []*Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	st, err := p.bc.HeadState()
+	if err != nil {
+		return nil
+	}
+	headNum := new(big.Int).SetUint64(p.bc.Head().Number() + 1)
+	proc := p.bc.Processor()
+
+	senders := make([]types.Address, 0, len(p.pending))
+	for a := range p.pending {
+		senders = append(senders, a)
+	}
+	sort.Slice(senders, func(i, j int) bool {
+		return string(senders[i].Bytes()) < string(senders[j].Bytes())
+	})
+
+	var out []*Transaction
+	gasLeft := p.bc.Config().GasLimit
+	for _, sender := range senders {
+		nonce := st.GetNonce(sender)
+		for _, tx := range p.pending[sender] {
+			if tx.Nonce < nonce {
+				continue // stale, removed on next Reset
+			}
+			if tx.Nonce > nonce {
+				break // gap
+			}
+			if err := proc.ValidateTx(tx, st, headNum); err != nil {
+				break
+			}
+			if tx.GasLimit > gasLeft {
+				break
+			}
+			out = append(out, tx)
+			gasLeft -= tx.GasLimit
+			nonce++
+			// Track the spend so later txs from the same sender are
+			// validated against remaining funds.
+			st.SubBalance(sender, types.BigMin(tx.Cost(), st.GetBalance(sender)))
+			st.SetNonce(sender, nonce)
+		}
+	}
+	return out
+}
+
+// Reset drops transactions that became invalid after a new head: executed
+// nonces and transactions that no longer validate (e.g. replays after
+// EIP-155 activation).
+func (p *TxPool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	st, err := p.bc.HeadState()
+	if err != nil {
+		return
+	}
+	for sender, list := range p.pending {
+		nonce := st.GetNonce(sender)
+		kept := list[:0]
+		for _, tx := range list {
+			if tx.Nonce >= nonce {
+				kept = append(kept, tx)
+			} else {
+				delete(p.known, tx.Hash())
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.pending, sender)
+		} else {
+			p.pending[sender] = kept
+		}
+	}
+}

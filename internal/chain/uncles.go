@@ -1,0 +1,176 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// Uncle (ommer) blocks: Ethereum pays miners of stale competing blocks a
+// partial reward when a later block references them, compensating for
+// propagation losses. The ledgers the paper exported contain uncles, and
+// pool income (Fig 5's "winner" attribution) includes uncle rewards; the
+// paper counts canonical blocks, which the analysis layer mirrors, but the
+// substrate supports the real rules.
+
+// MaxUncles bounds uncles per block (2).
+const MaxUncles = 2
+
+// MaxUncleDepth is how many generations back an uncle's parent may lie (7:
+// the uncle itself is at most 6 blocks older than the including block).
+const MaxUncleDepth = 7
+
+// EmptyUncleHash is the hash of an empty uncle list: keccak256(rlp([])).
+var EmptyUncleHash = func() types.Hash {
+	h := keccak.Sum256(rlp.Encode(rlp.List()))
+	return types.BytesToHash(h[:])
+}()
+
+// CalcUncleHash commits to an uncle-header list.
+func CalcUncleHash(uncles []*Header) types.Hash {
+	if len(uncles) == 0 {
+		return EmptyUncleHash
+	}
+	items := make([]rlp.Value, len(uncles))
+	for i, u := range uncles {
+		v, err := rlp.Decode(u.Encode())
+		if err != nil {
+			panic(err) // own encoding always decodes
+		}
+		items[i] = v
+	}
+	h := keccak.Sum256(rlp.Encode(rlp.List(items...)))
+	return types.BytesToHash(h[:])
+}
+
+// validateUncles enforces the inclusion rules for b's uncles against the
+// chain as known at insertion time.
+func (bc *Blockchain) validateUncles(b *Block) error {
+	if len(b.Uncles) > MaxUncles {
+		return fmt.Errorf("%w: %d uncles (max %d)", ErrInvalidBody, len(b.Uncles), MaxUncles)
+	}
+	if got := CalcUncleHash(b.Uncles); got != b.Header.UncleHash {
+		return fmt.Errorf("%w: uncle hash %s, header %s", ErrInvalidBody, got, b.Header.UncleHash)
+	}
+	if len(b.Uncles) == 0 {
+		return nil
+	}
+
+	// Collect the ancestor window: the last MaxUncleDepth ancestors and
+	// every uncle they already included.
+	ancestors := map[types.Hash]bool{}
+	included := map[types.Hash]bool{}
+	cur := b.Header.ParentHash
+	for i := 0; i < MaxUncleDepth; i++ {
+		blk, ok := bc.blocks[cur]
+		if !ok {
+			break
+		}
+		ancestors[blk.Hash()] = true
+		for _, u := range blk.Uncles {
+			included[u.Hash()] = true
+		}
+		if blk.Number() == 0 {
+			break
+		}
+		cur = blk.Header.ParentHash
+	}
+
+	seen := map[types.Hash]bool{}
+	for i, u := range b.Uncles {
+		uh := u.Hash()
+		switch {
+		case seen[uh]:
+			return fmt.Errorf("%w: uncle %d duplicated in block", ErrInvalidBody, i)
+		case uh == b.Hash():
+			return fmt.Errorf("%w: block includes itself as uncle", ErrInvalidBody)
+		case ancestors[uh]:
+			return fmt.Errorf("%w: uncle %d is an ancestor", ErrInvalidBody, i)
+		case included[uh]:
+			return fmt.Errorf("%w: uncle %d already included", ErrInvalidBody, i)
+		case !ancestors[u.ParentHash]:
+			return fmt.Errorf("%w: uncle %d parent %s not a recent ancestor", ErrInvalidBody, i, u.ParentHash)
+		}
+		seen[uh] = true
+
+		// The uncle header must itself be consensus-valid relative to
+		// its parent.
+		parent := bc.blocks[u.ParentHash]
+		if u.Number != parent.Number()+1 {
+			return fmt.Errorf("%w: uncle %d number %d after parent %d", ErrInvalidBody, i, u.Number, parent.Number())
+		}
+		if u.Time <= parent.Header.Time {
+			return fmt.Errorf("%w: uncle %d timestamp not after parent", ErrInvalidBody, i)
+		}
+		want := CalcDifficulty(bc.cfg, u.Time, parent.Header)
+		if u.Difficulty == nil || u.Difficulty.Cmp(want) != 0 {
+			return fmt.Errorf("%w: uncle %d difficulty %v, want %v", ErrInvalidBody, i, u.Difficulty, want)
+		}
+	}
+	return nil
+}
+
+// uncleRewards credits uncle miners and the including miner, per the
+// Ethereum schedule: an uncle at depth d earns (8-d)/8 of the block
+// reward; the nephew earns an extra 1/32 per uncle.
+func (p *Processor) uncleRewards(blockNum uint64, uncles []*Header, credit func(types.Address, *big.Int)) *big.Int {
+	nephewBonus := new(big.Int)
+	for _, u := range uncles {
+		r := new(big.Int).Add(new(big.Int).SetUint64(u.Number+8), new(big.Int).Neg(new(big.Int).SetUint64(blockNum)))
+		r.Mul(r, p.cfg.BlockReward)
+		r.Div(r, big.NewInt(8))
+		if r.Sign() > 0 {
+			credit(u.Coinbase, r)
+		}
+		nephewBonus.Add(nephewBonus, new(big.Int).Div(p.cfg.BlockReward, big.NewInt(32)))
+	}
+	return nephewBonus
+}
+
+// CollectUncles returns up to MaxUncles known side-chain headers eligible
+// for inclusion in a child of `parent` — what a miner's uncle pool would
+// offer.
+func (bc *Blockchain) CollectUncles(parentHash types.Hash) []*Header {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	parent, ok := bc.blocks[parentHash]
+	if !ok {
+		return nil
+	}
+	ancestors := map[types.Hash]bool{}
+	included := map[types.Hash]bool{}
+	heights := map[uint64]bool{}
+	cur := parentHash
+	for i := 0; i < MaxUncleDepth; i++ {
+		blk, ok := bc.blocks[cur]
+		if !ok {
+			break
+		}
+		ancestors[blk.Hash()] = true
+		heights[blk.Number()] = true
+		for _, u := range blk.Uncles {
+			included[u.Hash()] = true
+		}
+		if blk.Number() == 0 {
+			break
+		}
+		cur = blk.Header.ParentHash
+	}
+	var out []*Header
+	for h, blk := range bc.blocks {
+		if len(out) >= MaxUncles {
+			break
+		}
+		if ancestors[h] || included[h] || blk.Number() > parent.Number() || !heights[blk.Number()] {
+			continue
+		}
+		if !ancestors[blk.Header.ParentHash] {
+			continue
+		}
+		out = append(out, blk.Header)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package discover
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rid(seed int64) NodeID {
+	return RandomID(rand.New(rand.NewSource(seed)))
+}
+
+func TestLogDist(t *testing.T) {
+	var a, b NodeID
+	if LogDist(a, b) != 0 {
+		t.Error("equal ids should have distance 0")
+	}
+	b[0] = 0x80 // top bit differs
+	if got := LogDist(a, b); got != 256 {
+		t.Errorf("top-bit distance = %d, want 256", got)
+	}
+	var c NodeID
+	c[31] = 1 // lowest bit differs
+	if got := LogDist(a, c); got != 1 {
+		t.Errorf("bottom-bit distance = %d, want 1", got)
+	}
+}
+
+// Property: LogDist is symmetric and satisfies the XOR-metric triangle
+// relation d(a,c) <= max(d(a,b), d(b,c)).
+func TestQuickLogDistProperties(t *testing.T) {
+	f := func(a, b, c NodeID) bool {
+		if LogDist(a, b) != LogDist(b, a) {
+			return false
+		}
+		dac := LogDist(a, c)
+		dab := LogDist(a, b)
+		dbc := LogDist(b, c)
+		maxD := dab
+		if dbc > maxD {
+			maxD = dbc
+		}
+		return dac <= maxD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistCmp(t *testing.T) {
+	target := rid(1)
+	a, b := rid(2), rid(3)
+	if DistCmp(target, a, a) != 0 {
+		t.Error("same node should be equidistant")
+	}
+	if DistCmp(target, a, b) != -DistCmp(target, b, a) {
+		t.Error("DistCmp should be antisymmetric")
+	}
+	if DistCmp(target, target, a) != -1 {
+		t.Error("target itself is closest")
+	}
+}
+
+func TestTableAddRemove(t *testing.T) {
+	self := Node{ID: rid(0), Addr: "self"}
+	tab := NewTable(self)
+	if tab.Add(self) {
+		t.Error("table must not store the local node")
+	}
+	n1 := Node{ID: rid(1), Addr: "n1"}
+	if !tab.Add(n1) {
+		t.Error("fresh add should succeed")
+	}
+	if !tab.Add(n1) {
+		t.Error("re-add of known node should report presence")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("len = %d, want 1", tab.Len())
+	}
+	// Address refresh.
+	tab.Add(Node{ID: n1.ID, Addr: "n1-new"})
+	if got := tab.All()[0].Addr; got != "n1-new" {
+		t.Errorf("address not refreshed: %s", got)
+	}
+	tab.Remove(n1.ID)
+	if tab.Len() != 0 {
+		t.Error("remove failed")
+	}
+	tab.Remove(n1.ID) // idempotent
+}
+
+func TestTableBucketCap(t *testing.T) {
+	self := Node{ID: NodeID{}, Addr: "self"}
+	tab := NewTable(self)
+	// Fill one bucket: ids sharing the same top differing bit.
+	added := 0
+	for i := 0; i < 100; i++ {
+		var id NodeID
+		id[0] = 0x80 // all in bucket 256
+		id[31] = byte(i + 1)
+		if tab.Add(Node{ID: id, Addr: fmt.Sprintf("n%d", i)}) {
+			added++
+		}
+	}
+	if added != BucketSize {
+		t.Errorf("bucket accepted %d nodes, want %d", added, BucketSize)
+	}
+}
+
+func TestClosest(t *testing.T) {
+	self := Node{ID: rid(0)}
+	tab := NewTable(self)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		tab.Add(Node{ID: RandomID(r), Addr: fmt.Sprintf("n%d", i)})
+	}
+	target := RandomID(r)
+	got := tab.Closest(target, 10)
+	if len(got) != 10 {
+		t.Fatalf("Closest returned %d nodes", len(got))
+	}
+	// Verify ordering and that nothing in the table is closer than the
+	// returned worst.
+	for i := 1; i < len(got); i++ {
+		if DistCmp(target, got[i-1].ID, got[i].ID) > 0 {
+			t.Fatal("Closest result not sorted by distance")
+		}
+	}
+	worst := got[len(got)-1]
+	inResult := make(map[NodeID]bool)
+	for _, n := range got {
+		inResult[n.ID] = true
+	}
+	for _, n := range tab.All() {
+		if !inResult[n.ID] && DistCmp(target, n.ID, worst.ID) < 0 {
+			t.Fatal("a closer node was omitted from Closest")
+		}
+	}
+}
+
+// staticNet is a synthetic network for crawl/lookup tests: adjacency by
+// table.
+type staticNet struct {
+	tables map[NodeID]*Table
+	dead   map[NodeID]bool
+}
+
+func newStaticNet(r *rand.Rand, n int) (*staticNet, []Node) {
+	net := &staticNet{tables: make(map[NodeID]*Table), dead: make(map[NodeID]bool)}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: RandomID(r), Addr: fmt.Sprintf("n%d", i)}
+	}
+	for i, n := range nodes {
+		tab := NewTable(n)
+		// Ring plus random shortcuts: connected.
+		tab.Add(nodes[(i+1)%len(nodes)])
+		tab.Add(nodes[(i+len(nodes)-1)%len(nodes)])
+		for j := 0; j < 3; j++ {
+			tab.Add(nodes[r.Intn(len(nodes))])
+		}
+		net.tables[n.ID] = tab
+	}
+	return net, nodes
+}
+
+func (s *staticNet) find(n Node, target NodeID) ([]Node, error) {
+	if s.dead[n.ID] {
+		return nil, fmt.Errorf("node %x offline", n.ID[:4])
+	}
+	return s.tables[n.ID].Closest(target, BucketSize), nil
+}
+
+func TestCrawlFullCensus(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	net, nodes := newStaticNet(r, 60)
+	res := Crawl(nodes[:1], net.find, 0)
+	if len(res.Reachable) != 60 {
+		t.Errorf("crawl found %d of 60 nodes", len(res.Reachable))
+	}
+	if res.Queries == 0 {
+		t.Error("crawl issued no queries")
+	}
+}
+
+func TestCrawlCountsUnreachable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	net, nodes := newStaticNet(r, 40)
+	// Kill 30 of 40 nodes: the crawl should report them unreachable —
+	// the paper's O1 measurement shape (90% loss at the fork).
+	for _, n := range nodes[10:] {
+		net.dead[n.ID] = true
+	}
+	res := Crawl(nodes[:1], net.find, 0)
+	if len(res.Reachable) != 10 {
+		t.Errorf("reachable = %d, want 10", len(res.Reachable))
+	}
+	if len(res.Unreachable) == 0 {
+		t.Error("dead nodes should be reported unreachable")
+	}
+}
+
+func TestCrawlQueryBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	net, nodes := newStaticNet(r, 50)
+	res := Crawl(nodes[:1], net.find, 5)
+	if res.Queries > 5 {
+		t.Errorf("crawl exceeded budget: %d queries", res.Queries)
+	}
+}
+
+func TestLookupFindsClosest(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	net, nodes := newStaticNet(r, 80)
+	target := RandomID(r)
+	got := Lookup(target, nodes[:2], net.find, 5)
+	if len(got) != 5 {
+		t.Fatalf("lookup returned %d nodes", len(got))
+	}
+	// The lookup's best answer should be at least as close as the best
+	// seed (it must make progress through the network).
+	if DistCmp(target, got[0].ID, nodes[0].ID) > 0 && DistCmp(target, got[0].ID, nodes[1].ID) > 0 {
+		t.Error("lookup did not improve on the seeds")
+	}
+}

@@ -1,0 +1,181 @@
+// Package discover implements a Kademlia-style node table and an
+// iterative network crawler.
+//
+// The paper (§2.2) notes Ethereum uses Kademlia's XOR-metric peer
+// discovery, and its observation O1 — ETC lost ~90% of its nodes at the
+// fork — is a *crawl* measurement: you count the nodes you can reach that
+// speak your fork. forkwatch reproduces that measurement: p2p nodes keep a
+// Table, answer FindNode queries, and the Crawler walks the network
+// counting reachable nodes per fork id (experiment E1).
+package discover
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"forkwatch/internal/types"
+)
+
+// IDLength is the byte length of a NodeID.
+const IDLength = 32
+
+// BucketSize is Kademlia's k parameter: entries per distance bucket.
+const BucketSize = 16
+
+// NodeID identifies a node in the XOR metric space.
+type NodeID [IDLength]byte
+
+// Node is a discoverable network endpoint.
+type Node struct {
+	ID NodeID
+	// Addr is the dialable address ("host:port" for TCP servers, a
+	// registry key for in-memory transports).
+	Addr string
+}
+
+// RandomID draws a uniformly random NodeID from r.
+func RandomID(r *rand.Rand) NodeID {
+	var id NodeID
+	r.Read(id[:])
+	return id
+}
+
+// IDFromHash converts a hash (e.g. keccak of a name) into a NodeID.
+func IDFromHash(h types.Hash) NodeID { return NodeID(h) }
+
+// LogDist returns the logarithmic XOR distance between two IDs: the index
+// of the highest differing bit, 0 for equal IDs.
+func LogDist(a, b NodeID) int {
+	for i := 0; i < IDLength; i++ {
+		x := a[i] ^ b[i]
+		if x != 0 {
+			return (IDLength-i)*8 - bits.LeadingZeros8(x)
+		}
+	}
+	return 0
+}
+
+// DistCmp compares the XOR distances of a and b to target: -1 if a is
+// closer, +1 if b is closer, 0 if equidistant.
+func DistCmp(target, a, b NodeID) int {
+	for i := 0; i < IDLength; i++ {
+		da := a[i] ^ target[i]
+		db := b[i] ^ target[i]
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Table is a set of known nodes organised into XOR-distance buckets around
+// a local ID. Safe for concurrent use.
+type Table struct {
+	self Node
+
+	mu      sync.RWMutex
+	buckets [IDLength*8 + 1][]Node
+	byID    map[NodeID]Node
+}
+
+// NewTable returns an empty table centred on self.
+func NewTable(self Node) *Table {
+	return &Table{self: self, byID: make(map[NodeID]Node)}
+}
+
+// Self returns the local node.
+func (t *Table) Self() Node { return t.self }
+
+// Add inserts or refreshes a node. Full buckets drop the newcomer
+// (simplified from Kademlia's ping-evict rule). The local node is never
+// stored. Reports whether the node is in the table afterwards.
+func (t *Table) Add(n Node) bool {
+	if n.ID == t.self.ID {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.byID[n.ID]; ok {
+		if old.Addr != n.Addr {
+			// Refresh the address in place.
+			b := t.buckets[LogDist(t.self.ID, n.ID)]
+			for i := range b {
+				if b[i].ID == n.ID {
+					b[i] = n
+				}
+			}
+			t.byID[n.ID] = n
+		}
+		return true
+	}
+	d := LogDist(t.self.ID, n.ID)
+	if len(t.buckets[d]) >= BucketSize {
+		return false
+	}
+	t.buckets[d] = append(t.buckets[d], n)
+	t.byID[n.ID] = n
+	return true
+}
+
+// Remove deletes a node (e.g. after a failed dial).
+func (t *Table) Remove(id NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; !ok {
+		return
+	}
+	delete(t.byID, id)
+	d := LogDist(t.self.ID, id)
+	b := t.buckets[d]
+	for i := range b {
+		if b[i].ID == id {
+			t.buckets[d] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len returns the number of stored nodes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byID)
+}
+
+// Closest returns up to n stored nodes closest to target in XOR distance.
+func (t *Table) Closest(target NodeID, n int) []Node {
+	t.mu.RLock()
+	all := make([]Node, 0, len(t.byID))
+	for _, node := range t.byID {
+		all = append(all, node)
+	}
+	t.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if c := DistCmp(target, all[i].ID, all[j].ID); c != 0 {
+			return c < 0
+		}
+		// Tie-break on ID for determinism.
+		return string(all[i].ID[:]) < string(all[j].ID[:])
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// All returns every stored node (deterministic order).
+func (t *Table) All() []Node {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	all := make([]Node, 0, len(t.byID))
+	for _, node := range t.byID {
+		all = append(all, node)
+	}
+	sort.Slice(all, func(i, j int) bool { return string(all[i].ID[:]) < string(all[j].ID[:]) })
+	return all
+}

@@ -1,0 +1,777 @@
+// Package evm implements a compact Ethereum Virtual Machine: a 256-bit
+// stack machine with memory, contract storage, gas accounting and nested
+// message calls.
+//
+// The paper's fork was triggered by a contract — the DAO — whose reentrancy
+// bug let an attacker drain ~$50M, and Fig 2 (bottom) classifies ledger
+// transactions into contract calls vs plain transfers. This package gives
+// forkwatch both: contract transactions carry real bytecode executed here,
+// and the daoattack example reproduces the reentrancy drain that motivated
+// the hard fork.
+//
+// The instruction set is the subset needed for realistic
+// transfer/withdraw/ledger contracts (arithmetic, comparison, Keccak,
+// storage, control flow, CALL with value and stipend semantics, CREATE,
+// RETURN/REVERT). Gas costs follow the Homestead schedule in shape
+// (storage writes dominate; calls carry a stipend) with simplified memory
+// pricing; DESIGN.md records the substitution.
+package evm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/state"
+	"forkwatch/internal/types"
+)
+
+// Execution errors. ErrRevert preserves state-refund semantics (remaining
+// gas is returned); all other errors consume all gas, as in Ethereum.
+var (
+	ErrOutOfGas            = errors.New("evm: out of gas")
+	ErrStackUnderflow      = errors.New("evm: stack underflow")
+	ErrStackOverflow       = errors.New("evm: stack overflow")
+	ErrInvalidJump         = errors.New("evm: invalid jump destination")
+	ErrInvalidOpcode       = errors.New("evm: invalid opcode")
+	ErrRevert              = errors.New("evm: execution reverted")
+	ErrDepth               = errors.New("evm: max call depth exceeded")
+	ErrInsufficientBalance = errors.New("evm: insufficient balance for transfer")
+	ErrGasUintOverflow     = errors.New("evm: gas overflow")
+)
+
+// MaxCallDepth bounds nested calls, as in Ethereum (1024).
+const MaxCallDepth = 1024
+
+// CallStipend is the free gas given to the callee of a value transfer,
+// enough to log but famously enough to re-enter cheap code — the DAO bug.
+const CallStipend = 2300
+
+// Gas cost constants (Homestead-shaped, simplified).
+const (
+	GasQuickStep   = 2
+	GasFastestStep = 3
+	GasFastStep    = 5
+	GasMidStep     = 8
+	GasSlowStep    = 10
+	GasBalance     = 20
+	GasSload       = 50
+	GasSstoreSet   = 20000
+	GasSstoreReset = 5000
+	GasCall        = 40
+	GasCallValue   = 9000
+	GasCreate      = 32000
+	GasMemWord     = 3
+	GasSha3        = 30
+	GasSha3Word    = 6
+	GasLog         = 375
+	GasCopyWord    = 3
+)
+
+// Context carries per-block and per-transaction execution environment.
+type Context struct {
+	BlockNumber *big.Int
+	Timestamp   uint64
+	Coinbase    types.Address
+	ChainID     uint64
+	// Origin is the transaction sender (ORIGIN opcode); GasPrice its
+	// gas price (GASPRICE opcode).
+	Origin   types.Address
+	GasPrice *big.Int
+}
+
+// EVM executes message calls against a state.DB.
+type EVM struct {
+	State *state.DB
+	Ctx   Context
+	// Logs accumulates LOG0..LOG4 events; entries from reverted frames
+	// are discarded. Reset between transactions by the processor.
+	Logs  []Log
+	depth int
+}
+
+// New returns an EVM bound to the given state and block context.
+func New(st *state.DB, ctx Context) *EVM {
+	if ctx.BlockNumber == nil {
+		ctx.BlockNumber = new(big.Int)
+	}
+	return &EVM{State: st, Ctx: ctx}
+}
+
+// Call runs the code at `to` with the given input, transferring value from
+// caller. It returns the output, the gas left, and an error for failed
+// executions (whose state effects are rolled back).
+func (e *EVM) Call(caller, to types.Address, input []byte, value *big.Int, gas uint64) ([]byte, uint64, error) {
+	if e.depth >= MaxCallDepth {
+		return nil, gas, ErrDepth
+	}
+	if value == nil {
+		value = new(big.Int)
+	}
+	if e.State.GetBalance(caller).Cmp(value) < 0 {
+		return nil, gas, ErrInsufficientBalance
+	}
+	snap := e.State.Snapshot()
+	e.State.SubBalance(caller, value)
+	e.State.AddBalance(to, value)
+
+	code := e.State.GetCode(to)
+	if len(code) == 0 {
+		return nil, gas, nil // plain transfer
+	}
+	logMark := len(e.Logs)
+	e.depth++
+	ret, left, err := e.run(newFrame(caller, to, input, value, gas, code))
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snap)
+		e.Logs = e.Logs[:logMark]
+		if !errors.Is(err, ErrRevert) {
+			left = 0
+		}
+	}
+	return ret, left, err
+}
+
+// Create deploys a contract: runs initCode and installs its return value
+// as the contract code at an address derived from caller and nonce.
+func (e *EVM) Create(caller types.Address, initCode []byte, value *big.Int, gas uint64) (types.Address, uint64, error) {
+	if e.depth >= MaxCallDepth {
+		return types.Address{}, gas, ErrDepth
+	}
+	if value == nil {
+		value = new(big.Int)
+	}
+	if e.State.GetBalance(caller).Cmp(value) < 0 {
+		return types.Address{}, gas, ErrInsufficientBalance
+	}
+	nonce := e.State.GetNonce(caller)
+	e.State.SetNonce(caller, nonce+1)
+	addr := CreateAddress(caller, nonce)
+
+	snap := e.State.Snapshot()
+	e.State.SubBalance(caller, value)
+	e.State.AddBalance(addr, value)
+	e.State.SetNonce(addr, 1)
+
+	logMark := len(e.Logs)
+	e.depth++
+	code, left, err := e.run(newFrame(caller, addr, nil, value, gas, initCode))
+	e.depth--
+	if err != nil {
+		e.State.RevertToSnapshot(snap)
+		e.Logs = e.Logs[:logMark]
+		if !errors.Is(err, ErrRevert) {
+			left = 0
+		}
+		return types.Address{}, left, err
+	}
+	// Charge code-deposit gas (200/byte in Ethereum; simplified to the
+	// same rate).
+	deposit := uint64(len(code)) * 200
+	if left < deposit {
+		e.State.RevertToSnapshot(snap)
+		return types.Address{}, 0, ErrOutOfGas
+	}
+	left -= deposit
+	e.State.SetCode(addr, code)
+	return addr, left, nil
+}
+
+// CreateAddress derives a contract address from creator and nonce, as
+// Ethereum does: low 20 bytes of keccak256(rlp([caller, nonce])).
+func CreateAddress(caller types.Address, nonce uint64) types.Address {
+	// Inline minimal RLP: list of the 20-byte address and the nonce.
+	payload := append([]byte{0x80 + 20}, caller.Bytes()...)
+	if nonce == 0 {
+		payload = append(payload, 0x80)
+	} else if nonce < 0x80 {
+		payload = append(payload, byte(nonce))
+	} else {
+		var nb []byte
+		for v := nonce; v > 0; v >>= 8 {
+			nb = append([]byte{byte(v)}, nb...)
+		}
+		payload = append(payload, 0x80+byte(len(nb)))
+		payload = append(payload, nb...)
+	}
+	enc := append([]byte{0xc0 + byte(len(payload))}, payload...)
+	h := keccak.Sum256(enc)
+	return types.BytesToAddress(h[12:])
+}
+
+// frame is one execution context: code, stack, memory, gas.
+type frame struct {
+	caller  types.Address
+	address types.Address
+	input   []byte
+	value   *big.Int
+	gas     uint64
+	code    []byte
+
+	pc         uint64
+	stack      []*big.Int
+	mem        []byte
+	returnData []byte
+	jumpdests  map[uint64]bool
+}
+
+func newFrame(caller, address types.Address, input []byte, value *big.Int, gas uint64, code []byte) *frame {
+	f := &frame{
+		caller: caller, address: address, input: input, value: value,
+		gas: gas, code: code,
+		stack:     make([]*big.Int, 0, 32),
+		jumpdests: make(map[uint64]bool),
+	}
+	// Pre-scan valid JUMPDESTs, skipping PUSH data.
+	for i := uint64(0); i < uint64(len(code)); i++ {
+		op := OpCode(code[i])
+		if op == JUMPDEST {
+			f.jumpdests[i] = true
+		} else if op >= PUSH1 && op <= PUSH32 {
+			i += uint64(op - PUSH1 + 1)
+		}
+	}
+	return f
+}
+
+var tt256 = new(big.Int).Lsh(big.NewInt(1), 256)
+var tt256m1 = new(big.Int).Sub(tt256, big.NewInt(1))
+
+func u256(v *big.Int) *big.Int { return v.And(v, tt256m1) }
+
+func (f *frame) push(v *big.Int) error {
+	if len(f.stack) >= 1024 {
+		return ErrStackOverflow
+	}
+	f.stack = append(f.stack, v)
+	return nil
+}
+
+func (f *frame) pop() (*big.Int, error) {
+	if len(f.stack) == 0 {
+		return nil, ErrStackUnderflow
+	}
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v, nil
+}
+
+func (f *frame) peek(n int) (*big.Int, error) {
+	if len(f.stack) < n+1 {
+		return nil, ErrStackUnderflow
+	}
+	return f.stack[len(f.stack)-1-n], nil
+}
+
+// useGas deducts amount, reporting out-of-gas.
+func (f *frame) useGas(amount uint64) error {
+	if f.gas < amount {
+		return ErrOutOfGas
+	}
+	f.gas -= amount
+	return nil
+}
+
+// extendMem grows memory to cover [offset, offset+size), charging linear
+// word gas for the growth.
+func (f *frame) extendMem(offset, size *big.Int) error {
+	if size.Sign() == 0 {
+		return nil
+	}
+	if !offset.IsUint64() || !size.IsUint64() {
+		return ErrGasUintOverflow
+	}
+	end := offset.Uint64() + size.Uint64()
+	if end < offset.Uint64() || end > 1<<32 {
+		return ErrGasUintOverflow
+	}
+	if uint64(len(f.mem)) >= end {
+		return nil
+	}
+	newWords := (end + 31) / 32
+	oldWords := (uint64(len(f.mem)) + 31) / 32
+	if err := f.useGas((newWords - oldWords) * GasMemWord); err != nil {
+		return err
+	}
+	grown := make([]byte, newWords*32)
+	copy(grown, f.mem)
+	f.mem = grown
+	return nil
+}
+
+func (f *frame) memSlice(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	return f.mem[offset : offset+size]
+}
+
+// run interprets the frame's code to completion.
+func (e *EVM) run(f *frame) ([]byte, uint64, error) {
+	for {
+		if f.pc >= uint64(len(f.code)) {
+			return nil, f.gas, nil // implicit STOP
+		}
+		op := OpCode(f.code[f.pc])
+		ret, done, err := e.step(f, op)
+		if err != nil {
+			return nil, f.gas, err
+		}
+		if done {
+			return ret, f.gas, nil
+		}
+	}
+}
+
+// step executes a single opcode; done reports normal termination.
+func (e *EVM) step(f *frame, op OpCode) (ret []byte, done bool, err error) {
+	switch {
+	case op >= PUSH1 && op <= PUSH32:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		n := uint64(op-PUSH1) + 1
+		end := f.pc + 1 + n
+		var data []byte
+		if f.pc+1 <= uint64(len(f.code)) {
+			if end > uint64(len(f.code)) {
+				end = uint64(len(f.code))
+			}
+			data = f.code[f.pc+1 : end]
+		}
+		v := new(big.Int).SetBytes(data)
+		// Right-pad truncated push data, as Ethereum does.
+		if short := n - uint64(len(data)); short > 0 {
+			v.Lsh(v, uint(8*short))
+		}
+		if err := f.push(v); err != nil {
+			return nil, false, err
+		}
+		f.pc += n + 1
+		return nil, false, nil
+
+	case op >= DUP1 && op <= DUP16:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		v, err := f.peek(int(op - DUP1))
+		if err != nil {
+			return nil, false, err
+		}
+		if err := f.push(new(big.Int).Set(v)); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case op >= SWAP1 && op <= SWAP16:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		n := int(op-SWAP1) + 1
+		if len(f.stack) < n+1 {
+			return nil, false, ErrStackUnderflow
+		}
+		top := len(f.stack) - 1
+		f.stack[top], f.stack[top-n] = f.stack[top-n], f.stack[top]
+		f.pc++
+		return nil, false, nil
+	}
+
+	switch op {
+	case STOP:
+		return nil, true, nil
+
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, LT, GT, EQ:
+		cost := uint64(GasFastestStep)
+		if op == MUL || op == DIV || op == MOD {
+			cost = GasFastStep
+		}
+		if err := f.useGas(cost); err != nil {
+			return nil, false, err
+		}
+		x, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		y, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		var z *big.Int
+		switch op {
+		case ADD:
+			z = u256(new(big.Int).Add(x, y))
+		case SUB:
+			z = u256(new(big.Int).Sub(x, y))
+		case MUL:
+			z = u256(new(big.Int).Mul(x, y))
+		case DIV:
+			if y.Sign() == 0 {
+				z = new(big.Int)
+			} else {
+				z = new(big.Int).Div(x, y)
+			}
+		case MOD:
+			if y.Sign() == 0 {
+				z = new(big.Int)
+			} else {
+				z = new(big.Int).Mod(x, y)
+			}
+		case AND:
+			z = new(big.Int).And(x, y)
+		case OR:
+			z = new(big.Int).Or(x, y)
+		case XOR:
+			z = new(big.Int).Xor(x, y)
+		case LT:
+			z = boolToBig(x.Cmp(y) < 0)
+		case GT:
+			z = boolToBig(x.Cmp(y) > 0)
+		case EQ:
+			z = boolToBig(x.Cmp(y) == 0)
+		}
+		if err := f.push(z); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case ISZERO, NOT:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		x, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		var z *big.Int
+		if op == ISZERO {
+			z = boolToBig(x.Sign() == 0)
+		} else {
+			z = new(big.Int).Xor(x, tt256m1)
+		}
+		if err := f.push(z); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case SHA3:
+		off, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		size, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := f.extendMem(off, size); err != nil {
+			return nil, false, err
+		}
+		words := (size.Uint64() + 31) / 32
+		if err := f.useGas(GasSha3 + GasSha3Word*words); err != nil {
+			return nil, false, err
+		}
+		h := keccak.Sum256(f.memSlice(off.Uint64(), size.Uint64()))
+		if err := f.push(new(big.Int).SetBytes(h[:])); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case ADDRESS, CALLER, CALLVALUE, CALLDATASIZE, NUMBER, TIMESTAMP, GAS, CHAINID:
+		if err := f.useGas(GasQuickStep); err != nil {
+			return nil, false, err
+		}
+		var v *big.Int
+		switch op {
+		case ADDRESS:
+			v = new(big.Int).SetBytes(f.address.Bytes())
+		case CALLER:
+			v = new(big.Int).SetBytes(f.caller.Bytes())
+		case CALLVALUE:
+			v = new(big.Int).Set(f.value)
+		case CALLDATASIZE:
+			v = big.NewInt(int64(len(f.input)))
+		case NUMBER:
+			v = new(big.Int).Set(e.Ctx.BlockNumber)
+		case TIMESTAMP:
+			v = new(big.Int).SetUint64(e.Ctx.Timestamp)
+		case GAS:
+			v = new(big.Int).SetUint64(f.gas)
+		case CHAINID:
+			v = new(big.Int).SetUint64(e.Ctx.ChainID)
+		}
+		if err := f.push(v); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case BALANCE:
+		if err := f.useGas(GasBalance); err != nil {
+			return nil, false, err
+		}
+		x, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		bal := e.State.GetBalance(types.BytesToAddress(x.Bytes()))
+		if err := f.push(bal); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case CALLDATALOAD:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		off, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		var word [32]byte
+		if off.IsUint64() {
+			start := off.Uint64()
+			for i := uint64(0); i < 32; i++ {
+				if start+i < uint64(len(f.input)) {
+					word[i] = f.input[start+i]
+				}
+			}
+		}
+		if err := f.push(new(big.Int).SetBytes(word[:])); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case POP:
+		if err := f.useGas(GasQuickStep); err != nil {
+			return nil, false, err
+		}
+		if _, err := f.pop(); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case MLOAD, MSTORE:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return nil, false, err
+		}
+		off, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := f.extendMem(off, big.NewInt(32)); err != nil {
+			return nil, false, err
+		}
+		if op == MLOAD {
+			v := new(big.Int).SetBytes(f.memSlice(off.Uint64(), 32))
+			if err := f.push(v); err != nil {
+				return nil, false, err
+			}
+		} else {
+			v, err := f.pop()
+			if err != nil {
+				return nil, false, err
+			}
+			b := v.Bytes()
+			dst := f.memSlice(off.Uint64(), 32)
+			for i := range dst {
+				dst[i] = 0
+			}
+			copy(dst[32-len(b):], b)
+		}
+		f.pc++
+		return nil, false, nil
+
+	case SLOAD:
+		if err := f.useGas(GasSload); err != nil {
+			return nil, false, err
+		}
+		k, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		v := e.State.GetState(f.address, types.BytesToHash(k.Bytes()))
+		if err := f.push(v.Big()); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case SSTORE:
+		k, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		v, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		key := types.BytesToHash(k.Bytes())
+		cur := e.State.GetState(f.address, key)
+		cost := uint64(GasSstoreReset)
+		if cur.IsZero() && v.Sign() != 0 {
+			cost = GasSstoreSet
+		}
+		if err := f.useGas(cost); err != nil {
+			return nil, false, err
+		}
+		e.State.SetState(f.address, key, types.BytesToHash(v.Bytes()))
+		f.pc++
+		return nil, false, nil
+
+	case JUMP, JUMPI:
+		if err := f.useGas(GasMidStep); err != nil {
+			return nil, false, err
+		}
+		dst, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		take := true
+		if op == JUMPI {
+			cond, err := f.pop()
+			if err != nil {
+				return nil, false, err
+			}
+			take = cond.Sign() != 0
+		}
+		if take {
+			if !dst.IsUint64() || !f.jumpdests[dst.Uint64()] {
+				return nil, false, fmt.Errorf("%w: pc %v", ErrInvalidJump, dst)
+			}
+			f.pc = dst.Uint64()
+		} else {
+			f.pc++
+		}
+		return nil, false, nil
+
+	case PC:
+		if err := f.useGas(GasQuickStep); err != nil {
+			return nil, false, err
+		}
+		if err := f.push(new(big.Int).SetUint64(f.pc)); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case JUMPDEST:
+		if err := f.useGas(1); err != nil {
+			return nil, false, err
+		}
+		f.pc++
+		return nil, false, nil
+
+	case RETURN, REVERT:
+		off, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		size, err := f.pop()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := f.extendMem(off, size); err != nil {
+			return nil, false, err
+		}
+		out := append([]byte(nil), f.memSlice(off.Uint64(), size.Uint64())...)
+		if op == REVERT {
+			return nil, false, fmt.Errorf("%w: %x", ErrRevert, out)
+		}
+		return out, true, nil
+
+	case CALL:
+		return nil, false, e.opCall(f)
+
+	default:
+		handled, err := e.stepExtended(f, op)
+		if err != nil {
+			return nil, false, err
+		}
+		if handled {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("%w: 0x%02x at pc %d", ErrInvalidOpcode, byte(op), f.pc)
+	}
+}
+
+// opCall implements CALL: gas, to, value, inOff, inSize, outOff, outSize.
+func (e *EVM) opCall(f *frame) error {
+	args := make([]*big.Int, 7)
+	for i := range args {
+		v, err := f.pop()
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	gasArg, toArg, valueArg := args[0], args[1], args[2]
+	inOff, inSize, outOff, outSize := args[3], args[4], args[5], args[6]
+
+	if err := f.useGas(GasCall); err != nil {
+		return err
+	}
+	if err := f.extendMem(inOff, inSize); err != nil {
+		return err
+	}
+	if err := f.extendMem(outOff, outSize); err != nil {
+		return err
+	}
+	input := append([]byte(nil), f.memSlice(inOff.Uint64(), inSize.Uint64())...)
+
+	transfersValue := valueArg.Sign() != 0
+	if transfersValue {
+		if err := f.useGas(GasCallValue); err != nil {
+			return err
+		}
+	}
+	// EIP-150 style 63/64 retention keeps runaway recursion bounded.
+	maxForward := f.gas - f.gas/64
+	callGas := maxForward
+	if gasArg.IsUint64() && gasArg.Uint64() < maxForward {
+		callGas = gasArg.Uint64()
+	}
+	if err := f.useGas(callGas); err != nil {
+		return err
+	}
+	if transfersValue {
+		callGas += CallStipend
+	}
+
+	to := types.BytesToAddress(toArg.Bytes())
+	ret, left, err := e.Call(f.address, to, input, valueArg, callGas)
+	f.gas += left
+	f.returnData = append([]byte(nil), ret...)
+
+	success := err == nil
+	if success && outSize.Uint64() > 0 {
+		dst := f.memSlice(outOff.Uint64(), outSize.Uint64())
+		n := copy(dst, ret)
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+	}
+	if err := f.push(boolToBig(success)); err != nil {
+		return err
+	}
+	f.pc++
+	return nil
+}
+
+func boolToBig(b bool) *big.Int {
+	if b {
+		return big.NewInt(1)
+	}
+	return new(big.Int)
+}
+
+// errorsIsRevert reports whether err is (or wraps) ErrRevert.
+func errorsIsRevert(err error) bool { return errors.Is(err, ErrRevert) }

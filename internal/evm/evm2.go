@@ -1,0 +1,475 @@
+package evm
+
+import (
+	"math/big"
+
+	"forkwatch/internal/types"
+)
+
+// Log is one LOG0..LOG4 event emitted during execution. Logs from
+// reverted frames are discarded, as in Ethereum.
+type Log struct {
+	Address types.Address
+	Topics  []types.Hash
+	Data    []byte
+}
+
+// signed interprets v as a two's-complement 256-bit integer.
+func signed(v *big.Int) *big.Int {
+	if v.Bit(255) == 1 {
+		return new(big.Int).Sub(v, tt256)
+	}
+	return new(big.Int).Set(v)
+}
+
+// fromSigned wraps a signed value back into the 256-bit unsigned domain.
+func fromSigned(v *big.Int) *big.Int {
+	if v.Sign() < 0 {
+		return new(big.Int).Add(v, tt256)
+	}
+	return u256(new(big.Int).Set(v))
+}
+
+// stepExtended handles the opcodes added in opcodes2.go. It reports
+// handled=false for opcodes it does not know.
+func (e *EVM) stepExtended(f *frame, op OpCode) (handled bool, err error) {
+	switch op {
+	case SDIV, SMOD, SLT, SGT:
+		if err := f.useGas(GasFastStep); err != nil {
+			return true, err
+		}
+		x, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		y, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		sx, sy := signed(x), signed(y)
+		var z *big.Int
+		switch op {
+		case SDIV:
+			if sy.Sign() == 0 {
+				z = new(big.Int)
+			} else {
+				z = fromSigned(new(big.Int).Quo(sx, sy))
+			}
+		case SMOD:
+			if sy.Sign() == 0 {
+				z = new(big.Int)
+			} else {
+				z = fromSigned(new(big.Int).Rem(sx, sy))
+			}
+		case SLT:
+			z = boolToBig(sx.Cmp(sy) < 0)
+		case SGT:
+			z = boolToBig(sx.Cmp(sy) > 0)
+		}
+		if err := f.push(z); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case ADDMOD, MULMOD:
+		if err := f.useGas(GasMidStep); err != nil {
+			return true, err
+		}
+		x, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		y, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		m, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		z := new(big.Int)
+		if m.Sign() != 0 {
+			if op == ADDMOD {
+				z.Add(x, y)
+			} else {
+				z.Mul(x, y)
+			}
+			z.Mod(z, m)
+		}
+		if err := f.push(z); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case EXP:
+		base, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		exp, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		// 10 + 10 per exponent byte (Homestead's 0x0a pricing shape).
+		expBytes := uint64((exp.BitLen() + 7) / 8)
+		if err := f.useGas(GasSlowStep + GasSlowStep*expBytes); err != nil {
+			return true, err
+		}
+		z := new(big.Int).Exp(base, exp, tt256)
+		if err := f.push(z); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case SIGNEXTEND:
+		if err := f.useGas(GasFastStep); err != nil {
+			return true, err
+		}
+		back, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		val, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		z := new(big.Int).Set(val)
+		if back.IsUint64() && back.Uint64() < 31 {
+			bit := uint(back.Uint64()*8 + 7)
+			mask := new(big.Int).Lsh(big.NewInt(1), bit+1)
+			mask.Sub(mask, big.NewInt(1))
+			if val.Bit(int(bit)) == 1 {
+				z.Or(val, new(big.Int).Xor(tt256m1, mask))
+			} else {
+				z.And(val, mask)
+			}
+		}
+		if err := f.push(u256(z)); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case BYTE:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return true, err
+		}
+		idx, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		val, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		z := new(big.Int)
+		if idx.IsUint64() && idx.Uint64() < 32 {
+			b := val.Bytes()
+			// Left-pad conceptually to 32 bytes.
+			pos := int(idx.Uint64()) - (32 - len(b))
+			if pos >= 0 {
+				z.SetInt64(int64(b[pos]))
+			}
+		}
+		if err := f.push(z); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case SHL, SHR, SAR:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return true, err
+		}
+		shift, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		val, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		var z *big.Int
+		switch {
+		case op == SAR:
+			sv := signed(val)
+			if !shift.IsUint64() || shift.Uint64() >= 256 {
+				if sv.Sign() < 0 {
+					z = new(big.Int).Set(tt256m1) // -1
+				} else {
+					z = new(big.Int)
+				}
+			} else {
+				z = fromSigned(sv.Rsh(sv, uint(shift.Uint64())))
+			}
+		case !shift.IsUint64() || shift.Uint64() >= 256:
+			z = new(big.Int)
+		case op == SHL:
+			z = u256(new(big.Int).Lsh(val, uint(shift.Uint64())))
+		default: // SHR
+			z = new(big.Int).Rsh(val, uint(shift.Uint64()))
+		}
+		if err := f.push(z); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case ORIGIN, GASPRICE, COINBASE, SELFBALANCE, CODESIZE, MSIZE, RETURNDATASIZE:
+		if err := f.useGas(GasQuickStep); err != nil {
+			return true, err
+		}
+		var v *big.Int
+		switch op {
+		case ORIGIN:
+			v = new(big.Int).SetBytes(e.Ctx.Origin.Bytes())
+		case GASPRICE:
+			v = types.BigCopy(e.Ctx.GasPrice)
+			if v == nil {
+				v = new(big.Int)
+			}
+		case COINBASE:
+			v = new(big.Int).SetBytes(e.Ctx.Coinbase.Bytes())
+		case SELFBALANCE:
+			v = e.State.GetBalance(f.address)
+		case CODESIZE:
+			v = big.NewInt(int64(len(f.code)))
+		case MSIZE:
+			v = big.NewInt(int64(len(f.mem)))
+		case RETURNDATASIZE:
+			v = big.NewInt(int64(len(f.returnData)))
+		}
+		if err := f.push(v); err != nil {
+			return true, err
+		}
+		f.pc++
+		return true, nil
+
+	case CODECOPY, CALLDATACOPY, RETURNDATACOPY:
+		var src []byte
+		switch op {
+		case CODECOPY:
+			src = f.code
+		case CALLDATACOPY:
+			src = f.input
+		case RETURNDATACOPY:
+			src = f.returnData
+		}
+		memOff, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		srcOff, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		size, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		if err := f.extendMem(memOff, size); err != nil {
+			return true, err
+		}
+		words := (size.Uint64() + 31) / 32
+		if err := f.useGas(GasFastestStep + GasCopyWord*words); err != nil {
+			return true, err
+		}
+		if size.Sign() > 0 {
+			dst := f.memSlice(memOff.Uint64(), size.Uint64())
+			n := 0
+			if srcOff.IsUint64() && srcOff.Uint64() < uint64(len(src)) {
+				n = copy(dst, src[srcOff.Uint64():])
+			}
+			for i := n; i < len(dst); i++ {
+				dst[i] = 0 // out-of-range reads are zero-filled
+			}
+		}
+		f.pc++
+		return true, nil
+
+	case MSTORE8:
+		if err := f.useGas(GasFastestStep); err != nil {
+			return true, err
+		}
+		off, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		val, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		if err := f.extendMem(off, big.NewInt(1)); err != nil {
+			return true, err
+		}
+		f.mem[off.Uint64()] = byte(val.Uint64())
+		f.pc++
+		return true, nil
+
+	case LOG0, LOG1, LOG2, LOG3, LOG4:
+		nTopics := int(op - LOG0)
+		off, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		size, err := f.pop()
+		if err != nil {
+			return true, err
+		}
+		if err := f.extendMem(off, size); err != nil {
+			return true, err
+		}
+		if err := f.useGas(GasLog + GasLog*uint64(nTopics) + 8*size.Uint64()); err != nil {
+			return true, err
+		}
+		log := Log{Address: f.address}
+		for i := 0; i < nTopics; i++ {
+			topic, err := f.pop()
+			if err != nil {
+				return true, err
+			}
+			log.Topics = append(log.Topics, types.BytesToHash(topic.Bytes()))
+		}
+		log.Data = append([]byte(nil), f.memSlice(off.Uint64(), size.Uint64())...)
+		e.Logs = append(e.Logs, log)
+		f.pc++
+		return true, nil
+
+	case CREATE:
+		return true, e.opCreate(f)
+
+	case DELEGATECALL:
+		return true, e.opDelegateCall(f)
+
+	default:
+		return false, nil
+	}
+}
+
+// opCreate implements CREATE: value, memOffset, memSize of init code.
+// Pushes the new contract address (or 0 on failure). The DAO itself was a
+// factory contract spawning child DAOs with exactly this opcode.
+func (e *EVM) opCreate(f *frame) error {
+	value, err := f.pop()
+	if err != nil {
+		return err
+	}
+	off, err := f.pop()
+	if err != nil {
+		return err
+	}
+	size, err := f.pop()
+	if err != nil {
+		return err
+	}
+	if err := f.useGas(GasCreate); err != nil {
+		return err
+	}
+	if err := f.extendMem(off, size); err != nil {
+		return err
+	}
+	initCode := append([]byte(nil), f.memSlice(off.Uint64(), size.Uint64())...)
+
+	// All-but-one-64th forwarding, as for calls.
+	callGas := f.gas - f.gas/64
+	if err := f.useGas(callGas); err != nil {
+		return err
+	}
+	addr, left, err := e.Create(f.address, initCode, value, callGas)
+	f.gas += left
+	f.returnData = nil
+
+	if err != nil {
+		if pushErr := f.push(new(big.Int)); pushErr != nil {
+			return pushErr
+		}
+	} else {
+		if pushErr := f.push(new(big.Int).SetBytes(addr.Bytes())); pushErr != nil {
+			return pushErr
+		}
+	}
+	f.pc++
+	return nil
+}
+
+// opDelegateCall implements DELEGATECALL: run another contract's code in
+// the current contract's storage/balance context, preserving caller and
+// value — the library-call primitive.
+func (e *EVM) opDelegateCall(f *frame) error {
+	args := make([]*big.Int, 6)
+	for i := range args {
+		v, err := f.pop()
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	gasArg, toArg := args[0], args[1]
+	inOff, inSize, outOff, outSize := args[2], args[3], args[4], args[5]
+
+	if err := f.useGas(GasCall); err != nil {
+		return err
+	}
+	if err := f.extendMem(inOff, inSize); err != nil {
+		return err
+	}
+	if err := f.extendMem(outOff, outSize); err != nil {
+		return err
+	}
+	input := append([]byte(nil), f.memSlice(inOff.Uint64(), inSize.Uint64())...)
+
+	maxForward := f.gas - f.gas/64
+	callGas := maxForward
+	if gasArg.IsUint64() && gasArg.Uint64() < maxForward {
+		callGas = gasArg.Uint64()
+	}
+	if err := f.useGas(callGas); err != nil {
+		return err
+	}
+
+	codeAddr := types.BytesToAddress(toArg.Bytes())
+	code := e.State.GetCode(codeAddr)
+
+	var ret []byte
+	var left uint64
+	var err error
+	if len(code) == 0 {
+		left = callGas // delegate to empty code: trivially succeeds
+	} else if e.depth >= MaxCallDepth {
+		err = ErrDepth
+	} else {
+		snap := e.State.Snapshot()
+		logMark := len(e.Logs)
+		e.depth++
+		// Same address and caller and value as the current frame: only
+		// the code is borrowed.
+		inner := newFrame(f.caller, f.address, input, f.value, callGas, code)
+		ret, left, err = e.run(inner)
+		e.depth--
+		if err != nil {
+			e.State.RevertToSnapshot(snap)
+			e.Logs = e.Logs[:logMark]
+			if !errorsIsRevert(err) {
+				left = 0
+			}
+		}
+	}
+	f.gas += left
+	f.returnData = append([]byte(nil), ret...)
+
+	if err == nil && outSize.Uint64() > 0 {
+		dst := f.memSlice(outOff.Uint64(), outSize.Uint64())
+		n := copy(dst, ret)
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+	}
+	if pushErr := f.push(boolToBig(err == nil)); pushErr != nil {
+		return pushErr
+	}
+	f.pc++
+	return nil
+}

@@ -1,0 +1,442 @@
+package evm
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/state"
+	"forkwatch/internal/types"
+)
+
+// neg returns the 256-bit two's-complement encoding of -v.
+func neg(v int64) *big.Int {
+	return new(big.Int).Sub(tt256, big.NewInt(v))
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *Asm)
+		want  *big.Int
+	}{
+		{"sdiv -8/3", func(a *Asm) { a.Push(3).PushBig(neg(8)).Op(SDIV) }, neg(2)},
+		{"sdiv 8/-3", func(a *Asm) { a.PushBig(neg(3)).Push(8).Op(SDIV) }, neg(2)},
+		{"sdiv by zero", func(a *Asm) { a.Push(0).PushBig(neg(8)).Op(SDIV) }, big.NewInt(0)},
+		{"smod -8%3", func(a *Asm) { a.Push(3).PushBig(neg(8)).Op(SMOD) }, neg(2)},
+		{"smod 8%-3", func(a *Asm) { a.PushBig(neg(3)).Push(8).Op(SMOD) }, big.NewInt(2)},
+		{"slt -1<1", func(a *Asm) { a.Push(1).PushBig(neg(1)).Op(SLT) }, big.NewInt(1)},
+		{"sgt 1>-1", func(a *Asm) { a.PushBig(neg(1)).Push(1).Op(SGT) }, big.NewInt(1)},
+		{"sgt -1>1 false", func(a *Asm) { a.Push(1).PushBig(neg(1)).Op(SGT) }, big.NewInt(0)},
+	}
+	for _, tc := range cases {
+		if got := runReturning(t, returnTop(tc.build)); got.Cmp(tc.want) != 0 {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestModularArithmetic(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *Asm)
+		want  int64
+	}{
+		// Stack order: ADDMOD pops x, y, m.
+		{"addmod", func(a *Asm) { a.Push(7).Push(5).Push(4).Op(ADDMOD) }, 2}, // (4+5)%7
+		{"addmod zero mod", func(a *Asm) { a.Push(0).Push(5).Push(4).Op(ADDMOD) }, 0},
+		{"mulmod", func(a *Asm) { a.Push(7).Push(5).Push(4).Op(MULMOD) }, 6}, // (4*5)%7
+		{"exp", func(a *Asm) { a.Push(10).Push(2).Op(EXP) }, 1024},
+		{"exp zero", func(a *Asm) { a.Push(0).Push(2).Op(EXP) }, 1},
+	}
+	for _, tc := range cases {
+		if got := runReturning(t, returnTop(tc.build)); got.Int64() != tc.want {
+			t.Errorf("%s: got %v, want %d", tc.name, got, tc.want)
+		}
+	}
+	// EXP wraps mod 2^256.
+	wrap := runReturning(t, returnTop(func(a *Asm) { a.Push(256).Push(2).Op(EXP) }))
+	if wrap.Sign() != 0 {
+		t.Errorf("2^256 mod 2^256 = %v, want 0", wrap)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	// Extend byte 0 of 0xff: becomes -1 (all ones).
+	got := runReturning(t, returnTop(func(a *Asm) { a.Push(0xff).Push(0).Op(SIGNEXTEND) }))
+	if got.Cmp(tt256m1) != 0 {
+		t.Errorf("signextend(0, 0xff) = %v, want 2^256-1", got)
+	}
+	// Extend byte 0 of 0x7f: stays 0x7f.
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(0x7f).Push(0).Op(SIGNEXTEND) }))
+	if got.Int64() != 0x7f {
+		t.Errorf("signextend(0, 0x7f) = %v", got)
+	}
+	// Out-of-range byte index leaves the value unchanged.
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(0x1234).Push(99).Op(SIGNEXTEND) }))
+	if got.Int64() != 0x1234 {
+		t.Errorf("signextend(99, x) = %v", got)
+	}
+}
+
+func TestByteAndShifts(t *testing.T) {
+	// BYTE 31 of 0x1234 is 0x34 (31 = least significant byte).
+	got := runReturning(t, returnTop(func(a *Asm) { a.Push(0x1234).Push(31).Op(BYTE) }))
+	if got.Int64() != 0x34 {
+		t.Errorf("byte(31) = %v", got)
+	}
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(0x1234).Push(30).Op(BYTE) }))
+	if got.Int64() != 0x12 {
+		t.Errorf("byte(30) = %v", got)
+	}
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(0x1234).Push(40).Op(BYTE) }))
+	if got.Sign() != 0 {
+		t.Errorf("byte(40) = %v, want 0", got)
+	}
+	// SHL/SHR. Stack: shift on top.
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(1).Push(4).Op(SHL) }))
+	if got.Int64() != 16 {
+		t.Errorf("1<<4 = %v", got)
+	}
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(16).Push(4).Op(SHR) }))
+	if got.Int64() != 1 {
+		t.Errorf("16>>4 = %v", got)
+	}
+	got = runReturning(t, returnTop(func(a *Asm) { a.Push(1).Push(300).Op(SHL) }))
+	if got.Sign() != 0 {
+		t.Errorf("overshift should be 0, got %v", got)
+	}
+	// SAR on a negative value keeps the sign.
+	got = runReturning(t, returnTop(func(a *Asm) { a.PushBig(neg(16)).Push(2).Op(SAR) }))
+	if got.Cmp(neg(4)) != 0 {
+		t.Errorf("-16 sar 2 = %v, want -4", got)
+	}
+	got = runReturning(t, returnTop(func(a *Asm) { a.PushBig(neg(1)).Push(300).Op(SAR) }))
+	if got.Cmp(tt256m1) != 0 {
+		t.Errorf("-1 sar 300 = %v, want -1", got)
+	}
+}
+
+func TestMemoryOpcodes(t *testing.T) {
+	// MSTORE8 writes a single byte.
+	code := NewAsm().
+		Push(0xAB).Push(3).Op(MSTORE8).
+		Push(0).Op(MLOAD).
+		Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN).MustAssemble()
+	got := runReturning(t, code)
+	want := new(big.Int).Lsh(big.NewInt(0xAB), 8*(31-3))
+	if got.Cmp(want) != 0 {
+		t.Errorf("MSTORE8 result = %x, want %x", got, want)
+	}
+	// MSIZE reflects expansion in 32-byte words.
+	got = runReturning(t, returnTop(func(a *Asm) {
+		a.Push(1).Push(40).Op(MSTORE) // touches bytes up to 72 -> 96 rounded
+		a.Op(MSIZE)
+	}))
+	if got.Int64() != 96 {
+		t.Errorf("MSIZE = %v, want 96", got)
+	}
+}
+
+func TestCodeAndCalldataCopy(t *testing.T) {
+	// CODECOPY: copy the first 4 bytes of own code to memory.
+	a := NewAsm()
+	a.Push(4).Push(0).Push(0).Op(CODECOPY) // size, codeOff, memOff
+	a.Push(0).Op(MLOAD)
+	a.Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN)
+	code := a.MustAssemble()
+	got := runReturning(t, code)
+	gotBytes := got.Bytes() // leading zeros trimmed; first code byte is PUSH1 (0x60)
+	if len(gotBytes) < 4 || !bytes.Equal(gotBytes[:4], code[:4]) {
+		t.Errorf("CODECOPY = %x, want prefix %x", gotBytes, code[:4])
+	}
+
+	// CALLDATACOPY past the end of input zero-fills.
+	e := newTestEVM()
+	addr := deploy(e, NewAsm().
+		Push(32).Push(0).Push(0).Op(CALLDATACOPY).
+		Push(0).Op(MLOAD).
+		Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN).MustAssemble())
+	ret, _, err := e.Call(alice, addr, []byte{0xFF, 0xEE}, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 32)
+	want[0], want[1] = 0xFF, 0xEE
+	if !bytes.Equal(ret, want) {
+		t.Errorf("CALLDATACOPY = %x", ret)
+	}
+}
+
+func TestReturnData(t *testing.T) {
+	e := newTestEVM()
+	callee := deploy(e, returnTop(func(a *Asm) { a.Push(0xBEEF) }))
+	caller := types.HexToAddress("0xca11")
+	a := NewAsm()
+	// Call callee with no output buffer, then pull via RETURNDATACOPY.
+	a.Push(0).Push(0).Push(0).Push(0).Push(0)
+	a.PushAddr(callee).Push(100_000).Op(CALL).Op(POP)
+	a.Op(RETURNDATASIZE) // should be 32
+	a.Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Push(32).Op(RETURNDATACOPY) // size=32, srcOff=0, memOff=32
+	a.Push(64).Push(0).Op(RETURN)
+	e.State.SetCode(caller, a.MustAssemble())
+	ret, _, err := e.Call(alice, caller, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ret) != 64 {
+		t.Fatalf("returned %d bytes", len(ret))
+	}
+	if size := new(big.Int).SetBytes(ret[:32]); size.Int64() != 32 {
+		t.Errorf("RETURNDATASIZE = %v", size)
+	}
+	if val := new(big.Int).SetBytes(ret[32:]); val.Int64() != 0xBEEF {
+		t.Errorf("RETURNDATACOPY value = %x", val)
+	}
+}
+
+func TestEnvironmentExtended(t *testing.T) {
+	st := state.NewEmpty()
+	st.AddBalance(alice, big.NewInt(5_000_000))
+	coinbase := types.HexToAddress("0x90")
+	e := New(st, Context{
+		Coinbase: coinbase,
+		Origin:   alice,
+		GasPrice: big.NewInt(42),
+	})
+	if got := mustRun(t, e, returnTop(func(a *Asm) { a.Op(COINBASE) })); types.BytesToAddress(got.Bytes()) != coinbase {
+		t.Errorf("COINBASE = %v", got)
+	}
+	if got := mustRun(t, e, returnTop(func(a *Asm) { a.Op(ORIGIN) })); types.BytesToAddress(got.Bytes()) != alice {
+		t.Errorf("ORIGIN = %v", got)
+	}
+	if got := mustRun(t, e, returnTop(func(a *Asm) { a.Op(GASPRICE) })); got.Int64() != 42 {
+		t.Errorf("GASPRICE = %v", got)
+	}
+	// SELFBALANCE: the contract received 77 wei with the call.
+	addr := deploy(e, returnTop(func(a *Asm) { a.Op(SELFBALANCE) }))
+	ret, _, err := e.Call(alice, addr, nil, big.NewInt(77), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if new(big.Int).SetBytes(ret).Int64() != 77 {
+		t.Errorf("SELFBALANCE = %x", ret)
+	}
+}
+
+func mustRun(t *testing.T, e *EVM, code []byte) *big.Int {
+	t.Helper()
+	addr := types.HexToAddress("0xc0de00ff")
+	e.State.SetCode(addr, code)
+	ret, _, err := e.Call(alice, addr, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return new(big.Int).SetBytes(ret)
+}
+
+func TestLogs(t *testing.T) {
+	e := newTestEVM()
+	// LOG2 with data "xy" and two topics. LOG pops offset, size, then
+	// the topics in order, so the stack is built bottom-up as
+	// [topic2, topic1, size, offset].
+	a := NewAsm()
+	a.Push(0x7879).Push(0).Op(MSTORE) // mem[30:32] = "xy"
+	a.Push(0xAAAA)                    // topic2
+	a.Push(0xBBBB)                    // topic1
+	a.Push(2)                         // size
+	a.Push(30)                        // offset (top)
+	a.Op(LOG2)
+	a.Op(STOP)
+	addr := deploy(e, a.MustAssemble())
+	if _, _, err := e.Call(alice, addr, nil, nil, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Logs) != 1 {
+		t.Fatalf("logs = %d", len(e.Logs))
+	}
+	log := e.Logs[0]
+	if log.Address != addr {
+		t.Error("log address wrong")
+	}
+	if len(log.Topics) != 2 || log.Topics[0].Big().Int64() != 0xBBBB || log.Topics[1].Big().Int64() != 0xAAAA {
+		t.Errorf("topics = %v", log.Topics)
+	}
+	if string(log.Data) != "xy" {
+		t.Errorf("data = %q", log.Data)
+	}
+}
+
+func TestLogsDiscardedOnRevert(t *testing.T) {
+	e := newTestEVM()
+	reverter := deploy(e, NewAsm().
+		Push(0).Push(0).Op(LOG0).
+		Push(0).Push(0).Op(REVERT).MustAssemble())
+	caller := types.HexToAddress("0xcc")
+	a := NewAsm()
+	a.Push(0).Push(0).Op(LOG0) // this one survives
+	a.Push(0).Push(0).Push(0).Push(0).Push(0)
+	a.PushAddr(reverter).Push(50_000).Op(CALL).Op(POP)
+	a.Op(STOP)
+	e.State.SetCode(caller, a.MustAssemble())
+	if _, _, err := e.Call(alice, caller, nil, nil, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Logs) != 1 {
+		t.Fatalf("logs after reverted sub-call = %d, want 1", len(e.Logs))
+	}
+	if e.Logs[0].Address != caller {
+		t.Error("surviving log should be the caller's")
+	}
+}
+
+func TestDelegateCall(t *testing.T) {
+	e := newTestEVM()
+	// Library: stores CALLVALUE at slot 1 and CALLER at slot 2 — under
+	// DELEGATECALL these must be the *proxy's* value and original caller,
+	// and the writes must land in the proxy's storage.
+	library := deploy(e, func() []byte {
+		a := NewAsm()
+		a.Op(CALLVALUE) // [value]
+		a.Push(1)       // [value, 1] — SSTORE pops key then value
+		a.Op(SSTORE)    // slot1 = value
+		a.Op(CALLER)
+		a.Push(2)
+		a.Op(SSTORE) // slot2 = caller
+		a.Op(STOP)
+		return a.MustAssemble()
+	}())
+
+	proxy := types.HexToAddress("0x9c0c59")
+	a := NewAsm()
+	a.Push(0).Push(0).Push(0).Push(0) // outSize outOff inSize inOff
+	a.PushAddr(library)
+	a.Push(200_000)
+	a.Op(DELEGATECALL).Op(POP).Op(STOP)
+	e.State.SetCode(proxy, a.MustAssemble())
+
+	if _, _, err := e.Call(alice, proxy, nil, big.NewInt(55), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Writes landed in the proxy's storage, not the library's.
+	slot1 := e.State.GetState(proxy, types.BytesToHash([]byte{1}))
+	if slot1.Big().Int64() != 55 {
+		t.Errorf("proxy slot1 = %v, want 55 (CALLVALUE preserved)", slot1.Big())
+	}
+	caller := e.State.GetState(proxy, types.BytesToHash([]byte{2}))
+	if types.BytesToAddress(caller.Bytes()) != alice {
+		t.Errorf("proxy slot2 = %v, want original caller", caller)
+	}
+	if !e.State.GetState(library, types.BytesToHash([]byte{1})).IsZero() {
+		t.Error("library storage must stay untouched under DELEGATECALL")
+	}
+}
+
+func TestDelegateCallRevertsCleanly(t *testing.T) {
+	e := newTestEVM()
+	reverter := deploy(e, NewAsm().
+		Push(9).Push(9).Op(SSTORE).
+		Push(0).Push(0).Op(REVERT).MustAssemble())
+	proxy := types.HexToAddress("0x9c0c59")
+	a := NewAsm()
+	a.Push(0).Push(0).Push(0).Push(0)
+	a.PushAddr(reverter)
+	a.Push(100_000)
+	a.Op(DELEGATECALL) // pushes 0 on failure
+	a.Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN)
+	e.State.SetCode(proxy, a.MustAssemble())
+	ret, _, err := e.Call(alice, proxy, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if new(big.Int).SetBytes(ret).Sign() != 0 {
+		t.Error("DELEGATECALL to reverting code should report failure")
+	}
+	if !e.State.GetState(proxy, types.BytesToHash([]byte{9})).IsZero() {
+		t.Error("reverted delegate write persisted")
+	}
+}
+
+// TestCreateOpcode: a factory contract spawns a child whose runtime
+// returns 7, then the test calls the child directly (the DAO's
+// child-spawning pattern).
+func TestCreateOpcode(t *testing.T) {
+	e := newTestEVM()
+	// Child runtime: return 7.
+	childRuntime := returnTop(func(a *Asm) { a.Push(7) })
+	// Child init: write the runtime to memory and return it.
+	childInit := NewAsm()
+	padded := make([]byte, (len(childRuntime)+31)/32*32)
+	copy(padded, childRuntime)
+	for i := 0; i < len(padded); i += 32 {
+		childInit.PushBytes(padded[i : i+32]).Push(uint64(i)).Op(MSTORE)
+	}
+	childInit.Push(uint64(len(childRuntime))).Push(0).Op(RETURN)
+	init := childInit.MustAssemble()
+
+	// Factory: CODECOPY the init code embedded after the "initcode"
+	// label into memory, CREATE, return the child address. The label
+	// emits a JUMPDEST, so the data starts one byte past it and the
+	// CREATE reads from memory offset 1.
+	factory := NewAsm()
+	factory.Push(uint64(len(init)) + 1) // CODECOPY size incl. the JUMPDEST
+	factory.PushLabel("initcode")       // code offset
+	factory.Push(0)                     // memory offset
+	factory.Op(CODECOPY)                // mem[0]=JUMPDEST, mem[1:]=init
+	factory.Push(uint64(len(init)))     // CREATE: size (bottom)
+	factory.Push(1)                     // offset: skip the JUMPDEST
+	factory.Push(0)                     // value (top)
+	factory.Op(CREATE)
+	factory.Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN)
+	factory.Label("initcode")
+	for _, b := range init {
+		factory.Op(OpCode(b)) // embedded data, never executed
+	}
+
+	factoryAddr := deploy(e, factory.MustAssemble())
+	ret, _, err := e.Call(alice, factoryAddr, nil, nil, 2_000_000)
+	if err != nil {
+		t.Fatalf("factory call: %v", err)
+	}
+	childAddr := types.BytesToAddress(ret)
+	if childAddr.IsZero() {
+		t.Fatal("CREATE returned the zero address")
+	}
+	// Expected address: derived from the factory's address and its nonce
+	// at creation time (0 here — the test installs code directly rather
+	// than deploying, so the account never got the deployment nonce).
+	if want := CreateAddress(factoryAddr, 0); childAddr != want {
+		t.Fatalf("child at %s, want %s", childAddr, want)
+	}
+	out, _, err := e.Call(alice, childAddr, nil, nil, 100_000)
+	if err != nil {
+		t.Fatalf("child call: %v", err)
+	}
+	if new(big.Int).SetBytes(out).Int64() != 7 {
+		t.Fatalf("child returned %x, want 7", out)
+	}
+}
+
+// TestCreateOpcodeFailurePushesZero: failing init code (revert) yields
+// address 0 and does not abort the creator.
+func TestCreateOpcodeFailurePushesZero(t *testing.T) {
+	e := newTestEVM()
+	// init code = REVERT immediately: PUSH1 0 PUSH1 0 REVERT.
+	a := NewAsm()
+	a.PushBytes([]byte{byte(PUSH1), 0, byte(PUSH1), 0, byte(REVERT)}).Push(0).Op(MSTORE)
+	// MSTORE right-aligns the word: the 5 code bytes sit at mem[27:32].
+	a.Push(5)  // size (bottom of CREATE args)
+	a.Push(27) // offset
+	a.Push(0)  // value
+	a.Op(CREATE)
+	a.Push(0).Op(MSTORE).Push(32).Push(0).Op(RETURN)
+	addr := deploy(e, a.MustAssemble())
+	ret, _, err := e.Call(alice, addr, nil, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if new(big.Int).SetBytes(ret).Sign() != 0 {
+		t.Fatalf("failed CREATE pushed %x, want 0", ret)
+	}
+}

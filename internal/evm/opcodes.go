@@ -1,0 +1,91 @@
+package evm
+
+import "fmt"
+
+// OpCode is an EVM instruction byte.
+type OpCode byte
+
+// Supported instruction set (Ethereum opcode numbering).
+const (
+	STOP OpCode = 0x00
+	ADD  OpCode = 0x01
+	MUL  OpCode = 0x02
+	SUB  OpCode = 0x03
+	DIV  OpCode = 0x04
+	MOD  OpCode = 0x06
+
+	LT     OpCode = 0x10
+	GT     OpCode = 0x11
+	EQ     OpCode = 0x14
+	ISZERO OpCode = 0x15
+	AND    OpCode = 0x16
+	OR     OpCode = 0x17
+	XOR    OpCode = 0x18
+	NOT    OpCode = 0x19
+
+	SHA3 OpCode = 0x20
+
+	ADDRESS        OpCode = 0x30
+	BALANCE        OpCode = 0x31
+	CALLER         OpCode = 0x33
+	CALLVALUE      OpCode = 0x34
+	CALLDATALOAD   OpCode = 0x35
+	CALLDATASIZE   OpCode = 0x36
+	RETURNDATASIZE OpCode = 0x3d
+
+	TIMESTAMP OpCode = 0x42
+	NUMBER    OpCode = 0x43
+	CHAINID   OpCode = 0x46
+
+	POP      OpCode = 0x50
+	MLOAD    OpCode = 0x51
+	MSTORE   OpCode = 0x52
+	SLOAD    OpCode = 0x54
+	SSTORE   OpCode = 0x55
+	JUMP     OpCode = 0x56
+	JUMPI    OpCode = 0x57
+	PC       OpCode = 0x58
+	GAS      OpCode = 0x5a
+	JUMPDEST OpCode = 0x5b
+
+	PUSH1  OpCode = 0x60
+	PUSH32 OpCode = 0x7f
+	DUP1   OpCode = 0x80
+	DUP16  OpCode = 0x8f
+	SWAP1  OpCode = 0x90
+	SWAP16 OpCode = 0x9f
+
+	CALL   OpCode = 0xf1
+	RETURN OpCode = 0xf3
+	REVERT OpCode = 0xfd
+)
+
+// opNames maps mnemonics for the assembler and String.
+var opNames = map[OpCode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", MOD: "MOD",
+	LT: "LT", GT: "GT", EQ: "EQ", ISZERO: "ISZERO",
+	AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT",
+	SHA3: "SHA3", ADDRESS: "ADDRESS", BALANCE: "BALANCE", CALLER: "CALLER",
+	CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	RETURNDATASIZE: "RETURNDATASIZE",
+	TIMESTAMP:      "TIMESTAMP", NUMBER: "NUMBER", CHAINID: "CHAINID",
+	POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE", SLOAD: "SLOAD", SSTORE: "SSTORE",
+	JUMP: "JUMP", JUMPI: "JUMPI", PC: "PC", GAS: "GAS", JUMPDEST: "JUMPDEST",
+	CALL: "CALL", RETURN: "RETURN", REVERT: "REVERT",
+}
+
+// String returns the mnemonic of the opcode.
+func (op OpCode) String() string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	switch {
+	case op >= PUSH1 && op <= PUSH32:
+		return fmt.Sprintf("PUSH%d", op-PUSH1+1)
+	case op >= DUP1 && op <= DUP16:
+		return fmt.Sprintf("DUP%d", op-DUP1+1)
+	case op >= SWAP1 && op <= SWAP16:
+		return fmt.Sprintf("SWAP%d", op-SWAP1+1)
+	}
+	return fmt.Sprintf("INVALID(0x%02x)", byte(op))
+}

@@ -1,0 +1,58 @@
+package evm
+
+// Extended instruction set: the arithmetic, bit, copy, logging and
+// delegate-call opcodes beyond the core set in opcodes.go.
+const (
+	SDIV       OpCode = 0x05
+	SMOD       OpCode = 0x07
+	ADDMOD     OpCode = 0x08
+	MULMOD     OpCode = 0x09
+	EXP        OpCode = 0x0a
+	SIGNEXTEND OpCode = 0x0b
+
+	SLT  OpCode = 0x12
+	SGT  OpCode = 0x13
+	BYTE OpCode = 0x1a
+	SHL  OpCode = 0x1b
+	SHR  OpCode = 0x1c
+	SAR  OpCode = 0x1d
+
+	ORIGIN         OpCode = 0x32
+	GASPRICE       OpCode = 0x3a
+	CODESIZE       OpCode = 0x38
+	CODECOPY       OpCode = 0x39
+	CALLDATACOPY   OpCode = 0x37
+	RETURNDATACOPY OpCode = 0x3e
+
+	COINBASE    OpCode = 0x41
+	SELFBALANCE OpCode = 0x47
+
+	MSTORE8 OpCode = 0x53
+	MSIZE   OpCode = 0x59
+
+	LOG0 OpCode = 0xa0
+	LOG1 OpCode = 0xa1
+	LOG2 OpCode = 0xa2
+	LOG3 OpCode = 0xa3
+	LOG4 OpCode = 0xa4
+
+	CREATE       OpCode = 0xf0
+	DELEGATECALL OpCode = 0xf4
+)
+
+func init() {
+	for op, name := range map[OpCode]string{
+		SDIV: "SDIV", SMOD: "SMOD", ADDMOD: "ADDMOD", MULMOD: "MULMOD",
+		EXP: "EXP", SIGNEXTEND: "SIGNEXTEND",
+		SLT: "SLT", SGT: "SGT", BYTE: "BYTE", SHL: "SHL", SHR: "SHR", SAR: "SAR",
+		ORIGIN: "ORIGIN", GASPRICE: "GASPRICE",
+		CODESIZE: "CODESIZE", CODECOPY: "CODECOPY",
+		CALLDATACOPY: "CALLDATACOPY", RETURNDATACOPY: "RETURNDATACOPY",
+		COINBASE: "COINBASE", SELFBALANCE: "SELFBALANCE",
+		MSTORE8: "MSTORE8", MSIZE: "MSIZE",
+		LOG0: "LOG0", LOG1: "LOG1", LOG2: "LOG2", LOG3: "LOG3", LOG4: "LOG4",
+		CREATE: "CREATE", DELEGATECALL: "DELEGATECALL",
+	} {
+		opNames[op] = name
+	}
+}

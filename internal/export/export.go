@@ -1,0 +1,454 @@
+// Package export persists ledgers to CSV — the equivalent of the paper's
+// §3.1 pipeline, which dumped every block and transaction from its two
+// full nodes into a database and ran the analysis offline. cmd/forksim
+// exports simulated ledgers; cmd/forkanalyze reloads exports and re-runs
+// the full figure pipeline without re-simulating.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"strconv"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/sim"
+	"forkwatch/internal/types"
+)
+
+// BlockRow is one exported block record.
+type BlockRow struct {
+	Chain      string
+	Number     uint64
+	Hash       types.Hash
+	Time       uint64
+	Difficulty *big.Int
+	Coinbase   types.Address
+	TxCount    int
+}
+
+// TxRow is one exported transaction record.
+type TxRow struct {
+	Chain       string
+	BlockNumber uint64
+	BlockTime   uint64
+	Hash        types.Hash
+	From        types.Address
+	Nonce       uint64
+	ChainID     uint64
+	Contract    bool
+}
+
+// blockHeader is the CSV header of the block table.
+var blockHeader = []string{"chain", "number", "hash", "time", "difficulty", "coinbase", "txcount"}
+
+// txHeader is the CSV header of the transaction table.
+var txHeader = []string{"chain", "block", "blocktime", "hash", "from", "nonce", "chainid", "contract"}
+
+// WriteBlocks writes block rows as CSV.
+func WriteBlocks(w io.Writer, rows []BlockRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(blockHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Chain,
+			strconv.FormatUint(r.Number, 10),
+			r.Hash.Hex(),
+			strconv.FormatUint(r.Time, 10),
+			r.Difficulty.String(),
+			r.Coinbase.Hex(),
+			strconv.Itoa(r.TxCount),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTxs writes transaction rows as CSV.
+func WriteTxs(w io.Writer, rows []TxRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(txHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Chain,
+			strconv.FormatUint(r.BlockNumber, 10),
+			strconv.FormatUint(r.BlockTime, 10),
+			r.Hash.Hex(),
+			r.From.Hex(),
+			strconv.FormatUint(r.Nonce, 10),
+			strconv.FormatUint(r.ChainID, 10),
+			strconv.FormatBool(r.Contract),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadBlocks parses a block CSV.
+func ReadBlocks(r io.Reader) ([]BlockRow, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("export: empty block table")
+	}
+	if err := checkHeader(recs[0], blockHeader); err != nil {
+		return nil, err
+	}
+	rows := make([]BlockRow, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != len(blockHeader) {
+			return nil, fmt.Errorf("export: block row %d has %d fields", i+1, len(rec))
+		}
+		num, err := strconv.ParseUint(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: block row %d number: %w", i+1, err)
+		}
+		tm, err := strconv.ParseUint(rec[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: block row %d time: %w", i+1, err)
+		}
+		diff, ok := new(big.Int).SetString(rec[4], 10)
+		if !ok {
+			return nil, fmt.Errorf("export: block row %d difficulty %q", i+1, rec[4])
+		}
+		txc, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("export: block row %d txcount: %w", i+1, err)
+		}
+		rows = append(rows, BlockRow{
+			Chain:      rec[0],
+			Number:     num,
+			Hash:       types.HexToHash(rec[2]),
+			Time:       tm,
+			Difficulty: diff,
+			Coinbase:   types.HexToAddress(rec[5]),
+			TxCount:    txc,
+		})
+	}
+	return rows, nil
+}
+
+// ReadTxs parses a transaction CSV.
+func ReadTxs(r io.Reader) ([]TxRow, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("export: empty tx table")
+	}
+	if err := checkHeader(recs[0], txHeader); err != nil {
+		return nil, err
+	}
+	rows := make([]TxRow, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != len(txHeader) {
+			return nil, fmt.Errorf("export: tx row %d has %d fields", i+1, len(rec))
+		}
+		blockNum, err := strconv.ParseUint(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: tx row %d block: %w", i+1, err)
+		}
+		blockTime, err := strconv.ParseUint(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: tx row %d blocktime: %w", i+1, err)
+		}
+		nonce, err := strconv.ParseUint(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: tx row %d nonce: %w", i+1, err)
+		}
+		chainID, err := strconv.ParseUint(rec[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: tx row %d chainid: %w", i+1, err)
+		}
+		contract, err := strconv.ParseBool(rec[7])
+		if err != nil {
+			return nil, fmt.Errorf("export: tx row %d contract: %w", i+1, err)
+		}
+		rows = append(rows, TxRow{
+			Chain:       rec[0],
+			BlockNumber: blockNum,
+			BlockTime:   blockTime,
+			Hash:        types.HexToHash(rec[3]),
+			From:        types.HexToAddress(rec[4]),
+			Nonce:       nonce,
+			ChainID:     chainID,
+			Contract:    contract,
+		})
+	}
+	return rows, nil
+}
+
+func checkHeader(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("export: header %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("export: header %v, want %v", got, want)
+		}
+	}
+	return nil
+}
+
+// FromBlockchain extracts rows from a full ledger's canonical chain
+// (blocks 1..head; genesis carries no transactions).
+func FromBlockchain(name string, bc *chain.Blockchain) ([]BlockRow, []TxRow) {
+	var blocks []BlockRow
+	var txs []TxRow
+	for _, b := range bc.CanonicalBlocks(1, bc.Head().Number()) {
+		blocks = append(blocks, BlockRow{
+			Chain:      name,
+			Number:     b.Number(),
+			Hash:       b.Hash(),
+			Time:       b.Header.Time,
+			Difficulty: b.Header.Difficulty,
+			Coinbase:   b.Header.Coinbase,
+			TxCount:    len(b.Txs),
+		})
+		receipts, _ := bc.Receipts(b.Hash())
+		for i, tx := range b.Txs {
+			row := TxRow{
+				Chain:       name,
+				BlockNumber: b.Number(),
+				BlockTime:   b.Header.Time,
+				Hash:        tx.Hash(),
+				From:        tx.From,
+				Nonce:       tx.Nonce,
+				ChainID:     tx.ChainID,
+			}
+			if receipts != nil && i < len(receipts) {
+				row.Contract = receipts[i].ContractCall
+			}
+			txs = append(txs, row)
+		}
+	}
+	return blocks, txs
+}
+
+// Recorder is a sim.Observer that captures rows during a simulation run,
+// in either ledger mode.
+type Recorder struct {
+	Blocks []BlockRow
+	Txs    []TxRow
+	Days   []DayRow
+}
+
+// OnBlock implements sim.Observer.
+func (rec *Recorder) OnBlock(ev *sim.BlockEvent) {
+	rec.Blocks = append(rec.Blocks, BlockRow{
+		Chain:      ev.Chain,
+		Number:     ev.Number,
+		Time:       ev.Time,
+		Difficulty: ev.Difficulty,
+		Coinbase:   ev.Coinbase,
+		TxCount:    len(ev.Txs),
+	})
+	for _, tx := range ev.Txs {
+		row := TxRow{
+			Chain:       ev.Chain,
+			BlockNumber: ev.Number,
+			BlockTime:   ev.Time,
+			Hash:        tx.Hash,
+			From:        tx.From,
+			Contract:    tx.Contract,
+		}
+		if tx.ChainBound {
+			row.ChainID = 1 // the exact id is a per-chain constant
+		}
+		rec.Txs = append(rec.Txs, row)
+	}
+}
+
+// OnDay implements sim.Observer.
+func (rec *Recorder) OnDay(ev *sim.DayEvent) {
+	rec.Days = append(rec.Days, DayRow{
+		Day:         ev.Day,
+		ETHUSD:      ev.ETHUSD,
+		ETCUSD:      ev.ETCUSD,
+		ETHHashrate: ev.ETHHashrate,
+		ETCHashrate: ev.ETCHashrate,
+	})
+}
+
+// DayRow is one exported day record (prices and hashrates — the
+// "coinmarketcap join" of the paper's pipeline).
+type DayRow struct {
+	Day                      int
+	ETHUSD, ETCUSD           float64
+	ETHHashrate, ETCHashrate float64
+}
+
+var dayHeader = []string{"day", "ethusd", "etcusd", "ethhashrate", "etchashrate"}
+
+// WriteDays writes day rows as CSV.
+func WriteDays(w io.Writer, rows []DayRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(dayHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Day),
+			strconv.FormatFloat(r.ETHUSD, 'g', -1, 64),
+			strconv.FormatFloat(r.ETCUSD, 'g', -1, 64),
+			strconv.FormatFloat(r.ETHHashrate, 'g', -1, 64),
+			strconv.FormatFloat(r.ETCHashrate, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDays parses a day CSV.
+func ReadDays(r io.Reader) ([]DayRow, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("export: empty day table")
+	}
+	if err := checkHeader(recs[0], dayHeader); err != nil {
+		return nil, err
+	}
+	rows := make([]DayRow, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != len(dayHeader) {
+			return nil, fmt.Errorf("export: day row %d has %d fields", i+1, len(rec))
+		}
+		day, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("export: day row %d: %w", i+1, err)
+		}
+		vals := make([]float64, 4)
+		for j := 0; j < 4; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("export: day row %d field %d: %w", i+1, j+1, err)
+			}
+			vals[j] = v
+		}
+		rows = append(rows, DayRow{Day: day, ETHUSD: vals[0], ETCUSD: vals[1], ETHHashrate: vals[2], ETCHashrate: vals[3]})
+	}
+	return rows, nil
+}
+
+// Replay feeds exported rows back through a sim.Observer (typically the
+// analysis collector), reconstructing block events in time order. Day
+// indices derive from epoch and dayLength. Per-chain deltas are recomputed
+// from consecutive block times.
+func Replay(blocks []BlockRow, txs []TxRow, epoch uint64, dayLength uint64, obs sim.Observer) {
+	// Interleave by mining time: echo detection is first-seen ordering
+	// across chains, so replay must present blocks globally in time
+	// order, exactly as the live simulation did.
+	sort.SliceStable(blocks, func(i, j int) bool {
+		if blocks[i].Time != blocks[j].Time {
+			return blocks[i].Time < blocks[j].Time
+		}
+		if blocks[i].Chain != blocks[j].Chain {
+			return blocks[i].Chain < blocks[j].Chain
+		}
+		return blocks[i].Number < blocks[j].Number
+	})
+	txByBlock := make(map[string][]TxRow)
+	for _, t := range txs {
+		key := t.Chain + "#" + strconv.FormatUint(t.BlockNumber, 10)
+		txByBlock[key] = append(txByBlock[key], t)
+	}
+	lastTime := map[string]uint64{}
+	for _, b := range blocks {
+		prev, ok := lastTime[b.Chain]
+		if !ok {
+			prev = epoch
+		}
+		lastTime[b.Chain] = b.Time
+		ev := &sim.BlockEvent{
+			Chain:      b.Chain,
+			Day:        int((b.Time - epoch) / dayLength),
+			Number:     b.Number,
+			Time:       b.Time,
+			Delta:      b.Time - prev,
+			Difficulty: b.Difficulty,
+			Coinbase:   b.Coinbase,
+		}
+		key := b.Chain + "#" + strconv.FormatUint(b.Number, 10)
+		for _, t := range txByBlock[key] {
+			ev.Txs = append(ev.Txs, sim.TxInfo{
+				Hash:       t.Hash,
+				From:       t.From,
+				Contract:   t.Contract,
+				ChainBound: t.ChainID != 0,
+			})
+		}
+		obs.OnBlock(ev)
+	}
+}
+
+// ReplayAll replays block/tx rows and then synthesises the per-day events
+// (prices from the day table; difficulty from each chain's last block of
+// the day), so an analysis collector reconstructs every figure — Fig 3
+// included — from a pure export.
+func ReplayAll(blocks []BlockRow, txs []TxRow, days []DayRow, epoch, dayLength uint64, obs sim.Observer) {
+	Replay(blocks, txs, epoch, dayLength, obs)
+
+	// Last difficulty per (chain, day), carried forward over empty days.
+	lastDiff := map[string]map[int]*big.Int{"ETH": {}, "ETC": {}}
+	maxDay := 0
+	for _, b := range blocks {
+		if b.Time < epoch {
+			continue
+		}
+		d := int((b.Time - epoch) / dayLength)
+		lastDiff[b.Chain][d] = b.Difficulty
+		if d > maxDay {
+			maxDay = d
+		}
+	}
+	carry := map[string]*big.Int{"ETH": new(big.Int), "ETC": new(big.Int)}
+	diffAt := func(chain string, d int) *big.Int {
+		if v, ok := lastDiff[chain][d]; ok {
+			carry[chain] = v
+		}
+		return carry[chain]
+	}
+	dayRow := make(map[int]DayRow, len(days))
+	for _, r := range days {
+		dayRow[r.Day] = r
+		if r.Day > maxDay {
+			maxDay = r.Day
+		}
+	}
+	for d := 0; d <= maxDay; d++ {
+		r := dayRow[d]
+		obs.OnDay(&sim.DayEvent{
+			Day:           d,
+			ETHUSD:        r.ETHUSD,
+			ETCUSD:        r.ETCUSD,
+			ETHHashrate:   r.ETHHashrate,
+			ETCHashrate:   r.ETCHashrate,
+			ETHDifficulty: diffAt("ETH", d),
+			ETCDifficulty: diffAt("ETC", d),
+		})
+	}
+}

@@ -1,0 +1,191 @@
+// Package keccak implements the Keccak sponge function family as used by
+// Ethereum: legacy Keccak-256 and Keccak-512 (pre-FIPS-202 0x01 domain
+// padding). Transaction hashes, block hashes, trie keys and contract
+// storage slots in forkwatch are all Keccak-256 digests, exactly as in the
+// ledgers the paper exported, so cross-chain joins on hash behave
+// identically.
+//
+// The permutation Keccak-f[1600] is implemented from the reference
+// specification (Bertoni, Daemen, Peeters, Van Assche). No external
+// dependencies are used.
+package keccak
+
+import "hash"
+
+// Size256 is the digest length of Keccak-256 in bytes.
+const Size256 = 32
+
+// Size512 is the digest length of Keccak-512 in bytes.
+const Size512 = 64
+
+const (
+	rate256 = 136 // sponge rate for 256-bit digests (1088 bits)
+	rate512 = 72  // sponge rate for 512-bit digests (576 bits)
+
+	// domainKeccak is the legacy Keccak padding byte used by Ethereum
+	// (FIPS-202 SHA-3 would use 0x06 instead).
+	domainKeccak = 0x01
+)
+
+// roundConstants for the iota step of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// state is the 5x5 lane matrix of Keccak-f[1600], flattened in the
+// x + 5y order used by the specification.
+type state struct {
+	a      [25]uint64
+	buf    [rate256]byte // input buffer, sized for the largest rate
+	n      int           // bytes buffered
+	rate   int
+	size   int
+	domain byte
+}
+
+// New256 returns a hash.Hash computing the legacy Keccak-256 digest.
+func New256() hash.Hash { return &state{rate: rate256, size: Size256, domain: domainKeccak} }
+
+// New512 returns a hash.Hash computing the legacy Keccak-512 digest.
+func New512() hash.Hash { return &state{rate: rate512, size: Size512, domain: domainKeccak} }
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [Size256]byte {
+	var out [Size256]byte
+	d := state{rate: rate256, size: Size256, domain: domainKeccak}
+	d.Write(data)
+	d.checkSum(out[:])
+	return out
+}
+
+// Sum512 returns the Keccak-512 digest of data.
+func Sum512(data []byte) [Size512]byte {
+	var out [Size512]byte
+	d := state{rate: rate512, size: Size512, domain: domainKeccak}
+	d.Write(data)
+	d.checkSum(out[:])
+	return out
+}
+
+// Reset clears the sponge state for reuse.
+func (d *state) Reset() {
+	d.a = [25]uint64{}
+	d.n = 0
+}
+
+// Size returns the digest length in bytes.
+func (d *state) Size() int { return d.size }
+
+// BlockSize returns the sponge rate in bytes.
+func (d *state) BlockSize() int { return d.rate }
+
+// Write absorbs more data into the sponge. It never returns an error.
+func (d *state) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		n := copy(d.buf[d.n:d.rate], p)
+		d.n += n
+		p = p[n:]
+		if d.n == d.rate {
+			d.absorb(d.buf[:d.rate])
+			d.n = 0
+		}
+	}
+	return written, nil
+}
+
+// Sum appends the digest to b without disturbing the running state.
+func (d *state) Sum(b []byte) []byte {
+	dup := *d
+	out := make([]byte, d.size)
+	dup.checkSum(out)
+	return append(b, out...)
+}
+
+// checkSum pads, finalizes and squeezes the digest into out, consuming the
+// receiver's state.
+func (d *state) checkSum(out []byte) {
+	// Multi-rate padding: domain byte, zeroes, final 0x80 (possibly the
+	// same byte when only one padding position remains).
+	d.buf[d.n] = d.domain
+	for i := d.n + 1; i < d.rate; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[d.rate-1] |= 0x80
+	d.absorb(d.buf[:d.rate])
+
+	// Squeeze. Both supported digest sizes fit inside a single rate
+	// block, so one extraction suffices.
+	for i := 0; i < d.size; i++ {
+		out[i] = byte(d.a[i/8] >> (8 * uint(i%8)))
+	}
+}
+
+// absorb XORs a full rate block into the state and applies Keccak-f[1600].
+func (d *state) absorb(block []byte) {
+	for i := 0; i < len(block)/8; i++ {
+		var lane uint64
+		for j := 0; j < 8; j++ {
+			lane |= uint64(block[i*8+j]) << (8 * uint(j))
+		}
+		d.a[i] ^= lane
+	}
+	keccakF1600(&d.a)
+}
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+func keccakF1600(a *[25]uint64) {
+	var c [5]uint64
+	var dcol [5]uint64
+	var b [25]uint64
+
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			dcol[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= dcol[x]
+			}
+		}
+
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rhoOffsets[x+5*y])
+			}
+		}
+
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// rhoOffsets holds the rotation constants of the rho step, indexed x + 5y.
+var rhoOffsets = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }

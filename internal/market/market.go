@@ -1,0 +1,166 @@
+// Package market models the economic coupling between the two partitions:
+// daily USD exchange rates for ETH and ETC and the hashrate arbitrage that
+// the paper's Figure 3 shows operating efficiently.
+//
+// Substitution (DESIGN.md §2): the paper joins its ledgers with
+// coinmarketcap daily price data, which is unavailable offline. We generate
+// prices from a coupled geometric random walk — one shared market factor
+// plus per-chain idiosyncratic noise and the two exogenous events the
+// paper identifies (the Zcash launch pulling miners away in late October
+// 2016, and the March 2017 ETH rally) — and implement the arbitrage
+// mechanism the paper hypothesises: miners shift hashrate toward the chain
+// paying more USD per hash, equalising expected hashes-per-USD.
+package market
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+)
+
+// Params configures the price generator.
+type Params struct {
+	// Days is the number of daily samples to generate.
+	Days int
+	// ETH0 and ETC0 are the day-0 USD prices (post-fork: ~$12 / ~$1).
+	ETH0, ETC0 float64
+	// SharedVol is the daily volatility of the common market factor;
+	// IdioVol the per-chain idiosyncratic volatility. SharedVol >>
+	// IdioVol keeps the two prices strongly coupled, as observed.
+	SharedVol, IdioVol float64
+	// Drift is the common daily log drift.
+	Drift float64
+	// ETHEdge is an extra daily ETH log drift over the whole horizon:
+	// ETH's market value pulled away from ETC's throughout the study
+	// window (observation O3's divergence), which via arbitrage is what
+	// keeps ETC's hashrate roughly flat while ETH's grows.
+	ETHEdge float64
+
+	// RallyStartDay begins the March-2017 rally (≈ day 240 after the
+	// July 20 2016 fork); RallyDrift is the extra daily ETH log drift
+	// during it. Zero disables. RallyETCShare is the fraction of the
+	// rally drift ETC also enjoys (the whole market rose in March 2017,
+	// ETH just rose faster), which keeps the end-of-study difficulty
+	// ratio near the paper's ~10x instead of letting arbitrage strip
+	// ETC bare.
+	RallyStartDay int
+	RallyDrift    float64
+	RallyETCShare float64
+}
+
+// DefaultParams returns the calibration used by the Fig 2/3 scenarios.
+func DefaultParams(days int) Params {
+	return Params{
+		Days:          days,
+		ETH0:          12.0,
+		ETC0:          1.2,
+		SharedVol:     0.03,
+		IdioVol:       0.01,
+		Drift:         0.001,
+		ETHEdge:       0.0015,
+		RallyStartDay: 240,
+		RallyDrift:    0.03,
+		RallyETCShare: 0.6,
+	}
+}
+
+// Series holds aligned daily price samples.
+type Series struct {
+	ETHUSD []float64
+	ETCUSD []float64
+}
+
+// GeneratePrices draws a Series from the coupled walk.
+func GeneratePrices(p Params, r *rand.Rand) Series {
+	s := Series{
+		ETHUSD: make([]float64, p.Days),
+		ETCUSD: make([]float64, p.Days),
+	}
+	eth, etc := p.ETH0, p.ETC0
+	for d := 0; d < p.Days; d++ {
+		s.ETHUSD[d] = eth
+		s.ETCUSD[d] = etc
+		shared := r.NormFloat64() * p.SharedVol
+		ethDrift := p.Drift + p.ETHEdge
+		etcDrift := p.Drift
+		if p.RallyDrift != 0 && d >= p.RallyStartDay {
+			ethDrift += p.RallyDrift
+			etcDrift += p.RallyDrift * p.RallyETCShare
+		}
+		eth *= math.Exp(ethDrift + shared + r.NormFloat64()*p.IdioVol)
+		etc *= math.Exp(etcDrift + shared + r.NormFloat64()*p.IdioVol)
+	}
+	return s
+}
+
+// HashesPerUSD is the paper's Figure 3 statistic: the expected number of
+// hashes a miner computes to earn one USD — difficulty divided by the
+// block reward in ether, divided by the USD price of one ether.
+func HashesPerUSD(difficulty *big.Int, rewardEther, usdPrice float64) float64 {
+	if usdPrice <= 0 || rewardEther <= 0 {
+		return math.Inf(1)
+	}
+	d, _ := new(big.Float).SetInt(difficulty).Float64()
+	return d / rewardEther / usdPrice
+}
+
+// Allocator nudges the cross-chain hashrate split toward the arbitrage
+// fixed point where USD-per-hash is equal on both chains.
+type Allocator struct {
+	// Elasticity in (0,1] is the fraction of the gap to equilibrium
+	// closed per day. The paper's near-identical curves correspond to a
+	// high effective elasticity; the ablation bench sweeps it.
+	Elasticity float64
+}
+
+// Step returns the new ETH share of the mobile hashrate pool.
+//
+// At difficulty equilibrium each chain's difficulty is proportional to its
+// hashrate, so expected USD/hash on chain i is proportional to
+// price_i/share_i. Equal returns therefore mean share_i ∝ price_i: the
+// equilibrium ETH share is ethUSD/(ethUSD+etcUSD) (equal block rewards on
+// both chains). We move the current share toward it by Elasticity.
+func (a Allocator) Step(currentETHShare, ethUSD, etcUSD float64) float64 {
+	if ethUSD <= 0 && etcUSD <= 0 {
+		return currentETHShare
+	}
+	target := ethUSD / (ethUSD + etcUSD)
+	next := currentETHShare + a.Elasticity*(target-currentETHShare)
+	return clamp01(next)
+}
+
+// Correlation returns the Pearson correlation of two equal-length series;
+// the Fig 3 bench reports it for the two hashes/USD curves.
+func Correlation(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package p2p
+
+import (
+	"math/rand"
+	"time"
+
+	"forkwatch/internal/discover"
+)
+
+// MaintainPeers runs the discovery/dial loop real nodes run: while the
+// server is below target live peers it asks existing peers for neighbors
+// (growing the Kademlia table) and dials table entries it is not yet
+// connected to. Dead entries are evicted by Connect. Runs until the
+// server closes; call in a goroutine.
+//
+// This is the mechanism by which the post-fork networks re-knit
+// themselves: a node that lost 90% of its peers at the partition keeps
+// asking the survivors for more survivors.
+func (s *Server) MaintainPeers(target int, interval time.Duration) {
+	if target <= 0 || target > s.cfg.MaxPeers {
+		target = s.cfg.MaxPeers
+	}
+	// Seeded from the node id: deterministic per node, distinct across
+	// nodes.
+	r := rand.New(rand.NewSource(int64(s.cfg.Self.ID[0])<<8 | int64(s.cfg.Self.ID[1])))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+		}
+		if s.PeerCount() >= target {
+			continue
+		}
+		// Learn more nodes around a random point in the id space.
+		s.RequestNeighbors(discover.RandomID(r))
+
+		// Dial unconnected table entries until the target is met.
+		connected := make(map[discover.NodeID]bool)
+		for _, p := range s.Peers() {
+			connected[p.Node().ID] = true
+		}
+		candidates := s.table.All()
+		r.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		for _, n := range candidates {
+			if s.PeerCount() >= target {
+				break
+			}
+			if connected[n.ID] || n.ID == s.cfg.Self.ID {
+				continue
+			}
+			// Errors are expected (dead nodes, fork mismatches,
+			// duplicates); Connect evicts failed dials from the table.
+			_ = s.Connect(n)
+		}
+	}
+}

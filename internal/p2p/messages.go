@@ -1,0 +1,348 @@
+// Package p2p implements the partition-aware wire protocol forkwatch
+// nodes speak: length-framed RLP messages over net.Conn, an eth/63-style
+// status handshake carrying genesis + fork id, block and transaction
+// gossip, a block-range sync, and FindNode/Neighbors discovery messages.
+//
+// The handshake is where the paper's network partition physically
+// happens: two nodes whose fork ids are incompatible (one accepted the
+// DAO fork, the other did not) disconnect immediately, so each fork's
+// gossip only reaches its own side. The message *format*, however, is
+// shared — which is why transactions can be rebroadcast across the
+// partition (Fig 4): an attacker node can complete the handshake with
+// both sides as long as it presents the matching fork id to each.
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/discover"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// Protocol constants.
+const (
+	// ProtocolVersion is the wire protocol version (mirrors eth/63's
+	// role; both partitions keep speaking the same version — the point
+	// of the replay vulnerability).
+	ProtocolVersion = 63
+	// MaxFrameSize bounds a single message frame (DoS guard).
+	MaxFrameSize = 8 << 20
+)
+
+// Message codes.
+const (
+	MsgStatus uint64 = iota
+	MsgNewBlock
+	MsgTransactions
+	MsgGetBlocks
+	MsgBlocks
+	MsgFindNode
+	MsgNeighbors
+)
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("p2p: frame exceeds maximum size")
+	ErrBadMessage    = errors.New("p2p: malformed message")
+)
+
+// Message is one framed protocol message.
+type Message struct {
+	Code uint64
+	// Body is the RLP value of the message payload.
+	Body rlp.Value
+}
+
+// WriteMsg frames and writes a message: 4-byte big-endian length, then
+// rlp([code, body]).
+func WriteMsg(w io.Writer, code uint64, body rlp.Value) error {
+	payload := rlp.EncodeList(rlp.Uint(code), body)
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > MaxFrameSize {
+		return Message{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, err
+	}
+	v, err := rlp.Decode(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	items, err := v.ListOf(2)
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	code, err := items[0].AsUint()
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return Message{Code: code, Body: items[1]}, nil
+}
+
+// Status is the handshake payload. It carries the sender's node identity
+// (id + dialable address) alongside the chain summary.
+type Status struct {
+	ProtocolVersion uint64
+	NetworkID       uint64
+	TD              *big.Int
+	Head            types.Hash
+	HeadNumber      uint64
+	Genesis         types.Hash
+	ForkID          chain.ForkID
+	Node            discover.Node
+}
+
+func (s *Status) encode() rlp.Value {
+	support := uint64(0)
+	if s.ForkID.DAOForkSupport {
+		support = 1
+	}
+	return rlp.List(
+		rlp.Uint(s.ProtocolVersion),
+		rlp.Uint(s.NetworkID),
+		rlp.BigInt(s.TD),
+		rlp.Bytes(s.Head.Bytes()),
+		rlp.Uint(s.HeadNumber),
+		rlp.Bytes(s.Genesis.Bytes()),
+		rlp.Uint(s.ForkID.DAOForkBlock),
+		rlp.Uint(support),
+		rlp.Bytes(s.Node.ID[:]),
+		rlp.String(s.Node.Addr),
+	)
+}
+
+func decodeStatus(v rlp.Value) (*Status, error) {
+	items, err := v.ListOf(10)
+	if err != nil {
+		return nil, fmt.Errorf("%w: status: %v", ErrBadMessage, err)
+	}
+	s := &Status{}
+	if s.ProtocolVersion, err = items[0].AsUint(); err != nil {
+		return nil, err
+	}
+	if s.NetworkID, err = items[1].AsUint(); err != nil {
+		return nil, err
+	}
+	if s.TD, err = items[2].AsBigInt(); err != nil {
+		return nil, err
+	}
+	b, err := items[3].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	s.Head = types.BytesToHash(b)
+	if s.HeadNumber, err = items[4].AsUint(); err != nil {
+		return nil, err
+	}
+	if b, err = items[5].AsBytes(); err != nil {
+		return nil, err
+	}
+	s.Genesis = types.BytesToHash(b)
+	if s.ForkID.DAOForkBlock, err = items[6].AsUint(); err != nil {
+		return nil, err
+	}
+	support, err := items[7].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	s.ForkID.DAOForkSupport = support == 1
+	idB, err := items[8].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(idB) != discover.IDLength {
+		return nil, fmt.Errorf("%w: node id of %d bytes", ErrBadMessage, len(idB))
+	}
+	copy(s.Node.ID[:], idB)
+	addrB, err := items[9].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	s.Node.Addr = string(addrB)
+	return s, nil
+}
+
+// encodeNewBlock packs a block announcement with its total difficulty.
+func encodeNewBlock(b *chain.Block, td *big.Int) rlp.Value {
+	return rlp.List(rlp.Bytes(b.Encode()), rlp.BigInt(td))
+}
+
+func decodeNewBlock(v rlp.Value) (*chain.Block, *big.Int, error) {
+	items, err := v.ListOf(2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: new block: %v", ErrBadMessage, err)
+	}
+	enc, err := items[0].AsBytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	blk, err := chain.DecodeBlock(enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	td, err := items[1].AsBigInt()
+	if err != nil {
+		return nil, nil, err
+	}
+	return blk, td, nil
+}
+
+// encodeTxs packs a transaction announcement.
+func encodeTxs(txs []*chain.Transaction) rlp.Value {
+	items := make([]rlp.Value, len(txs))
+	for i, tx := range txs {
+		items[i] = rlp.Bytes(tx.Encode())
+	}
+	return rlp.List(items...)
+}
+
+func decodeTxs(v rlp.Value) ([]*chain.Transaction, error) {
+	items, err := v.AsList()
+	if err != nil {
+		return nil, fmt.Errorf("%w: txs: %v", ErrBadMessage, err)
+	}
+	txs := make([]*chain.Transaction, 0, len(items))
+	for _, it := range items {
+		enc, err := it.AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		tx, err := chain.DecodeTx(enc)
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+	}
+	return txs, nil
+}
+
+// encodeGetBlocks requests count canonical blocks starting at from.
+func encodeGetBlocks(from, count uint64) rlp.Value {
+	return rlp.List(rlp.Uint(from), rlp.Uint(count))
+}
+
+func decodeGetBlocks(v rlp.Value) (from, count uint64, err error) {
+	items, err := v.ListOf(2)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: get blocks: %v", ErrBadMessage, err)
+	}
+	if from, err = items[0].AsUint(); err != nil {
+		return 0, 0, err
+	}
+	if count, err = items[1].AsUint(); err != nil {
+		return 0, 0, err
+	}
+	return from, count, nil
+}
+
+func encodeBlocks(blocks []*chain.Block) rlp.Value {
+	items := make([]rlp.Value, len(blocks))
+	for i, b := range blocks {
+		items[i] = rlp.Bytes(b.Encode())
+	}
+	return rlp.List(items...)
+}
+
+func decodeBlocks(v rlp.Value) ([]*chain.Block, error) {
+	items, err := v.AsList()
+	if err != nil {
+		return nil, fmt.Errorf("%w: blocks: %v", ErrBadMessage, err)
+	}
+	blocks := make([]*chain.Block, 0, len(items))
+	for _, it := range items {
+		enc, err := it.AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		b, err := chain.DecodeBlock(enc)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+func encodeFindNode(target discover.NodeID) rlp.Value {
+	return rlp.List(rlp.Bytes(target[:]))
+}
+
+func decodeFindNode(v rlp.Value) (discover.NodeID, error) {
+	items, err := v.ListOf(1)
+	if err != nil {
+		return discover.NodeID{}, fmt.Errorf("%w: find node: %v", ErrBadMessage, err)
+	}
+	b, err := items[0].AsBytes()
+	if err != nil {
+		return discover.NodeID{}, err
+	}
+	if len(b) != discover.IDLength {
+		return discover.NodeID{}, fmt.Errorf("%w: node id of %d bytes", ErrBadMessage, len(b))
+	}
+	var id discover.NodeID
+	copy(id[:], b)
+	return id, nil
+}
+
+func encodeNeighbors(nodes []discover.Node) rlp.Value {
+	items := make([]rlp.Value, len(nodes))
+	for i, n := range nodes {
+		items[i] = rlp.List(rlp.Bytes(n.ID[:]), rlp.String(n.Addr))
+	}
+	return rlp.List(items...)
+}
+
+func decodeNeighbors(v rlp.Value) ([]discover.Node, error) {
+	items, err := v.AsList()
+	if err != nil {
+		return nil, fmt.Errorf("%w: neighbors: %v", ErrBadMessage, err)
+	}
+	nodes := make([]discover.Node, 0, len(items))
+	for _, it := range items {
+		pair, err := it.ListOf(2)
+		if err != nil {
+			return nil, err
+		}
+		idB, err := pair[0].AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(idB) != discover.IDLength {
+			return nil, fmt.Errorf("%w: node id of %d bytes", ErrBadMessage, len(idB))
+		}
+		addrB, err := pair[1].AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		var n discover.Node
+		copy(n.ID[:], idB)
+		n.Addr = string(addrB)
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,737 @@
+package p2p
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/discover"
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+var (
+	alice = types.HexToAddress("0xa11ce")
+	bob   = types.HexToAddress("0xb0b")
+	miner = types.HexToAddress("0x313233")
+)
+
+func testGenesis() *chain.Genesis {
+	return &chain.Genesis{
+		Difficulty: big.NewInt(131072),
+		Time:       1_000_000,
+		Alloc: map[types.Address]*big.Int{
+			alice: new(big.Int).Mul(big.NewInt(100), chain.Ether),
+		},
+	}
+}
+
+func nodeID(name string) discover.NodeID {
+	h := keccak.Sum256([]byte(name))
+	return discover.IDFromHash(types.BytesToHash(h[:]))
+}
+
+// testNode bundles a served p2p node for tests.
+type testNode struct {
+	name    string
+	server  *Server
+	backend *ChainBackend
+	bc      *chain.Blockchain
+}
+
+func newTestNode(t *testing.T, mem *MemNet, name string, bc *chain.Blockchain) *testNode {
+	t.Helper()
+	backend := NewChainBackend(bc)
+	self := discover.Node{ID: nodeID(name), Addr: name}
+	srv := NewServer(Config{
+		Self:      self,
+		NetworkID: 1,
+		MaxPeers:  32,
+		Backend:   backend,
+		Dialer:    mem,
+	})
+	ln, err := mem.Listen(name)
+	if err != nil {
+		t.Fatalf("listen %s: %v", name, err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return &testNode{name: name, server: srv, backend: backend, bc: bc}
+}
+
+func newChain(t *testing.T, cfg *chain.Config) *chain.Blockchain {
+	t.Helper()
+	bc, err := chain.NewBlockchain(cfg, testGenesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc
+}
+
+func mineOn(t *testing.T, bc *chain.Blockchain, txs ...*chain.Transaction) *chain.Block {
+	t.Helper()
+	b, err := bc.BuildBlock(miner, bc.Head().Header.Time+14, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.InsertBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestMsgFraming(t *testing.T) {
+	var buf bytes.Buffer
+	body := rlp.List(rlp.Uint(42), rlp.String("payload"))
+	if err := WriteMsg(&buf, MsgNewBlock, body); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Code != MsgNewBlock {
+		t.Errorf("code = %d", msg.Code)
+	}
+	items, err := msg.Body.ListOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := items[0].AsUint(); u != 42 {
+		t.Errorf("payload corrupted: %d", u)
+	}
+}
+
+func TestMsgFramingErrors(t *testing.T) {
+	// Truncated frame.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 10, 1, 2})); err == nil {
+		t.Error("truncated frame should fail")
+	}
+	// Oversized frame header.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: err = %v", err)
+	}
+	// Garbage payload.
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 1, 0xb9})); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("garbage payload: err = %v", err)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	s := &Status{
+		ProtocolVersion: ProtocolVersion,
+		NetworkID:       1,
+		TD:              big.NewInt(12345678),
+		Head:            types.HexToHash("0xbeef"),
+		HeadNumber:      99,
+		Genesis:         types.HexToHash("0xfeed"),
+		ForkID:          chain.ForkID{DAOForkBlock: 1920000, DAOForkSupport: true},
+		Node:            discover.Node{ID: nodeID("n"), Addr: "n"},
+	}
+	dec, err := decodeStatus(s.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TD.Cmp(s.TD) != 0 || dec.Head != s.Head || dec.ForkID != s.ForkID || dec.Node != s.Node {
+		t.Errorf("status round trip mismatch: %+v vs %+v", dec, s)
+	}
+}
+
+func TestMemNet(t *testing.T) {
+	mem := NewMemNet()
+	ln, err := mem.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Listen("a"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate listen: err = %v", err)
+	}
+	if _, err := mem.Dial("nobody"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial unknown: err = %v", err)
+	}
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	client, err := mem.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-done
+	go client.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := server.Read(buf); err != nil || string(buf) != "ping" {
+		t.Errorf("pipe transfer failed: %q %v", buf, err)
+	}
+	ln.Close()
+	if _, err := mem.Dial("a"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial closed listener: err = %v", err)
+	}
+}
+
+func TestHandshakeAndPeering(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "a", newChain(t, chain.MainnetLikeConfig()))
+	b := newTestNode(t, mem, "b", newChain(t, chain.MainnetLikeConfig()))
+
+	if err := a.server.Connect(b.server.Self()); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	waitFor(t, "peering", func() bool {
+		return a.server.PeerCount() == 1 && b.server.PeerCount() == 1
+	})
+	if err := a.server.Connect(b.server.Self()); !errors.Is(err, ErrAlreadyConnected) {
+		t.Errorf("duplicate connect: err = %v", err)
+	}
+	if err := a.server.Connect(a.server.Self()); !errors.Is(err, ErrSelfConnect) {
+		t.Errorf("self connect: err = %v", err)
+	}
+}
+
+func TestHandshakeGenesisMismatch(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "a", newChain(t, chain.MainnetLikeConfig()))
+
+	otherGen, err := chain.NewBlockchain(chain.MainnetLikeConfig(), &chain.Genesis{
+		Difficulty: big.NewInt(131072),
+		Time:       42, // different genesis
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newTestNode(t, mem, "b", otherGen)
+	if err := a.server.Connect(b.server.Self()); !errors.Is(err, ErrGenesisMismatch) {
+		t.Errorf("genesis mismatch: err = %v", err)
+	}
+	if a.server.PeerCount() != 0 {
+		t.Error("mismatched peer should not be registered")
+	}
+}
+
+// buildPartitionedChains returns an ETH and an ETC chain sharing genesis,
+// both advanced past the DAO fork block so their fork ids conflict.
+func buildPartitionedChains(t *testing.T) (*chain.Blockchain, *chain.Blockchain) {
+	t.Helper()
+	const forkBlock = 2
+	gen := testGenesis()
+	eth, err := chain.NewBlockchain(chain.ETHConfig(forkBlock, nil, types.Address{}), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etc, err := eth.NewSibling(chain.ETCConfig(forkBlock), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared block 1.
+	b1, err := eth.BuildBlock(miner, eth.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eth.InsertBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := etc.InsertBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	// Divergent fork blocks.
+	mineOn(t, eth)
+	mineOn(t, etc)
+	return eth, etc
+}
+
+func TestHandshakeForkPartition(t *testing.T) {
+	mem := NewMemNet()
+	eth, etc := buildPartitionedChains(t)
+	a := newTestNode(t, mem, "eth-node", eth)
+	b := newTestNode(t, mem, "etc-node", etc)
+
+	if err := a.server.Connect(b.server.Self()); !errors.Is(err, ErrForkMismatch) {
+		t.Errorf("cross-partition connect: err = %v", err)
+	}
+	if a.server.PeerCount() != 0 || b.server.PeerCount() != 0 {
+		t.Error("cross-partition peers should not persist")
+	}
+}
+
+func TestBlockGossip(t *testing.T) {
+	mem := NewMemNet()
+	cfg := chain.MainnetLikeConfig()
+	a := newTestNode(t, mem, "a", newChain(t, cfg))
+	b := newTestNode(t, mem, "b", newChain(t, chain.MainnetLikeConfig()))
+	c := newTestNode(t, mem, "c", newChain(t, chain.MainnetLikeConfig()))
+
+	// Line topology a-b-c: the block must be relayed through b.
+	if err := a.server.Connect(b.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.server.Connect(c.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "line topology wired", func() bool {
+		return a.server.PeerCount() == 1 && b.server.PeerCount() == 2 && c.server.PeerCount() == 1
+	})
+
+	blk := mineOn(t, a.bc)
+	a.server.BroadcastBlock(blk)
+
+	waitFor(t, "block relay to c", func() bool {
+		return c.bc.Head().Hash() == blk.Hash()
+	})
+	if b.bc.Head().Hash() != blk.Hash() {
+		t.Error("relay node did not import the block")
+	}
+}
+
+func TestSyncFromScratch(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "a", newChain(t, chain.MainnetLikeConfig()))
+	for i := 0; i < 20; i++ {
+		mineOn(t, a.bc)
+	}
+	b := newTestNode(t, mem, "b", newChain(t, chain.MainnetLikeConfig()))
+	if err := b.server.Connect(a.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sync to height 20", func() bool {
+		return b.bc.Head().Number() == 20
+	})
+	if b.bc.Head().Hash() != a.bc.Head().Hash() {
+		t.Error("synced head differs")
+	}
+}
+
+func TestTxGossip(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "a", newChain(t, chain.MainnetLikeConfig()))
+	b := newTestNode(t, mem, "b", newChain(t, chain.MainnetLikeConfig()))
+	c := newTestNode(t, mem, "c", newChain(t, chain.MainnetLikeConfig()))
+	if err := a.server.Connect(b.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.server.Connect(c.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "line topology wired", func() bool {
+		return a.server.PeerCount() == 1 && b.server.PeerCount() == 2 && c.server.PeerCount() == 1
+	})
+
+	to := bob
+	tx := chain.NewTransaction(0, &to, big.NewInt(5), 21_000, big.NewInt(1), nil).Sign(alice, 0)
+	if err := a.backend.AddTransaction(tx); err != nil {
+		t.Fatal(err)
+	}
+	a.server.BroadcastTxs([]*chain.Transaction{tx})
+	waitFor(t, "tx relay to c", func() bool {
+		return c.backend.KnowsTransaction(tx.Hash())
+	})
+	// An invalid (unfunded) transaction must not propagate.
+	bad := chain.NewTransaction(0, &to, big.NewInt(5), 21_000, big.NewInt(1), nil).Sign(bob, 0)
+	a.server.BroadcastTxs([]*chain.Transaction{bad})
+	time.Sleep(20 * time.Millisecond)
+	if b.backend.KnowsTransaction(bad.Hash()) {
+		t.Error("unfunded tx should not enter peer pools")
+	}
+}
+
+func TestProbeAndCrawlPartition(t *testing.T) {
+	mem := NewMemNet()
+	eth, etc := buildPartitionedChains(t)
+
+	// 6 ETH nodes, 3 ETC nodes, wired within their own partitions plus
+	// stale cross-partition table entries (as real tables had at the
+	// fork moment).
+	var ethNodes, etcNodes []*testNode
+	for i := 0; i < 6; i++ {
+		ethNodes = append(ethNodes, newTestNode(t, mem, fmt.Sprintf("eth%d", i), eth))
+	}
+	for i := 0; i < 3; i++ {
+		etcNodes = append(etcNodes, newTestNode(t, mem, fmt.Sprintf("etc%d", i), etc))
+	}
+	wire := func(nodes []*testNode) {
+		for i := 1; i < len(nodes); i++ {
+			if err := nodes[i].server.Connect(nodes[0].server.Self()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wire(ethNodes)
+	wire(etcNodes)
+	// Stale entries: every node's table also lists one node of the other
+	// partition.
+	for _, n := range ethNodes {
+		n.server.Table().Add(etcNodes[0].server.Self())
+	}
+	for _, n := range etcNodes {
+		n.server.Table().Add(ethNodes[0].server.Self())
+	}
+
+	// Crawl as an ETC client: only the 3 ETC nodes are reachable.
+	probe := &Probe{
+		Self: discover.Node{ID: nodeID("crawler"), Addr: "crawler"},
+		Status: Status{
+			NetworkID:  1,
+			TD:         big.NewInt(1),
+			Genesis:    etc.Genesis().Hash(),
+			HeadNumber: etc.Head().Number(),
+			Head:       etc.Head().Hash(),
+			ForkID:     etc.ForkID(),
+		},
+		Dialer: mem,
+	}
+	seeds := []discover.Node{etcNodes[0].server.Self()}
+	res := discover.Crawl(seeds, probe.FindNodeFunc(), 0)
+	if len(res.Reachable) != 3 {
+		t.Errorf("ETC crawl reached %d nodes, want 3 (got %v)", len(res.Reachable), res.Reachable)
+	}
+	if len(res.Unreachable) == 0 {
+		t.Error("crawl should have discovered unreachable ETH nodes via stale table entries")
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	a := newChainBackendPair(t)
+	b := newChainBackendPair(t)
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := NewServer(Config{
+		Self:      discover.Node{ID: nodeID("tcp-a"), Addr: lnA.Addr().String()},
+		NetworkID: 1, Backend: a, Dialer: TCPDialer(time.Second),
+	})
+	go srvA.Serve(lnA)
+	defer srvA.Close()
+
+	srvB := NewServer(Config{
+		Self:      discover.Node{ID: nodeID("tcp-b"), Addr: "client"},
+		NetworkID: 1, Backend: b, Dialer: TCPDialer(time.Second),
+	})
+	defer srvB.Close()
+
+	if err := srvB.Connect(discover.Node{ID: nodeID("tcp-a"), Addr: lnA.Addr().String()}); err != nil {
+		t.Fatalf("TCP connect: %v", err)
+	}
+	// Connect returns when the dialing side is done; the acceptor may
+	// still be registering. Wait for both before a one-shot broadcast.
+	waitFor(t, "mutual peering", func() bool {
+		return srvA.PeerCount() == 1 && srvB.PeerCount() == 1
+	})
+	blk, err := a.BC.BuildBlock(miner, a.BC.Head().Header.Time+14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BC.InsertBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	srvA.BroadcastBlock(blk)
+	waitFor(t, "block over TCP", func() bool {
+		return b.BC.Head().Hash() == blk.Hash()
+	})
+}
+
+func newChainBackendPair(t *testing.T) *ChainBackend {
+	t.Helper()
+	bc, err := chain.NewBlockchain(chain.MainnetLikeConfig(), testGenesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewChainBackend(bc)
+}
+
+// TestMaintainPeersKnitsNetwork: nodes that initially know only one
+// neighbor discover and dial the rest of the network via the
+// maintenance loop.
+func TestMaintainPeersKnitsNetwork(t *testing.T) {
+	mem := NewMemNet()
+	const n = 6
+	nodes := make([]*testNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newTestNode(t, mem, fmt.Sprintf("knit%d", i), newChain(t, chain.MainnetLikeConfig()))
+	}
+	// Line topology: i connects to i-1 only.
+	for i := 1; i < n; i++ {
+		if err := nodes[i].server.Connect(nodes[i-1].server.Self()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tn := range nodes {
+		go tn.server.MaintainPeers(n-1, 5*time.Millisecond)
+	}
+	waitFor(t, "network knitting", func() bool {
+		for _, tn := range nodes {
+			if tn.server.PeerCount() < 3 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestMaintainPeersEvictsDeadNodes: a table polluted with unreachable
+// entries is cleaned by failed dials.
+func TestMaintainPeersEvictsDeadNodes(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "evict-a", newChain(t, chain.MainnetLikeConfig()))
+	for i := 0; i < 5; i++ {
+		a.server.Table().Add(discover.Node{ID: nodeID(fmt.Sprintf("ghost%d", i)), Addr: fmt.Sprintf("ghost%d", i)})
+	}
+	go a.server.MaintainPeers(4, 5*time.Millisecond)
+	waitFor(t, "dead node eviction", func() bool {
+		return a.server.Table().Len() == 0
+	})
+}
+
+// TestKeepalivePingPong: two live servers stay peered under an aggressive
+// keepalive because pings are answered.
+func TestKeepalivePingPong(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "ka-a", newChain(t, chain.MainnetLikeConfig()))
+	b := newTestNode(t, mem, "ka-b", newChain(t, chain.MainnetLikeConfig()))
+	if err := a.server.Connect(b.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peering", func() bool {
+		return a.server.PeerCount() == 1 && b.server.PeerCount() == 1
+	})
+	go a.server.KeepaliveLoop(5*time.Millisecond, 100*time.Millisecond)
+	go b.server.KeepaliveLoop(5*time.Millisecond, 100*time.Millisecond)
+	time.Sleep(150 * time.Millisecond)
+	if a.server.PeerCount() != 1 || b.server.PeerCount() != 1 {
+		t.Fatalf("live peers dropped by keepalive: a=%d b=%d",
+			a.server.PeerCount(), b.server.PeerCount())
+	}
+	last := a.server.Peers()[0].LastSeen()
+	if time.Since(last) > 50*time.Millisecond {
+		t.Errorf("liveness timestamp stale: %v", time.Since(last))
+	}
+}
+
+// TestKeepaliveDropsSilentPeer: a raw connection that completes the
+// handshake but never answers anything is evicted.
+func TestKeepaliveDropsSilentPeer(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "kd-a", newChain(t, chain.MainnetLikeConfig()))
+
+	// Hand-rolled mute peer: handshake, then read nothing, send nothing.
+	conn, err := mem.Dial("kd-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := a.bc.Genesis().Hash()
+	status := &Status{
+		ProtocolVersion: ProtocolVersion,
+		NetworkID:       1,
+		TD:              big.NewInt(1),
+		Genesis:         genesis,
+		Node:            discover.Node{ID: nodeID("mute"), Addr: "mute"},
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- WriteMsg(conn, MsgStatus, status.encode()) }()
+	if _, err := ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "mute peer registered", func() bool { return a.server.PeerCount() == 1 })
+
+	// The mute peer ignores pings; its queue fills and LastSeen ages.
+	go a.server.KeepaliveLoop(5*time.Millisecond, 60*time.Millisecond)
+	waitFor(t, "silent peer eviction", func() bool { return a.server.PeerCount() == 0 })
+	conn.Close()
+}
+
+// TestLivePartition is the paper's event end to end at the network layer:
+// four nodes peer up BEFORE the fork (all fork ids compatible), share the
+// pre-fork chain via gossip, and then — the moment each side mines its
+// fork block — the network physically splits: nodes feeding the other
+// side's fork block are dropped, and each partition converges on its own
+// head.
+func TestLivePartition(t *testing.T) {
+	mem := NewMemNet()
+	const forkBlock = 3
+	gen := testGenesis()
+
+	mkChain := func(eth bool) *chain.Blockchain {
+		var cfg *chain.Config
+		if eth {
+			cfg = chain.ETHConfig(forkBlock, nil, types.Address{})
+		} else {
+			cfg = chain.ETCConfig(forkBlock)
+		}
+		bc, err := chain.NewBlockchain(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bc
+	}
+	nodes := []*testNode{
+		newTestNode(t, mem, "lp-eth0", mkChain(true)),
+		newTestNode(t, mem, "lp-eth1", mkChain(true)),
+		newTestNode(t, mem, "lp-etc0", mkChain(false)),
+		newTestNode(t, mem, "lp-etc1", mkChain(false)),
+	}
+	// Full mesh pre-fork: everyone is compatible with everyone.
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if err := nodes[i].server.Connect(nodes[j].server.Self()); err != nil {
+				t.Fatalf("pre-fork connect %d-%d: %v", i, j, err)
+			}
+		}
+	}
+	waitFor(t, "full pre-fork mesh", func() bool {
+		for _, n := range nodes {
+			if n.server.PeerCount() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Shared era: eth0 mines blocks 1 and 2; gossip carries them to all.
+	for i := 0; i < 2; i++ {
+		blk := mineOn(t, nodes[0].bc, blkTx(t, nodes[0].bc, i))
+		nodes[0].server.BroadcastBlock(blk)
+		waitFor(t, "pre-fork block propagation", func() bool {
+			for _, n := range nodes {
+				if n.bc.Head().Hash() != blk.Hash() {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// The fork: each side mines its own block 3 and announces. Gossiping
+	// the incompatible block gets the sender dropped on the other side.
+	ethFork := mineOn(t, nodes[0].bc)
+	nodes[0].server.BroadcastBlock(ethFork)
+	nodes[0].server.AnnounceHead()
+	etcFork := mineOn(t, nodes[2].bc)
+	nodes[2].server.BroadcastBlock(etcFork)
+	nodes[2].server.AnnounceHead()
+
+	waitFor(t, "network partition", func() bool {
+		// Each node ends up peered only within its own side.
+		for i, n := range nodes {
+			for _, p := range n.server.Peers() {
+				sameSide := (i < 2) == (p.Node().Addr == "lp-eth0" || p.Node().Addr == "lp-eth1")
+				if !sameSide {
+					return false
+				}
+			}
+		}
+		// And the partitions converge on their own heads.
+		return nodes[1].bc.Head().Hash() == ethFork.Hash() &&
+			nodes[3].bc.Head().Hash() == etcFork.Hash()
+	})
+
+	// The split is permanent: reconnecting across the partition fails.
+	if err := nodes[0].server.Connect(nodes[2].server.Self()); !errors.Is(err, ErrForkMismatch) {
+		t.Errorf("cross-partition reconnect: err = %v", err)
+	}
+}
+
+// blkTx returns a small funded transfer for block bodies.
+func blkTx(t *testing.T, bc *chain.Blockchain, nonce int) *chain.Transaction {
+	t.Helper()
+	to := bob
+	return chain.NewTransaction(uint64(nonce), &to, big.NewInt(1), 21_000, big.NewInt(1), nil).Sign(alice, 0)
+}
+
+// TestGossipCarriesUncles: a block with an uncle survives the wire.
+func TestGossipCarriesUncles(t *testing.T) {
+	mem := NewMemNet()
+	a := newTestNode(t, mem, "unc-a", newChain(t, chain.MainnetLikeConfig()))
+	b := newTestNode(t, mem, "unc-b", newChain(t, chain.MainnetLikeConfig()))
+	if err := a.server.Connect(b.server.Self()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peering", func() bool {
+		return a.server.PeerCount() == 1 && b.server.PeerCount() == 1
+	})
+
+	// Build a sibling at height 1 on A, then a block 2 including it.
+	genesis := a.bc.Genesis()
+	main1, err := a.bc.BuildBlock(miner, genesis.Header.Time+5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.bc.InsertBlock(main1); err != nil {
+		t.Fatal(err)
+	}
+	a.server.BroadcastBlock(main1)
+	sibling, err := a.bc.BuildBlock(alice, genesis.Header.Time+5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the sibling on the genesis parent: BuildBlock builds on
+	// head (main1), so construct from genesis state directly.
+	st, err := a.bc.StateAt(genesis.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddBalance(alice, a.bc.Config().BlockReward)
+	root, err := st.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling = &chain.Block{Header: &chain.Header{
+		ParentHash:  genesis.Hash(),
+		Number:      1,
+		Time:        genesis.Header.Time + 20,
+		Difficulty:  chain.CalcDifficulty(a.bc.Config(), genesis.Header.Time+20, genesis.Header),
+		GasLimit:    a.bc.Config().GasLimit,
+		Coinbase:    alice,
+		StateRoot:   root,
+		TxRoot:      chain.TxRoot(nil),
+		ReceiptRoot: chain.ReceiptRoot(nil),
+		UncleHash:   chain.EmptyUncleHash,
+	}}
+	if err := a.bc.InsertBlock(sibling); err != nil {
+		t.Fatal(err)
+	}
+	a.server.BroadcastBlock(sibling)
+
+	uncles := a.bc.CollectUncles(a.bc.Head().Hash())
+	if len(uncles) != 1 {
+		t.Fatalf("CollectUncles = %d", len(uncles))
+	}
+	b2, err := a.bc.BuildBlockWithUncles(miner, a.bc.Head().Header.Time+14, nil, uncles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.bc.InsertBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	a.server.BroadcastBlock(b2)
+	waitFor(t, "uncle block propagation", func() bool {
+		return b.bc.Head().Hash() == b2.Hash()
+	})
+	got, _ := b.bc.GetBlock(b2.Hash())
+	if len(got.Uncles) != 1 || got.Uncles[0].Hash() != sibling.Hash() {
+		t.Error("uncle lost or corrupted in gossip")
+	}
+}

@@ -1,0 +1,125 @@
+package p2p
+
+import (
+	"math/big"
+	"net"
+	"sync"
+
+	"forkwatch/internal/discover"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// sendQueueLen bounds the per-peer outbound queue. Gossip is lossy by
+// design: a peer that cannot keep up misses announcements and recovers
+// through block-range sync.
+const sendQueueLen = 256
+
+// Peer is one live connection after a successful handshake.
+type Peer struct {
+	node   discover.Node
+	conn   net.Conn
+	status Status
+
+	sendCh chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	mu         sync.Mutex
+	headHash   types.Hash
+	headNumber uint64
+	td         *big.Int
+
+	// lastSeen is the unix-nano time of the latest inbound message
+	// (atomic; see keepalive.go).
+	lastSeen int64
+}
+
+func newPeer(conn net.Conn, status *Status) *Peer {
+	p := &Peer{
+		node:       status.Node,
+		conn:       conn,
+		status:     *status,
+		sendCh:     make(chan []byte, sendQueueLen),
+		closed:     make(chan struct{}),
+		headHash:   status.Head,
+		headNumber: status.HeadNumber,
+		td:         types.BigCopy(status.TD),
+	}
+	p.touch()
+	go p.writeLoop()
+	return p
+}
+
+// Node returns the peer's identity.
+func (p *Peer) Node() discover.Node { return p.node }
+
+// Status returns the handshake status the peer presented.
+func (p *Peer) Status() Status { return p.status }
+
+// Head returns the peer's last announced head and total difficulty.
+func (p *Peer) Head() (types.Hash, uint64, *big.Int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.headHash, p.headNumber, types.BigCopy(p.td)
+}
+
+func (p *Peer) setHead(hash types.Hash, number uint64, td *big.Int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if td != nil && (p.td == nil || td.Cmp(p.td) > 0) {
+		p.headHash, p.headNumber, p.td = hash, number, types.BigCopy(td)
+	}
+}
+
+// send enqueues a framed message; drops it when the peer's queue is full
+// or the peer is closing. Reports whether the message was queued.
+func (p *Peer) send(code uint64, body rlp.Value) bool {
+	payload := rlp.EncodeList(rlp.Uint(code), body)
+	frame := make([]byte, 4+len(payload))
+	frame[0] = byte(len(payload) >> 24)
+	frame[1] = byte(len(payload) >> 16)
+	frame[2] = byte(len(payload) >> 8)
+	frame[3] = byte(len(payload))
+	copy(frame[4:], payload)
+	select {
+	case p.sendCh <- frame:
+		return true
+	case <-p.closed:
+		return false
+	default:
+		return false // queue full: lossy gossip
+	}
+}
+
+func (p *Peer) writeLoop() {
+	for {
+		select {
+		case frame := <-p.sendCh:
+			if _, err := p.conn.Write(frame); err != nil {
+				p.Close()
+				return
+			}
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// Close tears the connection down. Idempotent.
+func (p *Peer) Close() {
+	p.once.Do(func() {
+		close(p.closed)
+		p.conn.Close()
+	})
+}
+
+// Closed reports whether the peer has been torn down.
+func (p *Peer) Closed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}

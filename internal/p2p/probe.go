@@ -1,0 +1,106 @@
+package p2p
+
+import (
+	"fmt"
+	"time"
+
+	"forkwatch/internal/discover"
+)
+
+// Probe is a lightweight handshake-only client used by the crawler
+// (experiment E1): it presents a chosen identity and fork id, completes
+// the status exchange, asks one FindNode question and disconnects.
+//
+// A probe presenting the ETC fork id is refused by ETH nodes and vice
+// versa, so a crawl "as ETC" counts exactly the nodes still reachable in
+// the ETC network — the measurement behind the paper's ~90% node-loss
+// observation.
+type Probe struct {
+	// Self is the identity the probe presents.
+	Self discover.Node
+	// Status is the chain summary the probe claims (genesis, fork id,
+	// head). Typically copied from a reference node on the desired fork.
+	Status Status
+	// Dialer reaches the network.
+	Dialer Dialer
+	// Timeout bounds each probe exchange.
+	Timeout time.Duration
+}
+
+// ProbeResult is one successful probe exchange.
+type ProbeResult struct {
+	// Remote is the status the target presented.
+	Remote Status
+	// Neighbors is the target's answer to FindNode(target.ID).
+	Neighbors []discover.Node
+}
+
+// Run probes one node: handshake, FindNode, disconnect.
+func (p *Probe) Run(target discover.Node) (*ProbeResult, error) {
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := p.Dialer.Dial(target.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("probe: dial %s: %w", target.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	status := p.Status
+	status.ProtocolVersion = ProtocolVersion
+	status.Node = p.Self
+	errCh := make(chan error, 1)
+	go func() { errCh <- WriteMsg(conn, MsgStatus, status.encode()) }()
+	msg, err := ReadMsg(conn)
+	if err != nil {
+		<-errCh
+		return nil, fmt.Errorf("probe: handshake with %s: %w", target.Addr, err)
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	if msg.Code != MsgStatus {
+		return nil, fmt.Errorf("%w: first message code %d", ErrBadMessage, msg.Code)
+	}
+	remote, err := decodeStatus(msg.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !remote.ForkID.Compatible(status.ForkID) {
+		return nil, ErrForkMismatch
+	}
+
+	if err := WriteMsg(conn, MsgFindNode, encodeFindNode(target.ID)); err != nil {
+		return nil, err
+	}
+	// The target may send us unsolicited gossip; scan for the Neighbors
+	// answer.
+	for i := 0; i < 16; i++ {
+		msg, err = ReadMsg(conn)
+		if err != nil {
+			return nil, fmt.Errorf("probe: awaiting neighbors from %s: %w", target.Addr, err)
+		}
+		if msg.Code != MsgNeighbors {
+			continue
+		}
+		neighbors, err := decodeNeighbors(msg.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &ProbeResult{Remote: *remote, Neighbors: neighbors}, nil
+	}
+	return nil, fmt.Errorf("probe: %s never answered FindNode", target.Addr)
+}
+
+// FindNodeFunc adapts the probe to the discover.Crawl interface.
+func (p *Probe) FindNodeFunc() discover.FindNodeFunc {
+	return func(n discover.Node, _ discover.NodeID) ([]discover.Node, error) {
+		res, err := p.Run(n)
+		if err != nil {
+			return nil, err
+		}
+		return res.Neighbors, nil
+	}
+}

@@ -1,0 +1,260 @@
+package p2p
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Secure channel: forkwatch's analogue of devp2p's RLPx transport. Real
+// Ethereum nodes encrypt and authenticate every frame after an ECIES
+// handshake; forkwatch does the same with Go's standard crypto — an
+// ephemeral X25519-style ECDH (P-256) agreement, per-direction AES-CTR
+// keystreams and HMAC-SHA256 frame tags. cmd/forknode enables it with
+// -secure; the protocol above is byte-identical either way.
+//
+// Substitution note (DESIGN.md): RLPx uses secp256k1 ECIES with a
+// Keccak-based MAC scheme; P-256 + HMAC-SHA256 preserves the properties
+// the system depends on (confidentiality, per-frame integrity, fresh keys
+// per connection) using only the standard library.
+
+// Secure-channel errors.
+var (
+	ErrSecureHandshake = errors.New("p2p: secure handshake failed")
+	ErrFrameTag        = errors.New("p2p: frame authentication failed")
+)
+
+const (
+	secureTagLen    = sha256.Size
+	secureMaxFrame  = MaxFrameSize + 1024
+	secureHSTimeout = 5 * time.Second
+)
+
+// secureConn wraps a net.Conn with encrypted, authenticated framing.
+type secureConn struct {
+	net.Conn
+	enc, dec cipher.Stream
+	macTx    []byte // HMAC key for sent frames
+	macRx    []byte // HMAC key for received frames
+	sendSeq  uint64
+	recvSeq  uint64
+	readBuf  []byte // decrypted bytes not yet consumed
+}
+
+// SecureClient upgrades the initiator side of conn to the encrypted
+// channel. Must be paired with SecureServer on the other end before any
+// protocol bytes flow.
+func SecureClient(conn net.Conn) (net.Conn, error) { return secureHandshake(conn, true) }
+
+// SecureServer upgrades the responder side of conn.
+func SecureServer(conn net.Conn) (net.Conn, error) { return secureHandshake(conn, false) }
+
+// SecureDialer wraps a Dialer so every outbound connection is upgraded.
+func SecureDialer(d Dialer) Dialer {
+	return DialerFunc(func(addr string) (net.Conn, error) {
+		conn, err := d.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := SecureClient(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return sc, nil
+	})
+}
+
+// SecureListener wraps a net.Listener so every inbound connection is
+// upgraded.
+func SecureListener(ln net.Listener) net.Listener { return &secureListener{Listener: ln} }
+
+type secureListener struct{ net.Listener }
+
+// Accept implements net.Listener, upgrading each inbound connection.
+func (l *secureListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := SecureServer(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return sc, nil
+}
+
+func secureHandshake(conn net.Conn, initiator bool) (net.Conn, error) {
+	deadline := time.Now().Add(secureHSTimeout)
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+
+	curve := ecdh.P256()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("%w: keygen: %v", ErrSecureHandshake, err)
+	}
+	pub := priv.PublicKey().Bytes()
+
+	// Exchange ephemeral public keys, length-prefixed; write and read
+	// concurrently (net.Pipe has no buffering).
+	errCh := make(chan error, 1)
+	go func() {
+		var lenBuf [2]byte
+		binary.BigEndian.PutUint16(lenBuf[:], uint16(len(pub)))
+		if _, err := conn.Write(lenBuf[:]); err != nil {
+			errCh <- err
+			return
+		}
+		_, err := conn.Write(pub)
+		errCh <- err
+	}()
+	// On any failure, close the conn before draining errCh so the
+	// concurrent key write cannot block on an unread pipe.
+	bail := func(format string, args ...any) error {
+		conn.Close()
+		<-errCh
+		return fmt.Errorf(format, args...)
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, bail("%w: reading peer key: %v", ErrSecureHandshake, err)
+	}
+	peerLen := binary.BigEndian.Uint16(lenBuf[:])
+	if peerLen == 0 || peerLen > 256 {
+		return nil, bail("%w: absurd key length %d", ErrSecureHandshake, peerLen)
+	}
+	peerBytes := make([]byte, peerLen)
+	if _, err := io.ReadFull(conn, peerBytes); err != nil {
+		return nil, bail("%w: reading peer key: %v", ErrSecureHandshake, err)
+	}
+	if err := <-errCh; err != nil {
+		return nil, fmt.Errorf("%w: sending key: %v", ErrSecureHandshake, err)
+	}
+	peerPub, err := curve.NewPublicKey(peerBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad peer key: %v", ErrSecureHandshake, err)
+	}
+	secret, err := priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: agreement: %v", ErrSecureHandshake, err)
+	}
+
+	// Key schedule: four independent keys derived from the shared secret
+	// with role-tagged labels, so each direction has its own cipher
+	// stream and MAC key.
+	kdf := func(label string) []byte {
+		h := sha256.New()
+		h.Write(secret)
+		h.Write([]byte(label))
+		return h.Sum(nil)
+	}
+	encKeyI := kdf("enc-initiator") // initiator -> responder
+	encKeyR := kdf("enc-responder")
+	macKeyI := kdf("mac-initiator")
+	macKeyR := kdf("mac-responder")
+	ivI := kdf("iv-initiator")[:aes.BlockSize]
+	ivR := kdf("iv-responder")[:aes.BlockSize]
+
+	mkStream := func(key, iv []byte) (cipher.Stream, error) {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		return cipher.NewCTR(block, iv), nil
+	}
+	sI, err := mkStream(encKeyI, ivI)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSecureHandshake, err)
+	}
+	sR, err := mkStream(encKeyR, ivR)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSecureHandshake, err)
+	}
+
+	sc := &secureConn{Conn: conn}
+	if initiator {
+		sc.enc, sc.dec = sI, sR
+		sc.macTx, sc.macRx = macKeyI, macKeyR
+	} else {
+		sc.enc, sc.dec = sR, sI
+		sc.macTx, sc.macRx = macKeyR, macKeyI
+	}
+	return sc, nil
+}
+
+// Write encrypts p as one frame: 4-byte length, ciphertext, HMAC tag over
+// (sequence number || ciphertext). Implements net.Conn.
+func (s *secureConn) Write(p []byte) (int, error) {
+	if len(p) > secureMaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	ct := make([]byte, len(p))
+	s.enc.XORKeyStream(ct, p)
+
+	mac := hmac.New(sha256.New, s.macTx)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], s.sendSeq)
+	s.sendSeq++
+	mac.Write(seq[:])
+	mac.Write(ct)
+	tag := mac.Sum(nil)
+
+	frame := make([]byte, 4+len(ct)+secureTagLen)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(ct)))
+	copy(frame[4:], ct)
+	copy(frame[4+len(ct):], tag)
+	if _, err := s.Conn.Write(frame); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read returns decrypted bytes, buffering frame remainders. Implements
+// net.Conn.
+func (s *secureConn) Read(p []byte) (int, error) {
+	if len(s.readBuf) > 0 {
+		n := copy(p, s.readBuf)
+		s.readBuf = s.readBuf[n:]
+		return n, nil
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(s.Conn, lenBuf[:]); err != nil {
+		return 0, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > secureMaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	body := make([]byte, int(size)+secureTagLen)
+	if _, err := io.ReadFull(s.Conn, body); err != nil {
+		return 0, err
+	}
+	ct, tag := body[:size], body[size:]
+
+	mac := hmac.New(sha256.New, s.macRx)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], s.recvSeq)
+	s.recvSeq++
+	mac.Write(seq[:])
+	mac.Write(ct)
+	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+		return 0, ErrFrameTag
+	}
+	pt := make([]byte, size)
+	s.dec.XORKeyStream(pt, ct)
+	n := copy(p, pt)
+	s.readBuf = pt[n:]
+	return n, nil
+}

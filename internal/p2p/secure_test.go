@@ -1,0 +1,225 @@
+package p2p
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/discover"
+	"forkwatch/internal/rlp"
+)
+
+// securePair returns two ends of an established secure channel over
+// net.Pipe.
+func securePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := SecureServer(b)
+		ch <- res{c, err}
+	}()
+	client, err := SecureClient(a)
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	server := <-ch
+	if server.err != nil {
+		t.Fatalf("server handshake: %v", server.err)
+	}
+	return client, server.conn
+}
+
+func TestSecureEcho(t *testing.T) {
+	client, server := securePair(t)
+	defer client.Close()
+	defer server.Close()
+
+	msgs := [][]byte{
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xAB}, 10_000), // multi-read frame
+		[]byte(""),
+		[]byte("final"),
+	}
+	go func() {
+		for _, m := range msgs {
+			if len(m) == 0 {
+				continue
+			}
+			client.Write(m)
+		}
+	}()
+	for _, want := range msgs {
+		if len(want) == 0 {
+			continue
+		}
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(server, got); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("echo mismatch: %d bytes vs %d", len(got), len(want))
+		}
+	}
+}
+
+func TestSecureBidirectional(t *testing.T) {
+	client, server := securePair(t)
+	defer client.Close()
+	defer server.Close()
+	go server.Write([]byte("from-server"))
+	go client.Write([]byte("from-client"))
+	buf := make([]byte, 11)
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "from-server" {
+		t.Fatalf("client read %q, %v", buf, err)
+	}
+	if _, err := io.ReadFull(server, buf); err != nil || string(buf) != "from-client" {
+		t.Fatalf("server read %q, %v", buf, err)
+	}
+}
+
+// TestSecureCiphertextOnWire verifies the plaintext never crosses the
+// underlying connection.
+func TestSecureCiphertextOnWire(t *testing.T) {
+	rawA, rawB := net.Pipe()
+	// tap records everything the client writes to the wire.
+	tap := &tapConn{Conn: rawA}
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := SecureServer(rawB)
+		ch <- res{c, err}
+	}()
+	client, err := SecureClient(tap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-ch
+	if server.err != nil {
+		t.Fatal(server.err)
+	}
+	secret := []byte("extremely-secret-payload-watch-me")
+	go client.Write(secret)
+	buf := make([]byte, len(secret))
+	if _, err := io.ReadFull(server.conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(tap.captured, secret) {
+		t.Fatal("plaintext visible on the wire")
+	}
+}
+
+type tapConn struct {
+	net.Conn
+	captured []byte
+}
+
+func (c *tapConn) Write(p []byte) (int, error) {
+	c.captured = append(c.captured, p...)
+	return c.Conn.Write(p)
+}
+
+// TestSecureTamperDetected flips a ciphertext bit in flight; the reader
+// must reject the frame.
+func TestSecureTamperDetected(t *testing.T) {
+	rawA, rawB := net.Pipe()
+	flipper := &flipConn{Conn: rawA}
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := SecureServer(rawB)
+		ch <- res{c, err}
+	}()
+	client, err := SecureClient(flipper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-ch
+	if server.err != nil {
+		t.Fatal(server.err)
+	}
+	flipper.arm = true // start corrupting after the handshake
+	go client.Write([]byte("payload"))
+	buf := make([]byte, 7)
+	_, err = server.conn.Read(buf)
+	if !errors.Is(err, ErrFrameTag) {
+		t.Fatalf("tampered frame read: err = %v, want ErrFrameTag", err)
+	}
+}
+
+type flipConn struct {
+	net.Conn
+	arm bool
+}
+
+func (c *flipConn) Write(p []byte) (int, error) {
+	if c.arm && len(p) > 6 {
+		q := append([]byte(nil), p...)
+		q[5] ^= 0x01 // inside the ciphertext (after the 4-byte length)
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+// TestSecureServersInterop runs the full p2p stack over the secure
+// transport: two servers, block gossip end to end.
+func TestSecureServersInterop(t *testing.T) {
+	mem := NewMemNet()
+	newSecureNode := func(name string, bc *chain.Blockchain) (*Server, *ChainBackend) {
+		backend := NewChainBackend(bc)
+		srv := NewServer(Config{
+			Self:      discover.Node{ID: nodeID(name), Addr: name},
+			NetworkID: 1,
+			Backend:   backend,
+			Dialer:    SecureDialer(mem),
+		})
+		ln, err := mem.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(SecureListener(ln))
+		t.Cleanup(srv.Close)
+		return srv, backend
+	}
+	a, aBackend := newSecureNode("sec-a", newChain(t, chain.MainnetLikeConfig()))
+	b, _ := newSecureNode("sec-b", newChain(t, chain.MainnetLikeConfig()))
+	_ = aBackend
+
+	if err := b.Connect(a.Self()); err != nil {
+		t.Fatalf("secure connect: %v", err)
+	}
+	waitFor(t, "secure peering", func() bool {
+		return a.PeerCount() == 1 && b.PeerCount() == 1
+	})
+}
+
+// TestSecureMismatchFails: a plaintext client against a secure server (and
+// vice versa) must not complete a protocol handshake.
+func TestSecureMismatchFails(t *testing.T) {
+	a, b := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SecureServer(b)
+		done <- err
+	}()
+	// Plaintext status bytes arrive where a key exchange was expected.
+	go WriteMsg(a, MsgStatus, rlp.List(rlp.Uint(1)))
+	if err := <-done; err == nil {
+		t.Fatal("secure server accepted a plaintext peer")
+	}
+	a.Close()
+	b.Close()
+}

@@ -1,0 +1,537 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/discover"
+)
+
+// Handshake / connection errors.
+var (
+	ErrGenesisMismatch  = errors.New("p2p: genesis mismatch")
+	ErrNetworkMismatch  = errors.New("p2p: network id mismatch")
+	ErrProtocolMismatch = errors.New("p2p: protocol version mismatch")
+	ErrForkMismatch     = errors.New("p2p: incompatible fork id (other side of the partition)")
+	ErrAlreadyConnected = errors.New("p2p: already connected to this node")
+	ErrTooManyPeers     = errors.New("p2p: peer limit reached")
+	ErrServerClosed     = errors.New("p2p: server closed")
+	ErrSelfConnect      = errors.New("p2p: refusing to connect to self")
+)
+
+// handshakeTimeout bounds the status exchange.
+const handshakeTimeout = 5 * time.Second
+
+// maxServedBlocks caps one MsgGetBlocks response.
+const maxServedBlocks = 128
+
+// Dialer connects to a node address. net.Dialer-based transports and the
+// in-memory MemNet both satisfy it.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(addr string) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(addr string) (net.Conn, error) { return f(addr) }
+
+// TCPDialer dials over real TCP.
+func TCPDialer(timeout time.Duration) Dialer {
+	return DialerFunc(func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
+	})
+}
+
+// Config configures a Server.
+type Config struct {
+	// Self is the node identity advertised in handshakes and neighbors
+	// responses. Self.Addr must be dialable via Dialer.
+	Self discover.Node
+	// NetworkID must match between peers (1 for the mainnet-like nets).
+	NetworkID uint64
+	// MaxPeers bounds live connections (inbound + outbound).
+	MaxPeers int
+	// Backend is the ledger gossiped for.
+	Backend Backend
+	// Dialer reaches other nodes; required for Connect and discovery.
+	Dialer Dialer
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Server runs the wire protocol for one node: it accepts and dials peers,
+// gossips blocks and transactions, serves sync and discovery queries, and
+// enforces the fork-id handshake that partitions the network.
+type Server struct {
+	cfg   Config
+	table *discover.Table
+
+	mu       sync.Mutex
+	peers    map[discover.NodeID]*Peer
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	quit chan struct{}
+}
+
+// NewServer returns a stopped server; call Serve (with a listener) and/or
+// Connect to join the network.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 25
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:   cfg,
+		table: discover.NewTable(cfg.Self),
+		peers: make(map[discover.NodeID]*Peer),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Self returns the local node identity.
+func (s *Server) Self() discover.Node { return s.cfg.Self }
+
+// Table exposes the discovery table (the crawler and tests read it).
+func (s *Server) Table() *discover.Table { return s.table }
+
+// Serve accepts inbound connections until the listener or server closes.
+// It blocks; run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if _, err := s.setupConn(conn); err != nil {
+				s.cfg.Logf("p2p[%s]: inbound handshake failed: %v", s.cfg.Self.Addr, err)
+			}
+		}()
+	}
+}
+
+// Connect dials a node and runs the handshake. On success the peer is
+// live and its read loop runs until disconnect.
+func (s *Server) Connect(n discover.Node) error {
+	if n.ID == s.cfg.Self.ID {
+		return ErrSelfConnect
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if _, dup := s.peers[n.ID]; dup {
+		s.mu.Unlock()
+		return ErrAlreadyConnected
+	}
+	s.mu.Unlock()
+
+	conn, err := s.cfg.Dialer.Dial(n.Addr)
+	if err != nil {
+		s.table.Remove(n.ID)
+		return fmt.Errorf("p2p: dial %s: %w", n.Addr, err)
+	}
+	_, err = s.setupConn(conn)
+	return err
+}
+
+// localStatus snapshots the handshake payload.
+func (s *Server) localStatus() *Status {
+	head, number, td := s.cfg.Backend.Head()
+	return &Status{
+		ProtocolVersion: ProtocolVersion,
+		NetworkID:       s.cfg.NetworkID,
+		TD:              td,
+		Head:            head,
+		HeadNumber:      number,
+		Genesis:         s.cfg.Backend.Genesis(),
+		ForkID:          s.cfg.Backend.ForkID(),
+		Node:            s.cfg.Self,
+	}
+}
+
+// setupConn performs the status exchange and, on success, registers the
+// peer and starts its read loop.
+func (s *Server) setupConn(conn net.Conn) (*Peer, error) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	// Write our status and read theirs concurrently; net.Pipe has no
+	// buffering, so sequential write-then-read deadlocks when both sides
+	// write first.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- WriteMsg(conn, MsgStatus, s.localStatus().encode())
+	}()
+	msg, err := ReadMsg(conn)
+	if err != nil {
+		conn.Close()
+		<-errCh
+		return nil, fmt.Errorf("p2p: reading status: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("p2p: writing status: %w", err)
+	}
+	if msg.Code != MsgStatus {
+		conn.Close()
+		return nil, fmt.Errorf("%w: first message code %d", ErrBadMessage, msg.Code)
+	}
+	remote, err := decodeStatus(msg.Body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := s.checkStatus(remote); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+
+	peer := newPeer(conn, remote)
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		peer.Close()
+		return nil, ErrServerClosed
+	case len(s.peers) >= s.cfg.MaxPeers:
+		s.mu.Unlock()
+		peer.Close()
+		return nil, ErrTooManyPeers
+	default:
+		if _, dup := s.peers[remote.Node.ID]; dup {
+			s.mu.Unlock()
+			peer.Close()
+			return nil, ErrAlreadyConnected
+		}
+		s.peers[remote.Node.ID] = peer
+	}
+	s.mu.Unlock()
+	s.table.Add(remote.Node)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.readLoop(peer)
+	}()
+
+	// If the peer is ahead, start syncing.
+	s.maybeSync(peer)
+	return peer, nil
+}
+
+func (s *Server) checkStatus(remote *Status) error {
+	if remote.ProtocolVersion != ProtocolVersion {
+		return fmt.Errorf("%w: %d vs %d", ErrProtocolMismatch, remote.ProtocolVersion, ProtocolVersion)
+	}
+	if remote.NetworkID != s.cfg.NetworkID {
+		return fmt.Errorf("%w: %d vs %d", ErrNetworkMismatch, remote.NetworkID, s.cfg.NetworkID)
+	}
+	if remote.Genesis != s.cfg.Backend.Genesis() {
+		return ErrGenesisMismatch
+	}
+	if remote.Node.ID == s.cfg.Self.ID {
+		return ErrSelfConnect
+	}
+	if !remote.ForkID.Compatible(s.cfg.Backend.ForkID()) {
+		return ErrForkMismatch
+	}
+	return nil
+}
+
+func (s *Server) readLoop(p *Peer) {
+	defer s.dropPeer(p)
+	for {
+		msg, err := ReadMsg(p.conn)
+		if err != nil {
+			return
+		}
+		p.touch()
+		if s.handleKeepalive(p, msg) {
+			continue
+		}
+		if err := s.handle(p, msg); err != nil {
+			s.cfg.Logf("p2p[%s]: dropping %x: %v", s.cfg.Self.Addr, p.node.ID[:4], err)
+			return
+		}
+	}
+}
+
+func (s *Server) dropPeer(p *Peer) {
+	p.Close()
+	s.mu.Lock()
+	if cur, ok := s.peers[p.node.ID]; ok && cur == p {
+		delete(s.peers, p.node.ID)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(p *Peer, msg Message) error {
+	switch msg.Code {
+	case MsgStatus:
+		// Post-handshake status refresh (head announcement).
+		remote, err := decodeStatus(msg.Body)
+		if err != nil {
+			return err
+		}
+		// A peer that crossed to the other side of the partition (e.g.
+		// upgraded software mid-session) is dropped, as real nodes do.
+		if !remote.ForkID.Compatible(s.cfg.Backend.ForkID()) {
+			return ErrForkMismatch
+		}
+		p.setHead(remote.Head, remote.HeadNumber, remote.TD)
+		s.maybeSync(p)
+		return nil
+
+	case MsgNewBlock:
+		blk, td, err := decodeNewBlock(msg.Body)
+		if err != nil {
+			return err
+		}
+		p.setHead(blk.Hash(), blk.Number(), td)
+		if s.cfg.Backend.HasBlock(blk.Hash()) {
+			return nil
+		}
+		switch err := s.cfg.Backend.InsertBlock(blk); {
+		case err == nil:
+			s.relayBlock(blk, td, p.node.ID)
+		case errors.Is(err, chain.ErrKnownBlock):
+			// raced another relay; fine
+		case errors.Is(err, chain.ErrUnknownParent):
+			s.maybeSync(p)
+		case errors.Is(err, chain.ErrSideOfPartition):
+			return err // drop peers feeding us the other fork
+		default:
+			s.cfg.Logf("p2p[%s]: bad block %s: %v", s.cfg.Self.Addr, blk.Hash(), err)
+		}
+		return nil
+
+	case MsgTransactions:
+		txs, err := decodeTxs(msg.Body)
+		if err != nil {
+			return err
+		}
+		var fresh []*chain.Transaction
+		for _, tx := range txs {
+			if s.cfg.Backend.KnowsTransaction(tx.Hash()) {
+				continue
+			}
+			if err := s.cfg.Backend.AddTransaction(tx); err == nil {
+				fresh = append(fresh, tx)
+			}
+		}
+		if len(fresh) > 0 {
+			s.relayTxs(fresh, p.node.ID)
+		}
+		return nil
+
+	case MsgGetBlocks:
+		from, count, err := decodeGetBlocks(msg.Body)
+		if err != nil {
+			return err
+		}
+		if count > maxServedBlocks {
+			count = maxServedBlocks
+		}
+		var blocks []*chain.Block
+		for n := from; n < from+count; n++ {
+			b, ok := s.cfg.Backend.BlockByNumber(n)
+			if !ok {
+				break
+			}
+			blocks = append(blocks, b)
+		}
+		p.send(MsgBlocks, encodeBlocks(blocks))
+		return nil
+
+	case MsgBlocks:
+		blocks, err := decodeBlocks(msg.Body)
+		if err != nil {
+			return err
+		}
+		for _, blk := range blocks {
+			if s.cfg.Backend.HasBlock(blk.Hash()) {
+				continue
+			}
+			if err := s.cfg.Backend.InsertBlock(blk); err != nil {
+				if errors.Is(err, chain.ErrSideOfPartition) {
+					return err
+				}
+				break
+			}
+		}
+		// Keep pulling if the peer is still ahead.
+		s.maybeSync(p)
+		return nil
+
+	case MsgFindNode:
+		target, err := decodeFindNode(msg.Body)
+		if err != nil {
+			return err
+		}
+		nodes := s.table.Closest(target, discover.BucketSize)
+		p.send(MsgNeighbors, encodeNeighbors(nodes))
+		return nil
+
+	case MsgNeighbors:
+		nodes, err := decodeNeighbors(msg.Body)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if n.ID != s.cfg.Self.ID {
+				s.table.Add(n)
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("%w: unknown code %d", ErrBadMessage, msg.Code)
+	}
+}
+
+// maybeSync requests the next block range when the peer advertises a
+// heavier chain.
+func (s *Server) maybeSync(p *Peer) {
+	_, localNum, localTD := s.cfg.Backend.Head()
+	_, remoteNum, remoteTD := p.Head()
+	if remoteTD == nil || localTD.Cmp(remoteTD) >= 0 {
+		return
+	}
+	from := localNum + 1
+	count := uint64(maxServedBlocks)
+	if remoteNum >= from && remoteNum-from+1 < count {
+		count = remoteNum - from + 1
+	}
+	// A heavier chain may be shorter; ask for at least one block around
+	// our head so fork choice can see it.
+	if remoteNum < from {
+		if remoteNum == 0 {
+			return
+		}
+		from = remoteNum
+		count = 1
+	}
+	p.send(MsgGetBlocks, encodeGetBlocks(from, count))
+}
+
+// BroadcastBlock announces a locally produced block to every peer.
+func (s *Server) BroadcastBlock(b *chain.Block) {
+	_, _, td := s.cfg.Backend.Head()
+	s.relayBlock(b, td, discover.NodeID{})
+}
+
+func (s *Server) relayBlock(b *chain.Block, td *big.Int, except discover.NodeID) {
+	body := encodeNewBlock(b, td)
+	for _, p := range s.Peers() {
+		if p.node.ID == except {
+			continue
+		}
+		p.send(MsgNewBlock, body)
+	}
+}
+
+// BroadcastTxs announces transactions to every peer.
+func (s *Server) BroadcastTxs(txs []*chain.Transaction) {
+	s.relayTxs(txs, discover.NodeID{})
+}
+
+func (s *Server) relayTxs(txs []*chain.Transaction, except discover.NodeID) {
+	body := encodeTxs(txs)
+	for _, p := range s.Peers() {
+		if p.node.ID == except {
+			continue
+		}
+		p.send(MsgTransactions, body)
+	}
+}
+
+// AnnounceHead sends a status refresh to all peers (e.g. after importing
+// blocks out of band). Peers that became incompatible — the fork just
+// activated — will drop us, partitioning the network.
+func (s *Server) AnnounceHead() {
+	status := s.localStatus().encode()
+	for _, p := range s.Peers() {
+		p.send(MsgStatus, status)
+	}
+}
+
+// RequestNeighbors asks every peer for nodes near target, growing the
+// local table.
+func (s *Server) RequestNeighbors(target discover.NodeID) {
+	body := encodeFindNode(target)
+	for _, p := range s.Peers() {
+		p.send(MsgFindNode, body)
+	}
+}
+
+// Peers returns a snapshot of live peers.
+func (s *Server) Peers() []*Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PeerCount returns the number of live peers.
+func (s *Server) PeerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// Close tears down the listener and every peer and waits for the loops to
+// exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.quit)
+	ln := s.listener
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	s.wg.Wait()
+}

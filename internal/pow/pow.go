@@ -1,0 +1,113 @@
+// Package pow simulates Ethereum's proof-of-work sealing.
+//
+// Substitution note (DESIGN.md §2): real Ethash requires a multi-GiB DAG
+// and GPU-scale hashing; none of the paper's measurements depend on the
+// hash function itself, only on the *rate* at which a network of miners
+// finds blocks. Mining is a memoryless lottery, so block inter-arrival
+// times are exponential with mean difficulty/hashrate; the Sampler draws
+// from exactly that distribution with a seeded RNG. The seal itself is a
+// binding commitment (MixDigest = keccak256(sealHash || nonce)) that
+// validators check, preserving header integrity on the wire without
+// requiring real work.
+package pow
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/types"
+)
+
+// ErrInvalidSeal reports a header whose seal does not commit to its
+// contents.
+var ErrInvalidSeal = errors.New("pow: invalid seal")
+
+// Seal stamps the header with a nonce and the binding mix digest. The
+// nonce is drawn from r so identical simulation seeds produce identical
+// chains.
+func Seal(h *chain.Header, r *rand.Rand) {
+	h.Nonce = r.Uint64()
+	h.MixDigest = mixDigest(h.SealHash(), h.Nonce)
+}
+
+// Verify checks that the header's mix digest commits to its seal hash and
+// nonce.
+func Verify(h *chain.Header) error {
+	if h.MixDigest != mixDigest(h.SealHash(), h.Nonce) {
+		return ErrInvalidSeal
+	}
+	return nil
+}
+
+func mixDigest(sealHash types.Hash, nonce uint64) types.Hash {
+	var buf [40]byte
+	copy(buf[:32], sealHash.Bytes())
+	binary.BigEndian.PutUint64(buf[32:], nonce)
+	sum := keccak.Sum256(buf[:])
+	return types.BytesToHash(sum[:])
+}
+
+// Sampler draws block intervals for a mining population.
+type Sampler struct {
+	r *rand.Rand
+}
+
+// NewSampler returns a sampler over the given RNG.
+func NewSampler(r *rand.Rand) *Sampler { return &Sampler{r: r} }
+
+// BlockInterval draws the time (in seconds, >= 1) until the next block for
+// a network hashing at `hashrate` H/s against `difficulty`: an exponential
+// with mean difficulty/hashrate.
+func (s *Sampler) BlockInterval(difficulty *big.Int, hashrate float64) uint64 {
+	mean := Mean(difficulty, hashrate)
+	draw := s.r.ExpFloat64() * mean
+	if draw < 1 {
+		return 1
+	}
+	if draw > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return uint64(draw)
+}
+
+// WinnerIndex picks which miner found the block, proportionally to the
+// weights (hashrates). Zero total weight returns -1.
+func (s *Sampler) WinnerIndex(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := s.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Mean returns the expected block interval in seconds for the given
+// difficulty and hashrate.
+func Mean(difficulty *big.Int, hashrate float64) float64 {
+	if hashrate <= 0 {
+		return math.Inf(1)
+	}
+	d, _ := new(big.Float).SetInt(difficulty).Float64()
+	return d / hashrate
+}
+
+// EquilibriumHashrate returns the hashrate that would produce the target
+// block time at the given difficulty — useful for calibrating scenarios.
+func EquilibriumHashrate(difficulty *big.Int, targetSeconds float64) float64 {
+	d, _ := new(big.Float).SetInt(difficulty).Float64()
+	return d / targetSeconds
+}

@@ -1,0 +1,91 @@
+package pow
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"forkwatch/internal/chain"
+)
+
+func TestSealVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := &chain.Header{Number: 7, Time: 1234, Difficulty: big.NewInt(99999)}
+	Seal(h, r)
+	if err := Verify(h); err != nil {
+		t.Fatalf("freshly sealed header invalid: %v", err)
+	}
+	h.Time++ // tamper: seal no longer commits
+	if err := Verify(h); err == nil {
+		t.Error("tampered header should fail seal verification")
+	}
+}
+
+func TestSealDeterministic(t *testing.T) {
+	h1 := &chain.Header{Number: 1, Difficulty: big.NewInt(5)}
+	h2 := &chain.Header{Number: 1, Difficulty: big.NewInt(5)}
+	Seal(h1, rand.New(rand.NewSource(42)))
+	Seal(h2, rand.New(rand.NewSource(42)))
+	if h1.Nonce != h2.Nonce || h1.MixDigest != h2.MixDigest {
+		t.Error("same seed should produce the same seal")
+	}
+}
+
+// TestBlockIntervalMean checks the sampler realises the exponential mean
+// difficulty/hashrate (the relationship all Fig 1 dynamics derive from).
+func TestBlockIntervalMean(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(7)))
+	diff := big.NewInt(14_000_000) // with 1e6 H/s → mean 14s
+	const n = 20_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.BlockInterval(diff, 1e6))
+	}
+	mean := sum / n
+	if math.Abs(mean-14) > 0.5 {
+		t.Errorf("empirical mean interval = %.2f, want ~14", mean)
+	}
+}
+
+func TestBlockIntervalFloorsAtOneSecond(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(1)))
+	for i := 0; i < 1000; i++ {
+		if got := s.BlockInterval(big.NewInt(1), 1e9); got < 1 {
+			t.Fatalf("interval %d below 1s floor", got)
+		}
+	}
+}
+
+func TestWinnerIndexProportional(t *testing.T) {
+	s := NewSampler(rand.New(rand.NewSource(3)))
+	weights := []float64{10, 30, 60}
+	counts := make([]int, 3)
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[s.WinnerIndex(weights)]++
+	}
+	for i, want := range []float64{0.10, 0.30, 0.60} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("winner %d frequency = %.3f, want ~%.2f", i, got, want)
+		}
+	}
+	if s.WinnerIndex([]float64{0, 0}) != -1 {
+		t.Error("zero total weight should return -1")
+	}
+}
+
+func TestMeanAndEquilibrium(t *testing.T) {
+	d := big.NewInt(1_400_000)
+	if got := Mean(d, 100_000); math.Abs(got-14) > 1e-9 {
+		t.Errorf("Mean = %v, want 14", got)
+	}
+	if !math.IsInf(Mean(d, 0), 1) {
+		t.Error("zero hashrate should mean infinite interval")
+	}
+	hr := EquilibriumHashrate(d, 14)
+	if math.Abs(hr-100_000) > 1e-6 {
+		t.Errorf("EquilibriumHashrate = %v, want 100000", hr)
+	}
+}

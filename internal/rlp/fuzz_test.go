@@ -1,0 +1,28 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic,
+// and anything that decodes must re-encode to exactly the same bytes
+// (canonical form means decode∘encode is the identity on valid input).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xc0})
+	f.Add([]byte{0x83, 'd', 'o', 'g'})
+	f.Add([]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'})
+	f.Add([]byte{0xb8, 0x38})
+	f.Add([]byte{0xf8, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(v)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not identity: %x -> %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/market"
+	"forkwatch/internal/pool"
+	"forkwatch/internal/pow"
+	"forkwatch/internal/types"
+)
+
+// TxInfo describes one mined transaction to observers.
+type TxInfo struct {
+	Hash       types.Hash
+	From       types.Address
+	Contract   bool
+	ChainBound bool
+}
+
+// BlockEvent is emitted for every mined block.
+type BlockEvent struct {
+	Chain      string
+	Day        int
+	Number     uint64
+	Time       uint64
+	Delta      uint64
+	Difficulty *big.Int
+	Coinbase   types.Address
+	Txs        []TxInfo
+}
+
+// DayEvent is emitted at the end of each simulated day.
+type DayEvent struct {
+	Day                      int
+	ETHUSD, ETCUSD           float64
+	ETHHashrate, ETCHashrate float64
+	ETHDifficulty            *big.Int
+	ETCDifficulty            *big.Int
+}
+
+// Observer receives simulation events; the analysis package implements it.
+type Observer interface {
+	OnBlock(*BlockEvent)
+	OnDay(*DayEvent)
+}
+
+// Engine runs one two-partition fork scenario.
+type Engine struct {
+	sc      *Scenario
+	r       *rand.Rand
+	sampler *pow.Sampler
+
+	ETH, ETC Ledger
+	Workload *Workload
+
+	ethPools, etcPools *pool.Population
+	Prices             market.Series
+
+	ethShare  float64 // arbitrage state: ETH's share of hashrate
+	observers []Observer
+
+	// pending carries unmined submissions across days, per chain.
+	pending map[string][]txPlan
+}
+
+// New builds an engine (ledgers, workload, pools, prices) from a scenario.
+func New(sc *Scenario) (*Engine, error) {
+	r := rand.New(rand.NewSource(sc.Seed))
+	w := NewWorkload(sc, rand.New(rand.NewSource(sc.Seed+1)))
+	gen := w.Genesis()
+
+	ethCfg := chain.ETHConfig(1, w.DAODrainList(), DAORefundAddress)
+	etcCfg := chain.ETCConfig(1)
+
+	var eth, etc Ledger
+	switch sc.Mode {
+	case ModeFast:
+		eth = NewFastLedger(ethCfg, gen)
+		etc = NewFastLedger(etcCfg, gen)
+	case ModeFull:
+		var err error
+		eth, err = NewFullLedger(ethCfg, gen, rand.New(rand.NewSource(sc.Seed+2)))
+		if err != nil {
+			return nil, err
+		}
+		etc, err = NewFullLedger(etcCfg, gen, rand.New(rand.NewSource(sc.Seed+3)))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", sc.Mode)
+	}
+
+	mp := sc.Market
+	if mp.Days < sc.Days {
+		mp.Days = sc.Days
+	}
+	prices := market.GeneratePrices(mp, rand.New(rand.NewSource(sc.Seed+4)))
+
+	return &Engine{
+		sc:       sc,
+		r:        r,
+		sampler:  pow.NewSampler(rand.New(rand.NewSource(sc.Seed + 5))),
+		ETH:      eth,
+		ETC:      etc,
+		Workload: w,
+		ethPools: pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
+		etcPools: pool.NewUniformPopulation("etc", sc.ETCPools),
+		Prices:   prices,
+		ethShare: 1 - sc.ETCShareAtFork,
+		pending:  map[string][]txPlan{},
+	}, nil
+}
+
+// AddObserver registers an observer for block and day events.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// Run simulates sc.Days days. Day 0 begins at the fork moment: the two
+// ledgers share genesis (the pre-fork ledger) and block 1 is the fork
+// block on each side.
+func (e *Engine) Run() error {
+	alloc := market.Allocator{Elasticity: e.sc.ArbitrageElasticity}
+	for day := 0; day < e.sc.Days; day++ {
+		ethUSD := e.Prices.ETHUSD[day]
+		etcUSD := e.Prices.ETCUSD[day]
+
+		// Hashrate: the structural schedule sets the total (growth +
+		// Zcash event) and dominates the split in the chaotic weeks
+		// right after the fork; price arbitrage takes over with weight
+		// 1-exp(-day/tau), which is what equalises USD-per-hash across
+		// the chains (Fig 3).
+		ethStruct, etcStruct := e.sc.Hashrates(day)
+		total := ethStruct + etcStruct
+		structShare := ethStruct / total
+		priceShare := alloc.Step(e.ethShare, ethUSD, etcUSD)
+		wStruct := 1.0
+		if e.sc.StructuralBlendTauDays > 0 {
+			wStruct = math.Exp(-float64(day) / e.sc.StructuralBlendTauDays)
+		}
+		e.ethShare = wStruct*structShare + (1-wStruct)*priceShare
+		ethHash := total * e.ethShare
+		etcHash := total * (1 - e.ethShare)
+
+		// Replay protection activation: pin the EIP-155 block to the
+		// chain's next height the day it ships.
+		if day == e.sc.EIP155DayETH && e.sc.EIP155DayETH >= 0 {
+			e.ETH.Config().EIP155Block = new(big.Int).SetUint64(e.ETH.HeadNumber() + 1)
+		}
+		if day == e.sc.EIP155DayETC && e.sc.EIP155DayETC >= 0 {
+			e.ETC.Config().EIP155Block = new(big.Int).SetUint64(e.ETC.HeadNumber() + 1)
+		}
+
+		// Pool consolidation (Fig 5): ETH is immediately stable; ETC
+		// begins consolidating once the dust settles.
+		e.ethPools.Consolidate(e.sc.ETHPoolChurn, 1.0, e.sc.ETCPoolCap, e.r)
+		if day >= e.sc.PoolConsolidationLagDays {
+			e.etcPools.Consolidate(e.sc.ETCPoolChurn, e.sc.ETCPoolAlpha, e.sc.ETCPoolCap, e.r)
+		}
+
+		// Traffic for the day.
+		e.enqueue("ETH", e.Workload.DayTraffic(day, "ETH", e.ETH, e.sc.EIP155DayETH))
+		e.enqueue("ETC", e.Workload.DayTraffic(day, "ETC", e.ETC, e.sc.EIP155DayETC))
+
+		// Mine both chains through the day.
+		if err := e.mineDay(day, "ETH", e.ETH, ethHash, e.ethPools); err != nil {
+			return err
+		}
+		if err := e.mineDay(day, "ETC", e.ETC, etcHash, e.etcPools); err != nil {
+			return err
+		}
+
+		ev := &DayEvent{
+			Day:           day,
+			ETHUSD:        ethUSD,
+			ETCUSD:        etcUSD,
+			ETHHashrate:   ethHash,
+			ETCHashrate:   etcHash,
+			ETHDifficulty: e.ETH.HeadDifficulty(),
+			ETCDifficulty: e.ETC.HeadDifficulty(),
+		}
+		for _, o := range e.observers {
+			o.OnDay(ev)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) enqueue(chainName string, plans []txPlan) {
+	e.pending[chainName] = append(e.pending[chainName], plans...)
+	sort.SliceStable(e.pending[chainName], func(i, j int) bool {
+		return e.pending[chainName][i].second < e.pending[chainName][j].second
+	})
+}
+
+// mineDay advances one chain from the start to the end of the day,
+// sampling block intervals from the difficulty/hashrate process and
+// including pending transactions as their submission times pass.
+func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64, pools *pool.Population) error {
+	dayStart := e.sc.Epoch + uint64(day)*e.sc.DayLength
+	dayEnd := dayStart + e.sc.DayLength
+	t := led.HeadTime()
+	if t < dayStart {
+		t = dayStart
+	}
+	weights := pools.Weights()
+
+	for {
+		interval := e.sampler.BlockInterval(led.HeadDifficulty(), hashrate)
+		t += interval
+		if t >= dayEnd {
+			return nil
+		}
+		// Submissions whose time has passed become the block body.
+		queue := e.pending[chainName]
+		daySecond := t - dayStart
+		cut := 0
+		for cut < len(queue) && queue[cut].second <= daySecond {
+			cut++
+		}
+		var txs []*chain.Transaction
+		if cut > 0 {
+			txs = make([]*chain.Transaction, cut)
+			for i := 0; i < cut; i++ {
+				txs[i] = queue[i].tx
+			}
+			e.pending[chainName] = queue[cut:]
+		}
+
+		var coinbase types.Address
+		if winner := e.sampler.WinnerIndex(weights); winner >= 0 {
+			coinbase = pools.Pools[winner].Address
+		}
+
+		parentTime := led.HeadTime()
+		included, err := led.MineBlock(t, coinbase, txs)
+		if err != nil {
+			return fmt.Errorf("sim: mining %s day %d: %w", chainName, day, err)
+		}
+		e.Workload.ObserveMined(chainName, included)
+
+		if len(e.observers) > 0 {
+			ev := &BlockEvent{
+				Chain:      chainName,
+				Day:        day,
+				Number:     led.HeadNumber(),
+				Time:       t,
+				Delta:      t - parentTime,
+				Difficulty: led.HeadDifficulty(),
+				Coinbase:   coinbase,
+			}
+			if len(included) > 0 {
+				ev.Txs = make([]TxInfo, len(included))
+				for i, tx := range included {
+					ev.Txs[i] = TxInfo{
+						Hash:       tx.Hash(),
+						From:       tx.From,
+						Contract:   tx.To == nil || len(tx.Data) > 0,
+						ChainBound: tx.ChainID != 0,
+					}
+				}
+			}
+			for _, o := range e.observers {
+				o.OnBlock(ev)
+			}
+		}
+	}
+}

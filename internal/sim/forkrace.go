@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/big"
+	"math/rand"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/pow"
+)
+
+// ForkRace models experiment E3: the *transient* forks the paper contrasts
+// in §2.1 — ETH's November 2016 gas-repricing fork resolved after 86
+// blocks, while ETC's January 2017 fork lasted 3,583 blocks, "likely due
+// to ETC's smaller network size, so any subgroup working on a fork was
+// more noticeable".
+//
+// The model: at the upgrade height a laggard subgroup with `minorityShare`
+// of the hashrate keeps mining the old rules. Its branch produces blocks
+// under the real difficulty-adjustment rule (slow at first — the branch
+// inherits the full network's difficulty — then recovering as the filter
+// adapts to the smaller hashrate). The laggards abandon the branch when
+// they notice they have forked off, after an exponentially distributed
+// operational delay with mean `noticeMeanSeconds`. The returned count is
+// the losing branch's length.
+//
+// The paper's contrast falls out of the share: in a large, well-run
+// network the non-upgraded remainder is a sliver of hashrate (its branch
+// crawls and dies short), while in a small network a single large pool
+// can be the laggard, sustaining thousands of blocks over the same
+// wall-clock attention span.
+type ForkRace struct {
+	// Config supplies the difficulty rules.
+	Config *chain.Config
+	// TotalHashrate is the network hashrate at the fork height; the
+	// pre-fork difficulty is TotalHashrate * TargetBlockTime.
+	TotalHashrate float64
+	// MinorityShare is the laggard fraction of hashrate.
+	MinorityShare float64
+	// NoticeMeanSeconds is the mean of the exponential delay before the
+	// laggards abandon their branch.
+	NoticeMeanSeconds float64
+}
+
+// Run simulates one fork and returns the losing branch's block count and
+// its duration in seconds.
+func (f *ForkRace) Run(r *rand.Rand) (blocks int, seconds uint64) {
+	sampler := pow.NewSampler(r)
+	diff0 := new(big.Int).SetInt64(int64(f.TotalHashrate * float64(f.Config.TargetBlockTime)))
+	head := &chain.Header{Time: 0, Difficulty: diff0}
+
+	deadline := uint64(r.ExpFloat64() * f.NoticeMeanSeconds)
+	hashrate := f.TotalHashrate * f.MinorityShare
+
+	t := uint64(0)
+	for {
+		interval := sampler.BlockInterval(head.Difficulty, hashrate)
+		t += interval
+		if t > deadline {
+			return blocks, t
+		}
+		next := &chain.Header{
+			Time:       t,
+			Difficulty: chain.CalcDifficulty(f.Config, t, head),
+		}
+		head = next
+		blocks++
+	}
+}
+
+// RunMean averages the branch length over n simulated forks.
+func (f *ForkRace) RunMean(n int, r *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		b, _ := f.Run(r)
+		total += b
+	}
+	return float64(total) / float64(n)
+}

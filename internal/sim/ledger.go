@@ -1,0 +1,314 @@
+// Package sim composes the substrates — chain, pow, market, pool and a
+// user/attacker workload — into the two-partition fork scenario the paper
+// measures, and streams per-block and per-day events to observers (the
+// analysis package implements one).
+//
+// Two ledger fidelities share the same consensus rules (chain.Config and
+// chain.CalcDifficulty) and the same transaction objects:
+//
+//   - Full: real chain.Blockchain blocks — EVM execution, state roots,
+//     PoW seals. Used by short-horizon runs, the examples, and E1/E3.
+//   - Fast: header-and-account simulation for nine-month horizons
+//     (~3.3M blocks), where trie commits per block would dominate.
+//     Difficulty, timestamps, nonce/balance/replay semantics are
+//     identical; EVM execution is skipped (contract transactions are
+//     carried and flagged, not executed). A conformance test pins the
+//     fast ledger to the full one block for block.
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/pow"
+	"forkwatch/internal/types"
+)
+
+// Ledger is the per-chain surface the engine mines against.
+type Ledger interface {
+	// Config returns the chain's rule set.
+	Config() *chain.Config
+	// Head returns the current height, head timestamp and difficulty of
+	// the next block mined at the head timestamp + target.
+	HeadNumber() uint64
+	// HeadTime returns the head block's timestamp.
+	HeadTime() uint64
+	// HeadDifficulty returns the head block's difficulty.
+	HeadDifficulty() *big.Int
+	// ValidateTx checks a transaction against the head state exactly as
+	// consensus would.
+	ValidateTx(tx *chain.Transaction) error
+	// MineBlock appends a block at the given timestamp, including as
+	// many of txs as remain valid when applied in order. It returns the
+	// included transactions.
+	MineBlock(time uint64, coinbase types.Address, txs []*chain.Transaction) ([]*chain.Transaction, error)
+	// NonceOf returns the head-state nonce of an account.
+	NonceOf(a types.Address) uint64
+	// BalanceOf returns the head-state balance of an account.
+	BalanceOf(a types.Address) *big.Int
+}
+
+// fastAccount is the fast ledger's view of one account.
+type fastAccount struct {
+	nonce   uint64
+	balance *big.Int
+}
+
+// FastLedger simulates headers and account balances under the full
+// difficulty and replay rules, without EVM execution or tries.
+type FastLedger struct {
+	cfg      *chain.Config
+	number   uint64
+	time     uint64
+	diff     *big.Int
+	accounts map[types.Address]*fastAccount
+	// contracts marks addresses that carry code, for receipt-style
+	// classification of calls.
+	contracts map[types.Address]bool
+}
+
+// NewFastLedger creates a fast ledger from a genesis spec.
+func NewFastLedger(cfg *chain.Config, gen *chain.Genesis) *FastLedger {
+	l := &FastLedger{
+		cfg:       cfg,
+		time:      gen.Time,
+		diff:      types.BigCopy(gen.Difficulty),
+		accounts:  make(map[types.Address]*fastAccount),
+		contracts: make(map[types.Address]bool),
+	}
+	if l.diff == nil {
+		l.diff = types.BigCopy(cfg.MinimumDifficulty)
+	}
+	for addr, bal := range gen.Alloc {
+		l.accounts[addr] = &fastAccount{balance: types.BigCopy(bal)}
+	}
+	for addr := range gen.Code {
+		l.contracts[addr] = true
+		if _, ok := l.accounts[addr]; !ok {
+			l.accounts[addr] = &fastAccount{balance: new(big.Int)}
+		}
+	}
+	return l
+}
+
+// Config implements Ledger.
+func (l *FastLedger) Config() *chain.Config { return l.cfg }
+
+// HeadNumber implements Ledger.
+func (l *FastLedger) HeadNumber() uint64 { return l.number }
+
+// HeadTime implements Ledger.
+func (l *FastLedger) HeadTime() uint64 { return l.time }
+
+// HeadDifficulty implements Ledger.
+func (l *FastLedger) HeadDifficulty() *big.Int { return types.BigCopy(l.diff) }
+
+// IsContract reports whether the address carries code.
+func (l *FastLedger) IsContract(a types.Address) bool { return l.contracts[a] }
+
+func (l *FastLedger) account(a types.Address) *fastAccount {
+	acct, ok := l.accounts[a]
+	if !ok {
+		acct = &fastAccount{balance: new(big.Int)}
+		l.accounts[a] = acct
+	}
+	return acct
+}
+
+// NonceOf implements Ledger.
+func (l *FastLedger) NonceOf(a types.Address) uint64 {
+	if acct, ok := l.accounts[a]; ok {
+		return acct.nonce
+	}
+	return 0
+}
+
+// BalanceOf implements Ledger.
+func (l *FastLedger) BalanceOf(a types.Address) *big.Int {
+	if acct, ok := l.accounts[a]; ok {
+		return types.BigCopy(acct.balance)
+	}
+	return new(big.Int)
+}
+
+// ValidateTx mirrors chain.Processor.ValidateTx against the fast state.
+func (l *FastLedger) ValidateTx(tx *chain.Transaction) error {
+	if err := tx.VerifySig(); err != nil {
+		return err
+	}
+	blockNum := new(big.Int).SetUint64(l.number + 1)
+	if tx.ChainID != 0 {
+		if !l.cfg.IsEIP155(blockNum) {
+			return fmt.Errorf("%w: chain ids not active", chain.ErrWrongChainID)
+		}
+		if tx.ChainID != l.cfg.ChainID {
+			return fmt.Errorf("%w: tx bound to %d, chain is %d", chain.ErrWrongChainID, tx.ChainID, l.cfg.ChainID)
+		}
+	}
+	nonce := l.NonceOf(tx.From)
+	switch {
+	case tx.Nonce < nonce:
+		return fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooLow, tx.Nonce, nonce)
+	case tx.Nonce > nonce:
+		return fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooHigh, tx.Nonce, nonce)
+	}
+	if tx.IntrinsicGas() > tx.GasLimit {
+		return chain.ErrIntrinsicGas
+	}
+	if l.BalanceOf(tx.From).Cmp(tx.Cost()) < 0 {
+		return chain.ErrInsufficientFunds
+	}
+	return nil
+}
+
+// ApplyDAOFork mirrors the irregular state change for fast-mode chains.
+func (l *FastLedger) ApplyDAOFork() {
+	for _, addr := range l.cfg.DAODrainList {
+		acct := l.account(addr)
+		if acct.balance.Sign() == 0 {
+			continue
+		}
+		refund := l.account(l.cfg.DAORefundContract)
+		refund.balance.Add(refund.balance, acct.balance)
+		acct.balance = new(big.Int)
+	}
+}
+
+// MineBlock implements Ledger: advances the head, applies valid
+// transactions (intrinsic gas only — no EVM), pays fees and the reward.
+func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain.Transaction) ([]*chain.Transaction, error) {
+	if time <= l.time {
+		time = l.time + 1
+	}
+	parent := &chain.Header{Time: l.time, Difficulty: l.diff}
+	l.diff = chain.CalcDifficulty(l.cfg, time, parent)
+	l.time = time
+	l.number++
+
+	if l.cfg.DAOForkSupport && l.cfg.IsDAOFork(new(big.Int).SetUint64(l.number)) {
+		l.ApplyDAOFork()
+	}
+
+	var included []*chain.Transaction
+	gasPool := l.cfg.GasLimit
+	for _, tx := range txs {
+		if err := l.ValidateTx(tx); err != nil {
+			continue
+		}
+		gasUsed := tx.IntrinsicGas()
+		if gasUsed > gasPool {
+			continue
+		}
+		gasPool -= gasUsed
+		fee := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasUsed))
+		sender := l.account(tx.From)
+		sender.nonce = tx.Nonce + 1
+		sender.balance.Sub(sender.balance, new(big.Int).Add(tx.Value, fee))
+		if tx.To != nil {
+			rcpt := l.account(*tx.To)
+			rcpt.balance.Add(rcpt.balance, tx.Value)
+		}
+		cb := l.account(coinbase)
+		cb.balance.Add(cb.balance, fee)
+		included = append(included, tx)
+	}
+	cb := l.account(coinbase)
+	cb.balance.Add(cb.balance, l.cfg.BlockReward)
+	return included, nil
+}
+
+// FullLedger adapts a real chain.Blockchain (with PoW seals) to the Ledger
+// interface.
+type FullLedger struct {
+	BC *chain.Blockchain
+	r  *rand.Rand
+}
+
+// NewFullLedger creates a full-fidelity ledger from a genesis spec.
+func NewFullLedger(cfg *chain.Config, gen *chain.Genesis, r *rand.Rand) (*FullLedger, error) {
+	bc, err := chain.NewBlockchain(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return &FullLedger{BC: bc, r: r}, nil
+}
+
+// Config implements Ledger.
+func (l *FullLedger) Config() *chain.Config { return l.BC.Config() }
+
+// HeadNumber implements Ledger.
+func (l *FullLedger) HeadNumber() uint64 { return l.BC.Head().Number() }
+
+// HeadTime implements Ledger.
+func (l *FullLedger) HeadTime() uint64 { return l.BC.Head().Header.Time }
+
+// HeadDifficulty implements Ledger.
+func (l *FullLedger) HeadDifficulty() *big.Int {
+	return types.BigCopy(l.BC.Head().Header.Difficulty)
+}
+
+// ValidateTx implements Ledger.
+func (l *FullLedger) ValidateTx(tx *chain.Transaction) error {
+	st, err := l.BC.HeadState()
+	if err != nil {
+		return err
+	}
+	return l.BC.Processor().ValidateTx(tx, st, new(big.Int).SetUint64(l.HeadNumber()+1))
+}
+
+// NonceOf implements Ledger.
+func (l *FullLedger) NonceOf(a types.Address) uint64 {
+	st, err := l.BC.HeadState()
+	if err != nil {
+		return 0
+	}
+	return st.GetNonce(a)
+}
+
+// BalanceOf implements Ledger.
+func (l *FullLedger) BalanceOf(a types.Address) *big.Int {
+	st, err := l.BC.HeadState()
+	if err != nil {
+		return new(big.Int)
+	}
+	return st.GetBalance(a)
+}
+
+// MineBlock implements Ledger: filters the transactions against evolving
+// head state, builds, seals and inserts a real block.
+func (l *FullLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain.Transaction) ([]*chain.Transaction, error) {
+	st, err := l.BC.HeadState()
+	if err != nil {
+		return nil, err
+	}
+	blockNum := new(big.Int).SetUint64(l.HeadNumber() + 1)
+	proc := l.BC.Processor()
+	header := &chain.Header{ // scratch header for pre-execution
+		Number:   blockNum.Uint64(),
+		Time:     time,
+		GasLimit: l.Config().GasLimit,
+		Coinbase: coinbase,
+	}
+	var included []*chain.Transaction
+	gasPool := l.Config().GasLimit
+	for _, tx := range txs {
+		rec, used, err := proc.ApplyTransaction(tx, st, header, gasPool)
+		if err != nil {
+			continue
+		}
+		_ = rec
+		gasPool -= used
+		included = append(included, tx)
+	}
+	block, err := l.BC.BuildBlock(coinbase, time, included)
+	if err != nil {
+		return nil, err
+	}
+	pow.Seal(block.Header, l.r)
+	if err := l.BC.InsertBlock(block); err != nil {
+		return nil, err
+	}
+	return included, nil
+}

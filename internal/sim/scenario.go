@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"math/big"
+
+	"forkwatch/internal/market"
+	"forkwatch/internal/types"
+)
+
+// Mode selects the ledger fidelity (see the package comment).
+type Mode int
+
+// Ledger fidelities.
+const (
+	// ModeFast simulates headers and accounts; default for long runs.
+	ModeFast Mode = iota
+	// ModeFull materialises real blocks with EVM execution and state
+	// roots.
+	ModeFull
+)
+
+// Scenario configures one fork simulation. NewScenario fills the
+// calibration the experiments use; tests and ablations override fields.
+type Scenario struct {
+	// Seed drives every stochastic component; equal seeds reproduce runs
+	// bit for bit.
+	Seed int64
+	// Mode selects ledger fidelity.
+	Mode Mode
+	// Days simulated, starting at the fork moment (day 0).
+	Days int
+	// DayLength is the simulated seconds per "day" (86400 by default).
+	// Tests shrink it to exercise the full-fidelity mode cheaply; all
+	// daily rates (transactions, consolidation, prices) are per
+	// DayLength.
+	DayLength uint64
+	// Epoch is the unix time of the fork (2016-07-20 13:20:40 UTC).
+	Epoch uint64
+
+	// TotalHashrate is the combined network hashrate at the fork, in
+	// hashes/second. Genesis difficulty is calibrated so the pre-fork
+	// network produced 14-second blocks.
+	TotalHashrate float64
+	// ETCShareAtFork is the fraction of hashrate that stays on ETC the
+	// moment the fork activates (the paper's drastic partition: ~3%,
+	// producing the ~90% node loss and near-zero block rate).
+	ETCShareAtFork float64
+	// RejoinShare is the additional total-hashrate fraction that returns
+	// to ETC over the weeks after the fork (the paper's two-week
+	// mirror-image difficulty shift), with exponential time constant
+	// RejoinTauDays.
+	RejoinShare   float64
+	RejoinTauDays float64
+	// ETHGrowthPerDay is the exogenous daily growth of ETH-side
+	// hashrate over the long term (observation O3: ETH difficulty grew
+	// roughly 10x over 9 months).
+	ETHGrowthPerDay float64
+	// ZcashLaunchDay and ZcashPull model the late-October Zcash launch:
+	// up to ZcashPull of total hashrate leaves both chains, returning
+	// over ZcashReturnTauDays (the Fig 3 dip and rally).
+	ZcashLaunchDay     int
+	ZcashPull          float64
+	ZcashReturnTauDays float64
+	// ArbitrageElasticity couples the two chains' hashrate split to
+	// prices (market.Allocator).
+	ArbitrageElasticity float64
+
+	// Market generates daily USD prices.
+	Market market.Params
+
+	// Users is the size of the pre-fork account population.
+	Users int
+	// UserFunds is each user's pre-fork balance in wei.
+	UserFunds *big.Int
+	// SplitFraction is the share of users who protect themselves by
+	// moving funds to chain-specific addresses shortly after the fork.
+	SplitFraction float64
+	// PrimaryETHFraction / PrimaryETCFraction divide users into
+	// single-chain populations; the remainder transacts on both. The
+	// paper notes "many users simply picked one of the two networks to
+	// participate in and ignored the other" — those users' other-chain
+	// nonces only advance through replays, which is why echo streams
+	// stay alive for months (Fig 4).
+	PrimaryETHFraction, PrimaryETCFraction float64
+	// ETHTxPerDay and ETCTxPerDay are base daily transaction rates
+	// (Poisson means). The paper's ratio is ~2.5:1, rising to ~5:1 in
+	// March 2017; SpeculationStartDay and SpeculationFactor implement
+	// the rise.
+	ETHTxPerDay, ETCTxPerDay float64
+	SpeculationStartDay      int
+	SpeculationFactor        float64
+	// ContractFraction is the share of transactions that are contract
+	// calls (Fig 2, bottom: ~30-40% on both chains).
+	ContractFraction float64
+	// ReplayProbability is the chance a replayable mined transaction is
+	// rebroadcast onto the other chain the next day (attackers plus
+	// accidental rebroadcasters).
+	ReplayProbability float64
+	// EIP155DayETH / EIP155DayETC are the days replay protection
+	// activates (ETH: Spurious Dragon ~day 125; ETC: Jan 13 2017 ~day
+	// 177). Negative disables.
+	EIP155DayETH, EIP155DayETC int
+	// ChainIDAdoptionTauDays is how quickly users adopt chain-bound
+	// transactions once available.
+	ChainIDAdoptionTauDays float64
+	// ChainIDAdoptionMax is the fraction of users who ever adopt replay
+	// protection; the rest run legacy wallets forever. This is why the
+	// paper still observed hundreds of daily echoes at the end of its
+	// study window, months after chain ids shipped.
+	ChainIDAdoptionMax float64
+
+	// Pool model: counts and dynamics (Fig 5).
+	ETHPools, ETCPools       int
+	ETHPoolZipf              float64
+	ETCPoolChurn             float64
+	ETCPoolAlpha             float64
+	ETCPoolCap               float64
+	ETHPoolChurn             float64
+	PoolConsolidationLagDays int
+
+	// StructuralBlendTauDays controls how quickly the hashrate split
+	// hands over from the structural fork-exit schedule to pure price
+	// arbitrage (see Engine.Run).
+	StructuralBlendTauDays float64
+
+	// DAO fork plumbing.
+	DAOAccounts int
+	DAOFunds    *big.Int
+}
+
+// NewScenario returns the calibrated default scenario over the given
+// horizon.
+func NewScenario(seed int64, days int) *Scenario {
+	return &Scenario{
+		Seed:      seed,
+		Mode:      ModeFast,
+		Days:      days,
+		DayLength: 86_400,
+		Epoch:     1469020840,
+
+		TotalHashrate:       5e12, // 5 TH/s, mid-2016 scale
+		ETCShareAtFork:      0.015,
+		RejoinShare:         0.08,
+		RejoinTauDays:       10,
+		ETHGrowthPerDay:     0.007, // several-fold over 9 months (O3)
+		ZcashLaunchDay:      100,
+		ZcashPull:           0.25,
+		ZcashReturnTauDays:  25,
+		ArbitrageElasticity: 0.1,
+
+		Market: market.DefaultParams(days),
+
+		Users:                  400,
+		UserFunds:              new(big.Int).Mul(big.NewInt(1000), big.NewInt(1e18)),
+		SplitFraction:          0.4,
+		PrimaryETHFraction:     0.55,
+		PrimaryETCFraction:     0.25,
+		ETHTxPerDay:            400,
+		ETCTxPerDay:            110,
+		SpeculationStartDay:    240,
+		SpeculationFactor:      2.0,
+		ContractFraction:       0.35,
+		ReplayProbability:      0.5,
+		EIP155DayETH:           125,
+		EIP155DayETC:           177,
+		ChainIDAdoptionTauDays: 30,
+		ChainIDAdoptionMax:     0.8,
+
+		ETHPools:                 20,
+		ETCPools:                 25,
+		ETHPoolZipf:              1.0,
+		ETCPoolChurn:             0.15,
+		ETCPoolAlpha:             1.3,
+		ETCPoolCap:               0.24,
+		ETHPoolChurn:             0, // ETH's distribution was stable from day one (O6)
+		PoolConsolidationLagDays: 30,
+
+		StructuralBlendTauDays: 20,
+
+		DAOAccounts: 4,
+		DAOFunds:    new(big.Int).Mul(big.NewInt(3_000_000), big.NewInt(1e18)),
+	}
+}
+
+// GenesisDifficulty returns the difficulty at which the pre-fork network
+// produced blocks at the target rate.
+func (sc *Scenario) GenesisDifficulty() *big.Int {
+	d := sc.TotalHashrate * 14
+	bi, _ := big.NewFloat(d).Int(nil)
+	return bi
+}
+
+// Hashrates returns the (ETH, ETC) hashrate on the given day before
+// arbitrage adjustment: the structural schedule of fork exit, rejoin,
+// exogenous growth and the Zcash event.
+func (sc *Scenario) Hashrates(day int) (eth, etc float64) {
+	t := float64(day)
+	etcShare := sc.ETCShareAtFork
+	if sc.RejoinTauDays > 0 {
+		etcShare += sc.RejoinShare * (1 - math.Exp(-t/sc.RejoinTauDays))
+	}
+	growth := math.Pow(1+sc.ETHGrowthPerDay, t)
+	zcash := 1.0
+	if sc.ZcashLaunchDay > 0 && day >= sc.ZcashLaunchDay {
+		dt := t - float64(sc.ZcashLaunchDay)
+		zcash = 1 - sc.ZcashPull*math.Exp(-dt/sc.ZcashReturnTauDays)
+	}
+	total := sc.TotalHashrate * growth * zcash
+	return total * (1 - etcShare), total * etcShare
+}
+
+// DAOAddress returns the i-th DAO account address.
+func DAOAddress(i int) types.Address {
+	return types.BytesToAddress([]byte{0xda, 0x00, byte(i)})
+}
+
+// DAORefundAddress is where the supporting chain moves the DAO balances.
+var DAORefundAddress = types.BytesToAddress([]byte{0xbb, 0x90, 0x44})
+
+// UserAddress returns the i-th pre-fork user address.
+func UserAddress(i int) types.Address {
+	return types.BytesToAddress([]byte{0xee, byte(i >> 8), byte(i)})
+}
+
+// ContractAddress returns the i-th pre-deployed contract address.
+func ContractAddress(i int) types.Address {
+	return types.BytesToAddress([]byte{0xcc, 0x00, byte(i)})
+}

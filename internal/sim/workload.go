@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/types"
+)
+
+// gasPrice used by all workload transactions (20 gwei).
+var workloadGasPrice = big.NewInt(20_000_000_000)
+
+// transferValue is the standard payment size (0.01 ether).
+var transferValue = big.NewInt(10_000_000_000_000_000)
+
+// Workload generates the daily transaction traffic of both chains: user
+// payments and contract calls, the fund-splitting behaviour of cautious
+// users, gradual chain-id adoption, and the rebroadcast ("echo") attacker
+// of the paper's Figure 4.
+type Workload struct {
+	sc *Scenario
+	r  *rand.Rand
+
+	users     []*simUser
+	active    map[string][]*simUser // users transacting on each chain
+	contracts []types.Address
+
+	// nextNonce tracks nonces handed out today, per chain; re-synced
+	// from the ledger at each day start (dropped transactions release
+	// their nonces overnight).
+	nextNonce map[string]map[types.Address]uint64
+
+	// replayQueue holds mined replayable transactions awaiting
+	// rebroadcast on the other chain (keyed by destination chain name).
+	replayQueue map[string][]*chain.Transaction
+	replayed    map[types.Hash]bool
+	// mirrored marks senders whose replayable stream an attacker
+	// rebroadcasts wholesale; decided marks senders already sampled.
+	// Mirroring whole senders (not individual transactions) is what
+	// keeps nonces aligned across chains and makes echoes persist for
+	// months, as Fig 4 shows.
+	mirrored map[types.Address]bool
+}
+
+type simUser struct {
+	common   types.Address
+	split    bool
+	splitDay int
+	ethAddr  types.Address
+	etcAddr  types.Address
+	// primary is "ETH", "ETC" or "BOTH": the network(s) the user
+	// participates in.
+	primary string
+	// legacy users never adopt chain-bound transactions.
+	legacy bool
+	// splitDone per chain name.
+	splitDone map[string]bool
+	// adoptedChainID per chain name: whether the user switched to
+	// replay-protected transactions.
+	adopted map[string]bool
+}
+
+// NewWorkload builds the user population from the scenario.
+func NewWorkload(sc *Scenario, r *rand.Rand) *Workload {
+	w := &Workload{
+		sc:          sc,
+		r:           r,
+		nextNonce:   map[string]map[types.Address]uint64{},
+		replayQueue: map[string][]*chain.Transaction{},
+		replayed:    map[types.Hash]bool{},
+		mirrored:    map[types.Address]bool{},
+	}
+	for i := 0; i < sc.Users; i++ {
+		u := &simUser{
+			common:    UserAddress(i),
+			splitDone: map[string]bool{},
+			adopted:   map[string]bool{},
+		}
+		switch roll := r.Float64(); {
+		case roll < sc.PrimaryETHFraction:
+			u.primary = "ETH"
+		case roll < sc.PrimaryETHFraction+sc.PrimaryETCFraction:
+			u.primary = "ETC"
+		default:
+			u.primary = "BOTH"
+		}
+		u.legacy = r.Float64() >= sc.ChainIDAdoptionMax
+		if r.Float64() < sc.SplitFraction {
+			u.split = true
+			u.splitDay = 1 + r.Intn(14) // users react over the first two weeks
+			u.ethAddr = deriveAddr(u.common, "eth")
+			u.etcAddr = deriveAddr(u.common, "etc")
+		}
+		w.users = append(w.users, u)
+	}
+	w.active = map[string][]*simUser{}
+	for _, u := range w.users {
+		if u.primary == "ETH" || u.primary == "BOTH" {
+			w.active["ETH"] = append(w.active["ETH"], u)
+		}
+		if u.primary == "ETC" || u.primary == "BOTH" {
+			w.active["ETC"] = append(w.active["ETC"], u)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		w.contracts = append(w.contracts, ContractAddress(i))
+	}
+	return w
+}
+
+func deriveAddr(base types.Address, tag string) types.Address {
+	h := keccak.Sum256(append(base.Bytes(), tag...))
+	return types.BytesToAddress(h[12:])
+}
+
+// Genesis returns the allocation shared by both chains: user balances,
+// DAO accounts and marker contracts.
+func (w *Workload) Genesis() *chain.Genesis {
+	gen := &chain.Genesis{
+		Difficulty: w.sc.GenesisDifficulty(),
+		Time:       w.sc.Epoch,
+		Alloc:      map[types.Address]*big.Int{},
+		Code:       map[types.Address][]byte{},
+	}
+	for _, u := range w.users {
+		gen.Alloc[u.common] = types.BigCopy(w.sc.UserFunds)
+	}
+	for i := 0; i < w.sc.DAOAccounts; i++ {
+		gen.Alloc[DAOAddress(i)] = types.BigCopy(w.sc.DAOFunds)
+	}
+	// Marker contracts: a single SSTORE so calls execute successfully
+	// under the full EVM.
+	code := []byte{
+		0x60, 0x01, // PUSH1 1
+		0x60, 0x00, // PUSH1 0
+		0x55, // SSTORE
+		0x00, // STOP
+	}
+	for _, c := range w.contracts {
+		gen.Code[c] = code
+	}
+	return gen
+}
+
+// DAODrainList returns the accounts the supporting chain drains.
+func (w *Workload) DAODrainList() []types.Address {
+	var out []types.Address
+	for i := 0; i < w.sc.DAOAccounts; i++ {
+		out = append(out, DAOAddress(i))
+	}
+	return out
+}
+
+// txPlan is a transaction with its submission second within the day.
+type txPlan struct {
+	tx     *chain.Transaction
+	second uint64
+}
+
+// DayTraffic generates the submission plan for one chain for one day,
+// including queued rebroadcasts. eipActive reports whether chain-bound
+// transactions are accepted on that chain today; ledger supplies nonces
+// and balances.
+func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int) []txPlan {
+	if w.nextNonce[chainName] == nil {
+		w.nextNonce[chainName] = map[types.Address]uint64{}
+	}
+	// Release yesterday's unconfirmed nonces: the ledger is the truth.
+	w.nextNonce[chainName] = map[types.Address]uint64{}
+
+	var plans []txPlan
+
+	// 1. Queued rebroadcasts (the echo traffic). Submission seconds
+	// spread over the day but preserve queue order: the rebroadcaster
+	// replays each sender's stream in nonce order, or the chain breaks.
+	if q := w.replayQueue[chainName]; len(q) > 0 {
+		step := w.sc.DayLength / uint64(len(q)+1)
+		if step == 0 {
+			step = 1
+		}
+		for i, tx := range q {
+			plans = append(plans, txPlan{tx: tx, second: uint64(i+1) * step})
+		}
+		w.replayQueue[chainName] = nil
+	}
+
+	// 2. Fund-splitting transactions. Users only split chains they
+	// participate in; a "picked one network" user leaves the other
+	// chain's copy of their funds at the vulnerable common address.
+	for _, u := range w.active[chainName] {
+		if !u.split || u.splitDone[chainName] || day < u.splitDay {
+			continue
+		}
+		dest := u.ethAddr
+		if chainName == "ETC" {
+			dest = u.etcAddr
+		}
+		bal := led.BalanceOf(u.common)
+		// Keep a gas cushion behind.
+		cushion := new(big.Int).Mul(workloadGasPrice, big.NewInt(10*21_000))
+		value := new(big.Int).Sub(bal, cushion)
+		if value.Sign() <= 0 {
+			u.splitDone[chainName] = true
+			continue
+		}
+		nonce := w.claimNonce(chainName, led, u.common)
+		tx := chain.NewTransaction(nonce, &dest, value, 21_000, workloadGasPrice, nil)
+		// Pre-EIP-155 there is nothing to bind to; the split tx itself
+		// is replayable — the hazard the paper describes.
+		tx.Sign(u.common, w.chainIDFor(day, chainName, eipDay, u))
+		u.splitDone[chainName] = true
+		plans = append(plans, txPlan{tx: tx, second: uint64(w.r.Int63n(int64(w.sc.DayLength)))})
+	}
+
+	// 3. Regular traffic.
+	rate := w.sc.ETHTxPerDay
+	if chainName == "ETC" {
+		rate = w.sc.ETCTxPerDay
+	}
+	if w.sc.SpeculationFactor > 1 && day >= w.sc.SpeculationStartDay && chainName == "ETH" {
+		ramp := math.Min(1, float64(day-w.sc.SpeculationStartDay)/30)
+		rate *= 1 + (w.sc.SpeculationFactor-1)*ramp
+	}
+	n := poisson(w.r, rate)
+	// Submission seconds are monotone per sender so a sender's nonces
+	// arrive in order (real wallets serialise; out-of-order nonces would
+	// be queued by real tx pools rather than dropped).
+	lastSecond := map[types.Address]uint64{}
+	population := w.active[chainName]
+	if len(population) == 0 {
+		return plans
+	}
+	for i := 0; i < n; i++ {
+		u := population[w.r.Intn(len(population))]
+		from := w.senderFor(u, chainName)
+		var tx *chain.Transaction
+		if w.r.Float64() < w.sc.ContractFraction {
+			to := w.contracts[w.r.Intn(len(w.contracts))]
+			data := []byte{0xab, 0x01, 0x02, 0x03}
+			tx = chain.NewTransaction(w.claimNonce(chainName, led, from), &to, nil, 120_000, workloadGasPrice, data)
+		} else {
+			peer := population[w.r.Intn(len(population))]
+			to := w.senderFor(peer, chainName)
+			tx = chain.NewTransaction(w.claimNonce(chainName, led, from), &to, transferValue, 21_000, workloadGasPrice, nil)
+		}
+		tx.Sign(from, w.chainIDFor(day, chainName, eipDay, u))
+		second := uint64(w.r.Int63n(int64(w.sc.DayLength)))
+		if prev, ok := lastSecond[from]; ok && second <= prev {
+			second = prev + 1
+		}
+		lastSecond[from] = second
+		plans = append(plans, txPlan{tx: tx, second: second})
+	}
+	return plans
+}
+
+// senderFor picks the address a user transacts from on the given chain.
+func (w *Workload) senderFor(u *simUser, chainName string) types.Address {
+	if u.split && u.splitDone[chainName] {
+		if chainName == "ETC" {
+			return u.etcAddr
+		}
+		return u.ethAddr
+	}
+	return u.common
+}
+
+// chainIDFor decides whether the user binds the transaction to the chain.
+func (w *Workload) chainIDFor(day int, chainName string, eipDay int, u *simUser) uint64 {
+	if eipDay < 0 || day < eipDay || u.legacy {
+		return 0
+	}
+	if !u.adopted[chainName] {
+		// Adoption ramps in exponentially after activation.
+		p := 1 - math.Exp(-float64(day-eipDay)/w.sc.ChainIDAdoptionTauDays)
+		if w.r.Float64() >= p {
+			return 0
+		}
+		u.adopted[chainName] = true
+	}
+	if chainName == "ETC" {
+		return 61
+	}
+	return 1
+}
+
+func (w *Workload) claimNonce(chainName string, led Ledger, addr types.Address) uint64 {
+	m := w.nextNonce[chainName]
+	n, ok := m[addr]
+	if !ok || n < led.NonceOf(addr) {
+		n = led.NonceOf(addr)
+	}
+	m[addr] = n + 1
+	return n
+}
+
+// ObserveMined feeds mined transactions back: replayable ones may be
+// queued for rebroadcast on the other chain (tomorrow's echoes).
+func (w *Workload) ObserveMined(chainName string, txs []*chain.Transaction) {
+	other := "ETC"
+	if chainName == "ETC" {
+		other = "ETH"
+	}
+	for _, tx := range txs {
+		if tx.ChainID != 0 {
+			continue // replay-protected
+		}
+		h := tx.Hash()
+		if w.replayed[h] {
+			continue
+		}
+		on, decided := w.mirrored[tx.From]
+		if !decided {
+			on = w.r.Float64() < w.sc.ReplayProbability
+			w.mirrored[tx.From] = on
+		}
+		if on {
+			w.replayed[h] = true
+			w.replayQueue[other] = append(w.replayQueue[other], tx)
+		}
+	}
+}
+
+// poisson draws a Poisson variate via Knuth's method (rates here are a
+// few hundred, where this is fast and exact).
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// For large rates, split to keep the product in float range.
+	if lambda > 500 {
+		return poisson(r, lambda/2) + poisson(r, lambda/2)
+	}
+	limit := math.Exp(-lambda)
+	n := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return n
+		}
+		n++
+	}
+}

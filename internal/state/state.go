@@ -1,0 +1,457 @@
+// Package state implements the Ethereum-style account state database on
+// top of the Merkle-Patricia trie: balances, nonces, contract code and
+// contract storage, with journaled snapshots and trie commits.
+//
+// The fork scenario depends on three properties of this layer:
+//
+//   - Both chains start from the same committed pre-fork root; ETH then
+//     applies the DAO irregular state change, after which the roots
+//     diverge permanently (the partition of the paper's title).
+//   - Replayed ("echoed") transactions succeed or fail against each
+//     chain's own nonces and balances, which drives the Fig 4 dynamics.
+//   - Snapshots/reverts give the EVM call semantics the DAO reentrancy
+//     example needs.
+package state
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/trie"
+	"forkwatch/internal/types"
+)
+
+// EmptyCodeHash is the Keccak-256 hash of empty code.
+var EmptyCodeHash = types.BytesToHash(func() []byte { h := keccak.Sum256(nil); return h[:] }())
+
+// Account is the RLP-encoded per-address record stored in the state trie:
+// the quadruple of the yellow paper.
+type Account struct {
+	Nonce       uint64
+	Balance     *big.Int
+	StorageRoot types.Hash
+	CodeHash    types.Hash
+}
+
+func (a *Account) encode() []byte {
+	return rlp.EncodeList(
+		rlp.Uint(a.Nonce),
+		rlp.BigInt(a.Balance),
+		rlp.Bytes(a.StorageRoot.Bytes()),
+		rlp.Bytes(a.CodeHash.Bytes()),
+	)
+}
+
+func decodeAccount(enc []byte) (*Account, error) {
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("state: corrupt account: %w", err)
+	}
+	items, err := v.ListOf(4)
+	if err != nil {
+		return nil, fmt.Errorf("state: corrupt account: %w", err)
+	}
+	nonce, err := items[0].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	bal, err := items[1].AsBigInt()
+	if err != nil {
+		return nil, err
+	}
+	rootB, err := items[2].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	codeB, err := items[3].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	return &Account{
+		Nonce:       nonce,
+		Balance:     bal,
+		StorageRoot: types.BytesToHash(rootB),
+		CodeHash:    types.BytesToHash(codeB),
+	}, nil
+}
+
+// stateObject is the in-memory working copy of one account.
+type stateObject struct {
+	addr    types.Address
+	account Account
+	code    []byte
+	// storage caches loaded slots; dirtyStorage the pending writes.
+	storage      map[types.Hash]types.Hash
+	dirtyStorage map[types.Hash]types.Hash
+	deleted      bool
+	exists       bool // account existed in trie or was created
+}
+
+// DB is a mutable account state over a trie database. It is not safe for
+// concurrent use; each chain (and each EVM execution) owns its own DB.
+type DB struct {
+	db      trie.Database
+	tr      *trie.Trie
+	objects map[types.Address]*stateObject
+	// code store: code is content-addressed and shared across copies.
+	codes   map[types.Hash][]byte
+	journal []journalEntry
+}
+
+// journalEntry undoes one state mutation on revert.
+type journalEntry func()
+
+// New opens the state at the given root. The zero hash opens empty state.
+func New(root types.Hash, db trie.Database) (*DB, error) {
+	tr, err := trie.New(root, db)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		db:      db,
+		tr:      tr,
+		objects: make(map[types.Address]*stateObject),
+		codes:   make(map[types.Hash][]byte),
+	}, nil
+}
+
+// NewEmpty returns empty state over a fresh in-memory database.
+func NewEmpty() *DB {
+	s, err := New(types.Hash{}, trie.NewMemDB())
+	if err != nil {
+		panic(err) // empty root over MemDB cannot fail
+	}
+	return s
+}
+
+// Database returns the backing trie database (shared with copies).
+func (s *DB) Database() trie.Database { return s.db }
+
+func (s *DB) getObject(addr types.Address) *stateObject {
+	if obj, ok := s.objects[addr]; ok {
+		if obj.deleted || !obj.exists {
+			return nil
+		}
+		return obj
+	}
+	enc, err := s.tr.Get(addrKey(addr))
+	if err != nil || len(enc) == 0 {
+		obj := newObject(addr)
+		obj.exists = false
+		s.objects[addr] = obj
+		return nil
+	}
+	acct, err := decodeAccount(enc)
+	if err != nil {
+		// A corrupt trie is a programming error in the simulator, not a
+		// recoverable condition.
+		panic(err)
+	}
+	obj := newObject(addr)
+	obj.account = *acct
+	obj.exists = true
+	s.objects[addr] = obj
+	return obj
+}
+
+func newObject(addr types.Address) *stateObject {
+	return &stateObject{
+		addr:         addr,
+		account:      Account{Balance: new(big.Int), StorageRoot: trie.EmptyRoot, CodeHash: EmptyCodeHash},
+		storage:      make(map[types.Hash]types.Hash),
+		dirtyStorage: make(map[types.Hash]types.Hash),
+	}
+}
+
+// getOrCreate returns the object for addr, creating a fresh account if
+// absent (journaled).
+func (s *DB) getOrCreate(addr types.Address) *stateObject {
+	if obj := s.getObject(addr); obj != nil {
+		return obj
+	}
+	obj, ok := s.objects[addr]
+	if !ok || obj.deleted {
+		obj = newObject(addr)
+		s.objects[addr] = obj
+	}
+	wasDeleted, wasExists := obj.deleted, obj.exists
+	obj.deleted, obj.exists = false, true
+	s.journal = append(s.journal, func() { obj.deleted, obj.exists = wasDeleted, wasExists })
+	return obj
+}
+
+// Exist reports whether addr has an account in the state.
+func (s *DB) Exist(addr types.Address) bool {
+	return s.getObject(addr) != nil
+}
+
+// GetBalance returns addr's balance (zero for absent accounts).
+func (s *DB) GetBalance(addr types.Address) *big.Int {
+	if obj := s.getObject(addr); obj != nil {
+		return types.BigCopy(obj.account.Balance)
+	}
+	return new(big.Int)
+}
+
+// AddBalance credits amount to addr, creating the account if needed.
+func (s *DB) AddBalance(addr types.Address, amount *big.Int) {
+	if amount.Sign() < 0 {
+		panic("state: AddBalance with negative amount")
+	}
+	obj := s.getOrCreate(addr)
+	prev := types.BigCopy(obj.account.Balance)
+	s.journal = append(s.journal, func() { obj.account.Balance = prev })
+	obj.account.Balance = new(big.Int).Add(obj.account.Balance, amount)
+}
+
+// SubBalance debits amount from addr. The caller must have checked funds;
+// driving the balance negative panics.
+func (s *DB) SubBalance(addr types.Address, amount *big.Int) {
+	if amount.Sign() < 0 {
+		panic("state: SubBalance with negative amount")
+	}
+	obj := s.getOrCreate(addr)
+	if obj.account.Balance.Cmp(amount) < 0 {
+		panic(fmt.Sprintf("state: balance underflow for %s", addr))
+	}
+	prev := types.BigCopy(obj.account.Balance)
+	s.journal = append(s.journal, func() { obj.account.Balance = prev })
+	obj.account.Balance = new(big.Int).Sub(obj.account.Balance, amount)
+}
+
+// SetBalance forces addr's balance to amount. Used by the DAO irregular
+// state change and by genesis allocation.
+func (s *DB) SetBalance(addr types.Address, amount *big.Int) {
+	obj := s.getOrCreate(addr)
+	prev := types.BigCopy(obj.account.Balance)
+	s.journal = append(s.journal, func() { obj.account.Balance = prev })
+	obj.account.Balance = types.BigCopy(amount)
+}
+
+// GetNonce returns addr's nonce.
+func (s *DB) GetNonce(addr types.Address) uint64 {
+	if obj := s.getObject(addr); obj != nil {
+		return obj.account.Nonce
+	}
+	return 0
+}
+
+// SetNonce sets addr's nonce.
+func (s *DB) SetNonce(addr types.Address, nonce uint64) {
+	obj := s.getOrCreate(addr)
+	prev := obj.account.Nonce
+	s.journal = append(s.journal, func() { obj.account.Nonce = prev })
+	obj.account.Nonce = nonce
+}
+
+// GetCode returns the contract code at addr (nil for plain accounts).
+func (s *DB) GetCode(addr types.Address) []byte {
+	obj := s.getObject(addr)
+	if obj == nil || obj.account.CodeHash == EmptyCodeHash {
+		return nil
+	}
+	if obj.code != nil {
+		return obj.code
+	}
+	if code, ok := s.codes[obj.account.CodeHash]; ok {
+		obj.code = code
+		return code
+	}
+	// Code lives in the node database, content-addressed.
+	if enc, ok := s.db.Node(obj.account.CodeHash); ok {
+		obj.code = enc
+		return enc
+	}
+	return nil
+}
+
+// SetCode installs contract code at addr.
+func (s *DB) SetCode(addr types.Address, code []byte) {
+	obj := s.getOrCreate(addr)
+	prevHash, prevCode := obj.account.CodeHash, obj.code
+	s.journal = append(s.journal, func() { obj.account.CodeHash, obj.code = prevHash, prevCode })
+	h := keccak.Sum256(code)
+	obj.account.CodeHash = types.BytesToHash(h[:])
+	obj.code = append([]byte(nil), code...)
+	s.codes[obj.account.CodeHash] = obj.code
+}
+
+// GetCodeHash returns the code hash of addr (EmptyCodeHash when absent).
+func (s *DB) GetCodeHash(addr types.Address) types.Hash {
+	if obj := s.getObject(addr); obj != nil {
+		return obj.account.CodeHash
+	}
+	return EmptyCodeHash
+}
+
+// GetState returns the storage slot `key` of contract addr.
+func (s *DB) GetState(addr types.Address, key types.Hash) types.Hash {
+	obj := s.getObject(addr)
+	if obj == nil {
+		return types.Hash{}
+	}
+	if v, ok := obj.dirtyStorage[key]; ok {
+		return v
+	}
+	if v, ok := obj.storage[key]; ok {
+		return v
+	}
+	v := s.loadSlot(obj, key)
+	obj.storage[key] = v
+	return v
+}
+
+func (s *DB) loadSlot(obj *stateObject, key types.Hash) types.Hash {
+	if obj.account.StorageRoot == trie.EmptyRoot {
+		return types.Hash{}
+	}
+	st, err := trie.New(obj.account.StorageRoot, s.db)
+	if err != nil {
+		panic(err)
+	}
+	enc, err := st.Get(slotKey(key))
+	if err != nil || len(enc) == 0 {
+		return types.Hash{}
+	}
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		panic(err)
+	}
+	b, err := v.AsBytes()
+	if err != nil {
+		panic(err)
+	}
+	return types.BytesToHash(b)
+}
+
+// SetState writes storage slot `key` of contract addr (journaled).
+func (s *DB) SetState(addr types.Address, key, value types.Hash) {
+	obj := s.getOrCreate(addr)
+	prev, hadPrev := obj.dirtyStorage[key]
+	s.journal = append(s.journal, func() {
+		if hadPrev {
+			obj.dirtyStorage[key] = prev
+		} else {
+			delete(obj.dirtyStorage, key)
+		}
+	})
+	obj.dirtyStorage[key] = value
+}
+
+// Snapshot returns an identifier for the current state to revert to.
+func (s *DB) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot undoes every mutation made after the snapshot was
+// taken.
+func (s *DB) RevertToSnapshot(id int) {
+	if id < 0 || id > len(s.journal) {
+		panic(fmt.Sprintf("state: invalid snapshot id %d (journal %d)", id, len(s.journal)))
+	}
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i]()
+	}
+	s.journal = s.journal[:id]
+}
+
+// Commit flushes all dirty objects into the tries, stores code, clears the
+// journal and returns the new state root.
+func (s *DB) Commit() (types.Hash, error) {
+	// Deterministic iteration keeps commits reproducible.
+	addrs := make([]types.Address, 0, len(s.objects))
+	for a := range s.objects {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i].Bytes()) < string(addrs[j].Bytes())
+	})
+	for _, addr := range addrs {
+		obj := s.objects[addr]
+		if obj.deleted || !obj.exists {
+			if obj.deleted {
+				if err := s.tr.Delete(addrKey(addr)); err != nil {
+					return types.Hash{}, err
+				}
+			}
+			continue
+		}
+		if err := s.commitStorage(obj); err != nil {
+			return types.Hash{}, err
+		}
+		if obj.account.CodeHash != EmptyCodeHash && obj.code != nil {
+			s.db.Insert(obj.account.CodeHash, obj.code)
+		}
+		if err := s.tr.Update(addrKey(addr), obj.account.encode()); err != nil {
+			return types.Hash{}, err
+		}
+	}
+	s.journal = nil
+	return s.tr.Hash(), nil
+}
+
+func (s *DB) commitStorage(obj *stateObject) error {
+	if len(obj.dirtyStorage) == 0 {
+		return nil
+	}
+	st, err := trie.New(obj.account.StorageRoot, s.db)
+	if err != nil {
+		return err
+	}
+	keys := make([]types.Hash, 0, len(obj.dirtyStorage))
+	for k := range obj.dirtyStorage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return string(keys[i].Bytes()) < string(keys[j].Bytes())
+	})
+	for _, k := range keys {
+		v := obj.dirtyStorage[k]
+		obj.storage[k] = v
+		if v.IsZero() {
+			if err := st.Delete(slotKey(k)); err != nil {
+				return err
+			}
+			continue
+		}
+		// Values are stored RLP-encoded with leading zeroes trimmed,
+		// as Ethereum does.
+		trimmed := new(big.Int).SetBytes(v.Bytes()).Bytes()
+		if err := st.Update(slotKey(k), rlp.Encode(rlp.Bytes(trimmed))); err != nil {
+			return err
+		}
+	}
+	obj.dirtyStorage = make(map[types.Hash]types.Hash)
+	obj.account.StorageRoot = st.Hash()
+	return nil
+}
+
+// Copy returns an independent state sharing the same backing database.
+// Used at the fork block to hand each chain its own state head.
+func (s *DB) Copy() *DB {
+	root, err := s.Commit()
+	if err != nil {
+		panic(err)
+	}
+	cp, err := New(root, s.db)
+	if err != nil {
+		panic(err)
+	}
+	for h, c := range s.codes {
+		cp.codes[h] = c
+	}
+	return cp
+}
+
+// addrKey is the secure-trie key for an address: keccak256(addr).
+func addrKey(addr types.Address) []byte {
+	h := keccak.Sum256(addr.Bytes())
+	return h[:]
+}
+
+// slotKey is the secure-trie key for a storage slot: keccak256(slot).
+func slotKey(key types.Hash) []byte {
+	h := keccak.Sum256(key.Bytes())
+	return h[:]
+}

@@ -1,0 +1,114 @@
+package trie
+
+import "fmt"
+
+// Iterator walks every (key, value) pair of the trie in lexicographic key
+// order — the primitive behind state dumps and export-style full scans.
+// The trie must not be mutated while iterating.
+type Iterator struct {
+	t     *Trie
+	stack []iterFrame
+	key   []byte
+	value []byte
+	err   error
+}
+
+type iterFrame struct {
+	n node
+	// prefix is the nibble path to this node.
+	prefix []byte
+	// childIdx is the next branch slot to visit (full nodes only).
+	childIdx int
+}
+
+// NewIterator returns an iterator positioned before the first pair.
+func (t *Trie) NewIterator() *Iterator {
+	it := &Iterator{t: t}
+	if t.root != nil {
+		it.stack = append(it.stack, iterFrame{n: t.root})
+	}
+	return it
+}
+
+// Next advances to the next pair, reporting whether one exists. On
+// resolution failure it stops and Err returns the cause.
+func (it *Iterator) Next() bool {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		switch n := top.n.(type) {
+		case hashNode:
+			resolved, err := it.t.resolve(n)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			top.n = resolved
+
+		case valueNode:
+			key := top.prefix
+			it.stack = it.stack[:len(it.stack)-1]
+			if !hasTerm(key) {
+				it.err = fmt.Errorf("trie: value at non-terminated path %v", key)
+				return false
+			}
+			it.key = hexToKeybytes(key[:len(key)-1])
+			it.value = append([]byte(nil), n...)
+			return true
+
+		case *shortNode:
+			child := iterFrame{n: n.val, prefix: concat(top.prefix, n.key)}
+			it.stack[len(it.stack)-1] = child
+
+		case *fullNode:
+			// Visit the branch's own value (slot 16) before its
+			// children: "ab" sorts before "abc".
+			advanced := false
+			for i := top.childIdx; i < 17; i++ {
+				slot := branchOrder[i]
+				if n.children[slot] == nil {
+					continue
+				}
+				top.childIdx = i + 1
+				prefix := concat(top.prefix, []byte{byte(slot)})
+				it.stack = append(it.stack, iterFrame{n: n.children[slot], prefix: prefix})
+				advanced = true
+				break
+			}
+			if !advanced {
+				it.stack = it.stack[:len(it.stack)-1]
+			}
+
+		default:
+			it.err = fmt.Errorf("trie: unknown node %T in iterator", n)
+			return false
+		}
+	}
+	return false
+}
+
+// Key returns the current key (valid until the next call to Next).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the error that stopped iteration, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// branchOrder visits the terminator slot (16) before the nibble slots so
+// iteration is lexicographic.
+var branchOrder = [17]int{16, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// hexToKeybytes packs even-length nibbles back into bytes.
+func hexToKeybytes(hex []byte) []byte {
+	if len(hex)%2 != 0 {
+		// Keys written through Update always have whole bytes; an odd
+		// path can only come from a corrupt trie.
+		panic(fmt.Sprintf("trie: odd nibble path of length %d", len(hex)))
+	}
+	out := make([]byte, len(hex)/2)
+	for i := range out {
+		out[i] = hex[i*2]<<4 | hex[i*2+1]
+	}
+	return out
+}

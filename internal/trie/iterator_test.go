@@ -1,0 +1,122 @@
+package trie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collect(t *testing.T, tr *Trie) map[string]string {
+	t.Helper()
+	got := map[string]string{}
+	it := tr.NewIterator()
+	var prev string
+	first := true
+	for it.Next() {
+		k := string(it.Key())
+		if _, dup := got[k]; dup {
+			t.Fatalf("iterator yielded %q twice", k)
+		}
+		if !first && k <= prev {
+			t.Fatalf("iterator out of order: %q after %q", k, prev)
+		}
+		first = false
+		prev = k
+		got[k] = string(it.Value())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	tr := NewEmpty(NewMemDB())
+	if tr.NewIterator().Next() {
+		t.Error("empty trie iterator yielded a pair")
+	}
+}
+
+func TestIteratorYieldsAllPairsInOrder(t *testing.T) {
+	tr := NewEmpty(NewMemDB())
+	want := map[string]string{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", r.Intn(2_000))
+		v := fmt.Sprintf("v%d", i)
+		want[k] = v
+		mustUpdate(t, tr, k, v)
+	}
+	// Prefix keys force branch-value ordering ("ab" before "abc").
+	want["k1"] = "short"
+	mustUpdate(t, tr, "k1", "short")
+	want["k1x"] = "longer"
+	mustUpdate(t, tr, "k1x", "longer")
+
+	got := collect(t, tr)
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d pairs, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestIteratorAfterCommitAndReopen(t *testing.T) {
+	db := NewMemDB()
+	tr := NewEmpty(db)
+	keys := []string{"alpha", "beta", "gamma", "alphabet", "a"}
+	for i, k := range keys {
+		mustUpdate(t, tr, k, fmt.Sprintf("v%d", i))
+	}
+	root := tr.Hash()
+	reopened, err := New(root, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, reopened)
+	if len(got) != len(keys) {
+		t.Fatalf("reopened iterator yielded %d pairs, want %d", len(got), len(keys))
+	}
+	// Sorted order check against an explicit sort.
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	it := reopened.NewIterator()
+	for _, want := range sorted {
+		if !it.Next() {
+			t.Fatalf("iterator ended before %q", want)
+		}
+		if string(it.Key()) != want {
+			t.Fatalf("iterator key %q, want %q", it.Key(), want)
+		}
+	}
+}
+
+func TestIteratorMissingNodeSurfacesError(t *testing.T) {
+	db := NewMemDB()
+	tr := NewEmpty(db)
+	for i := 0; i < 100; i++ {
+		mustUpdate(t, tr, fmt.Sprintf("key-%03d", i), "value-values-value")
+	}
+	root := tr.Hash()
+	// Corrupt the database: drop one interior node.
+	for h := range db.nodes {
+		if h != root {
+			delete(db.nodes, h)
+			break
+		}
+	}
+	reopened, err := New(root, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := reopened.NewIterator()
+	for it.Next() {
+	}
+	if it.Err() == nil {
+		t.Error("iterator over corrupt trie should surface an error")
+	}
+}

@@ -1,0 +1,162 @@
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// Merkle proofs: the mechanism light clients use to verify one account or
+// storage slot against a state root without holding the trie. A proof is
+// the list of RLP node encodings along the path from the root to the key;
+// each element's Keccak-256 is committed to by its parent (or, for the
+// first element, by the root hash itself), so the verifier needs nothing
+// but the root.
+
+// ErrBadProof reports a proof that does not verify against the root.
+var ErrBadProof = errors.New("trie: invalid Merkle proof")
+
+// Prove returns the Merkle proof for key: the encodings of every stored
+// (hash-referenced) node on the path from the root. The trie is committed
+// first. Works for absent keys too (the proof then shows the divergence).
+func (t *Trie) Prove(key []byte) ([][]byte, error) {
+	root := t.Hash() // commits all nodes
+	if root == EmptyRoot {
+		return nil, nil
+	}
+	var proof [][]byte
+	want := root
+	nibbles := keybytesToHex(key)
+	for {
+		enc, ok := t.db.Node(want)
+		if !ok {
+			return nil, fmt.Errorf("%w: missing node %s", ErrMissingNode, want)
+		}
+		proof = append(proof, enc)
+		v, err := rlp.Decode(enc)
+		if err != nil {
+			return nil, err
+		}
+		n, err := decodeNode(v)
+		if err != nil {
+			return nil, err
+		}
+		// Walk within this encoding (embedded sub-nodes included) until
+		// we terminate or cross into the next hash-referenced node.
+		ref, rest, err := walkEncoded(n, nibbles)
+		if err != nil {
+			return nil, err
+		}
+		if ref == nil {
+			return proof, nil // found, or proven absent
+		}
+		want = types.BytesToHash(ref)
+		nibbles = rest
+	}
+}
+
+// walkEncoded descends within one encoded node (following embedded
+// children in place) and returns the next hash reference to follow, or
+// nil when the walk terminated (value found or key proven absent).
+func walkEncoded(n node, nibbles []byte) (ref hashNode, rest []byte, err error) {
+	for {
+		next, remaining, err := descend(n, nibbles)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch nx := next.(type) {
+		case nil, valueNode:
+			return nil, nil, nil
+		case hashNode:
+			return nx, remaining, nil
+		default:
+			n = nx
+			nibbles = remaining
+		}
+	}
+}
+
+// descend takes one step from n along nibbles, returning the next node
+// (which may be nil for absence, a valueNode for a hit, a hashNode
+// reference, or an embedded node) and the remaining nibbles.
+func descend(n node, nibbles []byte) (node, []byte, error) {
+	switch n := n.(type) {
+	case *shortNode:
+		if len(nibbles) < len(n.key) || !bytes.Equal(n.key, nibbles[:len(n.key)]) {
+			return nil, nil, nil // key diverges: absent
+		}
+		rest := nibbles[len(n.key):]
+		if v, ok := n.val.(valueNode); ok {
+			if len(rest) == 0 {
+				return v, nil, nil
+			}
+			return nil, nil, nil
+		}
+		return n.val, rest, nil
+	case *fullNode:
+		if len(nibbles) == 0 {
+			return nil, nil, fmt.Errorf("%w: key exhausted at branch", ErrBadProof)
+		}
+		return n.children[nibbles[0]], nibbles[1:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unexpected node %T", ErrBadProof, n)
+	}
+}
+
+// VerifyProof checks a Merkle proof against a root hash and returns the
+// proven value (nil when the proof shows the key is absent).
+func VerifyProof(root types.Hash, key []byte, proof [][]byte) ([]byte, error) {
+	if len(proof) == 0 {
+		if root == EmptyRoot || root.IsZero() {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: empty proof for non-empty root", ErrBadProof)
+	}
+	nibbles := keybytesToHex(key)
+	want := root
+	for i, enc := range proof {
+		sum := keccak.Sum256(enc)
+		if types.BytesToHash(sum[:]) != want {
+			return nil, fmt.Errorf("%w: element %d hash mismatch", ErrBadProof, i)
+		}
+		v, err := rlp.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: element %d: %v", ErrBadProof, i, err)
+		}
+		n, err := decodeNode(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: element %d: %v", ErrBadProof, i, err)
+		}
+		for {
+			next, rest, err := descend(n, nibbles)
+			if err != nil {
+				return nil, err
+			}
+			switch nx := next.(type) {
+			case nil:
+				if i != len(proof)-1 {
+					return nil, fmt.Errorf("%w: absence before proof end", ErrBadProof)
+				}
+				return nil, nil
+			case valueNode:
+				if i != len(proof)-1 {
+					return nil, fmt.Errorf("%w: value before proof end", ErrBadProof)
+				}
+				return append([]byte(nil), nx...), nil
+			case hashNode:
+				want = types.BytesToHash(nx)
+				nibbles = rest
+			default:
+				n = nx
+				nibbles = rest
+				continue
+			}
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: proof ended at a hash reference", ErrBadProof)
+}

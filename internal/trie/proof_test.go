@@ -1,0 +1,162 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"forkwatch/internal/types"
+)
+
+func provableTrie(t *testing.T, n int) (*Trie, map[string]string) {
+	t.Helper()
+	tr := NewEmpty(NewMemDB())
+	pairs := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v := fmt.Sprintf("value-%d", i*i+1)
+		pairs[k] = v
+		mustUpdate(t, tr, k, v)
+	}
+	return tr, pairs
+}
+
+func TestProveAndVerifyPresent(t *testing.T) {
+	tr, pairs := provableTrie(t, 200)
+	root := tr.Hash()
+	for k, v := range pairs {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", k, err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof(%q): %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("proof for %q yielded %q, want %q", k, got, v)
+		}
+	}
+}
+
+func TestProveAbsent(t *testing.T) {
+	tr, _ := provableTrie(t, 50)
+	root := tr.Hash()
+	for _, k := range []string{"missing", "key-9999", "key-000", "key-00000"} {
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", k, err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof absent (%q): %v", k, err)
+		}
+		if got != nil {
+			t.Fatalf("absent key %q proved value %q", k, got)
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedProof(t *testing.T) {
+	tr, _ := provableTrie(t, 100)
+	root := tr.Hash()
+	key := []byte("key-0042")
+	proof, err := tr.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of each element in turn: every mutation must fail.
+	for i := range proof {
+		tampered := make([][]byte, len(proof))
+		for j := range proof {
+			tampered[j] = append([]byte(nil), proof[j]...)
+		}
+		tampered[i][len(tampered[i])/2] ^= 0x01
+		if _, err := VerifyProof(root, key, tampered); err == nil {
+			t.Fatalf("tampered element %d accepted", i)
+		}
+	}
+	// Truncated proof must fail.
+	if len(proof) > 1 {
+		if _, err := VerifyProof(root, key, proof[:len(proof)-1]); err == nil {
+			t.Fatal("truncated proof accepted")
+		}
+	}
+	// Wrong root must fail.
+	if _, err := VerifyProof(types.HexToHash("0xbad"), key, proof); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestVerifyProofWrongKey(t *testing.T) {
+	tr, pairs := provableTrie(t, 100)
+	root := tr.Hash()
+	proof, err := tr.Prove([]byte("key-0042"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verifying a different key against this proof is sound only in two
+	// ways: it may prove that key too (siblings embedded in a shared
+	// branch node are legitimately covered), in which case the value
+	// must be the trie's real value; or it fails/proves nothing. It must
+	// never yield a wrong value.
+	for _, other := range []string{"key-0043", "key-0099", "zzz-unrelated"} {
+		got, err := VerifyProof(root, []byte(other), proof)
+		if err != nil {
+			continue // proof does not cover this key: fine
+		}
+		if got != nil && string(got) != pairs[other] {
+			t.Fatalf("proof yielded wrong value for %q: %q (want %q)", other, got, pairs[other])
+		}
+	}
+}
+
+func TestProveEmptyTrie(t *testing.T) {
+	tr := NewEmpty(NewMemDB())
+	proof, err := tr.Prove([]byte("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof != nil {
+		t.Fatalf("empty trie should produce empty proof, got %d elements", len(proof))
+	}
+	got, err := VerifyProof(EmptyRoot, []byte("anything"), nil)
+	if err != nil || got != nil {
+		t.Fatalf("empty-root verification: %v, %q", err, got)
+	}
+	if _, err := VerifyProof(types.HexToHash("0x01"), []byte("k"), nil); err == nil {
+		t.Fatal("empty proof for non-empty root accepted")
+	}
+}
+
+// TestProofRandomized cross-checks proofs against the map model under a
+// random keyspace with shared prefixes (exercising embedded nodes).
+func TestProofRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := NewEmpty(NewMemDB())
+	model := map[string][]byte{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("p%d", r.Intn(500))
+		v := []byte(fmt.Sprintf("v%d", r.Intn(1_000_000)))
+		model[k] = v
+		if err := tr.Update([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Hash()
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("p%d", r.Intn(600)) // includes absent keys
+		proof, err := tr.Prove([]byte(k))
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", k, err)
+		}
+		got, err := VerifyProof(root, []byte(k), proof)
+		if err != nil {
+			t.Fatalf("VerifyProof(%q): %v", k, err)
+		}
+		if !bytes.Equal(got, model[k]) {
+			t.Fatalf("key %q: proof yielded %q, model %q", k, got, model[k])
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package trie implements the hexary Merkle-Patricia trie that Ethereum
+// uses for its state, transaction and receipt roots.
+//
+// forkwatch needs real state roots for two reasons. First, the ETH/ETC
+// partition is *defined* by state divergence from a shared prefix: both
+// ledgers commit to their account state per block, and the DAO fork is an
+// irregular state change that makes the two roots diverge forever. Second,
+// the echo analysis (paper Fig 4) depends on replayed transactions being
+// valid or invalid against each chain's *own* state, which the state
+// package evaluates on top of this trie.
+//
+// The node model follows the yellow paper: branch nodes (17 slots), short
+// nodes carrying a hex-prefix-compacted key fragment (leaf or extension),
+// and hash references for nodes whose RLP encoding is 32 bytes or longer.
+// Nodes shorter than 32 bytes embed inline in their parent, as per the
+// specification.
+package trie
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"forkwatch/internal/keccak"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// ErrMissingNode reports a hash reference that cannot be resolved in the
+// backing database (a corrupted or incomplete trie).
+var ErrMissingNode = errors.New("trie: missing node")
+
+// Database is the node store a trie reads resolved nodes from and commits
+// hashed nodes into. The in-memory MemDB implementation suffices for the
+// simulator; chain storage wraps it.
+type Database interface {
+	// Node returns the RLP encoding of the node with the given hash.
+	Node(h types.Hash) ([]byte, bool)
+	// Insert stores the RLP encoding of a node under its hash.
+	Insert(h types.Hash, enc []byte)
+}
+
+// MemDB is a Database backed by a map. It is safe for concurrent use:
+// the store is content-addressed and insert-only, and a chain's state is
+// committed by one writer while p2p peers read concurrently.
+type MemDB struct {
+	mu    sync.RWMutex
+	nodes map[types.Hash][]byte
+}
+
+// NewMemDB returns an empty in-memory node database.
+func NewMemDB() *MemDB { return &MemDB{nodes: make(map[types.Hash][]byte)} }
+
+// Node implements Database.
+func (db *MemDB) Node(h types.Hash) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc, ok := db.nodes[h]
+	return enc, ok
+}
+
+// Insert implements Database.
+func (db *MemDB) Insert(h types.Hash, enc []byte) {
+	db.mu.Lock()
+	db.nodes[h] = enc
+	db.mu.Unlock()
+}
+
+// Len returns the number of stored nodes.
+func (db *MemDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.nodes)
+}
+
+// Node kinds. fullNode is a 17-slot branch; shortNode is a leaf (value
+// child) or extension (branch child) holding a nibble-key fragment;
+// hashNode refers to a node stored in the Database; valueNode is a stored
+// value.
+type node interface{}
+
+type fullNode struct {
+	children [17]node
+}
+
+type shortNode struct {
+	key []byte // nibbles, with terminator for leaves
+	val node
+}
+
+type (
+	hashNode  []byte
+	valueNode []byte
+)
+
+// EmptyRoot is the root hash of an empty trie: keccak256(rlp("")).
+var EmptyRoot = types.HexToHash("56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421")
+
+// Trie is a mutable Merkle-Patricia trie over a node Database.
+// The zero value is not usable; construct with New.
+type Trie struct {
+	db   Database
+	root node
+}
+
+// New opens the trie rooted at root inside db. A zero or EmptyRoot hash
+// yields an empty trie. The root node itself is resolved lazily.
+func New(root types.Hash, db Database) (*Trie, error) {
+	t := &Trie{db: db}
+	if root.IsZero() || root == EmptyRoot {
+		return t, nil
+	}
+	if _, ok := db.Node(root); !ok {
+		return nil, fmt.Errorf("%w: root %s", ErrMissingNode, root)
+	}
+	t.root = hashNode(root.Bytes())
+	return t, nil
+}
+
+// NewEmpty returns an empty trie over db.
+func NewEmpty(db Database) *Trie {
+	t, _ := New(types.Hash{}, db)
+	return t
+}
+
+// Get returns the value stored under key, or nil when absent.
+func (t *Trie) Get(key []byte) ([]byte, error) {
+	v, newRoot, err := t.get(t.root, keybytesToHex(key), 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = newRoot
+	return v, nil
+}
+
+func (t *Trie) get(n node, key []byte, pos int) ([]byte, node, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, nil, nil
+	case valueNode:
+		return n, n, nil
+	case *shortNode:
+		if len(key)-pos < len(n.key) || !bytes.Equal(n.key, key[pos:pos+len(n.key)]) {
+			return nil, n, nil
+		}
+		v, newChild, err := t.get(n.val, key, pos+len(n.key))
+		if err != nil {
+			return nil, n, err
+		}
+		n.val = newChild
+		return v, n, nil
+	case *fullNode:
+		v, newChild, err := t.get(n.children[key[pos]], key, pos+1)
+		if err != nil {
+			return nil, n, err
+		}
+		n.children[key[pos]] = newChild
+		return v, n, nil
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, n, err
+		}
+		return t.get(resolved, key, pos)
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+// Update stores value under key; an empty value deletes the key.
+func (t *Trie) Update(key, value []byte) error {
+	k := keybytesToHex(key)
+	if len(value) == 0 {
+		newRoot, _, err := t.delete(t.root, k)
+		if err != nil {
+			return err
+		}
+		t.root = newRoot
+		return nil
+	}
+	newRoot, err := t.insert(t.root, k, valueNode(append([]byte(nil), value...)))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+// Delete removes key from the trie. Deleting an absent key is a no-op.
+func (t *Trie) Delete(key []byte) error {
+	return t.Update(key, nil)
+}
+
+func (t *Trie) insert(n node, key []byte, value node) (node, error) {
+	if len(key) == 0 {
+		return value, nil
+	}
+	switch n := n.(type) {
+	case nil:
+		return &shortNode{key: append([]byte(nil), key...), val: value}, nil
+
+	case *shortNode:
+		match := prefixLen(key, n.key)
+		if match == len(n.key) {
+			child, err := t.insert(n.val, key[match:], value)
+			if err != nil {
+				return nil, err
+			}
+			return &shortNode{key: n.key, val: child}, nil
+		}
+		// Split: branch at the first diverging nibble.
+		branch := &fullNode{}
+		var err error
+		branch.children[n.key[match]], err = t.insert(nil, n.key[match+1:], n.val)
+		if err != nil {
+			return nil, err
+		}
+		branch.children[key[match]], err = t.insert(nil, key[match+1:], value)
+		if err != nil {
+			return nil, err
+		}
+		if match == 0 {
+			return branch, nil
+		}
+		return &shortNode{key: append([]byte(nil), key[:match]...), val: branch}, nil
+
+	case *fullNode:
+		child, err := t.insert(n.children[key[0]], key[1:], value)
+		if err != nil {
+			return nil, err
+		}
+		cp := *n
+		cp.children[key[0]] = child
+		return &cp, nil
+
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.insert(resolved, key, value)
+
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+// delete returns the new node and whether the trie changed.
+func (t *Trie) delete(n node, key []byte) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+
+	case *shortNode:
+		match := prefixLen(key, n.key)
+		if match < len(n.key) {
+			return n, false, nil // key not present
+		}
+		if match == len(key) {
+			return nil, true, nil // exact leaf removal
+		}
+		child, changed, err := t.delete(n.val, key[len(n.key):])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		if child == nil {
+			return nil, true, nil
+		}
+		if sn, ok := child.(*shortNode); ok {
+			// Merge consecutive short nodes.
+			return &shortNode{key: concat(n.key, sn.key), val: sn.val}, true, nil
+		}
+		return &shortNode{key: n.key, val: child}, true, nil
+
+	case *fullNode:
+		child, changed, err := t.delete(n.children[key[0]], key[1:])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		cp := *n
+		cp.children[key[0]] = child
+
+		// Count remaining children; collapse when only one remains.
+		pos := -1
+		count := 0
+		for i, c := range cp.children {
+			if c != nil {
+				count++
+				pos = i
+			}
+		}
+		if count > 1 {
+			return &cp, true, nil
+		}
+		if pos == 16 {
+			// Only the branch value remains: becomes a terminating
+			// short node.
+			return &shortNode{key: []byte{16}, val: cp.children[16]}, true, nil
+		}
+		// One child branch remains: fold it into a short node,
+		// resolving through hash references.
+		only := cp.children[pos]
+		if hn, ok := only.(hashNode); ok {
+			resolved, err := t.resolve(hn)
+			if err != nil {
+				return nil, false, err
+			}
+			only = resolved
+		}
+		if sn, ok := only.(*shortNode); ok {
+			return &shortNode{key: concat([]byte{byte(pos)}, sn.key), val: sn.val}, true, nil
+		}
+		return &shortNode{key: []byte{byte(pos)}, val: only}, true, nil
+
+	case valueNode:
+		return nil, true, nil
+
+	case hashNode:
+		resolved, err := t.resolve(n)
+		if err != nil {
+			return nil, false, err
+		}
+		return t.delete(resolved, key)
+
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+func (t *Trie) resolve(h hashNode) (node, error) {
+	enc, ok := t.db.Node(types.BytesToHash(h))
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", ErrMissingNode, []byte(h))
+	}
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("trie: corrupt node %x: %w", []byte(h), err)
+	}
+	return decodeNode(v)
+}
+
+// Hash computes the root hash of the trie, committing every node of 32+
+// encoded bytes into the Database. The trie remains usable afterwards.
+func (t *Trie) Hash() types.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	ref, _ := t.commit(t.root)
+	switch ref := ref.(type) {
+	case hashNode:
+		return types.BytesToHash(ref)
+	default:
+		// Whole trie encodes under 32 bytes: hash the encoding itself.
+		enc := rlp.Encode(encodeNode(t.root))
+		h := keccak.Sum256(enc)
+		t.db.Insert(types.BytesToHash(h[:]), enc)
+		return types.BytesToHash(h[:])
+	}
+}
+
+// commit returns the reference form of n (hashNode when the encoding is
+// >= 32 bytes, otherwise the node itself) and stores hashed encodings.
+func (t *Trie) commit(n node) (node, rlp.Value) {
+	switch n := n.(type) {
+	case *shortNode:
+		childRef, _ := t.commit(n.val)
+		collapsed := &shortNode{key: n.key, val: childRef}
+		return t.store(collapsed)
+	case *fullNode:
+		collapsed := &fullNode{}
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			ref, _ := t.commit(c)
+			collapsed.children[i] = ref
+		}
+		return t.store(collapsed)
+	case hashNode, valueNode, nil:
+		return n, encodeNode(n)
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+func (t *Trie) store(n node) (node, rlp.Value) {
+	v := encodeNode(n)
+	enc := rlp.Encode(v)
+	if len(enc) < 32 {
+		return n, v
+	}
+	h := keccak.Sum256(enc)
+	t.db.Insert(types.BytesToHash(h[:]), enc)
+	return hashNode(h[:]), v
+}
+
+// encodeNode maps a node to its RLP Value. Child references become either
+// the 32-byte hash string or the embedded sub-encoding.
+func encodeNode(n node) rlp.Value {
+	switch n := n.(type) {
+	case nil:
+		return rlp.Bytes(nil)
+	case valueNode:
+		return rlp.Bytes(n)
+	case hashNode:
+		return rlp.Bytes(n)
+	case *shortNode:
+		return rlp.List(rlp.Bytes(hexToCompact(n.key)), encodeNode(n.val))
+	case *fullNode:
+		items := make([]rlp.Value, 17)
+		for i, c := range n.children {
+			items[i] = encodeNode(c)
+		}
+		return rlp.List(items...)
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+// decodeNode rebuilds a node from its decoded RLP Value.
+func decodeNode(v rlp.Value) (node, error) {
+	items, err := v.AsList()
+	if err != nil {
+		return nil, fmt.Errorf("trie: node must be a list: %w", err)
+	}
+	switch len(items) {
+	case 2:
+		keyBytes, err := items[0].AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		key := compactToHex(keyBytes)
+		if hasTerm(key) {
+			val, err := items[1].AsBytes()
+			if err != nil {
+				return nil, err
+			}
+			return &shortNode{key: key, val: valueNode(val)}, nil
+		}
+		child, err := decodeRef(items[1])
+		if err != nil {
+			return nil, err
+		}
+		return &shortNode{key: key, val: child}, nil
+	case 17:
+		fn := &fullNode{}
+		for i := 0; i < 16; i++ {
+			child, err := decodeRef(items[i])
+			if err != nil {
+				return nil, err
+			}
+			fn.children[i] = child
+		}
+		valBytes, err := items[16].AsBytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(valBytes) > 0 {
+			fn.children[16] = valueNode(valBytes)
+		}
+		return fn, nil
+	default:
+		return nil, fmt.Errorf("trie: invalid node arity %d", len(items))
+	}
+}
+
+// decodeRef interprets a child slot: empty string = nil, 32-byte string =
+// hash reference, embedded list = inline node.
+func decodeRef(v rlp.Value) (node, error) {
+	if v.IsList {
+		return decodeNode(v)
+	}
+	b, _ := v.AsBytes()
+	switch len(b) {
+	case 0:
+		return nil, nil
+	case 32:
+		return hashNode(append([]byte(nil), b...)), nil
+	default:
+		return nil, fmt.Errorf("trie: invalid node reference of %d bytes", len(b))
+	}
+}
+
+// Nibble-key helpers.
+
+// keybytesToHex expands a byte key into nibbles plus the 0x10 terminator.
+func keybytesToHex(key []byte) []byte {
+	out := make([]byte, len(key)*2+1)
+	for i, b := range key {
+		out[i*2] = b / 16
+		out[i*2+1] = b % 16
+	}
+	out[len(out)-1] = 16
+	return out
+}
+
+// hexToCompact applies hex-prefix encoding: flag nibble carrying oddness
+// and leaf/extension kind, then packed nibbles.
+func hexToCompact(hex []byte) []byte {
+	terminator := byte(0)
+	if hasTerm(hex) {
+		terminator = 1
+		hex = hex[:len(hex)-1]
+	}
+	buf := make([]byte, len(hex)/2+1)
+	buf[0] = terminator << 5
+	if len(hex)%2 == 1 {
+		buf[0] |= 1 << 4
+		buf[0] |= hex[0]
+		hex = hex[1:]
+	}
+	for i := 0; i < len(hex); i += 2 {
+		buf[i/2+1] = hex[i]<<4 | hex[i+1]
+	}
+	return buf
+}
+
+// compactToHex inverts hexToCompact.
+func compactToHex(compact []byte) []byte {
+	if len(compact) == 0 {
+		return nil
+	}
+	base := make([]byte, 0, len(compact)*2)
+	for _, b := range compact {
+		base = append(base, b/16, b%16)
+	}
+	// base[0] is the flag nibble; base[1] is either padding or the first
+	// key nibble depending on the odd bit.
+	flags := base[0]
+	skip := 2 - flags&1
+	base = base[skip:]
+	if flags&2 != 0 {
+		base = append(base, 16)
+	}
+	return base
+}
+
+func hasTerm(hex []byte) bool {
+	return len(hex) > 0 && hex[len(hex)-1] == 16
+}
+
+func prefixLen(a, b []byte) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func concat(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

@@ -1,0 +1,285 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"forkwatch/internal/types"
+)
+
+func newTestTrie(t *testing.T) *Trie {
+	t.Helper()
+	return NewEmpty(NewMemDB())
+}
+
+func mustUpdate(t *testing.T, tr *Trie, key, val string) {
+	t.Helper()
+	if err := tr.Update([]byte(key), []byte(val)); err != nil {
+		t.Fatalf("Update(%q): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, tr *Trie, key string) []byte {
+	t.Helper()
+	v, err := tr.Get([]byte(key))
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	return v
+}
+
+func TestEmptyTrieRoot(t *testing.T) {
+	tr := newTestTrie(t)
+	if got := tr.Hash(); got != EmptyRoot {
+		t.Errorf("empty root = %s, want %s", got, EmptyRoot)
+	}
+}
+
+// TestKnownRoot checks the canonical three-key vector used across
+// Ethereum implementations.
+func TestKnownRoot(t *testing.T) {
+	tr := newTestTrie(t)
+	mustUpdate(t, tr, "doe", "reindeer")
+	mustUpdate(t, tr, "dog", "puppy")
+	mustUpdate(t, tr, "dogglesworth", "cat")
+	want := types.HexToHash("0x8aad789dff2f538bca5d8ea56e8abe10f4c7ba3a5dea95fea4cd6e7c3a1168d3")
+	if got := tr.Hash(); got != want {
+		t.Errorf("root = %s, want %s", got, want)
+	}
+}
+
+func TestGetUpdateDelete(t *testing.T) {
+	tr := newTestTrie(t)
+	if v := mustGet(t, tr, "missing"); v != nil {
+		t.Errorf("missing key returned %q", v)
+	}
+	mustUpdate(t, tr, "alpha", "1")
+	mustUpdate(t, tr, "alphabet", "2")
+	mustUpdate(t, tr, "beta", "3")
+	if got := mustGet(t, tr, "alpha"); string(got) != "1" {
+		t.Errorf("alpha = %q", got)
+	}
+	if got := mustGet(t, tr, "alphabet"); string(got) != "2" {
+		t.Errorf("alphabet = %q", got)
+	}
+	mustUpdate(t, tr, "alpha", "overwritten")
+	if got := mustGet(t, tr, "alpha"); string(got) != "overwritten" {
+		t.Errorf("alpha after overwrite = %q", got)
+	}
+	if err := tr.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustGet(t, tr, "alpha"); v != nil {
+		t.Errorf("deleted key still present: %q", v)
+	}
+	if got := mustGet(t, tr, "alphabet"); string(got) != "2" {
+		t.Errorf("sibling lost after delete: %q", got)
+	}
+}
+
+func TestDeleteRestoresEmptyRoot(t *testing.T) {
+	tr := newTestTrie(t)
+	keys := []string{"doe", "dog", "dogglesworth", "horse", "x"}
+	for i, k := range keys {
+		mustUpdate(t, tr, k, fmt.Sprintf("value-%d", i))
+	}
+	for _, k := range keys {
+		if err := tr.Delete([]byte(k)); err != nil {
+			t.Fatalf("Delete(%q): %v", k, err)
+		}
+	}
+	if got := tr.Hash(); got != EmptyRoot {
+		t.Errorf("root after deleting all keys = %s, want empty root", got)
+	}
+}
+
+func TestDeleteAbsentKeyIsNoOp(t *testing.T) {
+	tr := newTestTrie(t)
+	mustUpdate(t, tr, "dog", "puppy")
+	before := tr.Hash()
+	if err := tr.Delete([]byte("cat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]byte("do")); err != nil { // prefix of existing key
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]byte("dogs")); err != nil { // extension of existing key
+		t.Fatal(err)
+	}
+	if got := tr.Hash(); got != before {
+		t.Errorf("root changed by absent-key deletes: %s vs %s", got, before)
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	pairs := map[string]string{
+		"doe": "reindeer", "dog": "puppy", "dogglesworth": "cat",
+		"horse": "stallion", "shaman": "horse", "do": "verb",
+		"ether": "wookiedoo", "": "emptykeyvalue",
+	}
+	var roots []types.Hash
+	for seed := 0; seed < 5; seed++ {
+		tr := newTestTrie(t)
+		keys := make([]string, 0, len(pairs))
+		for k := range pairs {
+			keys = append(keys, k)
+		}
+		r := rand.New(rand.NewSource(int64(seed)))
+		r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			mustUpdate(t, tr, k, pairs[k])
+		}
+		roots = append(roots, tr.Hash())
+	}
+	for i := 1; i < len(roots); i++ {
+		if roots[i] != roots[0] {
+			t.Errorf("insertion order changed root: %s vs %s", roots[i], roots[0])
+		}
+	}
+}
+
+func TestReopenFromCommittedRoot(t *testing.T) {
+	db := NewMemDB()
+	tr := NewEmpty(db)
+	pairs := map[string]string{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("account-%03d", i)
+		v := fmt.Sprintf("balance-%d", i*i)
+		pairs[k] = v
+		if err := tr.Update([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Hash()
+
+	reopened, err := New(root, db)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for k, v := range pairs {
+		got, err := reopened.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q) after reopen: %v", k, err)
+		}
+		if string(got) != v {
+			t.Errorf("Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+	// Mutating the reopened trie must produce the same root as mutating
+	// the original.
+	if err := reopened.Update([]byte("account-050"), []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update([]byte("account-050"), []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Hash() != tr.Hash() {
+		t.Error("reopened trie diverged from original after identical update")
+	}
+}
+
+func TestMissingRoot(t *testing.T) {
+	if _, err := New(types.HexToHash("0x1234"), NewMemDB()); err == nil {
+		t.Error("expected error opening trie at unknown root")
+	}
+}
+
+// TestModelConformance drives the trie with random operations against a
+// plain map model and compares contents and roots across two
+// differently-ordered replays.
+func TestModelConformance(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := newTestTrie(t)
+	model := map[string]string{}
+
+	randKey := func() string {
+		// Small keyspace to force collisions, splits and deletes of
+		// shared prefixes.
+		return fmt.Sprintf("k%d", r.Intn(200))
+	}
+	for step := 0; step < 5000; step++ {
+		k := randKey()
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", r.Intn(1_000_000))
+			model[k] = v
+			if err := tr.Update([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("step %d: Update: %v", step, err)
+			}
+		case 2:
+			delete(model, k)
+			if err := tr.Delete([]byte(k)); err != nil {
+				t.Fatalf("step %d: Delete: %v", step, err)
+			}
+		}
+		if step%500 == 0 {
+			tr.Hash() // interleave commits with mutation
+		}
+	}
+	for k, v := range model {
+		got, err := tr.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if string(got) != v {
+			t.Errorf("Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+	// Rebuild from the model in map order; roots must match.
+	rebuilt := newTestTrie(t)
+	for k, v := range model {
+		if err := rebuilt.Update([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rebuilt.Hash() != tr.Hash() {
+		t.Error("rebuilt trie root differs from mutated trie root")
+	}
+}
+
+func TestHexCompactRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		n := r.Intn(20)
+		hexKey := make([]byte, n)
+		for j := range hexKey {
+			hexKey[j] = byte(r.Intn(16))
+		}
+		if r.Intn(2) == 0 {
+			hexKey = append(hexKey, 16)
+		}
+		got := compactToHex(hexToCompact(hexKey))
+		if !bytes.Equal(got, hexKey) && !(len(hexKey) == 0 && len(got) == 0) {
+			t.Fatalf("round trip failed: %v -> %v", hexKey, got)
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	tr := newTestTrie(t)
+	big := bytes.Repeat([]byte{0xaa}, 1000)
+	mustUpdate(t, tr, "big", string(big))
+	if got := mustGet(t, tr, "big"); !bytes.Equal(got, big) {
+		t.Errorf("large value corrupted: %d bytes", len(got))
+	}
+	tr.Hash()
+	if got := mustGet(t, tr, "big"); !bytes.Equal(got, big) {
+		t.Errorf("large value corrupted after commit: %d bytes", len(got))
+	}
+}
+
+func BenchmarkTrieInsert1k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewEmpty(NewMemDB())
+		for j := 0; j < 1000; j++ {
+			key := fmt.Sprintf("account-%04d", j)
+			if err := tr.Update([]byte(key), []byte("value")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr.Hash()
+	}
+}

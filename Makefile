@@ -1,0 +1,32 @@
+# forkwatch build/check entry points.
+#
+# `make test` is the tier-1 gate (what CI and the roadmap require).
+# `make check` is the full pre-merge battery: vet + build + race tests.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the plain test suite.
+test:
+	$(GO) test ./...
+
+# Race-enabled run of everything, including the chaos suite.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/discover"
+	"forkwatch/internal/faultnet"
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/p2p"
 	"forkwatch/internal/pow"
@@ -49,6 +50,7 @@ func main() {
 		loadPath = flag.String("load", "", "import a chain snapshot before starting")
 		savePath = flag.String("save", "", "export the chain snapshot on shutdown")
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "rng seed for mining")
+		faultStr = flag.String("faults", "", `fault injection spec, comma-separated key=value: seed=<n>, latency=<dur>, jitter=<dur>, drop=<rate>, corrupt=<rate>, reset=<rate>, bw=<bytes/s>, stall=<frames> (e.g. "seed=7,drop=0.2,jitter=200ms")`)
 	)
 	flag.Parse()
 
@@ -71,7 +73,7 @@ func main() {
 	}
 
 	if *crawl != "" {
-		runCrawl(bc, *crawl)
+		runCrawl(bc, *crawl, *faultStr)
 		return
 	}
 
@@ -87,7 +89,22 @@ func main() {
 	self := discover.Node{ID: discover.IDFromHash(types.BytesToHash(idHash[:])), Addr: *listen}
 
 	backend := p2p.NewChainBackend(bc)
+	// Transport stack, innermost first: TCP -> faultnet -> secure. The
+	// fault layer sits below encryption so injected corruption hits the
+	// ciphertext, exactly like a hostile network path would.
 	var dialer p2p.Dialer = p2p.TCPDialer(3 * time.Second)
+	var fnet *faultnet.Net
+	var fep *faultnet.Endpoint
+	if *faultStr != "" {
+		faults, err := faultnet.ParseSpec(*faultStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fnet = faultnet.New(dialer, faults)
+		fep = fnet.Endpoint(nodeName)
+		dialer = fep
+		log.Printf("fault injection active: %s", faults.String())
+	}
 	if *secure {
 		dialer = p2p.SecureDialer(dialer)
 	}
@@ -105,6 +122,9 @@ func main() {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if fep != nil {
+			ln = fep.WrapListener(ln)
 		}
 		if *secure {
 			ln = p2p.SecureListener(ln)
@@ -159,8 +179,15 @@ func main() {
 			return
 		case <-ticker.C:
 			head := bc.Head()
-			log.Printf("height %d, difficulty %v, peers %d, txpool %d",
-				head.Number(), head.Header.Difficulty, srv.PeerCount(), backend.Pool.Len())
+			if fnet != nil {
+				st := fnet.Stats()
+				log.Printf("height %d, difficulty %v, peers %d, txpool %d | faults: %d frames, %d dropped, %d corrupted, %d resets, %d refusals",
+					head.Number(), head.Header.Difficulty, srv.PeerCount(), backend.Pool.Len(),
+					st.Frames, st.Dropped, st.Corrupted, st.Resets, st.Refusals)
+			} else {
+				log.Printf("height %d, difficulty %v, peers %d, txpool %d",
+					head.Number(), head.Header.Difficulty, srv.PeerCount(), backend.Pool.Len())
+			}
 		}
 	}
 }
@@ -240,10 +267,20 @@ func mineLoop(bc *chain.Blockchain, srv *p2p.Server, r *rand.Rand, every time.Du
 }
 
 // runCrawl performs the node census from a seed address, presenting this
-// chain's fork id, and prints the reachable/unreachable split.
-func runCrawl(bc *chain.Blockchain, seedAddr string) {
+// chain's fork id, and prints the reachable/unreachable split. A fault
+// spec degrades the crawler's own link, showing how loss undercounts a
+// census.
+func runCrawl(bc *chain.Blockchain, seedAddr, faultStr string) {
 	head := bc.Head()
 	td, _ := bc.TD(head.Hash())
+	var dialer p2p.Dialer = p2p.TCPDialer(3 * time.Second)
+	if faultStr != "" {
+		faults, err := faultnet.ParseSpec(faultStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dialer = faultnet.New(dialer, faults).Endpoint("crawler")
+	}
 	idHash := keccak.Sum256([]byte("crawler"))
 	probe := &p2p.Probe{
 		Self: discover.Node{ID: discover.IDFromHash(types.BytesToHash(idHash[:])), Addr: "crawler"},
@@ -255,7 +292,7 @@ func runCrawl(bc *chain.Blockchain, seedAddr string) {
 			Genesis:    bc.Genesis().Hash(),
 			ForkID:     bc.ForkID(),
 		},
-		Dialer:  p2p.TCPDialer(3 * time.Second),
+		Dialer:  dialer,
 		Timeout: 3 * time.Second,
 	}
 	seedHash := keccak.Sum256([]byte(seedAddr))

@@ -5,12 +5,15 @@
 // how many nodes are still reachable in the ETC network.
 //
 // The nodes are real Servers speaking the framed wire protocol over an
-// in-memory transport (cmd/forknode runs the identical stack over TCP).
+// in-memory transport (cmd/forknode runs the identical stack over TCP),
+// degraded by a seeded fault-injection layer — real crawls happened over
+// lossy links, so the census here retries through frame drops and jitter.
 //
 //	go run ./examples/partition
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/big"
@@ -19,6 +22,7 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/discover"
+	"forkwatch/internal/faultnet"
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/p2p"
 	"forkwatch/internal/pow"
@@ -79,8 +83,15 @@ func main() {
 	mine(etc) // ETC fork block (must not carry it)
 
 	// Spin up the network: 40 nodes, the first etcNodes keep classic
-	// rules, the rest upgrade.
+	// rules, the rest upgrade. Every link runs through a seeded fault
+	// layer injecting latency, jitter and frame loss.
 	mem := p2p.NewMemNet()
+	fnet := faultnet.New(mem, faultnet.Faults{
+		Seed:     42,
+		Latency:  2 * time.Millisecond,
+		Jitter:   10 * time.Millisecond,
+		DropRate: 0.10,
+	})
 	var servers []*p2p.Server
 	var nodes []discover.Node
 	for i := 0; i < totalNodes; i++ {
@@ -90,18 +101,22 @@ func main() {
 			bc = etc
 		}
 		self := discover.Node{ID: nodeID(name), Addr: name}
+		ep := fnet.Endpoint(name)
 		srv := p2p.NewServer(p2p.Config{
 			Self:      self,
 			NetworkID: 1,
 			MaxPeers:  totalNodes,
 			Backend:   p2p.NewChainBackend(bc),
-			Dialer:    mem,
+			Dialer:    ep,
+			// The wiring below retries failed handshakes immediately;
+			// disable the redial backoff so the demo stays snappy.
+			DialBackoff: -1,
 		})
 		ln, err := mem.Listen(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		go srv.Serve(ln)
+		go srv.Serve(ep.WrapListener(ln))
 		defer srv.Close()
 		servers = append(servers, srv)
 		nodes = append(nodes, self)
@@ -119,7 +134,16 @@ func main() {
 				continue
 			}
 			attempted++
-			if err := srv.Connect(nodes[k]); err != nil {
+			// Lost frames fail handshakes transiently; retry a few times
+			// so only real refusals (fork id, duplicates) stick.
+			var err error
+			for attempt := 0; attempt < 5; attempt++ {
+				if err = srv.Connect(nodes[k]); err == nil ||
+					errors.Is(err, p2p.ErrForkMismatch) || errors.Is(err, p2p.ErrAlreadyConnected) {
+					break
+				}
+			}
+			if err != nil {
 				refused++
 			}
 			// Seed the tables with everyone, reachable or not.
@@ -143,15 +167,33 @@ func main() {
 			Genesis:    etc.Genesis().Hash(),
 			ForkID:     etc.ForkID(),
 		},
-		Dialer:  mem,
+		Dialer:  fnet.Endpoint("crawler"),
 		Timeout: time.Second,
 	}
 	// The crawler's own table predates the fork: it knows every node
-	// that existed yesterday, and discovers today who still answers.
-	res := discover.Crawl(nodes, probe.FindNodeFunc(), 0)
+	// that existed yesterday, and discovers today who still answers. Its
+	// link is as lossy as everyone else's, so each probe retries before
+	// declaring a node gone — a fork-id refusal is final, a lost frame
+	// is not.
+	find := probe.FindNodeFunc()
+	retrying := func(n discover.Node, target discover.NodeID) ([]discover.Node, error) {
+		var res []discover.Node
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			if res, err = find(n, target); err == nil || errors.Is(err, p2p.ErrForkMismatch) {
+				return res, err
+			}
+		}
+		return nil, err
+	}
+	res := discover.Crawl(nodes, retrying, 0)
 	fmt.Printf("\ncrawl presenting the ETC fork id:\n")
 	fmt.Printf("  reachable ETC nodes:   %d\n", len(res.Reachable))
 	fmt.Printf("  advertised but gone:   %d (these upgraded to ETH)\n", len(res.Unreachable))
 	lost := float64(len(res.Unreachable)) / float64(len(res.Reachable)+len(res.Unreachable)) * 100
 	fmt.Printf("  node loss at the fork: %.0f%%  (the paper reports ~90%%)\n", lost)
+
+	st := fnet.Stats()
+	fmt.Printf("\nfault layer: %d frames, %d dropped (%.0f%%), %v injected delay over %d conns\n",
+		st.Frames, st.Dropped, float64(st.Dropped)/float64(st.Frames)*100, st.TotalDelay.Round(time.Millisecond), st.Connections)
 }

@@ -1,0 +1,33 @@
+package discover
+
+import "time"
+
+// DialBackoff returns how long to wait before redialing a node after its
+// fails-th consecutive failure: exponential in the failure count, clamped
+// to max, with a deterministic per-node jitter factor in [0.75, 1.25)
+// derived from the node id. Deterministic jitter keeps fault-injection
+// runs reproducible while still de-synchronizing redial storms across
+// nodes (every node backs off on a slightly different schedule).
+func DialBackoff(id NodeID, fails int, base, max time.Duration) time.Duration {
+	if fails <= 0 || base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < fails; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	// Jitter factor from two id bytes: [0.75, 1.25).
+	frac := float64(uint16(id[2])<<8|uint16(id[3])) / 65536
+	d = time.Duration(float64(d) * (0.75 + frac/2))
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func rid(seed int64) NodeID {
@@ -222,5 +223,54 @@ func TestLookupFindsClosest(t *testing.T) {
 	// seed (it must make progress through the network).
 	if DistCmp(target, got[0].ID, nodes[0].ID) > 0 && DistCmp(target, got[0].ID, nodes[1].ID) > 0 {
 		t.Error("lookup did not improve on the seeds")
+	}
+}
+
+// TestDialBackoff pins the redial schedule: exponential growth in the
+// failure count, clamped to max, jittered deterministically per node.
+func TestDialBackoff(t *testing.T) {
+	id := rid(7)
+	base := 100 * time.Millisecond
+	max := 2 * time.Second
+
+	if got := DialBackoff(id, 0, base, max); got != 0 {
+		t.Errorf("zero failures: backoff = %v, want 0", got)
+	}
+	if got := DialBackoff(id, 3, 0, max); got != 0 {
+		t.Errorf("disabled base: backoff = %v, want 0", got)
+	}
+
+	// Deterministic: same inputs, same delay.
+	if DialBackoff(id, 2, base, max) != DialBackoff(id, 2, base, max) {
+		t.Error("backoff is not deterministic")
+	}
+
+	// Exponential growth up to the clamp, always within the jitter band
+	// [0.75, 1.25) of the nominal doubling, never above max.
+	prev := time.Duration(0)
+	for fails := 1; fails <= 10; fails++ {
+		d := DialBackoff(id, fails, base, max)
+		nominal := base << uint(fails-1)
+		if nominal > max {
+			nominal = max
+		}
+		lo := time.Duration(float64(nominal) * 0.75)
+		if d < lo || d > max {
+			t.Errorf("fails=%d: backoff %v outside [%v, %v]", fails, d, lo, max)
+		}
+		if d < prev && d < max*3/4 {
+			t.Errorf("fails=%d: backoff shrank %v -> %v before the clamp", fails, prev, d)
+		}
+		prev = d
+	}
+
+	// Jitter de-synchronizes nodes: among many ids the same failure count
+	// must produce more than one distinct delay.
+	seen := make(map[time.Duration]bool)
+	for seed := int64(0); seed < 16; seed++ {
+		seen[DialBackoff(rid(seed), 1, base, max)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("per-node jitter produced identical backoffs across nodes")
 	}
 }

@@ -1,0 +1,479 @@
+// Package faultnet is a deterministic fault-injecting transport wrapper.
+// It composes over any Dialer/Listener pair — real TCP or the in-memory
+// MemNet — and injects the failure modes that shaped the paper's
+// partition dynamics: latency and jitter, probabilistic frame loss,
+// byte-level corruption, bandwidth caps, mid-stream connection resets,
+// slow-loris stalls, and scripted bisection partitions.
+//
+// Every random decision is drawn from a *rand.Rand derived from a master
+// seed plus the connection's endpoint labels and per-pair dial sequence,
+// so the same seed over the same dial sequence produces the same fault
+// schedule. Delays go through an injectable Sleep function, keeping the
+// package virtual-clock friendly: tests can scale or zero the sleeps
+// without changing which frames are dropped or corrupted.
+//
+// A "frame" here is one Write call. The p2p layer writes each framed wire
+// message with a single Write, so frame-level loss and corruption at this
+// layer line up exactly with protocol messages.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Dialer is the minimal dialing interface faultnet wraps. It is
+// structurally identical to p2p.Dialer, so either package's transports
+// satisfy both.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// Fault-injection errors.
+var (
+	// ErrPartitioned reports a dial across an active scripted partition.
+	ErrPartitioned = errors.New("faultnet: destination unreachable (partitioned)")
+	// ErrInjectedReset reports a connection killed by the reset fault.
+	ErrInjectedReset = errors.New("faultnet: connection reset (injected)")
+	// ErrConnClosed reports I/O on a closed fault conn.
+	ErrConnClosed = errors.New("faultnet: connection closed")
+)
+
+// Faults configures the injected failure modes. The zero value injects
+// nothing and is a transparent pass-through.
+type Faults struct {
+	// Seed is the master seed for every probabilistic decision.
+	Seed int64
+	// Latency is a fixed one-way delay applied to every frame.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) delay per frame.
+	Jitter time.Duration
+	// DropRate is the probability a frame is silently discarded.
+	DropRate float64
+	// CorruptRate is the probability one random byte of a frame is
+	// bit-flipped before transmission.
+	CorruptRate float64
+	// ResetRate is the probability a frame triggers a full connection
+	// reset instead of being sent.
+	ResetRate float64
+	// BandwidthBps caps each connection direction to this many bytes per
+	// second (0 = unlimited), modelled as a serialization delay.
+	BandwidthBps int
+	// StallWrites, when > 0, turns the connection into a slow loris after
+	// that many frames: writes stop making progress and block until the
+	// write deadline (or forever without one).
+	StallWrites int
+	// Sleep implements delays; nil means time.Sleep. Tests inject a
+	// scaled or no-op sleeper — the fault schedule (which frames are
+	// delayed, dropped or corrupted, and by how much) is unaffected.
+	Sleep func(time.Duration)
+	// Record, when true, appends every fault decision to the Net's
+	// journal for determinism checks.
+	Record bool
+}
+
+// Event is one journaled fault decision.
+type Event struct {
+	// Conn labels the connection ("self->remote#n" or "addr<-accept#n").
+	Conn string
+	// Seq is the frame index within the connection.
+	Seq int
+	// Op is the decision: "pass", "drop", "corrupt", "reset" or "stall".
+	Op string
+	// Delay is the injected latency (latency + jitter + serialization).
+	Delay time.Duration
+	// Size is the frame length in bytes.
+	Size int
+}
+
+// Stats counts injected faults across a Net.
+type Stats struct {
+	Frames      int64
+	Dropped     int64
+	Corrupted   int64
+	Resets      int64
+	Stalls      int64
+	Refusals    int64 // dials refused by an active partition
+	TotalDelay  time.Duration
+	Connections int64
+}
+
+// Net wraps an underlying transport with fault injection and partition
+// scripting. Create per-node endpoints with Endpoint.
+type Net struct {
+	inner  Dialer
+	faults Faults
+
+	mu      sync.Mutex
+	sides   map[string]int // addr -> partition side; empty map = healed
+	conns   map[*Conn]struct{}
+	dialSeq map[string]int
+	journal []Event
+	stats   Stats
+}
+
+// New wraps dialer with the given fault plan.
+func New(dialer Dialer, faults Faults) *Net {
+	if faults.Sleep == nil {
+		faults.Sleep = time.Sleep
+	}
+	return &Net{
+		inner:   dialer,
+		faults:  faults,
+		sides:   make(map[string]int),
+		conns:   make(map[*Conn]struct{}),
+		dialSeq: make(map[string]int),
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (n *Net) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Journal returns a copy of the recorded fault decisions (Faults.Record
+// must be set).
+func (n *Net) Journal() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Event(nil), n.journal...)
+}
+
+// Partition installs a scripted partition: each address maps to a side,
+// dials between different sides are refused, and live connections that
+// cross sides are reset. Addresses absent from the map are unaffected.
+func (n *Net) Partition(sides map[string]int) {
+	n.mu.Lock()
+	n.sides = make(map[string]int, len(sides))
+	for addr, side := range sides {
+		n.sides[addr] = side
+	}
+	var kill []*Conn
+	for c := range n.conns {
+		if n.crossesLocked(c.local, c.remote) {
+			kill = append(kill, c)
+		}
+	}
+	n.mu.Unlock()
+	// Closing the dial-side conn propagates to the accepted side, so the
+	// bisection severs both directions.
+	for _, c := range kill {
+		c.Close()
+	}
+}
+
+// PartitionSets is a convenience for a bisection: addresses in a are on
+// one side, addresses in b on the other.
+func (n *Net) PartitionSets(a, b []string) {
+	sides := make(map[string]int, len(a)+len(b))
+	for _, addr := range a {
+		sides[addr] = 0
+	}
+	for _, addr := range b {
+		sides[addr] = 1
+	}
+	n.Partition(sides)
+}
+
+// Heal removes the partition; subsequent dials succeed again.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	n.sides = make(map[string]int)
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether addresses a and b are currently on
+// different sides of a scripted partition.
+func (n *Net) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crossesLocked(a, b)
+}
+
+func (n *Net) crossesLocked(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	sa, oka := n.sides[a]
+	sb, okb := n.sides[b]
+	return oka && okb && sa != sb
+}
+
+// Endpoint binds a node address to the net, so outbound connections know
+// both their local and remote labels (partition enforcement and seed
+// derivation need the pair).
+func (n *Net) Endpoint(self string) *Endpoint {
+	return &Endpoint{net: n, self: self}
+}
+
+// Endpoint is one node's view of the faulty network. It satisfies the
+// p2p Dialer interface and wraps that node's listener.
+type Endpoint struct {
+	net  *Net
+	self string
+}
+
+// Dial connects through the underlying transport, refusing dials across
+// an active partition, and returns a fault-injecting conn.
+func (e *Endpoint) Dial(addr string) (net.Conn, error) {
+	n := e.net
+	n.mu.Lock()
+	if n.crossesLocked(e.self, addr) {
+		n.stats.Refusals++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s", ErrPartitioned, e.self, addr)
+	}
+	pair := e.self + "->" + addr
+	seq := n.dialSeq[pair]
+	n.dialSeq[pair] = seq + 1
+	n.mu.Unlock()
+
+	inner, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.wrap(inner, e.self, addr, fmt.Sprintf("%s#%d", pair, seq)), nil
+}
+
+// WrapListener wraps ln so accepted connections inject faults on their
+// outbound (server -> client) direction. Accepted conns carry no remote
+// label; partitions sever them through their dial-side pipe half.
+func (e *Endpoint) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, ep: e}
+}
+
+type faultListener struct {
+	net.Listener
+	ep *Endpoint
+	mu sync.Mutex
+	n  int
+}
+
+// Accept implements net.Listener.
+func (l *faultListener) Accept() (net.Conn, error) {
+	inner, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	seq := l.n
+	l.n++
+	l.mu.Unlock()
+	label := fmt.Sprintf("%s<-accept#%d", l.ep.self, seq)
+	return l.ep.net.wrap(inner, l.ep.self, "", label), nil
+}
+
+// connSeed derives a per-connection RNG seed from the master seed and the
+// connection label, so fault schedules are stable per connection identity
+// regardless of goroutine interleaving across connections.
+func (n *Net) connSeed(label string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(n.faults.Seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+func (n *Net) wrap(inner net.Conn, local, remote, label string) *Conn {
+	c := &Conn{
+		Conn:   inner,
+		net:    n,
+		local:  local,
+		remote: remote,
+		label:  label,
+		rng:    rand.New(rand.NewSource(n.connSeed(label))),
+		closed: make(chan struct{}),
+	}
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.stats.Connections++
+	n.mu.Unlock()
+	return c
+}
+
+// Conn is a fault-injecting net.Conn. Reads pass through; writes are
+// where frames are delayed, dropped, corrupted, reset or stalled.
+type Conn struct {
+	net.Conn
+	net    *Net
+	local  string
+	remote string
+	label  string
+
+	mu     sync.Mutex // serializes writers and guards rng/seq
+	rng    *rand.Rand
+	seq    int
+	closed chan struct{}
+	once   sync.Once
+
+	deadlineMu    sync.Mutex
+	writeDeadline time.Time
+}
+
+// Close implements net.Conn. Idempotent.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+		c.net.mu.Lock()
+		delete(c.net.conns, c)
+		c.net.mu.Unlock()
+	})
+	return err
+}
+
+// SetDeadline implements net.Conn, tracking the write half for the stall
+// emulation and forwarding to the wrapped conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.writeDeadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.deadlineMu.Lock()
+	c.writeDeadline = t
+	c.deadlineMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn (pass-through; declared so the
+// deadline contract of the wrapper is explicit).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	return c.Conn.SetReadDeadline(t)
+}
+
+// Write injects the configured faults, then forwards to the wrapped conn.
+// Dropped frames report success, exactly like a lossy network below TCP
+// framing would look to the application.
+func (c *Conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, ErrConnClosed
+	default:
+	}
+	f := &c.net.faults
+
+	c.mu.Lock()
+	seq := c.seq
+	c.seq++
+	// Draw all randomness in a fixed order under the lock so the
+	// schedule depends only on the seed, not on sleep timing.
+	var delay time.Duration
+	if f.Latency > 0 {
+		delay += f.Latency
+	}
+	if f.Jitter > 0 {
+		delay += time.Duration(c.rng.Int63n(int64(f.Jitter)))
+	}
+	if f.BandwidthBps > 0 {
+		delay += time.Duration(len(p)) * time.Second / time.Duration(f.BandwidthBps)
+	}
+	stall := f.StallWrites > 0 && seq >= f.StallWrites
+	reset := !stall && f.ResetRate > 0 && c.rng.Float64() < f.ResetRate
+	drop := !stall && !reset && f.DropRate > 0 && c.rng.Float64() < f.DropRate
+	corrupt := -1
+	if !stall && !reset && !drop && f.CorruptRate > 0 && c.rng.Float64() < f.CorruptRate && len(p) > 0 {
+		corrupt = c.rng.Intn(len(p))
+	}
+
+	op := "pass"
+	switch {
+	case stall:
+		op = "stall"
+	case reset:
+		op = "reset"
+	case drop:
+		op = "drop"
+	case corrupt >= 0:
+		op = "corrupt"
+	}
+	c.net.note(Event{Conn: c.label, Seq: seq, Op: op, Delay: delay, Size: len(p)}, op, delay)
+
+	if stall {
+		c.mu.Unlock()
+		return c.stallWrite()
+	}
+	if reset {
+		c.mu.Unlock()
+		c.Close()
+		return 0, ErrInjectedReset
+	}
+	if delay > 0 {
+		f.Sleep(delay)
+	}
+	if drop {
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	var buf []byte
+	if corrupt >= 0 {
+		buf = append([]byte(nil), p...)
+		buf[corrupt] ^= 1 << uint(c.rng.Intn(8))
+	}
+	c.mu.Unlock()
+
+	if buf != nil {
+		if _, err := c.Conn.Write(buf); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// stallWrite emulates a slow-loris connection: the write never makes
+// progress. With a write deadline set it returns os.ErrDeadlineExceeded
+// once the deadline passes (the same contract net.Pipe and TCP honor);
+// without one it blocks until the conn is closed.
+func (c *Conn) stallWrite() (int, error) {
+	c.deadlineMu.Lock()
+	deadline := c.writeDeadline
+	c.deadlineMu.Unlock()
+	if deadline.IsZero() {
+		<-c.closed
+		return 0, ErrConnClosed
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return 0, os.ErrDeadlineExceeded
+	case <-c.closed:
+		return 0, ErrConnClosed
+	}
+}
+
+func (n *Net) note(ev Event, op string, delay time.Duration) {
+	n.mu.Lock()
+	n.stats.Frames++
+	n.stats.TotalDelay += delay
+	switch op {
+	case "drop":
+		n.stats.Dropped++
+	case "corrupt":
+		n.stats.Corrupted++
+	case "reset":
+		n.stats.Resets++
+	case "stall":
+		n.stats.Stalls++
+	}
+	if n.faults.Record {
+		n.journal = append(n.journal, ev)
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,373 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"forkwatch/internal/p2p"
+)
+
+// accept runs an accept loop that drains every accepted conn into the
+// returned buffer (net.Pipe writes only progress when read).
+func accept(t *testing.T, ln net.Listener) *lockedBuffer {
+	t.Helper()
+	buf := &lockedBuffer{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				chunk := make([]byte, 4096)
+				for {
+					n, err := conn.Read(chunk)
+					if n > 0 {
+						buf.Write(chunk[:n])
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return buf
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+// runSchedule dials through a fresh fault net with the given seed and
+// pushes a fixed frame sequence, returning the recorded journal.
+func runSchedule(t *testing.T, seed int64) []Event {
+	t.Helper()
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept(t, ln)
+	fnet := New(mem, Faults{
+		Seed:        seed,
+		Latency:     time.Millisecond,
+		Jitter:      10 * time.Millisecond,
+		DropRate:    0.2,
+		CorruptRate: 0.05,
+		Record:      true,
+		Sleep:       func(time.Duration) {}, // schedule only, no wall time
+	})
+	conn, err := fnet.Endpoint("src").Dial("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 300; i++ {
+		frame := make([]byte, 16+i%64)
+		for j := range frame {
+			frame[j] = byte(i + j)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	return fnet.Journal()
+}
+
+// TestFaultScheduleDeterministic: the same seed over the same dial and
+// write sequence yields the identical fault schedule — drop/corrupt
+// decisions and delay values included — while a different seed does not.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a := runSchedule(t, 42)
+	b := runSchedule(t, 42)
+	if len(a) != 300 || len(b) != 300 {
+		t.Fatalf("journal lengths: %d, %d (want 300)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at frame %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var drops int
+	for _, ev := range a {
+		if ev.Op == "drop" {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Errorf("20%% drop rate produced %d/300 drops", drops)
+	}
+	c := runSchedule(t, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+// TestPartitionAndHeal: a scripted bisection refuses new dials across
+// the cut, resets live crossing connections, and heals on demand.
+func TestPartitionAndHeal(t *testing.T) {
+	mem := p2p.NewMemNet()
+	lnB, err := mem.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept(t, lnB)
+	fnet := New(mem, Faults{})
+	epA := fnet.Endpoint("a")
+
+	conn, err := epA.Dial("b")
+	if err != nil {
+		t.Fatalf("pre-partition dial: %v", err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+
+	fnet.PartitionSets([]string{"a"}, []string{"b"})
+	if _, err := epA.Dial("b"); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("dial across partition: err = %v, want ErrPartitioned", err)
+	}
+	if !fnet.Partitioned("a", "b") {
+		t.Error("Partitioned(a,b) = false during partition")
+	}
+	// The live crossing connection was reset.
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Error("write on partitioned conn should fail")
+	}
+
+	fnet.Heal()
+	conn2, err := epA.Dial("b")
+	if err != nil {
+		t.Fatalf("post-heal dial: %v", err)
+	}
+	conn2.Close()
+	if fnet.Stats().Refusals != 1 {
+		t.Errorf("refusals = %d, want 1", fnet.Stats().Refusals)
+	}
+}
+
+// TestDeadlineForwarding: the wrapper honors SetDeadline semantics — a
+// regression guard for the p2p read/write deadlines, which must work
+// through faultnet over MemNet (net.Pipe) exactly as over TCP.
+func TestDeadlineForwarding(t *testing.T) {
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accept but never read or write: both directions stall naturally.
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	fnet := New(mem, Faults{})
+	conn, err := fnet.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := conn.Read(make([]byte, 1)); !isTimeout(err) {
+		t.Errorf("read past deadline: err = %v, want timeout", err)
+	}
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := conn.Write(make([]byte, 1)); !isTimeout(err) {
+		t.Errorf("write past deadline: err = %v, want timeout", err)
+	}
+}
+
+// TestStallRespectsWriteDeadline: a slow-loris conn blocks writes but
+// still honors the write deadline, so hardened peers can escape it.
+func TestStallRespectsWriteDeadline(t *testing.T) {
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept(t, ln)
+	fnet := New(mem, Faults{StallWrites: 1})
+	conn, err := fnet.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("first frame passes")); err != nil {
+		t.Fatalf("pre-stall write: %v", err)
+	}
+	conn.SetWriteDeadline(time.Now().Add(40 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Write([]byte("stalled"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("stalled write: err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("stall returned after %v, before the deadline", elapsed)
+	}
+	if fnet.Stats().Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", fnet.Stats().Stalls)
+	}
+}
+
+// TestDropAndReset: a full-drop plan delivers nothing while reporting
+// success; a full-reset plan kills the connection on first write.
+func TestDropAndReset(t *testing.T) {
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := accept(t, ln)
+
+	drops := New(mem, Faults{DropRate: 1})
+	conn, err := drops.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if n, err := conn.Write([]byte("lost")); err != nil || n != 4 {
+			t.Fatalf("dropped write reported (%d, %v)", n, err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if sink.Len() != 0 {
+		t.Errorf("%d bytes leaked through a 100%% drop plan", sink.Len())
+	}
+	conn.Close()
+
+	resets := New(mem, Faults{ResetRate: 1})
+	conn2, err := resets.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write([]byte("boom")); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("reset write: err = %v, want ErrInjectedReset", err)
+	}
+	if _, err := conn2.Write([]byte("after")); err == nil {
+		t.Error("write after injected reset should fail")
+	}
+}
+
+// TestBandwidthCap: serialization delay scales with frame size through
+// the injected sleeper.
+func TestBandwidthCap(t *testing.T) {
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept(t, ln)
+	var slept time.Duration
+	fnet := New(mem, Faults{
+		BandwidthBps: 1000,
+		Sleep:        func(d time.Duration) { slept += d },
+	})
+	conn, err := fnet.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 500*time.Millisecond {
+		t.Errorf("500B at 1000B/s slept %v, want 500ms", slept)
+	}
+}
+
+// TestCorruption: with corruption certain, delivered bytes differ from
+// the sent frame in exactly one bit.
+func TestCorruption(t *testing.T) {
+	mem := p2p.NewMemNet()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			conns <- c
+		}
+	}()
+	fnet := New(mem, Faults{Seed: 7, CorruptRate: 1})
+	conn, err := fnet.Endpoint("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sent := []byte("the quick brown fox")
+	go conn.Write(sent)
+	server := <-conns
+	got := make([]byte, len(sent))
+	if _, err := server.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range sent {
+		if sent[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption touched %d bytes, want exactly 1 (got %q)", diff, got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	f, err := ParseSpec("seed=42, latency=20ms, jitter=200ms, drop=0.2, corrupt=0.01, reset=0.001, bw=1048576, stall=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seed != 42 || f.Latency != 20*time.Millisecond || f.Jitter != 200*time.Millisecond ||
+		f.DropRate != 0.2 || f.CorruptRate != 0.01 || f.ResetRate != 0.001 ||
+		f.BandwidthBps != 1<<20 || f.StallWrites != 9 {
+		t.Errorf("ParseSpec = %+v", f)
+	}
+	if !f.Enabled() {
+		t.Error("parsed plan should report Enabled")
+	}
+	if empty, err := ParseSpec(""); err != nil || empty.Enabled() {
+		t.Errorf("empty spec: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"drop=1.5", "nope=1", "latency", "seed=abc"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

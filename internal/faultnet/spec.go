@@ -1,0 +1,83 @@
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a comma-separated key=value fault specification, the
+// format behind cmd/forknode's -faults flag:
+//
+//	seed=42,latency=20ms,jitter=200ms,drop=0.2,corrupt=0.01,reset=0.001,bw=1048576,stall=0
+//
+// Keys: seed (int), latency/jitter (durations), drop/corrupt/reset
+// (probabilities in [0,1]), bw (bytes per second), stall (frames before a
+// slow-loris stall, 0 = never). Unknown keys are rejected.
+func ParseSpec(spec string) (Faults, error) {
+	var f Faults
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return f, fmt.Errorf("faultnet: bad spec element %q (want key=value)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			f.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			f.Jitter, err = time.ParseDuration(val)
+		case "drop":
+			f.DropRate, err = parseRate(val)
+		case "corrupt":
+			f.CorruptRate, err = parseRate(val)
+		case "reset":
+			f.ResetRate, err = parseRate(val)
+		case "bw":
+			f.BandwidthBps, err = strconv.Atoi(val)
+		case "stall":
+			f.StallWrites, err = strconv.Atoi(val)
+		default:
+			return f, fmt.Errorf("faultnet: unknown spec key %q", key)
+		}
+		if err != nil {
+			return f, fmt.Errorf("faultnet: bad value for %s: %v", key, err)
+		}
+	}
+	return f, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", r)
+	}
+	return r, nil
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (f Faults) Enabled() bool {
+	return f.Latency > 0 || f.Jitter > 0 || f.DropRate > 0 || f.CorruptRate > 0 ||
+		f.ResetRate > 0 || f.BandwidthBps > 0 || f.StallWrites > 0
+}
+
+// String summarises the plan for logs.
+func (f Faults) String() string {
+	return fmt.Sprintf("seed=%d latency=%v jitter=%v drop=%.3f corrupt=%.3f reset=%.4f bw=%dB/s stall=%d",
+		f.Seed, f.Latency, f.Jitter, f.DropRate, f.CorruptRate, f.ResetRate, f.BandwidthBps, f.StallWrites)
+}

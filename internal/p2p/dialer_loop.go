@@ -1,7 +1,9 @@
 package p2p
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"sort"
 	"time"
 
 	"forkwatch/internal/discover"
@@ -20,9 +22,11 @@ func (s *Server) MaintainPeers(target int, interval time.Duration) {
 	if target <= 0 || target > s.cfg.MaxPeers {
 		target = s.cfg.MaxPeers
 	}
-	// Seeded from the node id: deterministic per node, distinct across
-	// nodes.
-	r := rand.New(rand.NewSource(int64(s.cfg.Self.ID[0])<<8 | int64(s.cfg.Self.ID[1])))
+	// Seeded from all 8 leading node-id bytes: deterministic per node,
+	// and collision-free across nodes (two bytes gave only 65536
+	// distinct seeds — frequent collisions in any few-hundred-node run
+	// meant identical shuffle sequences and correlated dial storms).
+	r := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(s.cfg.Self.ID[:8]))))
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
@@ -46,6 +50,11 @@ func (s *Server) MaintainPeers(target int, interval time.Duration) {
 		r.Shuffle(len(candidates), func(i, j int) {
 			candidates[i], candidates[j] = candidates[j], candidates[i]
 		})
+		// Healthy candidates first; peers demoted by the score ledger
+		// are last-resort dials.
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return !s.scores.demoted(candidates[i].ID) && s.scores.demoted(candidates[j].ID)
+		})
 		for _, n := range candidates {
 			if s.PeerCount() >= target {
 				break
@@ -53,8 +62,14 @@ func (s *Server) MaintainPeers(target int, interval time.Duration) {
 			if connected[n.ID] || n.ID == s.cfg.Self.ID {
 				continue
 			}
+			// Skip nodes inside a ban or backoff window; Connect would
+			// refuse them anyway.
+			if !s.scores.canDial(n.ID) {
+				continue
+			}
 			// Errors are expected (dead nodes, fork mismatches,
-			// duplicates); Connect evicts failed dials from the table.
+			// duplicates); Connect backs off failed targets and evicts
+			// repeatedly dead ones from the table.
 			_ = s.Connect(n)
 		}
 	}

@@ -41,6 +41,10 @@ func (s *Server) KeepaliveLoop(interval, timeout time.Duration) {
 		for _, p := range s.Peers() {
 			if now.Sub(p.LastSeen()) > timeout {
 				s.cfg.Logf("p2p[%s]: dropping silent peer %x", s.cfg.Self.Addr, p.node.ID[:4])
+				// Unanswered pings feed the score ledger: chronic
+				// silence eventually demotes and bans the node instead
+				// of redialing it forever.
+				s.penalizePeer(p, penaltyUnansweredPing, "unanswered pings")
 				s.dropPeer(p)
 				continue
 			}

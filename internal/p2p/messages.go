@@ -59,19 +59,25 @@ type Message struct {
 	Body rlp.Value
 }
 
-// WriteMsg frames and writes a message: 4-byte big-endian length, then
+// encodeFrame builds one wire frame: 4-byte big-endian length, then
 // rlp([code, body]).
-func WriteMsg(w io.Writer, code uint64, body rlp.Value) error {
+func encodeFrame(code uint64, body rlp.Value) []byte {
 	payload := rlp.EncodeList(rlp.Uint(code), body)
-	if len(payload) > MaxFrameSize {
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	return frame
+}
+
+// WriteMsg frames and writes a message as a SINGLE Write call, so each
+// protocol message is one transport frame — the unit fault-injecting
+// transports drop or corrupt, and one syscall instead of two on TCP.
+func WriteMsg(w io.Writer, code uint64, body rlp.Value) error {
+	frame := encodeFrame(code, body)
+	if len(frame)-4 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	_, err := w.Write(frame)
 	return err
 }
 

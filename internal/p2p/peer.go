@@ -4,6 +4,8 @@ import (
 	"math/big"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"forkwatch/internal/discover"
 	"forkwatch/internal/rlp"
@@ -21,6 +23,13 @@ type Peer struct {
 	conn   net.Conn
 	status Status
 
+	// writeTimeout bounds each frame write; a stalled (slow-loris)
+	// connection fails the deadline instead of wedging the write loop.
+	writeTimeout time.Duration
+	// onWriteError, when set, observes the write-loop error that killed
+	// the connection (the server scores write timeouts with it).
+	onWriteError func(error)
+
 	sendCh chan []byte
 	closed chan struct{}
 	once   sync.Once
@@ -33,18 +42,23 @@ type Peer struct {
 	// lastSeen is the unix-nano time of the latest inbound message
 	// (atomic; see keepalive.go).
 	lastSeen int64
+	// queueDrops counts frames dropped because the send queue was full
+	// (atomic).
+	queueDrops uint64
 }
 
-func newPeer(conn net.Conn, status *Status) *Peer {
+func newPeer(conn net.Conn, status *Status, writeTimeout time.Duration, onWriteError func(error)) *Peer {
 	p := &Peer{
-		node:       status.Node,
-		conn:       conn,
-		status:     *status,
-		sendCh:     make(chan []byte, sendQueueLen),
-		closed:     make(chan struct{}),
-		headHash:   status.Head,
-		headNumber: status.HeadNumber,
-		td:         types.BigCopy(status.TD),
+		node:         status.Node,
+		conn:         conn,
+		status:       *status,
+		writeTimeout: writeTimeout,
+		onWriteError: onWriteError,
+		sendCh:       make(chan []byte, sendQueueLen),
+		closed:       make(chan struct{}),
+		headHash:     status.Head,
+		headNumber:   status.HeadNumber,
+		td:           types.BigCopy(status.TD),
 	}
 	p.touch()
 	go p.writeLoop()
@@ -72,23 +86,37 @@ func (p *Peer) setHead(hash types.Hash, number uint64, td *big.Int) {
 	}
 }
 
-// send enqueues a framed message; drops it when the peer's queue is full
-// or the peer is closing. Reports whether the message was queued.
+// QueueDrops returns how many outbound frames were shed because the
+// peer's send queue was full.
+func (p *Peer) QueueDrops() uint64 { return atomic.LoadUint64(&p.queueDrops) }
+
+// send enqueues a framed message. A full queue sheds the OLDEST queued
+// frame to make room — stale gossip is the cheapest thing to lose, and a
+// slow peer degrades gracefully instead of head-of-line blocking every
+// broadcast. Reports whether the new message was queued.
 func (p *Peer) send(code uint64, body rlp.Value) bool {
-	payload := rlp.EncodeList(rlp.Uint(code), body)
-	frame := make([]byte, 4+len(payload))
-	frame[0] = byte(len(payload) >> 24)
-	frame[1] = byte(len(payload) >> 16)
-	frame[2] = byte(len(payload) >> 8)
-	frame[3] = byte(len(payload))
-	copy(frame[4:], payload)
+	frame := encodeFrame(code, body)
 	select {
 	case p.sendCh <- frame:
 		return true
 	case <-p.closed:
 		return false
 	default:
-		return false // queue full: lossy gossip
+	}
+	// Queue full: drop the oldest frame, then retry once.
+	select {
+	case <-p.sendCh:
+		atomic.AddUint64(&p.queueDrops, 1)
+	default:
+	}
+	select {
+	case p.sendCh <- frame:
+		return true
+	case <-p.closed:
+		return false
+	default:
+		atomic.AddUint64(&p.queueDrops, 1)
+		return false
 	}
 }
 
@@ -96,7 +124,20 @@ func (p *Peer) writeLoop() {
 	for {
 		select {
 		case frame := <-p.sendCh:
+			// Re-check for close: both channels may be ready and select
+			// picks randomly — never write after Close.
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			if p.writeTimeout > 0 {
+				p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+			}
 			if _, err := p.conn.Write(frame); err != nil {
+				if p.onWriteError != nil {
+					p.onWriteError(err)
+				}
 				p.Close()
 				return
 			}

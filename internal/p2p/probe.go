@@ -76,8 +76,9 @@ func (p *Probe) Run(target discover.Node) (*ProbeResult, error) {
 		return nil, err
 	}
 	// The target may send us unsolicited gossip; scan for the Neighbors
-	// answer.
-	for i := 0; i < 16; i++ {
+	// answer (generously — a busy node floods block and tx announces,
+	// and under fault injection the answer may arrive late in the mix).
+	for i := 0; i < 64; i++ {
 		msg, err = ReadMsg(conn)
 		if err != nil {
 			return nil, fmt.Errorf("probe: awaiting neighbors from %s: %w", target.Addr, err)

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forkwatch/internal/chain"
@@ -22,10 +23,23 @@ var (
 	ErrTooManyPeers     = errors.New("p2p: peer limit reached")
 	ErrServerClosed     = errors.New("p2p: server closed")
 	ErrSelfConnect      = errors.New("p2p: refusing to connect to self")
+	ErrPeerBanned       = errors.New("p2p: peer is banned (score ledger)")
+	ErrDialBackoff      = errors.New("p2p: dial suppressed by backoff window")
 )
 
-// handshakeTimeout bounds the status exchange.
-const handshakeTimeout = 5 * time.Second
+// Resilience defaults (all overridable via Config; negative disables).
+const (
+	defaultHandshakeTimeout = 5 * time.Second
+	defaultReadTimeout      = 2 * time.Minute
+	defaultWriteTimeout     = 10 * time.Second
+	defaultSyncTimeout      = 10 * time.Second
+	defaultDialBackoff      = 250 * time.Millisecond
+	defaultMaxDialBackoff   = 30 * time.Second
+	defaultDialMaxFails     = 3
+	defaultDemoteScore      = 50
+	defaultBanScore         = 100
+	defaultBanWindow        = 5 * time.Minute
+)
 
 // maxServedBlocks caps one MsgGetBlocks response.
 const maxServedBlocks = 128
@@ -64,20 +78,71 @@ type Config struct {
 	Dialer Dialer
 	// Logf, when set, receives debug lines.
 	Logf func(format string, args ...any)
+
+	// Resilience knobs. Zero selects the documented default; a negative
+	// duration (or count) disables the mechanism.
+
+	// HandshakeTimeout bounds the status exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// ReadTimeout is the per-message read deadline in the read loop; a
+	// peer silent for longer is disconnected (default 2m — above the
+	// keepalive ping interval, so live peers always have traffic).
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline; a stalled
+	// (slow-loris) connection is dropped instead of wedging the write
+	// loop (default 10s).
+	WriteTimeout time.Duration
+	// SyncTimeout bounds one block-range request; on expiry without
+	// progress the range is re-requested from an alternate peer
+	// (default 10s).
+	SyncTimeout time.Duration
+	// DialBackoff is the base redial backoff after a failed dial,
+	// doubling per consecutive failure up to MaxDialBackoff with
+	// deterministic per-node jitter (defaults 250ms / 30s).
+	DialBackoff    time.Duration
+	MaxDialBackoff time.Duration
+	// DialMaxFails is how many consecutive dial errors evict a node from
+	// the discovery table (default 3).
+	DialMaxFails int
+	// DemoteScore and BanScore are the misbehavior-score thresholds at
+	// which a peer is demoted (dialed last) and banned (defaults 50/100).
+	DemoteScore int
+	BanScore    int
+	// BanWindow is how long a ban lasts, and the score half-life
+	// (default 5m).
+	BanWindow time.Duration
+}
+
+// effective returns v, or def when v is zero, or 0 when v is negative
+// (negative = disabled).
+func effective(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
 }
 
 // Server runs the wire protocol for one node: it accepts and dials peers,
 // gossips blocks and transactions, serves sync and discovery queries, and
 // enforces the fork-id handshake that partitions the network.
 type Server struct {
-	cfg   Config
-	table *discover.Table
+	cfg    Config
+	table  *discover.Table
+	scores *scoreLedger
 
 	mu       sync.Mutex
 	peers    map[discover.NodeID]*Peer
 	listener net.Listener
 	closed   bool
 	wg       sync.WaitGroup
+
+	// syncGen numbers block-range requests; the sync watchdog only acts
+	// when its generation is still the latest (atomic).
+	syncGen uint64
 
 	quit chan struct{}
 }
@@ -91,13 +156,40 @@ func NewServer(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	cfg.HandshakeTimeout = effective(cfg.HandshakeTimeout, defaultHandshakeTimeout)
+	cfg.ReadTimeout = effective(cfg.ReadTimeout, defaultReadTimeout)
+	cfg.WriteTimeout = effective(cfg.WriteTimeout, defaultWriteTimeout)
+	cfg.SyncTimeout = effective(cfg.SyncTimeout, defaultSyncTimeout)
+	cfg.DialBackoff = effective(cfg.DialBackoff, defaultDialBackoff)
+	cfg.MaxDialBackoff = effective(cfg.MaxDialBackoff, defaultMaxDialBackoff)
+	cfg.BanWindow = effective(cfg.BanWindow, defaultBanWindow)
+	switch {
+	case cfg.DialMaxFails < 0:
+		cfg.DialMaxFails = 0
+	case cfg.DialMaxFails == 0:
+		cfg.DialMaxFails = defaultDialMaxFails
+	}
+	if cfg.DemoteScore == 0 {
+		cfg.DemoteScore = defaultDemoteScore
+	}
+	if cfg.BanScore == 0 {
+		cfg.BanScore = defaultBanScore
+	}
 	return &Server{
-		cfg:   cfg,
-		table: discover.NewTable(cfg.Self),
-		peers: make(map[discover.NodeID]*Peer),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		table:  discover.NewTable(cfg.Self),
+		scores: newScoreLedger(cfg.DemoteScore, cfg.BanScore, cfg.BanWindow, cfg.DialBackoff, cfg.MaxDialBackoff),
+		peers:  make(map[discover.NodeID]*Peer),
+		quit:   make(chan struct{}),
 	}
 }
+
+// PeerScore returns the node's current misbehavior score (tests and
+// operators inspect the ledger through this).
+func (s *Server) PeerScore(id discover.NodeID) int { return s.scores.scoreOf(id) }
+
+// Banned reports whether the node is inside an active ban window.
+func (s *Server) Banned(id discover.NodeID) bool { return s.scores.banned(id) }
 
 // Self returns the local node identity.
 func (s *Server) Self() discover.Node { return s.cfg.Self }
@@ -138,7 +230,9 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Connect dials a node and runs the handshake. On success the peer is
-// live and its read loop runs until disconnect.
+// live and its read loop runs until disconnect. Failed attempts feed an
+// exponential redial backoff; repeated dial errors evict the node from
+// the discovery table; banned nodes are refused outright.
 func (s *Server) Connect(n discover.Node) error {
 	if n.ID == s.cfg.Self.ID {
 		return ErrSelfConnect
@@ -153,14 +247,34 @@ func (s *Server) Connect(n discover.Node) error {
 		return ErrAlreadyConnected
 	}
 	s.mu.Unlock()
+	if s.scores.banned(n.ID) {
+		return fmt.Errorf("%w: %x", ErrPeerBanned, n.ID[:4])
+	}
+	if !s.scores.canDial(n.ID) {
+		return fmt.Errorf("%w: %x", ErrDialBackoff, n.ID[:4])
+	}
 
 	conn, err := s.cfg.Dialer.Dial(n.Addr)
 	if err != nil {
-		s.table.Remove(n.ID)
+		// Dead endpoint: back off, and evict from the table once the
+		// consecutive-failure budget is spent (it can be re-learned
+		// through Neighbors gossip later).
+		if fails := s.scores.dialFailed(n.ID); s.cfg.DialMaxFails > 0 && fails >= s.cfg.DialMaxFails {
+			s.table.Remove(n.ID)
+		}
 		return fmt.Errorf("p2p: dial %s: %w", n.Addr, err)
 	}
-	_, err = s.setupConn(conn)
-	return err
+	if _, err = s.setupConn(conn); err != nil {
+		// The endpoint is alive but the handshake failed (other fork,
+		// wrong genesis, timeout under loss...): back off so the dial
+		// loop does not redial it hot, but keep it in the table.
+		if !errors.Is(err, ErrAlreadyConnected) && !errors.Is(err, ErrTooManyPeers) && !errors.Is(err, ErrServerClosed) {
+			s.scores.dialFailed(n.ID)
+		}
+		return err
+	}
+	s.scores.dialOK(n.ID)
+	return nil
 }
 
 // localStatus snapshots the handshake payload.
@@ -181,7 +295,9 @@ func (s *Server) localStatus() *Status {
 // setupConn performs the status exchange and, on success, registers the
 // peer and starts its read loop.
 func (s *Server) setupConn(conn net.Conn) (*Peer, error) {
-	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if s.cfg.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	}
 	// Write our status and read theirs concurrently; net.Pipe has no
 	// buffering, so sequential write-then-read deadlocks when both sides
 	// write first.
@@ -212,9 +328,20 @@ func (s *Server) setupConn(conn net.Conn) (*Peer, error) {
 		conn.Close()
 		return nil, err
 	}
+	if s.scores.banned(remote.Node.ID) {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %x", ErrPeerBanned, remote.Node.ID[:4])
+	}
 	conn.SetDeadline(time.Time{})
 
-	peer := newPeer(conn, remote)
+	remoteID := remote.Node.ID
+	peer := newPeer(conn, remote, s.cfg.WriteTimeout, func(err error) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.cfg.Logf("p2p[%s]: write timeout to %x (stalled peer)", s.cfg.Self.Addr, remoteID[:4])
+			s.scores.penalize(remoteID, penaltyWriteTimeout)
+		}
+	})
 	s.mu.Lock()
 	switch {
 	case s.closed:
@@ -269,19 +396,56 @@ func (s *Server) checkStatus(remote *Status) error {
 func (s *Server) readLoop(p *Peer) {
 	defer s.dropPeer(p)
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		msg, err := ReadMsg(p.conn)
 		if err != nil {
-			return
+			switch {
+			case errors.Is(err, ErrBadMessage):
+				// The length framing survived, only the payload was
+				// garbage: account for the corruption and keep reading
+				// unless the peer crossed the ban line.
+				if s.penalizePeer(p, penaltyCorruptFrame, "corrupt frame") {
+					return
+				}
+				continue
+			case errors.Is(err, ErrFrameTooLarge):
+				// A corrupted length prefix desyncs the stream beyond
+				// recovery: score it and drop the connection.
+				s.penalizePeer(p, penaltyCorruptFrame, "corrupt frame header")
+				return
+			default:
+				// I/O error, deadline or closed conn.
+				return
+			}
 		}
 		p.touch()
 		if s.handleKeepalive(p, msg) {
 			continue
 		}
 		if err := s.handle(p, msg); err != nil {
+			if errors.Is(err, ErrBadMessage) {
+				if s.penalizePeer(p, penaltyBadMessage, "malformed message") {
+					return
+				}
+				continue
+			}
 			s.cfg.Logf("p2p[%s]: dropping %x: %v", s.cfg.Self.Addr, p.node.ID[:4], err)
 			return
 		}
 	}
+}
+
+// penalizePeer charges pts against the peer's misbehavior score and
+// reports whether the peer is now banned (callers should disconnect).
+func (s *Server) penalizePeer(p *Peer, pts int, why string) bool {
+	if s.scores.penalize(p.node.ID, pts) {
+		s.cfg.Logf("p2p[%s]: banning %x for %v: %s", s.cfg.Self.Addr, p.node.ID[:4], s.cfg.BanWindow, why)
+		return true
+	}
+	s.cfg.Logf("p2p[%s]: penalizing %x (+%d): %s", s.cfg.Self.Addr, p.node.ID[:4], pts, why)
+	return false
 }
 
 func (s *Server) dropPeer(p *Peer) {
@@ -330,6 +494,9 @@ func (s *Server) handle(p *Peer, msg Message) error {
 			return err // drop peers feeding us the other fork
 		default:
 			s.cfg.Logf("p2p[%s]: bad block %s: %v", s.cfg.Self.Addr, blk.Hash(), err)
+			if s.penalizePeer(p, penaltyInvalidBlock, "invalid block") {
+				return fmt.Errorf("%w: repeated invalid blocks", ErrPeerBanned)
+			}
 		}
 		return nil
 
@@ -418,7 +585,9 @@ func (s *Server) handle(p *Peer, msg Message) error {
 }
 
 // maybeSync requests the next block range when the peer advertises a
-// heavier chain.
+// heavier chain. Each request arms a watchdog: if the range makes no
+// progress within SyncTimeout (the response was lost, or the peer is
+// stalling), the range is re-requested from an alternate peer.
 func (s *Server) maybeSync(p *Peer) {
 	_, localNum, localTD := s.cfg.Backend.Head()
 	_, remoteNum, remoteTD := p.Head()
@@ -439,7 +608,53 @@ func (s *Server) maybeSync(p *Peer) {
 		from = remoteNum
 		count = 1
 	}
-	p.send(MsgGetBlocks, encodeGetBlocks(from, count))
+	if !p.send(MsgGetBlocks, encodeGetBlocks(from, count)) {
+		return // peer closing or queue saturated; a later trigger retries
+	}
+	if s.cfg.SyncTimeout > 0 {
+		gen := atomic.AddUint64(&s.syncGen, 1)
+		time.AfterFunc(s.cfg.SyncTimeout, func() { s.syncExpired(gen, p, localNum) })
+	}
+}
+
+// syncExpired is the block-range watchdog: when the request generation is
+// still current and the head has not advanced, the requested peer never
+// delivered — charge it and re-request from the best alternate peer.
+func (s *Server) syncExpired(gen uint64, p *Peer, localNum uint64) {
+	select {
+	case <-s.quit:
+		return
+	default:
+	}
+	if atomic.LoadUint64(&s.syncGen) != gen {
+		return // a newer request superseded this watchdog
+	}
+	_, num, _ := s.cfg.Backend.Head()
+	if num > localNum {
+		return // made progress through this or any other peer
+	}
+	s.penalizePeer(p, penaltyUnansweredSync, "unanswered block-range request")
+	var alt *Peer
+	var altTD *big.Int
+	for _, cand := range s.Peers() {
+		if cand.node.ID == p.node.ID || cand.Closed() {
+			continue
+		}
+		_, _, td := cand.Head()
+		if td != nil && (altTD == nil || td.Cmp(altTD) > 0) {
+			alt, altTD = cand, td
+		}
+	}
+	if alt == nil {
+		if !p.Closed() {
+			alt = p // nobody else: retry the same peer
+		} else {
+			return
+		}
+	}
+	s.cfg.Logf("p2p[%s]: sync request to %x timed out, re-requesting via %x",
+		s.cfg.Self.Addr, p.node.ID[:4], alt.node.ID[:4])
+	s.maybeSync(alt)
 }
 
 // BroadcastBlock announces a locally produced block to every peer.

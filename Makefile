@@ -25,8 +25,13 @@ vet:
 
 check: vet build race
 
+# Benchmarks: run everything once, keep the raw text, and convert it into
+# a machine-readable JSON snapshot for the PR record.
+BENCH_JSON ?= BENCH_pr2.json
+
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./... | tee bench.out
+	$(GO) run ./tools/benchjson bench.out > $(BENCH_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"forkwatch"
+	"forkwatch/internal/analysis"
 	"forkwatch/internal/export"
 )
 
@@ -25,10 +26,12 @@ func main() {
 	log.SetPrefix("forksim: ")
 
 	var (
-		seed   = flag.Int64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
-		days   = flag.Int("days", 270, "days to simulate from the fork moment")
-		mode   = flag.String("mode", "fast", `ledger fidelity: "fast" or "full"`)
-		outDir = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
+		seed    = flag.Int64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
+		days    = flag.Int("days", 270, "days to simulate from the fork moment")
+		mode    = flag.String("mode", "fast", `ledger fidelity: "fast" or "full"`)
+		storage = flag.String("storage", "mem", `full-mode storage backend: "mem" or "cached"`)
+		cacheN  = flag.Int("cache-entries", 0, "LRU capacity for -storage cached (0 = default)")
+		outDir  = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
 	)
 	flag.Parse()
 
@@ -44,12 +47,28 @@ func main() {
 	default:
 		log.Fatalf("unknown -mode %q", *mode)
 	}
+	sc.Storage = forkwatch.StorageConfig{Backend: *storage, CacheEntries: *cacheN}
 
-	rep, rec, err := forkwatch.RunRecorded(sc)
+	eng, err := forkwatch.NewEngine(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	col := analysis.NewCollector(sc.Epoch)
+	rec := &forkwatch.Recorder{}
+	eng.AddObserver(col)
+	eng.AddObserver(rec)
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	rep := &forkwatch.Report{Scenario: sc, Collector: col}
 	fmt.Print(rep.Summary())
+	if sc.Mode == forkwatch.ModeFull {
+		defer func() {
+			s := eng.StorageStats()
+			log.Printf("storage [%s]: %d entries, %d reads (%.1f%% hit), %d writes, %d deletes",
+				*storage, s.Entries, s.Reads, 100*s.HitRate(), s.Writes, s.Deletes)
+		}()
+	}
 
 	if *outDir == "" {
 		return

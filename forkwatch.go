@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"forkwatch/internal/analysis"
+	"forkwatch/internal/db"
 	"forkwatch/internal/export"
 	"forkwatch/internal/sim"
 )
@@ -46,6 +47,20 @@ type (
 	Collector = analysis.Collector
 	// Recorder captures raw block/transaction rows for export.
 	Recorder = export.Recorder
+	// StorageConfig selects the key-value backend full-fidelity ledgers
+	// persist through (Scenario.Storage).
+	StorageConfig = db.Config
+	// StorageStats reports a store's read/write/hit/miss counters
+	// (Engine.StorageStats).
+	StorageStats = db.Stats
+)
+
+// Storage backend names for StorageConfig.Backend.
+const (
+	// StorageMem is the sharded in-memory store (default).
+	StorageMem = db.BackendMem
+	// StorageCached adds a write-through LRU cache in front of the store.
+	StorageCached = db.BackendCached
 )
 
 // Ledger fidelities.

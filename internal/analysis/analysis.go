@@ -11,7 +11,6 @@
 package analysis
 
 import (
-	"math/big"
 
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
@@ -94,7 +93,7 @@ func (c *Collector) OnBlock(ev *sim.BlockEvent) {
 	h := int((ev.Time - c.epoch) / 3600)
 	hb := c.hour(ev.Chain, h)
 	hb.Blocks++
-	d, _ := new(big.Float).SetInt(ev.Difficulty).Float64()
+	d := types.BigToFloat64(ev.Difficulty)
 	hb.SumDiff += d
 	hb.SumDelta += float64(ev.Delta)
 	hb.LastDelta = ev.Delta
@@ -127,12 +126,12 @@ func (c *Collector) OnDay(ev *sim.DayEvent) {
 	eth := c.day("ETH", ev.Day)
 	eth.USD = ev.ETHUSD
 	eth.Hashrate = ev.ETHHashrate
-	d, _ := new(big.Float).SetInt(ev.ETHDifficulty).Float64()
+	d := types.BigToFloat64(ev.ETHDifficulty)
 	eth.Difficulty = d
 	etc := c.day("ETC", ev.Day)
 	etc.USD = ev.ETCUSD
 	etc.Hashrate = ev.ETCHashrate
-	d, _ = new(big.Float).SetInt(ev.ETCDifficulty).Float64()
+	d = types.BigToFloat64(ev.ETCDifficulty)
 	etc.Difficulty = d
 }
 

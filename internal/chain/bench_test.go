@@ -1,0 +1,60 @@
+package chain
+
+import (
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/types"
+)
+
+func benchHeader() *Header {
+	return &Header{
+		ParentHash: types.BytesToHash([]byte{1}),
+		Coinbase:   types.BytesToAddress([]byte{2}),
+		Number:     1920001,
+		Time:       1469020840,
+		Difficulty: big.NewInt(62413376722602),
+		GasLimit:   4712388,
+		GasUsed:    21000,
+		Extra:      []byte("forkwatch"),
+		Nonce:      0xdeadbeef,
+	}
+}
+
+// BenchmarkHeaderHashMemoized measures repeated Hash() calls on one sealed
+// header — after the first call the memo makes this a pointer load.
+func BenchmarkHeaderHashMemoized(b *testing.B) {
+	h := benchHeader()
+	h.Hash() // prime the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Hash()
+	}
+}
+
+// BenchmarkHeaderHashCold measures the un-memoized cost (fresh header each
+// iteration): RLP encode + pooled keccak.
+func BenchmarkHeaderHashCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := benchHeader()
+		b.StartTimer()
+		h.Hash()
+	}
+}
+
+// BenchmarkTxHashMemoized measures the fast-mode hot path: a signed
+// transaction hashed once per observer event.
+func BenchmarkTxHashMemoized(b *testing.B) {
+	from := types.BytesToAddress([]byte{7})
+	to := types.BytesToAddress([]byte{9})
+	tx := NewTransaction(1, &to, big.NewInt(1), 21000, big.NewInt(20_000_000_000), nil).Sign(from, 1)
+	tx.Hash()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Hash()
+	}
+}

@@ -3,7 +3,9 @@ package chain
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
+	"forkwatch/internal/db"
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/rlp"
 	"forkwatch/internal/trie"
@@ -38,12 +40,19 @@ type Header struct {
 	// Nonce and MixDigest are the simulated PoW seal (see pow package).
 	Nonce     uint64
 	MixDigest types.Hash
+
+	// hash memoizes Hash(). Headers are immutable once sealed — the miner
+	// only calls SealHash before sealing, so the full-encoding hash is
+	// computed at most once and then shared. atomic.Pointer keeps the memo
+	// race-safe for concurrent p2p readers hashing the same header.
+	hash atomic.Pointer[types.Hash]
 }
 
-// SealHash is the hash the PoW seal commits to (header without the seal
-// fields).
-func (h *Header) SealHash() types.Hash {
-	enc := rlp.EncodeList(
+// sealFields returns the RLP field list the PoW seal commits to: every
+// header field except the seal itself (Nonce, MixDigest). SealHash and
+// Encode share this single source of field order.
+func (h *Header) sealFields() []rlp.Value {
+	return []rlp.Value{
 		rlp.Bytes(h.ParentHash.Bytes()),
 		rlp.Uint(h.Number),
 		rlp.Uint(h.Time),
@@ -56,35 +65,34 @@ func (h *Header) SealHash() types.Hash {
 		rlp.Bytes(h.ReceiptRoot.Bytes()),
 		rlp.Bytes(h.Extra),
 		rlp.Bytes(h.UncleHash.Bytes()),
-	)
-	sum := keccak.Sum256(enc)
+	}
+}
+
+// SealHash is the hash the PoW seal commits to (header without the seal
+// fields). Not memoized: it is only hashed during mining, before the
+// header is final.
+func (h *Header) SealHash() types.Hash {
+	sum := keccak.Sum256Pooled(rlp.EncodeList(h.sealFields()...))
 	return types.BytesToHash(sum[:])
 }
 
-// Hash is the block identity: keccak256 of the full header encoding.
+// Hash is the block identity: keccak256 of the full header encoding,
+// memoized after the first call. Callers must not mutate a header after
+// hashing it; mutation flows go through Copy, which drops the memo.
 func (h *Header) Hash() types.Hash {
-	sum := keccak.Sum256(h.Encode())
-	return types.BytesToHash(sum[:])
+	if p := h.hash.Load(); p != nil {
+		return *p
+	}
+	sum := keccak.Sum256Pooled(h.Encode())
+	hh := types.BytesToHash(sum[:])
+	h.hash.Store(&hh)
+	return hh
 }
 
 // Encode returns the canonical RLP encoding of the header.
 func (h *Header) Encode() []byte {
-	return rlp.EncodeList(
-		rlp.Bytes(h.ParentHash.Bytes()),
-		rlp.Uint(h.Number),
-		rlp.Uint(h.Time),
-		rlp.BigInt(h.Difficulty),
-		rlp.Uint(h.GasLimit),
-		rlp.Uint(h.GasUsed),
-		rlp.Bytes(h.Coinbase.Bytes()),
-		rlp.Bytes(h.StateRoot.Bytes()),
-		rlp.Bytes(h.TxRoot.Bytes()),
-		rlp.Bytes(h.ReceiptRoot.Bytes()),
-		rlp.Bytes(h.Extra),
-		rlp.Bytes(h.UncleHash.Bytes()),
-		rlp.Uint(h.Nonce),
-		rlp.Bytes(h.MixDigest.Bytes()),
-	)
+	fields := append(h.sealFields(), rlp.Uint(h.Nonce), rlp.Bytes(h.MixDigest.Bytes()))
+	return rlp.EncodeList(fields...)
 }
 
 // DecodeHeader parses a header from its RLP encoding.
@@ -156,12 +164,27 @@ func headerFromValue(v rlp.Value) (*Header, error) {
 	return h, nil
 }
 
-// Copy returns a deep copy of the header.
+// Copy returns a deep copy of the header. The copy is built field by
+// field — never by dereferencing the receiver — so the hash memo (which
+// embeds a lock-free atomic) stays behind: the caller gets a header it may
+// freely mutate and re-hash.
 func (h *Header) Copy() *Header {
-	cp := *h
-	cp.Difficulty = types.BigCopy(h.Difficulty)
-	cp.Extra = append([]byte(nil), h.Extra...)
-	return &cp
+	return &Header{
+		ParentHash:  h.ParentHash,
+		Number:      h.Number,
+		Time:        h.Time,
+		Difficulty:  types.BigCopy(h.Difficulty),
+		GasLimit:    h.GasLimit,
+		GasUsed:     h.GasUsed,
+		Coinbase:    h.Coinbase,
+		StateRoot:   h.StateRoot,
+		TxRoot:      h.TxRoot,
+		ReceiptRoot: h.ReceiptRoot,
+		Extra:       append([]byte(nil), h.Extra...),
+		UncleHash:   h.UncleHash,
+		Nonce:       h.Nonce,
+		MixDigest:   h.MixDigest,
+	}
 }
 
 // Block is a header plus its transaction list and uncle headers.
@@ -243,26 +266,28 @@ func DecodeBlock(enc []byte) (*Block, error) {
 }
 
 // ReceiptRoot computes the Merkle-Patricia root over the receipt list,
-// keyed by RLP(index) as in Ethereum.
+// keyed by RLP(index) as in Ethereum. The trie is built over a throwaway
+// ephemeral store: only the root survives the call.
 func ReceiptRoot(receipts []*Receipt) types.Hash {
-	tr := trie.NewEmpty(trie.NewMemDB())
+	tr := trie.NewEmpty(db.NewEphemeral())
 	for i, r := range receipts {
 		key := rlp.Encode(rlp.Uint(uint64(i)))
 		if err := tr.Update(key, r.Encode()); err != nil {
-			panic(err) // MemDB updates cannot fail
+			panic(err) // in-memory updates cannot fail
 		}
 	}
 	return tr.Hash()
 }
 
 // TxRoot computes the Merkle-Patricia root over the transaction list,
-// keyed by RLP(index) as in Ethereum.
+// keyed by RLP(index) as in Ethereum. Uses an ephemeral store like
+// ReceiptRoot.
 func TxRoot(txs []*Transaction) types.Hash {
-	tr := trie.NewEmpty(trie.NewMemDB())
+	tr := trie.NewEmpty(db.NewEphemeral())
 	for i, tx := range txs {
 		key := rlp.Encode(rlp.Uint(uint64(i)))
 		if err := tr.Update(key, tx.Encode()); err != nil {
-			panic(err) // MemDB updates cannot fail
+			panic(err) // in-memory updates cannot fail
 		}
 	}
 	return tr.Hash()

@@ -6,8 +6,8 @@ import (
 	"math/big"
 	"sync"
 
+	"forkwatch/internal/db"
 	"forkwatch/internal/state"
-	"forkwatch/internal/trie"
 	"forkwatch/internal/types"
 )
 
@@ -45,25 +45,38 @@ type Genesis struct {
 // Blockchain is one partition's ledger: block store, state store, total
 // difficulty fork choice and the canonical index the analysis layer reads.
 // Safe for concurrent use.
+//
+// Every persistent record — trie nodes, block bodies, receipts, total
+// difficulties, the canonical index — lives in one db.KV behind Store.
+// Decoded blocks, TDs and state roots are additionally kept in in-memory
+// maps: they are read on every validation and fork-choice step, and
+// re-decoding them from RLP per access would dominate. Receipts are read
+// only by analysis/export, so they live in the KV alone.
 type Blockchain struct {
-	cfg  *Config
-	proc *Processor
-	db   trie.Database
+	cfg   *Config
+	proc  *Processor
+	db    db.KV
+	store *Store
 
 	mu         sync.RWMutex
 	blocks     map[types.Hash]*Block
 	tds        map[types.Hash]*big.Int
 	stateRoots map[types.Hash]types.Hash
-	receipts   map[types.Hash][]*Receipt
 	canon      map[uint64]types.Hash
 	head       *Block
 	genesis    *Block
 }
 
-// NewBlockchain creates a chain from genesis under the given rules.
+// NewBlockchain creates a chain from genesis under the given rules, over a
+// fresh default in-memory store.
 func NewBlockchain(cfg *Config, gen *Genesis) (*Blockchain, error) {
-	db := trie.NewMemDB()
-	st, err := state.New(types.Hash{}, db)
+	return NewBlockchainWithDB(cfg, gen, db.NewMemDB())
+}
+
+// NewBlockchainWithDB creates a chain from genesis over the given store
+// (the Storage scenario knob plumbs a configured backend through here).
+func NewBlockchainWithDB(cfg *Config, gen *Genesis, kv db.KV) (*Blockchain, error) {
+	st, err := state.New(types.Hash{}, kv)
 	if err != nil {
 		return nil, err
 	}
@@ -92,18 +105,27 @@ func NewBlockchain(cfg *Config, gen *Genesis) (*Blockchain, error) {
 		UncleHash:   EmptyUncleHash,
 	}
 	genesis := &Block{Header: header}
+	store := NewStore(kv)
 	bc := &Blockchain{
 		cfg:        cfg,
 		proc:       NewProcessor(cfg),
-		db:         db,
+		db:         kv,
+		store:      store,
 		blocks:     map[types.Hash]*Block{genesis.Hash(): genesis},
 		tds:        map[types.Hash]*big.Int{genesis.Hash(): types.BigCopy(diff)},
 		stateRoots: map[types.Hash]types.Hash{genesis.Hash(): root},
-		receipts:   map[types.Hash][]*Receipt{},
 		canon:      map[uint64]types.Hash{0: genesis.Hash()},
 		head:       genesis,
 		genesis:    genesis,
 	}
+	batch := kv.NewBatch()
+	store.PutBlock(batch, genesis)
+	store.PutReceipts(batch, genesis.Hash(), nil)
+	store.PutTD(batch, genesis.Hash(), diff)
+	store.PutStateRoot(batch, genesis.Hash(), root)
+	batch.Write()
+	store.PutCanon(0, genesis.Hash())
+	store.PutHead(genesis.Hash())
 	return bc, nil
 }
 
@@ -182,13 +204,27 @@ func (bc *Blockchain) TD(h types.Hash) (*big.Int, bool) {
 	return types.BigCopy(td), true
 }
 
-// Receipts returns the execution receipts of a known block.
+// Receipts returns the execution receipts of a known block, decoded from
+// the KV store.
 func (bc *Blockchain) Receipts(h types.Hash) ([]*Receipt, bool) {
 	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	r, ok := bc.receipts[h]
-	return r, ok
+	_, known := bc.blocks[h]
+	bc.mu.RUnlock()
+	if !known {
+		return nil, false
+	}
+	return bc.store.Receipts(h)
 }
+
+// Store returns the chain's KV persistence schema (shared with the state
+// trie). Export tooling reads blocks and receipts through it.
+func (bc *Blockchain) Store() *Store { return bc.store }
+
+// DB returns the backing key-value store.
+func (bc *Blockchain) DB() db.KV { return bc.db }
+
+// StorageStats reports the backing store's counters.
+func (bc *Blockchain) StorageStats() db.Stats { return bc.db.Stats() }
 
 // StateAt opens the state committed by the given block.
 func (bc *Blockchain) StateAt(h types.Hash) (*state.DB, error) {
@@ -251,10 +287,18 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 		return fmt.Errorf("%w: receipt root %s, header %s", ErrInvalidBody, got, b.Header.ReceiptRoot)
 	}
 
+	td := new(big.Int).Add(bc.tds[parent.Hash()], b.Header.Difficulty)
+
+	// Persist the whole block record atomically before exposing it.
+	batch := bc.db.NewBatch()
+	bc.store.PutBlock(batch, b)
+	bc.store.PutReceipts(batch, hash, receipts)
+	bc.store.PutTD(batch, hash, td)
+	bc.store.PutStateRoot(batch, hash, root)
+	batch.Write()
+
 	bc.blocks[hash] = b
 	bc.stateRoots[hash] = root
-	bc.receipts[hash] = receipts
-	td := new(big.Int).Add(bc.tds[parent.Hash()], b.Header.Difficulty)
 	bc.tds[hash] = td
 
 	if td.Cmp(bc.tds[bc.head.Hash()]) > 0 {
@@ -268,6 +312,7 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 func (bc *Blockchain) setHead(b *Block) {
 	oldNumber := bc.head.Number()
 	bc.head = b
+	bc.store.PutHead(b.Hash())
 	cur := b
 	for {
 		n := cur.Number()
@@ -275,6 +320,7 @@ func (bc *Blockchain) setHead(b *Block) {
 			break
 		}
 		bc.canon[n] = cur.Hash()
+		bc.store.PutCanon(n, cur.Hash())
 		if n == 0 {
 			break
 		}
@@ -283,6 +329,7 @@ func (bc *Blockchain) setHead(b *Block) {
 	// A reorg to a shorter-but-heavier chain leaves stale tail entries.
 	for n := b.Number() + 1; n <= oldNumber; n++ {
 		delete(bc.canon, n)
+		bc.store.DeleteCanon(n)
 	}
 }
 

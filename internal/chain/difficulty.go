@@ -28,6 +28,42 @@ func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
 	if time > parent.Time {
 		delta = time - parent.Time
 	}
+
+	// Fast path: every realistic difficulty fits comfortably in an int64
+	// (mainnet peaked around 2^47), and the simulator calls this once per
+	// block — millions of times per nine-month run — so the filter runs in
+	// machine words whenever it can. The bound keeps p plus its ~4.9%
+	// maximal step (and a bomb term capped at the same magnitude) far from
+	// overflow.
+	if pd := parent.Difficulty; pd.IsInt64() &&
+		cfg.DifficultyBoundDivisor.IsInt64() && cfg.MinimumDifficulty.IsInt64() {
+		p := pd.Int64()
+		if p > 0 && p < 1<<61 {
+			adjust := 1 - int64(delta/10)
+			if adjust < -cfg.DifficultyClampFactor {
+				adjust = -cfg.DifficultyClampFactor
+			}
+			d := p + p/cfg.DifficultyBoundDivisor.Int64()*adjust
+			bombOK := true
+			if cfg.EnableBomb {
+				period := (parent.Number + 1) / 100_000
+				if period >= 2 {
+					if period-2 < 61 {
+						d += int64(1) << (period - 2)
+					} else {
+						bombOK = false // bomb outgrew the word: big path
+					}
+				}
+			}
+			if bombOK {
+				if m := cfg.MinimumDifficulty.Int64(); d < m {
+					d = m
+				}
+				return big.NewInt(d)
+			}
+		}
+	}
+
 	elapsed := new(big.Int).SetUint64(delta)
 
 	// adjust = max(1 - elapsed/10, -clamp)

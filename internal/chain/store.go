@@ -1,0 +1,223 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/types"
+)
+
+// Store is the KV-backed persistence schema for one chain: blocks,
+// receipts, total difficulty, per-block state roots, the canonical number
+// index and the head marker, all in the same db.KV that holds the state
+// trie nodes. Keys are prefixed with a single byte so the content-addressed
+// trie namespace (raw 32-byte hashes) can never collide with chain records
+// (33- or 9-byte keys).
+//
+// The Store does no caching and no locking of its own: Blockchain holds
+// the lock and keeps decoded blocks in memory; export tooling reads a
+// Store directly.
+type Store struct {
+	kv db.KV
+}
+
+// Key prefixes of the chain schema.
+const (
+	prefixBlock     = 'b' // prefixBlock + hash -> block RLP
+	prefixReceipts  = 'r' // prefixReceipts + block hash -> receipt-list RLP
+	prefixTD        = 't' // prefixTD + hash -> total difficulty (big-endian bytes)
+	prefixStateRoot = 's' // prefixStateRoot + hash -> committed state root
+	prefixCanon     = 'n' // prefixCanon + 8-byte BE number -> canonical hash
+)
+
+// keyHead marks the canonical head hash.
+var keyHead = []byte("Head")
+
+// NewStore wraps kv with the chain schema.
+func NewStore(kv db.KV) *Store { return &Store{kv: kv} }
+
+// KV returns the underlying store (shared with the state trie).
+func (s *Store) KV() db.KV { return s.kv }
+
+func hashKey(prefix byte, h types.Hash) []byte {
+	k := make([]byte, 1+types.HashLength)
+	k[0] = prefix
+	copy(k[1:], h.Bytes())
+	return k
+}
+
+func canonKey(n uint64) []byte {
+	k := make([]byte, 9)
+	k[0] = prefixCanon
+	binary.BigEndian.PutUint64(k[1:], n)
+	return k
+}
+
+// PutBlock queues the block record under its hash.
+func (s *Store) PutBlock(batch db.Batch, b *Block) {
+	batch.Put(hashKey(prefixBlock, b.Hash()), b.Encode())
+}
+
+// Block reads and decodes a block by hash.
+func (s *Store) Block(h types.Hash) (*Block, bool) {
+	enc, ok := s.kv.Get(hashKey(prefixBlock, h))
+	if !ok {
+		return nil, false
+	}
+	b, err := DecodeBlock(enc)
+	if err != nil {
+		panic(fmt.Sprintf("chain: corrupt stored block %s: %v", h, err))
+	}
+	return b, true
+}
+
+// HasBlock reports whether a block record exists.
+func (s *Store) HasBlock(h types.Hash) bool {
+	return s.kv.Has(hashKey(prefixBlock, h))
+}
+
+// PutReceipts queues the receipt list of block h.
+func (s *Store) PutReceipts(batch db.Batch, h types.Hash, receipts []*Receipt) {
+	items := make([]rlp.Value, len(receipts))
+	for i, r := range receipts {
+		v, err := rlp.Decode(r.Encode())
+		if err != nil {
+			panic(err) // own encoding always decodes
+		}
+		items[i] = v
+	}
+	batch.Put(hashKey(prefixReceipts, h), rlp.EncodeList(items...))
+}
+
+// Receipts reads and decodes the receipt list of block h.
+func (s *Store) Receipts(h types.Hash) ([]*Receipt, bool) {
+	enc, ok := s.kv.Get(hashKey(prefixReceipts, h))
+	if !ok {
+		return nil, false
+	}
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		panic(fmt.Sprintf("chain: corrupt stored receipts %s: %v", h, err))
+	}
+	items, err := v.AsList()
+	if err != nil {
+		panic(fmt.Sprintf("chain: corrupt stored receipts %s: %v", h, err))
+	}
+	receipts := make([]*Receipt, 0, len(items))
+	for _, it := range items {
+		r, err := receiptFromValue(it)
+		if err != nil {
+			panic(fmt.Sprintf("chain: corrupt stored receipt in %s: %v", h, err))
+		}
+		receipts = append(receipts, r)
+	}
+	return receipts, true
+}
+
+// PutTD queues the total difficulty of block h.
+func (s *Store) PutTD(batch db.Batch, h types.Hash, td *big.Int) {
+	batch.Put(hashKey(prefixTD, h), td.Bytes())
+}
+
+// TD reads the total difficulty of block h.
+func (s *Store) TD(h types.Hash) (*big.Int, bool) {
+	enc, ok := s.kv.Get(hashKey(prefixTD, h))
+	if !ok {
+		return nil, false
+	}
+	return new(big.Int).SetBytes(enc), true
+}
+
+// PutStateRoot queues the committed state root of block h.
+func (s *Store) PutStateRoot(batch db.Batch, h, root types.Hash) {
+	batch.Put(hashKey(prefixStateRoot, h), root.Bytes())
+}
+
+// StateRoot reads the committed state root of block h.
+func (s *Store) StateRoot(h types.Hash) (types.Hash, bool) {
+	enc, ok := s.kv.Get(hashKey(prefixStateRoot, h))
+	if !ok {
+		return types.Hash{}, false
+	}
+	return types.BytesToHash(enc), true
+}
+
+// PutCanon writes the canonical hash for height n (write-through: the
+// canonical index moves under the chain lock, outside any batch).
+func (s *Store) PutCanon(n uint64, h types.Hash) {
+	s.kv.Put(canonKey(n), h.Bytes())
+}
+
+// DeleteCanon removes the canonical entry for height n (reorg to a
+// shorter, heavier chain).
+func (s *Store) DeleteCanon(n uint64) {
+	s.kv.Delete(canonKey(n))
+}
+
+// CanonHash reads the canonical hash at height n.
+func (s *Store) CanonHash(n uint64) (types.Hash, bool) {
+	enc, ok := s.kv.Get(canonKey(n))
+	if !ok {
+		return types.Hash{}, false
+	}
+	return types.BytesToHash(enc), true
+}
+
+// PutHead marks h as the canonical head.
+func (s *Store) PutHead(h types.Hash) {
+	s.kv.Put(keyHead, h.Bytes())
+}
+
+// Head reads the canonical head hash.
+func (s *Store) Head() (types.Hash, bool) {
+	enc, ok := s.kv.Get(keyHead)
+	if !ok {
+		return types.Hash{}, false
+	}
+	return types.BytesToHash(enc), true
+}
+
+// receiptFromValue rebuilds a Receipt from its decoded RLP value.
+func receiptFromValue(v rlp.Value) (*Receipt, error) {
+	items, err := v.ListOf(5)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad receipt structure: %w", err)
+	}
+	r := &Receipt{}
+	b, err := items[0].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	r.TxHash = types.BytesToHash(b)
+	status, err := items[1].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	r.Status = status == 1
+	if r.GasUsed, err = items[2].AsUint(); err != nil {
+		return nil, err
+	}
+	if b, err = items[3].AsBytes(); err != nil {
+		return nil, err
+	}
+	r.ContractAddress = types.BytesToAddress(b)
+	call, err := items[4].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	r.ContractCall = call == 1
+	return r, nil
+}
+
+// DecodeReceipt parses a receipt from its RLP encoding (inverse of
+// Receipt.Encode).
+func DecodeReceipt(enc []byte) (*Receipt, error) {
+	v, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chain: bad receipt encoding: %w", err)
+	}
+	return receiptFromValue(v)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/rlp"
@@ -37,6 +38,18 @@ type Transaction struct {
 	From types.Address
 	// SigTag binds From to the payload; set by Sign.
 	SigTag types.Hash
+
+	// hash memoizes Hash(). A transaction is hashed many times on the hot
+	// path — once when mined, once per observer event, and again on every
+	// chain it echoes onto — and the identity is stable once signed, so
+	// the digest is computed once. Sign drops the memo. atomic.Pointer
+	// keeps concurrent readers (both chains replaying the same tx object)
+	// race-free.
+	hash atomic.Pointer[types.Hash]
+	// sigOK latches a successful VerifySig. Only success is cached:
+	// verification always recomputes the payload hash until it passes
+	// once, so a transaction tampered with after signing still fails.
+	sigOK atomic.Bool
 }
 
 // Tx errors.
@@ -74,6 +87,8 @@ func (tx *Transaction) Sign(from types.Address, chainID uint64) *Transaction {
 	tx.From = from
 	tx.ChainID = chainID
 	tx.SigTag = tx.sigPayloadHash()
+	tx.hash.Store(nil) // identity changed: drop the memoized digest
+	tx.sigOK.Store(false)
 	return tx
 }
 
@@ -93,24 +108,36 @@ func (tx *Transaction) sigPayloadHash() types.Hash {
 	if tx.ChainID != 0 {
 		items = append(items, rlp.Uint(tx.ChainID))
 	}
-	h := keccak.Sum256(rlp.EncodeList(items...))
+	h := keccak.Sum256Pooled(rlp.EncodeList(items...))
 	return types.BytesToHash(h[:])
 }
 
-// VerifySig checks the signature tag.
+// VerifySig checks the signature tag. A transaction that has verified once
+// skips recomputation on later calls (both chains re-validate the same tx
+// object when an echo lands); failures are never cached.
 func (tx *Transaction) VerifySig() error {
+	if tx.sigOK.Load() {
+		return nil
+	}
 	if tx.SigTag != tx.sigPayloadHash() {
 		return ErrBadSignature
 	}
+	tx.sigOK.Store(true)
 	return nil
 }
 
-// Hash is the transaction identity: keccak256 of the full RLP encoding.
-// Replayed transactions keep their hash across chains, which is exactly
-// how the paper detects echoes.
+// Hash is the transaction identity: keccak256 of the full RLP encoding,
+// memoized after the first call (see the hash field). Replayed
+// transactions keep their hash across chains, which is exactly how the
+// paper detects echoes.
 func (tx *Transaction) Hash() types.Hash {
-	h := keccak.Sum256(tx.Encode())
-	return types.BytesToHash(h[:])
+	if p := tx.hash.Load(); p != nil {
+		return *p
+	}
+	h := keccak.Sum256Pooled(tx.Encode())
+	hh := types.BytesToHash(h[:])
+	tx.hash.Store(&hh)
+	return hh
 }
 
 // Encode returns the canonical RLP encoding.

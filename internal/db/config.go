@@ -1,0 +1,48 @@
+package db
+
+import "fmt"
+
+// Backend names accepted by Config/Open.
+const (
+	// BackendMem is the sharded in-memory store.
+	BackendMem = "mem"
+	// BackendCached is the sharded in-memory store behind a write-through
+	// LRU cache (exercises the cache path and reports hit/miss stats).
+	BackendCached = "cached"
+)
+
+// Config selects and parameterises a storage backend. The zero value means
+// BackendMem with default sharding — every existing caller keeps its
+// behaviour without opting into anything.
+type Config struct {
+	// Backend is one of the Backend* constants; empty selects BackendMem.
+	Backend string
+	// Shards overrides the MemDB shard count (0 = DefaultShards).
+	Shards int
+	// CacheEntries sizes the LRU for BackendCached (0 = DefaultCacheEntries).
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the LRU capacity when Config.CacheEntries is 0:
+// large enough to hold the working set of a full-fidelity simulated day.
+const DefaultCacheEntries = 1 << 16
+
+// Open constructs the configured store.
+func Open(cfg Config) (KV, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	switch cfg.Backend {
+	case "", BackendMem:
+		return NewMemDBShards(shards), nil
+	case BackendCached:
+		entries := cfg.CacheEntries
+		if entries <= 0 {
+			entries = DefaultCacheEntries
+		}
+		return NewCache(NewMemDBShards(shards), entries), nil
+	default:
+		return nil, fmt.Errorf("db: unknown backend %q", cfg.Backend)
+	}
+}

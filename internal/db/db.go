@@ -1,0 +1,100 @@
+// Package db is forkwatch's storage backbone: a minimal key-value
+// abstraction every persistent layer (trie nodes, contract code, block
+// bodies, receipts, chain indices) stores through.
+//
+// The paper's methodology is "export every block and transaction into a
+// database, then join and aggregate" (§3.1); measurement pipelines at that
+// scale live or die by their ingest store. forkwatch's equivalent hot path
+// — trie commits and ledger persistence over the ~3.3M-block nine-month
+// runs — flows through the KV interface defined here, so backends can be
+// swapped (sharded memory today; disk, compression or remote stores later)
+// without touching the trie, state or chain layers.
+//
+// Two implementations ship in this package:
+//
+//   - MemDB: a sharded, mutex-striped in-memory store (the default).
+//   - Cache: a write-through LRU wrapper that decorates any KV backend
+//     and tracks hit/miss statistics.
+//
+// All implementations are safe for concurrent use unless documented
+// otherwise (see NewEphemeral).
+package db
+
+// KV is the storage interface. Keys and values are arbitrary byte strings;
+// implementations must not retain or mutate the caller's key slice after a
+// call returns, and callers must not mutate a returned value (it may alias
+// the store's copy).
+type KV interface {
+	// Get returns the value stored under key and whether it exists.
+	Get(key []byte) ([]byte, bool)
+	// Put stores value under key, replacing any previous value.
+	Put(key, value []byte)
+	// Has reports whether key exists without counting as a data read in
+	// hit/miss statistics.
+	Has(key []byte) bool
+	// Delete removes key. Deleting an absent key is a no-op.
+	Delete(key []byte)
+	// NewBatch returns an empty write batch whose Write applies every
+	// queued operation atomically with respect to concurrent readers of
+	// a single key (per-shard locking; cross-shard readers may observe a
+	// partially applied batch, which is fine for content-addressed data).
+	NewBatch() Batch
+	// Stats returns a snapshot of the store's counters.
+	Stats() Stats
+}
+
+// Batch queues writes for a single atomic application. Batches are not
+// safe for concurrent use; each goroutine builds its own.
+type Batch interface {
+	// Put queues a write. The value is retained until Write or Reset.
+	Put(key, value []byte)
+	// Delete queues a removal.
+	Delete(key []byte)
+	// Len returns the number of queued operations.
+	Len() int
+	// ValueSize returns the total queued value bytes (for flush
+	// heuristics in future disk backends).
+	ValueSize() int
+	// Write applies every queued operation to the backing store and
+	// resets the batch for reuse.
+	Write()
+	// Reset drops all queued operations.
+	Reset()
+}
+
+// Stats is a snapshot of a store's activity counters. Reads and writes
+// count Get/Put/Delete calls (batch operations count individually); Hits
+// and Misses split reads by whether the key was found — for a caching
+// wrapper, by whether the cache answered without hitting the backend.
+type Stats struct {
+	Reads   uint64
+	Writes  uint64
+	Deletes uint64
+	Hits    uint64
+	Misses  uint64
+	// Entries is the number of keys currently stored (for a Cache, the
+	// number of cached entries, not the backend's).
+	Entries int
+}
+
+// Add returns the field-wise sum of two snapshots (for aggregating the
+// per-chain stores of a simulation).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:   s.Reads + o.Reads,
+		Writes:  s.Writes + o.Writes,
+		Deletes: s.Deletes + o.Deletes,
+		Hits:    s.Hits + o.Hits,
+		Misses:  s.Misses + o.Misses,
+		Entries: s.Entries + o.Entries,
+	}
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when no reads happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

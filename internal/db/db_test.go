@@ -1,0 +1,236 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// backends under test: every KV implementation must satisfy the same
+// contract (the ephemeral store is exercised single-goroutine only).
+func backends() map[string]func() KV {
+	return map[string]func() KV{
+		"mem":     func() KV { return NewMemDB() },
+		"mem1":    func() KV { return NewMemDBShards(1) },
+		"cached":  func() KV { return NewCache(NewMemDB(), 1024) },
+		"cachedS": func() KV { return NewCache(NewMemDB(), 4) }, // tiny: forces eviction
+	}
+}
+
+func TestKVBasicOps(t *testing.T) {
+	for name, mk := range backends() {
+		t.Run(name, func(t *testing.T) {
+			kv := mk()
+			if _, ok := kv.Get([]byte("absent")); ok {
+				t.Error("Get on empty store returned ok")
+			}
+			kv.Put([]byte("k1"), []byte("v1"))
+			kv.Put([]byte("k2"), []byte("v2"))
+			if v, ok := kv.Get([]byte("k1")); !ok || !bytes.Equal(v, []byte("v1")) {
+				t.Errorf("Get k1 = %q, %v", v, ok)
+			}
+			if !kv.Has([]byte("k2")) {
+				t.Error("Has k2 = false")
+			}
+			kv.Put([]byte("k1"), []byte("v1b")) // overwrite
+			if v, _ := kv.Get([]byte("k1")); !bytes.Equal(v, []byte("v1b")) {
+				t.Errorf("overwrite lost: %q", v)
+			}
+			kv.Delete([]byte("k2"))
+			if kv.Has([]byte("k2")) {
+				t.Error("Has after Delete = true")
+			}
+			kv.Delete([]byte("never-existed")) // no-op must not panic
+		})
+	}
+}
+
+func TestKVBatchAppliesAtomically(t *testing.T) {
+	for name, mk := range backends() {
+		t.Run(name, func(t *testing.T) {
+			kv := mk()
+			kv.Put([]byte("stale"), []byte("x"))
+			b := kv.NewBatch()
+			for i := 0; i < 100; i++ {
+				b.Put([]byte(fmt.Sprintf("key%03d", i)), []byte(fmt.Sprintf("val%03d", i)))
+			}
+			b.Delete([]byte("stale"))
+			// A later Put of the same key must win over an earlier one.
+			b.Put([]byte("key000"), []byte("winner"))
+			if b.Len() != 102 {
+				t.Errorf("Len = %d, want 102", b.Len())
+			}
+			// Nothing visible before Write.
+			if kv.Has([]byte("key050")) {
+				t.Error("batched key visible before Write")
+			}
+			b.Write()
+			for i := 1; i < 100; i++ {
+				want := []byte(fmt.Sprintf("val%03d", i))
+				if v, ok := kv.Get([]byte(fmt.Sprintf("key%03d", i))); !ok || !bytes.Equal(v, want) {
+					t.Fatalf("key%03d = %q, %v", i, v, ok)
+				}
+			}
+			if v, _ := kv.Get([]byte("key000")); !bytes.Equal(v, []byte("winner")) {
+				t.Errorf("in-batch overwrite order violated: %q", v)
+			}
+			if kv.Has([]byte("stale")) {
+				t.Error("batched delete not applied")
+			}
+			if b.Len() != 0 {
+				t.Errorf("batch not reset after Write: Len = %d", b.Len())
+			}
+		})
+	}
+}
+
+func TestMemDBStatsCounters(t *testing.T) {
+	kv := NewMemDB()
+	kv.Put([]byte("a"), []byte("1"))
+	kv.Get([]byte("a"))      // hit
+	kv.Get([]byte("absent")) // miss
+	kv.Delete([]byte("a"))
+	s := kv.Stats()
+	if s.Writes != 1 || s.Reads != 2 || s.Hits != 1 || s.Misses != 1 || s.Deletes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Entries != 0 {
+		t.Errorf("Entries = %d, want 0", s.Entries)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheWriteThroughAndEviction(t *testing.T) {
+	back := NewMemDB()
+	c := NewCache(back, 2)
+	c.Put([]byte("a"), []byte("1"))
+	c.Put([]byte("b"), []byte("2"))
+	c.Put([]byte("c"), []byte("3")) // evicts a from the cache, not the backend
+
+	if s := c.Stats(); s.Entries != 2 {
+		t.Errorf("cache entries = %d, want 2", s.Entries)
+	}
+	if v, ok := back.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("write-through lost evicted key in backend")
+	}
+	// Reading the evicted key misses the cache, hits the backend, and
+	// re-populates.
+	pre := c.Stats()
+	if v, ok := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("Get through cache failed")
+	}
+	post := c.Stats()
+	if post.Misses != pre.Misses+1 {
+		t.Errorf("expected one miss, stats %+v -> %+v", pre, post)
+	}
+	if v, ok := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatal("re-read failed")
+	}
+	if s := c.Stats(); s.Hits != post.Hits+1 {
+		t.Errorf("expected repopulated hit, stats %+v", s)
+	}
+}
+
+func TestCacheBatchWarmsCache(t *testing.T) {
+	c := NewCache(NewMemDB(), 64)
+	b := c.NewBatch()
+	b.Put([]byte("n1"), []byte("x"))
+	b.Write()
+	pre := c.Stats()
+	if v, ok := c.Get([]byte("n1")); !ok || !bytes.Equal(v, []byte("x")) {
+		t.Fatal("batched key unreadable")
+	}
+	if s := c.Stats(); s.Hits != pre.Hits+1 {
+		t.Errorf("batch did not warm cache: %+v", s)
+	}
+}
+
+func TestCacheDeleteEvicts(t *testing.T) {
+	c := NewCache(NewMemDB(), 8)
+	c.Put([]byte("k"), []byte("v"))
+	c.Delete([]byte("k"))
+	if c.Has([]byte("k")) {
+		t.Error("deleted key still visible")
+	}
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Error("deleted key readable")
+	}
+}
+
+func TestOpenBackends(t *testing.T) {
+	if kv, err := Open(Config{}); err != nil || kv == nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if kv, err := Open(Config{Backend: BackendCached, CacheEntries: 10}); err != nil {
+		t.Fatalf("cached: %v", err)
+	} else if _, ok := kv.(*Cache); !ok {
+		t.Fatalf("cached backend is %T", kv)
+	}
+	if _, err := Open(Config{Backend: "flux-capacitor"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestConcurrentAccess is the -race regression test for the default store
+// (satellite of ISSUE 2): the old trie.MemDB was documented as shared
+// between one committing writer and concurrent p2p readers, so the
+// replacement must survive that pattern — plus batch writers — under the
+// race detector.
+func TestConcurrentAccess(t *testing.T) {
+	for name, mk := range map[string]func() KV{
+		"mem":    func() KV { return NewMemDB() },
+		"cached": func() KV { return NewCache(NewMemDB(), 256) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			kv := mk()
+			const (
+				writers = 4
+				readers = 4
+				keys    = 200
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < keys; i++ {
+						key := []byte(fmt.Sprintf("w%d-k%d", w, i))
+						kv.Put(key, []byte{byte(i)})
+						if i%3 == 0 {
+							b := kv.NewBatch()
+							b.Put([]byte(fmt.Sprintf("w%d-b%d", w, i)), []byte{byte(i)})
+							b.Delete([]byte(fmt.Sprintf("w%d-k%d", w, i/2)))
+							b.Write()
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < keys*writers; i++ {
+						key := []byte(fmt.Sprintf("w%d-k%d", i%writers, i%keys))
+						kv.Get(key)
+						kv.Has(key)
+						if i%64 == 0 {
+							kv.Stats()
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			// Sanity: the last key of each writer survived (never deleted:
+			// i/2 < keys for every deleted index).
+			for w := 0; w < writers; w++ {
+				key := []byte(fmt.Sprintf("w%d-k%d", w, keys-1))
+				if !kv.Has(key) {
+					t.Errorf("writer %d's final key missing", w)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package db
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count of NewMemDB. Trie nodes, code and
+// block bodies are all keyed by (or prefixed with) uniformly distributed
+// hashes, so a modest power of two spreads lock contention well.
+const DefaultShards = 16
+
+// MemDB is a sharded, mutex-striped in-memory key-value store: the default
+// backend. Keys are striped over shards by a byte-mix of the key, so
+// concurrent committers and readers (one chain writing state while p2p
+// peers serve historical nodes) contend only per shard.
+type MemDB struct {
+	shards []memShard
+	mask   uint32
+
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	deletes atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemDB returns an empty sharded in-memory store with DefaultShards
+// shards.
+func NewMemDB() *MemDB { return NewMemDBShards(DefaultShards) }
+
+// NewMemDBShards returns an empty store striped over n shards (rounded up
+// to a power of two, minimum 1).
+func NewMemDBShards(n int) *MemDB {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	db := &MemDB{shards: make([]memShard, size), mask: uint32(size - 1)}
+	for i := range db.shards {
+		db.shards[i].m = make(map[string][]byte)
+	}
+	return db
+}
+
+// shardFor mixes the key into a shard index. Keys here are nearly always
+// keccak digests (or short prefixed digests), so a cheap FNV-1a over the
+// first bytes distributes uniformly.
+func (db *MemDB) shardFor(key []byte) *memShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key) && i < 8; i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &db.shards[h&db.mask]
+}
+
+// Get implements KV.
+func (db *MemDB) Get(key []byte) ([]byte, bool) {
+	db.reads.Add(1)
+	s := db.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	if ok {
+		db.hits.Add(1)
+	} else {
+		db.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Has implements KV.
+func (db *MemDB) Has(key []byte) bool {
+	s := db.shardFor(key)
+	s.mu.RLock()
+	_, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Put implements KV.
+func (db *MemDB) Put(key, value []byte) {
+	db.writes.Add(1)
+	s := db.shardFor(key)
+	s.mu.Lock()
+	s.m[string(key)] = value
+	s.mu.Unlock()
+}
+
+// Delete implements KV.
+func (db *MemDB) Delete(key []byte) {
+	db.deletes.Add(1)
+	s := db.shardFor(key)
+	s.mu.Lock()
+	delete(s.m, string(key))
+	s.mu.Unlock()
+}
+
+// NewBatch implements KV.
+func (db *MemDB) NewBatch() Batch { return &memBatch{db: db} }
+
+// Len returns the number of stored keys across all shards.
+func (db *MemDB) Len() int {
+	n := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys snapshots every stored key, in no particular order. Intended for
+// tests and debugging tools that need to enumerate a content-addressed
+// store (the KV interface itself is deliberately iteration-free).
+func (db *MemDB) Keys() [][]byte {
+	var keys [][]byte
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			keys = append(keys, []byte(k))
+		}
+		s.mu.RUnlock()
+	}
+	return keys
+}
+
+// Stats implements KV.
+func (db *MemDB) Stats() Stats {
+	return Stats{
+		Reads:   db.reads.Load(),
+		Writes:  db.writes.Load(),
+		Deletes: db.deletes.Load(),
+		Hits:    db.hits.Load(),
+		Misses:  db.misses.Load(),
+		Entries: db.Len(),
+	}
+}
+
+// batchOp is one queued batch operation (delete when value is nil and del
+// is set).
+type batchOp struct {
+	key   string
+	value []byte
+	del   bool
+}
+
+// memBatch queues writes against a MemDB, applying them shard-grouped
+// under each shard's write lock.
+type memBatch struct {
+	db   *MemDB
+	ops  []batchOp
+	size int
+}
+
+// Put implements Batch.
+func (b *memBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{key: string(key), value: value})
+	b.size += len(value)
+}
+
+// Delete implements Batch.
+func (b *memBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: string(key), del: true})
+}
+
+// Len implements Batch.
+func (b *memBatch) Len() int { return len(b.ops) }
+
+// ValueSize implements Batch.
+func (b *memBatch) ValueSize() int { return b.size }
+
+// Write implements Batch: applies operations grouped by shard so each
+// shard's lock is taken once per batch.
+func (b *memBatch) Write() {
+	db := b.db
+	// Group ops per shard index, preserving in-shard order (a later Put
+	// of the same key must win).
+	groups := make(map[*memShard][]batchOp)
+	for _, op := range b.ops {
+		s := db.shardFor([]byte(op.key))
+		groups[s] = append(groups[s], op)
+	}
+	for s, ops := range groups {
+		s.mu.Lock()
+		for _, op := range ops {
+			if op.del {
+				db.deletes.Add(1)
+				delete(s.m, op.key)
+			} else {
+				db.writes.Add(1)
+				s.m[op.key] = op.value
+			}
+		}
+		s.mu.Unlock()
+	}
+	b.Reset()
+}
+
+// Reset implements Batch.
+func (b *memBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+// ephemeralKV is a plain single-map store without locking or statistics:
+// the cheapest possible backend for throwaway single-goroutine tries
+// (TxRoot/ReceiptRoot computations build and discard one per call).
+type ephemeralKV map[string][]byte
+
+// NewEphemeral returns an unsynchronized throwaway store. NOT safe for
+// concurrent use; reach for NewMemDB anywhere the store outlives one call
+// stack.
+func NewEphemeral() KV { return make(ephemeralKV) }
+
+func (e ephemeralKV) Get(key []byte) ([]byte, bool) { v, ok := e[string(key)]; return v, ok }
+func (e ephemeralKV) Has(key []byte) bool           { _, ok := e[string(key)]; return ok }
+func (e ephemeralKV) Put(key, value []byte)         { e[string(key)] = value }
+func (e ephemeralKV) Delete(key []byte)             { delete(e, string(key)) }
+func (e ephemeralKV) Stats() Stats                  { return Stats{Entries: len(e)} }
+func (e ephemeralKV) NewBatch() Batch               { return &ephemeralBatch{kv: e} }
+
+type ephemeralBatch struct {
+	kv   ephemeralKV
+	ops  []batchOp
+	size int
+}
+
+func (b *ephemeralBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{key: string(key), value: value})
+	b.size += len(value)
+}
+
+func (b *ephemeralBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: string(key), del: true})
+}
+
+func (b *ephemeralBatch) Len() int       { return len(b.ops) }
+func (b *ephemeralBatch) ValueSize() int { return b.size }
+
+func (b *ephemeralBatch) Write() {
+	for _, op := range b.ops {
+		if op.del {
+			delete(b.kv, op.key)
+		} else {
+			b.kv[op.key] = op.value
+		}
+	}
+	b.Reset()
+}
+
+func (b *ephemeralBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}

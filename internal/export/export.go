@@ -242,6 +242,59 @@ func FromBlockchain(name string, bc *chain.Blockchain) ([]BlockRow, []TxRow) {
 	return blocks, txs
 }
 
+// FromStore extracts rows directly from a chain's KV persistence schema,
+// walking the stored canonical index from block 1 to the stored head: the
+// offline counterpart of FromBlockchain, needing no live Blockchain (or
+// its in-memory caches), only the store.
+func FromStore(name string, st *chain.Store) ([]BlockRow, []TxRow, error) {
+	headHash, ok := st.Head()
+	if !ok {
+		return nil, nil, fmt.Errorf("export: store has no head marker")
+	}
+	head, ok := st.Block(headHash)
+	if !ok {
+		return nil, nil, fmt.Errorf("export: head block %s missing from store", headHash)
+	}
+	var blocks []BlockRow
+	var txs []TxRow
+	for n := uint64(1); n <= head.Number(); n++ {
+		h, ok := st.CanonHash(n)
+		if !ok {
+			continue
+		}
+		b, ok := st.Block(h)
+		if !ok {
+			return nil, nil, fmt.Errorf("export: canonical block %d (%s) missing from store", n, h)
+		}
+		blocks = append(blocks, BlockRow{
+			Chain:      name,
+			Number:     b.Number(),
+			Hash:       b.Hash(),
+			Time:       b.Header.Time,
+			Difficulty: b.Header.Difficulty,
+			Coinbase:   b.Header.Coinbase,
+			TxCount:    len(b.Txs),
+		})
+		receipts, _ := st.Receipts(h)
+		for i, tx := range b.Txs {
+			row := TxRow{
+				Chain:       name,
+				BlockNumber: b.Number(),
+				BlockTime:   b.Header.Time,
+				Hash:        tx.Hash(),
+				From:        tx.From,
+				Nonce:       tx.Nonce,
+				ChainID:     tx.ChainID,
+			}
+			if receipts != nil && i < len(receipts) {
+				row.Contract = receipts[i].ContractCall
+			}
+			txs = append(txs, row)
+		}
+	}
+	return blocks, txs, nil
+}
+
 // Recorder is a sim.Observer that captures rows during a simulation run,
 // in either ledger mode.
 type Recorder struct {

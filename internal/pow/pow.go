@@ -101,13 +101,13 @@ func Mean(difficulty *big.Int, hashrate float64) float64 {
 	if hashrate <= 0 {
 		return math.Inf(1)
 	}
-	d, _ := new(big.Float).SetInt(difficulty).Float64()
+	d := types.BigToFloat64(difficulty)
 	return d / hashrate
 }
 
 // EquilibriumHashrate returns the hashrate that would produce the target
 // block time at the given difficulty — useful for calibrating scenarios.
 func EquilibriumHashrate(difficulty *big.Int, targetSeconds float64) float64 {
-	d, _ := new(big.Float).SetInt(difficulty).Float64()
+	d := types.BigToFloat64(difficulty)
 	return d / targetSeconds
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
 	"forkwatch/internal/pow"
@@ -83,12 +84,21 @@ func New(sc *Scenario) (*Engine, error) {
 		eth = NewFastLedger(ethCfg, gen)
 		etc = NewFastLedger(etcCfg, gen)
 	case ModeFull:
-		var err error
-		eth, err = NewFullLedger(ethCfg, gen, rand.New(rand.NewSource(sc.Seed+2)))
+		// Each chain gets its own store opened from the same config:
+		// partitions never share storage, only gossip.
+		ethKV, err := db.Open(sc.Storage)
 		if err != nil {
 			return nil, err
 		}
-		etc, err = NewFullLedger(etcCfg, gen, rand.New(rand.NewSource(sc.Seed+3)))
+		etcKV, err := db.Open(sc.Storage)
+		if err != nil {
+			return nil, err
+		}
+		eth, err = NewFullLedgerWithDB(ethCfg, gen, rand.New(rand.NewSource(sc.Seed+2)), ethKV)
+		if err != nil {
+			return nil, err
+		}
+		etc, err = NewFullLedgerWithDB(etcCfg, gen, rand.New(rand.NewSource(sc.Seed+3)), etcKV)
 		if err != nil {
 			return nil, err
 		}
@@ -119,6 +129,19 @@ func New(sc *Scenario) (*Engine, error) {
 
 // AddObserver registers an observer for block and day events.
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// StorageStats sums the storage counters of both chains' key-value stores.
+// ModeFast ledgers have no store, so the sum is zero there.
+func (e *Engine) StorageStats() db.Stats {
+	var s db.Stats
+	if fl, ok := e.ETH.(*FullLedger); ok {
+		s = s.Add(fl.BC.StorageStats())
+	}
+	if fl, ok := e.ETC.(*FullLedger); ok {
+		s = s.Add(fl.BC.StorageStats())
+	}
+	return s
+}
 
 // Run simulates sc.Days days. Day 0 begins at the fork moment: the two
 // ledgers share genesis (the pre-fork ledger) and block 1 is the fork

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
 	"forkwatch/internal/pow"
 	"forkwatch/internal/types"
 )
@@ -138,8 +139,8 @@ func (l *FastLedger) ValidateTx(tx *chain.Transaction) error {
 	if err := tx.VerifySig(); err != nil {
 		return err
 	}
-	blockNum := new(big.Int).SetUint64(l.number + 1)
 	if tx.ChainID != 0 {
+		blockNum := new(big.Int).SetUint64(l.number + 1)
 		if !l.cfg.IsEIP155(blockNum) {
 			return fmt.Errorf("%w: chain ids not active", chain.ErrWrongChainID)
 		}
@@ -202,10 +203,12 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 			continue
 		}
 		gasPool -= gasUsed
-		fee := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasUsed))
+		fee := new(big.Int).SetUint64(gasUsed)
+		fee.Mul(fee, tx.GasPrice)
 		sender := l.account(tx.From)
 		sender.nonce = tx.Nonce + 1
-		sender.balance.Sub(sender.balance, new(big.Int).Add(tx.Value, fee))
+		sender.balance.Sub(sender.balance, tx.Value)
+		sender.balance.Sub(sender.balance, fee)
 		if tx.To != nil {
 			rcpt := l.account(*tx.To)
 			rcpt.balance.Add(rcpt.balance, tx.Value)
@@ -226,9 +229,16 @@ type FullLedger struct {
 	r  *rand.Rand
 }
 
-// NewFullLedger creates a full-fidelity ledger from a genesis spec.
+// NewFullLedger creates a full-fidelity ledger from a genesis spec over a
+// fresh default in-memory store.
 func NewFullLedger(cfg *chain.Config, gen *chain.Genesis, r *rand.Rand) (*FullLedger, error) {
-	bc, err := chain.NewBlockchain(cfg, gen)
+	return NewFullLedgerWithDB(cfg, gen, r, db.NewMemDB())
+}
+
+// NewFullLedgerWithDB creates a full-fidelity ledger persisting through the
+// given store (the Scenario.Storage knob arrives here).
+func NewFullLedgerWithDB(cfg *chain.Config, gen *chain.Genesis, r *rand.Rand, kv db.KV) (*FullLedger, error) {
+	bc, err := chain.NewBlockchainWithDB(cfg, gen, kv)
 	if err != nil {
 		return nil, err
 	}

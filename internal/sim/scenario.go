@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/big"
 
+	"forkwatch/internal/db"
 	"forkwatch/internal/market"
 	"forkwatch/internal/types"
 )
@@ -37,6 +38,11 @@ type Scenario struct {
 	DayLength uint64
 	// Epoch is the unix time of the fork (2016-07-20 13:20:40 UTC).
 	Epoch uint64
+	// Storage selects the key-value backend each full-fidelity chain
+	// persists through (trie nodes, blocks, receipts). The zero value is
+	// the default sharded in-memory store; ModeFast keeps no chain
+	// storage and ignores it.
+	Storage db.Config
 
 	// TotalHashrate is the combined network hashrate at the fork, in
 	// hashes/second. Genesis difficulty is calibrated so the pre-fork

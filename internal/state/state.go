@@ -18,6 +18,7 @@ import (
 	"math/big"
 	"sort"
 
+	"forkwatch/internal/db"
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/rlp"
 	"forkwatch/internal/trie"
@@ -90,10 +91,10 @@ type stateObject struct {
 	exists       bool // account existed in trie or was created
 }
 
-// DB is a mutable account state over a trie database. It is not safe for
-// concurrent use; each chain (and each EVM execution) owns its own DB.
+// DB is a mutable account state over a db.KV node store. It is not safe
+// for concurrent use; each chain (and each EVM execution) owns its own DB.
 type DB struct {
-	db      trie.Database
+	db      db.KV
 	tr      *trie.Trie
 	objects map[types.Address]*stateObject
 	// code store: code is content-addressed and shared across copies.
@@ -105,13 +106,13 @@ type DB struct {
 type journalEntry func()
 
 // New opens the state at the given root. The zero hash opens empty state.
-func New(root types.Hash, db trie.Database) (*DB, error) {
-	tr, err := trie.New(root, db)
+func New(root types.Hash, kv db.KV) (*DB, error) {
+	tr, err := trie.New(root, kv)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{
-		db:      db,
+		db:      kv,
 		tr:      tr,
 		objects: make(map[types.Address]*stateObject),
 		codes:   make(map[types.Hash][]byte),
@@ -120,15 +121,15 @@ func New(root types.Hash, db trie.Database) (*DB, error) {
 
 // NewEmpty returns empty state over a fresh in-memory database.
 func NewEmpty() *DB {
-	s, err := New(types.Hash{}, trie.NewMemDB())
+	s, err := New(types.Hash{}, db.NewMemDB())
 	if err != nil {
 		panic(err) // empty root over MemDB cannot fail
 	}
 	return s
 }
 
-// Database returns the backing trie database (shared with copies).
-func (s *DB) Database() trie.Database { return s.db }
+// Database returns the backing node store (shared with copies).
+func (s *DB) Database() db.KV { return s.db }
 
 func (s *DB) getObject(addr types.Address) *stateObject {
 	if obj, ok := s.objects[addr]; ok {
@@ -260,8 +261,8 @@ func (s *DB) GetCode(addr types.Address) []byte {
 		obj.code = code
 		return code
 	}
-	// Code lives in the node database, content-addressed.
-	if enc, ok := s.db.Node(obj.account.CodeHash); ok {
+	// Code lives in the node store, content-addressed.
+	if enc, ok := s.db.Get(obj.account.CodeHash.Bytes()); ok {
 		obj.code = enc
 		return enc
 	}
@@ -357,8 +358,12 @@ func (s *DB) RevertToSnapshot(id int) {
 }
 
 // Commit flushes all dirty objects into the tries, stores code, clears the
-// journal and returns the new state root.
+// journal and returns the new state root. All writes — every storage trie,
+// contract code blobs and the account trie itself — land in one db.Batch,
+// so the store sees a block's state transition atomically (nothing is
+// persisted if an intermediate step errors).
 func (s *DB) Commit() (types.Hash, error) {
+	batch := s.db.NewBatch()
 	// Deterministic iteration keeps commits reproducible.
 	addrs := make([]types.Address, 0, len(s.objects))
 	for a := range s.objects {
@@ -377,21 +382,23 @@ func (s *DB) Commit() (types.Hash, error) {
 			}
 			continue
 		}
-		if err := s.commitStorage(obj); err != nil {
+		if err := s.commitStorage(obj, batch); err != nil {
 			return types.Hash{}, err
 		}
 		if obj.account.CodeHash != EmptyCodeHash && obj.code != nil {
-			s.db.Insert(obj.account.CodeHash, obj.code)
+			batch.Put(obj.account.CodeHash.Bytes(), obj.code)
 		}
 		if err := s.tr.Update(addrKey(addr), obj.account.encode()); err != nil {
 			return types.Hash{}, err
 		}
 	}
 	s.journal = nil
-	return s.tr.Hash(), nil
+	root := s.tr.CommitTo(batch)
+	batch.Write()
+	return root, nil
 }
 
-func (s *DB) commitStorage(obj *stateObject) error {
+func (s *DB) commitStorage(obj *stateObject, batch db.Batch) error {
 	if len(obj.dirtyStorage) == 0 {
 		return nil
 	}
@@ -423,7 +430,7 @@ func (s *DB) commitStorage(obj *stateObject) error {
 		}
 	}
 	obj.dirtyStorage = make(map[types.Hash]types.Hash)
-	obj.account.StorageRoot = st.Hash()
+	obj.account.StorageRoot = st.CommitTo(batch)
 	return nil
 }
 

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"forkwatch/internal/trie"
+	"forkwatch/internal/db"
 	"forkwatch/internal/types"
 )
 
@@ -147,8 +147,8 @@ func TestNestedSnapshots(t *testing.T) {
 }
 
 func TestCommitAndReopen(t *testing.T) {
-	db := trie.NewMemDB()
-	s, err := New(types.Hash{}, db)
+	store := db.NewMemDB()
+	s, err := New(types.Hash{}, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestCommitAndReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, err := New(root, db)
+	re, err := New(root, store)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package trie
 
 import (
+	"bytes"
+
+	"forkwatch/internal/db"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -32,14 +36,14 @@ func collect(t *testing.T, tr *Trie) map[string]string {
 }
 
 func TestIteratorEmpty(t *testing.T) {
-	tr := NewEmpty(NewMemDB())
+	tr := NewEmpty(db.NewMemDB())
 	if tr.NewIterator().Next() {
 		t.Error("empty trie iterator yielded a pair")
 	}
 }
 
 func TestIteratorYieldsAllPairsInOrder(t *testing.T) {
-	tr := NewEmpty(NewMemDB())
+	tr := NewEmpty(db.NewMemDB())
 	want := map[string]string{}
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 500; i++ {
@@ -66,14 +70,14 @@ func TestIteratorYieldsAllPairsInOrder(t *testing.T) {
 }
 
 func TestIteratorAfterCommitAndReopen(t *testing.T) {
-	db := NewMemDB()
-	tr := NewEmpty(db)
+	store := db.NewMemDB()
+	tr := NewEmpty(store)
 	keys := []string{"alpha", "beta", "gamma", "alphabet", "a"}
 	for i, k := range keys {
 		mustUpdate(t, tr, k, fmt.Sprintf("v%d", i))
 	}
 	root := tr.Hash()
-	reopened, err := New(root, db)
+	reopened, err := New(root, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,20 +100,20 @@ func TestIteratorAfterCommitAndReopen(t *testing.T) {
 }
 
 func TestIteratorMissingNodeSurfacesError(t *testing.T) {
-	db := NewMemDB()
-	tr := NewEmpty(db)
+	store := db.NewMemDB()
+	tr := NewEmpty(store)
 	for i := 0; i < 100; i++ {
 		mustUpdate(t, tr, fmt.Sprintf("key-%03d", i), "value-values-value")
 	}
 	root := tr.Hash()
 	// Corrupt the database: drop one interior node.
-	for h := range db.nodes {
-		if h != root {
-			delete(db.nodes, h)
+	for _, k := range store.Keys() {
+		if !bytes.Equal(k, root.Bytes()) {
+			store.Delete(k)
 			break
 		}
 	}
-	reopened, err := New(root, db)
+	reopened, err := New(root, store)
 	if err != nil {
 		t.Fatal(err)
 	}

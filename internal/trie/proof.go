@@ -32,7 +32,7 @@ func (t *Trie) Prove(key []byte) ([][]byte, error) {
 	want := root
 	nibbles := keybytesToHex(key)
 	for {
-		enc, ok := t.db.Node(want)
+		enc, ok := t.db.Get(want.Bytes())
 		if !ok {
 			return nil, fmt.Errorf("%w: missing node %s", ErrMissingNode, want)
 		}

@@ -1,6 +1,8 @@
 package trie
 
 import (
+	"forkwatch/internal/db"
+
 	"bytes"
 	"fmt"
 	"math/rand"
@@ -11,7 +13,7 @@ import (
 
 func provableTrie(t *testing.T, n int) (*Trie, map[string]string) {
 	t.Helper()
-	tr := NewEmpty(NewMemDB())
+	tr := NewEmpty(db.NewMemDB())
 	pairs := map[string]string{}
 	for i := 0; i < n; i++ {
 		k := fmt.Sprintf("key-%04d", i)
@@ -113,7 +115,7 @@ func TestVerifyProofWrongKey(t *testing.T) {
 }
 
 func TestProveEmptyTrie(t *testing.T) {
-	tr := NewEmpty(NewMemDB())
+	tr := NewEmpty(db.NewMemDB())
 	proof, err := tr.Prove([]byte("anything"))
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +136,7 @@ func TestProveEmptyTrie(t *testing.T) {
 // random keyspace with shared prefixes (exercising embedded nodes).
 func TestProofRandomized(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	tr := NewEmpty(NewMemDB())
+	tr := NewEmpty(db.NewMemDB())
 	model := map[string][]byte{}
 	for i := 0; i < 300; i++ {
 		k := fmt.Sprintf("p%d", r.Intn(500))

@@ -20,8 +20,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 
+	"forkwatch/internal/db"
 	"forkwatch/internal/keccak"
 	"forkwatch/internal/rlp"
 	"forkwatch/internal/types"
@@ -30,49 +30,6 @@ import (
 // ErrMissingNode reports a hash reference that cannot be resolved in the
 // backing database (a corrupted or incomplete trie).
 var ErrMissingNode = errors.New("trie: missing node")
-
-// Database is the node store a trie reads resolved nodes from and commits
-// hashed nodes into. The in-memory MemDB implementation suffices for the
-// simulator; chain storage wraps it.
-type Database interface {
-	// Node returns the RLP encoding of the node with the given hash.
-	Node(h types.Hash) ([]byte, bool)
-	// Insert stores the RLP encoding of a node under its hash.
-	Insert(h types.Hash, enc []byte)
-}
-
-// MemDB is a Database backed by a map. It is safe for concurrent use:
-// the store is content-addressed and insert-only, and a chain's state is
-// committed by one writer while p2p peers read concurrently.
-type MemDB struct {
-	mu    sync.RWMutex
-	nodes map[types.Hash][]byte
-}
-
-// NewMemDB returns an empty in-memory node database.
-func NewMemDB() *MemDB { return &MemDB{nodes: make(map[types.Hash][]byte)} }
-
-// Node implements Database.
-func (db *MemDB) Node(h types.Hash) ([]byte, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	enc, ok := db.nodes[h]
-	return enc, ok
-}
-
-// Insert implements Database.
-func (db *MemDB) Insert(h types.Hash, enc []byte) {
-	db.mu.Lock()
-	db.nodes[h] = enc
-	db.mu.Unlock()
-}
-
-// Len returns the number of stored nodes.
-func (db *MemDB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.nodes)
-}
 
 // Node kinds. fullNode is a 17-slot branch; shortNode is a leaf (value
 // child) or extension (branch child) holding a nibble-key fragment;
@@ -97,30 +54,31 @@ type (
 // EmptyRoot is the root hash of an empty trie: keccak256(rlp("")).
 var EmptyRoot = types.HexToHash("56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421")
 
-// Trie is a mutable Merkle-Patricia trie over a node Database.
-// The zero value is not usable; construct with New.
+// Trie is a mutable Merkle-Patricia trie over a db.KV node store. Nodes
+// are content-addressed: the store key is the node's Keccak-256 hash, the
+// value its RLP encoding. The zero value is not usable; construct with New.
 type Trie struct {
-	db   Database
+	db   db.KV
 	root node
 }
 
-// New opens the trie rooted at root inside db. A zero or EmptyRoot hash
+// New opens the trie rooted at root inside kv. A zero or EmptyRoot hash
 // yields an empty trie. The root node itself is resolved lazily.
-func New(root types.Hash, db Database) (*Trie, error) {
-	t := &Trie{db: db}
+func New(root types.Hash, kv db.KV) (*Trie, error) {
+	t := &Trie{db: kv}
 	if root.IsZero() || root == EmptyRoot {
 		return t, nil
 	}
-	if _, ok := db.Node(root); !ok {
+	if !kv.Has(root.Bytes()) {
 		return nil, fmt.Errorf("%w: root %s", ErrMissingNode, root)
 	}
 	t.root = hashNode(root.Bytes())
 	return t, nil
 }
 
-// NewEmpty returns an empty trie over db.
-func NewEmpty(db Database) *Trie {
-	t, _ := New(types.Hash{}, db)
+// NewEmpty returns an empty trie over kv.
+func NewEmpty(kv db.KV) *Trie {
+	t, _ := New(types.Hash{}, kv)
 	return t
 }
 
@@ -329,7 +287,7 @@ func (t *Trie) delete(n node, key []byte) (node, bool, error) {
 }
 
 func (t *Trie) resolve(h hashNode) (node, error) {
-	enc, ok := t.db.Node(types.BytesToHash(h))
+	enc, ok := t.db.Get(h)
 	if !ok {
 		return nil, fmt.Errorf("%w: %x", ErrMissingNode, []byte(h))
 	}
@@ -341,42 +299,55 @@ func (t *Trie) resolve(h hashNode) (node, error) {
 }
 
 // Hash computes the root hash of the trie, committing every node of 32+
-// encoded bytes into the Database. The trie remains usable afterwards.
+// encoded bytes into the store through one atomic batch. The trie remains
+// usable afterwards.
 func (t *Trie) Hash() types.Hash {
+	batch := t.db.NewBatch()
+	root := t.CommitTo(batch)
+	batch.Write()
+	return root
+}
+
+// CommitTo computes the root hash, queuing every node of 32+ encoded bytes
+// into the given batch instead of writing the store directly. The caller
+// owns the batch: nothing is persisted until batch.Write, which lets one
+// batch carry several tries (state.DB commits every storage trie, the
+// account trie and contract code in a single write).
+func (t *Trie) CommitTo(batch db.Batch) types.Hash {
 	if t.root == nil {
 		return EmptyRoot
 	}
-	ref, _ := t.commit(t.root)
+	ref, _ := t.commit(t.root, batch)
 	switch ref := ref.(type) {
 	case hashNode:
 		return types.BytesToHash(ref)
 	default:
 		// Whole trie encodes under 32 bytes: hash the encoding itself.
 		enc := rlp.Encode(encodeNode(t.root))
-		h := keccak.Sum256(enc)
-		t.db.Insert(types.BytesToHash(h[:]), enc)
+		h := keccak.Sum256Pooled(enc)
+		batch.Put(h[:], enc)
 		return types.BytesToHash(h[:])
 	}
 }
 
 // commit returns the reference form of n (hashNode when the encoding is
-// >= 32 bytes, otherwise the node itself) and stores hashed encodings.
-func (t *Trie) commit(n node) (node, rlp.Value) {
+// >= 32 bytes, otherwise the node itself) and queues hashed encodings.
+func (t *Trie) commit(n node, batch db.Batch) (node, rlp.Value) {
 	switch n := n.(type) {
 	case *shortNode:
-		childRef, _ := t.commit(n.val)
+		childRef, _ := t.commit(n.val, batch)
 		collapsed := &shortNode{key: n.key, val: childRef}
-		return t.store(collapsed)
+		return t.store(collapsed, batch)
 	case *fullNode:
 		collapsed := &fullNode{}
 		for i, c := range n.children {
 			if c == nil {
 				continue
 			}
-			ref, _ := t.commit(c)
+			ref, _ := t.commit(c, batch)
 			collapsed.children[i] = ref
 		}
-		return t.store(collapsed)
+		return t.store(collapsed, batch)
 	case hashNode, valueNode, nil:
 		return n, encodeNode(n)
 	default:
@@ -384,14 +355,14 @@ func (t *Trie) commit(n node) (node, rlp.Value) {
 	}
 }
 
-func (t *Trie) store(n node) (node, rlp.Value) {
+func (t *Trie) store(n node, batch db.Batch) (node, rlp.Value) {
 	v := encodeNode(n)
 	enc := rlp.Encode(v)
 	if len(enc) < 32 {
 		return n, v
 	}
-	h := keccak.Sum256(enc)
-	t.db.Insert(types.BytesToHash(h[:]), enc)
+	h := keccak.Sum256Pooled(enc)
+	batch.Put(h[:], enc)
 	return hashNode(h[:]), v
 }
 

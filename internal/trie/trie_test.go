@@ -1,6 +1,8 @@
 package trie
 
 import (
+	"forkwatch/internal/db"
+
 	"bytes"
 	"fmt"
 	"math/rand"
@@ -11,7 +13,7 @@ import (
 
 func newTestTrie(t *testing.T) *Trie {
 	t.Helper()
-	return NewEmpty(NewMemDB())
+	return NewEmpty(db.NewMemDB())
 }
 
 func mustUpdate(t *testing.T, tr *Trie, key, val string) {
@@ -141,8 +143,8 @@ func TestOrderIndependence(t *testing.T) {
 }
 
 func TestReopenFromCommittedRoot(t *testing.T) {
-	db := NewMemDB()
-	tr := NewEmpty(db)
+	store := db.NewMemDB()
+	tr := NewEmpty(store)
 	pairs := map[string]string{}
 	for i := 0; i < 100; i++ {
 		k := fmt.Sprintf("account-%03d", i)
@@ -154,7 +156,7 @@ func TestReopenFromCommittedRoot(t *testing.T) {
 	}
 	root := tr.Hash()
 
-	reopened, err := New(root, db)
+	reopened, err := New(root, store)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -181,7 +183,7 @@ func TestReopenFromCommittedRoot(t *testing.T) {
 }
 
 func TestMissingRoot(t *testing.T) {
-	if _, err := New(types.HexToHash("0x1234"), NewMemDB()); err == nil {
+	if _, err := New(types.HexToHash("0x1234"), db.NewMemDB()); err == nil {
 		t.Error("expected error opening trie at unknown root")
 	}
 }
@@ -273,7 +275,7 @@ func TestLargeValues(t *testing.T) {
 func BenchmarkTrieInsert1k(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr := NewEmpty(NewMemDB())
+		tr := NewEmpty(db.NewMemDB())
 		for j := 0; j < 1000; j++ {
 			key := fmt.Sprintf("account-%04d", j)
 			if err := tr.Update([]byte(key), []byte("value")); err != nil {

@@ -142,6 +142,17 @@ func BigMin(a, b *big.Int) *big.Int {
 	return b
 }
 
+// BigToFloat64 converts v to a float64. Values that fit in an int64 (every
+// realistic difficulty) convert without touching big.Float; larger values
+// fall back to the rounding big.Float path.
+func BigToFloat64(v *big.Int) float64 {
+	if v.IsInt64() {
+		return float64(v.Int64())
+	}
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f
+}
+
 // ErrValueTooLarge reports a big.Int that does not fit the requested
 // fixed-size integer type.
 var ErrValueTooLarge = errors.New("types: value does not fit target type")

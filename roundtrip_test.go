@@ -1,0 +1,151 @@
+package forkwatch
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"forkwatch/internal/analysis"
+	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
+	"forkwatch/internal/export"
+	"forkwatch/internal/sim"
+)
+
+// figureCSVs renders every figure of a report to CSV bytes, keyed by name,
+// so two reports can be compared byte-for-byte.
+func figureCSVs(t *testing.T, rep *Report) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	add := func(name string, s Series) {
+		var buf bytes.Buffer
+		if err := WriteFigureCSV(&buf, s); err != nil {
+			t.Fatalf("rendering %s: %v", name, err)
+		}
+		out[name] = buf.Bytes()
+	}
+	bph, diffH, deltaH := rep.Figure1()
+	add("fig1_blocks_per_hour", bph)
+	add("fig1_difficulty", diffH)
+	add("fig1_delta", deltaH)
+	diffD, txD, pctC := rep.Figure2()
+	add("fig2_difficulty", diffD)
+	add("fig2_tx_per_day", txD)
+	add("fig2_pct_contract", pctC)
+	hpu, _ := rep.Figure3()
+	add("fig3_hashes_per_usd", hpu)
+	echoPct, echoes := rep.Figure4()
+	add("fig4_echo_pct", echoPct)
+	add("fig4_echoes_per_day", echoes)
+	for n, s := range rep.Figure5() {
+		add(fmt.Sprintf("fig5_top%d", n), s)
+	}
+	return out
+}
+
+// TestFullModeKVRoundTrip is the persistence acceptance test: a ModeFull
+// run whose ledgers live in the KV store is exported with WriteChain,
+// re-imported into fresh stores with ImportChain, read back through
+// chain.Store via export.FromStore, and replayed into a second collector.
+// Every figure of the reconstructed report must equal the live run's
+// byte-for-byte.
+func TestFullModeKVRoundTrip(t *testing.T) {
+	sc := NewScenario(7, 2)
+	sc.Mode = ModeFull
+	sc.DayLength = 3600
+	sc.Users = 30
+	sc.ETHTxPerDay = 25
+	sc.ETCTxPerDay = 10
+	sc.Storage = StorageConfig{Backend: StorageCached}
+
+	eng, err := sim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := analysis.NewCollector(sc.Epoch)
+	rec := &export.Recorder{}
+	eng.AddObserver(col)
+	eng.AddObserver(rec)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	live := &Report{Scenario: sc, Collector: col}
+
+	stats := eng.StorageStats()
+	if stats.Writes == 0 || stats.Reads == 0 {
+		t.Fatalf("expected storage traffic, got %+v", stats)
+	}
+	if stats.Hits == 0 {
+		t.Fatalf("cached backend saw no hits: %+v", stats)
+	}
+
+	// Snapshot each partition, re-import into a brand-new store, and read
+	// the rows back through the store schema rather than the live chain.
+	reload := func(name string, led sim.Ledger) ([]export.BlockRow, []export.TxRow) {
+		fl, ok := led.(*sim.FullLedger)
+		if !ok {
+			t.Fatalf("%s: not a full ledger", name)
+		}
+		var buf bytes.Buffer
+		if err := fl.BC.WriteChain(&buf); err != nil {
+			t.Fatalf("%s: WriteChain: %v", name, err)
+		}
+		fresh, err := chain.NewBlockchainWithDB(fl.BC.Config(), eng.Workload.Genesis(), db.NewMemDB())
+		if err != nil {
+			t.Fatalf("%s: fresh chain: %v", name, err)
+		}
+		n, err := fresh.ImportChain(&buf)
+		if err != nil {
+			t.Fatalf("%s: ImportChain after %d blocks: %v", name, n, err)
+		}
+		if got, want := fresh.Head().Number(), fl.BC.Head().Number(); got != want {
+			t.Fatalf("%s: reimported head %d, want %d", name, got, want)
+		}
+		blocks, txs, err := export.FromStore(name, fresh.Store())
+		if err != nil {
+			t.Fatalf("%s: FromStore: %v", name, err)
+		}
+		// The store view and the live-chain view must agree.
+		liveBlocks, liveTxs := export.FromBlockchain(name, fresh)
+		if len(blocks) != len(liveBlocks) || len(txs) != len(liveTxs) {
+			t.Fatalf("%s: store view %d blocks/%d txs, chain view %d/%d",
+				name, len(blocks), len(txs), len(liveBlocks), len(liveTxs))
+		}
+		for i := range blocks {
+			a, b := blocks[i], liveBlocks[i]
+			same := a.Chain == b.Chain && a.Number == b.Number && a.Hash == b.Hash &&
+				a.Time == b.Time && a.Coinbase == b.Coinbase && a.TxCount == b.TxCount &&
+				a.Difficulty.Cmp(b.Difficulty) == 0
+			if !same {
+				t.Fatalf("%s: block row %d differs: store %+v, chain %+v", name, i, a, b)
+			}
+		}
+		for i := range txs {
+			if txs[i] != liveTxs[i] {
+				t.Fatalf("%s: tx row %d differs: store %+v, chain %+v", name, i, txs[i], liveTxs[i])
+			}
+		}
+		return blocks, txs
+	}
+	ethBlocks, ethTxs := reload("ETH", eng.ETH)
+	etcBlocks, etcTxs := reload("ETC", eng.ETC)
+
+	col2 := analysis.NewCollector(sc.Epoch)
+	export.ReplayAll(
+		append(ethBlocks, etcBlocks...),
+		append(ethTxs, etcTxs...),
+		rec.Days, sc.Epoch, sc.DayLength, col2)
+	replayed := &Report{Scenario: sc, Collector: col2}
+
+	want := figureCSVs(t, live)
+	got := figureCSVs(t, replayed)
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("replayed report missing %s", name)
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s differs after round trip:\nlive:\n%s\nreplayed:\n%s", name, w, g)
+		}
+	}
+}

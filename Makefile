@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench fuzz chaos clean
 
 all: build
 
@@ -24,6 +24,23 @@ vet:
 	$(GO) vet ./...
 
 check: vet build race
+
+# Fuzz smoke: `go test -fuzz` takes exactly one target per invocation,
+# so each decoder target runs on its own.
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/rlp/
+	$(GO) test -fuzz '^FuzzDecodePrefix$$' -fuzztime $(FUZZTIME) ./internal/rlp/
+	$(GO) test -fuzz '^FuzzEncodeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rlp/
+	$(GO) test -fuzz '^FuzzDecodeTx$$' -fuzztime $(FUZZTIME) ./internal/chain/
+	$(GO) test -fuzz '^FuzzDecodeHeader$$' -fuzztime $(FUZZTIME) ./internal/chain/
+	$(GO) test -fuzz '^FuzzDecodeBlock$$' -fuzztime $(FUZZTIME) ./internal/chain/
+
+# Storage chaos battery under the race detector: fault-injection unit
+# tests, WAL crash/recovery sweep and the figure byte-identity test.
+chaos:
+	$(GO) test -race -run 'Chaos|Crash|WAL|Fault|Torn|Recover|Guard' ./...
 
 # Benchmarks: run everything once, keep the raw text, and convert it into
 # a machine-readable JSON snapshot for the PR record.

@@ -31,6 +31,8 @@ func main() {
 		mode    = flag.String("mode", "fast", `ledger fidelity: "fast" or "full"`)
 		storage = flag.String("storage", "mem", `full-mode storage backend: "mem" or "cached"`)
 		cacheN  = flag.Int("cache-entries", 0, "LRU capacity for -storage cached (0 = default)")
+		faults  = flag.String("storage-faults", "", `full-mode storage fault injection, e.g. "seed=42,readerr=0.2,writeerr=0.2,torn=0.01" (empty = none)`)
+		crash   = flag.String("crash", "", `full-mode storage crash schedule: comma-separated chain:day:block:op, e.g. "ETH:1:3:40,ETC:2:0:5"`)
 		outDir  = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
 	)
 	flag.Parse()
@@ -48,6 +50,27 @@ func main() {
 		log.Fatalf("unknown -mode %q", *mode)
 	}
 	sc.Storage = forkwatch.StorageConfig{Backend: *storage, CacheEntries: *cacheN}
+	if *faults != "" {
+		f, err := forkwatch.ParseStorageFaults(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sc.Mode != forkwatch.ModeFull {
+			log.Fatal("-storage-faults requires -mode full (fast mode keeps no chain storage)")
+		}
+		sc.StorageFaults = f
+		log.Printf("storage faults: %v", f)
+	}
+	if *crash != "" {
+		cs, err := forkwatch.ParseCrashSpecs(*crash)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sc.Mode != forkwatch.ModeFull {
+			log.Fatal("-crash requires -mode full (fast mode keeps no chain storage)")
+		}
+		sc.Crashes = cs
+	}
 
 	eng, err := forkwatch.NewEngine(sc)
 	if err != nil {
@@ -67,6 +90,10 @@ func main() {
 			s := eng.StorageStats()
 			log.Printf("storage [%s]: %d entries, %d reads (%.1f%% hit), %d writes, %d deletes",
 				*storage, s.Entries, s.Reads, 100*s.HitRate(), s.Writes, s.Deletes)
+			if *faults != "" || *crash != "" {
+				log.Printf("storage chaos: %d fault events logged, %d/%d scheduled crashes fired",
+					eng.StorageFaultEvents(), eng.CrashesFired(), len(sc.Crashes))
+			}
 		}()
 	}
 

@@ -23,6 +23,7 @@ import (
 
 	"forkwatch/internal/analysis"
 	"forkwatch/internal/db"
+	"forkwatch/internal/db/faultkv"
 	"forkwatch/internal/export"
 	"forkwatch/internal/sim"
 )
@@ -53,7 +54,28 @@ type (
 	// StorageStats reports a store's read/write/hit/miss counters
 	// (Engine.StorageStats).
 	StorageStats = db.Stats
+	// StorageFaults configures deterministic storage-fault injection for
+	// full-fidelity runs (Scenario.StorageFaults): seeded I/O errors, torn
+	// batches, bit-rot and stalls.
+	StorageFaults = faultkv.Faults
+	// CrashSpec schedules a storage crash mid-run (Scenario.Crashes): the
+	// named chain's store is killed mid-commit, reopened and WAL-recovered.
+	CrashSpec = sim.CrashSpec
 )
+
+// ParseStorageFaults parses the comma-separated key=value fault
+// specification behind cmd/forksim's -storage-faults flag, e.g.
+// "seed=42,readerr=0.2,writeerr=0.2,torn=0.01".
+func ParseStorageFaults(spec string) (StorageFaults, error) {
+	return faultkv.ParseSpec(spec)
+}
+
+// ParseCrashSpecs parses the comma-separated crash schedule behind
+// cmd/forksim's -crash flag; each element is chain:day:block:op, e.g.
+// "ETH:1:3:40,ETC:2:0:5".
+func ParseCrashSpecs(spec string) ([]CrashSpec, error) {
+	return sim.ParseCrashSpecs(spec)
+}
 
 // Storage backend names for StorageConfig.Backend.
 const (

@@ -89,10 +89,15 @@ func (h *Header) Hash() types.Hash {
 	return hh
 }
 
+// RLP returns the header as a composable RLP value, so containers (block
+// encodings, uncle lists) can embed it without re-decoding its encoding.
+func (h *Header) RLP() rlp.Value {
+	return rlp.List(append(h.sealFields(), rlp.Uint(h.Nonce), rlp.Bytes(h.MixDigest.Bytes()))...)
+}
+
 // Encode returns the canonical RLP encoding of the header.
 func (h *Header) Encode() []byte {
-	fields := append(h.sealFields(), rlp.Uint(h.Nonce), rlp.Bytes(h.MixDigest.Bytes()))
-	return rlp.EncodeList(fields...)
+	return rlp.Encode(h.RLP())
 }
 
 // DecodeHeader parses a header from its RLP encoding.
@@ -200,29 +205,18 @@ func (b *Block) Hash() types.Hash { return b.Header.Hash() }
 // Number returns the block height.
 func (b *Block) Number() uint64 { return b.Header.Number }
 
-// Encode returns the RLP encoding of the whole block.
+// Encode returns the RLP encoding of the whole block, composed from the
+// parts' RLP values directly (no decode round-trips, nothing to fail).
 func (b *Block) Encode() []byte {
 	txs := make([]rlp.Value, len(b.Txs))
 	for i, tx := range b.Txs {
-		v, err := rlp.Decode(tx.Encode())
-		if err != nil {
-			panic(err) // own encoding always decodes
-		}
-		txs[i] = v
-	}
-	hv, err := rlp.Decode(b.Header.Encode())
-	if err != nil {
-		panic(err)
+		txs[i] = tx.RLP()
 	}
 	uncles := make([]rlp.Value, len(b.Uncles))
 	for i, u := range b.Uncles {
-		v, err := rlp.Decode(u.Encode())
-		if err != nil {
-			panic(err)
-		}
-		uncles[i] = v
+		uncles[i] = u.RLP()
 	}
-	return rlp.EncodeList(hv, rlp.List(txs...), rlp.List(uncles...))
+	return rlp.EncodeList(b.Header.RLP(), rlp.List(txs...), rlp.List(uncles...))
 }
 
 // DecodeBlock parses a block from its RLP encoding.
@@ -273,10 +267,14 @@ func ReceiptRoot(receipts []*Receipt) types.Hash {
 	for i, r := range receipts {
 		key := rlp.Encode(rlp.Uint(uint64(i)))
 		if err := tr.Update(key, r.Encode()); err != nil {
-			panic(err) // in-memory updates cannot fail
+			panic(err) // fresh ephemeral store: no faults, nothing to resolve
 		}
 	}
-	return tr.Hash()
+	root, err := tr.Hash()
+	if err != nil {
+		panic(err) // ephemeral batch writes cannot fail
+	}
+	return root
 }
 
 // TxRoot computes the Merkle-Patricia root over the transaction list,
@@ -287,8 +285,12 @@ func TxRoot(txs []*Transaction) types.Hash {
 	for i, tx := range txs {
 		key := rlp.Encode(rlp.Uint(uint64(i)))
 		if err := tr.Update(key, tx.Encode()); err != nil {
-			panic(err) // in-memory updates cannot fail
+			panic(err) // fresh ephemeral store: no faults, nothing to resolve
 		}
 	}
-	return tr.Hash()
+	root, err := tr.Hash()
+	if err != nil {
+		panic(err) // ephemeral batch writes cannot fail
+	}
+	return root
 }

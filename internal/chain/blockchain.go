@@ -19,6 +19,8 @@ var (
 	ErrInvalidBody     = errors.New("chain: invalid body")
 	ErrStateMismatch   = errors.New("chain: state root mismatch")
 	ErrSideOfPartition = errors.New("chain: block belongs to the other side of the DAO partition")
+	// ErrNoChain reports an Open over a store holding no chain.
+	ErrNoChain = errors.New("chain: store holds no chain")
 )
 
 // DAOForkExtra is the extra-data marker pro-fork miners stamp on blocks
@@ -118,14 +120,94 @@ func NewBlockchainWithDB(cfg *Config, gen *Genesis, kv db.KV) (*Blockchain, erro
 		head:       genesis,
 		genesis:    genesis,
 	}
-	batch := kv.NewBatch()
-	store.PutBlock(batch, genesis)
-	store.PutReceipts(batch, genesis.Hash(), nil)
-	store.PutTD(batch, genesis.Hash(), diff)
-	store.PutStateRoot(batch, genesis.Hash(), root)
-	batch.Write()
-	store.PutCanon(0, genesis.Hash())
-	store.PutHead(genesis.Hash())
+	wb := store.NewWALBatch()
+	store.PutBlock(wb, genesis)
+	store.PutReceipts(wb, genesis.Hash(), nil)
+	store.PutTD(wb, genesis.Hash(), diff)
+	store.PutStateRoot(wb, genesis.Hash(), root)
+	store.PutCanon(wb, 0, genesis.Hash())
+	store.PutHead(wb, genesis.Hash())
+	if err := store.CommitWAL(wb); err != nil {
+		return nil, err
+	}
+	return bc, nil
+}
+
+// Open reopens an existing chain from its store, running WAL recovery
+// first: a torn batch from a crash mid-commit is redone, so the chain
+// reopens exactly at its last durably committed head. Returns ErrNoChain
+// for a store holding no chain at all (create one with
+// NewBlockchainWithDB instead), and an error wrapping ErrCorruptStore
+// when recovery cannot restore a consistent chain (the caller falls back
+// to re-import or resync).
+func Open(cfg *Config, kv db.KV) (*Blockchain, error) {
+	store := NewStore(kv)
+	if err := store.RecoverWAL(); err != nil {
+		return nil, err
+	}
+	headHash, ok, err := store.Head()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNoChain
+	}
+	head, ok, err := store.Block(headHash)
+	if err != nil || !ok {
+		return nil, fmt.Errorf("%w: head block %s unreadable (%v)", ErrCorruptStore, headHash, err)
+	}
+
+	bc := &Blockchain{
+		cfg:        cfg,
+		proc:       NewProcessor(cfg),
+		db:         kv,
+		store:      store,
+		blocks:     make(map[types.Hash]*Block),
+		tds:        make(map[types.Hash]*big.Int),
+		stateRoots: make(map[types.Hash]types.Hash),
+		canon:      make(map[uint64]types.Hash),
+	}
+	// Rebuild the in-memory indices by walking the canonical chain. Side
+	// branches persist in the store but are not re-indexed; they are
+	// rediscovered through gossip, like any node restarting from disk.
+	var prev *Block
+	for n := uint64(0); n <= head.Number(); n++ {
+		h, ok, err := store.CanonHash(n)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("%w: canon index missing height %d (%v)", ErrCorruptStore, n, err)
+		}
+		b, ok, err := store.Block(h)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("%w: canonical block %d (%s) unreadable (%v)", ErrCorruptStore, n, h, err)
+		}
+		if prev != nil && b.Header.ParentHash != prev.Hash() {
+			return nil, fmt.Errorf("%w: canon chain broken at height %d", ErrCorruptStore, n)
+		}
+		td, ok, err := store.TD(h)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("%w: no TD for canonical block %d (%v)", ErrCorruptStore, n, err)
+		}
+		root, ok, err := store.StateRoot(h)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("%w: no state root for canonical block %d (%v)", ErrCorruptStore, n, err)
+		}
+		bc.blocks[h] = b
+		bc.tds[h] = td
+		bc.stateRoots[h] = root
+		bc.canon[n] = h
+		if n == 0 {
+			bc.genesis = b
+		}
+		prev = b
+	}
+	bc.head = bc.blocks[headHash]
+	if bc.head == nil || bc.genesis == nil {
+		return nil, fmt.Errorf("%w: head %s not on canonical chain", ErrCorruptStore, headHash)
+	}
+	// The head state must be openable, or every future insert would fail.
+	if _, err := state.New(bc.stateRoots[headHash], kv); err != nil {
+		return nil, fmt.Errorf("%w: head state unopenable (%v)", ErrCorruptStore, err)
+	}
 	return bc, nil
 }
 
@@ -205,13 +287,13 @@ func (bc *Blockchain) TD(h types.Hash) (*big.Int, bool) {
 }
 
 // Receipts returns the execution receipts of a known block, decoded from
-// the KV store.
-func (bc *Blockchain) Receipts(h types.Hash) ([]*Receipt, bool) {
+// the KV store. The error reports a failed or corrupt read.
+func (bc *Blockchain) Receipts(h types.Hash) ([]*Receipt, bool, error) {
 	bc.mu.RLock()
 	_, known := bc.blocks[h]
 	bc.mu.RUnlock()
 	if !known {
-		return nil, false
+		return nil, false, nil
 	}
 	return bc.store.Receipts(h)
 }
@@ -289,48 +371,76 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 
 	td := new(big.Int).Add(bc.tds[parent.Hash()], b.Header.Difficulty)
 
-	// Persist the whole block record atomically before exposing it.
-	batch := bc.db.NewBatch()
-	bc.store.PutBlock(batch, b)
-	bc.store.PutReceipts(batch, hash, receipts)
-	bc.store.PutTD(batch, hash, td)
-	bc.store.PutStateRoot(batch, hash, root)
-	batch.Write()
+	// Stage the block's whole persistence — records, fork choice, head —
+	// and commit it through the WAL as one unit, so a crash anywhere in
+	// the write either loses the block entirely or leaves a WAL record
+	// that reopening redoes (see wal.go).
+	wb := bc.store.NewWALBatch()
+	bc.store.PutBlock(wb, b)
+	bc.store.PutReceipts(wb, hash, receipts)
+	bc.store.PutTD(wb, hash, td)
+	bc.store.PutStateRoot(wb, hash, root)
+
+	newHead := td.Cmp(bc.tds[bc.head.Hash()]) > 0
+	var updates map[uint64]types.Hash
+	var stale []uint64
+	if newHead {
+		updates, stale = bc.canonDelta(b)
+		for n, h := range updates {
+			bc.store.PutCanon(wb, n, h)
+		}
+		for _, n := range stale {
+			bc.store.DeleteCanon(wb, n)
+		}
+		bc.store.PutHead(wb, hash)
+	}
+
+	if err := bc.store.CommitWAL(wb); err != nil {
+		// Either nothing committed (WAL record never landed) or the store
+		// crashed mid-apply; in both cases the in-memory view must not
+		// advance — Open rebuilds it from the durable state on reopen.
+		return err
+	}
 
 	bc.blocks[hash] = b
 	bc.stateRoots[hash] = root
 	bc.tds[hash] = td
-
-	if td.Cmp(bc.tds[bc.head.Hash()]) > 0 {
-		bc.setHead(b)
+	if newHead {
+		for n, h := range updates {
+			bc.canon[n] = h
+		}
+		for _, n := range stale {
+			delete(bc.canon, n)
+		}
+		bc.head = b
 	}
 	return nil
 }
 
-// setHead makes b the canonical head, rewriting the number index along the
-// (possibly reorganised) path back to the old canonical chain.
-func (bc *Blockchain) setHead(b *Block) {
-	oldNumber := bc.head.Number()
-	bc.head = b
-	bc.store.PutHead(b.Hash())
+// canonDelta computes the canonical-index rewrite that making b the head
+// requires: entries along b's path back to the existing canonical chain,
+// plus the stale heights to remove after a reorg to a shorter-but-heavier
+// chain. Pure with respect to chain state — the delta is staged into the
+// WAL batch first and applied to the in-memory index only after the
+// commit succeeds.
+func (bc *Blockchain) canonDelta(b *Block) (updates map[uint64]types.Hash, stale []uint64) {
+	updates = make(map[uint64]types.Hash)
 	cur := b
 	for {
 		n := cur.Number()
 		if bc.canon[n] == cur.Hash() {
 			break
 		}
-		bc.canon[n] = cur.Hash()
-		bc.store.PutCanon(n, cur.Hash())
+		updates[n] = cur.Hash()
 		if n == 0 {
 			break
 		}
 		cur = bc.blocks[cur.Header.ParentHash]
 	}
-	// A reorg to a shorter-but-heavier chain leaves stale tail entries.
-	for n := b.Number() + 1; n <= oldNumber; n++ {
-		delete(bc.canon, n)
-		bc.store.DeleteCanon(n)
+	for n := b.Number() + 1; n <= bc.head.Number(); n++ {
+		stale = append(stale, n)
 	}
+	return updates, stale
 }
 
 func (bc *Blockchain) validateHeader(h, parent *Header) error {

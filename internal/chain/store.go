@@ -12,16 +12,26 @@ import (
 
 // Store is the KV-backed persistence schema for one chain: blocks,
 // receipts, total difficulty, per-block state roots, the canonical number
-// index and the head marker, all in the same db.KV that holds the state
-// trie nodes. Keys are prefixed with a single byte so the content-addressed
-// trie namespace (raw 32-byte hashes) can never collide with chain records
-// (33- or 9-byte keys).
+// index, the head marker and the write-ahead log, all in the same db.KV
+// that holds the state trie nodes. Keys are prefixed with a single byte so
+// the content-addressed trie namespace (raw 32-byte hashes) can never
+// collide with chain records (33- or 9-byte keys).
 //
 // The Store does no caching and no locking of its own: Blockchain holds
 // the lock and keeps decoded blocks in memory; export tooling reads a
 // Store directly.
+//
+// Every getter returns (value, ok, error): ok distinguishes absence, the
+// error reports a failed read or a record that failed an integrity check
+// (wrapping db.ErrCorrupt). All mutations queue into a caller-owned
+// db.Batch — including the canonical index and head marker — so one
+// block's whole persistence lands atomically and a torn write is
+// repairable from the WAL (see wal.go).
 type Store struct {
 	kv db.KV
+	// walSeq is the sequence number of the newest committed WAL record
+	// (see wal.go). Mutated only under the owning Blockchain's lock.
+	walSeq uint64
 }
 
 // Key prefixes of the chain schema.
@@ -31,6 +41,7 @@ const (
 	prefixTD        = 't' // prefixTD + hash -> total difficulty (big-endian bytes)
 	prefixStateRoot = 's' // prefixStateRoot + hash -> committed state root
 	prefixCanon     = 'n' // prefixCanon + 8-byte BE number -> canonical hash
+	prefixWAL       = 'w' // prefixWAL + 8-byte BE seq -> checksummed WAL record
 )
 
 // keyHead marks the canonical head hash.
@@ -62,20 +73,23 @@ func (s *Store) PutBlock(batch db.Batch, b *Block) {
 }
 
 // Block reads and decodes a block by hash.
-func (s *Store) Block(h types.Hash) (*Block, bool) {
-	enc, ok := s.kv.Get(hashKey(prefixBlock, h))
+func (s *Store) Block(h types.Hash) (*Block, bool, error) {
+	enc, ok, err := s.kv.Get(hashKey(prefixBlock, h))
+	if err != nil {
+		return nil, false, fmt.Errorf("chain: reading block %s: %w", h, err)
+	}
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	b, err := DecodeBlock(enc)
 	if err != nil {
-		panic(fmt.Sprintf("chain: corrupt stored block %s: %v", h, err))
+		return nil, false, fmt.Errorf("%w: stored block %s: %v", db.ErrCorrupt, h, err)
 	}
-	return b, true
+	return b, true, nil
 }
 
 // HasBlock reports whether a block record exists.
-func (s *Store) HasBlock(h types.Hash) bool {
+func (s *Store) HasBlock(h types.Hash) (bool, error) {
 	return s.kv.Has(hashKey(prefixBlock, h))
 }
 
@@ -83,38 +97,37 @@ func (s *Store) HasBlock(h types.Hash) bool {
 func (s *Store) PutReceipts(batch db.Batch, h types.Hash, receipts []*Receipt) {
 	items := make([]rlp.Value, len(receipts))
 	for i, r := range receipts {
-		v, err := rlp.Decode(r.Encode())
-		if err != nil {
-			panic(err) // own encoding always decodes
-		}
-		items[i] = v
+		items[i] = r.RLP()
 	}
 	batch.Put(hashKey(prefixReceipts, h), rlp.EncodeList(items...))
 }
 
 // Receipts reads and decodes the receipt list of block h.
-func (s *Store) Receipts(h types.Hash) ([]*Receipt, bool) {
-	enc, ok := s.kv.Get(hashKey(prefixReceipts, h))
+func (s *Store) Receipts(h types.Hash) ([]*Receipt, bool, error) {
+	enc, ok, err := s.kv.Get(hashKey(prefixReceipts, h))
+	if err != nil {
+		return nil, false, fmt.Errorf("chain: reading receipts %s: %w", h, err)
+	}
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	v, err := rlp.Decode(enc)
 	if err != nil {
-		panic(fmt.Sprintf("chain: corrupt stored receipts %s: %v", h, err))
+		return nil, false, fmt.Errorf("%w: stored receipts %s: %v", db.ErrCorrupt, h, err)
 	}
 	items, err := v.AsList()
 	if err != nil {
-		panic(fmt.Sprintf("chain: corrupt stored receipts %s: %v", h, err))
+		return nil, false, fmt.Errorf("%w: stored receipts %s: %v", db.ErrCorrupt, h, err)
 	}
 	receipts := make([]*Receipt, 0, len(items))
 	for _, it := range items {
 		r, err := receiptFromValue(it)
 		if err != nil {
-			panic(fmt.Sprintf("chain: corrupt stored receipt in %s: %v", h, err))
+			return nil, false, fmt.Errorf("%w: stored receipt in %s: %v", db.ErrCorrupt, h, err)
 		}
 		receipts = append(receipts, r)
 	}
-	return receipts, true
+	return receipts, true, nil
 }
 
 // PutTD queues the total difficulty of block h.
@@ -123,12 +136,15 @@ func (s *Store) PutTD(batch db.Batch, h types.Hash, td *big.Int) {
 }
 
 // TD reads the total difficulty of block h.
-func (s *Store) TD(h types.Hash) (*big.Int, bool) {
-	enc, ok := s.kv.Get(hashKey(prefixTD, h))
-	if !ok {
-		return nil, false
+func (s *Store) TD(h types.Hash) (*big.Int, bool, error) {
+	enc, ok, err := s.kv.Get(hashKey(prefixTD, h))
+	if err != nil {
+		return nil, false, fmt.Errorf("chain: reading TD %s: %w", h, err)
 	}
-	return new(big.Int).SetBytes(enc), true
+	if !ok {
+		return nil, false, nil
+	}
+	return new(big.Int).SetBytes(enc), true, nil
 }
 
 // PutStateRoot queues the committed state root of block h.
@@ -137,47 +153,57 @@ func (s *Store) PutStateRoot(batch db.Batch, h, root types.Hash) {
 }
 
 // StateRoot reads the committed state root of block h.
-func (s *Store) StateRoot(h types.Hash) (types.Hash, bool) {
-	enc, ok := s.kv.Get(hashKey(prefixStateRoot, h))
-	if !ok {
-		return types.Hash{}, false
+func (s *Store) StateRoot(h types.Hash) (types.Hash, bool, error) {
+	enc, ok, err := s.kv.Get(hashKey(prefixStateRoot, h))
+	if err != nil {
+		return types.Hash{}, false, fmt.Errorf("chain: reading state root %s: %w", h, err)
 	}
-	return types.BytesToHash(enc), true
+	if !ok {
+		return types.Hash{}, false, nil
+	}
+	return types.BytesToHash(enc), true, nil
 }
 
-// PutCanon writes the canonical hash for height n (write-through: the
-// canonical index moves under the chain lock, outside any batch).
-func (s *Store) PutCanon(n uint64, h types.Hash) {
-	s.kv.Put(canonKey(n), h.Bytes())
+// PutCanon queues the canonical hash for height n. The canonical index
+// moves inside the same atomic batch as the block data it points at, so a
+// torn write can never expose a canon entry whose block is missing.
+func (s *Store) PutCanon(batch db.Batch, n uint64, h types.Hash) {
+	batch.Put(canonKey(n), h.Bytes())
 }
 
-// DeleteCanon removes the canonical entry for height n (reorg to a
-// shorter, heavier chain).
-func (s *Store) DeleteCanon(n uint64) {
-	s.kv.Delete(canonKey(n))
+// DeleteCanon queues removal of the canonical entry for height n (reorg to
+// a shorter, heavier chain).
+func (s *Store) DeleteCanon(batch db.Batch, n uint64) {
+	batch.Delete(canonKey(n))
 }
 
 // CanonHash reads the canonical hash at height n.
-func (s *Store) CanonHash(n uint64) (types.Hash, bool) {
-	enc, ok := s.kv.Get(canonKey(n))
-	if !ok {
-		return types.Hash{}, false
+func (s *Store) CanonHash(n uint64) (types.Hash, bool, error) {
+	enc, ok, err := s.kv.Get(canonKey(n))
+	if err != nil {
+		return types.Hash{}, false, fmt.Errorf("chain: reading canon %d: %w", n, err)
 	}
-	return types.BytesToHash(enc), true
+	if !ok {
+		return types.Hash{}, false, nil
+	}
+	return types.BytesToHash(enc), true, nil
 }
 
-// PutHead marks h as the canonical head.
-func (s *Store) PutHead(h types.Hash) {
-	s.kv.Put(keyHead, h.Bytes())
+// PutHead queues h as the canonical head.
+func (s *Store) PutHead(batch db.Batch, h types.Hash) {
+	batch.Put(keyHead, h.Bytes())
 }
 
 // Head reads the canonical head hash.
-func (s *Store) Head() (types.Hash, bool) {
-	enc, ok := s.kv.Get(keyHead)
-	if !ok {
-		return types.Hash{}, false
+func (s *Store) Head() (types.Hash, bool, error) {
+	enc, ok, err := s.kv.Get(keyHead)
+	if err != nil {
+		return types.Hash{}, false, fmt.Errorf("chain: reading head: %w", err)
 	}
-	return types.BytesToHash(enc), true
+	if !ok {
+		return types.Hash{}, false, nil
+	}
+	return types.BytesToHash(enc), true, nil
 }
 
 // receiptFromValue rebuilds a Receipt from its decoded RLP value.

@@ -140,9 +140,10 @@ func (tx *Transaction) Hash() types.Hash {
 	return hh
 }
 
-// Encode returns the canonical RLP encoding.
-func (tx *Transaction) Encode() []byte {
-	return rlp.EncodeList(
+// RLP returns the transaction as a composable RLP value, so containers
+// (blocks, receipt lists) can embed it without re-decoding its encoding.
+func (tx *Transaction) RLP() rlp.Value {
+	return rlp.List(
 		rlp.Uint(tx.Nonce),
 		rlp.BigInt(tx.GasPrice),
 		rlp.Uint(tx.GasLimit),
@@ -153,6 +154,11 @@ func (tx *Transaction) Encode() []byte {
 		rlp.Bytes(tx.From.Bytes()),
 		rlp.Bytes(tx.SigTag.Bytes()),
 	)
+}
+
+// Encode returns the canonical RLP encoding.
+func (tx *Transaction) Encode() []byte {
+	return rlp.Encode(tx.RLP())
 }
 
 // DecodeTx parses a transaction from its RLP encoding.
@@ -261,9 +267,8 @@ type Receipt struct {
 	ContractCall bool
 }
 
-// Encode returns the canonical RLP encoding of the receipt (committed to
-// by the header's receipt root).
-func (r *Receipt) Encode() []byte {
+// RLP returns the receipt as a composable RLP value (see Transaction.RLP).
+func (r *Receipt) RLP() rlp.Value {
 	status := uint64(0)
 	if r.Status {
 		status = 1
@@ -272,11 +277,17 @@ func (r *Receipt) Encode() []byte {
 	if r.ContractCall {
 		contract = 1
 	}
-	return rlp.EncodeList(
+	return rlp.List(
 		rlp.Bytes(r.TxHash.Bytes()),
 		rlp.Uint(status),
 		rlp.Uint(r.GasUsed),
 		rlp.Bytes(r.ContractAddress.Bytes()),
 		rlp.Uint(contract),
 	)
+}
+
+// Encode returns the canonical RLP encoding of the receipt (committed to
+// by the header's receipt root).
+func (r *Receipt) Encode() []byte {
+	return rlp.Encode(r.RLP())
 }

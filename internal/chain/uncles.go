@@ -36,11 +36,7 @@ func CalcUncleHash(uncles []*Header) types.Hash {
 	}
 	items := make([]rlp.Value, len(uncles))
 	for i, u := range uncles {
-		v, err := rlp.Decode(u.Encode())
-		if err != nil {
-			panic(err) // own encoding always decodes
-		}
-		items[i] = v
+		items[i] = u.RLP()
 	}
 	h := keccak.Sum256(rlp.Encode(rlp.List(items...)))
 	return types.BytesToHash(h[:])

@@ -1,0 +1,334 @@
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/rlp"
+	"forkwatch/internal/trie"
+)
+
+// Write-ahead log: the crash-consistency protocol of the chain store.
+//
+// Problem: one block's persistence spans many keys (block body, receipts,
+// total difficulty, state root, canonical index entries, the head marker).
+// A batch write of those keys is atomic on a healthy device, but a crash
+// mid-write (a torn batch, see db/faultkv) can leave any subset applied —
+// a head marker pointing at a missing block, a canonical index entry for
+// a body that never landed.
+//
+// Protocol, per committed block:
+//
+//  1. The state trie batch commits first (state.DB.Commit). Trie nodes
+//     are content-addressed, so a tear here leaves only invisible garbage
+//     — no chain record references the new root yet.
+//  2. The block's chain records are staged in a WALBatch, then the whole
+//     operation list is written as ONE checksummed record under a WAL
+//     slot key with a single Put. Puts are atomic even on a torn device,
+//     so this write is THE commit point: the block is committed iff its
+//     WAL record is durable.
+//  3. The staged operations are applied through a normal (best-effort
+//     atomic) batch. A tear here is repaired on reopen by redoing the WAL
+//     record — every operation is a blind write, so redo is idempotent.
+//  4. After the batch applies, a single Put advances the applied
+//     watermark ('w'+'a' -> seq). Recovery redoes the newest valid record
+//     only when the watermark lags it; a record wholly applied before its
+//     at-rest copy bit-rotted is thereby never "repaired" backwards by
+//     replaying its predecessor.
+//
+// The log is a two-slot ring ('w'+0, 'w'+1): record seq lands in slot
+// seq%2, naturally pruning the record before last by overwrite. Recovery
+// (RecoverWAL) reads both slots, redoes the newest valid record (older
+// records are necessarily fully applied already), truncates (deletes)
+// records that fail their checksum, and then verifies the head invariant. A store that is still inconsistent after
+// redo — only possible under double faults like bit-rot of the newest WAL
+// record on top of a torn batch — surfaces ErrCorruptStore, and the
+// caller falls back to re-import/resync.
+//
+// Record layout: 4-byte big-endian CRC-32 (IEEE) over the payload,
+// followed by the payload: RLP [seq, [[key, value, del], ...]].
+
+// ErrCorruptStore reports a chain store that WAL recovery cannot repair:
+// the surviving records are inconsistent (missing bodies, broken canon
+// links, unreadable head). The only way forward is re-import or resync.
+var ErrCorruptStore = errors.New("chain: store corrupt beyond WAL recovery")
+
+// walSlots is the ring size: the live record plus its predecessor.
+const walSlots = 2
+
+func walSlotKey(slot uint64) []byte {
+	return []byte{prefixWAL, byte(slot)}
+}
+
+// keyWALApplied is the applied watermark: the highest seq whose batch has
+// fully applied, as 8 big-endian bytes.
+var keyWALApplied = []byte{prefixWAL, 'a'}
+
+// walOp is one staged store mutation.
+type walOp struct {
+	Key   []byte
+	Value []byte
+	Del   bool
+}
+
+// WALBatch stages one block's chain records for a WAL-protected commit.
+// It implements db.Batch so the Store.Put* helpers queue into it, but the
+// staged operations only reach the device through Store.CommitWAL.
+type WALBatch struct {
+	ops  []walOp
+	size int
+}
+
+// NewWALBatch returns an empty staging batch.
+func (s *Store) NewWALBatch() *WALBatch { return &WALBatch{} }
+
+// Put implements db.Batch.
+func (b *WALBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, walOp{Key: append([]byte(nil), key...), Value: value})
+	b.size += len(value)
+}
+
+// Delete implements db.Batch.
+func (b *WALBatch) Delete(key []byte) {
+	b.ops = append(b.ops, walOp{Key: append([]byte(nil), key...), Del: true})
+}
+
+// Len implements db.Batch.
+func (b *WALBatch) Len() int { return len(b.ops) }
+
+// ValueSize implements db.Batch.
+func (b *WALBatch) ValueSize() int { return b.size }
+
+// Reset implements db.Batch.
+func (b *WALBatch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+// Write implements db.Batch. Staged batches must go through
+// Store.CommitWAL, which owns the commit protocol.
+func (b *WALBatch) Write() error {
+	return errors.New("chain: WALBatch must be committed via Store.CommitWAL")
+}
+
+// CommitWAL runs the commit protocol for the staged operations: write the
+// checksummed WAL record (the atomic commit point), then apply the
+// operations.
+//
+// A nil return means the block is durably committed AND fully applied. An
+// error before the record landed means nothing committed. An error after
+// — reported as committed-but-torn via the underlying crash error — means
+// the commit is durable and RecoverWAL will finish applying it on reopen.
+func (s *Store) CommitWAL(b *WALBatch) error {
+	seq := s.walSeq + 1
+	rec := encodeWALRecord(seq, b.ops)
+	if err := s.kv.Put(walSlotKey(seq%walSlots), rec); err != nil {
+		return fmt.Errorf("chain: writing WAL record %d: %w", seq, err)
+	}
+	s.walSeq = seq
+
+	batch := s.kv.NewBatch()
+	for _, op := range b.ops {
+		if op.Del {
+			batch.Delete(op.Key)
+		} else {
+			batch.Put(op.Key, op.Value)
+		}
+	}
+	if err := batch.Write(); err != nil {
+		return fmt.Errorf("chain: applying WAL record %d (committed, recoverable): %w", seq, err)
+	}
+	if err := s.putApplied(seq); err != nil {
+		// The record is durable and applied; only the watermark lagged. A
+		// reopen redoes the record, which is idempotent.
+		return fmt.Errorf("chain: advancing WAL watermark to %d (committed, recoverable): %w", seq, err)
+	}
+	return nil
+}
+
+func (s *Store) putApplied(seq uint64) error {
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], seq)
+	return s.kv.Put(keyWALApplied, enc[:])
+}
+
+// RecoverWAL repairs the store after a crash: records failing their
+// checksum are truncated, the newest valid record is redone (idempotent
+// blind writes) if the applied watermark lags it, and the head invariant
+// is verified. Returns ErrCorruptStore when the store remains
+// inconsistent after redo.
+//
+// Only the newest record is ever a redo candidate: commits are
+// serialized, and a torn apply crashes the store, so any older record's
+// batch must have fully applied before the newer commit began. The
+// watermark guards the converse hazard — a record wholly applied whose
+// at-rest copy then bit-rotted must not be "repaired" backwards by
+// replaying its surviving predecessor.
+func (s *Store) RecoverWAL() error {
+	type slotRec struct {
+		seq uint64
+		ops []walOp
+	}
+	var recs []slotRec
+	for slot := uint64(0); slot < walSlots; slot++ {
+		enc, ok, err := s.kv.Get(walSlotKey(slot))
+		if err != nil {
+			return fmt.Errorf("chain: reading WAL slot %d: %w", slot, err)
+		}
+		if !ok {
+			continue
+		}
+		seq, ops, err := decodeWALRecord(enc)
+		if err != nil {
+			// Bit-rot in a WAL record: truncate it. If it was the newest
+			// record and its batch tore, the head check below catches the
+			// inconsistency.
+			if derr := s.kv.Delete(walSlotKey(slot)); derr != nil {
+				return fmt.Errorf("chain: truncating WAL slot %d: %w", slot, derr)
+			}
+			continue
+		}
+		recs = append(recs, slotRec{seq: seq, ops: ops})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+
+	var applied uint64
+	if enc, ok, err := s.kv.Get(keyWALApplied); err != nil {
+		return fmt.Errorf("chain: reading WAL watermark: %w", err)
+	} else if ok && len(enc) == 8 {
+		applied = binary.BigEndian.Uint64(enc)
+	}
+
+	s.walSeq = applied
+	if len(recs) > 0 {
+		newest := recs[len(recs)-1]
+		if newest.seq > applied {
+			batch := s.kv.NewBatch()
+			for _, op := range newest.ops {
+				if op.Del {
+					batch.Delete(op.Key)
+				} else {
+					batch.Put(op.Key, op.Value)
+				}
+			}
+			if err := batch.Write(); err != nil {
+				return fmt.Errorf("chain: redoing WAL record %d: %w", newest.seq, err)
+			}
+			if err := s.putApplied(newest.seq); err != nil {
+				return fmt.Errorf("chain: advancing WAL watermark to %d: %w", newest.seq, err)
+			}
+		}
+		if newest.seq > s.walSeq {
+			s.walSeq = newest.seq
+		}
+	}
+	return s.verifyHead()
+}
+
+// verifyHead checks the durable head invariant after recovery: the head
+// marker resolves to a decodable block whose canonical index entry, state
+// root record and committed state trie root are all present.
+func (s *Store) verifyHead() error {
+	headHash, ok, err := s.Head()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // empty store: nothing committed, nothing to verify
+	}
+	head, ok, err := s.Block(headHash)
+	if err != nil || !ok {
+		return fmt.Errorf("%w: head block %s unreadable (%v)", ErrCorruptStore, headHash, err)
+	}
+	canon, ok, err := s.CanonHash(head.Number())
+	if err != nil || !ok || canon != headHash {
+		return fmt.Errorf("%w: canon index at %d does not match head %s (%v)", ErrCorruptStore, head.Number(), headHash, err)
+	}
+	root, ok, err := s.StateRoot(headHash)
+	if err != nil || !ok {
+		return fmt.Errorf("%w: no state root for head %s (%v)", ErrCorruptStore, headHash, err)
+	}
+	// An empty trie stores no root node (its EmptyRoot is implicit), so
+	// only non-empty states are probed.
+	if !root.IsZero() && root != trie.EmptyRoot {
+		hasRoot, err := s.kv.Has(root.Bytes())
+		if err != nil {
+			return fmt.Errorf("chain: probing head state root: %w", err)
+		}
+		if !hasRoot {
+			return fmt.Errorf("%w: head state root %s missing from store", ErrCorruptStore, root)
+		}
+	}
+	return nil
+}
+
+// encodeWALRecord serialises one record: crc32(payload) || payload with
+// payload = RLP [seq, [[key, value, del], ...]].
+func encodeWALRecord(seq uint64, ops []walOp) []byte {
+	items := make([]rlp.Value, len(ops))
+	for i, op := range ops {
+		del := uint64(0)
+		if op.Del {
+			del = 1
+		}
+		items[i] = rlp.List(rlp.Bytes(op.Key), rlp.Bytes(op.Value), rlp.Uint(del))
+	}
+	payload := rlp.EncodeList(rlp.Uint(seq), rlp.List(items...))
+	rec := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(rec, crc32.ChecksumIEEE(payload))
+	copy(rec[4:], payload)
+	return rec
+}
+
+// decodeWALRecord inverts encodeWALRecord, failing (with db.ErrCorrupt)
+// on checksum or structure mismatch.
+func decodeWALRecord(enc []byte) (uint64, []walOp, error) {
+	if len(enc) < 4 {
+		return 0, nil, fmt.Errorf("%w: WAL record of %d bytes", db.ErrCorrupt, len(enc))
+	}
+	payload := enc[4:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(enc) {
+		return 0, nil, fmt.Errorf("%w: WAL record checksum mismatch", db.ErrCorrupt)
+	}
+	v, err := rlp.Decode(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: WAL record payload: %v", db.ErrCorrupt, err)
+	}
+	items, err := v.ListOf(2)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: WAL record structure: %v", db.ErrCorrupt, err)
+	}
+	seq, err := items[0].AsUint()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: WAL record seq: %v", db.ErrCorrupt, err)
+	}
+	opItems, err := items[1].AsList()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: WAL record ops: %v", db.ErrCorrupt, err)
+	}
+	ops := make([]walOp, 0, len(opItems))
+	for _, it := range opItems {
+		f, err := it.ListOf(3)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: WAL op structure: %v", db.ErrCorrupt, err)
+		}
+		key, err := f[0].AsBytes()
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: WAL op key: %v", db.ErrCorrupt, err)
+		}
+		val, err := f[1].AsBytes()
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: WAL op value: %v", db.ErrCorrupt, err)
+		}
+		del, err := f[2].AsUint()
+		if err != nil || del > 1 {
+			return 0, nil, fmt.Errorf("%w: WAL op del flag: %v", db.ErrCorrupt, err)
+		}
+		ops = append(ops, walOp{Key: key, Value: val, Del: del == 1})
+	}
+	return seq, ops, nil
+}

@@ -1,0 +1,333 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/db/faultkv"
+	"forkwatch/internal/types"
+)
+
+// donorChain mines a short canonical chain on a pristine store and
+// returns it with its WriteChain stream.
+func donorChain(t *testing.T) (*Blockchain, []byte) {
+	t.Helper()
+	bc := newTestChain(t, MainnetLikeConfig())
+	nonce := uint64(0)
+	for i := 0; i < 6; i++ {
+		var txs []*Transaction
+		if i%2 == 0 {
+			txs = append(txs, transfer(nonce, alice, bob, 1_000, 0))
+			nonce++
+		}
+		mine(t, bc, 13, txs...)
+	}
+	var buf bytes.Buffer
+	if err := bc.WriteChain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return bc, buf.Bytes()
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	kv := db.NewMemDB()
+	bc, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine(t, bc, 13, transfer(0, alice, bob, 500, 0))
+	mine(t, bc, 13)
+	mine(t, bc, 13, transfer(1, alice, bob, 250, 0))
+
+	re, err := Open(MainnetLikeConfig(), kv)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if re.Head().Hash() != bc.Head().Hash() {
+		t.Fatalf("reopened head %s, want %s", re.Head().Hash(), bc.Head().Hash())
+	}
+	if re.Genesis().Hash() != bc.Genesis().Hash() {
+		t.Fatal("reopened genesis diverged")
+	}
+	for n := uint64(0); n <= bc.Head().Number(); n++ {
+		a, _ := bc.BlockByNumber(n)
+		b, ok := re.BlockByNumber(n)
+		if !ok || a.Hash() != b.Hash() {
+			t.Fatalf("canonical block %d diverged after reopen", n)
+		}
+		td1, _ := bc.TD(a.Hash())
+		td2, _ := re.TD(a.Hash())
+		if td1.Cmp(td2) != 0 {
+			t.Fatalf("TD at %d diverged after reopen", n)
+		}
+	}
+	// The reopened chain must accept new blocks (head state intact, WAL
+	// sequence continues).
+	mine(t, re, 13, transfer(2, alice, bob, 100, 0))
+}
+
+func TestOpenEmptyStore(t *testing.T) {
+	if _, err := Open(MainnetLikeConfig(), db.NewMemDB()); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("Open(empty) = %v, want ErrNoChain", err)
+	}
+}
+
+// TestCrashMidImportRecovers is the crash-restart round trip: kill the
+// store at many different write offsets inside an ImportChain, reopen,
+// and require that recovery lands exactly on the last durably committed
+// head — never a partial block — and that resuming the import converges
+// on the donor chain.
+func TestCrashMidImportRecovers(t *testing.T) {
+	donor, stream := donorChain(t)
+
+	// Measure the import's total write footprint on a clean run.
+	calibKV := faultkv.Wrap(db.NewMemDB(), faultkv.Faults{})
+	calib, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), calibKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	importStart := calibKV.WriteOps()
+	if _, err := calib.ImportChain(bytes.NewReader(stream)); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := calibKV.WriteOps() - importStart
+	if totalOps < 20 {
+		t.Fatalf("import footprint suspiciously small: %d write ops", totalOps)
+	}
+
+	for off := uint64(1); off <= totalOps; off += 5 {
+		fkv := faultkv.Wrap(db.NewMemDB(), faultkv.Faults{})
+		victim, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), fkv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fkv.CrashAtWriteOp(fkv.WriteOps() + off)
+		imported, err := victim.ImportChain(bytes.NewReader(stream))
+		if err == nil {
+			t.Fatalf("off %d: import survived an armed crash", off)
+		}
+		if uint64(imported) != victim.Head().Number() {
+			t.Fatalf("off %d: memory head %d does not match %d acknowledged imports",
+				off, victim.Head().Number(), imported)
+		}
+
+		fkv.Reopen()
+		re, err := Open(MainnetLikeConfig(), fkv)
+		if err != nil {
+			t.Fatalf("off %d: Open after crash: %v", off, err)
+		}
+		// The WAL sequence counts commits: genesis is seq 1, every block
+		// commit adds one. Recovery must land exactly there.
+		if want := re.Store().walSeq - 1; re.Head().Number() != want {
+			t.Fatalf("off %d: recovered head %d, WAL says %d commits",
+				off, re.Head().Number(), want)
+		}
+		// The acknowledged imports are a lower bound; the in-flight block
+		// may have reached its commit point before the tear.
+		if got := re.Head().Number(); got < uint64(imported) || got > uint64(imported)+1 {
+			t.Fatalf("off %d: recovered head %d outside [%d, %d]",
+				off, got, imported, imported+1)
+		}
+		// No divergent partial state: every recovered canonical block is
+		// the donor's block at that height.
+		for n := uint64(0); n <= re.Head().Number(); n++ {
+			want, _ := donor.BlockByNumber(n)
+			got, ok := re.BlockByNumber(n)
+			if !ok || got.Hash() != want.Hash() {
+				t.Fatalf("off %d: recovered canon %d diverged from donor", off, n)
+			}
+		}
+
+		// Resuming the import must converge on the donor head.
+		if _, err := re.ImportChain(bytes.NewReader(stream)); err != nil {
+			t.Fatalf("off %d: resumed import: %v", off, err)
+		}
+		if re.Head().Hash() != donor.Head().Hash() {
+			t.Fatalf("off %d: resumed head %s, want %s", off, re.Head().Hash(), donor.Head().Hash())
+		}
+	}
+}
+
+// TestWALRedoRepairsTornBatch exercises the store-level protocol: a data
+// batch torn after the WAL record landed is finished by RecoverWAL.
+func TestWALRedoRepairsTornBatch(t *testing.T) {
+	inner := db.NewMemDB()
+	fkv := faultkv.Wrap(inner, faultkv.Faults{})
+	store := NewStore(fkv)
+
+	wb := store.NewWALBatch()
+	h := types.HexToHash("0xabc123")
+	store.PutTD(wb, h, big.NewInt(77))
+	store.PutStateRoot(wb, h, types.HexToHash("0xdef"))
+	store.PutCanon(wb, 9, h)
+
+	// Write op 1 is the WAL record; arm the crash inside the data batch so
+	// the record is durable but the apply tears after one operation.
+	fkv.CrashAtWriteOp(fkv.WriteOps() + 3)
+	err := store.CommitWAL(wb)
+	if !errors.Is(err, faultkv.ErrCrashed) {
+		t.Fatalf("CommitWAL under tear = %v, want ErrCrashed", err)
+	}
+	if _, ok, _ := store.CanonHash(9); ok {
+		t.Fatal("torn batch applied its last operation")
+	}
+
+	fkv.Reopen()
+	re := NewStore(fkv)
+	if err := re.RecoverWAL(); err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	td, ok, err := re.TD(h)
+	if err != nil || !ok || td.Uint64() != 77 {
+		t.Fatalf("TD after redo = %v %v %v", td, ok, err)
+	}
+	if ch, ok, _ := re.CanonHash(9); !ok || ch != h {
+		t.Fatal("redo did not finish the torn batch")
+	}
+	if re.walSeq != store.walSeq {
+		t.Fatalf("recovered walSeq %d, committed %d", re.walSeq, store.walSeq)
+	}
+}
+
+// TestWALTruncatesCorruptRecord: a bit-rotted WAL record is removed
+// during recovery, and the (fully applied) store still verifies.
+func TestWALTruncatesCorruptRecord(t *testing.T) {
+	kv := db.NewMemDB()
+	bc, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine(t, bc, 13)
+	slot := walSlotKey(bc.Store().walSeq % walSlots)
+	rec, ok, err := kv.Get(slot)
+	if err != nil || !ok {
+		t.Fatalf("no WAL record in the live slot: %v %v", ok, err)
+	}
+	rotted := append([]byte(nil), rec...)
+	rotted[len(rotted)/2] ^= 0x40
+	if err := kv.Put(slot, rotted); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(MainnetLikeConfig(), kv)
+	if err != nil {
+		t.Fatalf("Open with rotted WAL record: %v", err)
+	}
+	if re.Head().Hash() != bc.Head().Hash() {
+		t.Fatal("head changed although the data was fully applied")
+	}
+	if ok, _ := kv.Has(slot); ok {
+		t.Fatal("corrupt WAL record not truncated")
+	}
+}
+
+// TestDoubleFaultFallsBackToPreviousHead: the newest commit's batch tears
+// AND its WAL record rots. The commit is unrecoverable, but the store
+// must still open consistently at the previous head (the documented
+// data-loss-not-corruption semantics).
+func TestDoubleFaultFallsBackToPreviousHead(t *testing.T) {
+	inner := db.NewMemDB()
+	fkv := faultkv.Wrap(inner, faultkv.Faults{})
+	bc, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), fkv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine(t, bc, 13)
+	prevHead := bc.Head().Hash()
+
+	// Build block 2 by hand so the crash cannot land in BuildBlock.
+	blk, err := bc.BuildBlock(pool1, bc.Head().Header.Time+13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the WAL record write: crash right after it, tearing the whole
+	// data batch (offset past the state-trie batch, probed upward).
+	inserted := false
+	for off := uint64(1); off < 200; off++ {
+		snap := cloneMemDB(t, inner)
+		fkv.CrashAtWriteOp(fkv.WriteOps() + off)
+		err := bc.InsertBlock(blk)
+		fkv.Reopen()
+		if err == nil {
+			inserted = true
+			break
+		}
+		seq := bc.Store().walSeq
+		rec, ok, _ := inner.Get(walSlotKey(seq % walSlots))
+		if ok {
+			if gotSeq, _, derr := decodeWALRecord(rec); derr == nil && gotSeq == seq && seq >= 3 {
+				// The block's WAL record landed but its batch tore: the
+				// double-fault setup. Rot the record and recover.
+				rec[len(rec)-1] ^= 0x01
+				if err := inner.Put(walSlotKey(seq%walSlots), rec); err != nil {
+					t.Fatal(err)
+				}
+				re, err := Open(MainnetLikeConfig(), fkv)
+				if err != nil {
+					t.Fatalf("off %d: double fault made the store unopenable: %v", off, err)
+				}
+				if re.Head().Hash() != prevHead {
+					t.Fatalf("off %d: double fault recovered to %s, want previous head %s",
+						off, re.Head().Hash(), prevHead)
+				}
+				return
+			}
+		}
+		restoreMemDB(t, inner, snap)
+	}
+	if inserted {
+		t.Skip("no probed offset tore the data batch after the WAL record")
+	}
+	t.Fatal("never reached the commit point")
+}
+
+// TestVerifyHeadDetectsInconsistency: a manufactured store whose head
+// marker points at a missing block must surface ErrCorruptStore (the
+// resync fallback signal).
+func TestVerifyHeadDetectsInconsistency(t *testing.T) {
+	kv := db.NewMemDB()
+	if err := kv.Put(keyHead, types.HexToHash("0xdead").Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(kv)
+	if err := store.RecoverWAL(); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("RecoverWAL over inconsistent store = %v, want ErrCorruptStore", err)
+	}
+	if _, err := Open(MainnetLikeConfig(), kv); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("Open over inconsistent store = %v, want ErrCorruptStore", err)
+	}
+}
+
+// cloneMemDB snapshots every key of a MemDB.
+func cloneMemDB(t *testing.T, m *db.MemDB) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, k := range m.Keys() {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("clone read: %v %v", ok, err)
+		}
+		out[string(k)] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// restoreMemDB rewinds a MemDB to a snapshot.
+func restoreMemDB(t *testing.T, m *db.MemDB, snap map[string][]byte) {
+	t.Helper()
+	for _, k := range m.Keys() {
+		if _, ok := snap[string(k)]; !ok {
+			if err := m.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k, v := range snap {
+		if err := m.Put([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,11 @@ import (
 // to both the cache and the backend, so the backend is always complete —
 // the cache can be dropped or resized at any time without losing data.
 //
+// Errors never poison the cache: a write is cached only after the backend
+// accepted it, and a read that fails in the backend caches nothing, so a
+// store behind injected faults (see faultkv) stays coherent with its
+// cache across retries.
+//
 // For the in-memory backend the cache is a bench vehicle for measuring
 // locality (trie node reuse across commits); for future disk or remote
 // backends it is the layer that makes them viable.
@@ -51,7 +56,7 @@ func NewCache(backend KV, capacity int) *Cache {
 func (c *Cache) Backend() KV { return c.backend }
 
 // Get implements KV.
-func (c *Cache) Get(key []byte) ([]byte, bool) {
+func (c *Cache) Get(key []byte) ([]byte, bool, error) {
 	c.mu.Lock()
 	c.reads++
 	if el, ok := c.entries[string(key)]; ok {
@@ -59,42 +64,51 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 		c.order.MoveToFront(el)
 		v := el.Value.(*cacheEntry).value
 		c.mu.Unlock()
-		return v, true
+		return v, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
-	v, ok := c.backend.Get(key)
+	v, ok, err := c.backend.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
 	if ok {
 		c.mu.Lock()
 		c.insert(string(key), v)
 		c.mu.Unlock()
 	}
-	return v, ok
+	return v, ok, nil
 }
 
 // Has implements KV.
-func (c *Cache) Has(key []byte) bool {
+func (c *Cache) Has(key []byte) (bool, error) {
 	c.mu.Lock()
 	_, ok := c.entries[string(key)]
 	c.mu.Unlock()
 	if ok {
-		return true
+		return true, nil
 	}
 	return c.backend.Has(key)
 }
 
-// Put implements KV (write-through).
-func (c *Cache) Put(key, value []byte) {
+// Put implements KV (write-through; the cache is updated only after the
+// backend accepted the write).
+func (c *Cache) Put(key, value []byte) error {
+	if err := c.backend.Put(key, value); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	c.writes++
 	c.insert(string(key), value)
 	c.mu.Unlock()
-	c.backend.Put(key, value)
+	return nil
 }
 
-// Delete implements KV (write-through).
-func (c *Cache) Delete(key []byte) {
+// Delete implements KV (write-through). The cached entry is dropped even
+// when the backend errors: serving a value the backend may no longer hold
+// would be worse than a spurious miss.
+func (c *Cache) Delete(key []byte) error {
 	c.mu.Lock()
 	c.deletes++
 	if el, ok := c.entries[string(key)]; ok {
@@ -102,7 +116,7 @@ func (c *Cache) Delete(key []byte) {
 		delete(c.entries, string(key))
 	}
 	c.mu.Unlock()
-	c.backend.Delete(key)
+	return c.backend.Delete(key)
 }
 
 // insert adds or refreshes an entry, evicting the LRU tail past capacity.
@@ -122,8 +136,10 @@ func (c *Cache) insert(key string, value []byte) {
 }
 
 // NewBatch implements KV: the batch queues against the backend and
-// populates the cache on Write, so freshly committed nodes (which the next
-// block's execution immediately resolves) are warm.
+// populates the cache after a successful Write, so freshly committed nodes
+// (which the next block's execution immediately resolves) are warm. A
+// failed Write leaves the cache untouched — matching the backend, which
+// applied nothing (or, after a crash/tear, is about to be recovered).
 func (c *Cache) NewBatch() Batch { return &cacheBatch{cache: c, inner: c.backend.NewBatch()} }
 
 // Stats implements KV: the cache's own counters, with Entries reporting
@@ -160,8 +176,10 @@ func (b *cacheBatch) Delete(key []byte) {
 func (b *cacheBatch) Len() int       { return b.inner.Len() }
 func (b *cacheBatch) ValueSize() int { return b.inner.ValueSize() }
 
-func (b *cacheBatch) Write() {
-	b.inner.Write()
+func (b *cacheBatch) Write() error {
+	if err := b.inner.Write(); err != nil {
+		return err
+	}
 	c := b.cache
 	c.mu.Lock()
 	for _, op := range b.ops {
@@ -178,6 +196,7 @@ func (b *cacheBatch) Write() {
 	}
 	c.mu.Unlock()
 	b.ops = b.ops[:0]
+	return nil
 }
 
 func (b *cacheBatch) Reset() {

@@ -10,34 +10,55 @@
 // swapped (sharded memory today; disk, compression or remote stores later)
 // without touching the trie, state or chain layers.
 //
-// Two implementations ship in this package:
+// Every operation can fail: the interface models a real storage device,
+// not a map. The in-memory backends never return errors on their own, but
+// the faultkv sub-package wraps any KV with deterministic injected I/O
+// errors, torn batches, bit-rot and stalls, and the trie/state/chain
+// layers above are built to survive whatever this interface surfaces.
+// Transient failures (a retriable I/O hiccup) are distinguished from fatal
+// ones via IsTransient; the Retry wrapper turns bounded transience into
+// success so higher layers only ever see faults worth aborting over.
+//
+// Implementations shipping in this package:
 //
 //   - MemDB: a sharded, mutex-striped in-memory store (the default).
 //   - Cache: a write-through LRU wrapper that decorates any KV backend
 //     and tracks hit/miss statistics.
+//   - Retry: a policy wrapper that retries transient errors.
 //
 // All implementations are safe for concurrent use unless documented
 // otherwise (see NewEphemeral).
 package db
+
+import "errors"
+
+// ErrCorrupt reports a stored record that failed an integrity check
+// (checksum mismatch, undecodable payload). It is never transient:
+// callers fall back to re-import or resync.
+var ErrCorrupt = errors.New("db: corrupt record")
 
 // KV is the storage interface. Keys and values are arbitrary byte strings;
 // implementations must not retain or mutate the caller's key slice after a
 // call returns, and callers must not mutate a returned value (it may alias
 // the store's copy).
 type KV interface {
-	// Get returns the value stored under key and whether it exists.
-	Get(key []byte) ([]byte, bool)
+	// Get returns the value stored under key and whether it exists. A
+	// non-nil error means the read itself failed (the existence of the
+	// key is then unknown).
+	Get(key []byte) ([]byte, bool, error)
 	// Put stores value under key, replacing any previous value.
-	Put(key, value []byte)
+	Put(key, value []byte) error
 	// Has reports whether key exists without counting as a data read in
 	// hit/miss statistics.
-	Has(key []byte) bool
+	Has(key []byte) (bool, error)
 	// Delete removes key. Deleting an absent key is a no-op.
-	Delete(key []byte)
+	Delete(key []byte) error
 	// NewBatch returns an empty write batch whose Write applies every
-	// queued operation atomically with respect to concurrent readers of
-	// a single key (per-shard locking; cross-shard readers may observe a
-	// partially applied batch, which is fine for content-addressed data).
+	// queued operation atomically: either all operations land or none do
+	// (a Write that returns a transient error must leave the store
+	// untouched). Only a crashed/torn device — see faultkv — may expose
+	// a partially applied batch, which is exactly what the chain WAL
+	// recovers from.
 	NewBatch() Batch
 	// Stats returns a snapshot of the store's counters.
 	Stats() Stats
@@ -56,10 +77,26 @@ type Batch interface {
 	// heuristics in future disk backends).
 	ValueSize() int
 	// Write applies every queued operation to the backing store and
-	// resets the batch for reuse.
-	Write()
+	// resets the batch for reuse. On error nothing was applied, except
+	// when the error is a crash/tear (faultkv), after which the store
+	// must be reopened and recovered before further use.
+	Write() error
 	// Reset drops all queued operations.
 	Reset()
+}
+
+// transientError is implemented by errors that are worth retrying (the
+// storage equivalent of EINTR). faultkv's injected I/O errors implement
+// it; crashes and corruption do not.
+type transientError interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err (or anything it wraps) marks itself as
+// a retriable storage fault.
+func IsTransient(err error) bool {
+	var te transientError
+	return errors.As(err, &te) && te.Transient()
 }
 
 // Stats is a snapshot of a store's activity counters. Reads and writes

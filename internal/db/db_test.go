@@ -22,23 +22,23 @@ func TestKVBasicOps(t *testing.T) {
 	for name, mk := range backends() {
 		t.Run(name, func(t *testing.T) {
 			kv := mk()
-			if _, ok := kv.Get([]byte("absent")); ok {
+			if _, ok, _ := kv.Get([]byte("absent")); ok {
 				t.Error("Get on empty store returned ok")
 			}
 			kv.Put([]byte("k1"), []byte("v1"))
 			kv.Put([]byte("k2"), []byte("v2"))
-			if v, ok := kv.Get([]byte("k1")); !ok || !bytes.Equal(v, []byte("v1")) {
+			if v, ok, _ := kv.Get([]byte("k1")); !ok || !bytes.Equal(v, []byte("v1")) {
 				t.Errorf("Get k1 = %q, %v", v, ok)
 			}
-			if !kv.Has([]byte("k2")) {
+			if ok, _ := kv.Has([]byte("k2")); !ok {
 				t.Error("Has k2 = false")
 			}
 			kv.Put([]byte("k1"), []byte("v1b")) // overwrite
-			if v, _ := kv.Get([]byte("k1")); !bytes.Equal(v, []byte("v1b")) {
+			if v, _, _ := kv.Get([]byte("k1")); !bytes.Equal(v, []byte("v1b")) {
 				t.Errorf("overwrite lost: %q", v)
 			}
 			kv.Delete([]byte("k2"))
-			if kv.Has([]byte("k2")) {
+			if ok, _ := kv.Has([]byte("k2")); ok {
 				t.Error("Has after Delete = true")
 			}
 			kv.Delete([]byte("never-existed")) // no-op must not panic
@@ -62,20 +62,20 @@ func TestKVBatchAppliesAtomically(t *testing.T) {
 				t.Errorf("Len = %d, want 102", b.Len())
 			}
 			// Nothing visible before Write.
-			if kv.Has([]byte("key050")) {
+			if ok, _ := kv.Has([]byte("key050")); ok {
 				t.Error("batched key visible before Write")
 			}
 			b.Write()
 			for i := 1; i < 100; i++ {
 				want := []byte(fmt.Sprintf("val%03d", i))
-				if v, ok := kv.Get([]byte(fmt.Sprintf("key%03d", i))); !ok || !bytes.Equal(v, want) {
+				if v, ok, _ := kv.Get([]byte(fmt.Sprintf("key%03d", i))); !ok || !bytes.Equal(v, want) {
 					t.Fatalf("key%03d = %q, %v", i, v, ok)
 				}
 			}
-			if v, _ := kv.Get([]byte("key000")); !bytes.Equal(v, []byte("winner")) {
+			if v, _, _ := kv.Get([]byte("key000")); !bytes.Equal(v, []byte("winner")) {
 				t.Errorf("in-batch overwrite order violated: %q", v)
 			}
-			if kv.Has([]byte("stale")) {
+			if ok, _ := kv.Has([]byte("stale")); ok {
 				t.Error("batched delete not applied")
 			}
 			if b.Len() != 0 {
@@ -113,20 +113,20 @@ func TestCacheWriteThroughAndEviction(t *testing.T) {
 	if s := c.Stats(); s.Entries != 2 {
 		t.Errorf("cache entries = %d, want 2", s.Entries)
 	}
-	if v, ok := back.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+	if v, ok, _ := back.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
 		t.Fatal("write-through lost evicted key in backend")
 	}
 	// Reading the evicted key misses the cache, hits the backend, and
 	// re-populates.
 	pre := c.Stats()
-	if v, ok := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+	if v, ok, _ := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
 		t.Fatal("Get through cache failed")
 	}
 	post := c.Stats()
 	if post.Misses != pre.Misses+1 {
 		t.Errorf("expected one miss, stats %+v -> %+v", pre, post)
 	}
-	if v, ok := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
+	if v, ok, _ := c.Get([]byte("a")); !ok || !bytes.Equal(v, []byte("1")) {
 		t.Fatal("re-read failed")
 	}
 	if s := c.Stats(); s.Hits != post.Hits+1 {
@@ -140,7 +140,7 @@ func TestCacheBatchWarmsCache(t *testing.T) {
 	b.Put([]byte("n1"), []byte("x"))
 	b.Write()
 	pre := c.Stats()
-	if v, ok := c.Get([]byte("n1")); !ok || !bytes.Equal(v, []byte("x")) {
+	if v, ok, _ := c.Get([]byte("n1")); !ok || !bytes.Equal(v, []byte("x")) {
 		t.Fatal("batched key unreadable")
 	}
 	if s := c.Stats(); s.Hits != pre.Hits+1 {
@@ -152,10 +152,10 @@ func TestCacheDeleteEvicts(t *testing.T) {
 	c := NewCache(NewMemDB(), 8)
 	c.Put([]byte("k"), []byte("v"))
 	c.Delete([]byte("k"))
-	if c.Has([]byte("k")) {
+	if ok, _ := c.Has([]byte("k")); ok {
 		t.Error("deleted key still visible")
 	}
-	if _, ok := c.Get([]byte("k")); ok {
+	if _, ok, _ := c.Get([]byte("k")); ok {
 		t.Error("deleted key readable")
 	}
 }
@@ -227,7 +227,7 @@ func TestConcurrentAccess(t *testing.T) {
 			// i/2 < keys for every deleted index).
 			for w := 0; w < writers; w++ {
 				key := []byte(fmt.Sprintf("w%d-k%d", w, keys-1))
-				if !kv.Has(key) {
+				if ok, _ := kv.Has(key); !ok {
 					t.Errorf("writer %d's final key missing", w)
 				}
 			}

@@ -1,0 +1,75 @@
+package faultkv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a comma-separated key=value storage-fault
+// specification, the format behind cmd/forksim's -storage-faults flag:
+//
+//	seed=42,readerr=0.2,writeerr=0.2,torn=0.01,corrupt=0.001,stallevery=1000,stall=1ms
+//
+// Keys: seed (int), readerr/writeerr/torn/corrupt (probabilities in
+// [0,1]), stallevery (operations between stalls, 0 = never), stall
+// (duration). Unknown keys are rejected.
+func ParseSpec(spec string) (Faults, error) {
+	var f Faults
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return f, fmt.Errorf("faultkv: bad spec element %q (want key=value)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "readerr":
+			f.ReadErrRate, err = parseRate(val)
+		case "writeerr":
+			f.WriteErrRate, err = parseRate(val)
+		case "torn":
+			f.TornBatchRate, err = parseRate(val)
+		case "corrupt":
+			f.CorruptRate, err = parseRate(val)
+		case "stallevery":
+			f.StallEvery, err = strconv.Atoi(val)
+		case "stall":
+			f.Stall, err = time.ParseDuration(val)
+		default:
+			return f, fmt.Errorf("faultkv: unknown spec key %q", key)
+		}
+		if err != nil {
+			return f, fmt.Errorf("faultkv: bad value for %s: %v", key, err)
+		}
+	}
+	return f, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", r)
+	}
+	return r, nil
+}
+
+// String summarises the plan for logs.
+func (f Faults) String() string {
+	return fmt.Sprintf("seed=%d readerr=%.3f writeerr=%.3f torn=%.4f corrupt=%.4f stallevery=%d stall=%v",
+		f.Seed, f.ReadErrRate, f.WriteErrRate, f.TornBatchRate, f.CorruptRate, f.StallEvery, f.Stall)
+}

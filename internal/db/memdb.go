@@ -1,6 +1,7 @@
 package db
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -14,9 +15,20 @@ const DefaultShards = 16
 // backend. Keys are striped over shards by a byte-mix of the key, so
 // concurrent committers and readers (one chain writing state while p2p
 // peers serve historical nodes) contend only per shard.
+//
+// MemDB itself never fails, but it honours an optional write guard (see
+// SetWriteGuard) so fault-injection harnesses can make individual writes
+// fail. Batch writes are all-or-nothing even then: every queued operation
+// is checked against the guard while the involved shards are locked, and
+// the store is mutated only after the whole batch has passed.
 type MemDB struct {
 	shards []memShard
 	mask   uint32
+
+	// guard, when set, can veto individual writes (fault-injection seam;
+	// see SetWriteGuard). Accessed under guardMu.
+	guardMu sync.RWMutex
+	guard   WriteGuard
 
 	reads   atomic.Uint64
 	writes  atomic.Uint64
@@ -24,6 +36,12 @@ type MemDB struct {
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 }
+
+// WriteGuard inspects one pending write (del reports a deletion). A
+// non-nil return vetoes the write: single Puts/Deletes fail without
+// mutating the store, and a batch containing any vetoed operation fails
+// without applying anything.
+type WriteGuard func(key []byte, value []byte, del bool) error
 
 type memShard struct {
 	mu sync.RWMutex
@@ -48,19 +66,43 @@ func NewMemDBShards(n int) *MemDB {
 	return db
 }
 
-// shardFor mixes the key into a shard index. Keys here are nearly always
+// SetWriteGuard installs (or, with nil, removes) a write veto hook. This
+// is the fault-injection seam tests and chaos harnesses use to make an
+// in-memory store behave like a failing device; production callers never
+// set it.
+func (db *MemDB) SetWriteGuard(g WriteGuard) {
+	db.guardMu.Lock()
+	db.guard = g
+	db.guardMu.Unlock()
+}
+
+func (db *MemDB) checkGuard(key string, value []byte, del bool) error {
+	db.guardMu.RLock()
+	g := db.guard
+	db.guardMu.RUnlock()
+	if g == nil {
+		return nil
+	}
+	return g([]byte(key), value, del)
+}
+
+// shardIndex mixes the key into a shard index. Keys here are nearly always
 // keccak digests (or short prefixed digests), so a cheap FNV-1a over the
 // first bytes distributes uniformly.
-func (db *MemDB) shardFor(key []byte) *memShard {
+func (db *MemDB) shardIndex(key []byte) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key) && i < 8; i++ {
 		h = (h ^ uint32(key[i])) * 16777619
 	}
-	return &db.shards[h&db.mask]
+	return h & db.mask
+}
+
+func (db *MemDB) shardFor(key []byte) *memShard {
+	return &db.shards[db.shardIndex(key)]
 }
 
 // Get implements KV.
-func (db *MemDB) Get(key []byte) ([]byte, bool) {
+func (db *MemDB) Get(key []byte) ([]byte, bool, error) {
 	db.reads.Add(1)
 	s := db.shardFor(key)
 	s.mu.RLock()
@@ -71,34 +113,42 @@ func (db *MemDB) Get(key []byte) ([]byte, bool) {
 	} else {
 		db.misses.Add(1)
 	}
-	return v, ok
+	return v, ok, nil
 }
 
 // Has implements KV.
-func (db *MemDB) Has(key []byte) bool {
+func (db *MemDB) Has(key []byte) (bool, error) {
 	s := db.shardFor(key)
 	s.mu.RLock()
 	_, ok := s.m[string(key)]
 	s.mu.RUnlock()
-	return ok
+	return ok, nil
 }
 
 // Put implements KV.
-func (db *MemDB) Put(key, value []byte) {
+func (db *MemDB) Put(key, value []byte) error {
+	if err := db.checkGuard(string(key), value, false); err != nil {
+		return err
+	}
 	db.writes.Add(1)
 	s := db.shardFor(key)
 	s.mu.Lock()
 	s.m[string(key)] = value
 	s.mu.Unlock()
+	return nil
 }
 
 // Delete implements KV.
-func (db *MemDB) Delete(key []byte) {
+func (db *MemDB) Delete(key []byte) error {
+	if err := db.checkGuard(string(key), nil, true); err != nil {
+		return err
+	}
 	db.deletes.Add(1)
 	s := db.shardFor(key)
 	s.mu.Lock()
 	delete(s.m, string(key))
 	s.mu.Unlock()
+	return nil
 }
 
 // NewBatch implements KV.
@@ -152,8 +202,12 @@ type batchOp struct {
 	del   bool
 }
 
-// memBatch queues writes against a MemDB, applying them shard-grouped
-// under each shard's write lock.
+// memBatch queues writes against a MemDB. Write is all-or-nothing: it
+// locks every involved shard (in index order, so concurrent batches never
+// deadlock), validates the whole batch against the write guard, and only
+// then mutates — a veto anywhere leaves the store byte-identical.
+// Holding all involved shard locks for the apply also means concurrent
+// readers never observe a partially applied batch, even across shards.
 type memBatch struct {
 	db   *MemDB
 	ops  []batchOp
@@ -177,31 +231,55 @@ func (b *memBatch) Len() int { return len(b.ops) }
 // ValueSize implements Batch.
 func (b *memBatch) ValueSize() int { return b.size }
 
-// Write implements Batch: applies operations grouped by shard so each
-// shard's lock is taken once per batch.
-func (b *memBatch) Write() {
+// Write implements Batch: stage, validate, then swap.
+func (b *memBatch) Write() error {
 	db := b.db
-	// Group ops per shard index, preserving in-shard order (a later Put
-	// of the same key must win).
-	groups := make(map[*memShard][]batchOp)
+
+	// Stage: which shards does this batch touch?
+	touched := make(map[uint32]bool)
+	for _, op := range b.ops {
+		touched[db.shardIndex([]byte(op.key))] = true
+	}
+	indices := make([]uint32, 0, len(touched))
+	for idx := range touched {
+		indices = append(indices, idx)
+	}
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+
+	// Lock every involved shard in index order (total order prevents
+	// deadlock against concurrent batches).
+	for _, idx := range indices {
+		db.shards[idx].mu.Lock()
+	}
+	unlock := func() {
+		for _, idx := range indices {
+			db.shards[idx].mu.Unlock()
+		}
+	}
+
+	// Validate the whole batch before touching anything: a veto on the
+	// last operation must leave the first unwritten.
+	for _, op := range b.ops {
+		if err := db.checkGuard(op.key, op.value, op.del); err != nil {
+			unlock()
+			return err
+		}
+	}
+
+	// Swap: apply in queue order (a later Put of the same key wins).
 	for _, op := range b.ops {
 		s := db.shardFor([]byte(op.key))
-		groups[s] = append(groups[s], op)
-	}
-	for s, ops := range groups {
-		s.mu.Lock()
-		for _, op := range ops {
-			if op.del {
-				db.deletes.Add(1)
-				delete(s.m, op.key)
-			} else {
-				db.writes.Add(1)
-				s.m[op.key] = op.value
-			}
+		if op.del {
+			db.deletes.Add(1)
+			delete(s.m, op.key)
+		} else {
+			db.writes.Add(1)
+			s.m[op.key] = op.value
 		}
-		s.mu.Unlock()
 	}
+	unlock()
 	b.Reset()
+	return nil
 }
 
 // Reset implements Batch.
@@ -220,12 +298,15 @@ type ephemeralKV map[string][]byte
 // stack.
 func NewEphemeral() KV { return make(ephemeralKV) }
 
-func (e ephemeralKV) Get(key []byte) ([]byte, bool) { v, ok := e[string(key)]; return v, ok }
-func (e ephemeralKV) Has(key []byte) bool           { _, ok := e[string(key)]; return ok }
-func (e ephemeralKV) Put(key, value []byte)         { e[string(key)] = value }
-func (e ephemeralKV) Delete(key []byte)             { delete(e, string(key)) }
-func (e ephemeralKV) Stats() Stats                  { return Stats{Entries: len(e)} }
-func (e ephemeralKV) NewBatch() Batch               { return &ephemeralBatch{kv: e} }
+func (e ephemeralKV) Get(key []byte) ([]byte, bool, error) {
+	v, ok := e[string(key)]
+	return v, ok, nil
+}
+func (e ephemeralKV) Has(key []byte) (bool, error) { _, ok := e[string(key)]; return ok, nil }
+func (e ephemeralKV) Put(key, value []byte) error  { e[string(key)] = value; return nil }
+func (e ephemeralKV) Delete(key []byte) error      { delete(e, string(key)); return nil }
+func (e ephemeralKV) Stats() Stats                 { return Stats{Entries: len(e)} }
+func (e ephemeralKV) NewBatch() Batch              { return &ephemeralBatch{kv: e} }
 
 type ephemeralBatch struct {
 	kv   ephemeralKV
@@ -245,7 +326,7 @@ func (b *ephemeralBatch) Delete(key []byte) {
 func (b *ephemeralBatch) Len() int       { return len(b.ops) }
 func (b *ephemeralBatch) ValueSize() int { return b.size }
 
-func (b *ephemeralBatch) Write() {
+func (b *ephemeralBatch) Write() error {
 	for _, op := range b.ops {
 		if op.del {
 			delete(b.kv, op.key)
@@ -254,6 +335,7 @@ func (b *ephemeralBatch) Write() {
 		}
 	}
 	b.Reset()
+	return nil
 }
 
 func (b *ephemeralBatch) Reset() {

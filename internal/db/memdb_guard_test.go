@@ -1,0 +1,114 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+)
+
+// snapshot flattens a MemDB into a sorted key=value list for comparison.
+func snapshot(t *testing.T, m *MemDB) []string {
+	t.Helper()
+	var out []string
+	for _, k := range m.Keys() {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("snapshot read %q: %v %v", k, ok, err)
+		}
+		out = append(out, string(k)+"="+string(v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestWriteGuardVetoesSingleWrites(t *testing.T) {
+	m := NewMemDB()
+	boom := errors.New("vetoed")
+	m.SetWriteGuard(func(key, value []byte, del bool) error {
+		if bytes.HasPrefix(key, []byte("no-")) {
+			return boom
+		}
+		return nil
+	})
+	if err := m.Put([]byte("ok"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put([]byte("no-1"), []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("guarded Put returned %v", err)
+	}
+	if ok, _ := m.Has([]byte("no-1")); ok {
+		t.Fatal("vetoed Put mutated the store")
+	}
+	if err := m.Delete([]byte("no-2")); !errors.Is(err, boom) {
+		t.Fatalf("guarded Delete returned %v", err)
+	}
+	m.SetWriteGuard(nil)
+	if err := m.Put([]byte("no-1"), []byte("x")); err != nil {
+		t.Fatalf("Put after guard removal: %v", err)
+	}
+}
+
+// TestBatchAllOrNothingUnderGuard is the regression test for torn MemDB
+// batches: a veto landing on ANY operation of a batch — first, middle or
+// last — must leave the store byte-identical to its pre-batch state.
+func TestBatchAllOrNothingUnderGuard(t *testing.T) {
+	for _, vetoIdx := range []int{0, 3, 7} {
+		m := NewMemDB()
+		if err := m.Put([]byte("pre"), []byte("existing")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Put([]byte("victim"), []byte("keep-me")); err != nil {
+			t.Fatal(err)
+		}
+		before := snapshot(t, m)
+
+		boom := errors.New("injected batch failure")
+		seen := 0
+		m.SetWriteGuard(func(key, value []byte, del bool) error {
+			if seen == vetoIdx {
+				seen++
+				return boom
+			}
+			seen++
+			return nil
+		})
+
+		b := m.NewBatch()
+		for i := 0; i < 7; i++ {
+			b.Put([]byte{'k', byte(i)}, []byte{byte(i)})
+		}
+		b.Delete([]byte("victim")) // op 7
+		if err := b.Write(); !errors.Is(err, boom) {
+			t.Fatalf("veto at %d: Write returned %v, want injected failure", vetoIdx, err)
+		}
+
+		m.SetWriteGuard(nil)
+		if after := snapshot(t, m); !equalStrings(before, after) {
+			t.Fatalf("veto at %d: store changed across failed batch:\nbefore %v\nafter  %v", vetoIdx, before, after)
+		}
+		// The batch still holds its operations (Reset only on success), so
+		// a retry after the fault clears applies everything.
+		if err := b.Write(); err != nil {
+			t.Fatalf("veto at %d: retry after guard removal: %v", vetoIdx, err)
+		}
+		if ok, _ := m.Has([]byte("victim")); ok {
+			t.Fatalf("veto at %d: retried batch did not apply the delete", vetoIdx)
+		}
+		if v, ok, _ := m.Get([]byte{'k', 6}); !ok || v[0] != 6 {
+			t.Fatalf("veto at %d: retried batch did not apply the puts", vetoIdx)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -222,7 +222,7 @@ func FromBlockchain(name string, bc *chain.Blockchain) ([]BlockRow, []TxRow) {
 			Coinbase:   b.Header.Coinbase,
 			TxCount:    len(b.Txs),
 		})
-		receipts, _ := bc.Receipts(b.Hash())
+		receipts, _, _ := bc.Receipts(b.Hash())
 		for i, tx := range b.Txs {
 			row := TxRow{
 				Chain:       name,
@@ -247,22 +247,34 @@ func FromBlockchain(name string, bc *chain.Blockchain) ([]BlockRow, []TxRow) {
 // offline counterpart of FromBlockchain, needing no live Blockchain (or
 // its in-memory caches), only the store.
 func FromStore(name string, st *chain.Store) ([]BlockRow, []TxRow, error) {
-	headHash, ok := st.Head()
+	headHash, ok, err := st.Head()
+	if err != nil {
+		return nil, nil, fmt.Errorf("export: reading head marker: %w", err)
+	}
 	if !ok {
 		return nil, nil, fmt.Errorf("export: store has no head marker")
 	}
-	head, ok := st.Block(headHash)
+	head, ok, err := st.Block(headHash)
+	if err != nil {
+		return nil, nil, fmt.Errorf("export: reading head block: %w", err)
+	}
 	if !ok {
 		return nil, nil, fmt.Errorf("export: head block %s missing from store", headHash)
 	}
 	var blocks []BlockRow
 	var txs []TxRow
 	for n := uint64(1); n <= head.Number(); n++ {
-		h, ok := st.CanonHash(n)
+		h, ok, err := st.CanonHash(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("export: reading canon index %d: %w", n, err)
+		}
 		if !ok {
 			continue
 		}
-		b, ok := st.Block(h)
+		b, ok, err := st.Block(h)
+		if err != nil {
+			return nil, nil, fmt.Errorf("export: reading canonical block %d: %w", n, err)
+		}
 		if !ok {
 			return nil, nil, fmt.Errorf("export: canonical block %d (%s) missing from store", n, h)
 		}
@@ -275,7 +287,10 @@ func FromStore(name string, st *chain.Store) ([]BlockRow, []TxRow, error) {
 			Coinbase:   b.Header.Coinbase,
 			TxCount:    len(b.Txs),
 		})
-		receipts, _ := st.Receipts(h)
+		receipts, _, err := st.Receipts(h)
+		if err != nil {
+			return nil, nil, fmt.Errorf("export: reading receipts of block %d: %w", n, err)
+		}
 		for i, tx := range b.Txs {
 			row := TxRow{
 				Chain:       name,

@@ -26,3 +26,58 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodePrefix exercises the streaming entry point: it must never
+// panic, a successful decode must consume a prefix that re-encodes to
+// itself, and the typed accessors must return errors — not panic — on
+// whatever shape comes back.
+func FuzzDecodePrefix(f *testing.F) {
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xc0, 0xc0})
+	f.Add([]byte{0x83, 'd', 'o', 'g', 0xff})
+	f.Add([]byte{0xf8, 0x01, 0x00})
+	f.Add([]byte{0xb8, 0x38, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := DecodePrefix(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest longer than input: %d > %d", len(rest), len(data))
+		}
+		consumed := data[:len(data)-len(rest)]
+		if re := Encode(v); !bytes.Equal(re, consumed) {
+			t.Fatalf("prefix not canonical: consumed %x, re-encoded %x", consumed, re)
+		}
+		// Accessors must never panic, whatever the decoded shape.
+		v.AsBytes()
+		v.AsUint()
+		v.AsBigInt()
+		v.AsBool()
+		v.AsList()
+		v.ListOf(3)
+	})
+}
+
+// FuzzEncodeRoundTrip drives the encoder with structured inputs: any
+// Value we can build must encode to bytes that decode back to an equal
+// Value. Nesting depth is derived from the input so lists get covered.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte("dog"), uint64(0), 0)
+	f.Add([]byte{}, uint64(1), 2)
+	f.Add([]byte{0x80, 0xc0}, uint64(1<<40), 5)
+	f.Fuzz(func(t *testing.T, blob []byte, n uint64, depth int) {
+		v := List(Bytes(blob), Uint(n))
+		for i := 0; i < depth%8; i++ {
+			v = List(v, Uint(uint64(i)))
+		}
+		enc := Encode(v)
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v (enc %x)", err, enc)
+		}
+		if re := Encode(back); !bytes.Equal(re, enc) {
+			t.Fatalf("round trip not stable: %x -> %x", enc, re)
+		}
+	})
+}

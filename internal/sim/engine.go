@@ -9,6 +9,7 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/db"
+	"forkwatch/internal/db/faultkv"
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
 	"forkwatch/internal/pow"
@@ -67,6 +68,25 @@ type Engine struct {
 
 	// pending carries unmined submissions across days, per chain.
 	pending map[string][]txPlan
+
+	// storage tracks each full-fidelity chain's storage stack for fault
+	// injection and crash recovery; empty in ModeFast.
+	storage map[string]*chainStorage
+	// firedCrashes marks scheduled crash specs that have been armed.
+	firedCrashes map[int]bool
+}
+
+// chainStorage is one chain's storage stack: the KV the Blockchain uses
+// (retry-wrapped when faults are on), the fault injector inside it, and
+// whether the store has died beyond recovery.
+type chainStorage struct {
+	cfg    *chain.Config
+	kv     db.KV
+	faults *faultkv.KV // nil when no injection is configured
+	// dead marks a store WAL recovery could not repair. The chain stops
+	// mining — the partition behaves as if its miners departed — while
+	// day events keep flowing.
+	dead bool
 }
 
 // New builds an engine (ledgers, workload, pools, prices) from a scenario.
@@ -79,18 +99,40 @@ func New(sc *Scenario) (*Engine, error) {
 	etcCfg := chain.ETCConfig(1)
 
 	var eth, etc Ledger
+	storage := map[string]*chainStorage{}
 	switch sc.Mode {
 	case ModeFast:
 		eth = NewFastLedger(ethCfg, gen)
 		etc = NewFastLedger(etcCfg, gen)
 	case ModeFull:
 		// Each chain gets its own store opened from the same config:
-		// partitions never share storage, only gossip.
-		ethKV, err := db.Open(sc.Storage)
+		// partitions never share storage, only gossip. When the scenario
+		// injects storage faults or crashes, the stack per chain is
+		// backend -> faultkv (injection) -> retry (transient absorption),
+		// with injection held off until after the genesis bootstrap.
+		mkStack := func(seedOff int64) (db.KV, *faultkv.KV, error) {
+			kv, err := db.Open(sc.Storage)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !sc.StorageFaults.Enabled() && len(sc.Crashes) == 0 {
+				return kv, nil, nil
+			}
+			f := sc.StorageFaults
+			f.Seed += seedOff // decorrelate the two chains' fault streams
+			fkv := faultkv.Wrap(kv, f)
+			fkv.SetEnabled(false)
+			attempts := sc.StorageRetryAttempts
+			if attempts <= 0 {
+				attempts = db.DefaultRetryAttempts
+			}
+			return db.NewRetry(fkv, attempts), fkv, nil
+		}
+		ethKV, ethF, err := mkStack(0)
 		if err != nil {
 			return nil, err
 		}
-		etcKV, err := db.Open(sc.Storage)
+		etcKV, etcF, err := mkStack(1)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +144,14 @@ func New(sc *Scenario) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ethF != nil {
+			ethF.SetEnabled(true)
+		}
+		if etcF != nil {
+			etcF.SetEnabled(true)
+		}
+		storage["ETH"] = &chainStorage{cfg: ethCfg, kv: ethKV, faults: ethF}
+		storage["ETC"] = &chainStorage{cfg: etcCfg, kv: etcKV, faults: etcF}
 	default:
 		return nil, fmt.Errorf("sim: unknown mode %d", sc.Mode)
 	}
@@ -113,17 +163,19 @@ func New(sc *Scenario) (*Engine, error) {
 	prices := market.GeneratePrices(mp, rand.New(rand.NewSource(sc.Seed+4)))
 
 	return &Engine{
-		sc:       sc,
-		r:        r,
-		sampler:  pow.NewSampler(rand.New(rand.NewSource(sc.Seed + 5))),
-		ETH:      eth,
-		ETC:      etc,
-		Workload: w,
-		ethPools: pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
-		etcPools: pool.NewUniformPopulation("etc", sc.ETCPools),
-		Prices:   prices,
-		ethShare: 1 - sc.ETCShareAtFork,
-		pending:  map[string][]txPlan{},
+		sc:           sc,
+		r:            r,
+		sampler:      pow.NewSampler(rand.New(rand.NewSource(sc.Seed + 5))),
+		ETH:          eth,
+		ETC:          etc,
+		Workload:     w,
+		ethPools:     pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
+		etcPools:     pool.NewUniformPopulation("etc", sc.ETCPools),
+		Prices:       prices,
+		ethShare:     1 - sc.ETCShareAtFork,
+		pending:      map[string][]txPlan{},
+		storage:      storage,
+		firedCrashes: map[int]bool{},
 	}, nil
 }
 
@@ -141,6 +193,31 @@ func (e *Engine) StorageStats() db.Stats {
 		s = s.Add(fl.BC.StorageStats())
 	}
 	return s
+}
+
+// CrashesFired reports how many scheduled CrashSpecs have been armed so
+// far; chaos tests assert the crash path was actually exercised.
+func (e *Engine) CrashesFired() int {
+	n := 0
+	for _, fired := range e.firedCrashes {
+		if fired {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageFaultEvents reports how many storage faults (injected errors,
+// torn batches, crashes, reopens) the chains' stores have logged.
+// Zero when no StorageFaults are configured or in ModeFast.
+func (e *Engine) StorageFaultEvents() int {
+	n := 0
+	for _, stg := range e.storage {
+		if stg.faults != nil {
+			n += len(stg.faults.Journal())
+		}
+	}
+	return n
 }
 
 // Run simulates sc.Days days. Day 0 begins at the fork moment: the two
@@ -213,6 +290,51 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// recoverMine handles a MineBlock failure on a chain wired for storage
+// faults. If the store crashed (torn batch or scheduled kill), it models
+// the node restarting: reopen the medium, run WAL recovery via
+// chain.Open, and either adopt the in-flight block — it reached its WAL
+// commit point before the tear — or re-mine it with identical inputs,
+// which deterministically reproduces the same block, so downstream
+// figures are unaffected by the crash. A store that recovery reports as
+// corrupt beyond repair retires the chain (dead=true): the partition
+// loses its miners for the rest of the run, day events keep flowing.
+//
+// Returns the included transactions, whether a block was produced, and
+// a fatal error. Errors that are not storage crashes surface unchanged.
+func (e *Engine) recoverMine(led Ledger, stg *chainStorage, mineErr error, t uint64, coinbase types.Address, txs []*chain.Transaction) ([]*chain.Transaction, bool, error) {
+	fl, isFull := led.(*FullLedger)
+	if stg == nil || stg.faults == nil || !isFull || !stg.faults.Crashed() {
+		return nil, false, mineErr
+	}
+	preHead := fl.HeadNumber() // memory never advances past the last durable commit
+	const maxRestarts = 3      // random faults can crash the retry too
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		stg.faults.Reopen()
+		bc, err := chain.Open(stg.cfg, stg.kv)
+		if err != nil {
+			stg.dead = true
+			return nil, false, nil
+		}
+		fl.BC = bc
+		if bc.Head().Number() == preHead+1 {
+			// The in-flight block committed durably before the crash;
+			// recovery finished applying it. Adopt it instead of
+			// re-mining: its transactions are the included set.
+			return bc.Head().Txs, true, nil
+		}
+		included, err := fl.MineBlock(t, coinbase, txs)
+		if err == nil {
+			return included, true, nil
+		}
+		if !stg.faults.Crashed() {
+			return nil, false, err
+		}
+	}
+	stg.dead = true
+	return nil, false, nil
+}
+
 func (e *Engine) enqueue(chainName string, plans []txPlan) {
 	e.pending[chainName] = append(e.pending[chainName], plans...)
 	sort.SliceStable(e.pending[chainName], func(i, j int) bool {
@@ -224,6 +346,10 @@ func (e *Engine) enqueue(chainName string, plans []txPlan) {
 // sampling block intervals from the difficulty/hashrate process and
 // including pending transactions as their submission times pass.
 func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64, pools *pool.Population) error {
+	stg := e.storage[chainName]
+	if stg != nil && stg.dead {
+		return nil // storage died beyond recovery: the chain's miners departed
+	}
 	dayStart := e.sc.Epoch + uint64(day)*e.sc.DayLength
 	dayEnd := dayStart + e.sc.DayLength
 	t := led.HeadTime()
@@ -231,6 +357,7 @@ func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64
 		t = dayStart
 	}
 	weights := pools.Weights()
+	blockIdx := 0
 
 	for {
 		interval := e.sampler.BlockInterval(led.HeadDifficulty(), hashrate)
@@ -259,11 +386,30 @@ func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64
 			coinbase = pools.Pools[winner].Address
 		}
 
+		// A scheduled crash for this block arms the injector so the store
+		// dies mid-commit; recovery below reopens and resumes.
+		if stg != nil && stg.faults != nil {
+			for i, cs := range e.sc.Crashes {
+				if !e.firedCrashes[i] && cs.Chain == chainName && cs.Day == day && cs.Block == blockIdx {
+					e.firedCrashes[i] = true
+					stg.faults.CrashAtWriteOp(stg.faults.WriteOps() + 1 + cs.Op)
+				}
+			}
+		}
+
 		parentTime := led.HeadTime()
 		included, err := led.MineBlock(t, coinbase, txs)
 		if err != nil {
-			return fmt.Errorf("sim: mining %s day %d: %w", chainName, day, err)
+			var mined bool
+			included, mined, err = e.recoverMine(led, stg, err, t, coinbase, txs)
+			if err != nil {
+				return fmt.Errorf("sim: mining %s day %d: %w", chainName, day, err)
+			}
+			if !mined {
+				return nil // chain retired (unrecoverable storage)
+			}
 		}
+		blockIdx++
 		e.Workload.ObserveMined(chainName, included)
 
 		if len(e.observers) > 0 {

@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/big"
+	"strconv"
+	"strings"
 
 	"forkwatch/internal/db"
+	"forkwatch/internal/db/faultkv"
 	"forkwatch/internal/market"
 	"forkwatch/internal/types"
 )
@@ -43,6 +47,21 @@ type Scenario struct {
 	// the default sharded in-memory store; ModeFast keeps no chain
 	// storage and ignores it.
 	Storage db.Config
+	// StorageFaults injects deterministic storage faults into every
+	// full-fidelity chain's store (ModeFast ignores it). The ETC chain's
+	// fault stream runs on Seed+1 so the two partitions fail
+	// independently. Injection is disabled around genesis bootstrap,
+	// which has no recovery path.
+	StorageFaults faultkv.Faults
+	// StorageRetryAttempts bounds transient storage-fault retries
+	// (db.Retry); zero means db.DefaultRetryAttempts.
+	StorageRetryAttempts int
+	// Crashes schedules storage crashes (ModeFull only): each spec kills
+	// one chain's store mid-commit, after which the engine reopens it,
+	// runs WAL recovery and resumes mining. A store that recovery cannot
+	// repair retires the chain for the rest of the run, like a mining
+	// population departing (O1/O2).
+	Crashes []CrashSpec
 
 	// TotalHashrate is the combined network hashrate at the fork, in
 	// hashes/second. Genesis difficulty is calibrated so the pre-fork
@@ -133,6 +152,59 @@ type Scenario struct {
 	// DAO fork plumbing.
 	DAOAccounts int
 	DAOFunds    *big.Int
+}
+
+// CrashSpec schedules one storage crash: the store of Chain ("ETH" or
+// "ETC") is killed Op write operations into the persistence of the
+// Block-th block (0-based) it mines on Day. The tear lands somewhere in
+// that block's commit — the state-trie batch, the WAL record or the data
+// batch, depending on Op — exercising every recovery path.
+type CrashSpec struct {
+	Chain string
+	Day   int
+	Block int
+	Op    uint64
+}
+
+// ParseCrashSpecs parses a comma-separated crash schedule, the format
+// behind cmd/forksim's -crash flag. Each element is chain:day:block:op,
+// e.g. "ETH:1:3:40,ETC:2:0:5" — kill the ETH store 40 write ops into its
+// 4th block on day 1, and the ETC store on the first write of its first
+// block on day 2.
+func ParseCrashSpecs(spec string) ([]CrashSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []CrashSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("sim: bad crash spec %q (want chain:day:block:op)", part)
+		}
+		chain := strings.ToUpper(strings.TrimSpace(fields[0]))
+		if chain != "ETH" && chain != "ETC" {
+			return nil, fmt.Errorf("sim: bad crash spec chain %q (want ETH or ETC)", fields[0])
+		}
+		day, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil || day < 0 {
+			return nil, fmt.Errorf("sim: bad crash spec day %q", fields[1])
+		}
+		block, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil || block < 0 {
+			return nil, fmt.Errorf("sim: bad crash spec block %q", fields[2])
+		}
+		op, err := strconv.ParseUint(strings.TrimSpace(fields[3]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad crash spec op %q", fields[3])
+		}
+		out = append(out, CrashSpec{Chain: chain, Day: day, Block: block, Op: op})
+	}
+	return out, nil
 }
 
 // NewScenario returns the calibrated default scenario over the given

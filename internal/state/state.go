@@ -100,7 +100,22 @@ type DB struct {
 	// code store: code is content-addressed and shared across copies.
 	codes   map[types.Hash][]byte
 	journal []journalEntry
+	// dbErr records the first storage fault hit by a getter. The getter
+	// surface (GetBalance, GetState, ...) is called from EVM execution and
+	// cannot return errors, so faults are recorded here and surfaced by
+	// Commit — the transition that observed broken reads never persists.
+	dbErr error
 }
+
+// setError records the first storage fault observed by a getter.
+func (s *DB) setError(err error) {
+	if s.dbErr == nil {
+		s.dbErr = err
+	}
+}
+
+// Error returns the first storage fault recorded by a getter, if any.
+func (s *DB) Error() error { return s.dbErr }
 
 // journalEntry undoes one state mutation on revert.
 type journalEntry func()
@@ -139,7 +154,13 @@ func (s *DB) getObject(addr types.Address) *stateObject {
 		return obj
 	}
 	enc, err := s.tr.Get(addrKey(addr))
-	if err != nil || len(enc) == 0 {
+	if err != nil {
+		// Record the fault and report the account absent; Commit will
+		// refuse to persist a transition built on this read.
+		s.setError(fmt.Errorf("state: reading account %s: %w", addr, err))
+		return nil
+	}
+	if len(enc) == 0 {
 		obj := newObject(addr)
 		obj.exists = false
 		s.objects[addr] = obj
@@ -147,9 +168,8 @@ func (s *DB) getObject(addr types.Address) *stateObject {
 	}
 	acct, err := decodeAccount(enc)
 	if err != nil {
-		// A corrupt trie is a programming error in the simulator, not a
-		// recoverable condition.
-		panic(err)
+		s.setError(fmt.Errorf("%w: account %s: %v", db.ErrCorrupt, addr, err))
+		return nil
 	}
 	obj := newObject(addr)
 	obj.account = *acct
@@ -262,7 +282,12 @@ func (s *DB) GetCode(addr types.Address) []byte {
 		return code
 	}
 	// Code lives in the node store, content-addressed.
-	if enc, ok := s.db.Get(obj.account.CodeHash.Bytes()); ok {
+	enc, ok, err := s.db.Get(obj.account.CodeHash.Bytes())
+	if err != nil {
+		s.setError(fmt.Errorf("state: reading code %s: %w", obj.account.CodeHash, err))
+		return nil
+	}
+	if ok {
 		obj.code = enc
 		return enc
 	}
@@ -311,19 +336,26 @@ func (s *DB) loadSlot(obj *stateObject, key types.Hash) types.Hash {
 	}
 	st, err := trie.New(obj.account.StorageRoot, s.db)
 	if err != nil {
-		panic(err)
+		s.setError(fmt.Errorf("state: opening storage of %s: %w", obj.addr, err))
+		return types.Hash{}
 	}
 	enc, err := st.Get(slotKey(key))
-	if err != nil || len(enc) == 0 {
+	if err != nil {
+		s.setError(fmt.Errorf("state: reading slot %s of %s: %w", key, obj.addr, err))
+		return types.Hash{}
+	}
+	if len(enc) == 0 {
 		return types.Hash{}
 	}
 	v, err := rlp.Decode(enc)
 	if err != nil {
-		panic(err)
+		s.setError(fmt.Errorf("%w: slot %s of %s: %v", db.ErrCorrupt, key, obj.addr, err))
+		return types.Hash{}
 	}
 	b, err := v.AsBytes()
 	if err != nil {
-		panic(err)
+		s.setError(fmt.Errorf("%w: slot %s of %s: %v", db.ErrCorrupt, key, obj.addr, err))
+		return types.Hash{}
 	}
 	return types.BytesToHash(b)
 }
@@ -362,7 +394,14 @@ func (s *DB) RevertToSnapshot(id int) {
 // contract code blobs and the account trie itself — land in one db.Batch,
 // so the store sees a block's state transition atomically (nothing is
 // persisted if an intermediate step errors).
+//
+// A storage fault observed by any getter since the last Commit (see
+// setError) also fails the commit: a transition computed over broken reads
+// must never persist.
 func (s *DB) Commit() (types.Hash, error) {
+	if s.dbErr != nil {
+		return types.Hash{}, s.dbErr
+	}
 	batch := s.db.NewBatch()
 	// Deterministic iteration keeps commits reproducible.
 	addrs := make([]types.Address, 0, len(s.objects))
@@ -392,9 +431,15 @@ func (s *DB) Commit() (types.Hash, error) {
 			return types.Hash{}, err
 		}
 	}
+	if s.dbErr != nil {
+		// A getter tripped during the flush (storage-trie reads above).
+		return types.Hash{}, s.dbErr
+	}
 	s.journal = nil
 	root := s.tr.CommitTo(batch)
-	batch.Write()
+	if err := batch.Write(); err != nil {
+		return types.Hash{}, fmt.Errorf("state: committing: %w", err)
+	}
 	return root, nil
 }
 
@@ -435,20 +480,21 @@ func (s *DB) commitStorage(obj *stateObject, batch db.Batch) error {
 }
 
 // Copy returns an independent state sharing the same backing database.
-// Used at the fork block to hand each chain its own state head.
-func (s *DB) Copy() *DB {
+// Used at the fork block to hand each chain its own state head. Copying
+// commits first, so it can fail on a storage fault.
+func (s *DB) Copy() (*DB, error) {
 	root, err := s.Commit()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	cp, err := New(root, s.db)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	for h, c := range s.codes {
 		cp.codes[h] = c
 	}
-	return cp
+	return cp, nil
 }
 
 // addrKey is the secure-trie key for an address: keccak256(addr).

@@ -215,8 +215,14 @@ func TestForkDivergence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	eth := shared.Copy()
-	etc := shared.Copy()
+	eth, err := shared.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	etc, err := shared.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// ETH side: move the DAO balance to a refund address.
 	refund := addr(0x99)
@@ -250,7 +256,10 @@ func TestCopyIsolation(t *testing.T) {
 	s := NewEmpty()
 	a := addr(9)
 	s.AddBalance(a, big.NewInt(100))
-	cp := s.Copy()
+	cp, err := s.Copy()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cp.AddBalance(a, big.NewInt(900))
 	if got := s.GetBalance(a); got.Int64() != 100 {
 		t.Errorf("copy mutated original: %v", got)

@@ -67,7 +67,7 @@ func BenchmarkTrieGetCommitted(b *testing.B) {
 	for j := range keys {
 		tr.Update(keys[j], vals[j])
 	}
-	root := tr.Hash()
+	root := mustHash(b, tr)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

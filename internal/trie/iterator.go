@@ -51,7 +51,12 @@ func (it *Iterator) Next() bool {
 				it.err = fmt.Errorf("trie: value at non-terminated path %v", key)
 				return false
 			}
-			it.key = hexToKeybytes(key[:len(key)-1])
+			kb, err := hexToKeybytes(key[:len(key)-1])
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.key = kb
 			it.value = append([]byte(nil), n...)
 			return true
 
@@ -99,16 +104,17 @@ func (it *Iterator) Err() error { return it.err }
 // iteration is lexicographic.
 var branchOrder = [17]int{16, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 
-// hexToKeybytes packs even-length nibbles back into bytes.
-func hexToKeybytes(hex []byte) []byte {
+// hexToKeybytes packs even-length nibbles back into bytes. Keys written
+// through Update always have whole bytes; an odd path can only come from a
+// corrupt (e.g. bit-rotted) stored trie, so it surfaces as an error rather
+// than a panic.
+func hexToKeybytes(hex []byte) ([]byte, error) {
 	if len(hex)%2 != 0 {
-		// Keys written through Update always have whole bytes; an odd
-		// path can only come from a corrupt trie.
-		panic(fmt.Sprintf("trie: odd nibble path of length %d", len(hex)))
+		return nil, fmt.Errorf("trie: odd nibble path of length %d", len(hex))
 	}
 	out := make([]byte, len(hex)/2)
 	for i := range out {
 		out[i] = hex[i*2]<<4 | hex[i*2+1]
 	}
-	return out
+	return out, nil
 }

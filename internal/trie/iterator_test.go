@@ -76,7 +76,7 @@ func TestIteratorAfterCommitAndReopen(t *testing.T) {
 	for i, k := range keys {
 		mustUpdate(t, tr, k, fmt.Sprintf("v%d", i))
 	}
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	reopened, err := New(root, store)
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +105,7 @@ func TestIteratorMissingNodeSurfacesError(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		mustUpdate(t, tr, fmt.Sprintf("key-%03d", i), "value-values-value")
 	}
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	// Corrupt the database: drop one interior node.
 	for _, k := range store.Keys() {
 		if !bytes.Equal(k, root.Bytes()) {

@@ -24,7 +24,10 @@ var ErrBadProof = errors.New("trie: invalid Merkle proof")
 // (hash-referenced) node on the path from the root. The trie is committed
 // first. Works for absent keys too (the proof then shows the divergence).
 func (t *Trie) Prove(key []byte) ([][]byte, error) {
-	root := t.Hash() // commits all nodes
+	root, err := t.Hash() // commits all nodes
+	if err != nil {
+		return nil, err
+	}
 	if root == EmptyRoot {
 		return nil, nil
 	}
@@ -32,7 +35,10 @@ func (t *Trie) Prove(key []byte) ([][]byte, error) {
 	want := root
 	nibbles := keybytesToHex(key)
 	for {
-		enc, ok := t.db.Get(want.Bytes())
+		enc, ok, err := t.db.Get(want.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("trie: reading proof node %s: %w", want, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("%w: missing node %s", ErrMissingNode, want)
 		}

@@ -26,7 +26,7 @@ func provableTrie(t *testing.T, n int) (*Trie, map[string]string) {
 
 func TestProveAndVerifyPresent(t *testing.T) {
 	tr, pairs := provableTrie(t, 200)
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	for k, v := range pairs {
 		proof, err := tr.Prove([]byte(k))
 		if err != nil {
@@ -44,7 +44,7 @@ func TestProveAndVerifyPresent(t *testing.T) {
 
 func TestProveAbsent(t *testing.T) {
 	tr, _ := provableTrie(t, 50)
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	for _, k := range []string{"missing", "key-9999", "key-000", "key-00000"} {
 		proof, err := tr.Prove([]byte(k))
 		if err != nil {
@@ -62,7 +62,7 @@ func TestProveAbsent(t *testing.T) {
 
 func TestVerifyRejectsTamperedProof(t *testing.T) {
 	tr, _ := provableTrie(t, 100)
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	key := []byte("key-0042")
 	proof, err := tr.Prove(key)
 	if err != nil {
@@ -93,7 +93,7 @@ func TestVerifyRejectsTamperedProof(t *testing.T) {
 
 func TestVerifyProofWrongKey(t *testing.T) {
 	tr, pairs := provableTrie(t, 100)
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	proof, err := tr.Prove([]byte("key-0042"))
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestProofRandomized(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	root := tr.Hash()
+	root := mustHash(t, tr)
 	for i := 0; i < 600; i++ {
 		k := fmt.Sprintf("p%d", r.Intn(600)) // includes absent keys
 		proof, err := tr.Prove([]byte(k))

@@ -69,7 +69,11 @@ func New(root types.Hash, kv db.KV) (*Trie, error) {
 	if root.IsZero() || root == EmptyRoot {
 		return t, nil
 	}
-	if !kv.Has(root.Bytes()) {
+	ok, err := kv.Has(root.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("trie: probing root %s: %w", root, err)
+	}
+	if !ok {
 		return nil, fmt.Errorf("%w: root %s", ErrMissingNode, root)
 	}
 	t.root = hashNode(root.Bytes())
@@ -287,9 +291,30 @@ func (t *Trie) delete(n node, key []byte) (node, bool, error) {
 }
 
 func (t *Trie) resolve(h hashNode) (node, error) {
-	enc, ok := t.db.Get(h)
-	if !ok {
-		return nil, fmt.Errorf("%w: %x", ErrMissingNode, []byte(h))
+	// Nodes are content-addressed, so every read is integrity-checked
+	// against its key. A mismatch is re-read a few times first: read-path
+	// bit-rot (a flipped bit on the wire or in a failing controller)
+	// heals on a re-read, while at-rest corruption does not and surfaces
+	// as db.ErrCorrupt.
+	const rereads = 3
+	var enc []byte
+	for attempt := 0; ; attempt++ {
+		var ok bool
+		var err error
+		enc, ok, err = t.db.Get(h)
+		if err != nil {
+			return nil, fmt.Errorf("trie: reading node %x: %w", []byte(h), err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %x", ErrMissingNode, []byte(h))
+		}
+		sum := keccak.Sum256(enc)
+		if bytes.Equal(sum[:], h) {
+			break
+		}
+		if attempt >= rereads {
+			return nil, fmt.Errorf("%w: trie node %x fails its content hash", db.ErrCorrupt, []byte(h))
+		}
 	}
 	v, err := rlp.Decode(enc)
 	if err != nil {
@@ -300,12 +325,15 @@ func (t *Trie) resolve(h hashNode) (node, error) {
 
 // Hash computes the root hash of the trie, committing every node of 32+
 // encoded bytes into the store through one atomic batch. The trie remains
-// usable afterwards.
-func (t *Trie) Hash() types.Hash {
+// usable afterwards. A storage error leaves the store unchanged (the batch
+// is atomic) and the computed root uncommitted.
+func (t *Trie) Hash() (types.Hash, error) {
 	batch := t.db.NewBatch()
 	root := t.CommitTo(batch)
-	batch.Write()
-	return root
+	if err := batch.Write(); err != nil {
+		return types.Hash{}, fmt.Errorf("trie: committing nodes: %w", err)
+	}
+	return root, nil
 }
 
 // CommitTo computes the root hash, queuing every node of 32+ encoded bytes

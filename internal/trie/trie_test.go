@@ -32,9 +32,20 @@ func mustGet(t *testing.T, tr *Trie, key string) []byte {
 	return v
 }
 
+// mustHash commits the trie and returns its root, failing the test on a
+// storage error (fault-free stores never produce one).
+func mustHash(tb testing.TB, tr *Trie) types.Hash {
+	tb.Helper()
+	root, err := tr.Hash()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return root
+}
+
 func TestEmptyTrieRoot(t *testing.T) {
 	tr := newTestTrie(t)
-	if got := tr.Hash(); got != EmptyRoot {
+	if got := mustHash(t, tr); got != EmptyRoot {
 		t.Errorf("empty root = %s, want %s", got, EmptyRoot)
 	}
 }
@@ -47,7 +58,7 @@ func TestKnownRoot(t *testing.T) {
 	mustUpdate(t, tr, "dog", "puppy")
 	mustUpdate(t, tr, "dogglesworth", "cat")
 	want := types.HexToHash("0x8aad789dff2f538bca5d8ea56e8abe10f4c7ba3a5dea95fea4cd6e7c3a1168d3")
-	if got := tr.Hash(); got != want {
+	if got := mustHash(t, tr); got != want {
 		t.Errorf("root = %s, want %s", got, want)
 	}
 }
@@ -92,7 +103,7 @@ func TestDeleteRestoresEmptyRoot(t *testing.T) {
 			t.Fatalf("Delete(%q): %v", k, err)
 		}
 	}
-	if got := tr.Hash(); got != EmptyRoot {
+	if got := mustHash(t, tr); got != EmptyRoot {
 		t.Errorf("root after deleting all keys = %s, want empty root", got)
 	}
 }
@@ -100,7 +111,7 @@ func TestDeleteRestoresEmptyRoot(t *testing.T) {
 func TestDeleteAbsentKeyIsNoOp(t *testing.T) {
 	tr := newTestTrie(t)
 	mustUpdate(t, tr, "dog", "puppy")
-	before := tr.Hash()
+	before := mustHash(t, tr)
 	if err := tr.Delete([]byte("cat")); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +121,7 @@ func TestDeleteAbsentKeyIsNoOp(t *testing.T) {
 	if err := tr.Delete([]byte("dogs")); err != nil { // extension of existing key
 		t.Fatal(err)
 	}
-	if got := tr.Hash(); got != before {
+	if got := mustHash(t, tr); got != before {
 		t.Errorf("root changed by absent-key deletes: %s vs %s", got, before)
 	}
 }
@@ -133,7 +144,7 @@ func TestOrderIndependence(t *testing.T) {
 		for _, k := range keys {
 			mustUpdate(t, tr, k, pairs[k])
 		}
-		roots = append(roots, tr.Hash())
+		roots = append(roots, mustHash(t, tr))
 	}
 	for i := 1; i < len(roots); i++ {
 		if roots[i] != roots[0] {
@@ -154,7 +165,7 @@ func TestReopenFromCommittedRoot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	root := tr.Hash()
+	root := mustHash(t, tr)
 
 	reopened, err := New(root, store)
 	if err != nil {
@@ -177,7 +188,7 @@ func TestReopenFromCommittedRoot(t *testing.T) {
 	if err := tr.Update([]byte("account-050"), []byte("changed")); err != nil {
 		t.Fatal(err)
 	}
-	if reopened.Hash() != tr.Hash() {
+	if mustHash(t, reopened) != mustHash(t, tr) {
 		t.Error("reopened trie diverged from original after identical update")
 	}
 }
@@ -236,7 +247,7 @@ func TestModelConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if rebuilt.Hash() != tr.Hash() {
+	if mustHash(t, rebuilt) != mustHash(t, tr) {
 		t.Error("rebuilt trie root differs from mutated trie root")
 	}
 }

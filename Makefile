@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench fuzz chaos clean
+.PHONY: all build test race vet check bench fuzz chaos rpcsmoke loadbench clean
 
 all: build
 
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzDecodeTx$$' -fuzztime $(FUZZTIME) ./internal/chain/
 	$(GO) test -fuzz '^FuzzDecodeHeader$$' -fuzztime $(FUZZTIME) ./internal/chain/
 	$(GO) test -fuzz '^FuzzDecodeBlock$$' -fuzztime $(FUZZTIME) ./internal/chain/
+	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/rpc/
 
 # Storage chaos battery under the race detector: fault-injection unit
 # tests, WAL crash/recovery sweep and the figure byte-identity test.
@@ -49,6 +50,22 @@ BENCH_JSON ?= BENCH_pr2.json
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./... | tee bench.out
 	$(GO) run ./tools/benchjson bench.out > $(BENCH_JSON)
+
+# RPC smoke: boot forkserve, curl every method on both chain endpoints
+# and check /debug/metrics (what CI's rpc-smoke job runs).
+rpcsmoke:
+	GO="$(GO)" sh scripts/rpcsmoke.sh
+
+# Serving-layer load benchmark: closed-loop generator against an
+# in-process archive; throughput and latency percentiles land in
+# LOAD_JSON for the PR record.
+LOAD_JSON ?= BENCH_pr4.json
+LOAD_DURATION ?= 5s
+LOAD_CLIENTS ?= 64
+
+loadbench:
+	$(GO) run ./cmd/forkload -selfserve -days 1 -duration $(LOAD_DURATION) \
+		-clients $(LOAD_CLIENTS) -out $(LOAD_JSON)
 
 clean:
 	$(GO) clean ./...

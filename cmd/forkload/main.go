@@ -1,0 +1,289 @@
+// Command forkload is a closed-loop load generator for the forkwatch
+// JSON-RPC archive: N client goroutines issue a mixed read workload
+// against both chain endpoints as fast as the server allows, then the
+// run's throughput, latency percentiles and cache hit rate are written
+// as JSON (BENCH_pr4.json by default).
+//
+// Usage:
+//
+//	forkload -selfserve -duration 5s -clients 64        # in-process target
+//	forkload -url http://127.0.0.1:8545 -duration 10s   # external forkserve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"forkwatch"
+	"forkwatch/internal/rpc"
+	"forkwatch/internal/serve"
+	"forkwatch/internal/sim"
+)
+
+// benchReport is the JSON record of one load run.
+type benchReport struct {
+	Target       string  `json:"target"`
+	Clients      int     `json:"clients"`
+	DurationSecs float64 `json:"duration_s"`
+	Requests     int64   `json:"requests"`
+	Throughput   float64 `json:"throughput_rps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P90Ms        float64 `json:"p90_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	Shed429      int64   `json:"shed_429"`
+	RPCErrors    int64   `json:"rpc_errors"`
+	Transport    int64   `json:"transport_errors"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// workerStats is one client's tally, merged after the run.
+type workerStats struct {
+	latencies []time.Duration
+	shed      int64
+	rpcErrs   int64
+	transport int64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("forkload: ")
+
+	var (
+		url       = flag.String("url", "", "base URL of a running forkserve (e.g. http://127.0.0.1:8545)")
+		selfserve = flag.Bool("selfserve", false, "boot an in-process archive and load that (ignores -url)")
+		seed      = flag.Int64("seed", 1, "selfserve scenario seed")
+		days      = flag.Int("days", 1, "selfserve days to simulate")
+		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		out       = flag.String("out", "BENCH_pr4.json", "JSON report path (- for stdout)")
+	)
+	flag.Parse()
+
+	base := *url
+	if *selfserve {
+		sc := forkwatch.NewScenario(*seed, *days)
+		sc.Mode = sim.ModeFull
+		log.Printf("selfserve: simulating %d days...", *days)
+		res, err := serve.Build(sc, rpc.ServerConfig{QueueDepth: 8192})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer res.Server.Close()
+		ts := httptest.NewServer(res.Server)
+		defer ts.Close()
+		base = ts.URL
+		log.Printf("selfserve: ETH head %d, ETC head %d on %s",
+			res.ETH.BC.Head().Number(), res.ETC.BC.Head().Number(), base)
+	}
+	if base == "" {
+		log.Fatal("need -url or -selfserve")
+	}
+	base = strings.TrimRight(base, "/")
+
+	heads, err := headNumbers(base)
+	if err != nil {
+		log.Fatalf("probing endpoints: %v", err)
+	}
+	log.Printf("loading %s for %s with %d clients", base, *duration, *clients)
+
+	bodies := workload(heads)
+	stats := make([]workerStats, *clients)
+	// One pooled transport sized for the fleet: the default transport
+	// keeps only 2 idle conns per host and would churn TCP handshakes.
+	transport := &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 10 * time.Second, Transport: transport}
+			st := &stats[c]
+			var buf bytes.Buffer
+			for i := 0; time.Now().Before(deadline); i++ {
+				req := bodies[(c+i)%len(bodies)]
+				t0 := time.Now()
+				resp, err := hc.Post(base+req.path, "application/json", strings.NewReader(req.body))
+				lat := time.Since(t0)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				// Drain the body (keeps the connection reusable) but skip a
+				// full JSON parse: the generator only needs to classify the
+				// response, correctness is the test suite's job.
+				buf.Reset()
+				_, readErr := buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				raw := buf.Bytes()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					st.shed++
+				case resp.StatusCode != http.StatusOK || readErr != nil ||
+					!bytes.Contains(raw[:min(len(raw), 32)], []byte(`"jsonrpc"`)):
+					st.transport++
+				case bytes.Contains(raw, []byte(`"error":{`)):
+					st.rpcErrs++
+					st.latencies = append(st.latencies, lat)
+				default:
+					st.latencies = append(st.latencies, lat)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := merge(stats, base, *clients, elapsed)
+	rep.CacheHitRate = scrapeHitRate(base)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	log.Printf("%d requests in %.2fs = %.0f req/s; p50 %.3fms p99 %.3fms; %d shed, %d rpc errors, cache hit %.1f%%",
+		rep.Requests, rep.DurationSecs, rep.Throughput, rep.P50Ms, rep.P99Ms,
+		rep.Shed429, rep.RPCErrors, 100*rep.CacheHitRate)
+	if rep.Transport > 0 {
+		log.Fatalf("%d transport errors (hung or malformed responses)", rep.Transport)
+	}
+}
+
+type loadReq struct {
+	path string
+	body string
+}
+
+// workload builds the request mix: head polls dominate (the cacheable
+// hot path every dashboard hammers), block reads spread over the archive
+// behind them, and the fork_* analysis windows ride along bounded to the
+// last 256 blocks — the paper's queries are windowed scans, not
+// whole-chain dumps per request.
+func workload(heads map[string]uint64) []loadReq {
+	var reqs []loadReq
+	for chain, head := range heads {
+		path := "/" + chain
+		add := func(times int, body string) {
+			for i := 0; i < times; i++ {
+				reqs = append(reqs, loadReq{path: path, body: body})
+			}
+		}
+		add(10, `{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}`)
+		for _, frac := range []uint64{4, 2, 1} {
+			n := head * frac / 4
+			add(2, fmt.Sprintf(`{"jsonrpc":"2.0","id":2,"method":"eth_getBlockByNumber","params":["0x%x",false]}`, n))
+		}
+		add(1, fmt.Sprintf(`{"jsonrpc":"2.0","id":3,"method":"eth_getBlockByNumber","params":["0x%x",true]}`, head))
+		if head > 0 {
+			from := uint64(1)
+			if head > 256 {
+				from = head - 256
+			}
+			add(1, fmt.Sprintf(`{"jsonrpc":"2.0","id":4,"method":"fork_poolShares","params":["0x%x","0x%x"]}`, from, head))
+			add(1, fmt.Sprintf(`{"jsonrpc":"2.0","id":5,"method":"fork_difficultyWindow","params":["0x%x","0x%x"]}`, from, head))
+		}
+	}
+	return reqs
+}
+
+// headNumbers probes each chain endpoint for its head.
+func headNumbers(base string) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	for _, chain := range []string{"eth", "etc"} {
+		cl := rpc.NewClient(base+"/"+chain, nil)
+		var hex string
+		if err := cl.Call(&hex, "eth_blockNumber"); err != nil {
+			return nil, fmt.Errorf("%s: %w", chain, err)
+		}
+		var head uint64
+		if _, err := fmt.Sscanf(hex, "0x%x", &head); err != nil {
+			return nil, fmt.Errorf("%s: bad head %q", chain, hex)
+		}
+		out[chain] = head
+	}
+	return out, nil
+}
+
+func merge(stats []workerStats, target string, clients int, elapsed time.Duration) *benchReport {
+	var all []time.Duration
+	rep := &benchReport{Target: target, Clients: clients, DurationSecs: elapsed.Seconds()}
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		rep.Shed429 += stats[i].shed
+		rep.RPCErrors += stats[i].rpcErrs
+		rep.Transport += stats[i].transport
+	}
+	rep.Requests = int64(len(all)) + rep.Shed429 + rep.Transport
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	rep.P50Ms = pct(0.50)
+	rep.P90Ms = pct(0.90)
+	rep.P99Ms = pct(0.99)
+	if len(all) > 0 {
+		rep.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return rep
+}
+
+// scrapeHitRate reads /debug/metrics and aggregates the response-cache
+// hit/miss counters across every method.
+func scrapeHitRate(base string) float64 {
+	resp, err := http.Get(base + "/debug/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0
+	}
+	var hits, misses float64
+	for key, raw := range snap {
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(key, ".cache_hits"):
+			hits += v
+		case strings.HasSuffix(key, ".cache_misses"):
+			misses += v
+		}
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return hits / (hits + misses)
+}

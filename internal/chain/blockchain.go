@@ -298,6 +298,27 @@ func (bc *Blockchain) Receipts(h types.Hash) ([]*Receipt, bool, error) {
 	return bc.store.Receipts(h)
 }
 
+// TransactionByHash resolves a transaction through the store's tx index:
+// the transaction, the hash and number of the block that included it, and
+// its position in that block. ok=false means the hash is unknown.
+func (bc *Blockchain) TransactionByHash(h types.Hash) (tx *Transaction, blockHash types.Hash, blockNumber uint64, index uint32, ok bool, err error) {
+	t, lk, num, ok, err := bc.store.Transaction(h)
+	if err != nil || !ok {
+		return nil, types.Hash{}, 0, 0, false, err
+	}
+	return t, lk.BlockHash, num, lk.Index, true, nil
+}
+
+// ReceiptByTxHash resolves a transaction's execution receipt through the
+// store's tx index.
+func (bc *Blockchain) ReceiptByTxHash(h types.Hash) (r *Receipt, blockHash types.Hash, index uint32, ok bool, err error) {
+	rec, lk, ok, err := bc.store.Receipt(h)
+	if err != nil || !ok {
+		return nil, types.Hash{}, 0, false, err
+	}
+	return rec, lk.BlockHash, lk.Index, true, nil
+}
+
 // Store returns the chain's KV persistence schema (shared with the state
 // trie). Export tooling reads blocks and receipts through it.
 func (bc *Blockchain) Store() *Store { return bc.store }
@@ -381,6 +402,8 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 	bc.store.PutTD(wb, hash, td)
 	bc.store.PutStateRoot(wb, hash, root)
 
+	bc.store.PutBlockTxIndices(wb, b)
+
 	newHead := td.Cmp(bc.tds[bc.head.Hash()]) > 0
 	var updates map[uint64]types.Hash
 	var stale []uint64
@@ -388,6 +411,14 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 		updates, stale = bc.canonDelta(b)
 		for n, h := range updates {
 			bc.store.PutCanon(wb, n, h)
+			// A reorg adopts previously side-chain blocks: repoint their
+			// transactions' lookup entries at the now-canonical copies so
+			// the index always resolves along the canonical chain.
+			if h != hash {
+				if adopted, ok := bc.blocks[h]; ok {
+					bc.store.PutBlockTxIndices(wb, adopted)
+				}
+			}
 		}
 		for _, n := range stale {
 			bc.store.DeleteCanon(wb, n)

@@ -42,6 +42,7 @@ const (
 	prefixStateRoot = 's' // prefixStateRoot + hash -> committed state root
 	prefixCanon     = 'n' // prefixCanon + 8-byte BE number -> canonical hash
 	prefixWAL       = 'w' // prefixWAL + 8-byte BE seq -> checksummed WAL record
+	prefixTxIndex   = 'x' // prefixTxIndex + tx hash -> block hash || 4-byte BE index
 )
 
 // keyHead marks the canonical head hash.
@@ -204,6 +205,85 @@ func (s *Store) Head() (types.Hash, bool, error) {
 		return types.Hash{}, false, nil
 	}
 	return types.BytesToHash(enc), true, nil
+}
+
+// TxLookup locates a transaction by hash: the hash of the block that
+// included it and the transaction's position in that block. Entries are
+// written through the same WAL/batch path as the block itself, so a
+// lookup can never race ahead of the block it points at. Lookups replace
+// the O(n) canonical-chain scan a serving layer would otherwise need for
+// eth_getTransactionByHash / eth_getTransactionReceipt.
+type TxLookup struct {
+	BlockHash types.Hash
+	Index     uint32
+}
+
+// PutTxIndex queues the lookup entry of one transaction.
+func (s *Store) PutTxIndex(batch db.Batch, txHash, blockHash types.Hash, index uint32) {
+	v := make([]byte, types.HashLength+4)
+	copy(v, blockHash.Bytes())
+	binary.BigEndian.PutUint32(v[types.HashLength:], index)
+	batch.Put(hashKey(prefixTxIndex, txHash), v)
+}
+
+// PutBlockTxIndices queues lookup entries for every transaction of b.
+func (s *Store) PutBlockTxIndices(batch db.Batch, b *Block) {
+	h := b.Hash()
+	for i, tx := range b.Txs {
+		s.PutTxIndex(batch, tx.Hash(), h, uint32(i))
+	}
+}
+
+// TxIndex reads the lookup entry of a transaction hash.
+func (s *Store) TxIndex(txHash types.Hash) (TxLookup, bool, error) {
+	enc, ok, err := s.kv.Get(hashKey(prefixTxIndex, txHash))
+	if err != nil {
+		return TxLookup{}, false, fmt.Errorf("chain: reading tx index %s: %w", txHash, err)
+	}
+	if !ok {
+		return TxLookup{}, false, nil
+	}
+	if len(enc) != types.HashLength+4 {
+		return TxLookup{}, false, fmt.Errorf("%w: tx index %s is %d bytes", db.ErrCorrupt, txHash, len(enc))
+	}
+	return TxLookup{
+		BlockHash: types.BytesToHash(enc[:types.HashLength]),
+		Index:     binary.BigEndian.Uint32(enc[types.HashLength:]),
+	}, true, nil
+}
+
+// Transaction resolves a transaction by hash through the index: the
+// transaction itself, its lookup entry, and the containing block's
+// number.
+func (s *Store) Transaction(txHash types.Hash) (*Transaction, TxLookup, uint64, bool, error) {
+	lk, ok, err := s.TxIndex(txHash)
+	if err != nil || !ok {
+		return nil, TxLookup{}, 0, false, err
+	}
+	b, ok, err := s.Block(lk.BlockHash)
+	if err != nil {
+		return nil, TxLookup{}, 0, false, err
+	}
+	if !ok || int(lk.Index) >= len(b.Txs) {
+		return nil, TxLookup{}, 0, false, fmt.Errorf("%w: tx index %s points at %s[%d]", db.ErrCorrupt, txHash, lk.BlockHash, lk.Index)
+	}
+	return b.Txs[lk.Index], lk, b.Number(), true, nil
+}
+
+// Receipt resolves a transaction's receipt by hash through the index.
+func (s *Store) Receipt(txHash types.Hash) (*Receipt, TxLookup, bool, error) {
+	lk, ok, err := s.TxIndex(txHash)
+	if err != nil || !ok {
+		return nil, TxLookup{}, false, err
+	}
+	receipts, ok, err := s.Receipts(lk.BlockHash)
+	if err != nil {
+		return nil, TxLookup{}, false, err
+	}
+	if !ok || int(lk.Index) >= len(receipts) {
+		return nil, TxLookup{}, false, fmt.Errorf("%w: tx index %s points at receipts %s[%d]", db.ErrCorrupt, txHash, lk.BlockHash, lk.Index)
+	}
+	return receipts[lk.Index], lk, true, nil
 }
 
 // receiptFromValue rebuilds a Receipt from its decoded RLP value.

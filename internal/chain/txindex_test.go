@@ -1,0 +1,120 @@
+package chain
+
+import (
+	"testing"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/types"
+)
+
+func TestTxIndexLookup(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	tx0 := transfer(0, alice, bob, 10, 0)
+	tx1 := transfer(1, alice, bob, 20, 0)
+	b1 := mine(t, bc, 14, tx0)
+	b2 := mine(t, bc, 14, tx1)
+
+	got, blockHash, num, idx, ok, err := bc.TransactionByHash(tx1.Hash())
+	if err != nil || !ok {
+		t.Fatalf("TransactionByHash: ok=%v err=%v", ok, err)
+	}
+	if blockHash != b2.Hash() || num != 2 || idx != 0 {
+		t.Fatalf("lookup = (%s, %d, %d), want (%s, 2, 0)", blockHash, num, idx, b2.Hash())
+	}
+	if got.Hash() != tx1.Hash() {
+		t.Fatalf("resolved wrong transaction: %s", got.Hash())
+	}
+
+	rec, rBlock, rIdx, ok, err := bc.ReceiptByTxHash(tx0.Hash())
+	if err != nil || !ok {
+		t.Fatalf("ReceiptByTxHash: ok=%v err=%v", ok, err)
+	}
+	if rBlock != b1.Hash() || rIdx != 0 || rec.TxHash != tx0.Hash() {
+		t.Fatalf("receipt lookup = (%s, %d, %s)", rBlock, rIdx, rec.TxHash)
+	}
+
+	if _, _, _, _, ok, err := bc.TransactionByHash(types.HexToHash("0xdead")); ok || err != nil {
+		t.Fatalf("unknown hash: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestTxIndexSurvivesReopen checks the index is written through the same
+// durable path as the block: a store reopened via Open still resolves it.
+func TestTxIndexSurvivesReopen(t *testing.T) {
+	cfg := MainnetLikeConfig()
+	kv := db.NewMemDB()
+	bc, err := NewBlockchainWithDB(cfg, testGenesis(), kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := transfer(0, alice, bob, 10, 0)
+	b := mine(t, bc, 14, tx)
+
+	re, err := Open(cfg, kv)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	_, blockHash, num, _, ok, err := re.TransactionByHash(tx.Hash())
+	if err != nil || !ok {
+		t.Fatalf("lookup after reopen: ok=%v err=%v", ok, err)
+	}
+	if blockHash != b.Hash() || num != 1 {
+		t.Fatalf("lookup after reopen = (%s, %d)", blockHash, num)
+	}
+}
+
+// TestTxIndexReorgRepoints checks that adopting a heavier side chain
+// repoints lookups of transactions included on both branches at their
+// canonical copies.
+func TestTxIndexReorgRepoints(t *testing.T) {
+	bc := newTestChain(t, MainnetLikeConfig())
+	genesis := bc.Genesis()
+	tx := transfer(0, alice, bob, 10, 0)
+
+	// Canonical branch: one slow block carrying tx.
+	slow, err := bc.BuildBlock(pool1, genesis.Header.Time+60, []*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.InsertBlock(slow); err != nil {
+		t.Fatal(err)
+	}
+	_, blockHash, _, _, ok, err := bc.TransactionByHash(tx.Hash())
+	if err != nil || !ok || blockHash != slow.Hash() {
+		t.Fatalf("pre-reorg lookup = (%s, %v, %v), want %s", blockHash, ok, err, slow.Hash())
+	}
+
+	// Heavier side branch: two fast blocks, the first carrying the same
+	// transaction. Building needs the side-chain parent state, so build
+	// against a twin chain sharing genesis, then feed the blocks in.
+	twin := newTestChain(t, MainnetLikeConfig())
+	fastA, err := twin.BuildBlock(pool1, genesis.Header.Time+10, []*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.InsertBlock(fastA); err != nil {
+		t.Fatal(err)
+	}
+	fastB, err := twin.BuildBlock(pool1, fastA.Header.Time+10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.InsertBlock(fastA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.InsertBlock(fastB); err != nil {
+		t.Fatal(err)
+	}
+	if bc.Head().Hash() != fastB.Hash() {
+		t.Fatalf("reorg did not happen: head %s", bc.Head().Hash())
+	}
+
+	var num uint64
+	_, blockHash, num, _, ok, err = bc.TransactionByHash(tx.Hash())
+	if err != nil || !ok {
+		t.Fatalf("post-reorg lookup: ok=%v err=%v", ok, err)
+	}
+	if blockHash != fastA.Hash() || num != 1 {
+		t.Fatalf("post-reorg lookup = (%s, %d), want (%s, 1)", blockHash, num, fastA.Hash())
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("counter lookup did not return the same instrument")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1000 observations at ~1ms, 10 at ~100ms: p50 lands near 1ms, p99
+	// within the 1ms bucket too (990/1010 > 0.99... actually 1000/1010 =
+	// 0.9901), and the max tail is captured by Quantile(1).
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	if got := h.Count(); got != 1010 {
+		t.Fatalf("count = %d, want 1010", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 0.004 {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 0.05 || p999 > 0.3 {
+		t.Fatalf("p99.9 = %v, want ~100ms", p999)
+	}
+	if mean := h.Mean(); mean < 0.001 || mean > 0.01 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1) // dropped
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(-1)
+	r.Histogram("lat").Observe(0.002)
+	r.GaugeFunc("fn", func() float64 { return 42 })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if m["a"].(float64) != 2 || m["b"].(float64) != -1 || m["fn"].(float64) != 42 {
+		t.Fatalf("snapshot values wrong: %v", m)
+	}
+	lat := m["lat"].(map[string]any)
+	if lat["count"].(float64) != 1 {
+		t.Fatalf("histogram snapshot wrong: %v", lat)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(0.001)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

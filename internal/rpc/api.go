@@ -1,0 +1,601 @@
+package rpc
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
+	"forkwatch/internal/types"
+)
+
+// Backend serves one chain's archive API over its Blockchain (and, for
+// the cross-chain fork_* joins, a peer backend for the other partition).
+// All reads go through the Blockchain's own locks and the KV-backed
+// Store; storage failures surface as *Error with ErrCodeStorage.
+type Backend struct {
+	name string
+	bc   *chain.Blockchain
+	peer *Backend
+}
+
+// NewBackend wraps one chain for serving. name is the chain label
+// ("ETH"/"ETC") used in routes and metrics.
+func NewBackend(name string, bc *chain.Blockchain) *Backend {
+	return &Backend{name: name, bc: bc}
+}
+
+// SetPeer links the other partition's backend, enabling the cross-chain
+// join behind fork_echoCandidates. Call on both sides.
+func (b *Backend) SetPeer(peer *Backend) { b.peer = peer }
+
+// Name returns the chain label.
+func (b *Backend) Name() string { return b.name }
+
+// Chain returns the served blockchain.
+func (b *Backend) Chain() *chain.Blockchain { return b.bc }
+
+// Generation identifies the current head for cache tagging. Any block
+// commit changes it, so a response cached under an old generation can
+// never be served after the head advances.
+func (b *Backend) Generation() uint64 { return b.bc.Head().Number() }
+
+// maxWindow bounds the fork_* range scans: an archive query over more
+// canonical blocks than this is rejected with InvalidParams rather than
+// holding a worker for an unbounded walk.
+const maxWindow = 100_000
+
+// method is one RPC method implementation.
+type method func(ctx context.Context, b *Backend, params []json.RawMessage) (any, *Error)
+
+// methods is the dispatch table. Every entry is cacheable: results are
+// pure functions of (chain state at generation, params).
+var methods = map[string]method{
+	"eth_blockNumber":          ethBlockNumber,
+	"eth_getBlockByNumber":     ethGetBlockByNumber,
+	"eth_getBlockByHash":       ethGetBlockByHash,
+	"eth_getTransactionByHash": ethGetTransactionByHash,
+	"eth_getTransactionReceipt": ethGetTransactionReceipt,
+	"eth_getBalance":           ethGetBalance,
+	"eth_getTransactionCount":  ethGetTransactionCount,
+	"fork_difficultyWindow":    forkDifficultyWindow,
+	"fork_echoCandidates":      forkEchoCandidates,
+	"fork_poolShares":          forkPoolShares,
+}
+
+// Methods lists the served method names (for smoke tooling).
+func Methods() []string {
+	out := make([]string, 0, len(methods))
+	for name := range methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- hex quantity/data helpers (Ethereum JSON-RPC conventions) ---
+
+// encUint encodes a quantity as minimal 0x-hex.
+func encUint(v uint64) string { return fmt.Sprintf("0x%x", v) }
+
+// encBig encodes a big quantity as minimal 0x-hex.
+func encBig(v *big.Int) string {
+	if v == nil || v.Sign() == 0 {
+		return "0x0"
+	}
+	return "0x" + v.Text(16)
+}
+
+// encBytes encodes data bytes as 0x-hex.
+func encBytes(b []byte) string { return "0x" + hex.EncodeToString(b) }
+
+func decodeParam(raw json.RawMessage, into any, what string) *Error {
+	if err := json.Unmarshal(raw, into); err != nil {
+		return Errf(ErrCodeInvalidParams, "bad %s: %v", what, err)
+	}
+	return nil
+}
+
+// parseQuantity decodes a 0x-hex quantity parameter.
+func parseQuantity(raw json.RawMessage, what string) (uint64, *Error) {
+	var s string
+	if err := decodeParam(raw, &s, what); err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "0X") {
+		return 0, Errf(ErrCodeInvalidParams, "bad %s: quantity %q must be 0x-prefixed hex", what, s)
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(strings.ToLower(s[2:]), "%x", &v); err != nil || s[2:] == "" {
+		return 0, Errf(ErrCodeInvalidParams, "bad %s: quantity %q", what, s)
+	}
+	return v, nil
+}
+
+// parseHash decodes a 32-byte 0x-hex hash parameter.
+func parseHash(raw json.RawMessage, what string) (types.Hash, *Error) {
+	var s string
+	if err := decodeParam(raw, &s, what); err != nil {
+		return types.Hash{}, err
+	}
+	b, err := decodeHexData(s, types.HashLength)
+	if err != nil {
+		return types.Hash{}, Errf(ErrCodeInvalidParams, "bad %s: %v", what, err)
+	}
+	return types.BytesToHash(b), nil
+}
+
+// parseAddress decodes a 20-byte 0x-hex address parameter.
+func parseAddress(raw json.RawMessage, what string) (types.Address, *Error) {
+	var s string
+	if err := decodeParam(raw, &s, what); err != nil {
+		return types.Address{}, err
+	}
+	b, err := decodeHexData(s, types.AddressLength)
+	if err != nil {
+		return types.Address{}, Errf(ErrCodeInvalidParams, "bad %s: %v", what, err)
+	}
+	return types.BytesToAddress(b), nil
+}
+
+func decodeHexData(s string, wantLen int) ([]byte, error) {
+	if !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "0X") {
+		return nil, fmt.Errorf("%q must be 0x-prefixed hex", s)
+	}
+	b, err := hex.DecodeString(s[2:])
+	if err != nil {
+		return nil, fmt.Errorf("%q: %v", s, err)
+	}
+	if len(b) != wantLen {
+		return nil, fmt.Errorf("%q is %d bytes, want %d", s, len(b), wantLen)
+	}
+	return b, nil
+}
+
+// resolveBlockTag maps a block parameter ("latest", "earliest" or a
+// 0x-hex number) to the canonical block it names.
+func resolveBlockTag(b *Backend, raw json.RawMessage) (*chain.Block, *Error) {
+	var s string
+	if err := decodeParam(raw, &s, "block parameter"); err != nil {
+		return nil, err
+	}
+	switch s {
+	case "latest", "pending":
+		return b.bc.Head(), nil
+	case "earliest":
+		return b.bc.Genesis(), nil
+	}
+	n, perr := parseQuantity(raw, "block number")
+	if perr != nil {
+		return nil, perr
+	}
+	blk, ok := b.bc.BlockByNumber(n)
+	if !ok {
+		return nil, Errf(ErrCodeNotFound, "block %d not found", n)
+	}
+	return blk, nil
+}
+
+// storageErr wraps a failed store read as a typed JSON-RPC error. Corrupt
+// records and injected I/O faults both land here — never a panic.
+func storageErr(err error) *Error {
+	e := Errf(ErrCodeStorage, "storage error: %v", err)
+	if db.IsTransient(err) {
+		e.Data = "transient"
+	}
+	return e
+}
+
+// needParams enforces an exact parameter count.
+func needParams(params []json.RawMessage, n int, sig string) *Error {
+	if len(params) != n {
+		return Errf(ErrCodeInvalidParams, "want %d params (%s), got %d", n, sig, len(params))
+	}
+	return nil
+}
+
+// --- block/tx/receipt JSON shapes ---
+
+// rpcBlock is the wire form of a block (Ethereum field names).
+type rpcBlock struct {
+	Number          string `json:"number"`
+	Hash            string `json:"hash"`
+	ParentHash      string `json:"parentHash"`
+	Timestamp       string `json:"timestamp"`
+	Difficulty      string `json:"difficulty"`
+	TotalDifficulty string `json:"totalDifficulty,omitempty"`
+	GasLimit        string `json:"gasLimit"`
+	GasUsed         string `json:"gasUsed"`
+	Miner           string `json:"miner"`
+	ExtraData       string `json:"extraData"`
+	StateRoot       string `json:"stateRoot"`
+	TxRoot          string `json:"transactionsRoot"`
+	ReceiptsRoot    string `json:"receiptsRoot"`
+	UncleHash       string `json:"sha3Uncles"`
+	Transactions    []any  `json:"transactions"`
+	Uncles          []string `json:"uncles"`
+}
+
+// rpcTx is the wire form of a transaction.
+type rpcTx struct {
+	Hash        string  `json:"hash"`
+	Nonce       string  `json:"nonce"`
+	BlockHash   string  `json:"blockHash"`
+	BlockNumber string  `json:"blockNumber"`
+	TxIndex     string  `json:"transactionIndex"`
+	From        string  `json:"from"`
+	To          *string `json:"to"`
+	Value       string  `json:"value"`
+	Gas         string  `json:"gas"`
+	GasPrice    string  `json:"gasPrice"`
+	Input       string  `json:"input"`
+	ChainID     string  `json:"chainId"`
+}
+
+// rpcReceipt is the wire form of a receipt.
+type rpcReceipt struct {
+	TxHash          string  `json:"transactionHash"`
+	TxIndex         string  `json:"transactionIndex"`
+	BlockHash       string  `json:"blockHash"`
+	BlockNumber     string  `json:"blockNumber"`
+	Status          string  `json:"status"`
+	GasUsed         string  `json:"gasUsed"`
+	ContractAddress *string `json:"contractAddress"`
+	// ContractCall is forkwatch's Fig 2 classification: whether the
+	// transaction invoked code.
+	ContractCall bool `json:"contractCall"`
+}
+
+func marshalTx(tx *chain.Transaction, blockHash types.Hash, blockNumber uint64, index uint32) *rpcTx {
+	out := &rpcTx{
+		Hash:        tx.Hash().Hex(),
+		Nonce:       encUint(tx.Nonce),
+		BlockHash:   blockHash.Hex(),
+		BlockNumber: encUint(blockNumber),
+		TxIndex:     encUint(uint64(index)),
+		From:        tx.From.Hex(),
+		Value:       encBig(tx.Value),
+		Gas:         encUint(tx.GasLimit),
+		GasPrice:    encBig(tx.GasPrice),
+		Input:       encBytes(tx.Data),
+		ChainID:     encUint(tx.ChainID),
+	}
+	if tx.To != nil {
+		to := tx.To.Hex()
+		out.To = &to
+	}
+	return out
+}
+
+func marshalBlock(b *Backend, blk *chain.Block, fullTxs bool) *rpcBlock {
+	h := blk.Header
+	out := &rpcBlock{
+		Number:       encUint(h.Number),
+		Hash:         blk.Hash().Hex(),
+		ParentHash:   h.ParentHash.Hex(),
+		Timestamp:    encUint(h.Time),
+		Difficulty:   encBig(h.Difficulty),
+		GasLimit:     encUint(h.GasLimit),
+		GasUsed:      encUint(h.GasUsed),
+		Miner:        h.Coinbase.Hex(),
+		ExtraData:    encBytes(h.Extra),
+		StateRoot:    h.StateRoot.Hex(),
+		TxRoot:       h.TxRoot.Hex(),
+		ReceiptsRoot: h.ReceiptRoot.Hex(),
+		UncleHash:    h.UncleHash.Hex(),
+		Transactions: make([]any, 0, len(blk.Txs)),
+		Uncles:       make([]string, 0, len(blk.Uncles)),
+	}
+	if td, ok := b.bc.TD(blk.Hash()); ok {
+		out.TotalDifficulty = encBig(td)
+	}
+	for i, tx := range blk.Txs {
+		if fullTxs {
+			out.Transactions = append(out.Transactions, marshalTx(tx, blk.Hash(), h.Number, uint32(i)))
+		} else {
+			out.Transactions = append(out.Transactions, tx.Hash().Hex())
+		}
+	}
+	for _, u := range blk.Uncles {
+		out.Uncles = append(out.Uncles, u.Hash().Hex())
+	}
+	return out
+}
+
+// --- eth_* methods ---
+
+func ethBlockNumber(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 0, "none"); err != nil {
+		return nil, err
+	}
+	return encUint(b.bc.Head().Number()), nil
+}
+
+func ethGetBlockByNumber(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 2, "blockNumber, fullTransactions"); err != nil {
+		return nil, err
+	}
+	var full bool
+	if err := decodeParam(params[1], &full, "fullTransactions flag"); err != nil {
+		return nil, err
+	}
+	blk, perr := resolveBlockTag(b, params[0])
+	if perr != nil {
+		if perr.Code == ErrCodeNotFound {
+			return nil, nil // Ethereum convention: null for absent blocks
+		}
+		return nil, perr
+	}
+	return marshalBlock(b, blk, full), nil
+}
+
+func ethGetBlockByHash(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 2, "blockHash, fullTransactions"); err != nil {
+		return nil, err
+	}
+	h, perr := parseHash(params[0], "block hash")
+	if perr != nil {
+		return nil, perr
+	}
+	var full bool
+	if err := decodeParam(params[1], &full, "fullTransactions flag"); err != nil {
+		return nil, err
+	}
+	blk, ok := b.bc.GetBlock(h)
+	if !ok {
+		// The in-memory index holds the canonical chain plus gossiped
+		// side blocks; fall back to the store for anything else.
+		sblk, sok, err := b.bc.Store().Block(h)
+		if err != nil {
+			return nil, storageErr(err)
+		}
+		if !sok {
+			return nil, nil
+		}
+		blk = sblk
+	}
+	return marshalBlock(b, blk, full), nil
+}
+
+func ethGetTransactionByHash(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 1, "transactionHash"); err != nil {
+		return nil, err
+	}
+	h, perr := parseHash(params[0], "transaction hash")
+	if perr != nil {
+		return nil, perr
+	}
+	tx, blockHash, blockNumber, index, ok, err := b.bc.TransactionByHash(h)
+	if err != nil {
+		return nil, storageErr(err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	return marshalTx(tx, blockHash, blockNumber, index), nil
+}
+
+func ethGetTransactionReceipt(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 1, "transactionHash"); err != nil {
+		return nil, err
+	}
+	h, perr := parseHash(params[0], "transaction hash")
+	if perr != nil {
+		return nil, perr
+	}
+	rec, blockHash, index, ok, err := b.bc.ReceiptByTxHash(h)
+	if err != nil {
+		return nil, storageErr(err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	blk, ok := b.bc.GetBlock(blockHash)
+	var blockNumber uint64
+	if ok {
+		blockNumber = blk.Number()
+	}
+	status := "0x0"
+	if rec.Status {
+		status = "0x1"
+	}
+	out := &rpcReceipt{
+		TxHash:       rec.TxHash.Hex(),
+		TxIndex:      encUint(uint64(index)),
+		BlockHash:    blockHash.Hex(),
+		BlockNumber:  encUint(blockNumber),
+		Status:       status,
+		GasUsed:      encUint(rec.GasUsed),
+		ContractCall: rec.ContractCall,
+	}
+	if !rec.ContractAddress.IsZero() {
+		addr := rec.ContractAddress.Hex()
+		out.ContractAddress = &addr
+	}
+	return out, nil
+}
+
+// stateQuery resolves the at-block state behind eth_getBalance and
+// eth_getTransactionCount through the state trie.
+func stateQuery(b *Backend, params []json.RawMessage, read func(st stateReader, addr types.Address) any) (any, *Error) {
+	addr, perr := parseAddress(params[0], "address")
+	if perr != nil {
+		return nil, perr
+	}
+	blk, perr := resolveBlockTag(b, params[1])
+	if perr != nil {
+		return nil, perr
+	}
+	st, err := b.bc.StateAt(blk.Hash())
+	if err != nil {
+		return nil, storageErr(err)
+	}
+	out := read(st, addr)
+	// Trie reads report device failures via the state's sticky error, not
+	// a panic: surface them as a typed storage error.
+	if err := st.Error(); err != nil {
+		return nil, storageErr(err)
+	}
+	return out, nil
+}
+
+// stateReader is the slice of state.DB the queries need (kept narrow so
+// tests can fake it).
+type stateReader interface {
+	GetBalance(types.Address) *big.Int
+	GetNonce(types.Address) uint64
+}
+
+func ethGetBalance(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 2, "address, block"); err != nil {
+		return nil, err
+	}
+	return stateQuery(b, params, func(st stateReader, addr types.Address) any {
+		return encBig(st.GetBalance(addr))
+	})
+}
+
+func ethGetTransactionCount(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if err := needParams(params, 2, "address, block"); err != nil {
+		return nil, err
+	}
+	return stateQuery(b, params, func(st stateReader, addr types.Address) any {
+		return encUint(st.GetNonce(addr))
+	})
+}
+
+// --- fork_* methods (the paper's analysis primitives) ---
+
+// parseWindow decodes and clamps a [from, to] canonical-block window.
+func parseWindow(b *Backend, params []json.RawMessage) (from, to uint64, err *Error) {
+	if perr := needParams(params, 2, "fromBlock, toBlock"); perr != nil {
+		return 0, 0, perr
+	}
+	from, err = parseQuantity(params[0], "fromBlock")
+	if err != nil {
+		return 0, 0, err
+	}
+	to, err = parseQuantity(params[1], "toBlock")
+	if err != nil {
+		return 0, 0, err
+	}
+	if to < from {
+		return 0, 0, Errf(ErrCodeInvalidParams, "window [%d, %d] is inverted", from, to)
+	}
+	if to-from+1 > maxWindow {
+		return 0, 0, Errf(ErrCodeInvalidParams, "window of %d blocks exceeds limit %d", to-from+1, maxWindow)
+	}
+	if head := b.bc.Head().Number(); to > head {
+		to = head
+	}
+	return from, to, nil
+}
+
+// forkDifficultyWindow returns the difficulty trajectory over a canonical
+// window: the raw series behind the paper's Fig 1/2 difficulty panels
+// (the two-week mirror-image shift after the partition).
+func forkDifficultyWindow(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	from, to, perr := parseWindow(b, params)
+	if perr != nil {
+		return nil, perr
+	}
+	type point struct {
+		Number     string `json:"number"`
+		Timestamp  string `json:"timestamp"`
+		Difficulty string `json:"difficulty"`
+	}
+	blocks := b.bc.CanonicalBlocks(from, to)
+	out := make([]point, 0, len(blocks))
+	for _, blk := range blocks {
+		out = append(out, point{
+			Number:     encUint(blk.Number()),
+			Timestamp:  encUint(blk.Header.Time),
+			Difficulty: encBig(blk.Header.Difficulty),
+		})
+	}
+	return map[string]any{"chain": b.name, "points": out}, nil
+}
+
+// forkEchoCandidates joins this chain's canonical window against the
+// other partition's tx index on transaction hash: transactions mined on
+// both chains (the paper's O5 "echoes", its replay-attack measurement).
+func forkEchoCandidates(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	if b.peer == nil {
+		return nil, Errf(ErrCodeInternal, "no peer chain configured for cross-chain join")
+	}
+	from, to, perr := parseWindow(b, params)
+	if perr != nil {
+		return nil, perr
+	}
+	type echo struct {
+		Hash        string `json:"hash"`
+		From        string `json:"from"`
+		BlockNumber string `json:"blockNumber"`
+		PeerBlock   string `json:"peerBlockNumber"`
+	}
+	peerStore := b.peer.bc.Store()
+	out := []echo{}
+	for _, blk := range b.bc.CanonicalBlocks(from, to) {
+		for _, tx := range blk.Txs {
+			lk, ok, err := peerStore.TxIndex(tx.Hash())
+			if err != nil {
+				return nil, storageErr(err)
+			}
+			if !ok {
+				continue
+			}
+			peerBlk, ok := b.peer.bc.GetBlock(lk.BlockHash)
+			if !ok {
+				continue
+			}
+			out = append(out, echo{
+				Hash:        tx.Hash().Hex(),
+				From:        tx.From.Hex(),
+				BlockNumber: encUint(blk.Number()),
+				PeerBlock:   encUint(peerBlk.Number()),
+			})
+		}
+	}
+	return map[string]any{"chain": b.name, "peer": b.peer.name, "echoes": out}, nil
+}
+
+// forkPoolShares attributes a canonical window's blocks to coinbase
+// addresses and returns each miner's share, largest first — the paper's
+// Fig 5 pool-concentration measurement (O6).
+func forkPoolShares(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
+	from, to, perr := parseWindow(b, params)
+	if perr != nil {
+		return nil, perr
+	}
+	counts := map[types.Address]int{}
+	total := 0
+	for _, blk := range b.bc.CanonicalBlocks(from, to) {
+		counts[blk.Header.Coinbase]++
+		total++
+	}
+	type share struct {
+		Miner  string  `json:"miner"`
+		Blocks int     `json:"blocks"`
+		Share  float64 `json:"share"`
+	}
+	out := make([]share, 0, len(counts))
+	for addr, n := range counts {
+		s := share{Miner: addr.Hex(), Blocks: n}
+		if total > 0 {
+			s.Share = float64(n) / float64(total)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Blocks != out[j].Blocks {
+			return out[i].Blocks > out[j].Blocks
+		}
+		return out[i].Miner < out[j].Miner
+	})
+	return map[string]any{"chain": b.name, "totalBlocks": total, "pools": out}, nil
+}

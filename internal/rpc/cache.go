@@ -1,0 +1,91 @@
+package rpc
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is a generation-tagged LRU over marshalled results, one per
+// method. Keys are the canonical request encoding (Request.CacheKey);
+// every entry is tagged with the chain-head generation current when it
+// was filled. Lookups require an exact generation match, so advancing the
+// head invalidates every prior entry at once — stale answers become
+// unreachable and age out through normal LRU eviction. This is what makes
+// it safe to cache even eth_blockNumber: a request that starts after a
+// block commit observes the new generation and can only miss.
+type respCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	gen    uint64
+	result []byte // marshalled JSON result
+}
+
+// newRespCache returns an LRU holding up to capacity entries; capacity
+// <= 0 disables caching (every lookup misses, stores are dropped).
+func newRespCache(capacity int) *respCache {
+	return &respCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for (key, gen), if present.
+func (c *respCache) get(key string, gen uint64) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		// A head advance outdated this entry; drop it eagerly so the
+		// slot is reusable immediately.
+		c.order.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.result, true
+}
+
+// put stores a result under (key, gen), evicting the least recently used
+// entry on overflow.
+func (c *respCache) put(key string, gen uint64, result []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.gen = gen
+		ent.result = result
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, gen: gen, result: result})
+	c.items[key] = el
+	for c.order.Len() > c.cap {
+		old := c.order.Back()
+		c.order.Remove(old)
+		delete(c.items, old.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of live entries (for metrics).
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,170 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a minimal JSON-RPC 2.0 HTTP client for one endpoint (one
+// chain). It is safe for concurrent use; ids are allocated atomically.
+type Client struct {
+	endpoint string
+	hc       *http.Client
+	nextID   atomic.Int64
+}
+
+// NewClient builds a client for endpoint (e.g. "http://127.0.0.1:8545/eth").
+// A nil httpClient uses a dedicated client with a 30s timeout.
+func NewClient(endpoint string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{endpoint: endpoint, hc: httpClient}
+}
+
+// Endpoint returns the target URL.
+func (c *Client) Endpoint() string { return c.endpoint }
+
+// Call invokes method with params and decodes the result into out (out
+// may be nil to discard). A JSON-RPC error comes back as *Error; a
+// transport failure as a plain error.
+func (c *Client) Call(out any, method string, params ...any) error {
+	id := c.nextID.Add(1)
+	req, err := buildRequest(id, method, params)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	raw, status, err := c.post(body)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusTooManyRequests {
+		return &Error{Code: ErrCodeOverloaded, Message: "server overloaded (HTTP 429)"}
+	}
+	var resp clientResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return fmt.Errorf("decoding response (HTTP %d): %w", status, err)
+	}
+	return resp.unpack(out)
+}
+
+// BatchElem is one call in a batch: method, params and a destination for
+// the result. After Batch returns, Err holds the per-call outcome.
+type BatchElem struct {
+	Method string
+	Params []any
+	Result any
+	Err    error
+}
+
+// Batch sends all elems as a single JSON-RPC batch and fills each elem's
+// Result/Err. The returned error covers transport-level failures only.
+func (c *Client) Batch(elems []BatchElem) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	reqs := make([]*Request, len(elems))
+	byID := make(map[string]int, len(elems))
+	for i := range elems {
+		id := c.nextID.Add(1)
+		req, err := buildRequest(id, elems[i].Method, elems[i].Params)
+		if err != nil {
+			return err
+		}
+		reqs[i] = req
+		byID[string(req.ID)] = i
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return err
+	}
+	raw, status, err := c.post(body)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusTooManyRequests {
+		overload := &Error{Code: ErrCodeOverloaded, Message: "server overloaded (HTTP 429)"}
+		for i := range elems {
+			elems[i].Err = overload
+		}
+		return nil
+	}
+	var resps []clientResponse
+	if err := json.Unmarshal(raw, &resps); err != nil {
+		return fmt.Errorf("decoding batch response (HTTP %d): %w", status, err)
+	}
+	seen := make(map[int]bool, len(resps))
+	for i := range resps {
+		idx, ok := byID[string(bytes.TrimSpace(resps[i].ID))]
+		if !ok {
+			continue
+		}
+		seen[idx] = true
+		elems[idx].Err = resps[i].unpack(elems[idx].Result)
+	}
+	for i := range elems {
+		if !seen[i] && elems[i].Err == nil {
+			elems[i].Err = fmt.Errorf("no response for batch element %d (%s)", i, elems[i].Method)
+		}
+	}
+	return nil
+}
+
+// clientResponse keeps Result raw so callers decode into their own type.
+type clientResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  json.RawMessage `json:"result"`
+	Error   *Error          `json:"error"`
+}
+
+func (r *clientResponse) unpack(out any) error {
+	if r.Error != nil {
+		return r.Error
+	}
+	if out == nil {
+		return nil
+	}
+	if len(r.Result) == 0 {
+		return fmt.Errorf("response carries neither result nor error")
+	}
+	return json.Unmarshal(r.Result, out)
+}
+
+func buildRequest(id int64, method string, params []any) (*Request, error) {
+	req := &Request{
+		JSONRPC: Version,
+		ID:      json.RawMessage(fmt.Sprintf("%d", id)),
+		Method:  method,
+	}
+	for _, p := range params {
+		enc, err := json.Marshal(p)
+		if err != nil {
+			return nil, fmt.Errorf("marshalling param for %s: %w", method, err)
+		}
+		req.Params = append(req.Params, json.RawMessage(enc))
+	}
+	return req, nil
+}
+
+func (c *Client) post(body []byte) (raw []byte, status int, err error) {
+	resp, err := c.hc.Post(c.endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return raw, resp.StatusCode, nil
+}

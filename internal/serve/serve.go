@@ -1,0 +1,55 @@
+// Package serve boots the JSON-RPC archive over a simulated partition:
+// it runs a full-fidelity scenario to materialise the two chains, then
+// mounts both on one rpc.Server — the single-process stand-in for the
+// paper's paired ETH/ETC full nodes. cmd/forkserve and cmd/forkload's
+// self-serve mode share this path.
+package serve
+
+import (
+	"fmt"
+
+	"forkwatch/internal/rpc"
+	"forkwatch/internal/sim"
+)
+
+// Result is a booted archive: the server (caller owns Close) and the two
+// live chains behind it.
+type Result struct {
+	Server *rpc.Server
+	ETH    *sim.FullLedger
+	ETC    *sim.FullLedger
+	Engine *sim.Engine
+}
+
+// Build runs sc (which must be ModeFull — the archive needs real blocks
+// and tries) and mounts both resulting chains on a new server built from
+// cfg. The returned server routes /eth and /etc, cross-linked as peers
+// for the fork_* joins.
+func Build(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
+	if sc.Mode != sim.ModeFull {
+		return nil, fmt.Errorf("serve: scenario mode must be full (the archive serves real chains)")
+	}
+	eng, err := sim.New(sc)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building engine: %w", err)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("serve: running scenario: %w", err)
+	}
+	eth, ok := eng.ETH.(*sim.FullLedger)
+	if !ok {
+		return nil, fmt.Errorf("serve: ETH ledger is %T, want *sim.FullLedger", eng.ETH)
+	}
+	etc, ok := eng.ETC.(*sim.FullLedger)
+	if !ok {
+		return nil, fmt.Errorf("serve: ETC ledger is %T, want *sim.FullLedger", eng.ETC)
+	}
+	srv := rpc.NewServer(cfg)
+	beEth := rpc.NewBackend("ETH", eth.BC)
+	beEtc := rpc.NewBackend("ETC", etc.BC)
+	beEth.SetPeer(beEtc)
+	beEtc.SetPeer(beEth)
+	srv.RegisterChain(beEth)
+	srv.RegisterChain(beEtc)
+	return &Result{Server: srv, ETH: eth, ETC: etc, Engine: eng}, nil
+}

@@ -1,0 +1,104 @@
+#!/bin/sh
+# rpcsmoke boots forkserve on a throwaway port, curls every served method
+# on both chain endpoints, checks /debug/metrics, and fails on any
+# malformed response. CI's RPC smoke job runs this; `make rpcsmoke`
+# locally does the same.
+set -eu
+
+ADDR="${RPCSMOKE_ADDR:-127.0.0.1:18545}"
+BASE="http://$ADDR"
+DAYS="${RPCSMOKE_DAYS:-1}"
+LOG="$(mktemp)"
+GO="${GO:-go}"
+
+echo "rpcsmoke: building forkserve..."
+$GO build -o /tmp/forkserve ./cmd/forkserve
+
+/tmp/forkserve -days "$DAYS" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+echo "rpcsmoke: waiting for $BASE/healthz..."
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -gt 120 ]; then
+        echo "rpcsmoke: server never came up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 $PID 2>/dev/null; then
+        echo "rpcsmoke: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# call CHAIN METHOD PARAMS — posts one JSON-RPC request and requires a
+# non-null "result" member in the response.
+call() {
+    chain="$1"; method="$2"; params="$3"
+    body="{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"$method\",\"params\":$params}"
+    resp="$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "$BASE/$chain")" || {
+        echo "rpcsmoke: FAIL $chain $method: transport error" >&2; exit 1; }
+    case "$resp" in
+        *'"error"'*)
+            echo "rpcsmoke: FAIL $chain $method: $resp" >&2; exit 1 ;;
+        *'"result"'*)
+            echo "rpcsmoke: ok   $chain $method" ;;
+        *)
+            echo "rpcsmoke: FAIL $chain $method: no result member: $resp" >&2; exit 1 ;;
+    esac
+}
+
+for chain in eth etc; do
+    # Head, then a real block hash + tx hash pulled out of block 1 for the
+    # lookup methods (block 1 always exists after a 1-day run; tx lookups
+    # tolerate a null result on an empty block via the jq-free check).
+    call "$chain" eth_blockNumber '[]'
+    call "$chain" eth_getBlockByNumber '["0x1",true]'
+    call "$chain" eth_getBlockByNumber '["latest",false]'
+
+    hash=$(curl -s -X POST -H 'Content-Type: application/json' \
+        -d '{"jsonrpc":"2.0","id":1,"method":"eth_getBlockByNumber","params":["0x1",false]}' \
+        "$BASE/$chain" | sed -n 's/.*"hash":"\(0x[0-9a-f]*\)".*/\1/p')
+    [ -n "$hash" ] || { echo "rpcsmoke: FAIL $chain: no block hash extracted" >&2; exit 1; }
+    call "$chain" eth_getBlockByHash "[\"$hash\",false]"
+
+    miner=$(curl -s -X POST -H 'Content-Type: application/json' \
+        -d '{"jsonrpc":"2.0","id":1,"method":"eth_getBlockByNumber","params":["0x1",false]}' \
+        "$BASE/$chain" | sed -n 's/.*"miner":"\(0x[0-9a-f]*\)".*/\1/p')
+    call "$chain" eth_getBalance "[\"$miner\",\"latest\"]"
+    call "$chain" eth_getTransactionCount "[\"$miner\",\"latest\"]"
+
+    txhash=""
+    n=1
+    while [ -z "$txhash" ] && [ "$n" -le 32 ]; do
+        txhash=$(curl -s -X POST -H 'Content-Type: application/json' \
+            -d "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"eth_getBlockByNumber\",\"params\":[\"$(printf '0x%x' $n)\",false]}" \
+            "$BASE/$chain" | sed -n 's/.*"transactions":\["\(0x[0-9a-f]*\)".*/\1/p')
+        n=$((n+1))
+    done
+    if [ -n "$txhash" ]; then
+        call "$chain" eth_getTransactionByHash "[\"$txhash\"]"
+        call "$chain" eth_getTransactionReceipt "[\"$txhash\"]"
+    else
+        echo "rpcsmoke: note $chain blocks 1-32 carry no txs; skipping tx lookups"
+    fi
+
+    call "$chain" fork_difficultyWindow '["0x1","0x20"]'
+    call "$chain" fork_echoCandidates '["0x1","0x20"]'
+    call "$chain" fork_poolShares '["0x1","0x20"]'
+done
+
+metrics="$(curl -sf "$BASE/debug/metrics")"
+for key in 'rpc.eth.eth_blockNumber.requests' 'rpc.etc.eth_blockNumber.requests' 'storage.eth.reads'; do
+    case "$metrics" in
+        *"$key"*) ;;
+        *) echo "rpcsmoke: FAIL metrics snapshot missing $key" >&2; exit 1 ;;
+    esac
+done
+echo "rpcsmoke: ok   /debug/metrics"
+
+echo "rpcsmoke: PASS"

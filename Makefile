@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench fuzz chaos rpcsmoke loadbench clean
+.PHONY: all build test race vet check bench benchcmp profile fuzz chaos rpcsmoke loadbench clean
 
 all: build
 
@@ -43,13 +43,31 @@ fuzz:
 chaos:
 	$(GO) test -race -run 'Chaos|Crash|WAL|Fault|Torn|Recover|Guard' ./...
 
-# Benchmarks: run everything once, keep the raw text, and convert it into
-# a machine-readable JSON snapshot for the PR record.
-BENCH_JSON ?= BENCH_pr2.json
+# Benchmarks: three iterations per benchmark (benchtime=1x was too noisy
+# to diff between snapshots; iteration counts land in the JSON), raw text
+# kept, converted into a machine-readable JSON snapshot for the PR record.
+BENCH_JSON ?= BENCH_pr5.json
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./... | tee bench.out
+	$(GO) test -bench=. -benchtime=3x -benchmem -run '^$$' ./... | tee bench.out
 	$(GO) run ./tools/benchjson bench.out > $(BENCH_JSON)
+
+# Non-fatal bench diff against a committed baseline snapshot: prints
+# ns/op and allocs/op deltas, always exits 0 (report, not gate).
+BENCH_BASELINE ?= BENCH_pr2.json
+
+benchcmp:
+	$(GO) run ./tools/benchcmp $(BENCH_BASELINE) $(BENCH_JSON)
+
+# CPU/alloc profile of the long-horizon engine benchmark; inspect with
+# `go tool pprof cpu.pprof`.
+PROFILE_DIR ?= profiles
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -bench '^BenchmarkFigure2LongTermDynamics$$' -benchtime=3x -run '^$$' \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/mem.pprof .
+	@echo "profiles in $(PROFILE_DIR)/: cpu.pprof mem.pprof"
 
 # RPC smoke: boot forkserve, curl every method on both chain endpoints
 # and check /debug/metrics (what CI's rpc-smoke job runs).

@@ -375,6 +375,53 @@ func BenchmarkAblationPoolAttachment(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallelism measures the two-partition day-barrier
+// engine across Scenario.Parallelism settings on the Figure 2 horizon
+// (270 days, fast ledgers): parallelism=1 is the serial reference,
+// parallelism=2/4 step ETH and ETC on separate goroutines. Output is
+// byte-identical across variants (TestParallelFiguresByteIdentical), so
+// the ns/op delta is pure scheduling: on a multi-core host the parallel
+// variants overlap the two partitions' mining; on a single-core host
+// they measure the barrier overhead instead.
+func BenchmarkEngineParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc := forkwatch.NewScenario(1, 270)
+				sc.Parallelism = par
+				rep := runScenario(b, sc)
+				c := rep.Collector
+				days := c.Days()
+				// Sanity metric shared across variants: identical by
+				// construction, so a drift here flags a determinism bug.
+				b.ReportMetric(c.DailyDifficulty("ETH")[days-1]/c.DailyDifficulty("ETC")[days-1], "difficulty_ratio_final")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineParallelismFull is the same sweep on the full-fidelity
+// substrate (real EVM, tries, seals) over a short horizon, where
+// per-block work dominates and the day barrier is comparatively cheap.
+func BenchmarkEngineParallelismFull(b *testing.B) {
+	for _, par := range []int{1, 2} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc := forkwatch.NewScenario(1, 2)
+				sc.Mode = forkwatch.ModeFull
+				sc.DayLength = 3600
+				sc.Users = 50
+				sc.ETHTxPerDay = 40
+				sc.ETCTxPerDay = 15
+				sc.Parallelism = par
+				if _, err := forkwatch.Run(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFullFidelityDay measures the cost of one simulated day in full
 // (EVM + tries + seals) mode relative to the fast ledger, documenting the
 // substitution DESIGN.md makes for nine-month horizons.

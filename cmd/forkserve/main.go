@@ -4,7 +4,7 @@
 //
 // Routes: POST /eth and /etc (JSON-RPC 2.0, batches supported),
 // GET /debug/metrics (counters, latency histograms, storage stats),
-// GET /healthz.
+// GET /debug/pprof/ (live CPU/heap/goroutine profiles), GET /healthz.
 //
 // Usage:
 //
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"forkwatch"
@@ -39,11 +40,13 @@ func main() {
 		cacheN  = flag.Int("cache-entries", 0, "per-method response-cache capacity (0 = default, <0 disables)")
 		rate    = flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request execution deadline")
+		par     = flag.Int("parallelism", 0, "simulation partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; served chains are identical either way")
 	)
 	flag.Parse()
 
 	sc := forkwatch.NewScenario(*seed, *days)
 	sc.Mode = sim.ModeFull
+	sc.Parallelism = *par
 	sc.Storage = forkwatch.StorageConfig{Backend: *storage}
 	if *faults != "" {
 		f, err := forkwatch.ParseStorageFaults(*faults)
@@ -67,9 +70,19 @@ func main() {
 	}
 	defer res.Server.Close()
 
+	// The RPC server stays the catch-all; the mux only peels off the
+	// pprof endpoints (/debug/metrics still falls through to the server).
+	mux := http.NewServeMux()
+	mux.Handle("/", res.Server)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
 	log.Printf("ETH head %d, ETC head %d", res.ETH.BC.Head().Number(), res.ETC.BC.Head().Number())
-	log.Printf("serving /eth /etc /debug/metrics /healthz on %s", *addr)
-	if err := http.ListenAndServe(*addr, res.Server); err != nil {
+	log.Printf("serving /eth /etc /debug/metrics /debug/pprof /healthz on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

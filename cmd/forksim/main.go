@@ -15,6 +15,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"forkwatch"
 	"forkwatch/internal/analysis"
@@ -34,6 +36,8 @@ func main() {
 		faults  = flag.String("storage-faults", "", `full-mode storage fault injection, e.g. "seed=42,readerr=0.2,writeerr=0.2,torn=0.01" (empty = none)`)
 		crash   = flag.String("crash", "", `full-mode storage crash schedule: comma-separated chain:day:block:op, e.g. "ETH:1:3:40,ETC:2:0:5"`)
 		outDir  = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
+		par     = flag.Int("parallelism", 0, "partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; output is byte-identical either way")
+		profDir = flag.String("profile", "", "directory for cpu.pprof/heap.pprof capture of the run (empty = no profiling)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,8 @@ func main() {
 		sc.Crashes = cs
 	}
 
+	sc.Parallelism = *par
+
 	eng, err := forkwatch.NewEngine(sc)
 	if err != nil {
 		log.Fatal(err)
@@ -80,8 +86,35 @@ func main() {
 	rec := &forkwatch.Recorder{}
 	eng.AddObserver(col)
 	eng.AddObserver(rec)
+
+	if *profDir != "" {
+		if err := os.MkdirAll(*profDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		cpuF, err := os.Create(filepath.Join(*profDir, "cpu.pprof"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			log.Fatal(err)
+		}
+		defer cpuF.Close()
+	}
 	if err := eng.Run(); err != nil {
 		log.Fatal(err)
+	}
+	if *profDir != "" {
+		pprof.StopCPUProfile()
+		heapF, err := os.Create(filepath.Join(*profDir, "heap.pprof"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained allocations
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			log.Fatal(err)
+		}
+		heapF.Close()
+		log.Printf("wrote cpu.pprof and heap.pprof to %s", *profDir)
 	}
 	rep := &forkwatch.Report{Scenario: sc, Collector: col}
 	fmt.Print(rep.Summary())

@@ -197,10 +197,29 @@ type Block struct {
 	Header *Header
 	Txs    []*Transaction
 	Uncles []*Header
+
+	// txRoot memoizes ComputedTxRoot(). The transaction list is immutable
+	// once the block is built, and the root is a Merkle-Patricia trie
+	// build — by far the most expensive part of body validation — so it is
+	// computed at most once: the miner warms it in BuildBlock, the import
+	// pipeline warms it in a worker, and validateBody reads the memo.
+	txRoot atomic.Pointer[types.Hash]
 }
 
 // Hash returns the block's identity (the header hash).
 func (b *Block) Hash() types.Hash { return b.Header.Hash() }
+
+// ComputedTxRoot returns the Merkle-Patricia root over the block's
+// transaction list, memoized after the first call. Callers must not
+// mutate Txs after calling it.
+func (b *Block) ComputedTxRoot() types.Hash {
+	if p := b.txRoot.Load(); p != nil {
+		return *p
+	}
+	root := TxRoot(b.Txs)
+	b.txRoot.Store(&root)
+	return root
+}
 
 // Number returns the block height.
 func (b *Block) Number() uint64 { return b.Header.Number }

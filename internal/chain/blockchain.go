@@ -510,7 +510,7 @@ func (bc *Blockchain) validateHeader(h, parent *Header) error {
 }
 
 func (bc *Blockchain) validateBody(b *Block) error {
-	if got := TxRoot(b.Txs); got != b.Header.TxRoot {
+	if got := b.ComputedTxRoot(); got != b.Header.TxRoot {
 		return fmt.Errorf("%w: tx root %s, header %s", ErrInvalidBody, got, b.Header.TxRoot)
 	}
 	if err := bc.validateUncles(b); err != nil {
@@ -577,7 +577,9 @@ func (bc *Blockchain) BuildBlockWithUncles(coinbase types.Address, time uint64, 
 	}
 	header.GasUsed = gasUsed
 	header.StateRoot = root
-	header.TxRoot = TxRoot(txs)
+	// Computing the root through the block memoizes it, so InsertBlock's
+	// body validation will not rebuild the trie.
+	header.TxRoot = block.ComputedTxRoot()
 	header.ReceiptRoot = ReceiptRoot(receipts)
 	return block, nil
 }

@@ -7,6 +7,9 @@ import (
 	"io"
 )
 
+// Import lives in import.go: ImportChain pipelines frame decoding and
+// memo precaching across a worker pool while insertion stays ordered.
+
 // Chain persistence: the canonical chain streams as consecutive
 // length-prefixed RLP blocks, the same format go-ethereum's export/import
 // uses in spirit. cmd/forknode nodes can snapshot and restore their
@@ -39,41 +42,4 @@ func (bc *Blockchain) WriteChain(w io.Writer) error {
 		}
 	}
 	return nil
-}
-
-// ImportChain reads blocks from r and inserts them in order, returning the
-// number of newly imported blocks. Already-known blocks are skipped; the
-// first otherwise-invalid block aborts with ErrImportStopped (wrapping the
-// cause).
-func (bc *Blockchain) ImportChain(r io.Reader) (int, error) {
-	imported := 0
-	for {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return imported, nil
-			}
-			return imported, err
-		}
-		size := binary.BigEndian.Uint32(lenBuf[:])
-		if size > maxPersistFrame {
-			return imported, fmt.Errorf("%w: block frame of %d bytes", ErrImportStopped, size)
-		}
-		enc := make([]byte, size)
-		if _, err := io.ReadFull(r, enc); err != nil {
-			return imported, err
-		}
-		blk, err := DecodeBlock(enc)
-		if err != nil {
-			return imported, fmt.Errorf("%w: %v", ErrImportStopped, err)
-		}
-		switch err := bc.InsertBlock(blk); {
-		case err == nil:
-			imported++
-		case errors.Is(err, ErrKnownBlock):
-			// resuming over an overlap: fine
-		default:
-			return imported, fmt.Errorf("%w: block %d: %v", ErrImportStopped, blk.Number(), err)
-		}
-	}
 }

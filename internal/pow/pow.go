@@ -20,6 +20,7 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/keccak"
+	"forkwatch/internal/prng"
 	"forkwatch/internal/types"
 )
 
@@ -53,12 +54,25 @@ func mixDigest(sealHash types.Hash, nonce uint64) types.Hash {
 }
 
 // Sampler draws block intervals for a mining population.
+//
+// A Sampler owns its RNG exclusively and is not safe for concurrent use;
+// when two partitions are stepped on separate goroutines each needs its
+// own sampler over its own derived stream (NewPartitionSampler).
 type Sampler struct {
 	r *rand.Rand
 }
 
 // NewSampler returns a sampler over the given RNG.
 func NewSampler(r *rand.Rand) *Sampler { return &Sampler{r: r} }
+
+// NewPartitionSampler returns a sampler whose stream is derived from the
+// scenario seed and the partition name (prng.Derive). The two partitions
+// draw from disjoint deterministic streams, so they can be stepped on
+// separate goroutines between day barriers while the overall run stays
+// bit-for-bit reproducible.
+func NewPartitionSampler(seed int64, partition string) *Sampler {
+	return &Sampler{r: prng.New(seed, "pow", partition)}
+}
 
 // BlockInterval draws the time (in seconds, >= 1) until the next block for
 // a network hashing at `hashrate` H/s against `difficulty`: an exponential

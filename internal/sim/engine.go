@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/db"
@@ -13,6 +14,7 @@ import (
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
 	"forkwatch/internal/pow"
+	"forkwatch/internal/prng"
 	"forkwatch/internal/types"
 )
 
@@ -52,28 +54,61 @@ type Observer interface {
 }
 
 // Engine runs one two-partition fork scenario.
+//
+// Parallel model (DESIGN.md §10): the two partitions only couple through
+// day-granular processes — hashrate migration, price arbitrage, and the
+// echo attacker whose rebroadcasts surface on the other chain the NEXT
+// day. Within a day each partition's mining is a closed system over its
+// own state and its own seed-derived random streams, so the engine steps
+// ETH and ETC on separate goroutines between day barriers when
+// Scenario.Parallelism allows. All cross-chain effects (echo decisions,
+// observer event delivery, the market/arbitrage step) happen
+// single-threaded at the barrier in a fixed order, which is why serial
+// and parallel runs produce byte-identical output.
 type Engine struct {
-	sc      *Scenario
-	r       *rand.Rand
-	sampler *pow.Sampler
+	sc *Scenario
 
+	// ETH and ETC expose the partition ledgers; Workload and Prices the
+	// shared traffic model and price series. Exported for the façade,
+	// serve and tests.
 	ETH, ETC Ledger
 	Workload *Workload
+	Prices   market.Series
 
-	ethPools, etcPools *pool.Population
-	Prices             market.Series
-
+	parts     [2]*partition
 	ethShare  float64 // arbitrage state: ETH's share of hashrate
 	observers []Observer
+}
 
-	// pending carries unmined submissions across days, per chain.
-	pending map[string][]txPlan
+// partition is everything one chain's goroutine owns while stepping a
+// day: ledger, sampler and pool streams, the pending transaction queue,
+// the storage stack, and the day's buffered output (events, crash
+// flags). Nothing in here is shared with the other partition.
+type partition struct {
+	idx    int // 0 = ETH, 1 = ETC
+	name   string
+	ledger Ledger
 
-	// storage tracks each full-fidelity chain's storage stack for fault
-	// injection and crash recovery; empty in ModeFast.
-	storage map[string]*chainStorage
-	// firedCrashes marks scheduled crash specs that have been armed.
-	firedCrashes map[int]bool
+	sampler *pow.Sampler
+	poolR   *rand.Rand
+	pools   *pool.Population
+
+	// pending carries unmined submissions across days.
+	pending []txPlan
+
+	// storage is the chain's storage stack for fault injection and crash
+	// recovery; nil in ModeFast.
+	storage *chainStorage
+
+	// crashFired marks scheduled crash specs this partition has armed
+	// (indexed like Scenario.Crashes; only specs naming this chain ever
+	// fire here). Partition-local so arming needs no locks.
+	crashFired []bool
+
+	// Per-day inputs and outputs, set before / drained after the barrier.
+	hashrate float64
+	eipDay   int
+	events   []*BlockEvent
 }
 
 // chainStorage is one chain's storage stack: the KV the Blockchain uses
@@ -91,8 +126,7 @@ type chainStorage struct {
 
 // New builds an engine (ledgers, workload, pools, prices) from a scenario.
 func New(sc *Scenario) (*Engine, error) {
-	r := rand.New(rand.NewSource(sc.Seed))
-	w := NewWorkload(sc, rand.New(rand.NewSource(sc.Seed+1)))
+	w := NewWorkload(sc)
 	gen := w.Genesis()
 
 	ethCfg := chain.ETHConfig(1, w.DAODrainList(), DAORefundAddress)
@@ -136,11 +170,11 @@ func New(sc *Scenario) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		eth, err = NewFullLedgerWithDB(ethCfg, gen, rand.New(rand.NewSource(sc.Seed+2)), ethKV)
+		eth, err = NewFullLedgerWithDB(ethCfg, gen, prng.New(sc.Seed, "seal", "ETH"), ethKV)
 		if err != nil {
 			return nil, err
 		}
-		etc, err = NewFullLedgerWithDB(etcCfg, gen, rand.New(rand.NewSource(sc.Seed+3)), etcKV)
+		etc, err = NewFullLedgerWithDB(etcCfg, gen, prng.New(sc.Seed, "seal", "ETC"), etcKV)
 		if err != nil {
 			return nil, err
 		}
@@ -160,23 +194,39 @@ func New(sc *Scenario) (*Engine, error) {
 	if mp.Days < sc.Days {
 		mp.Days = sc.Days
 	}
-	prices := market.GeneratePrices(mp, rand.New(rand.NewSource(sc.Seed+4)))
+	prices := market.GeneratePrices(mp, prng.New(sc.Seed, "market"))
 
-	return &Engine{
-		sc:           sc,
-		r:            r,
-		sampler:      pow.NewSampler(rand.New(rand.NewSource(sc.Seed + 5))),
-		ETH:          eth,
-		ETC:          etc,
-		Workload:     w,
-		ethPools:     pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
-		etcPools:     pool.NewUniformPopulation("etc", sc.ETCPools),
-		Prices:       prices,
-		ethShare:     1 - sc.ETCShareAtFork,
-		pending:      map[string][]txPlan{},
-		storage:      storage,
-		firedCrashes: map[int]bool{},
-	}, nil
+	e := &Engine{
+		sc:       sc,
+		ETH:      eth,
+		ETC:      etc,
+		Workload: w,
+		Prices:   prices,
+		ethShare: 1 - sc.ETCShareAtFork,
+	}
+	e.parts[0] = &partition{
+		idx:        0,
+		name:       "ETH",
+		ledger:     eth,
+		sampler:    pow.NewPartitionSampler(sc.Seed, "ETH"),
+		poolR:      prng.New(sc.Seed, "pool", "ETH"),
+		pools:      pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
+		storage:    storage["ETH"],
+		crashFired: make([]bool, len(sc.Crashes)),
+		eipDay:     sc.EIP155DayETH,
+	}
+	e.parts[1] = &partition{
+		idx:        1,
+		name:       "ETC",
+		ledger:     etc,
+		sampler:    pow.NewPartitionSampler(sc.Seed, "ETC"),
+		poolR:      prng.New(sc.Seed, "pool", "ETC"),
+		pools:      pool.NewUniformPopulation("etc", sc.ETCPools),
+		storage:    storage["ETC"],
+		crashFired: make([]bool, len(sc.Crashes)),
+		eipDay:     sc.EIP155DayETC,
+	}
+	return e, nil
 }
 
 // AddObserver registers an observer for block and day events.
@@ -199,9 +249,11 @@ func (e *Engine) StorageStats() db.Stats {
 // far; chaos tests assert the crash path was actually exercised.
 func (e *Engine) CrashesFired() int {
 	n := 0
-	for _, fired := range e.firedCrashes {
-		if fired {
-			n++
+	for _, p := range e.parts {
+		for _, fired := range p.crashFired {
+			if fired {
+				n++
+			}
 		}
 	}
 	return n
@@ -212,9 +264,9 @@ func (e *Engine) CrashesFired() int {
 // Zero when no StorageFaults are configured or in ModeFast.
 func (e *Engine) StorageFaultEvents() int {
 	n := 0
-	for _, stg := range e.storage {
-		if stg.faults != nil {
-			n += len(stg.faults.Journal())
+	for _, p := range e.parts {
+		if p.storage != nil && p.storage.faults != nil {
+			n += len(p.storage.faults.Journal())
 		}
 	}
 	return n
@@ -223,8 +275,17 @@ func (e *Engine) StorageFaultEvents() int {
 // Run simulates sc.Days days. Day 0 begins at the fork moment: the two
 // ledgers share genesis (the pre-fork ledger) and block 1 is the fork
 // block on each side.
+//
+// Each day: the serial prologue computes prices and the hashrate split
+// and pins EIP-155 activation; then both partitions step (pool
+// consolidation, traffic generation, mining) — concurrently when the
+// resolved parallelism is at least 2, inline otherwise, over the same
+// per-partition streams either way; then the serial barrier flushes the
+// echo attacker, delivers buffered block events in fixed ETH-then-ETC
+// order, and emits the day event.
 func (e *Engine) Run() error {
 	alloc := market.Allocator{Elasticity: e.sc.ArbitrageElasticity}
+	concurrent := e.sc.ResolveParallelism() >= 2
 	for day := 0; day < e.sc.Days; day++ {
 		ethUSD := e.Prices.ETHUSD[day]
 		etcUSD := e.Prices.ETCUSD[day]
@@ -243,43 +304,59 @@ func (e *Engine) Run() error {
 			wStruct = math.Exp(-float64(day) / e.sc.StructuralBlendTauDays)
 		}
 		e.ethShare = wStruct*structShare + (1-wStruct)*priceShare
-		ethHash := total * e.ethShare
-		etcHash := total * (1 - e.ethShare)
+		e.parts[0].hashrate = total * e.ethShare
+		e.parts[1].hashrate = total * (1 - e.ethShare)
 
 		// Replay protection activation: pin the EIP-155 block to the
 		// chain's next height the day it ships.
-		if day == e.sc.EIP155DayETH && e.sc.EIP155DayETH >= 0 {
-			e.ETH.Config().EIP155Block = new(big.Int).SetUint64(e.ETH.HeadNumber() + 1)
-		}
-		if day == e.sc.EIP155DayETC && e.sc.EIP155DayETC >= 0 {
-			e.ETC.Config().EIP155Block = new(big.Int).SetUint64(e.ETC.HeadNumber() + 1)
-		}
-
-		// Pool consolidation (Fig 5): ETH is immediately stable; ETC
-		// begins consolidating once the dust settles.
-		e.ethPools.Consolidate(e.sc.ETHPoolChurn, 1.0, e.sc.ETCPoolCap, e.r)
-		if day >= e.sc.PoolConsolidationLagDays {
-			e.etcPools.Consolidate(e.sc.ETCPoolChurn, e.sc.ETCPoolAlpha, e.sc.ETCPoolCap, e.r)
+		for _, p := range e.parts {
+			if day == p.eipDay && p.eipDay >= 0 {
+				p.ledger.Config().EIP155Block = new(big.Int).SetUint64(p.ledger.HeadNumber() + 1)
+			}
 		}
 
-		// Traffic for the day.
-		e.enqueue("ETH", e.Workload.DayTraffic(day, "ETH", e.ETH, e.sc.EIP155DayETH))
-		e.enqueue("ETC", e.Workload.DayTraffic(day, "ETC", e.ETC, e.sc.EIP155DayETC))
-
-		// Mine both chains through the day.
-		if err := e.mineDay(day, "ETH", e.ETH, ethHash, e.ethPools); err != nil {
-			return err
+		// Step both partitions through the day.
+		if concurrent {
+			var wg sync.WaitGroup
+			var errs [2]error
+			for _, p := range e.parts {
+				wg.Add(1)
+				go func(p *partition) {
+					defer wg.Done()
+					errs[p.idx] = e.stepDay(day, p)
+				}(p)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, p := range e.parts {
+				if err := e.stepDay(day, p); err != nil {
+					return err
+				}
+			}
 		}
-		if err := e.mineDay(day, "ETC", e.ETC, etcHash, e.etcPools); err != nil {
-			return err
+
+		// Day barrier: cross-chain effects in fixed order.
+		e.Workload.FlushEchoes()
+		for _, p := range e.parts {
+			for _, ev := range p.events {
+				for _, o := range e.observers {
+					o.OnBlock(ev)
+				}
+			}
+			p.events = p.events[:0]
 		}
 
 		ev := &DayEvent{
 			Day:           day,
 			ETHUSD:        ethUSD,
 			ETCUSD:        etcUSD,
-			ETHHashrate:   ethHash,
-			ETCHashrate:   etcHash,
+			ETHHashrate:   e.parts[0].hashrate,
+			ETCHashrate:   e.parts[1].hashrate,
 			ETHDifficulty: e.ETH.HeadDifficulty(),
 			ETCDifficulty: e.ETC.HeadDifficulty(),
 		}
@@ -288,6 +365,25 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// stepDay advances one partition through one day: pool consolidation,
+// traffic generation, mining. Runs on the partition's goroutine in
+// parallel mode; touches only partition-local state and the workload's
+// slot for this chain.
+func (e *Engine) stepDay(day int, p *partition) error {
+	// Pool consolidation (Fig 5): ETH is immediately stable; ETC
+	// begins consolidating once the dust settles.
+	if p.idx == 0 {
+		p.pools.Consolidate(e.sc.ETHPoolChurn, 1.0, e.sc.ETCPoolCap, p.poolR)
+	} else if day >= e.sc.PoolConsolidationLagDays {
+		p.pools.Consolidate(e.sc.ETCPoolChurn, e.sc.ETCPoolAlpha, e.sc.ETCPoolCap, p.poolR)
+	}
+
+	// Traffic for the day.
+	p.enqueue(e.Workload.DayTraffic(day, p.name, p.ledger, p.eipDay))
+
+	return e.mineDay(day, p)
 }
 
 // recoverMine handles a MineBlock failure on a chain wired for storage
@@ -335,38 +431,39 @@ func (e *Engine) recoverMine(led Ledger, stg *chainStorage, mineErr error, t uin
 	return nil, false, nil
 }
 
-func (e *Engine) enqueue(chainName string, plans []txPlan) {
-	e.pending[chainName] = append(e.pending[chainName], plans...)
-	sort.SliceStable(e.pending[chainName], func(i, j int) bool {
-		return e.pending[chainName][i].second < e.pending[chainName][j].second
+func (p *partition) enqueue(plans []txPlan) {
+	p.pending = append(p.pending, plans...)
+	sort.SliceStable(p.pending, func(i, j int) bool {
+		return p.pending[i].second < p.pending[j].second
 	})
 }
 
 // mineDay advances one chain from the start to the end of the day,
 // sampling block intervals from the difficulty/hashrate process and
-// including pending transactions as their submission times pass.
-func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64, pools *pool.Population) error {
-	stg := e.storage[chainName]
-	if stg != nil && stg.dead {
+// including pending transactions as their submission times pass. Block
+// events are buffered on the partition and delivered at the day barrier.
+func (e *Engine) mineDay(day int, p *partition) error {
+	if p.storage != nil && p.storage.dead {
 		return nil // storage died beyond recovery: the chain's miners departed
 	}
+	led := p.ledger
 	dayStart := e.sc.Epoch + uint64(day)*e.sc.DayLength
 	dayEnd := dayStart + e.sc.DayLength
 	t := led.HeadTime()
 	if t < dayStart {
 		t = dayStart
 	}
-	weights := pools.Weights()
+	weights := p.pools.Weights()
 	blockIdx := 0
 
 	for {
-		interval := e.sampler.BlockInterval(led.HeadDifficulty(), hashrate)
+		interval := p.sampler.BlockInterval(led.HeadDifficulty(), p.hashrate)
 		t += interval
 		if t >= dayEnd {
 			return nil
 		}
 		// Submissions whose time has passed become the block body.
-		queue := e.pending[chainName]
+		queue := p.pending
 		daySecond := t - dayStart
 		cut := 0
 		for cut < len(queue) && queue[cut].second <= daySecond {
@@ -378,21 +475,21 @@ func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64
 			for i := 0; i < cut; i++ {
 				txs[i] = queue[i].tx
 			}
-			e.pending[chainName] = queue[cut:]
+			p.pending = queue[cut:]
 		}
 
 		var coinbase types.Address
-		if winner := e.sampler.WinnerIndex(weights); winner >= 0 {
-			coinbase = pools.Pools[winner].Address
+		if winner := p.sampler.WinnerIndex(weights); winner >= 0 {
+			coinbase = p.pools.Pools[winner].Address
 		}
 
 		// A scheduled crash for this block arms the injector so the store
 		// dies mid-commit; recovery below reopens and resumes.
-		if stg != nil && stg.faults != nil {
+		if p.storage != nil && p.storage.faults != nil {
 			for i, cs := range e.sc.Crashes {
-				if !e.firedCrashes[i] && cs.Chain == chainName && cs.Day == day && cs.Block == blockIdx {
-					e.firedCrashes[i] = true
-					stg.faults.CrashAtWriteOp(stg.faults.WriteOps() + 1 + cs.Op)
+				if !p.crashFired[i] && cs.Chain == p.name && cs.Day == day && cs.Block == blockIdx {
+					p.crashFired[i] = true
+					p.storage.faults.CrashAtWriteOp(p.storage.faults.WriteOps() + 1 + cs.Op)
 				}
 			}
 		}
@@ -401,20 +498,20 @@ func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64
 		included, err := led.MineBlock(t, coinbase, txs)
 		if err != nil {
 			var mined bool
-			included, mined, err = e.recoverMine(led, stg, err, t, coinbase, txs)
+			included, mined, err = e.recoverMine(led, p.storage, err, t, coinbase, txs)
 			if err != nil {
-				return fmt.Errorf("sim: mining %s day %d: %w", chainName, day, err)
+				return fmt.Errorf("sim: mining %s day %d: %w", p.name, day, err)
 			}
 			if !mined {
 				return nil // chain retired (unrecoverable storage)
 			}
 		}
 		blockIdx++
-		e.Workload.ObserveMined(chainName, included)
+		e.Workload.ObserveMined(p.name, included)
 
 		if len(e.observers) > 0 {
 			ev := &BlockEvent{
-				Chain:      chainName,
+				Chain:      p.name,
 				Day:        day,
 				Number:     led.HeadNumber(),
 				Time:       t,
@@ -433,9 +530,7 @@ func (e *Engine) mineDay(day int, chainName string, led Ledger, hashrate float64
 					}
 				}
 			}
-			for _, o := range e.observers {
-				o.OnBlock(ev)
-			}
+			p.events = append(p.events, ev)
 		}
 	}
 }

@@ -28,6 +28,10 @@ import (
 )
 
 // Ledger is the per-chain surface the engine mines against.
+//
+// Ledgers are not safe for concurrent use; the engine gives each
+// partition exclusive ownership of its ledger between day barriers, so
+// the two chains can be stepped on separate goroutines without locks.
 type Ledger interface {
 	// Config returns the chain's rule set.
 	Config() *chain.Config
@@ -223,7 +227,9 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 }
 
 // FullLedger adapts a real chain.Blockchain (with PoW seals) to the Ledger
-// interface.
+// interface. The seal RNG r is owned by the ledger's partition goroutine;
+// the engine hands each chain its own seed-derived stream (prng.New with
+// a "seal"/<chain> label path) so concurrent partitions never share it.
 type FullLedger struct {
 	BC *chain.Blockchain
 	r  *rand.Rand

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -62,6 +63,14 @@ type Scenario struct {
 	// repair retires the chain for the rest of the run, like a mining
 	// population departing (O1/O2).
 	Crashes []CrashSpec
+
+	// Parallelism caps how many goroutines the engine uses to step the
+	// two partitions between day barriers: 0 means GOMAXPROCS, 1 forces
+	// the serial fallback, >=2 steps ETH and ETC concurrently. Output is
+	// byte-identical across all settings — every stochastic component
+	// draws from its own seed-derived stream (internal/prng), so
+	// scheduling never reorders draws (DESIGN.md §10).
+	Parallelism int
 
 	// TotalHashrate is the combined network hashrate at the fork, in
 	// hashes/second. Genesis difficulty is calibrated so the pre-fork
@@ -259,6 +268,15 @@ func NewScenario(seed int64, days int) *Scenario {
 		DAOAccounts: 4,
 		DAOFunds:    new(big.Int).Mul(big.NewInt(3_000_000), big.NewInt(1e18)),
 	}
+}
+
+// ResolveParallelism returns the effective engine worker count:
+// Parallelism when positive, otherwise GOMAXPROCS.
+func (sc *Scenario) ResolveParallelism() int {
+	if sc.Parallelism > 0 {
+		return sc.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // GenesisDifficulty returns the difficulty at which the pre-fork network

@@ -7,6 +7,7 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/keccak"
+	"forkwatch/internal/prng"
 	"forkwatch/internal/types"
 )
 
@@ -16,33 +17,76 @@ var workloadGasPrice = big.NewInt(20_000_000_000)
 // transferValue is the standard payment size (0.01 ether).
 var transferValue = big.NewInt(10_000_000_000_000_000)
 
+// chainIndex maps a partition name to its slot: ETH=0, ETC=1. Per-chain
+// state is keyed by slot so the two partitions touch disjoint array
+// elements when stepped on separate goroutines between day barriers.
+func chainIndex(chainName string) int {
+	if chainName == "ETC" {
+		return 1
+	}
+	return 0
+}
+
 // Workload generates the daily transaction traffic of both chains: user
 // payments and contract calls, the fund-splitting behaviour of cautious
 // users, gradual chain-id adoption, and the rebroadcast ("echo") attacker
 // of the paper's Figure 4.
+//
+// Concurrency model: all per-chain state (traffic RNG, nonce tracking,
+// replay queues, the day's mined batches) lives in chainTraffic slots, and
+// the per-user flags are arrays indexed by chain slot, so DayTraffic and
+// ObserveMined for different chains never write the same memory and may
+// run on separate goroutines. Anything that couples the chains — the echo
+// attacker's mirror decisions — is deferred to FlushEchoes, which the
+// engine calls single-threaded at the day barrier.
 type Workload struct {
 	sc *Scenario
-	r  *rand.Rand
 
 	users     []*simUser
-	active    map[string][]*simUser // users transacting on each chain
+	active    [2][]*simUser // users transacting on each chain, by slot
 	contracts []types.Address
 
-	// nextNonce tracks nonces handed out today, per chain; re-synced
-	// from the ledger at each day start (dropped transactions release
-	// their nonces overnight).
-	nextNonce map[string]map[types.Address]uint64
+	chains [2]*chainTraffic
 
-	// replayQueue holds mined replayable transactions awaiting
-	// rebroadcast on the other chain (keyed by destination chain name).
-	replayQueue map[string][]*chain.Transaction
-	replayed    map[types.Hash]bool
-	// mirrored marks senders whose replayable stream an attacker
-	// rebroadcasts wholesale; decided marks senders already sampled.
-	// Mirroring whole senders (not individual transactions) is what
-	// keeps nonces aligned across chains and makes echoes persist for
-	// months, as Fig 4 shows.
+	// echoR drives the rebroadcast attacker's per-sender mirror decisions.
+	// It is consumed only inside FlushEchoes — ETH blocks first, then ETC,
+	// in block order — so its draw sequence is identical no matter how the
+	// partition goroutines interleaved during the day.
+	echoR *rand.Rand
+
+	// replayed marks transactions already queued for rebroadcast; mirrored
+	// marks senders whose replayable stream an attacker rebroadcasts
+	// wholesale. Mirroring whole senders (not individual transactions) is
+	// what keeps nonces aligned across chains and makes echoes persist for
+	// months, as Fig 4 shows. Both maps are only touched at the barrier.
+	replayed map[types.Hash]bool
 	mirrored map[types.Address]bool
+}
+
+// chainTraffic is one chain's slice of workload state, owned by that
+// chain's partition goroutine between day barriers.
+type chainTraffic struct {
+	idx  int
+	name string
+
+	// r is the chain's private traffic stream (prng.Derive over the
+	// scenario seed and the chain name): submission times, recipient
+	// picks, adoption rolls.
+	r *rand.Rand
+
+	// nextNonce tracks nonces handed out today; re-synced from the ledger
+	// at each day start (dropped transactions release their nonces
+	// overnight).
+	nextNonce map[types.Address]uint64
+
+	// replayQueue holds mined replayable transactions awaiting rebroadcast
+	// on THIS chain. Filled by FlushEchoes at the barrier, drained by
+	// DayTraffic the next day.
+	replayQueue []*chain.Transaction
+
+	// mined accumulates the day's included transactions per block, in
+	// block order; FlushEchoes drains it at the barrier.
+	mined [][]*chain.Transaction
 }
 
 type simUser struct {
@@ -56,29 +100,38 @@ type simUser struct {
 	primary string
 	// legacy users never adopt chain-bound transactions.
 	legacy bool
-	// splitDone per chain name.
-	splitDone map[string]bool
-	// adoptedChainID per chain name: whether the user switched to
+	// splitDone per chain slot. An array, not a map: a user active on both
+	// chains is written by both partition goroutines, and distinct array
+	// elements are race-free where distinct map keys are not.
+	splitDone [2]bool
+	// adopted per chain slot: whether the user switched to
 	// replay-protected transactions.
-	adopted map[string]bool
+	adopted [2]bool
 }
 
-// NewWorkload builds the user population from the scenario.
-func NewWorkload(sc *Scenario, r *rand.Rand) *Workload {
+// NewWorkload builds the user population from the scenario. Every
+// stochastic component gets its own stream derived from the scenario seed
+// (internal/prng): the population itself, each chain's traffic, and the
+// echo attacker — which is what keeps runs byte-identical between the
+// serial and parallel engines.
+func NewWorkload(sc *Scenario) *Workload {
+	r := prng.New(sc.Seed, "workload")
 	w := &Workload{
-		sc:          sc,
-		r:           r,
-		nextNonce:   map[string]map[types.Address]uint64{},
-		replayQueue: map[string][]*chain.Transaction{},
-		replayed:    map[types.Hash]bool{},
-		mirrored:    map[types.Address]bool{},
+		sc:       sc,
+		echoR:    prng.New(sc.Seed, "echo"),
+		replayed: map[types.Hash]bool{},
+		mirrored: map[types.Address]bool{},
+	}
+	for i, name := range [2]string{"ETH", "ETC"} {
+		w.chains[i] = &chainTraffic{
+			idx:       i,
+			name:      name,
+			r:         prng.New(sc.Seed, "traffic", name),
+			nextNonce: map[types.Address]uint64{},
+		}
 	}
 	for i := 0; i < sc.Users; i++ {
-		u := &simUser{
-			common:    UserAddress(i),
-			splitDone: map[string]bool{},
-			adopted:   map[string]bool{},
-		}
+		u := &simUser{common: UserAddress(i)}
 		switch roll := r.Float64(); {
 		case roll < sc.PrimaryETHFraction:
 			u.primary = "ETH"
@@ -96,13 +149,12 @@ func NewWorkload(sc *Scenario, r *rand.Rand) *Workload {
 		}
 		w.users = append(w.users, u)
 	}
-	w.active = map[string][]*simUser{}
 	for _, u := range w.users {
 		if u.primary == "ETH" || u.primary == "BOTH" {
-			w.active["ETH"] = append(w.active["ETH"], u)
+			w.active[0] = append(w.active[0], u)
 		}
 		if u.primary == "ETC" || u.primary == "BOTH" {
-			w.active["ETC"] = append(w.active["ETC"], u)
+			w.active[1] = append(w.active[1], u)
 		}
 	}
 	for i := 0; i < 4; i++ {
@@ -161,22 +213,21 @@ type txPlan struct {
 }
 
 // DayTraffic generates the submission plan for one chain for one day,
-// including queued rebroadcasts. eipActive reports whether chain-bound
-// transactions are accepted on that chain today; ledger supplies nonces
-// and balances.
+// including queued rebroadcasts. eipDay is the day chain-bound
+// transactions activate on that chain; ledger supplies nonces and
+// balances. Safe to call concurrently for different chains: it only
+// touches the named chain's slot.
 func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int) []txPlan {
-	if w.nextNonce[chainName] == nil {
-		w.nextNonce[chainName] = map[types.Address]uint64{}
-	}
+	ct := w.chains[chainIndex(chainName)]
 	// Release yesterday's unconfirmed nonces: the ledger is the truth.
-	w.nextNonce[chainName] = map[types.Address]uint64{}
+	ct.nextNonce = map[types.Address]uint64{}
 
 	var plans []txPlan
 
 	// 1. Queued rebroadcasts (the echo traffic). Submission seconds
 	// spread over the day but preserve queue order: the rebroadcaster
 	// replays each sender's stream in nonce order, or the chain breaks.
-	if q := w.replayQueue[chainName]; len(q) > 0 {
+	if q := ct.replayQueue; len(q) > 0 {
 		step := w.sc.DayLength / uint64(len(q)+1)
 		if step == 0 {
 			step = 1
@@ -184,18 +235,18 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 		for i, tx := range q {
 			plans = append(plans, txPlan{tx: tx, second: uint64(i+1) * step})
 		}
-		w.replayQueue[chainName] = nil
+		ct.replayQueue = nil
 	}
 
 	// 2. Fund-splitting transactions. Users only split chains they
 	// participate in; a "picked one network" user leaves the other
 	// chain's copy of their funds at the vulnerable common address.
-	for _, u := range w.active[chainName] {
-		if !u.split || u.splitDone[chainName] || day < u.splitDay {
+	for _, u := range w.active[ct.idx] {
+		if !u.split || u.splitDone[ct.idx] || day < u.splitDay {
 			continue
 		}
 		dest := u.ethAddr
-		if chainName == "ETC" {
+		if ct.idx == 1 {
 			dest = u.etcAddr
 		}
 		bal := led.BalanceOf(u.common)
@@ -203,51 +254,51 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 		cushion := new(big.Int).Mul(workloadGasPrice, big.NewInt(10*21_000))
 		value := new(big.Int).Sub(bal, cushion)
 		if value.Sign() <= 0 {
-			u.splitDone[chainName] = true
+			u.splitDone[ct.idx] = true
 			continue
 		}
-		nonce := w.claimNonce(chainName, led, u.common)
+		nonce := ct.claimNonce(led, u.common)
 		tx := chain.NewTransaction(nonce, &dest, value, 21_000, workloadGasPrice, nil)
 		// Pre-EIP-155 there is nothing to bind to; the split tx itself
 		// is replayable — the hazard the paper describes.
-		tx.Sign(u.common, w.chainIDFor(day, chainName, eipDay, u))
-		u.splitDone[chainName] = true
-		plans = append(plans, txPlan{tx: tx, second: uint64(w.r.Int63n(int64(w.sc.DayLength)))})
+		tx.Sign(u.common, w.chainIDFor(ct, day, eipDay, u))
+		u.splitDone[ct.idx] = true
+		plans = append(plans, txPlan{tx: tx, second: uint64(ct.r.Int63n(int64(w.sc.DayLength)))})
 	}
 
 	// 3. Regular traffic.
 	rate := w.sc.ETHTxPerDay
-	if chainName == "ETC" {
+	if ct.idx == 1 {
 		rate = w.sc.ETCTxPerDay
 	}
-	if w.sc.SpeculationFactor > 1 && day >= w.sc.SpeculationStartDay && chainName == "ETH" {
+	if w.sc.SpeculationFactor > 1 && day >= w.sc.SpeculationStartDay && ct.idx == 0 {
 		ramp := math.Min(1, float64(day-w.sc.SpeculationStartDay)/30)
 		rate *= 1 + (w.sc.SpeculationFactor-1)*ramp
 	}
-	n := poisson(w.r, rate)
+	n := poisson(ct.r, rate)
 	// Submission seconds are monotone per sender so a sender's nonces
 	// arrive in order (real wallets serialise; out-of-order nonces would
 	// be queued by real tx pools rather than dropped).
 	lastSecond := map[types.Address]uint64{}
-	population := w.active[chainName]
+	population := w.active[ct.idx]
 	if len(population) == 0 {
 		return plans
 	}
 	for i := 0; i < n; i++ {
-		u := population[w.r.Intn(len(population))]
-		from := w.senderFor(u, chainName)
+		u := population[ct.r.Intn(len(population))]
+		from := senderFor(u, ct.idx)
 		var tx *chain.Transaction
-		if w.r.Float64() < w.sc.ContractFraction {
-			to := w.contracts[w.r.Intn(len(w.contracts))]
+		if ct.r.Float64() < w.sc.ContractFraction {
+			to := w.contracts[ct.r.Intn(len(w.contracts))]
 			data := []byte{0xab, 0x01, 0x02, 0x03}
-			tx = chain.NewTransaction(w.claimNonce(chainName, led, from), &to, nil, 120_000, workloadGasPrice, data)
+			tx = chain.NewTransaction(ct.claimNonce(led, from), &to, nil, 120_000, workloadGasPrice, data)
 		} else {
-			peer := population[w.r.Intn(len(population))]
-			to := w.senderFor(peer, chainName)
-			tx = chain.NewTransaction(w.claimNonce(chainName, led, from), &to, transferValue, 21_000, workloadGasPrice, nil)
+			peer := population[ct.r.Intn(len(population))]
+			to := senderFor(peer, ct.idx)
+			tx = chain.NewTransaction(ct.claimNonce(led, from), &to, transferValue, 21_000, workloadGasPrice, nil)
 		}
-		tx.Sign(from, w.chainIDFor(day, chainName, eipDay, u))
-		second := uint64(w.r.Int63n(int64(w.sc.DayLength)))
+		tx.Sign(from, w.chainIDFor(ct, day, eipDay, u))
+		second := uint64(ct.r.Int63n(int64(w.sc.DayLength)))
 		if prev, ok := lastSecond[from]; ok && second <= prev {
 			second = prev + 1
 		}
@@ -258,9 +309,9 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 }
 
 // senderFor picks the address a user transacts from on the given chain.
-func (w *Workload) senderFor(u *simUser, chainName string) types.Address {
-	if u.split && u.splitDone[chainName] {
-		if chainName == "ETC" {
+func senderFor(u *simUser, idx int) types.Address {
+	if u.split && u.splitDone[idx] {
+		if idx == 1 {
 			return u.etcAddr
 		}
 		return u.ethAddr
@@ -268,59 +319,79 @@ func (w *Workload) senderFor(u *simUser, chainName string) types.Address {
 	return u.common
 }
 
-// chainIDFor decides whether the user binds the transaction to the chain.
-func (w *Workload) chainIDFor(day int, chainName string, eipDay int, u *simUser) uint64 {
+// chainIDFor decides whether the user binds the transaction to the chain,
+// drawing adoption rolls from the chain's own stream.
+func (w *Workload) chainIDFor(ct *chainTraffic, day, eipDay int, u *simUser) uint64 {
 	if eipDay < 0 || day < eipDay || u.legacy {
 		return 0
 	}
-	if !u.adopted[chainName] {
+	if !u.adopted[ct.idx] {
 		// Adoption ramps in exponentially after activation.
 		p := 1 - math.Exp(-float64(day-eipDay)/w.sc.ChainIDAdoptionTauDays)
-		if w.r.Float64() >= p {
+		if ct.r.Float64() >= p {
 			return 0
 		}
-		u.adopted[chainName] = true
+		u.adopted[ct.idx] = true
 	}
-	if chainName == "ETC" {
+	if ct.idx == 1 {
 		return 61
 	}
 	return 1
 }
 
-func (w *Workload) claimNonce(chainName string, led Ledger, addr types.Address) uint64 {
-	m := w.nextNonce[chainName]
-	n, ok := m[addr]
+func (ct *chainTraffic) claimNonce(led Ledger, addr types.Address) uint64 {
+	n, ok := ct.nextNonce[addr]
 	if !ok || n < led.NonceOf(addr) {
 		n = led.NonceOf(addr)
 	}
-	m[addr] = n + 1
+	ct.nextNonce[addr] = n + 1
 	return n
 }
 
-// ObserveMined feeds mined transactions back: replayable ones may be
-// queued for rebroadcast on the other chain (tomorrow's echoes).
+// ObserveMined records a mined block's included transactions for the
+// rebroadcast attacker. Only the calling chain's slot is appended to, so
+// the two partitions may call it concurrently; the echo decisions
+// themselves — which couple the chains — happen in FlushEchoes at the
+// day barrier.
 func (w *Workload) ObserveMined(chainName string, txs []*chain.Transaction) {
-	other := "ETC"
-	if chainName == "ETC" {
-		other = "ETH"
+	if len(txs) == 0 {
+		return
 	}
-	for _, tx := range txs {
-		if tx.ChainID != 0 {
-			continue // replay-protected
+	ct := w.chains[chainIndex(chainName)]
+	ct.mined = append(ct.mined, txs)
+}
+
+// FlushEchoes runs the rebroadcast attacker over the day's mined
+// transactions: ETH blocks first, then ETC, each in block order — a fixed
+// sequence regardless of how the partition goroutines interleaved during
+// the day, which keeps the echo stream's draws deterministic. Replayable
+// transactions from mirrored senders are queued for rebroadcast on the
+// other chain; DayTraffic drains the queues tomorrow, so deferring the
+// decisions to the barrier changes nothing downstream.
+func (w *Workload) FlushEchoes() {
+	for idx, ct := range w.chains {
+		other := w.chains[1-idx]
+		for _, txs := range ct.mined {
+			for _, tx := range txs {
+				if tx.ChainID != 0 {
+					continue // replay-protected
+				}
+				h := tx.Hash()
+				if w.replayed[h] {
+					continue
+				}
+				on, decided := w.mirrored[tx.From]
+				if !decided {
+					on = w.echoR.Float64() < w.sc.ReplayProbability
+					w.mirrored[tx.From] = on
+				}
+				if on {
+					w.replayed[h] = true
+					other.replayQueue = append(other.replayQueue, tx)
+				}
+			}
 		}
-		h := tx.Hash()
-		if w.replayed[h] {
-			continue
-		}
-		on, decided := w.mirrored[tx.From]
-		if !decided {
-			on = w.r.Float64() < w.sc.ReplayProbability
-			w.mirrored[tx.From] = on
-		}
-		if on {
-			w.replayed[h] = true
-			w.replayQueue[other] = append(w.replayQueue[other], tx)
-		}
+		ct.mined = ct.mined[:0]
 	}
 }
 

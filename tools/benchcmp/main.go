@@ -1,0 +1,99 @@
+// Command benchcmp diffs two benchjson snapshots (BENCH_*.json),
+// reporting the ns/op and allocs/op delta for every benchmark present in
+// both files plus the entries only one side has. It is a report, not a
+// gate: the exit code is 0 regardless of direction, so CI can surface
+// regressions without flaking on noisy runners.
+//
+//	go run ./tools/benchcmp BENCH_pr2.json BENCH_pr5.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]result, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(rs))
+	var order []string
+	for _, r := range rs {
+		if _, dup := m[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		m[r.Name] = r // last wins on duplicates (re-runs append)
+	}
+	return m, order, nil
+}
+
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0.0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldM, _, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newM, newOrder, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-70s %15s %15s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ns delta", "allocs")
+	var onlyOld, onlyNew []string
+	for _, name := range newOrder {
+		nr := newM[name]
+		or, ok := oldM[name]
+		if !ok {
+			onlyNew = append(onlyNew, name)
+			continue
+		}
+		allocDelta := "0"
+		if or.AllocsPerOp != 0 || nr.AllocsPerOp != 0 {
+			allocDelta = pctDelta(float64(or.AllocsPerOp), float64(nr.AllocsPerOp))
+		}
+		fmt.Printf("%-70s %15.0f %15.0f %9s %9s\n", name, or.NsPerOp, nr.NsPerOp,
+			pctDelta(or.NsPerOp, nr.NsPerOp), allocDelta)
+	}
+	for name := range oldM {
+		if _, ok := newM[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	sort.Strings(onlyOld)
+	for _, name := range onlyOld {
+		fmt.Printf("%-70s removed (was %.0f ns/op)\n", name, oldM[name].NsPerOp)
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-70s only in new file: %.0f ns/op\n", name, newM[name].NsPerOp)
+	}
+}

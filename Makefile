@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench benchcmp profile fuzz chaos rpcsmoke loadbench clean
+.PHONY: all build test race vet check bench benchcmp profile fuzz chaos chaos-disk rpcsmoke loadbench clean
 
 all: build
 
@@ -37,27 +37,38 @@ fuzz:
 	$(GO) test -fuzz '^FuzzDecodeHeader$$' -fuzztime $(FUZZTIME) ./internal/chain/
 	$(GO) test -fuzz '^FuzzDecodeBlock$$' -fuzztime $(FUZZTIME) ./internal/chain/
 	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/rpc/
+	$(GO) test -fuzz '^FuzzDecodeRecord$$' -fuzztime $(FUZZTIME) ./internal/db/diskdb/
+	$(GO) test -fuzz '^FuzzScanSegment$$' -fuzztime $(FUZZTIME) ./internal/db/diskdb/
 
 # Storage chaos battery under the race detector: fault-injection unit
 # tests, WAL crash/recovery sweep and the figure byte-identity test.
 chaos:
 	$(GO) test -race -run 'Chaos|Crash|WAL|Fault|Torn|Recover|Guard' ./...
 
+# Disk-backend chaos: the exhaustive crash-offset sweep on real segment
+# files, the disk figure byte-identity run and the archive restart test,
+# all under the race detector (uses the test tempdir for storage).
+chaos-disk:
+	$(GO) test -race -run 'TestDisk|TestChaosDiskFiguresByteIdentical|TestOpenServes|TestOpenOrBuild' ./internal/chain/ ./internal/serve/ .
+
 # Benchmarks: three iterations per benchmark (benchtime=1x was too noisy
 # to diff between snapshots; iteration counts land in the JSON), raw text
 # kept, converted into a machine-readable JSON snapshot for the PR record.
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_JSON ?= BENCH_pr6.json
 
 bench:
 	$(GO) test -bench=. -benchtime=3x -benchmem -run '^$$' ./... | tee bench.out
 	$(GO) run ./tools/benchjson bench.out > $(BENCH_JSON)
 
-# Non-fatal bench diff against a committed baseline snapshot: prints
-# ns/op and allocs/op deltas, always exits 0 (report, not gate).
+# Bench diff against a committed baseline snapshot: prints ns/op and
+# allocs/op deltas. Non-fatal by default (report, not gate); set
+# BENCH_THRESHOLD to a percentage to exit nonzero on regressions past it,
+# e.g. `make benchcmp BENCH_THRESHOLD=25`.
 BENCH_BASELINE ?= BENCH_pr2.json
+BENCH_THRESHOLD ?= 0
 
 benchcmp:
-	$(GO) run ./tools/benchcmp $(BENCH_BASELINE) $(BENCH_JSON)
+	$(GO) run ./tools/benchcmp -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) $(BENCH_JSON)
 
 # CPU/alloc profile of the long-horizon engine benchmark; inspect with
 # `go tool pprof cpu.pprof`.

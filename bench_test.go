@@ -438,3 +438,25 @@ func BenchmarkFullFidelityDay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFullFidelityDayDisk is the same simulated day persisting every
+// trie node, block and WAL record through the log-structured disk backend
+// (fsync per commit): the price of durability relative to the in-memory
+// run above.
+func BenchmarkFullFidelityDayDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := forkwatch.NewScenario(int64(i)+1, 1)
+		sc.Mode = forkwatch.ModeFull
+		sc.DayLength = 3600
+		sc.Users = 50
+		sc.ETHTxPerDay = 40
+		sc.ETCTxPerDay = 15
+		sc.Storage = forkwatch.StorageConfig{
+			Backend: forkwatch.StorageDisk,
+			DataDir: b.TempDir(),
+		}
+		if _, err := forkwatch.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

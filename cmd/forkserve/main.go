@@ -10,6 +10,11 @@
 //
 //	forkserve -seed 1 -days 2 -addr :8545
 //	forkserve -days 1 -storage-faults "seed=7,readerr=0.2"  # chaos serving
+//	forkserve -days 2 -storage disk -datadir /var/lib/forkwatch
+//
+// With -storage disk the simulated chains persist in -datadir; a later
+// run against the same directory reopens the archive (WAL redo, no
+// re-simulation) and serves identical responses.
 package main
 
 import (
@@ -33,7 +38,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "scenario seed (equal seeds reproduce the served chains exactly)")
 		days    = flag.Int("days", 2, "days to simulate before serving (full-fidelity; keep small)")
 		addr    = flag.String("addr", ":8545", "listen address")
-		storage = flag.String("storage", "mem", `storage backend: "mem" or "cached"`)
+		storage = flag.String("storage", "mem", `storage backend: "mem", "cached" or "disk"`)
+		datadir = flag.String("datadir", "", `directory for -storage disk segment files; reuse it across restarts to serve without re-simulating`)
 		faults  = flag.String("storage-faults", "", `storage fault injection kept on while serving, e.g. "seed=42,readerr=0.2"`)
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "queue depth before 429 backpressure (0 = default)")
@@ -47,7 +53,7 @@ func main() {
 	sc := forkwatch.NewScenario(*seed, *days)
 	sc.Mode = sim.ModeFull
 	sc.Parallelism = *par
-	sc.Storage = forkwatch.StorageConfig{Backend: *storage}
+	sc.Storage = forkwatch.StorageConfig{Backend: *storage, DataDir: *datadir}
 	if *faults != "" {
 		f, err := forkwatch.ParseStorageFaults(*faults)
 		if err != nil {
@@ -57,8 +63,12 @@ func main() {
 		log.Printf("storage faults stay enabled while serving: %v", f)
 	}
 
-	log.Printf("simulating %d days (seed %d, full fidelity)...", *days, *seed)
-	res, err := serve.Build(sc, rpc.ServerConfig{
+	if *storage == forkwatch.StorageDisk {
+		log.Printf("opening archive from %s (simulating %d days first if empty)...", *datadir, *days)
+	} else {
+		log.Printf("simulating %d days (seed %d, full fidelity)...", *days, *seed)
+	}
+	res, err := serve.OpenOrBuild(sc, rpc.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheN,
@@ -69,6 +79,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer res.Server.Close()
+	if res.Engine == nil {
+		log.Printf("reopened persisted archive from %s (no re-simulation)", *datadir)
+	}
 
 	// The RPC server stays the catch-all; the mux only peels off the
 	// pprof endpoints (/debug/metrics still falls through to the server).

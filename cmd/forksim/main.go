@@ -31,7 +31,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
 		days    = flag.Int("days", 270, "days to simulate from the fork moment")
 		mode    = flag.String("mode", "fast", `ledger fidelity: "fast" or "full"`)
-		storage = flag.String("storage", "mem", `full-mode storage backend: "mem" or "cached"`)
+		storage = flag.String("storage", "mem", `full-mode storage backend: "mem", "cached" or "disk"`)
+		datadir = flag.String("datadir", "", `directory for -storage disk segment files (each chain gets a subdirectory); use a fresh directory per run`)
 		cacheN  = flag.Int("cache-entries", 0, "LRU capacity for -storage cached (0 = default)")
 		faults  = flag.String("storage-faults", "", `full-mode storage fault injection, e.g. "seed=42,readerr=0.2,writeerr=0.2,torn=0.01" (empty = none)`)
 		crash   = flag.String("crash", "", `full-mode storage crash schedule: comma-separated chain:day:block:op, e.g. "ETH:1:3:40,ETC:2:0:5"`)
@@ -53,7 +54,10 @@ func main() {
 	default:
 		log.Fatalf("unknown -mode %q", *mode)
 	}
-	sc.Storage = forkwatch.StorageConfig{Backend: *storage, CacheEntries: *cacheN}
+	sc.Storage = forkwatch.StorageConfig{Backend: *storage, CacheEntries: *cacheN, DataDir: *datadir}
+	if *storage == forkwatch.StorageDisk && sc.Mode != forkwatch.ModeFull {
+		log.Fatal("-storage disk requires -mode full (fast mode keeps no chain storage)")
+	}
 	if *faults != "" {
 		f, err := forkwatch.ParseStorageFaults(*faults)
 		if err != nil {

@@ -83,6 +83,9 @@ const (
 	StorageMem = db.BackendMem
 	// StorageCached adds a write-through LRU cache in front of the store.
 	StorageCached = db.BackendCached
+	// StorageDisk is the log-structured file store; set
+	// StorageConfig.DataDir to the directory holding its segments.
+	StorageDisk = db.BackendDisk
 )
 
 // Ledger fidelities.

@@ -1,0 +1,158 @@
+package chain
+
+import (
+	"bytes"
+	"testing"
+
+	"forkwatch/internal/db/dbfs"
+	"forkwatch/internal/db/diskdb"
+	"forkwatch/internal/db/diskdb/faultfile"
+)
+
+// diskStack opens a fresh disk store over a real directory, with the
+// faultfile layer (no random plan) in between so tests can count appends
+// and arm crashes on the physical medium.
+func diskStack(t *testing.T, dir string) (*faultfile.FS, *diskdb.DB) {
+	t.Helper()
+	osfs, err := dbfs.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfile.Wrap(osfs, faultfile.Faults{})
+	d, err := diskdb.Open(ffs, diskdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ffs, d
+}
+
+// TestDiskCrashSweepMidImport is the disk-backend counterpart of
+// TestCrashMidImportRecovers, and it is exhaustive: the medium is killed
+// at EVERY physical append position inside an ImportChain. Each kill
+// tears a random strict prefix of that append onto the real files; the
+// restart path (diskdb.Open segment replay + torn-tail truncation, then
+// the chain-level WAL redo) must land exactly on the last durably
+// committed head — never a partial block — and resuming the import must
+// converge on the donor chain.
+func TestDiskCrashSweepMidImport(t *testing.T) {
+	donor, stream := donorChain(t)
+
+	// Calibrate the import's append footprint on a clean disk run.
+	calibFS, calibDB := diskStack(t, t.TempDir())
+	calib, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), calibDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	importStart := calibFS.WriteOps()
+	if _, err := calib.ImportChain(bytes.NewReader(stream)); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := calibFS.WriteOps() - importStart
+	calibDB.Close()
+	if totalOps < 10 {
+		t.Fatalf("import footprint suspiciously small: %d appends", totalOps)
+	}
+
+	for off := uint64(1); off <= totalOps; off++ {
+		ffs, d := diskStack(t, t.TempDir())
+		victim, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffs.CrashAtWriteOp(ffs.WriteOps() + off)
+		imported, err := victim.ImportChain(bytes.NewReader(stream))
+		if err == nil {
+			t.Fatalf("off %d: import survived an armed crash", off)
+		}
+		if uint64(imported) != victim.Head().Number() {
+			t.Fatalf("off %d: memory head %d does not match %d acknowledged imports",
+				off, victim.Head().Number(), imported)
+		}
+
+		// The process restarts over the surviving files: close the dead
+		// store, clear the crash, replay the segments, then WAL redo.
+		d.Close()
+		ffs.Reopen()
+		d2, err := diskdb.Open(ffs, diskdb.Options{})
+		if err != nil {
+			t.Fatalf("off %d: diskdb.Open after crash: %v", off, err)
+		}
+		re, err := Open(MainnetLikeConfig(), d2)
+		if err != nil {
+			t.Fatalf("off %d: chain.Open after crash: %v", off, err)
+		}
+		// The WAL sequence counts commits: genesis is seq 1, every block
+		// commit adds one. Recovery must land exactly there.
+		if want := re.Store().walSeq - 1; re.Head().Number() != want {
+			t.Fatalf("off %d: recovered head %d, WAL says %d commits",
+				off, re.Head().Number(), want)
+		}
+		// The acknowledged imports are a lower bound; the in-flight block
+		// may have reached its commit point before the tear.
+		if got := re.Head().Number(); got < uint64(imported) || got > uint64(imported)+1 {
+			t.Fatalf("off %d: recovered head %d outside [%d, %d]",
+				off, got, imported, imported+1)
+		}
+		// No divergent partial state: every recovered canonical block is
+		// the donor's block at that height.
+		for n := uint64(0); n <= re.Head().Number(); n++ {
+			want, _ := donor.BlockByNumber(n)
+			got, ok := re.BlockByNumber(n)
+			if !ok || got.Hash() != want.Hash() {
+				t.Fatalf("off %d: recovered canon %d diverged from donor", off, n)
+			}
+		}
+
+		// Resuming the import must converge on the donor head.
+		if _, err := re.ImportChain(bytes.NewReader(stream)); err != nil {
+			t.Fatalf("off %d: resumed import: %v", off, err)
+		}
+		if re.Head().Hash() != donor.Head().Hash() {
+			t.Fatalf("off %d: resumed head %s, want %s", off, re.Head().Hash(), donor.Head().Hash())
+		}
+		d2.Close()
+	}
+}
+
+// TestDiskReopenAcrossProcessModel is the plain (no-crash) durability
+// round trip on the real filesystem: mine, close cleanly, reopen from
+// the directory alone, and keep mining.
+func TestDiskReopenAcrossProcessModel(t *testing.T) {
+	dir := t.TempDir()
+	osfs, err := dbfs.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := diskdb.Open(osfs, diskdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBlockchainWithDB(MainnetLikeConfig(), testGenesis(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine(t, bc, 13, transfer(0, alice, bob, 500, 0))
+	mine(t, bc, 13)
+	head := bc.Head().Hash()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	osfs2, err := dbfs.NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := diskdb.Open(osfs2, diskdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	re, err := Open(MainnetLikeConfig(), d2)
+	if err != nil {
+		t.Fatalf("Open from directory: %v", err)
+	}
+	if re.Head().Hash() != head {
+		t.Fatalf("reopened head %s, want %s", re.Head().Hash(), head)
+	}
+	mine(t, re, 13, transfer(1, alice, bob, 100, 0))
+}

@@ -37,6 +37,14 @@ import "errors"
 // callers fall back to re-import or resync.
 var ErrCorrupt = errors.New("db: corrupt record")
 
+// ErrReadOnly reports a write against a store that has degraded to
+// read-only after an unrepairable medium failure (a failed append whose
+// truncate-repair also failed, an unwritable disk). Reads keep working;
+// writes fail with this error instead of panicking, and the RPC layer
+// surfaces it as a storage error (-32010) so a node can keep serving its
+// archive while its disk is dying. Never transient.
+var ErrReadOnly = errors.New("db: store is read-only")
+
 // KV is the storage interface. Keys and values are arbitrary byte strings;
 // implementations must not retain or mutate the caller's key slice after a
 // call returns, and callers must not mutate a returned value (it may alias
@@ -112,6 +120,11 @@ type Stats struct {
 	// Entries is the number of keys currently stored (for a Cache, the
 	// number of cached entries, not the backend's).
 	Entries int
+	// Repairs counts recovery actions a durable backend performed while
+	// opening or reading: torn tails truncated, checksum-failed records
+	// skipped, uncommitted batch groups dropped. Always zero for the
+	// in-memory backends.
+	Repairs uint64
 }
 
 // Add returns the field-wise sum of two snapshots (for aggregating the
@@ -124,6 +137,7 @@ func (s Stats) Add(o Stats) Stats {
 		Hits:    s.Hits + o.Hits,
 		Misses:  s.Misses + o.Misses,
 		Entries: s.Entries + o.Entries,
+		Repairs: s.Repairs + o.Repairs,
 	}
 }
 

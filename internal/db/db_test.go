@@ -3,6 +3,7 @@ package db
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -171,6 +172,53 @@ func TestOpenBackends(t *testing.T) {
 	}
 	if _, err := Open(Config{Backend: "flux-capacitor"}); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestConfigValidation pins down the field combinations Open must reject
+// with a descriptive error instead of silently ignoring (PR 6 satellite):
+// every case names the offending field so a misconfigured run fails loud
+// at startup, not after a day of simulation wrote nowhere.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring the error must carry
+	}{
+		{"mem with datadir", Config{DataDir: "/tmp/x"}, "DataDir"},
+		{"explicit mem with datadir", Config{Backend: BackendMem, DataDir: "/tmp/x"}, "DataDir"},
+		{"mem with cache entries", Config{CacheEntries: 64}, "CacheEntries"},
+		{"cached with datadir", Config{Backend: BackendCached, DataDir: "/tmp/x"}, "DataDir"},
+		{"disk without datadir", Config{Backend: BackendDisk}, "DataDir"},
+		{"disk with shards", Config{Backend: BackendDisk, DataDir: "/tmp/x", Shards: 4}, "Shards"},
+		{"disk with cache entries", Config{Backend: BackendDisk, DataDir: "/tmp/x", CacheEntries: 64}, "CacheEntries"},
+		{"unknown backend", Config{Backend: "flux-capacitor"}, "flux-capacitor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted an invalid config", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%+v) = %q, want mention of %q", tc.cfg, err, tc.want)
+			}
+			if _, oerr := Open(tc.cfg); oerr == nil {
+				t.Fatalf("Open(%+v) accepted what Validate rejected", tc.cfg)
+			}
+		})
+	}
+
+	// The valid shapes must stay valid.
+	for _, cfg := range []Config{
+		{},
+		{Backend: BackendMem, Shards: 8},
+		{Backend: BackendCached, Shards: 8, CacheEntries: 128},
+		{Backend: BackendDisk, DataDir: t.TempDir()},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) rejected a valid config: %v", cfg, err)
+		}
 	}
 }
 

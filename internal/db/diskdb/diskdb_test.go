@@ -1,0 +1,495 @@
+package diskdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/db/diskdb/faultfile"
+)
+
+func openTmp(t *testing.T, opts Options) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d := reopenDir(t, dir, opts)
+	return d, dir
+}
+
+func reopenDir(t *testing.T, dir string, opts Options) *DB {
+	t.Helper()
+	fs, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(fs, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+func mustPut(t *testing.T, d *DB, k, v string) {
+	t.Helper()
+	if err := d.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("Put(%q): %v", k, err)
+	}
+}
+
+func mustGet(t *testing.T, d *DB, k, want string) {
+	t.Helper()
+	v, ok, err := d.Get([]byte(k))
+	if err != nil || !ok || string(v) != want {
+		t.Fatalf("Get(%q) = %q %v %v, want %q", k, v, ok, err, want)
+	}
+}
+
+func mustAbsent(t *testing.T, d *DB, k string) {
+	t.Helper()
+	if v, ok, err := d.Get([]byte(k)); err != nil || ok {
+		t.Fatalf("Get(%q) = %q %v %v, want absent", k, v, ok, err)
+	}
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "alpha", "1")
+	mustPut(t, d, "beta", "2")
+	mustPut(t, d, "alpha", "3") // supersede
+	if err := d.Delete([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete([]byte("never-existed")); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, d, "alpha", "3")
+	mustAbsent(t, d, "beta")
+	if ok, err := d.Has([]byte("alpha")); err != nil || !ok {
+		t.Fatalf("Has(alpha) = %v %v", ok, err)
+	}
+	if ok, err := d.Has([]byte("beta")); err != nil || ok {
+		t.Fatalf("Has(beta) = %v %v, want deleted", ok, err)
+	}
+	if st := d.Stats(); st.Entries != 1 {
+		t.Fatalf("Entries = %d, want 1", st.Entries)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustGet(t, re, "alpha", "3")
+	mustAbsent(t, re, "beta")
+	if st := re.Stats(); st.Repairs != 0 {
+		t.Fatalf("clean reopen counted %d repairs", st.Repairs)
+	}
+}
+
+func TestBatchCommitAndReopen(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "pre", "x")
+	b := d.NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Put([]byte("k2"), []byte("v2"))
+	b.Delete([]byte("pre"))
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := b.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("batch not reset after Write")
+	}
+	mustGet(t, d, "k1", "v1")
+	mustGet(t, d, "k2", "v2")
+	mustAbsent(t, d, "pre")
+	d.Close()
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustGet(t, re, "k1", "v1")
+	mustGet(t, re, "k2", "v2")
+	mustAbsent(t, re, "pre")
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	d, dir := openTmp(t, Options{SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		mustPut(t, d, fmt.Sprintf("key-%02d", i), fmt.Sprintf("value-%02d", i))
+	}
+	if d.Segments() < 2 {
+		t.Fatalf("no rotation happened: %d segment(s)", d.Segments())
+	}
+	d.Close()
+
+	re := reopenDir(t, dir, Options{SegmentBytes: 256})
+	defer re.Close()
+	for i := 0; i < 40; i++ {
+		mustGet(t, re, fmt.Sprintf("key-%02d", i), fmt.Sprintf("value-%02d", i))
+	}
+}
+
+// appendRaw writes raw bytes to the end of a segment file on disk,
+// bypassing the store (simulating a torn append).
+func appendRaw(t *testing.T, dir string, seg uint64, raw []byte) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "safe", "durable")
+	d.Close()
+
+	// Half a frame: a valid header claiming more payload than exists.
+	torn := appendRecord(nil, recPut, []byte("torn"), []byte("lost-value"))
+	appendRaw(t, dir, 1, torn[:len(torn)-4])
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustGet(t, re, "safe", "durable")
+	mustAbsent(t, re, "torn")
+	if st := re.Stats(); st.Repairs != 1 {
+		t.Fatalf("Repairs = %d, want 1", st.Repairs)
+	}
+	// The truncation must be durable: a second reopen sees a clean file.
+	re.Close()
+	re2 := reopenDir(t, dir, Options{})
+	defer re2.Close()
+	if st := re2.Stats(); st.Repairs != 0 {
+		t.Fatalf("repair did not stick: %d repairs on second open", st.Repairs)
+	}
+	mustGet(t, re2, "safe", "durable")
+}
+
+func TestUncommittedGroupDroppedOnOpen(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "safe", "durable")
+	d.Close()
+
+	// Staged records with no commit marker: the batch never committed.
+	group := appendRecord(nil, recStagedPut, []byte("ghost1"), []byte("x"))
+	group = appendRecord(group, recStagedPut, []byte("ghost2"), []byte("y"))
+	appendRaw(t, dir, 1, group)
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustGet(t, re, "safe", "durable")
+	mustAbsent(t, re, "ghost1")
+	mustAbsent(t, re, "ghost2")
+	if st := re.Stats(); st.Repairs == 0 {
+		t.Fatal("uncommitted group dropped without counting a repair")
+	}
+}
+
+func TestCommitCountMismatchDropsGroup(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "safe", "durable")
+	d.Close()
+
+	// A commit record claiming 3 staged ops when only 1 precedes it.
+	group := appendRecord(nil, recStagedPut, []byte("ghost"), []byte("x"))
+	group = appendRecord(group, recCommit, nil, []byte{0, 0, 0, 3})
+	appendRaw(t, dir, 1, group)
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustGet(t, re, "safe", "durable")
+	mustAbsent(t, re, "ghost")
+	if st := re.Stats(); st.Repairs == 0 {
+		t.Fatal("mismatched commit accepted without a repair")
+	}
+}
+
+func TestChecksumSkipMidFile(t *testing.T) {
+	d, dir := openTmp(t, Options{})
+	mustPut(t, d, "victim", "will-rot")
+	mustPut(t, d, "survivor", "fine")
+	d.Close()
+
+	// Rot one bit inside the first record's value, mid-file.
+	path := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := frameSize([]byte("victim"), []byte("will-rot"))
+	raw[first-2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := reopenDir(t, dir, Options{})
+	defer re.Close()
+	mustAbsent(t, re, "victim") // rotted record skipped, no older version
+	mustGet(t, re, "survivor", "fine")
+	if st := re.Stats(); st.Repairs != 1 {
+		t.Fatalf("Repairs = %d, want 1", st.Repairs)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	d, dir := openTmp(t, Options{SegmentBytes: 128})
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			mustPut(t, d, fmt.Sprintf("k%d", i), fmt.Sprintf("r%d-%d", round, i))
+		}
+	}
+	if err := d.Delete([]byte("k3")); err != nil {
+		t.Fatal(err)
+	}
+	pre := d.Segments()
+	if pre < 2 {
+		t.Fatalf("want multiple segments before compaction, have %d", pre)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if d.Segments() != 1 {
+		t.Fatalf("Segments after compaction = %d, want 1", d.Segments())
+	}
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			mustAbsent(t, d, "k3")
+			continue
+		}
+		mustGet(t, d, fmt.Sprintf("k%d", i), fmt.Sprintf("r4-%d", i))
+	}
+	// Still writable and durable after the pass.
+	mustPut(t, d, "post", "compaction")
+	d.Close()
+
+	re := reopenDir(t, dir, Options{SegmentBytes: 128})
+	defer re.Close()
+	mustAbsent(t, re, "k3") // the kept tombstone must not resurrect
+	mustGet(t, re, "k5", "r4-5")
+	mustGet(t, re, "post", "compaction")
+}
+
+func TestCrashTornAppendRecovers(t *testing.T) {
+	dir := t.TempDir()
+	osfs, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfile.Wrap(osfs, faultfile.Faults{Seed: 7})
+	d, err := Open(ffs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "durable", "yes")
+
+	// Crash on the next append: the batch tears mid-buffer.
+	ffs.CrashAtWriteOp(ffs.WriteOps() + 1)
+	b := d.NewBatch()
+	b.Put([]byte("t1"), bytes.Repeat([]byte("a"), 100))
+	b.Put([]byte("t2"), bytes.Repeat([]byte("b"), 100))
+	if err := b.Write(); !errors.Is(err, faultfile.ErrCrashed) &&
+		!errors.Is(err, db.ErrReadOnly) {
+		t.Fatalf("torn batch Write = %v, want crash or read-only degrade", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("medium did not crash")
+	}
+	d.Close()
+
+	ffs.Reopen()
+	re, err := Open(ffs, Options{})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer re.Close()
+	mustGet(t, re, "durable", "yes")
+	mustAbsent(t, re, "t1")
+	mustAbsent(t, re, "t2")
+	// And the store accepts writes again on the reopened medium.
+	mustPut(t, re, "after", "restart")
+	mustGet(t, re, "after", "restart")
+}
+
+func TestRetryAbsorbsInjectedFaults(t *testing.T) {
+	dir := t.TempDir()
+	osfs, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfile.Wrap(osfs, faultfile.Faults{
+		Seed:           42,
+		ReadErrRate:    0.2,
+		WriteErrRate:   0.2,
+		ShortWriteRate: 0.05,
+		CorruptRate:    0.05,
+	})
+	d, err := Open(ffs, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := db.NewRetry(d, 64)
+	for i := 0; i < 60; i++ {
+		if err := kv.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatalf("Put through faults: %v", err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		v, ok, err := kv.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("Get(k%02d) through faults = %q %v %v", i, v, ok, err)
+		}
+	}
+	d.Close()
+
+	// The medium under the faults holds a consistent store.
+	ffs.SetEnabled(false)
+	re, err := Open(ffs, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 60; i++ {
+		mustGet(t, re, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+}
+
+// brickFS fails every append non-transiently after a budget of writes,
+// with truncate broken too: the unwritable-disk scenario that must
+// degrade to read-only instead of panicking.
+type brickFS struct {
+	inner   FS
+	budget  int
+	bricked bool
+}
+
+var errBricked = errors.New("medium bricked")
+
+func (b *brickFS) Open(name string) (File, error) {
+	f, err := b.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &brickFile{fs: b, inner: f}, nil
+}
+func (b *brickFS) Remove(name string) error  { return b.inner.Remove(name) }
+func (b *brickFS) List() ([]string, error)   { return b.inner.List() }
+
+type brickFile struct {
+	fs    *brickFS
+	inner File
+}
+
+func (f *brickFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *brickFile) Append(p []byte) (int, error) {
+	if f.fs.budget <= 0 {
+		f.fs.bricked = true
+		return 0, errBricked
+	}
+	f.fs.budget--
+	return f.inner.Append(p)
+}
+func (f *brickFile) Truncate(size int64) error {
+	if f.fs.bricked {
+		return errBricked
+	}
+	return f.inner.Truncate(size)
+}
+func (f *brickFile) Sync() error          { return f.inner.Sync() }
+func (f *brickFile) Size() (int64, error) { return f.inner.Size() }
+func (f *brickFile) Close() error         { return f.inner.Close() }
+
+func TestDegradeToReadOnly(t *testing.T) {
+	osfs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := &brickFS{inner: osfs, budget: 3}
+	d, err := Open(bfs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	mustPut(t, d, "a", "1")
+	mustPut(t, d, "b", "2")
+	mustPut(t, d, "c", "3")
+
+	err = d.Put([]byte("d"), []byte("4"))
+	if !errors.Is(err, db.ErrReadOnly) {
+		t.Fatalf("Put on bricked medium = %v, want ErrReadOnly", err)
+	}
+	if db.IsTransient(err) {
+		t.Fatal("ErrReadOnly must not be transient (retrying a dead disk is pointless)")
+	}
+	// Every further write fails the same way; batches too.
+	if err := d.Delete([]byte("a")); !errors.Is(err, db.ErrReadOnly) {
+		t.Fatalf("Delete after degrade = %v", err)
+	}
+	b := d.NewBatch()
+	b.Put([]byte("e"), []byte("5"))
+	if err := b.Write(); !errors.Is(err, db.ErrReadOnly) {
+		t.Fatalf("batch Write after degrade = %v", err)
+	}
+	if err := d.Compact(); !errors.Is(err, db.ErrReadOnly) {
+		t.Fatalf("Compact after degrade = %v", err)
+	}
+	if ro, cause := d.ReadOnly(); !ro || cause == nil {
+		t.Fatalf("ReadOnly() = %v %v", ro, cause)
+	}
+	// Reads keep serving the archive.
+	mustGet(t, d, "a", "1")
+	mustGet(t, d, "b", "2")
+	mustGet(t, d, "c", "3")
+	mustAbsent(t, d, "d")
+}
+
+func TestOpenThroughDBConfig(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := db.Open(db.Config{Backend: db.BackendDisk, DataDir: dir})
+	if err != nil {
+		t.Fatalf("db.Open(disk): %v", err)
+	}
+	if err := kv.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := kv.(*DB); !ok {
+		t.Fatalf("db.Open(disk) = %T, want *diskdb.DB", kv)
+	} else {
+		d.Close()
+	}
+
+	re, err := db.Open(db.Config{Backend: db.BackendDisk, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := re.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("persisted Get = %q %v %v", v, ok, err)
+	}
+	re.(*DB).Close()
+}
+
+func TestClosedStoreRefusesUse(t *testing.T) {
+	d, _ := openTmp(t, Options{})
+	mustPut(t, d, "k", "v")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get([]byte("k")); !errors.Is(err, errClosed) {
+		t.Fatalf("Get after Close = %v", err)
+	}
+	if err := d.Put([]byte("k"), []byte("v")); !errors.Is(err, errClosed) {
+		t.Fatalf("Put after Close = %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}

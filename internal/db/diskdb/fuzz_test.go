@@ -1,0 +1,114 @@
+package diskdb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord drives the segment-record decoder with arbitrary
+// bytes: it must never panic, never claim to consume more bytes than it
+// was given, and must round-trip everything appendRecord produces.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(appendRecord(nil, recPut, []byte("key"), []byte("value")))
+	f.Add(appendRecord(nil, recDel, []byte("gone"), nil))
+	f.Add(appendRecord(nil, recStagedPut, []byte("s"), bytes.Repeat([]byte{0xAA}, 100)))
+	f.Add(appendRecord(nil, recCommit, nil, []byte{0, 0, 0, 2}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	torn := appendRecord(nil, recPut, []byte("torn"), []byte("tail"))
+	f.Add(torn[:len(torn)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := decodeRecord(data)
+		if n < 0 || n > len(data)+maxPayload {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("valid record consumed %d > %d available bytes", n, len(data))
+			}
+			if rec.kind < recPut || rec.kind > recCommit {
+				t.Fatalf("valid record with kind %d", rec.kind)
+			}
+			// A decoded record must re-encode to the exact same frame.
+			again := appendRecord(nil, rec.kind, rec.key, rec.value)
+			if !bytes.Equal(again, data[:n]) {
+				t.Fatalf("re-encode mismatch:\n got %x\nwant %x", again, data[:n])
+			}
+		}
+	})
+}
+
+// FuzzScanSegment replays arbitrary bytes as a whole segment through a
+// store open: whatever the medium holds, Open must not panic and must
+// leave a store that reads and writes.
+func FuzzScanSegment(f *testing.F) {
+	clean := appendRecord(nil, recPut, []byte("a"), []byte("1"))
+	clean = appendRecord(clean, recStagedPut, []byte("b"), []byte("2"))
+	clean = appendRecord(clean, recCommit, nil, []byte{0, 0, 0, 1})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5])
+	f.Add([]byte("not a segment at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := memFS{segName(1): append([]byte(nil), data...)}
+		d, err := Open(fs, Options{})
+		if err != nil {
+			return // an unreadable medium may refuse to open; it must not panic
+		}
+		defer d.Close()
+		if err := d.Put([]byte("post-open"), []byte("works")); err != nil {
+			t.Fatalf("Put after scanning arbitrary segment: %v", err)
+		}
+		v, ok, err := d.Get([]byte("post-open"))
+		if err != nil || !ok || string(v) != "works" {
+			t.Fatalf("Get after scanning arbitrary segment: %q %v %v", v, ok, err)
+		}
+	})
+}
+
+// memFS is a minimal in-memory FS for fuzzing segment scans.
+type memFS map[string][]byte
+
+func (m memFS) Open(name string) (File, error) {
+	if _, ok := m[name]; !ok {
+		m[name] = nil
+	}
+	return &memFile{m: m, name: name}, nil
+}
+func (m memFS) Remove(name string) error { delete(m, name); return nil }
+func (m memFS) List() ([]string, error) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+type memFile struct {
+	m    memFS
+	name string
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	data := f.m[f.name]
+	if off >= int64(len(data)) {
+		return 0, bytes.ErrTooLarge // any error will do; diskdb only reads scanned ranges
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, bytes.ErrTooLarge
+	}
+	return n, nil
+}
+func (f *memFile) Append(p []byte) (int, error) {
+	f.m[f.name] = append(f.m[f.name], p...)
+	return len(p), nil
+}
+func (f *memFile) Truncate(size int64) error {
+	f.m[f.name] = f.m[f.name][:size]
+	return nil
+}
+func (f *memFile) Sync() error          { return nil }
+func (f *memFile) Size() (int64, error) { return int64(len(f.m[f.name])), nil }
+func (f *memFile) Close() error         { return nil }

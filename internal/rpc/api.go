@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
@@ -182,10 +183,16 @@ func resolveBlockTag(b *Backend, raw json.RawMessage) (*chain.Block, *Error) {
 }
 
 // storageErr wraps a failed store read as a typed JSON-RPC error. Corrupt
-// records and injected I/O faults both land here — never a panic.
+// records and injected I/O faults both land here — never a panic. A store
+// that degraded to read-only (diskdb after an unrepairable medium error)
+// is tagged so clients can tell "retry later" from "writes are gone for
+// good, reads still serve".
 func storageErr(err error) *Error {
 	e := Errf(ErrCodeStorage, "storage error: %v", err)
-	if db.IsTransient(err) {
+	switch {
+	case errors.Is(err, db.ErrReadOnly):
+		e.Data = "read-only"
+	case db.IsTransient(err):
 		e.Data = "transient"
 	}
 	return e

@@ -138,6 +138,7 @@ func (s *Server) RegisterChain(be *Backend) {
 	s.reg.GaugeFunc(prefix+"writes", func() float64 { return float64(bc.StorageStats().Writes) })
 	s.reg.GaugeFunc(prefix+"entries", func() float64 { return float64(bc.StorageStats().Entries) })
 	s.reg.GaugeFunc(prefix+"hit_rate", func() float64 { return bc.StorageStats().HitRate() })
+	s.reg.GaugeFunc(prefix+"repairs", func() float64 { return float64(bc.StorageStats().Repairs) })
 	s.reg.GaugeFunc("rpc."+route+".cache_entries", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()

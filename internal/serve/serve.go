@@ -2,12 +2,18 @@
 // it runs a full-fidelity scenario to materialise the two chains, then
 // mounts both on one rpc.Server — the single-process stand-in for the
 // paper's paired ETH/ETC full nodes. cmd/forkserve and cmd/forkload's
-// self-serve mode share this path.
+// self-serve mode share this path. With the disk storage backend the
+// archive is restartable: Open remounts chains persisted by an earlier
+// Build without re-simulating, and OpenOrBuild picks automatically.
 package serve
 
 import (
+	"errors"
 	"fmt"
 
+	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
+	_ "forkwatch/internal/db/diskdb" // register the disk backend with db.Open
 	"forkwatch/internal/rpc"
 	"forkwatch/internal/sim"
 )
@@ -52,4 +58,72 @@ func Build(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
 	srv.RegisterChain(beEth)
 	srv.RegisterChain(beEtc)
 	return &Result{Server: srv, ETH: eth, ETC: etc, Engine: eng}, nil
+}
+
+// Open remounts an archive that an earlier Build persisted through the
+// disk backend: both chains are reopened from sc.Storage.DataDir (each
+// chain lives in its own subdirectory) via chain.Open — WAL redo, no
+// re-simulation — and served exactly as Build would serve them. The
+// scenario must use the disk backend and full mode; it is otherwise only
+// consulted for the chain configs and the data directory, so the restart
+// serves whatever the directory durably holds. Result.Engine is nil: no
+// simulation ran.
+//
+// A directory holding no chain fails with chain.ErrNoChain (wrapped);
+// OpenOrBuild uses that to fall back to a fresh Build.
+func Open(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
+	if sc.Mode != sim.ModeFull {
+		return nil, fmt.Errorf("serve: scenario mode must be full (the archive serves real chains)")
+	}
+	if sc.Storage.Backend != db.BackendDisk {
+		return nil, fmt.Errorf("serve: reopening an archive requires the %q storage backend, not %q", db.BackendDisk, sc.Storage.Backend)
+	}
+	ethCfg, etcCfg := sim.ChainConfigs(sc)
+	open := func(ccfg *chain.Config, name string) (*sim.FullLedger, error) {
+		scfg := sc.Storage
+		scfg.DataDir = sim.ChainDataDir(scfg.DataDir, name)
+		kv, err := db.Open(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening %s store: %w", name, err)
+		}
+		led, err := sim.OpenFullLedger(ccfg, sc, name, kv)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reopening %s chain: %w", name, err)
+		}
+		return led, nil
+	}
+	eth, err := open(ethCfg, "ETH")
+	if err != nil {
+		return nil, err
+	}
+	etc, err := open(etcCfg, "ETC")
+	if err != nil {
+		return nil, err
+	}
+	srv := rpc.NewServer(cfg)
+	beEth := rpc.NewBackend("ETH", eth.BC)
+	beEtc := rpc.NewBackend("ETC", etc.BC)
+	beEth.SetPeer(beEtc)
+	beEtc.SetPeer(beEth)
+	srv.RegisterChain(beEth)
+	srv.RegisterChain(beEtc)
+	return &Result{Server: srv, ETH: eth, ETC: etc}, nil
+}
+
+// OpenOrBuild reopens a persisted archive when the scenario's disk data
+// directory already holds one, and otherwise builds it by running the
+// simulation (which, on the disk backend, persists it for the next
+// restart). Non-disk scenarios always build.
+func OpenOrBuild(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
+	if sc.Storage.Backend != db.BackendDisk {
+		return Build(sc, cfg)
+	}
+	res, err := Open(sc, cfg)
+	if err == nil {
+		return res, nil
+	}
+	if !errors.Is(err, chain.ErrNoChain) {
+		return nil, err
+	}
+	return Build(sc, cfg)
 }

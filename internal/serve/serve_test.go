@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/rpc"
+	"forkwatch/internal/sim"
+)
+
+// smallScenario is a fast full-fidelity scenario: one short simulated
+// day, tiny population, enough blocks and transactions for every RPC
+// method to have something to return.
+func smallScenario(dataDir string) *sim.Scenario {
+	sc := sim.NewScenario(7, 1)
+	sc.Mode = sim.ModeFull
+	sc.DayLength = 3600
+	sc.Users = 40
+	sc.ETHTxPerDay = 30
+	sc.ETCTxPerDay = 12
+	sc.Storage.Backend = "disk"
+	sc.Storage.DataDir = dataDir
+	return sc
+}
+
+// post sends one JSON-RPC request body to a route of the archive and
+// returns the raw response bytes.
+func post(t *testing.T, handler http.Handler, route, body string) []byte {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, route, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s %s: HTTP %d: %s", route, body, rec.Code, rec.Body.Bytes())
+	}
+	out, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestOpenServesByteIdenticalResponses is the restart acceptance test:
+// build the archive once on the disk backend, interrogate every RPC
+// method, shut the process model down, reopen the SAME data directory
+// via Open — which must not re-simulate — and require byte-identical
+// responses to the identical requests.
+func TestOpenServesByteIdenticalResponses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity build")
+	}
+	dataDir := t.TempDir()
+	built, err := Build(smallScenario(dataDir), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	// Assemble the request set from the built chains: every method, on
+	// both routes, with concrete params harvested from the ETH/ETC heads.
+	reqID := 0
+	var requests []struct{ route, body string }
+	add := func(route, method, params string) {
+		reqID++
+		requests = append(requests, struct{ route, body string }{
+			route: route,
+			body: fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"%s","params":[%s]}`,
+				reqID, method, params),
+		})
+	}
+	for route, bc := range map[string]*chain.Blockchain{"/eth": built.ETH.BC, "/etc": built.ETC.BC} {
+		head := bc.Head()
+		add(route, "eth_blockNumber", "")
+		add(route, "eth_getBlockByNumber", `"0x1", true`)
+		add(route, "eth_getBlockByNumber", fmt.Sprintf(`"0x%x", false`, head.Number()))
+		add(route, "eth_getBlockByHash", fmt.Sprintf(`"%s", true`, head.Hash()))
+		var tx *chain.Transaction
+		for n := head.Number(); n > 0 && tx == nil; n-- {
+			if blk, ok := bc.BlockByNumber(n); ok && len(blk.Txs) > 0 {
+				tx = blk.Txs[0]
+			}
+		}
+		if tx == nil {
+			t.Fatalf("%s: the simulated day mined no transactions", route)
+		}
+		add(route, "eth_getTransactionByHash", fmt.Sprintf(`"%s"`, tx.Hash()))
+		add(route, "eth_getTransactionReceipt", fmt.Sprintf(`"%s"`, tx.Hash()))
+		add(route, "eth_getBalance", fmt.Sprintf(`"%s", "latest"`, tx.From))
+		add(route, "eth_getTransactionCount", fmt.Sprintf(`"%s", "latest"`, tx.From))
+		add(route, "fork_difficultyWindow", fmt.Sprintf(`"0x1", "0x%x"`, head.Number()))
+		add(route, "fork_echoCandidates", `"0x1", "0x20"`)
+		add(route, "fork_poolShares", fmt.Sprintf(`"0x1", "0x%x"`, head.Number()))
+	}
+
+	before := make([][]byte, len(requests))
+	for i, r := range requests {
+		before[i] = post(t, built.Server, r.route, r.body)
+	}
+	built.Server.Close()
+
+	// Restart: reopen the same directory. No engine may run.
+	reopened, err := Open(smallScenario(dataDir), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("Open after restart: %v", err)
+	}
+	defer reopened.Server.Close()
+	if reopened.Engine != nil {
+		t.Fatal("Open ran a simulation engine; restarts must serve from disk alone")
+	}
+	if reopened.ETH.BC.Head().Hash() != built.ETH.BC.Head().Hash() {
+		t.Fatal("reopened ETH head diverged from the built chain")
+	}
+	if reopened.ETC.BC.Head().Hash() != built.ETC.BC.Head().Hash() {
+		t.Fatal("reopened ETC head diverged from the built chain")
+	}
+	for i, r := range requests {
+		after := post(t, reopened.Server, r.route, r.body)
+		if !bytes.Equal(before[i], after) {
+			t.Errorf("%s %s:\n before %s\n after  %s", r.route, r.body, before[i], after)
+		}
+	}
+
+	// OpenOrBuild over the same directory must take the reopen path too.
+	again, err := OpenOrBuild(smallScenario(dataDir), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("OpenOrBuild over existing archive: %v", err)
+	}
+	defer again.Server.Close()
+	if again.Engine != nil {
+		t.Fatal("OpenOrBuild re-simulated although the directory holds an archive")
+	}
+}
+
+// TestOpenOrBuildFreshDirectoryBuilds: an empty data directory has no
+// chain, so OpenOrBuild must fall back to running the simulation.
+func TestOpenOrBuildFreshDirectoryBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity build")
+	}
+	res, err := OpenOrBuild(smallScenario(t.TempDir()), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("OpenOrBuild over fresh dir: %v", err)
+	}
+	defer res.Server.Close()
+	if res.Engine == nil {
+		t.Fatal("fresh directory did not build")
+	}
+	if res.ETH.BC.Head().Number() == 0 {
+		t.Fatal("built archive has no blocks")
+	}
+}

@@ -10,6 +10,9 @@ import (
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/db"
+	"forkwatch/internal/db/dbfs"
+	"forkwatch/internal/db/diskdb"
+	"forkwatch/internal/db/diskdb/faultfile"
 	"forkwatch/internal/db/faultkv"
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
@@ -114,14 +117,114 @@ type partition struct {
 // chainStorage is one chain's storage stack: the KV the Blockchain uses
 // (retry-wrapped when faults are on), the fault injector inside it, and
 // whether the store has died beyond recovery.
+//
+// At most one injector is non-nil, matching the backend: faultkv tears
+// logical batches inside the in-memory stores, faultfile tears physical
+// appends on the medium under the disk store. Both expose the same
+// deterministic crash/arm/journal surface, which the methods below
+// unify for the engine.
 type chainStorage struct {
 	cfg    *chain.Config
 	kv     db.KV
-	faults *faultkv.KV // nil when no injection is configured
+	faults *faultkv.KV   // logical injection (mem/cached backends)
+	ffs    *faultfile.FS // physical injection (disk backend)
+	// reopenDisk rebuilds the disk store over the surviving medium after a
+	// crash: close the dead store, re-run diskdb.Open's recovery scan with
+	// injection paused, re-wrap in the retry policy. Nil unless ffs is set.
+	reopenDisk func() (db.KV, error)
 	// dead marks a store WAL recovery could not repair. The chain stops
 	// mining — the partition behaves as if its miners departed — while
 	// day events keep flowing.
 	dead bool
+}
+
+// injecting reports whether any fault injector is wired in.
+func (s *chainStorage) injecting() bool { return s.faults != nil || s.ffs != nil }
+
+// crashed reports whether the store's medium is dead and needs a restart.
+func (s *chainStorage) crashed() bool {
+	switch {
+	case s.faults != nil:
+		return s.faults.Crashed()
+	case s.ffs != nil:
+		return s.ffs.Crashed()
+	}
+	return false
+}
+
+// enable toggles random fault injection (armed crashes stay armed).
+func (s *chainStorage) enable(on bool) {
+	if s.faults != nil {
+		s.faults.SetEnabled(on)
+	}
+	if s.ffs != nil {
+		s.ffs.SetEnabled(on)
+	}
+}
+
+// armCrash arms the injector so the (op+1)-th write from now tears
+// mid-commit and kills the store.
+func (s *chainStorage) armCrash(op uint64) {
+	switch {
+	case s.faults != nil:
+		s.faults.CrashAtWriteOp(s.faults.WriteOps() + 1 + op)
+	case s.ffs != nil:
+		s.ffs.CrashAtWriteOp(s.ffs.WriteOps() + 1 + op)
+	}
+}
+
+// journalLen counts the fault events the injector has recorded.
+func (s *chainStorage) journalLen() int {
+	n := 0
+	if s.faults != nil {
+		n += len(s.faults.Journal())
+	}
+	if s.ffs != nil {
+		n += len(s.ffs.Journal())
+	}
+	return n
+}
+
+// restart models the node process coming back up over the surviving
+// medium: the injector's crash flag clears, and for the disk backend the
+// store is reopened — diskdb.Open truncates the torn tail and drops
+// uncommitted batch groups. The chain-level WAL redo on top (chain.Open)
+// is the caller's job.
+func (s *chainStorage) restart() error {
+	switch {
+	case s.faults != nil:
+		s.faults.Reopen()
+	case s.ffs != nil:
+		s.ffs.Reopen()
+		kv, err := s.reopenDisk()
+		if err != nil {
+			return err
+		}
+		s.kv = kv
+	}
+	return nil
+}
+
+// fileFaults translates the scenario's logical fault plan (faultkv rates
+// against a KV) into the physical plan the disk medium runs (faultfile
+// rates against the file API): read/write error and bit-rot rates carry
+// over, and the logical batch-tear rate becomes both a transient
+// short-write rate (truncate-repair + retry) and a crashing torn-append
+// rate (restart + recovery), so the disk chaos runs exercise strictly
+// more failure modes than the mem runs at the same knob settings. The
+// seed is offset per chain so the two partitions' fault streams stay
+// decorrelated, mirroring the faultkv path.
+func fileFaults(f faultkv.Faults, chainIdx int64) faultfile.Faults {
+	return faultfile.Faults{
+		Seed:           f.Seed + chainIdx,
+		ReadErrRate:    f.ReadErrRate,
+		WriteErrRate:   f.WriteErrRate,
+		ShortWriteRate: f.TornBatchRate,
+		TornWriteRate:  f.TornBatchRate,
+		CorruptRate:    f.CorruptRate,
+		StallEvery:     f.StallEvery,
+		Stall:          f.Stall,
+	}
 }
 
 // New builds an engine (ledgers, workload, pools, prices) from a scenario.
@@ -140,52 +243,103 @@ func New(sc *Scenario) (*Engine, error) {
 		etc = NewFastLedger(etcCfg, gen)
 	case ModeFull:
 		// Each chain gets its own store opened from the same config:
-		// partitions never share storage, only gossip. When the scenario
-		// injects storage faults or crashes, the stack per chain is
-		// backend -> faultkv (injection) -> retry (transient absorption),
-		// with injection held off until after the genesis bootstrap.
-		mkStack := func(seedOff int64) (db.KV, *faultkv.KV, error) {
-			kv, err := db.Open(sc.Storage)
-			if err != nil {
-				return nil, nil, err
+		// partitions never share storage, only gossip — the disk backend
+		// keeps each chain in its own DataDir subdirectory. When the
+		// scenario injects storage faults or crashes, the stack per chain
+		// is backend -> injector -> retry (transient absorption): faultkv
+		// tears logical batches inside the in-memory backends, faultfile
+		// tears physical appends under the disk backend. Injection is held
+		// off until after the genesis bootstrap.
+		attempts := sc.StorageRetryAttempts
+		if attempts <= 0 {
+			attempts = db.DefaultRetryAttempts
+			if sc.Storage.Backend == db.BackendDisk {
+				// One durable append draws the write-error rate twice
+				// (Append, then Sync), so per-attempt failure is
+				// 1-(1-p)^2 instead of p; double the budget to keep the
+				// exhaustion probability in the same regime as faultkv.
+				attempts *= 2
+			}
+		}
+		mkStack := func(idx int64, name string) (*chainStorage, error) {
+			cfg := sc.Storage
+			if cfg.Backend == db.BackendDisk {
+				cfg.DataDir = ChainDataDir(cfg.DataDir, name)
 			}
 			if !sc.StorageFaults.Enabled() && len(sc.Crashes) == 0 {
-				return kv, nil, nil
+				kv, err := db.Open(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return &chainStorage{kv: kv}, nil
+			}
+			if cfg.Backend == db.BackendDisk {
+				if err := cfg.Validate(); err != nil {
+					return nil, err
+				}
+				osfs, err := dbfs.NewOSFS(cfg.DataDir)
+				if err != nil {
+					return nil, err
+				}
+				ffs := faultfile.Wrap(osfs, fileFaults(sc.StorageFaults, idx))
+				ffs.SetEnabled(false)
+				var cur *diskdb.DB
+				openDisk := func() (db.KV, error) {
+					if cur != nil {
+						cur.Close()
+						cur = nil
+					}
+					d, err := diskdb.Open(ffs, diskdb.Options{})
+					if err != nil {
+						return nil, err
+					}
+					cur = d
+					return db.NewRetry(d, attempts), nil
+				}
+				kv, err := openDisk()
+				if err != nil {
+					return nil, err
+				}
+				return &chainStorage{kv: kv, ffs: ffs, reopenDisk: func() (db.KV, error) {
+					// The recovery scan must see the medium's true bytes:
+					// pause injection around it, resume at a deterministic
+					// point so fault timelines stay replayable.
+					ffs.SetEnabled(false)
+					defer ffs.SetEnabled(true)
+					return openDisk()
+				}}, nil
+			}
+			kv, err := db.Open(cfg)
+			if err != nil {
+				return nil, err
 			}
 			f := sc.StorageFaults
-			f.Seed += seedOff // decorrelate the two chains' fault streams
+			f.Seed += idx // decorrelate the two chains' fault streams
 			fkv := faultkv.Wrap(kv, f)
 			fkv.SetEnabled(false)
-			attempts := sc.StorageRetryAttempts
-			if attempts <= 0 {
-				attempts = db.DefaultRetryAttempts
-			}
-			return db.NewRetry(fkv, attempts), fkv, nil
+			return &chainStorage{kv: db.NewRetry(fkv, attempts), faults: fkv}, nil
 		}
-		ethKV, ethF, err := mkStack(0)
+		ethStg, err := mkStack(0, "ETH")
 		if err != nil {
 			return nil, err
 		}
-		etcKV, etcF, err := mkStack(1)
+		etcStg, err := mkStack(1, "ETC")
 		if err != nil {
 			return nil, err
 		}
-		eth, err = NewFullLedgerWithDB(ethCfg, gen, prng.New(sc.Seed, "seal", "ETH"), ethKV)
+		ethStg.cfg, etcStg.cfg = ethCfg, etcCfg
+		eth, err = NewFullLedgerWithDB(ethCfg, gen, prng.New(sc.Seed, "seal", "ETH"), ethStg.kv)
 		if err != nil {
 			return nil, err
 		}
-		etc, err = NewFullLedgerWithDB(etcCfg, gen, prng.New(sc.Seed, "seal", "ETC"), etcKV)
+		etc, err = NewFullLedgerWithDB(etcCfg, gen, prng.New(sc.Seed, "seal", "ETC"), etcStg.kv)
 		if err != nil {
 			return nil, err
 		}
-		if ethF != nil {
-			ethF.SetEnabled(true)
-		}
-		if etcF != nil {
-			etcF.SetEnabled(true)
-		}
-		storage["ETH"] = &chainStorage{cfg: ethCfg, kv: ethKV, faults: ethF}
-		storage["ETC"] = &chainStorage{cfg: etcCfg, kv: etcKV, faults: etcF}
+		ethStg.enable(true)
+		etcStg.enable(true)
+		storage["ETH"] = ethStg
+		storage["ETC"] = etcStg
 	default:
 		return nil, fmt.Errorf("sim: unknown mode %d", sc.Mode)
 	}
@@ -260,13 +414,13 @@ func (e *Engine) CrashesFired() int {
 }
 
 // StorageFaultEvents reports how many storage faults (injected errors,
-// torn batches, crashes, reopens) the chains' stores have logged.
-// Zero when no StorageFaults are configured or in ModeFast.
+// torn batches or appends, crashes, reopens) the chains' stores have
+// logged. Zero when no StorageFaults are configured or in ModeFast.
 func (e *Engine) StorageFaultEvents() int {
 	n := 0
 	for _, p := range e.parts {
-		if p.storage != nil && p.storage.faults != nil {
-			n += len(p.storage.faults.Journal())
+		if p.storage != nil {
+			n += p.storage.journalLen()
 		}
 	}
 	return n
@@ -400,13 +554,16 @@ func (e *Engine) stepDay(day int, p *partition) error {
 // a fatal error. Errors that are not storage crashes surface unchanged.
 func (e *Engine) recoverMine(led Ledger, stg *chainStorage, mineErr error, t uint64, coinbase types.Address, txs []*chain.Transaction) ([]*chain.Transaction, bool, error) {
 	fl, isFull := led.(*FullLedger)
-	if stg == nil || stg.faults == nil || !isFull || !stg.faults.Crashed() {
+	if stg == nil || !stg.injecting() || !isFull || !stg.crashed() {
 		return nil, false, mineErr
 	}
 	preHead := fl.HeadNumber() // memory never advances past the last durable commit
 	const maxRestarts = 3      // random faults can crash the retry too
 	for attempt := 0; attempt < maxRestarts; attempt++ {
-		stg.faults.Reopen()
+		if err := stg.restart(); err != nil {
+			stg.dead = true
+			return nil, false, nil
+		}
 		bc, err := chain.Open(stg.cfg, stg.kv)
 		if err != nil {
 			stg.dead = true
@@ -423,7 +580,7 @@ func (e *Engine) recoverMine(led Ledger, stg *chainStorage, mineErr error, t uin
 		if err == nil {
 			return included, true, nil
 		}
-		if !stg.faults.Crashed() {
+		if !stg.crashed() {
 			return nil, false, err
 		}
 	}
@@ -485,11 +642,11 @@ func (e *Engine) mineDay(day int, p *partition) error {
 
 		// A scheduled crash for this block arms the injector so the store
 		// dies mid-commit; recovery below reopens and resumes.
-		if p.storage != nil && p.storage.faults != nil {
+		if p.storage != nil && p.storage.injecting() {
 			for i, cs := range e.sc.Crashes {
 				if !p.crashFired[i] && cs.Chain == p.name && cs.Day == day && cs.Block == blockIdx {
 					p.crashFired[i] = true
-					p.storage.faults.CrashAtWriteOp(p.storage.faults.WriteOps() + 1 + cs.Op)
+					p.storage.armCrash(cs.Op)
 				}
 			}
 		}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"path/filepath"
+	"strings"
+
+	"forkwatch/internal/chain"
+	"forkwatch/internal/db"
+	"forkwatch/internal/prng"
+)
+
+// ChainDataDir returns the subdirectory of a scenario's DataDir holding
+// one chain's disk segments. The engine keeps the two partitions' stores
+// apart — they share gossip, never storage — and a restart must resolve
+// the same layout to reopen them.
+func ChainDataDir(root, chainName string) string {
+	return filepath.Join(root, strings.ToLower(chainName))
+}
+
+// ChainConfigs builds the two partition chain configs exactly as New
+// does, so a restarting process can reopen persisted chains under
+// identical consensus rules without running the simulation.
+func ChainConfigs(sc *Scenario) (eth, etc *chain.Config) {
+	w := NewWorkload(sc)
+	return chain.ETHConfig(1, w.DAODrainList(), DAORefundAddress), chain.ETCConfig(1)
+}
+
+// OpenFullLedger reopens a full-fidelity ledger over a store that already
+// holds a chain: chain.Open replays the WAL and adopts the persisted
+// head instead of writing a genesis. The ledger is wired with the same
+// seed-derived seal stream New would hand it, so a process that reopens
+// and keeps mining continues the deterministic sequence.
+func OpenFullLedger(cfg *chain.Config, sc *Scenario, chainName string, kv db.KV) (*FullLedger, error) {
+	bc, err := chain.Open(cfg, kv)
+	if err != nil {
+		return nil, err
+	}
+	return &FullLedger{BC: bc, r: prng.New(sc.Seed, "seal", chainName)}, nil
+}

@@ -1,14 +1,18 @@
 // Command benchcmp diffs two benchjson snapshots (BENCH_*.json),
 // reporting the ns/op and allocs/op delta for every benchmark present in
-// both files plus the entries only one side has. It is a report, not a
-// gate: the exit code is 0 regardless of direction, so CI can surface
-// regressions without flaking on noisy runners.
+// both files plus the entries only one side has. By default it is a
+// report, not a gate: the exit code is 0 regardless of direction, so CI
+// can surface regressions without flaking on noisy runners. With
+// -threshold N it becomes an opt-in gate, exiting 1 when any benchmark's
+// ns/op regressed by more than N percent.
 //
-//	go run ./tools/benchcmp BENCH_pr2.json BENCH_pr5.json
+//	go run ./tools/benchcmp BENCH_pr2.json BENCH_pr6.json
+//	go run ./tools/benchcmp -threshold 25 BENCH_pr2.json BENCH_pr6.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -53,23 +57,30 @@ func pctDelta(old, new float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+	threshold := flag.Float64("threshold", 0,
+		"exit nonzero if any ns/op regression exceeds this percentage (0 = report only, never fail)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold PCT] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldM, _, err := load(os.Args[1])
+	oldM, _, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	newM, newOrder, err := load(os.Args[2])
+	newM, newOrder, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
 
 	fmt.Printf("%-70s %15s %15s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "ns delta", "allocs")
-	var onlyOld, onlyNew []string
+	var onlyOld, onlyNew, regressed []string
 	for _, name := range newOrder {
 		nr := newM[name]
 		or, ok := oldM[name]
@@ -83,6 +94,12 @@ func main() {
 		}
 		fmt.Printf("%-70s %15.0f %15.0f %9s %9s\n", name, or.NsPerOp, nr.NsPerOp,
 			pctDelta(or.NsPerOp, nr.NsPerOp), allocDelta)
+		if *threshold > 0 && or.NsPerOp > 0 {
+			if pct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp; pct > *threshold {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %+.1f%% ns/op (threshold %.1f%%)", name, pct, *threshold))
+			}
+		}
 	}
 	for name := range oldM {
 		if _, ok := newM[name]; !ok {
@@ -95,5 +112,12 @@ func main() {
 	}
 	for _, name := range onlyNew {
 		fmt.Printf("%-70s only in new file: %.0f ns/op\n", name, newM[name].NsPerOp)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d benchmark(s) regressed past the threshold:\n", len(regressed))
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
 	}
 }

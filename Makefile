@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench benchcmp profile fuzz chaos chaos-disk rpcsmoke loadbench clean
+.PHONY: all build test race vet partitionlint matrix check bench benchcmp profile fuzz chaos chaos-disk rpcsmoke loadbench clean
 
 all: build
 
@@ -23,7 +23,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race
+# Partition-registry guard: no non-test core code may hard-wire the
+# historical pair through "ETH"/"ETC" string literals (see
+# tools/partitionlint for the allowlist).
+partitionlint:
+	$(GO) run ./tools/partitionlint
+
+check: vet partitionlint build race
+
+# Scenario-matrix smoke: sweep the aligned/conflict/extreme grid crossed
+# with the pool behaviour models under the race detector, writing
+# matrix.csv (the artifact CI uploads). Short horizon: the sweep is a
+# smoke test, not a calibration run.
+MATRIX_DIR ?= matrix-out
+MATRIX_DAYS ?= 12
+
+matrix:
+	mkdir -p $(MATRIX_DIR)
+	$(GO) run -race ./cmd/forksim -matrix -days $(MATRIX_DAYS) -out $(MATRIX_DIR)
 
 # Fuzz smoke: `go test -fuzz` takes exactly one target per invocation,
 # so each decoder target runs on its own.

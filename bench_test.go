@@ -52,8 +52,8 @@ func BenchmarkFigure1ShortTermDynamics(b *testing.B) {
 		b.ReportMetric(analysis.MeanOver(c.BlocksPerHour("ETC"), 0, 6), "etc_blocks/hr_h0-6")
 		b.ReportMetric(analysis.MeanOver(c.BlocksPerHour("ETH"), 0, 6), "eth_blocks/hr_h0-6")
 		b.ReportMetric(analysis.MaxOver(c.HourlyMeanDelta("ETC"), 0, 96), "etc_max_delta_s")
-		_, etcRec := rep.RecoveryHours()
-		b.ReportMetric(float64(etcRec), "etc_recovery_hours")
+		rec := rep.RecoveryHours()
+		b.ReportMetric(float64(rec[1]), "etc_recovery_hours")
 	}
 }
 
@@ -93,7 +93,7 @@ func BenchmarkFigure3HashesPerUSD(b *testing.B) {
 		days := c.Days()
 		eth := c.HashesPerUSD("ETH", 5)
 		etc := c.HashesPerUSD("ETC", 5)
-		b.ReportMetric(c.PayoffCorrelation(5), "correlation_full")
+		b.ReportMetric(c.PayoffCorrelation(5, "ETH", "ETC"), "correlation_full")
 		b.ReportMetric(correlationFrom(eth, etc, 50), "correlation_post_sep")
 		// Mean |ratio| deviation from 1 after stabilisation.
 		dev := 0.0
@@ -256,9 +256,9 @@ func runPartitionCensus(b *testing.B, total, keepClassic int) float64 {
 func BenchmarkE2StabilizationTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := runScenario(b, forkwatch.NewScenario(1, 10))
-		_, etcRec := rep.RecoveryHours()
-		b.ReportMetric(float64(etcRec), "etc_recovery_hours")
-		b.ReportMetric(float64(etcRec)/24, "etc_recovery_days")
+		rec := rep.RecoveryHours()
+		b.ReportMetric(float64(rec[1]), "etc_recovery_hours")
+		b.ReportMetric(float64(rec[1])/24, "etc_recovery_days")
 	}
 }
 
@@ -298,8 +298,8 @@ func BenchmarkAblationDifficultyClamp(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				eng.ETH.Config().DifficultyClampFactor = clamp
-				eng.ETC.Config().DifficultyClampFactor = clamp
+				eng.Ledger("ETH").Config().DifficultyClampFactor = clamp
+				eng.Ledger("ETC").Config().DifficultyClampFactor = clamp
 				col := analysis.NewCollector(sc.Epoch)
 				eng.AddObserver(col)
 				if err := eng.Run(); err != nil {

@@ -1,6 +1,8 @@
 // Command forkanalyze re-runs the paper's analysis over a previously
 // exported ledger (the blocks.csv / txs.csv pair forksim writes) without
 // re-simulating — the moral equivalent of the paper's database stage.
+// Chain names are recovered from the export itself, so N-way exports
+// analyze just like the historical pair.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"forkwatch/internal/analysis"
 	"forkwatch/internal/export"
@@ -62,33 +65,72 @@ func main() {
 	col := analysis.NewCollector(*epoch)
 	export.ReplayAll(blocks, txs, dayRows, *epoch, *dayLength, col)
 
-	fmt.Printf("loaded %d blocks, %d transactions\n\n", len(blocks), len(txs))
+	chains := chainOrder(blocks, dayRows)
+	if len(chains) == 0 {
+		log.Fatal("export holds no blocks for any chain")
+	}
+	fmt.Printf("loaded %d blocks, %d transactions across %s\n\n",
+		len(blocks), len(txs), strings.Join(chains, "/"))
 
 	days := lastDay(blocks, *epoch, *dayLength) + 1
-	fmt.Printf("Fig 1  ETC blocks/hr first 6h: %.1f;  max mean delta: %.0fs;  recovery hour: %d\n",
-		analysis.MeanOver(col.BlocksPerHour("ETC"), 0, 6),
-		analysis.MaxOver(col.HourlyMeanDelta("ETC"), 0, 96),
-		col.RecoveryHour("ETC", 14, 0.9, 6))
-	ethTx := col.TxPerDay("ETH")
-	etcTx := col.TxPerDay("ETC")
-	fmt.Printf("Fig 2  tx/day ETH %.0f, ETC %.0f (ratio %.1f:1);  contract%% ETH %.0f, ETC %.0f\n",
-		analysis.MeanOver(ethTx, 0, days), analysis.MeanOver(etcTx, 0, days),
-		safeRatio(analysis.MeanOver(ethTx, 0, days), analysis.MeanOver(etcTx, 0, days)),
-		analysis.MeanOver(col.PctContract("ETH"), 0, days),
-		analysis.MeanOver(col.PctContract("ETC"), 0, days))
-	fmt.Printf("Fig 4  echoes into ETC: %d; into ETH: %d; peak ETC echo share %.0f%%\n",
-		col.TotalEchoes("ETC"), col.TotalEchoes("ETH"),
-		analysis.MaxOver(col.EchoPct("ETC"), 0, days))
-	t5e := col.TopNShare("ETH", 5)
-	t5c := col.TopNShare("ETC", 5)
-	fmt.Printf("Fig 5  top-5 pool share: ETH mean %.2f;  ETC start %.2f -> end %.2f\n",
-		analysis.MeanOver(t5e, 0, days),
-		analysis.MeanOver(t5c, 0, 10), analysis.MeanOver(t5c, days-10, days))
+	anchor := chains[0]
+	for _, minority := range chains[1:] {
+		fmt.Printf("Fig 1  %s blocks/hr first 6h: %.1f;  max mean delta: %.0fs;  recovery hour: %d\n",
+			minority,
+			analysis.MeanOver(col.BlocksPerHour(minority), 0, 6),
+			analysis.MaxOver(col.HourlyMeanDelta(minority), 0, 96),
+			col.RecoveryHour(minority, 14, 0.9, 6))
+	}
+	anchorTx := analysis.MeanOver(col.TxPerDay(anchor), 0, days)
+	for _, minority := range chains[1:] {
+		minTx := analysis.MeanOver(col.TxPerDay(minority), 0, days)
+		fmt.Printf("Fig 2  tx/day %s %.0f, %s %.0f (ratio %.1f:1);  contract%% %s %.0f, %s %.0f\n",
+			anchor, anchorTx, minority, minTx, safeRatio(anchorTx, minTx),
+			anchor, analysis.MeanOver(col.PctContract(anchor), 0, days),
+			minority, analysis.MeanOver(col.PctContract(minority), 0, days))
+	}
+	echoes := make([]string, len(chains))
+	peak := chains[len(chains)-1]
+	for i, c := range chains {
+		echoes[i] = fmt.Sprintf("into %s: %d", c, col.TotalEchoes(c))
+	}
+	fmt.Printf("Fig 4  echoes %s; peak %s echo share %.0f%%\n",
+		strings.Join(echoes, "; "), peak,
+		analysis.MaxOver(col.EchoPct(peak), 0, days))
+	for _, c := range chains {
+		t5 := col.TopNShare(c, 5)
+		fmt.Printf("Fig 5  top-5 pool share %s: mean %.2f; start %.2f -> end %.2f\n",
+			c, analysis.MeanOver(t5, 0, days),
+			analysis.MeanOver(t5, 0, 10), analysis.MeanOver(t5, days-10, days))
+	}
 	if len(dayRows) > 0 {
-		fmt.Printf("Fig 3  hashes/USD correlation: %.4f\n", col.PayoffCorrelation(5))
+		for i := 0; i < len(chains); i++ {
+			for j := i + 1; j < len(chains); j++ {
+				fmt.Printf("Fig 3  hashes/USD correlation %s vs %s: %.4f\n",
+					chains[i], chains[j], col.PayoffCorrelation(5, chains[i], chains[j]))
+			}
+		}
 	} else {
 		fmt.Println("Fig 3  skipped: no days.csv in the export directory")
 	}
+}
+
+// chainOrder recovers the export's chain names: the day table's column
+// order when present (that is the engine's partition order), otherwise
+// first-seen order in the block table.
+func chainOrder(blocks []export.BlockRow, dayRows []export.DayRow) []string {
+	if len(dayRows) > 0 {
+		return dayRows[0].Chains
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, b := range blocks {
+		if !seen[b.Chain] {
+			seen[b.Chain] = true
+			out = append(out, b.Chain)
+		}
+	}
+	return out
 }
 
 func lastDay(blocks []export.BlockRow, epoch, dayLength uint64) int {

@@ -67,9 +67,11 @@ func main() {
 		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration")
 		out       = flag.String("out", "BENCH_pr4.json", "JSON report path (- for stdout)")
+		chainsCSV = flag.String("chains", "eth,etc", "comma-separated chain routes to load on an external -url target (selfserve discovers its own)")
 	)
 	flag.Parse()
 
+	routes := strings.Split(*chainsCSV, ",")
 	base := *url
 	if *selfserve {
 		sc := forkwatch.NewScenario(*seed, *days)
@@ -83,15 +85,20 @@ func main() {
 		ts := httptest.NewServer(res.Server)
 		defer ts.Close()
 		base = ts.URL
-		log.Printf("selfserve: ETH head %d, ETC head %d on %s",
-			res.ETH.BC.Head().Number(), res.ETC.BC.Head().Number(), base)
+		routes = routes[:0]
+		headLog := make([]string, 0, len(res.Chains))
+		for _, c := range res.Chains {
+			routes = append(routes, strings.ToLower(c.Name))
+			headLog = append(headLog, fmt.Sprintf("%s head %d", c.Name, c.Ledger.BC.Head().Number()))
+		}
+		log.Printf("selfserve: %s on %s", strings.Join(headLog, ", "), base)
 	}
 	if base == "" {
 		log.Fatal("need -url or -selfserve")
 	}
 	base = strings.TrimRight(base, "/")
 
-	heads, err := headNumbers(base)
+	heads, err := headNumbers(base, routes)
 	if err != nil {
 		log.Fatalf("probing endpoints: %v", err)
 	}
@@ -212,9 +219,9 @@ func workload(heads map[string]uint64) []loadReq {
 }
 
 // headNumbers probes each chain endpoint for its head.
-func headNumbers(base string) (map[string]uint64, error) {
+func headNumbers(base string, routes []string) (map[string]uint64, error) {
 	out := map[string]uint64{}
-	for _, chain := range []string{"eth", "etc"} {
+	for _, chain := range routes {
 		cl := rpc.NewClient(base+"/"+chain, nil)
 		var hex string
 		if err := cl.Call(&hex, "eth_blockNumber"); err != nil {

@@ -1,16 +1,19 @@
-// Command forkserve materialises the two-partition fork scenario and
-// serves both chains' archive over JSON-RPC — one process standing in for
-// the paper's paired ETH and ETC full nodes.
+// Command forkserve materialises a partitioned fork scenario — the
+// historical two-way split by default, any N-way split via -partitions —
+// and serves every chain's archive over JSON-RPC: one process standing in
+// for the paper's paired full nodes.
 //
-// Routes: POST /eth and /etc (JSON-RPC 2.0, batches supported),
-// GET /debug/metrics (counters, latency histograms, storage stats),
-// GET /debug/pprof/ (live CPU/heap/goroutine profiles), GET /healthz.
+// Routes: POST /<lowercase chain name> per partition (JSON-RPC 2.0,
+// batches supported), GET /debug/metrics (counters, latency histograms,
+// storage stats), GET /debug/pprof/ (live CPU/heap/goroutine profiles),
+// GET /healthz.
 //
 // Usage:
 //
 //	forkserve -seed 1 -days 2 -addr :8545
 //	forkserve -days 1 -storage-faults "seed=7,readerr=0.2"  # chaos serving
 //	forkserve -days 2 -storage disk -datadir /var/lib/forkwatch
+//	forkserve -days 1 -partitions 'ONE:share=0;TWO:share=0.2;TRI:share=0.1'
 //
 // With -storage disk the simulated chains persist in -datadir; a later
 // run against the same directory reopens the archive (WAL redo, no
@@ -19,9 +22,11 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"forkwatch"
@@ -47,12 +52,20 @@ func main() {
 		rate    = flag.Float64("rate", 0, "per-client requests/second (0 = unlimited)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request execution deadline")
 		par     = flag.Int("parallelism", 0, "simulation partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; served chains are identical either way")
+		parts   = flag.String("partitions", "", `N-way partition spec "NAME:key=v,...;NAME:key=v,..." (empty = historical two-way split)`)
 	)
 	flag.Parse()
 
 	sc := forkwatch.NewScenario(*seed, *days)
 	sc.Mode = sim.ModeFull
 	sc.Parallelism = *par
+	if *parts != "" {
+		specs, err := forkwatch.ParsePartitionSpecs(*parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Partitions = specs
+	}
 	sc.Storage = forkwatch.StorageConfig{Backend: *storage, DataDir: *datadir}
 	if *faults != "" {
 		f, err := forkwatch.ParseStorageFaults(*faults)
@@ -93,8 +106,14 @@ func main() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	log.Printf("ETH head %d, ETC head %d", res.ETH.BC.Head().Number(), res.ETC.BC.Head().Number())
-	log.Printf("serving /eth /etc /debug/metrics /debug/pprof /healthz on %s", *addr)
+	heads := make([]string, len(res.Chains))
+	routes := make([]string, len(res.Chains))
+	for i, c := range res.Chains {
+		heads[i] = fmt.Sprintf("%s head %d", c.Name, c.Ledger.BC.Head().Number())
+		routes[i] = "/" + strings.ToLower(c.Name)
+	}
+	log.Print(strings.Join(heads, ", "))
+	log.Printf("serving %s /debug/metrics /debug/pprof /healthz on %s", strings.Join(routes, " "), *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,17 @@
-// Command forksim runs the calibrated two-partition fork scenario and
-// regenerates every figure of the paper, printing a summary keyed to the
-// paper's observations O1–O6 and optionally writing the figure series and
-// the raw ledger export as CSV.
+// Command forksim runs a partitioned fork scenario — the calibrated
+// historical two-way split by default, any N-way split via -partitions —
+// and regenerates every figure of the paper, printing a summary keyed to
+// the paper's observations O1–O6 and optionally writing the figure series
+// and the raw ledger export as CSV. -matrix instead sweeps the scenario
+// matrix (hashrate/economics grid crossed with pool behaviour models) and
+// prints a summary table.
 //
 // Usage:
 //
 //	forksim -seed 1 -days 270 -out results/
 //	forksim -days 30 -mode full        # short run on the real chain substrate
+//	forksim -days 60 -partitions 'MAJ:share=0,weight=0.7;MIN:share=0.3,weight=0.3,behaviour=mixed'
+//	forksim -days 45 -matrix -out results/
 package main
 
 import (
@@ -39,10 +44,24 @@ func main() {
 		outDir  = flag.String("out", "", "directory for CSV output (figures + ledger export); empty = summary only")
 		par     = flag.Int("parallelism", 0, "partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; output is byte-identical either way")
 		profDir = flag.String("profile", "", "directory for cpu.pprof/heap.pprof capture of the run (empty = no profiling)")
+		parts   = flag.String("partitions", "", `N-way partition spec "NAME:key=v,...;NAME:key=v,..." (empty = historical two-way split); see DESIGN.md §12`)
+		matrix  = flag.Bool("matrix", false, "sweep the scenario matrix (hashrate/economics grid x pool behaviour models) and print a summary table instead of one run")
 	)
 	flag.Parse()
 
+	if *matrix {
+		runMatrix(*seed, *days, *par, *outDir)
+		return
+	}
+
 	sc := forkwatch.NewScenario(*seed, *days)
+	if *parts != "" {
+		specs, err := forkwatch.ParsePartitionSpecs(*parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Partitions = specs
+	}
 	switch *mode {
 	case "fast":
 		sc.Mode = forkwatch.ModeFast
@@ -192,4 +211,74 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote figures and ledger export to %s (fig3 correlation %.4f)", *outDir, corr)
+}
+
+// runMatrix sweeps the aligned/conflict/extreme hashrate-economics grid
+// crossed with the three pool behaviour models, printing one summary row
+// per cell and, with -out, writing the same table as matrix.csv.
+func runMatrix(seed int64, days, par int, outDir string) {
+	cells := forkwatch.MatrixCells(seed, days)
+	header := "grid,behaviour,min_share_fork,min_share_end,diff_ratio_end,min_recovery_hour,payoff_corr,echoes_into_min"
+	rows := make([]string, 0, len(cells))
+	for _, cell := range cells {
+		sc := cell.Scenario
+		sc.Parallelism = par
+		eng, err := forkwatch.NewEngine(sc)
+		if err != nil {
+			log.Fatalf("matrix cell %s/%s: %v", cell.Grid, cell.Behaviour, err)
+		}
+		col := analysis.NewCollector(sc.Epoch)
+		eng.AddObserver(col)
+		if err := eng.Run(); err != nil {
+			log.Fatalf("matrix cell %s/%s: %v", cell.Grid, cell.Behaviour, err)
+		}
+		rep := &forkwatch.Report{Scenario: sc, Collector: col}
+		names := rep.Chains()
+		maj, min := names[0], names[1]
+		last := col.Days() - 1
+		majDiff := col.DailyDifficulty(maj)
+		minDiff := col.DailyDifficulty(min)
+		ratio := 0.0
+		if last >= 0 && minDiff[last] > 0 {
+			ratio = majDiff[last] / minDiff[last]
+		}
+		shareEnd := 0.0
+		if last >= 0 {
+			majHR := col.DailyHashrate(maj)[last]
+			minHR := col.DailyHashrate(min)[last]
+			if total := majHR + minHR; total > 0 {
+				shareEnd = minHR / total
+			}
+		}
+		_, corr := rep.Figure3()
+		row := fmt.Sprintf("%s,%s,%g,%.4f,%.2f,%d,%.4f,%d",
+			cell.Grid, cell.Behaviour,
+			sc.Partitions[1].ShareAtFork, shareEnd, ratio,
+			col.RecoveryHour(min, 14, 0.9, 6), corr, col.TotalEchoes(min))
+		rows = append(rows, row)
+	}
+	fmt.Println(header)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(outDir, "matrix.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, header); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(f, r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %d matrix cells to %s", len(rows), filepath.Join(outDir, "matrix.csv"))
 }

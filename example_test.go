@@ -29,9 +29,9 @@ func Example() {
 // figure.
 func ExampleWriteFigureCSV() {
 	s := forkwatch.Series{
-		Label: "blocks/hour",
-		ETH:   []float64{257, 256},
-		ETC:   []float64{3, 8},
+		Label:  "blocks/hour",
+		Chains: []string{"ETH", "ETC"},
+		Values: [][]float64{{257, 256}, {3, 8}},
 	}
 	if err := forkwatch.WriteFigureCSV(os.Stdout, s); err != nil {
 		log.Fatal(err)
@@ -55,6 +55,6 @@ func ExampleReport_Figure3() {
 		log.Fatal(err)
 	}
 	series, _ := rep.Figure3()
-	fmt.Println("per-chain series lengths:", len(series.ETH), len(series.ETC))
+	fmt.Println("per-chain series lengths:", len(series.Chain("ETH")), len(series.Chain("ETC")))
 	// Output: per-chain series lengths: 3 3
 }

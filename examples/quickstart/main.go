@@ -25,18 +25,23 @@ func main() {
 	fmt.Print(rep.Summary())
 	fmt.Println()
 
+	// The default scenario's partitions are the historical pair: the
+	// majority chain first, the minority second.
+	maj, min := rep.Chains()[0], rep.Chains()[1]
 	blocksPerHour, _, delta := rep.Figure1()
+	majBlocks, minBlocks := blocksPerHour.Chain(maj), blocksPerHour.Chain(min)
+	minDelta := delta.Chain(min)
 	fmt.Println("Figure 1 extract — the partition moment (hours after the fork):")
-	fmt.Printf("%6s %14s %14s %14s\n", "hour", "ETH blocks/hr", "ETC blocks/hr", "ETC delta (s)")
+	fmt.Printf("%6s %14s %14s %14s\n", "hour", maj+" blocks/hr", min+" blocks/hr", min+" delta (s)")
 	for _, h := range []int{0, 3, 6, 12, 24, 36, 48, 72, 168} {
-		if h >= len(blocksPerHour.ETC) {
+		if h >= len(minBlocks) {
 			break
 		}
-		fmt.Printf("%6d %14.0f %14.0f %14.0f\n", h, blocksPerHour.ETH[h], blocksPerHour.ETC[h], delta.ETC[h])
+		fmt.Printf("%6d %14.0f %14.0f %14.0f\n", h, majBlocks[h], minBlocks[h], minDelta[h])
 	}
 
-	ethRec, etcRec := rep.RecoveryHours()
-	fmt.Printf("\nETC took %d hours (~%.1f days) to sustainably produce blocks at the target rate again;\n",
-		etcRec, float64(etcRec)/24)
-	fmt.Printf("ETH was never off it (recovery hour %d). The paper reports \"almost two days\".\n", ethRec)
+	rec := rep.RecoveryHours()
+	fmt.Printf("\n%s took %d hours (~%.1f days) to sustainably produce blocks at the target rate again;\n",
+		min, rec[1], float64(rec[1])/24)
+	fmt.Printf("%s was never off it (recovery hour %d). The paper reports \"almost two days\".\n", maj, rec[0])
 }

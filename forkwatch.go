@@ -42,6 +42,12 @@ type (
 	BlockEvent = sim.BlockEvent
 	// DayEvent describes one simulated day.
 	DayEvent = sim.DayEvent
+	// PartitionSpec describes one named partition of an N-way scenario
+	// (Scenario.Partitions).
+	PartitionSpec = sim.PartitionSpec
+	// MatrixCell is one cell of the scenario-matrix sweep (grid regime ×
+	// minority pool behaviour).
+	MatrixCell = sim.MatrixCell
 	// Mode selects ledger fidelity.
 	Mode = sim.Mode
 	// Collector aggregates events into the paper's statistics.
@@ -75,6 +81,19 @@ func ParseStorageFaults(spec string) (StorageFaults, error) {
 // "ETH:1:3:40,ETC:2:0:5".
 func ParseCrashSpecs(spec string) ([]CrashSpec, error) {
 	return sim.ParseCrashSpecs(spec)
+}
+
+// ParsePartitionSpecs parses the semicolon-separated partition list
+// behind cmd/forksim's -partitions flag; each element is
+// NAME:key=value,... — see sim.ParsePartitionSpecs for the grammar.
+func ParsePartitionSpecs(spec string) ([]PartitionSpec, error) {
+	return sim.ParsePartitionSpecs(spec)
+}
+
+// MatrixCells builds the scenario-matrix sweep behind cmd/forksim's
+// -matrix mode: hashrate/economics regimes × minority pool behaviours.
+func MatrixCells(seed int64, days int) []MatrixCell {
+	return sim.MatrixCells(seed, days)
 }
 
 // Storage backend names for StorageConfig.Backend.
@@ -146,53 +165,91 @@ type Report struct {
 	Collector *Collector
 }
 
-// Series is a pair of aligned per-chain series.
+// Series is a set of aligned per-chain series in partition order:
+// Values[i] belongs to Chains[i].
 type Series struct {
-	// X is the index unit: hours since the fork for Figure 1, days for
-	// the rest.
-	Label    string
-	ETH, ETC []float64
+	// Label names the statistic; the index unit is hours since the fork
+	// for Figure 1, days for the rest.
+	Label  string
+	Chains []string
+	Values [][]float64
+}
+
+// Chain returns the named chain's series, or nil.
+func (s Series) Chain(name string) []float64 {
+	for i, c := range s.Chains {
+		if c == name {
+			return s.Values[i]
+		}
+	}
+	return nil
+}
+
+// Chains returns the run's partition names in order.
+func (r *Report) Chains() []string { return r.Scenario.PartitionNames() }
+
+// series builds a Series by evaluating one collector accessor per chain.
+func (r *Report) series(label string, f func(chain string) []float64) Series {
+	names := r.Chains()
+	s := Series{Label: label, Chains: names, Values: make([][]float64, len(names))}
+	for i, c := range names {
+		s.Values[i] = f(c)
+	}
+	return s
 }
 
 // Figure1 returns the short-term dynamics: blocks/hour, mean difficulty
 // and mean inter-block delta per hour.
 func (r *Report) Figure1() (blocksPerHour, difficulty, delta Series) {
 	c := r.Collector
-	return Series{Label: "blocks/hour", ETH: c.BlocksPerHour("ETH"), ETC: c.BlocksPerHour("ETC")},
-		Series{Label: "difficulty", ETH: c.HourlyMeanDifficulty("ETH"), ETC: c.HourlyMeanDifficulty("ETC")},
-		Series{Label: "delta_seconds", ETH: c.HourlyMeanDelta("ETH"), ETC: c.HourlyMeanDelta("ETC")}
+	return r.series("blocks/hour", c.BlocksPerHour),
+		r.series("difficulty", c.HourlyMeanDifficulty),
+		r.series("delta_seconds", c.HourlyMeanDelta)
 }
 
 // Figure2 returns the long-term dynamics: daily difficulty, transactions
 // per day and percent contract transactions.
 func (r *Report) Figure2() (difficulty, txPerDay, pctContract Series) {
 	c := r.Collector
-	return Series{Label: "difficulty", ETH: c.DailyDifficulty("ETH"), ETC: c.DailyDifficulty("ETC")},
-		Series{Label: "tx/day", ETH: c.TxPerDay("ETH"), ETC: c.TxPerDay("ETC")},
-		Series{Label: "pct_contract", ETH: c.PctContract("ETH"), ETC: c.PctContract("ETC")}
+	return r.series("difficulty", c.DailyDifficulty),
+		r.series("tx/day", c.TxPerDay),
+		r.series("pct_contract", c.PctContract)
 }
 
 // Figure3 returns the expected hashes-per-USD series and their Pearson
-// correlation (the paper's market-efficiency headline).
+// correlation (the paper's market-efficiency headline). With more than
+// two partitions the correlation is the mean over all unordered chain
+// pairs.
 func (r *Report) Figure3() (hashesPerUSD Series, correlation float64) {
 	c := r.Collector
-	return Series{Label: "hashes/USD", ETH: c.HashesPerUSD("ETH", 5), ETC: c.HashesPerUSD("ETC", 5)},
-		c.PayoffCorrelation(5)
+	s := r.series("hashes/USD", func(chain string) []float64 {
+		return c.HashesPerUSD(chain, 5)
+	})
+	names := r.Chains()
+	sum, pairs := 0.0, 0
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			sum += c.PayoffCorrelation(5, names[i], names[j])
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		correlation = sum / float64(pairs)
+	}
+	return s, correlation
 }
 
 // Figure4 returns the rebroadcast ("echo") series: percent of daily
 // transactions that are echoes and absolute echoes per day.
 func (r *Report) Figure4() (echoPct, echoesPerDay Series) {
 	c := r.Collector
-	return Series{Label: "echo_pct", ETH: c.EchoPct("ETH"), ETC: c.EchoPct("ETC")},
-		Series{Label: "echoes/day", ETH: c.EchoesPerDay("ETH"), ETC: c.EchoesPerDay("ETC")}
+	return r.series("echo_pct", c.EchoPct), r.series("echoes/day", c.EchoesPerDay)
 }
 
-// Figure4SameDay returns Fig 4's "Same time" series: echoes mined on both
-// chains within the same day.
+// Figure4SameDay returns Fig 4's "Same time" series: echoes mined on
+// more than one chain within the same day.
 func (r *Report) Figure4SameDay() Series {
-	c := r.Collector
-	return Series{Label: "same_day_echoes", ETH: c.SameDayEchoesPerDay("ETH"), ETC: c.SameDayEchoesPerDay("ETC")}
+	return r.series("same_day_echoes", r.Collector.SameDayEchoesPerDay)
 }
 
 // Figure5 returns the top-N pool concentration series for n in {1, 3, 5}.
@@ -200,61 +257,85 @@ func (r *Report) Figure5() map[int]Series {
 	c := r.Collector
 	out := make(map[int]Series, 3)
 	for _, n := range []int{1, 3, 5} {
-		out[n] = Series{
-			Label: fmt.Sprintf("top%d_share", n),
-			ETH:   c.TopNShare("ETH", n),
-			ETC:   c.TopNShare("ETC", n),
-		}
+		n := n
+		out[n] = r.series(fmt.Sprintf("top%d_share", n), func(chain string) []float64 {
+			return c.TopNShare(chain, n)
+		})
 	}
 	return out
 }
 
-// RecoveryHours returns experiment E2: the hour at which each chain
-// sustainably produced blocks at >= 90% of the target rate (-1 if never).
-func (r *Report) RecoveryHours() (eth, etc int) {
-	target := float64(14)
-	return r.Collector.RecoveryHour("ETH", target, 0.9, 6),
-		r.Collector.RecoveryHour("ETC", target, 0.9, 6)
+// RecoveryHours returns experiment E2 per partition, in partition order:
+// the hour at which each chain sustainably produced blocks at >= 90% of
+// the target rate (-1 if never).
+func (r *Report) RecoveryHours() []int {
+	out := make([]int, 0, len(r.Chains()))
+	for _, chain := range r.Chains() {
+		out = append(out, r.Collector.RecoveryHour(chain, 14, 0.9, 6))
+	}
+	return out
 }
 
 // Summary renders the run's key findings against the paper's six
-// observations.
+// observations. The first partition plays the paper's majority (ETH)
+// role; every later partition is reported against it.
 func (r *Report) Summary() string {
 	c := r.Collector
+	names := r.Chains()
+	anchor := names[0]
 	var b strings.Builder
 	days := c.Days()
-	fmt.Fprintf(&b, "forkwatch run: %d days, seed %d\n", days, r.Scenario.Seed)
+	fmt.Fprintf(&b, "forkwatch run: %d days, seed %d, partitions %s\n",
+		days, r.Scenario.Seed, strings.Join(names, "/"))
 
-	ethRec, etcRec := r.RecoveryHours()
-	fmt.Fprintf(&b, "O1/O2  ETC block rate first hours: %.0f/hr vs ETH %.0f/hr; max mean delta %.0fs; ETC recovery at hour %d (ETH %d)\n",
-		analysis.MeanOver(c.BlocksPerHour("ETC"), 0, 6),
-		analysis.MeanOver(c.BlocksPerHour("ETH"), 0, 6),
-		analysis.MaxOver(c.HourlyMeanDelta("ETC"), 0, 96),
-		etcRec, ethRec)
-
-	dEth := c.DailyDifficulty("ETH")
-	dEtc := c.DailyDifficulty("ETC")
-	if days > 1 {
-		last := days - 1
-		fmt.Fprintf(&b, "O3     difficulty ETH %.3g -> %.3g (x%.1f); ETC %.3g -> %.3g; final ratio %.1f:1\n",
-			dEth[0], dEth[last], safeDiv(dEth[last], dEth[0]),
-			dEtc[0], dEtc[last], safeDiv(dEth[last], dEtc[last]))
+	rec := r.RecoveryHours()
+	for i := 1; i < len(names); i++ {
+		minority := names[i]
+		fmt.Fprintf(&b, "O1/O2  %s block rate first hours: %.0f/hr vs %s %.0f/hr; max mean delta %.0fs; %s recovery at hour %d (%s %d)\n",
+			minority,
+			analysis.MeanOver(c.BlocksPerHour(minority), 0, 6),
+			anchor,
+			analysis.MeanOver(c.BlocksPerHour(anchor), 0, 6),
+			analysis.MaxOver(c.HourlyMeanDelta(minority), 0, 96),
+			minority, rec[i], anchor, rec[0])
 	}
 
-	_, corr := r.Figure3()
-	fmt.Fprintf(&b, "O4     hashes/USD correlation ETH vs ETC: %.4f\n", corr)
+	if days > 1 {
+		last := days - 1
+		dAnchor := c.DailyDifficulty(anchor)
+		for i := 1; i < len(names); i++ {
+			dMin := c.DailyDifficulty(names[i])
+			fmt.Fprintf(&b, "O3     difficulty %s %.3g -> %.3g (x%.1f); %s %.3g -> %.3g; final ratio %.1f:1\n",
+				anchor, dAnchor[0], dAnchor[last], safeDiv(dAnchor[last], dAnchor[0]),
+				names[i], dMin[0], dMin[last], safeDiv(dAnchor[last], dMin[last]))
+		}
+	}
 
-	fmt.Fprintf(&b, "O5     echoes: %d into ETC, %d into ETH; peak %.0f%% of ETC daily txs; last-10-day mean %.1f/day\n",
-		c.TotalEchoes("ETC"), c.TotalEchoes("ETH"),
-		analysis.MaxOver(c.EchoPct("ETC"), 0, days),
-		analysis.MeanOver(c.EchoesPerDay("ETC"), days-10, days))
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			fmt.Fprintf(&b, "O4     hashes/USD correlation %s vs %s: %.4f\n",
+				names[i], names[j], c.PayoffCorrelation(5, names[i], names[j]))
+		}
+	}
+
+	echoes := make([]string, len(names))
+	for i, name := range names {
+		echoes[i] = fmt.Sprintf("%d into %s", c.TotalEchoes(name), name)
+	}
+	tail := names[len(names)-1]
+	fmt.Fprintf(&b, "O5     echoes: %s; peak %.0f%% of %s daily txs; last-10-day mean %.1f/day\n",
+		strings.Join(echoes, ", "),
+		analysis.MaxOver(c.EchoPct(tail), 0, days), tail,
+		analysis.MeanOver(c.EchoesPerDay(tail), days-10, days))
 
 	if days > 1 {
 		last := days - 1
-		t5e := c.TopNShare("ETH", 5)
-		t5c := c.TopNShare("ETC", 5)
-		fmt.Fprintf(&b, "O6     top-5 pool share: ETH %.2f -> %.2f; ETC %.2f -> %.2f\n",
-			t5e[0], t5e[last], t5c[0], t5c[last])
+		shares := make([]string, len(names))
+		for i, name := range names {
+			t5 := c.TopNShare(name, 5)
+			shares[i] = fmt.Sprintf("%s %.2f -> %.2f", name, t5[0], t5[last])
+		}
+		fmt.Fprintf(&b, "O6     top-5 pool share: %s\n", strings.Join(shares, "; "))
 	}
 	return b.String()
 }
@@ -266,14 +347,24 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
-// WriteFigureCSV writes one figure's series as CSV (index, eth, etc).
+// WriteFigureCSV writes one figure's series as CSV: an index column
+// followed by one column per chain, headed <lowercase chain>_<label> —
+// for the historical pair exactly the legacy index,eth_*,etc_* layout.
 func WriteFigureCSV(w io.Writer, s Series) error {
-	if _, err := fmt.Fprintf(w, "index,eth_%s,etc_%s\n", s.Label, s.Label); err != nil {
+	var hb strings.Builder
+	hb.WriteString("index")
+	for _, chain := range s.Chains {
+		fmt.Fprintf(&hb, ",%s_%s", strings.ToLower(chain), s.Label)
+	}
+	hb.WriteByte('\n')
+	if _, err := io.WriteString(w, hb.String()); err != nil {
 		return err
 	}
-	n := len(s.ETH)
-	if len(s.ETC) > n {
-		n = len(s.ETC)
+	n := 0
+	for _, vs := range s.Values {
+		if len(vs) > n {
+			n = len(vs)
+		}
 	}
 	at := func(xs []float64, i int) float64 {
 		if i < len(xs) {
@@ -282,7 +373,13 @@ func WriteFigureCSV(w io.Writer, s Series) error {
 		return 0
 	}
 	for i := 0; i < n; i++ {
-		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", i, at(s.ETH, i), at(s.ETC, i)); err != nil {
+		var rb strings.Builder
+		fmt.Fprintf(&rb, "%d", i)
+		for _, vs := range s.Values {
+			fmt.Fprintf(&rb, ",%g", at(vs, i))
+		}
+		rb.WriteByte('\n')
+		if _, err := io.WriteString(w, rb.String()); err != nil {
 			return err
 		}
 	}

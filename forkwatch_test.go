@@ -27,27 +27,27 @@ func TestRunProducesReport(t *testing.T) {
 	}
 
 	bph, diff, delta := rep.Figure1()
-	if len(bph.ETH) == 0 || len(diff.ETC) == 0 || len(delta.ETC) == 0 {
+	if len(bph.Chain("ETH")) == 0 || len(diff.Chain("ETC")) == 0 || len(delta.Chain("ETC")) == 0 {
 		t.Error("figure 1 series empty")
 	}
 	d2, tx, pct := rep.Figure2()
-	if len(d2.ETH) != 3 || len(tx.ETH) != 3 || len(pct.ETC) != 3 {
+	if len(d2.Chain("ETH")) != 3 || len(tx.Chain("ETH")) != 3 || len(pct.Chain("ETC")) != 3 {
 		t.Error("figure 2 series wrong length")
 	}
 	hpu, corr := rep.Figure3()
-	if len(hpu.ETH) != 3 {
+	if len(hpu.Chain("ETH")) != 3 {
 		t.Error("figure 3 series wrong length")
 	}
 	if corr != corr && rep.Collector.Days() > 2 { // NaN check tolerated only for tiny runs
 		t.Log("correlation NaN on tiny run (expected)")
 	}
 	echoPct, echoes := rep.Figure4()
-	if len(echoPct.ETC) != 3 || len(echoes.ETC) != 3 {
+	if len(echoPct.Chain("ETC")) != 3 || len(echoes.Chain("ETC")) != 3 {
 		t.Error("figure 4 series wrong length")
 	}
 	fig5 := rep.Figure5()
 	for _, n := range []int{1, 3, 5} {
-		if len(fig5[n].ETH) != 3 {
+		if len(fig5[n].Chain("ETH")) != 3 {
 			t.Errorf("figure 5 top-%d series wrong length", n)
 		}
 	}
@@ -89,7 +89,7 @@ func TestRunRecorded(t *testing.T) {
 
 func TestWriteFigureCSV(t *testing.T) {
 	var sb strings.Builder
-	s := forkwatch.Series{Label: "x", ETH: []float64{1, 2}, ETC: []float64{3}}
+	s := forkwatch.Series{Label: "x", Chains: []string{"ETH", "ETC"}, Values: [][]float64{{1, 2}, {3}}}
 	if err := forkwatch.WriteFigureCSV(&sb, s); err != nil {
 		t.Fatal(err)
 	}

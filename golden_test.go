@@ -1,0 +1,81 @@
+package forkwatch_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"forkwatch"
+)
+
+// loadGolden reads the locked-down digest table that tools/goldengen
+// produced before the N-way refactor.
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/golden_twoway.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var digests map[string]string
+	if err := json.Unmarshal(raw, &digests); err != nil {
+		t.Fatalf("parsing golden file: %v", err)
+	}
+	if len(digests) == 0 {
+		t.Fatal("golden file is empty")
+	}
+	return digests
+}
+
+// TestGoldenTwoWayFigures locks the historical two-way run's figure CSVs
+// to the digests captured before the N-way partition refactor: every
+// canonical config, at Parallelism 1 and at Parallelism 0 (GOMAXPROCS),
+// must reproduce the pre-refactor bytes exactly. Full-fidelity configs
+// (including the storage-fault one) are skipped under -short.
+func TestGoldenTwoWayFigures(t *testing.T) {
+	golden := loadGolden(t)
+	for _, gc := range forkwatch.GoldenConfigs() {
+		gc := gc
+		t.Run(gc.Name, func(t *testing.T) {
+			if gc.Full && testing.Short() {
+				t.Skip("full-fidelity golden config skipped under -short")
+			}
+			for _, par := range []int{1, 0} {
+				sc := gc.Scenario()
+				sc.Parallelism = par
+				rep, err := forkwatch.Run(sc)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				figs, err := forkwatch.RenderFigures(rep)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				seen := 0
+				for name, data := range figs {
+					key := gc.Name + "/" + name
+					want, ok := golden[key]
+					if !ok {
+						t.Errorf("figure %s missing from golden file", key)
+						continue
+					}
+					seen++
+					if got := fmt.Sprintf("%x", sha256.Sum256(data)); got != want {
+						t.Errorf("parallelism %d: %s drifted from the pre-refactor bytes: digest %s, want %s",
+							par, key, got, want)
+					}
+				}
+				// Every golden entry for this config must still be rendered.
+				for key := range golden {
+					if len(key) > len(gc.Name) && key[:len(gc.Name)+1] == gc.Name+"/" {
+						if _, ok := figs[key[len(gc.Name)+1:]]; !ok {
+							t.Errorf("golden figure %s no longer rendered", key)
+						}
+					}
+				}
+				_ = seen
+			}
+		})
+	}
+}

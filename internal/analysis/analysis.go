@@ -11,7 +11,6 @@
 package analysis
 
 import (
-
 	"forkwatch/internal/market"
 	"forkwatch/internal/pool"
 	"forkwatch/internal/sim"
@@ -101,13 +100,12 @@ func (c *Collector) OnBlock(ev *sim.BlockEvent) {
 	db := c.day(ev.Chain, ev.Day)
 	db.Blocks++
 	db.ByPool[ev.Coinbase]++
-	other := otherChain(ev.Chain)
 	for _, tx := range ev.Txs {
 		db.Txs++
 		if tx.Contract {
 			db.ContractTxs++
 		}
-		if prev, ok := c.seen[tx.Hash]; ok && prev.chain == other {
+		if prev, ok := c.seen[tx.Hash]; ok && prev.chain != ev.Chain {
 			db.Echoes++
 			if prev.day == ev.Day {
 				db.SameDayEchoes++
@@ -123,23 +121,12 @@ func (c *Collector) OnDay(ev *sim.DayEvent) {
 	if ev.Day+1 > c.days {
 		c.days = ev.Day + 1
 	}
-	eth := c.day("ETH", ev.Day)
-	eth.USD = ev.ETHUSD
-	eth.Hashrate = ev.ETHHashrate
-	d := types.BigToFloat64(ev.ETHDifficulty)
-	eth.Difficulty = d
-	etc := c.day("ETC", ev.Day)
-	etc.USD = ev.ETCUSD
-	etc.Hashrate = ev.ETCHashrate
-	d = types.BigToFloat64(ev.ETCDifficulty)
-	etc.Difficulty = d
-}
-
-func otherChain(name string) string {
-	if name == "ETH" {
-		return "ETC"
+	for _, pd := range ev.Partitions {
+		b := c.day(pd.Name, ev.Day)
+		b.USD = pd.USD
+		b.Hashrate = pd.Hashrate
+		b.Difficulty = types.BigToFloat64(pd.Difficulty)
 	}
-	return "ETH"
 }
 
 // Days returns the number of observed days: day events when the collector
@@ -205,6 +192,17 @@ func (c *Collector) DailyDifficulty(chain string) []float64 {
 	return out
 }
 
+// DailyHashrate returns the chain's allocated hashrate per day, from the
+// day events — the series behind the matrix sweep's share columns.
+func (c *Collector) DailyHashrate(chain string) []float64 {
+	days := c.Days()
+	out := make([]float64, days)
+	for i := 0; i < days && i < len(c.daily[chain]); i++ {
+		out[i] = c.daily[chain][i].Hashrate
+	}
+	return out
+}
+
 // TxPerDay returns the Fig 2 (middle) series.
 func (c *Collector) TxPerDay(chain string) []float64 {
 	days := c.Days()
@@ -243,12 +241,13 @@ func (c *Collector) HashesPerUSD(chain string, rewardEther float64) []float64 {
 	return out
 }
 
-// PayoffCorrelation returns the Pearson correlation of the two chains'
-// hashes-per-USD series — the headline of Fig 3.
-func (c *Collector) PayoffCorrelation(rewardEther float64) float64 {
+// PayoffCorrelation returns the Pearson correlation of two chains'
+// hashes-per-USD series — the headline of Fig 3, computed for the
+// historical pair and for every ordered pair in N-way runs.
+func (c *Collector) PayoffCorrelation(rewardEther float64, chainA, chainB string) float64 {
 	return market.Correlation(
-		c.HashesPerUSD("ETH", rewardEther),
-		c.HashesPerUSD("ETC", rewardEther),
+		c.HashesPerUSD(chainA, rewardEther),
+		c.HashesPerUSD(chainB, rewardEther),
 	)
 }
 

@@ -64,8 +64,8 @@ func TestDailyAggregates(t *testing.T) {
 	c := NewCollector(epoch)
 	c.OnBlock(blockEv("ETH", 0, epoch+10, 14, 100, 1, tx(1, false), tx(2, true)))
 	c.OnBlock(blockEv("ETH", 1, epoch+90_000, 14, 100, 2, tx(3, true)))
-	c.OnDay(&sim.DayEvent{Day: 0, ETHUSD: 12, ETCUSD: 1.2, ETHDifficulty: big.NewInt(1000), ETCDifficulty: big.NewInt(100)})
-	c.OnDay(&sim.DayEvent{Day: 1, ETHUSD: 13, ETCUSD: 1.1, ETHDifficulty: big.NewInt(1100), ETCDifficulty: big.NewInt(90)})
+	c.OnDay(dayEv(0, 12, 1.2, big.NewInt(1000), big.NewInt(100)))
+	c.OnDay(dayEv(1, 13, 1.1, big.NewInt(1100), big.NewInt(90)))
 
 	if c.Days() != 2 {
 		t.Fatalf("days = %d", c.Days())
@@ -91,8 +91,8 @@ func TestEchoDetection(t *testing.T) {
 	c.OnBlock(blockEv("ETH", 1, epoch+86_700, 14, 100, 1, tx(2, false)))
 	// tx 3 unique to ETH.
 	c.OnBlock(blockEv("ETH", 1, epoch+86_800, 14, 100, 1, tx(3, false)))
-	c.OnDay(&sim.DayEvent{Day: 0, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
-	c.OnDay(&sim.DayEvent{Day: 1, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
+	c.OnDay(dayEv(0, 0, 0, big.NewInt(1), big.NewInt(1)))
+	c.OnDay(dayEv(1, 0, 0, big.NewInt(1), big.NewInt(1)))
 
 	if got := c.EchoesPerDay("ETC"); got[0] != 0 || got[1] != 1 {
 		t.Errorf("ETC echoes = %v", got)
@@ -117,13 +117,7 @@ func TestEchoDetection(t *testing.T) {
 func TestHashesPerUSDAndCorrelation(t *testing.T) {
 	c := NewCollector(epoch)
 	for d := 0; d < 10; d++ {
-		c.OnDay(&sim.DayEvent{
-			Day:           d,
-			ETHUSD:        10,
-			ETCUSD:        1,
-			ETHDifficulty: big.NewInt(int64(1000 * (d + 1))),
-			ETCDifficulty: big.NewInt(int64(100 * (d + 1))),
-		})
+		c.OnDay(dayEv(d, 10, 1, big.NewInt(int64(1000*(d+1))), big.NewInt(int64(100*(d+1)))))
 	}
 	eth := c.HashesPerUSD("ETH", 5)
 	etc := c.HashesPerUSD("ETC", 5)
@@ -133,7 +127,7 @@ func TestHashesPerUSDAndCorrelation(t *testing.T) {
 			t.Fatalf("day %d: %v vs %v", d, eth[d], etc[d])
 		}
 	}
-	if corr := c.PayoffCorrelation(5); math.Abs(corr-1) > 1e-9 {
+	if corr := c.PayoffCorrelation(5, "ETH", "ETC"); math.Abs(corr-1) > 1e-9 {
 		t.Errorf("correlation = %v", corr)
 	}
 }
@@ -145,7 +139,7 @@ func TestTopNShare(t *testing.T) {
 		c.OnBlock(blockEv("ETH", 0, epoch+uint64(i*20+10), 14, 100, 1))
 	}
 	c.OnBlock(blockEv("ETH", 0, epoch+100, 14, 100, 2))
-	c.OnDay(&sim.DayEvent{Day: 0, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
+	c.OnDay(dayEv(0, 0, 0, big.NewInt(1), big.NewInt(1)))
 	if got := c.TopNShare("ETH", 1); got[0] != 0.75 {
 		t.Errorf("top-1 = %v", got)
 	}
@@ -226,8 +220,8 @@ func TestSameDayEchoes(t *testing.T) {
 	c.OnBlock(blockEv("ETC", 0, epoch+20, 14, 100, 1, tx(1, false)))
 	c.OnBlock(blockEv("ETH", 0, epoch+30, 14, 100, 1, tx(2, false)))
 	c.OnBlock(blockEv("ETC", 1, epoch+90_000, 14, 100, 1, tx(2, false)))
-	c.OnDay(&sim.DayEvent{Day: 0, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
-	c.OnDay(&sim.DayEvent{Day: 1, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
+	c.OnDay(dayEv(0, 0, 0, big.NewInt(1), big.NewInt(1)))
+	c.OnDay(dayEv(1, 0, 0, big.NewInt(1), big.NewInt(1)))
 
 	same := c.SameDayEchoesPerDay("ETC")
 	if same[0] != 1 || same[1] != 0 {
@@ -248,8 +242,8 @@ func TestPoolGiniSeries(t *testing.T) {
 		c.OnBlock(blockEv("ETH", 1, epoch+86_400+uint64(i*20)+10, 14, 100, 1))
 	}
 	c.OnBlock(blockEv("ETH", 1, epoch+88_000, 14, 100, 2))
-	c.OnDay(&sim.DayEvent{Day: 0, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
-	c.OnDay(&sim.DayEvent{Day: 1, ETHDifficulty: big.NewInt(1), ETCDifficulty: big.NewInt(1)})
+	c.OnDay(dayEv(0, 0, 0, big.NewInt(1), big.NewInt(1)))
+	c.OnDay(dayEv(1, 0, 0, big.NewInt(1), big.NewInt(1)))
 	g := c.PoolGini("ETH")
 	if g[0] != 0 {
 		t.Errorf("equal-day Gini = %v, want 0", g[0])
@@ -257,4 +251,12 @@ func TestPoolGiniSeries(t *testing.T) {
 	if g[1] <= g[0] {
 		t.Errorf("concentrated day should have higher Gini: %v", g)
 	}
+}
+
+// dayEv builds a two-partition day event in the engine's partition order.
+func dayEv(day int, ethUSD, etcUSD float64, ethDiff, etcDiff *big.Int) *sim.DayEvent {
+	return &sim.DayEvent{Day: day, Partitions: []sim.PartitionDay{
+		{Name: "ETH", USD: ethUSD, Difficulty: ethDiff},
+		{Name: "ETC", USD: etcUSD, Difficulty: etcDiff},
+	}}
 }

@@ -85,26 +85,32 @@ func MainnetLikeConfig() *Config {
 	}
 }
 
+// PartitionConfig derives one partition's rule set from the shared
+// pre-fork rules: every partition forks at daoForkBlock, and the support
+// flag decides whether the irregular state change applies (drain and
+// refund are only wired into supporting chains). ETHConfig and ETCConfig
+// are the two historical instantiations.
+func PartitionConfig(name string, chainID uint64, daoForkBlock uint64, support bool, drain []types.Address, refund types.Address) *Config {
+	c := MainnetLikeConfig()
+	c.Name = name
+	c.ChainID = chainID
+	c.DAOForkBlock = new(big.Int).SetUint64(daoForkBlock)
+	c.DAOForkSupport = support
+	if support {
+		c.DAODrainList = drain
+		c.DAORefundContract = refund
+	}
+	return c
+}
+
 // ETHConfig returns the pro-fork (Ethereum) rule set.
 func ETHConfig(daoForkBlock uint64, drain []types.Address, refund types.Address) *Config {
-	c := MainnetLikeConfig()
-	c.Name = "ETH"
-	c.ChainID = 1
-	c.DAOForkBlock = new(big.Int).SetUint64(daoForkBlock)
-	c.DAOForkSupport = true
-	c.DAODrainList = drain
-	c.DAORefundContract = refund
-	return c
+	return PartitionConfig("ETH", 1, daoForkBlock, true, drain, refund)
 }
 
 // ETCConfig returns the anti-fork (Ethereum Classic) rule set.
 func ETCConfig(daoForkBlock uint64) *Config {
-	c := MainnetLikeConfig()
-	c.Name = "ETC"
-	c.ChainID = 61
-	c.DAOForkBlock = new(big.Int).SetUint64(daoForkBlock)
-	c.DAOForkSupport = false
-	return c
+	return PartitionConfig("ETC", 61, daoForkBlock, false, nil, types.Address{})
 }
 
 // IsDAOFork reports whether num is the DAO fork block.

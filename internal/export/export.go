@@ -12,6 +12,7 @@ import (
 	"math/big"
 	"sort"
 	"strconv"
+	"strings"
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/sim"
@@ -346,38 +347,76 @@ func (rec *Recorder) OnBlock(ev *sim.BlockEvent) {
 
 // OnDay implements sim.Observer.
 func (rec *Recorder) OnDay(ev *sim.DayEvent) {
-	rec.Days = append(rec.Days, DayRow{
-		Day:         ev.Day,
-		ETHUSD:      ev.ETHUSD,
-		ETCUSD:      ev.ETCUSD,
-		ETHHashrate: ev.ETHHashrate,
-		ETCHashrate: ev.ETCHashrate,
-	})
+	row := DayRow{
+		Day:      ev.Day,
+		Chains:   make([]string, len(ev.Partitions)),
+		USD:      make([]float64, len(ev.Partitions)),
+		Hashrate: make([]float64, len(ev.Partitions)),
+	}
+	for i, pd := range ev.Partitions {
+		row.Chains[i] = pd.Name
+		row.USD[i] = pd.USD
+		row.Hashrate[i] = pd.Hashrate
+	}
+	rec.Days = append(rec.Days, row)
 }
 
 // DayRow is one exported day record (prices and hashrates — the
-// "coinmarketcap join" of the paper's pipeline).
+// "coinmarketcap join" of the paper's pipeline): parallel slices in
+// partition order.
 type DayRow struct {
-	Day                      int
-	ETHUSD, ETCUSD           float64
-	ETHHashrate, ETCHashrate float64
+	Day      int
+	Chains   []string
+	USD      []float64
+	Hashrate []float64
 }
 
-var dayHeader = []string{"day", "ethusd", "etcusd", "ethhashrate", "etchashrate"}
+// Value returns the row's (usd, hashrate) for a chain; zeros if absent.
+func (r DayRow) Value(chain string) (usd, hashrate float64) {
+	for i, c := range r.Chains {
+		if c == chain {
+			return r.USD[i], r.Hashrate[i]
+		}
+	}
+	return 0, 0
+}
 
-// WriteDays writes day rows as CSV.
+// dayHeader builds the day-table CSV header for a chain list: "day", the
+// per-chain usd columns, then the per-chain hashrate columns — for the
+// historical pair exactly the legacy "day,ethusd,etcusd,ethhashrate,
+// etchashrate" layout.
+func dayHeader(chains []string) []string {
+	out := []string{"day"}
+	for _, c := range chains {
+		out = append(out, strings.ToLower(c)+"usd")
+	}
+	for _, c := range chains {
+		out = append(out, strings.ToLower(c)+"hashrate")
+	}
+	return out
+}
+
+// WriteDays writes day rows as CSV. All rows must share one chain list
+// (one simulation's partitions).
 func WriteDays(w io.Writer, rows []DayRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(dayHeader); err != nil {
+	var chains []string
+	if len(rows) > 0 {
+		chains = rows[0].Chains
+	}
+	if err := cw.Write(dayHeader(chains)); err != nil {
 		return err
 	}
-	for _, r := range rows {
-		rec := []string{
-			strconv.Itoa(r.Day),
-			strconv.FormatFloat(r.ETHUSD, 'g', -1, 64),
-			strconv.FormatFloat(r.ETCUSD, 'g', -1, 64),
-			strconv.FormatFloat(r.ETHHashrate, 'g', -1, 64),
-			strconv.FormatFloat(r.ETCHashrate, 'g', -1, 64),
+	for i, r := range rows {
+		if len(r.Chains) != len(chains) || len(r.USD) != len(chains) || len(r.Hashrate) != len(chains) {
+			return fmt.Errorf("export: day row %d has %d chains, want %d", i, len(r.Chains), len(chains))
+		}
+		rec := []string{strconv.Itoa(r.Day)}
+		for _, v := range r.USD {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		for _, v := range r.Hashrate {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -387,7 +426,8 @@ func WriteDays(w io.Writer, rows []DayRow) error {
 	return cw.Error()
 }
 
-// ReadDays parses a day CSV.
+// ReadDays parses a day CSV, recovering the chain list from the header's
+// <chain>usd / <chain>hashrate column pairs.
 func ReadDays(r io.Reader) ([]DayRow, error) {
 	cr := csv.NewReader(r)
 	recs, err := cr.ReadAll()
@@ -397,27 +437,39 @@ func ReadDays(r io.Reader) ([]DayRow, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("export: empty day table")
 	}
-	if err := checkHeader(recs[0], dayHeader); err != nil {
-		return nil, err
+	header := recs[0]
+	if len(header) < 1 || header[0] != "day" || len(header)%2 == 0 {
+		return nil, fmt.Errorf("export: bad day header %v", header)
+	}
+	k := (len(header) - 1) / 2
+	chains := make([]string, k)
+	for i := 0; i < k; i++ {
+		u := header[1+i]
+		h := header[1+k+i]
+		name := strings.TrimSuffix(u, "usd")
+		if name == u || strings.TrimSuffix(h, "hashrate") != name {
+			return nil, fmt.Errorf("export: bad day header %v: columns %q/%q", header, u, h)
+		}
+		chains[i] = strings.ToUpper(name)
 	}
 	rows := make([]DayRow, 0, len(recs)-1)
 	for i, rec := range recs[1:] {
-		if len(rec) != len(dayHeader) {
+		if len(rec) != len(header) {
 			return nil, fmt.Errorf("export: day row %d has %d fields", i+1, len(rec))
 		}
 		day, err := strconv.Atoi(rec[0])
 		if err != nil {
 			return nil, fmt.Errorf("export: day row %d: %w", i+1, err)
 		}
-		vals := make([]float64, 4)
-		for j := 0; j < 4; j++ {
+		vals := make([]float64, 2*k)
+		for j := range vals {
 			v, err := strconv.ParseFloat(rec[j+1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("export: day row %d field %d: %w", i+1, j+1, err)
 			}
 			vals[j] = v
 		}
-		rows = append(rows, DayRow{Day: day, ETHUSD: vals[0], ETCUSD: vals[1], ETHHashrate: vals[2], ETCHashrate: vals[3]})
+		rows = append(rows, DayRow{Day: day, Chains: chains, USD: vals[:k], Hashrate: vals[k : 2*k]})
 	}
 	return rows, nil
 }
@@ -480,8 +532,30 @@ func Replay(blocks []BlockRow, txs []TxRow, epoch uint64, dayLength uint64, obs 
 func ReplayAll(blocks []BlockRow, txs []TxRow, days []DayRow, epoch, dayLength uint64, obs sim.Observer) {
 	Replay(blocks, txs, epoch, dayLength, obs)
 
+	// Chain order: the day table's partition order when present, with any
+	// chains appearing only in the block table appended first-seen.
+	var chains []string
+	seen := map[string]bool{}
+	if len(days) > 0 {
+		for _, c := range days[0].Chains {
+			chains = append(chains, c)
+			seen[c] = true
+		}
+	}
+	for _, b := range blocks {
+		if !seen[b.Chain] {
+			seen[b.Chain] = true
+			chains = append(chains, b.Chain)
+		}
+	}
+
 	// Last difficulty per (chain, day), carried forward over empty days.
-	lastDiff := map[string]map[int]*big.Int{"ETH": {}, "ETC": {}}
+	lastDiff := map[string]map[int]*big.Int{}
+	carry := map[string]*big.Int{}
+	for _, c := range chains {
+		lastDiff[c] = map[int]*big.Int{}
+		carry[c] = new(big.Int)
+	}
 	maxDay := 0
 	for _, b := range blocks {
 		if b.Time < epoch {
@@ -493,7 +567,6 @@ func ReplayAll(blocks []BlockRow, txs []TxRow, days []DayRow, epoch, dayLength u
 			maxDay = d
 		}
 	}
-	carry := map[string]*big.Int{"ETH": new(big.Int), "ETC": new(big.Int)}
 	diffAt := func(chain string, d int) *big.Int {
 		if v, ok := lastDiff[chain][d]; ok {
 			carry[chain] = v
@@ -509,14 +582,16 @@ func ReplayAll(blocks []BlockRow, txs []TxRow, days []DayRow, epoch, dayLength u
 	}
 	for d := 0; d <= maxDay; d++ {
 		r := dayRow[d]
-		obs.OnDay(&sim.DayEvent{
-			Day:           d,
-			ETHUSD:        r.ETHUSD,
-			ETCUSD:        r.ETCUSD,
-			ETHHashrate:   r.ETHHashrate,
-			ETCHashrate:   r.ETCHashrate,
-			ETHDifficulty: diffAt("ETH", d),
-			ETCDifficulty: diffAt("ETC", d),
-		})
+		ev := &sim.DayEvent{Day: d, Partitions: make([]sim.PartitionDay, len(chains))}
+		for i, c := range chains {
+			usd, hashrate := r.Value(c)
+			ev.Partitions[i] = sim.PartitionDay{
+				Name:       c,
+				USD:        usd,
+				Hashrate:   hashrate,
+				Difficulty: diffAt(c, d),
+			}
+		}
+		obs.OnDay(ev)
 	}
 }

@@ -3,6 +3,7 @@ package export
 import (
 	"bytes"
 	"math/big"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -216,9 +217,10 @@ func TestRecorderEndToEnd(t *testing.T) {
 }
 
 func TestDaysRoundTrip(t *testing.T) {
+	chains := []string{"ETH", "ETC"}
 	rows := []DayRow{
-		{Day: 0, ETHUSD: 12, ETCUSD: 1.2, ETHHashrate: 4.9e12, ETCHashrate: 1e11},
-		{Day: 1, ETHUSD: 12.5, ETCUSD: 1.1, ETHHashrate: 4.8e12, ETCHashrate: 2e11},
+		{Day: 0, Chains: chains, USD: []float64{12, 1.2}, Hashrate: []float64{4.9e12, 1e11}},
+		{Day: 1, Chains: chains, USD: []float64{12.5, 1.1}, Hashrate: []float64{4.8e12, 2e11}},
 	}
 	var buf bytes.Buffer
 	if err := WriteDays(&buf, rows); err != nil {
@@ -228,8 +230,16 @@ func TestDaysRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 || got[0] != rows[0] || got[1] != rows[1] {
-		t.Fatalf("round trip mismatch: %+v", got)
+	if len(got) != 2 {
+		t.Fatalf("round trip returned %d rows", len(got))
+	}
+	for i, row := range got {
+		if row.Day != rows[i].Day ||
+			!reflect.DeepEqual(row.Chains, rows[i].Chains) ||
+			!reflect.DeepEqual(row.USD, rows[i].USD) ||
+			!reflect.DeepEqual(row.Hashrate, rows[i].Hashrate) {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, row, rows[i])
+		}
 	}
 	if _, err := ReadDays(strings.NewReader("bad\n")); err == nil {
 		t.Error("bad header should fail")
@@ -251,22 +261,26 @@ func TestReplayAllSynthesisesDayEvents(t *testing.T) {
 		{Chain: "ETC", Number: 1, Time: 1050, Difficulty: big.NewInt(9)},
 		{Chain: "ETH", Number: 3, Time: 90_000, Difficulty: big.NewInt(120)},
 	}
+	chains := []string{"ETH", "ETC"}
 	days := []DayRow{
-		{Day: 0, ETHUSD: 12, ETCUSD: 1.2},
-		{Day: 1, ETHUSD: 13, ETCUSD: 1.3},
+		{Day: 0, Chains: chains, USD: []float64{12, 1.2}, Hashrate: []float64{0, 0}},
+		{Day: 1, Chains: chains, USD: []float64{13, 1.3}, Hashrate: []float64{0, 0}},
 	}
 	col := &dayCollector{}
 	ReplayAll(blocks, nil, days, 1000, 86_400, col)
 	if len(col.days) != 2 {
 		t.Fatalf("day events = %d, want 2", len(col.days))
 	}
-	d0 := col.days[0]
-	if d0.ETHUSD != 12 || d0.ETHDifficulty.Int64() != 110 || d0.ETCDifficulty.Int64() != 9 {
-		t.Errorf("day 0 = %+v", d0)
+	d0eth, d0etc := col.days[0].Partition("ETH"), col.days[0].Partition("ETC")
+	if d0eth == nil || d0etc == nil {
+		t.Fatalf("day 0 missing partitions: %+v", col.days[0])
+	}
+	if d0eth.USD != 12 || d0eth.Difficulty.Int64() != 110 || d0etc.Difficulty.Int64() != 9 {
+		t.Errorf("day 0 = %+v", col.days[0])
 	}
 	// Day 1: ETH difficulty from its block; ETC carries day 0 forward.
-	d1 := col.days[1]
-	if d1.ETHDifficulty.Int64() != 120 || d1.ETCDifficulty.Int64() != 9 || d1.ETCUSD != 1.3 {
-		t.Errorf("day 1 = %+v", d1)
+	d1eth, d1etc := col.days[1].Partition("ETH"), col.days[1].Partition("ETC")
+	if d1eth.Difficulty.Int64() != 120 || d1etc.Difficulty.Int64() != 9 || d1etc.USD != 1.3 {
+		t.Errorf("day 1 = %+v", col.days[1])
 	}
 }

@@ -64,33 +64,68 @@ func DefaultParams(days int) Params {
 	}
 }
 
+// ChainParams configures one partition's leg of the coupled price walk.
+// The legacy two-way calibration maps onto two entries: the pro-fork
+// chain gets {ETH0, ETHEdge, 1} and the classic chain {ETC0, 0,
+// RallyETCShare}.
+type ChainParams struct {
+	// Price0 is the day-0 USD price.
+	Price0 float64
+	// DriftEdge is extra daily log drift on top of the shared Drift.
+	DriftEdge float64
+	// RallyShare is the fraction of RallyDrift this chain enjoys.
+	RallyShare float64
+}
+
 // Series holds aligned daily price samples.
 type Series struct {
 	ETHUSD []float64
 	ETCUSD []float64
 }
 
-// GeneratePrices draws a Series from the coupled walk.
-func GeneratePrices(p Params, r *rand.Rand) Series {
-	s := Series{
-		ETHUSD: make([]float64, p.Days),
-		ETCUSD: make([]float64, p.Days),
+// GenerateSeries draws every partition's daily USD price from the coupled
+// walk: one shared market factor per day, then one idiosyncratic draw per
+// chain in list order. The returned slice aligns with chains; element i
+// holds p.Days samples. The per-day draw order (shared, then each chain)
+// is part of the deterministic contract — reordering it would change
+// byte-identical outputs.
+func GenerateSeries(p Params, chains []ChainParams, r *rand.Rand) [][]float64 {
+	out := make([][]float64, len(chains))
+	cur := make([]float64, len(chains))
+	for i, c := range chains {
+		out[i] = make([]float64, p.Days)
+		cur[i] = c.Price0
 	}
-	eth, etc := p.ETH0, p.ETC0
 	for d := 0; d < p.Days; d++ {
-		s.ETHUSD[d] = eth
-		s.ETCUSD[d] = etc
-		shared := r.NormFloat64() * p.SharedVol
-		ethDrift := p.Drift + p.ETHEdge
-		etcDrift := p.Drift
-		if p.RallyDrift != 0 && d >= p.RallyStartDay {
-			ethDrift += p.RallyDrift
-			etcDrift += p.RallyDrift * p.RallyETCShare
+		for i := range chains {
+			out[i][d] = cur[i]
 		}
-		eth *= math.Exp(ethDrift + shared + r.NormFloat64()*p.IdioVol)
-		etc *= math.Exp(etcDrift + shared + r.NormFloat64()*p.IdioVol)
+		shared := r.NormFloat64() * p.SharedVol
+		for i, c := range chains {
+			drift := p.Drift + c.DriftEdge
+			if p.RallyDrift != 0 && d >= p.RallyStartDay {
+				drift += p.RallyDrift * c.RallyShare
+			}
+			cur[i] *= math.Exp(drift + shared + r.NormFloat64()*p.IdioVol)
+		}
 	}
-	return s
+	return out
+}
+
+// LegacyChainParams maps Params' two-way calibration onto the ChainParams
+// list GenerateSeries consumes: the pro-fork leg first, the classic leg
+// second.
+func LegacyChainParams(p Params) []ChainParams {
+	return []ChainParams{
+		{Price0: p.ETH0, DriftEdge: p.ETHEdge, RallyShare: 1},
+		{Price0: p.ETC0, DriftEdge: 0, RallyShare: p.RallyETCShare},
+	}
+}
+
+// GeneratePrices draws the legacy two-way Series from the coupled walk.
+func GeneratePrices(p Params, r *rand.Rand) Series {
+	s := GenerateSeries(p, LegacyChainParams(p), r)
+	return Series{ETHUSD: s[0], ETCUSD: s[1]}
 }
 
 // HashesPerUSD is the paper's Figure 3 statistic: the expected number of
@@ -124,8 +159,15 @@ func (a Allocator) Step(currentETHShare, ethUSD, etcUSD float64) float64 {
 	if ethUSD <= 0 && etcUSD <= 0 {
 		return currentETHShare
 	}
-	target := ethUSD / (ethUSD + etcUSD)
-	next := currentETHShare + a.Elasticity*(target-currentETHShare)
+	return a.StepToward(currentETHShare, ethUSD/(ethUSD+etcUSD))
+}
+
+// StepToward moves a share toward an arbitrary target by Elasticity,
+// clamped to [0,1] — the N-way engine computes each partition's target
+// share (economic-weighted price over the weighted total) and steps every
+// non-anchor component with this.
+func (a Allocator) StepToward(current, target float64) float64 {
+	next := current + a.Elasticity*(target-current)
 	return clamp01(next)
 }
 

@@ -1,0 +1,79 @@
+package pool
+
+import "fmt"
+
+// Behaviour models a partition's pool-level allegiance: how much of its
+// mining population follows price arbitrage versus staying on the chain
+// for non-economic reasons. The paper's future-work section asks whether
+// ETC's surviving hashrate was profit-rational or ideological; the
+// geo-distribution/pool literature (PAPERS.md) observes real pools doing
+// both. The behaviour feeds the engine's daily hashrate blend: the
+// "sticky" fraction of a partition's share tracks the structural
+// schedule and never chases USD-per-hash.
+type Behaviour int
+
+const (
+	// BehaviourProfitOnly pools follow price arbitrage completely — the
+	// paper's Fig 3 equilibrium assumption, and the default.
+	BehaviourProfitOnly Behaviour = iota
+	// BehaviourIdeological pools never migrate on price: the partition's
+	// share follows only the structural schedule (fork exit, rejoin,
+	// collapse).
+	BehaviourIdeological
+	// BehaviourMixed pools split between the two: a configured fraction
+	// is ideological, the rest arbitrages.
+	BehaviourMixed
+)
+
+// Behaviour spec strings (PartitionSpec.Behaviour, the -partitions flag).
+const (
+	BehaviourProfitOnlyName  = "profit-only"
+	BehaviourIdeologicalName = "ideological"
+	BehaviourMixedName       = "mixed"
+)
+
+// ParseBehaviour maps a spec string to a Behaviour. The empty string is
+// the profit-only default so zero-valued PartitionSpecs behave like the
+// paper's calibration.
+func ParseBehaviour(s string) (Behaviour, error) {
+	switch s {
+	case "", BehaviourProfitOnlyName:
+		return BehaviourProfitOnly, nil
+	case BehaviourIdeologicalName:
+		return BehaviourIdeological, nil
+	case BehaviourMixedName:
+		return BehaviourMixed, nil
+	}
+	return 0, fmt.Errorf("pool: unknown behaviour %q (want %s, %s or %s)",
+		s, BehaviourProfitOnlyName, BehaviourIdeologicalName, BehaviourMixedName)
+}
+
+// String returns the spec name of the behaviour.
+func (b Behaviour) String() string {
+	switch b {
+	case BehaviourIdeological:
+		return BehaviourIdeologicalName
+	case BehaviourMixed:
+		return BehaviourMixedName
+	}
+	return BehaviourProfitOnlyName
+}
+
+// StickyFraction returns the fraction of the partition's hashrate pinned
+// to the structural schedule. mixedShare configures BehaviourMixed; it
+// defaults to one half when unset.
+func (b Behaviour) StickyFraction(mixedShare float64) float64 {
+	switch b {
+	case BehaviourIdeological:
+		return 1
+	case BehaviourMixed:
+		if mixedShare <= 0 {
+			return 0.5
+		}
+		if mixedShare > 1 {
+			return 1
+		}
+		return mixedShare
+	}
+	return 0
+}

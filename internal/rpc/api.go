@@ -16,24 +16,30 @@ import (
 )
 
 // Backend serves one chain's archive API over its Blockchain (and, for
-// the cross-chain fork_* joins, a peer backend for the other partition).
-// All reads go through the Blockchain's own locks and the KV-backed
-// Store; storage failures surface as *Error with ErrCodeStorage.
+// the cross-chain fork_* joins, the peer backends of the other
+// partitions). All reads go through the Blockchain's own locks and the
+// KV-backed Store; storage failures surface as *Error with
+// ErrCodeStorage.
 type Backend struct {
-	name string
-	bc   *chain.Blockchain
-	peer *Backend
+	name  string
+	bc    *chain.Blockchain
+	peers []*Backend
 }
 
-// NewBackend wraps one chain for serving. name is the chain label
-// ("ETH"/"ETC") used in routes and metrics.
+// NewBackend wraps one chain for serving. name is the chain label used
+// in routes and metrics.
 func NewBackend(name string, bc *chain.Blockchain) *Backend {
 	return &Backend{name: name, bc: bc}
 }
 
-// SetPeer links the other partition's backend, enabling the cross-chain
-// join behind fork_echoCandidates. Call on both sides.
-func (b *Backend) SetPeer(peer *Backend) { b.peer = peer }
+// AddPeer links another partition's backend, enabling the cross-chain
+// join behind fork_echoCandidates. Call for every ordered pair; echo
+// responses join against peers in registration order.
+func (b *Backend) AddPeer(peer *Backend) { b.peers = append(b.peers, peer) }
+
+// SetPeer links a single peer backend, replacing any existing links —
+// the two-way convenience over AddPeer.
+func (b *Backend) SetPeer(peer *Backend) { b.peers = []*Backend{peer} }
 
 // Name returns the chain label.
 func (b *Backend) Name() string { return b.name }
@@ -57,16 +63,16 @@ type method func(ctx context.Context, b *Backend, params []json.RawMessage) (any
 // methods is the dispatch table. Every entry is cacheable: results are
 // pure functions of (chain state at generation, params).
 var methods = map[string]method{
-	"eth_blockNumber":          ethBlockNumber,
-	"eth_getBlockByNumber":     ethGetBlockByNumber,
-	"eth_getBlockByHash":       ethGetBlockByHash,
-	"eth_getTransactionByHash": ethGetTransactionByHash,
+	"eth_blockNumber":           ethBlockNumber,
+	"eth_getBlockByNumber":      ethGetBlockByNumber,
+	"eth_getBlockByHash":        ethGetBlockByHash,
+	"eth_getTransactionByHash":  ethGetTransactionByHash,
 	"eth_getTransactionReceipt": ethGetTransactionReceipt,
-	"eth_getBalance":           ethGetBalance,
-	"eth_getTransactionCount":  ethGetTransactionCount,
-	"fork_difficultyWindow":    forkDifficultyWindow,
-	"fork_echoCandidates":      forkEchoCandidates,
-	"fork_poolShares":          forkPoolShares,
+	"eth_getBalance":            ethGetBalance,
+	"eth_getTransactionCount":   ethGetTransactionCount,
+	"fork_difficultyWindow":     forkDifficultyWindow,
+	"fork_echoCandidates":       forkEchoCandidates,
+	"fork_poolShares":           forkPoolShares,
 }
 
 // Methods lists the served method names (for smoke tooling).
@@ -210,21 +216,21 @@ func needParams(params []json.RawMessage, n int, sig string) *Error {
 
 // rpcBlock is the wire form of a block (Ethereum field names).
 type rpcBlock struct {
-	Number          string `json:"number"`
-	Hash            string `json:"hash"`
-	ParentHash      string `json:"parentHash"`
-	Timestamp       string `json:"timestamp"`
-	Difficulty      string `json:"difficulty"`
-	TotalDifficulty string `json:"totalDifficulty,omitempty"`
-	GasLimit        string `json:"gasLimit"`
-	GasUsed         string `json:"gasUsed"`
-	Miner           string `json:"miner"`
-	ExtraData       string `json:"extraData"`
-	StateRoot       string `json:"stateRoot"`
-	TxRoot          string `json:"transactionsRoot"`
-	ReceiptsRoot    string `json:"receiptsRoot"`
-	UncleHash       string `json:"sha3Uncles"`
-	Transactions    []any  `json:"transactions"`
+	Number          string   `json:"number"`
+	Hash            string   `json:"hash"`
+	ParentHash      string   `json:"parentHash"`
+	Timestamp       string   `json:"timestamp"`
+	Difficulty      string   `json:"difficulty"`
+	TotalDifficulty string   `json:"totalDifficulty,omitempty"`
+	GasLimit        string   `json:"gasLimit"`
+	GasUsed         string   `json:"gasUsed"`
+	Miner           string   `json:"miner"`
+	ExtraData       string   `json:"extraData"`
+	StateRoot       string   `json:"stateRoot"`
+	TxRoot          string   `json:"transactionsRoot"`
+	ReceiptsRoot    string   `json:"receiptsRoot"`
+	UncleHash       string   `json:"sha3Uncles"`
+	Transactions    []any    `json:"transactions"`
 	Uncles          []string `json:"uncles"`
 }
 
@@ -528,11 +534,14 @@ func forkDifficultyWindow(_ context.Context, b *Backend, params []json.RawMessag
 	return map[string]any{"chain": b.name, "points": out}, nil
 }
 
-// forkEchoCandidates joins this chain's canonical window against the
+// forkEchoCandidates joins this chain's canonical window against every
 // other partition's tx index on transaction hash: transactions mined on
-// both chains (the paper's O5 "echoes", its replay-attack measurement).
+// more than one chain (the paper's O5 "echoes", its replay-attack
+// measurement). Each echo entry names the peer it was found on; with a
+// single peer the response matches the historical two-way shape plus a
+// "peer" field per entry.
 func forkEchoCandidates(_ context.Context, b *Backend, params []json.RawMessage) (any, *Error) {
-	if b.peer == nil {
+	if len(b.peers) == 0 {
 		return nil, Errf(ErrCodeInternal, "no peer chain configured for cross-chain join")
 	}
 	from, to, perr := parseWindow(b, params)
@@ -542,33 +551,40 @@ func forkEchoCandidates(_ context.Context, b *Backend, params []json.RawMessage)
 	type echo struct {
 		Hash        string `json:"hash"`
 		From        string `json:"from"`
+		Peer        string `json:"peer"`
 		BlockNumber string `json:"blockNumber"`
 		PeerBlock   string `json:"peerBlockNumber"`
 	}
-	peerStore := b.peer.bc.Store()
+	peerNames := make([]string, len(b.peers))
+	for i, p := range b.peers {
+		peerNames[i] = p.name
+	}
 	out := []echo{}
 	for _, blk := range b.bc.CanonicalBlocks(from, to) {
 		for _, tx := range blk.Txs {
-			lk, ok, err := peerStore.TxIndex(tx.Hash())
-			if err != nil {
-				return nil, storageErr(err)
+			for _, peer := range b.peers {
+				lk, ok, err := peer.bc.Store().TxIndex(tx.Hash())
+				if err != nil {
+					return nil, storageErr(err)
+				}
+				if !ok {
+					continue
+				}
+				peerBlk, ok := peer.bc.GetBlock(lk.BlockHash)
+				if !ok {
+					continue
+				}
+				out = append(out, echo{
+					Hash:        tx.Hash().Hex(),
+					From:        tx.From.Hex(),
+					Peer:        peer.name,
+					BlockNumber: encUint(blk.Number()),
+					PeerBlock:   encUint(peerBlk.Number()),
+				})
 			}
-			if !ok {
-				continue
-			}
-			peerBlk, ok := b.peer.bc.GetBlock(lk.BlockHash)
-			if !ok {
-				continue
-			}
-			out = append(out, echo{
-				Hash:        tx.Hash().Hex(),
-				From:        tx.From.Hex(),
-				BlockNumber: encUint(blk.Number()),
-				PeerBlock:   encUint(peerBlk.Number()),
-			})
 		}
 	}
-	return map[string]any{"chain": b.name, "peer": b.peer.name, "echoes": out}, nil
+	return map[string]any{"chain": b.name, "peers": peerNames, "echoes": out}, nil
 }
 
 // forkPoolShares attributes a canonical window's blocks to coinbase

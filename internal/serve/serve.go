@@ -1,7 +1,7 @@
-// Package serve boots the JSON-RPC archive over a simulated partition:
-// it runs a full-fidelity scenario to materialise the two chains, then
-// mounts both on one rpc.Server — the single-process stand-in for the
-// paper's paired ETH/ETC full nodes. cmd/forkserve and cmd/forkload's
+// Package serve boots the JSON-RPC archive over a simulated partition
+// set: it runs a full-fidelity scenario to materialise every chain, then
+// mounts them all on one rpc.Server — the single-process stand-in for
+// the paper's paired full nodes. cmd/forkserve and cmd/forkload's
 // self-serve mode share this path. With the disk storage backend the
 // archive is restartable: Open remounts chains persisted by an earlier
 // Build without re-simulating, and OpenOrBuild picks automatically.
@@ -18,19 +18,55 @@ import (
 	"forkwatch/internal/sim"
 )
 
-// Result is a booted archive: the server (caller owns Close) and the two
-// live chains behind it.
+// ServedChain is one mounted partition: its name and the live ledger
+// behind its route.
+type ServedChain struct {
+	Name   string
+	Ledger *sim.FullLedger
+}
+
+// Result is a booted archive: the server (caller owns Close) and the
+// live chains behind it, in partition order.
 type Result struct {
 	Server *rpc.Server
-	ETH    *sim.FullLedger
-	ETC    *sim.FullLedger
+	Chains []ServedChain
 	Engine *sim.Engine
 }
 
+// Ledger returns the named chain's ledger, or nil.
+func (r *Result) Ledger(name string) *sim.FullLedger {
+	for _, c := range r.Chains {
+		if c.Name == name {
+			return c.Ledger
+		}
+	}
+	return nil
+}
+
+// mount registers every chain on a new server, cross-linking all ordered
+// backend pairs for the fork_* joins, and routes each at its lowercase
+// name.
+func mount(cfg rpc.ServerConfig, chains []ServedChain) *rpc.Server {
+	srv := rpc.NewServer(cfg)
+	backends := make([]*rpc.Backend, len(chains))
+	for i, c := range chains {
+		backends[i] = rpc.NewBackend(c.Name, c.Ledger.BC)
+	}
+	for i, b := range backends {
+		for j, p := range backends {
+			if i != j {
+				b.AddPeer(p)
+			}
+		}
+		srv.RegisterChain(b)
+	}
+	return srv
+}
+
 // Build runs sc (which must be ModeFull — the archive needs real blocks
-// and tries) and mounts both resulting chains on a new server built from
-// cfg. The returned server routes /eth and /etc, cross-linked as peers
-// for the fork_* joins.
+// and tries) and mounts every resulting chain on a new server built from
+// cfg. The returned server routes each partition at its lowercase name,
+// all cross-linked as peers for the fork_* joins.
 func Build(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
 	if sc.Mode != sim.ModeFull {
 		return nil, fmt.Errorf("serve: scenario mode must be full (the archive serves real chains)")
@@ -42,26 +78,20 @@ func Build(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: running scenario: %w", err)
 	}
-	eth, ok := eng.ETH.(*sim.FullLedger)
-	if !ok {
-		return nil, fmt.Errorf("serve: ETH ledger is %T, want *sim.FullLedger", eng.ETH)
+	names := eng.PartitionNames()
+	chains := make([]ServedChain, len(names))
+	for i, name := range names {
+		led, ok := eng.LedgerAt(i).(*sim.FullLedger)
+		if !ok {
+			return nil, fmt.Errorf("serve: %s ledger is %T, want *sim.FullLedger", name, eng.LedgerAt(i))
+		}
+		chains[i] = ServedChain{Name: name, Ledger: led}
 	}
-	etc, ok := eng.ETC.(*sim.FullLedger)
-	if !ok {
-		return nil, fmt.Errorf("serve: ETC ledger is %T, want *sim.FullLedger", eng.ETC)
-	}
-	srv := rpc.NewServer(cfg)
-	beEth := rpc.NewBackend("ETH", eth.BC)
-	beEtc := rpc.NewBackend("ETC", etc.BC)
-	beEth.SetPeer(beEtc)
-	beEtc.SetPeer(beEth)
-	srv.RegisterChain(beEth)
-	srv.RegisterChain(beEtc)
-	return &Result{Server: srv, ETH: eth, ETC: etc, Engine: eng}, nil
+	return &Result{Server: mount(cfg, chains), Chains: chains, Engine: eng}, nil
 }
 
 // Open remounts an archive that an earlier Build persisted through the
-// disk backend: both chains are reopened from sc.Storage.DataDir (each
+// disk backend: every chain is reopened from sc.Storage.DataDir (each
 // chain lives in its own subdirectory) via chain.Open — WAL redo, no
 // re-simulation — and served exactly as Build would serve them. The
 // scenario must use the disk backend and full mode; it is otherwise only
@@ -78,36 +108,23 @@ func Open(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
 	if sc.Storage.Backend != db.BackendDisk {
 		return nil, fmt.Errorf("serve: reopening an archive requires the %q storage backend, not %q", db.BackendDisk, sc.Storage.Backend)
 	}
-	ethCfg, etcCfg := sim.ChainConfigs(sc)
-	open := func(ccfg *chain.Config, name string) (*sim.FullLedger, error) {
+	cfgs := sim.PartitionChainConfigs(sc)
+	specs := sc.PartitionSpecs()
+	chains := make([]ServedChain, len(specs))
+	for i, sp := range specs {
 		scfg := sc.Storage
-		scfg.DataDir = sim.ChainDataDir(scfg.DataDir, name)
+		scfg.DataDir = sim.ChainDataDir(scfg.DataDir, sp.Name)
 		kv, err := db.Open(scfg)
 		if err != nil {
-			return nil, fmt.Errorf("serve: opening %s store: %w", name, err)
+			return nil, fmt.Errorf("serve: opening %s store: %w", sp.Name, err)
 		}
-		led, err := sim.OpenFullLedger(ccfg, sc, name, kv)
+		led, err := sim.OpenFullLedger(cfgs[i], sc, sp.Name, kv)
 		if err != nil {
-			return nil, fmt.Errorf("serve: reopening %s chain: %w", name, err)
+			return nil, fmt.Errorf("serve: reopening %s chain: %w", sp.Name, err)
 		}
-		return led, nil
+		chains[i] = ServedChain{Name: sp.Name, Ledger: led}
 	}
-	eth, err := open(ethCfg, "ETH")
-	if err != nil {
-		return nil, err
-	}
-	etc, err := open(etcCfg, "ETC")
-	if err != nil {
-		return nil, err
-	}
-	srv := rpc.NewServer(cfg)
-	beEth := rpc.NewBackend("ETH", eth.BC)
-	beEtc := rpc.NewBackend("ETC", etc.BC)
-	beEth.SetPeer(beEtc)
-	beEtc.SetPeer(beEth)
-	srv.RegisterChain(beEth)
-	srv.RegisterChain(beEtc)
-	return &Result{Server: srv, ETH: eth, ETC: etc}, nil
+	return &Result{Server: mount(cfg, chains), Chains: chains}, nil
 }
 
 // OpenOrBuild reopens a persisted archive when the scenario's disk data

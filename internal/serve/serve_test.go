@@ -74,7 +74,7 @@ func TestOpenServesByteIdenticalResponses(t *testing.T) {
 				reqID, method, params),
 		})
 	}
-	for route, bc := range map[string]*chain.Blockchain{"/eth": built.ETH.BC, "/etc": built.ETC.BC} {
+	for route, bc := range map[string]*chain.Blockchain{"/eth": built.Ledger("ETH").BC, "/etc": built.Ledger("ETC").BC} {
 		head := bc.Head()
 		add(route, "eth_blockNumber", "")
 		add(route, "eth_getBlockByNumber", `"0x1", true`)
@@ -113,10 +113,10 @@ func TestOpenServesByteIdenticalResponses(t *testing.T) {
 	if reopened.Engine != nil {
 		t.Fatal("Open ran a simulation engine; restarts must serve from disk alone")
 	}
-	if reopened.ETH.BC.Head().Hash() != built.ETH.BC.Head().Hash() {
+	if reopened.Ledger("ETH").BC.Head().Hash() != built.Ledger("ETH").BC.Head().Hash() {
 		t.Fatal("reopened ETH head diverged from the built chain")
 	}
-	if reopened.ETC.BC.Head().Hash() != built.ETC.BC.Head().Hash() {
+	if reopened.Ledger("ETC").BC.Head().Hash() != built.Ledger("ETC").BC.Head().Hash() {
 		t.Fatal("reopened ETC head diverged from the built chain")
 	}
 	for i, r := range requests {
@@ -151,7 +151,87 @@ func TestOpenOrBuildFreshDirectoryBuilds(t *testing.T) {
 	if res.Engine == nil {
 		t.Fatal("fresh directory did not build")
 	}
-	if res.ETH.BC.Head().Number() == 0 {
+	if res.Ledger("ETH").BC.Head().Number() == 0 {
 		t.Fatal("built archive has no blocks")
+	}
+}
+
+// threeWayScenario is a tiny full-fidelity three-partition scenario for
+// the N-way serving tests.
+func threeWayScenario(dataDir string) *sim.Scenario {
+	sc := sim.NewScenario(7, 1)
+	sc.Mode = sim.ModeFull
+	sc.DayLength = 3600
+	sc.Users = 30
+	sc.Storage.Backend = "disk"
+	sc.Storage.DataDir = dataDir
+	sc.Partitions = []sim.PartitionSpec{
+		{Name: "ONE", ChainID: 1, DAOSupport: true, Price0: 10, RallyShare: 1,
+			PrimaryFraction: 0.5, TxPerDay: 30, EIP155Day: -1, Pools: 20, PoolAlpha: 1, PoolCap: 0.24},
+		{Name: "TWO", ChainID: 2, ShareAtFork: 0.2, Price0: 5, RallyShare: 1,
+			PrimaryFraction: 0.3, TxPerDay: 12, EIP155Day: -1, Pools: 15, PoolAlpha: 1.2, PoolCap: 0.24},
+		{Name: "TRI", ChainID: 3, ShareAtFork: 0.1, Price0: 2, RallyShare: 1,
+			PrimaryFraction: 0.1, TxPerDay: 8, EIP155Day: -1, Pools: 10, PoolAlpha: 1.3, PoolCap: 0.3},
+	}
+	return sc
+}
+
+// TestThreeWayRoutesAndRestart builds a three-partition archive, checks
+// every chain is routed at its lowercase name with cross-linked peers,
+// then reopens it from disk and requires identical heads.
+func TestThreeWayRoutesAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity build")
+	}
+	dataDir := t.TempDir()
+	built, err := Build(threeWayScenario(dataDir), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(built.Chains) != 3 {
+		t.Fatalf("served %d chains, want 3", len(built.Chains))
+	}
+	for _, c := range built.Chains {
+		route := "/" + strings.ToLower(c.Name)
+		raw := post(t, built.Server, route, `{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}`)
+		if !bytes.Contains(raw, []byte(`"result"`)) {
+			t.Errorf("%s: no result: %s", route, raw)
+		}
+		if c.Ledger.BC.Head().Number() == 0 {
+			t.Errorf("%s mined no blocks", c.Name)
+		}
+		// fork_echoCandidates needs peers: every backend must be linked to
+		// the other two.
+		raw = post(t, built.Server, route, `{"jsonrpc":"2.0","id":2,"method":"fork_echoCandidates","params":["0x1","0x10"]}`)
+		for _, other := range built.Chains {
+			if other.Name == c.Name {
+				continue
+			}
+			if !bytes.Contains(raw, []byte(`"`+other.Name+`"`)) {
+				t.Errorf("%s echo candidates do not list peer %s: %s", c.Name, other.Name, raw)
+			}
+		}
+	}
+	heads := map[string]string{}
+	for _, c := range built.Chains {
+		heads[c.Name] = c.Ledger.BC.Head().Hash().String()
+	}
+	built.Server.Close()
+
+	reopened, err := Open(threeWayScenario(dataDir), rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("Open after restart: %v", err)
+	}
+	defer reopened.Server.Close()
+	if reopened.Engine != nil {
+		t.Fatal("Open ran a simulation engine")
+	}
+	if len(reopened.Chains) != 3 {
+		t.Fatalf("reopened %d chains, want 3", len(reopened.Chains))
+	}
+	for _, c := range reopened.Chains {
+		if got := c.Ledger.BC.Head().Hash().String(); got != heads[c.Name] {
+			t.Errorf("%s head diverged after restart: %s vs %s", c.Name, got, heads[c.Name])
+		}
 	}
 }

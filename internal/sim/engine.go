@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"forkwatch/internal/chain"
@@ -41,13 +42,30 @@ type BlockEvent struct {
 	Txs        []TxInfo
 }
 
-// DayEvent is emitted at the end of each simulated day.
+// PartitionDay is one partition's slice of a DayEvent, in partition
+// order.
+type PartitionDay struct {
+	Name       string
+	USD        float64
+	Hashrate   float64
+	Difficulty *big.Int
+}
+
+// DayEvent is emitted at the end of each simulated day: one entry per
+// partition, in partition order.
 type DayEvent struct {
-	Day                      int
-	ETHUSD, ETCUSD           float64
-	ETHHashrate, ETCHashrate float64
-	ETHDifficulty            *big.Int
-	ETCDifficulty            *big.Int
+	Day        int
+	Partitions []PartitionDay
+}
+
+// Partition returns the named partition's slice of the day, or nil.
+func (ev *DayEvent) Partition(name string) *PartitionDay {
+	for i := range ev.Partitions {
+		if ev.Partitions[i].Name == name {
+			return &ev.Partitions[i]
+		}
+	}
+	return nil
 }
 
 // Observer receives simulation events; the analysis package implements it.
@@ -56,45 +74,53 @@ type Observer interface {
 	OnDay(*DayEvent)
 }
 
-// Engine runs one two-partition fork scenario.
+// Engine runs one N-way fork scenario.
 //
-// Parallel model (DESIGN.md §10): the two partitions only couple through
+// Parallel model (DESIGN.md §10): the partitions only couple through
 // day-granular processes — hashrate migration, price arbitrage, and the
-// echo attacker whose rebroadcasts surface on the other chain the NEXT
+// echo attacker whose rebroadcasts surface on the other chains the NEXT
 // day. Within a day each partition's mining is a closed system over its
-// own state and its own seed-derived random streams, so the engine steps
-// ETH and ETC on separate goroutines between day barriers when
-// Scenario.Parallelism allows. All cross-chain effects (echo decisions,
-// observer event delivery, the market/arbitrage step) happen
-// single-threaded at the barrier in a fixed order, which is why serial
-// and parallel runs produce byte-identical output.
+// own state and its own seed-derived random streams (keyed on the
+// partition NAME, never the slot), so the engine steps partitions on
+// separate goroutines between day barriers when Scenario.Parallelism
+// allows. All cross-chain effects (echo decisions, observer event
+// delivery, the market/arbitrage step) happen single-threaded at the
+// barrier in partition order, which is why serial and parallel runs
+// produce byte-identical output.
 type Engine struct {
-	sc *Scenario
+	sc  *Scenario
+	reg *Registry
 
-	// ETH and ETC expose the partition ledgers; Workload and Prices the
-	// shared traffic model and price series. Exported for the façade,
-	// serve and tests.
-	ETH, ETC Ledger
+	// Workload is the shared traffic model; Prices the per-partition
+	// daily USD series, aligned with the partition order. Exported for
+	// the façade, serve and tests.
 	Workload *Workload
-	Prices   market.Series
+	Prices   [][]float64
 
-	parts     [2]*partition
-	ethShare  float64 // arbitrage state: ETH's share of hashrate
+	parts []*partition
+	// shares is the arbitrage state: each partition's share of total
+	// hashrate. The last component is always the residual 1 - sum(rest).
+	shares    []float64
 	observers []Observer
 }
 
 // partition is everything one chain's goroutine owns while stepping a
 // day: ledger, sampler and pool streams, the pending transaction queue,
 // the storage stack, and the day's buffered output (events, crash
-// flags). Nothing in here is shared with the other partition.
+// flags). Nothing in here is shared with the other partitions.
 type partition struct {
-	idx    int // 0 = ETH, 1 = ETC
+	idx    int
 	name   string
+	spec   PartitionSpec
 	ledger Ledger
 
 	sampler *pow.Sampler
 	poolR   *rand.Rand
 	pools   *pool.Population
+
+	// sticky is the behaviour model's pinned fraction (see
+	// pool.Behaviour.StickyFraction), resolved once at build time.
+	sticky float64
 
 	// pending carries unmined submissions across days.
 	pending []txPlan
@@ -212,7 +238,7 @@ func (s *chainStorage) restart() error {
 // short-write rate (truncate-repair + retry) and a crashing torn-append
 // rate (restart + recovery), so the disk chaos runs exercise strictly
 // more failure modes than the mem runs at the same knob settings. The
-// seed is offset per chain so the two partitions' fault streams stay
+// seed is offset per chain so the partitions' fault streams stay
 // decorrelated, mirroring the faultkv path.
 func fileFaults(f faultkv.Faults, chainIdx int64) faultfile.Faults {
 	return faultfile.Faults{
@@ -227,20 +253,34 @@ func fileFaults(f faultkv.Faults, chainIdx int64) faultfile.Faults {
 	}
 }
 
-// New builds an engine (ledgers, workload, pools, prices) from a scenario.
+// New builds an engine (ledgers, workload, pools, prices) from a
+// scenario, after validating it.
 func New(sc *Scenario) (*Engine, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	reg, err := sc.Registry()
+	if err != nil {
+		return nil, err
+	}
+	specs := reg.Specs()
+	k := reg.Len()
+
 	w := NewWorkload(sc)
 	gen := w.Genesis()
 
-	ethCfg := chain.ETHConfig(1, w.DAODrainList(), DAORefundAddress)
-	etcCfg := chain.ETCConfig(1)
+	cfgs := make([]*chain.Config, k)
+	for i, sp := range specs {
+		cfgs[i] = sp.ChainConfig(w.DAODrainList(), DAORefundAddress)
+	}
 
-	var eth, etc Ledger
-	storage := map[string]*chainStorage{}
+	ledgers := make([]Ledger, k)
+	storage := make([]*chainStorage, k)
 	switch sc.Mode {
 	case ModeFast:
-		eth = NewFastLedger(ethCfg, gen)
-		etc = NewFastLedger(etcCfg, gen)
+		for i := range specs {
+			ledgers[i] = NewFastLedger(cfgs[i], gen)
+		}
 	case ModeFull:
 		// Each chain gets its own store opened from the same config:
 		// partitions never share storage, only gossip — the disk backend
@@ -314,32 +354,25 @@ func New(sc *Scenario) (*Engine, error) {
 				return nil, err
 			}
 			f := sc.StorageFaults
-			f.Seed += idx // decorrelate the two chains' fault streams
+			f.Seed += idx // decorrelate the chains' fault streams
 			fkv := faultkv.Wrap(kv, f)
 			fkv.SetEnabled(false)
 			return &chainStorage{kv: db.NewRetry(fkv, attempts), faults: fkv}, nil
 		}
-		ethStg, err := mkStack(0, "ETH")
-		if err != nil {
-			return nil, err
+		for i, sp := range specs {
+			stg, err := mkStack(int64(i), sp.Name)
+			if err != nil {
+				return nil, err
+			}
+			stg.cfg = cfgs[i]
+			led, err := NewFullLedgerWithDB(cfgs[i], gen, prng.New(sc.Seed, "seal", sp.Name), stg.kv)
+			if err != nil {
+				return nil, err
+			}
+			stg.enable(true)
+			ledgers[i] = led
+			storage[i] = stg
 		}
-		etcStg, err := mkStack(1, "ETC")
-		if err != nil {
-			return nil, err
-		}
-		ethStg.cfg, etcStg.cfg = ethCfg, etcCfg
-		eth, err = NewFullLedgerWithDB(ethCfg, gen, prng.New(sc.Seed, "seal", "ETH"), ethStg.kv)
-		if err != nil {
-			return nil, err
-		}
-		etc, err = NewFullLedgerWithDB(etcCfg, gen, prng.New(sc.Seed, "seal", "ETC"), etcStg.kv)
-		if err != nil {
-			return nil, err
-		}
-		ethStg.enable(true)
-		etcStg.enable(true)
-		storage["ETH"] = ethStg
-		storage["ETC"] = etcStg
 	default:
 		return nil, fmt.Errorf("sim: unknown mode %d", sc.Mode)
 	}
@@ -348,37 +381,47 @@ func New(sc *Scenario) (*Engine, error) {
 	if mp.Days < sc.Days {
 		mp.Days = sc.Days
 	}
-	prices := market.GeneratePrices(mp, prng.New(sc.Seed, "market"))
+	chainsMP := make([]market.ChainParams, k)
+	for i, sp := range specs {
+		chainsMP[i] = sp.marketParams()
+	}
+	prices := market.GenerateSeries(mp, chainsMP, prng.New(sc.Seed, "market"))
 
 	e := &Engine{
 		sc:       sc,
-		ETH:      eth,
-		ETC:      etc,
+		reg:      reg,
 		Workload: w,
 		Prices:   prices,
-		ethShare: 1 - sc.ETCShareAtFork,
+		shares:   make([]float64, k),
+		parts:    make([]*partition, k),
 	}
-	e.parts[0] = &partition{
-		idx:        0,
-		name:       "ETH",
-		ledger:     eth,
-		sampler:    pow.NewPartitionSampler(sc.Seed, "ETH"),
-		poolR:      prng.New(sc.Seed, "pool", "ETH"),
-		pools:      pool.NewZipfPopulation("eth", sc.ETHPools, sc.ETHPoolZipf),
-		storage:    storage["ETH"],
-		crashFired: make([]bool, len(sc.Crashes)),
-		eipDay:     sc.EIP155DayETH,
+	rest := 0.0
+	for i := 1; i < k; i++ {
+		e.shares[i] = specs[i].ShareAtFork
+		rest += e.shares[i]
 	}
-	e.parts[1] = &partition{
-		idx:        1,
-		name:       "ETC",
-		ledger:     etc,
-		sampler:    pow.NewPartitionSampler(sc.Seed, "ETC"),
-		poolR:      prng.New(sc.Seed, "pool", "ETC"),
-		pools:      pool.NewUniformPopulation("etc", sc.ETCPools),
-		storage:    storage["ETC"],
-		crashFired: make([]bool, len(sc.Crashes)),
-		eipDay:     sc.EIP155DayETC,
+	e.shares[0] = 1 - rest
+	for i, sp := range specs {
+		lower := strings.ToLower(sp.Name)
+		var pools *pool.Population
+		if sp.PoolZipf > 0 {
+			pools = pool.NewZipfPopulation(lower, sp.Pools, sp.PoolZipf)
+		} else {
+			pools = pool.NewUniformPopulation(lower, sp.Pools)
+		}
+		e.parts[i] = &partition{
+			idx:        i,
+			name:       sp.Name,
+			spec:       sp,
+			ledger:     ledgers[i],
+			sampler:    pow.NewPartitionSampler(sc.Seed, sp.Name),
+			poolR:      prng.New(sc.Seed, "pool", sp.Name),
+			pools:      pools,
+			sticky:     sp.stickyFraction(),
+			storage:    storage[i],
+			crashFired: make([]bool, len(sc.Crashes)),
+			eipDay:     sp.EIP155Day,
+		}
 	}
 	return e, nil
 }
@@ -386,15 +429,40 @@ func New(sc *Scenario) (*Engine, error) {
 // AddObserver registers an observer for block and day events.
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
 
-// StorageStats sums the storage counters of both chains' key-value stores.
-// ModeFast ledgers have no store, so the sum is zero there.
+// Registry returns the engine's partition registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// PartitionNames returns the partition names in order.
+func (e *Engine) PartitionNames() []string { return e.reg.Names() }
+
+// Ledgers returns every partition's ledger in partition order.
+func (e *Engine) Ledgers() []Ledger {
+	out := make([]Ledger, len(e.parts))
+	for i, p := range e.parts {
+		out[i] = p.ledger
+	}
+	return out
+}
+
+// LedgerAt returns the i-th partition's ledger.
+func (e *Engine) LedgerAt(i int) Ledger { return e.parts[i].ledger }
+
+// Ledger returns the named partition's ledger, or nil.
+func (e *Engine) Ledger(name string) Ledger {
+	if i, ok := e.reg.Index(name); ok {
+		return e.parts[i].ledger
+	}
+	return nil
+}
+
+// StorageStats sums the storage counters of every chain's key-value
+// store. ModeFast ledgers have no store, so the sum is zero there.
 func (e *Engine) StorageStats() db.Stats {
 	var s db.Stats
-	if fl, ok := e.ETH.(*FullLedger); ok {
-		s = s.Add(fl.BC.StorageStats())
-	}
-	if fl, ok := e.ETC.(*FullLedger); ok {
-		s = s.Add(fl.BC.StorageStats())
+	for _, p := range e.parts {
+		if fl, ok := p.ledger.(*FullLedger); ok {
+			s = s.Add(fl.BC.StorageStats())
+		}
 	}
 	return s
 }
@@ -426,40 +494,77 @@ func (e *Engine) StorageFaultEvents() int {
 	return n
 }
 
-// Run simulates sc.Days days. Day 0 begins at the fork moment: the two
+// Run simulates sc.Days days. Day 0 begins at the fork moment: all
 // ledgers share genesis (the pre-fork ledger) and block 1 is the fork
 // block on each side.
 //
 // Each day: the serial prologue computes prices and the hashrate split
-// and pins EIP-155 activation; then both partitions step (pool
+// and pins EIP-155 activation; then every partition steps (pool
 // consolidation, traffic generation, mining) — concurrently when the
 // resolved parallelism is at least 2, inline otherwise, over the same
 // per-partition streams either way; then the serial barrier flushes the
-// echo attacker, delivers buffered block events in fixed ETH-then-ETC
-// order, and emits the day event.
+// echo attacker, delivers buffered block events in partition order, and
+// emits the day event.
 func (e *Engine) Run() error {
 	alloc := market.Allocator{Elasticity: e.sc.ArbitrageElasticity}
 	concurrent := e.sc.ResolveParallelism() >= 2
+	specs := e.reg.Specs()
+	k := len(e.parts)
 	for day := 0; day < e.sc.Days; day++ {
-		ethUSD := e.Prices.ETHUSD[day]
-		etcUSD := e.Prices.ETCUSD[day]
-
 		// Hashrate: the structural schedule sets the total (growth +
 		// Zcash event) and dominates the split in the chaotic weeks
 		// right after the fork; price arbitrage takes over with weight
 		// 1-exp(-day/tau), which is what equalises USD-per-hash across
-		// the chains (Fig 3).
-		ethStruct, etcStruct := e.sc.Hashrates(day)
-		total := ethStruct + etcStruct
-		structShare := ethStruct / total
-		priceShare := alloc.Step(e.ethShare, ethUSD, etcUSD)
+		// the chains (Fig 3). Each partition's behaviour model pins its
+		// sticky fraction to the structural schedule even after the
+		// handover. The last partition always holds the residual share,
+		// exactly as the two-way engine's scalar state did.
+		hr := e.sc.StructHashrates(day, specs)
+		total := 0.0
+		for _, h := range hr {
+			total += h
+		}
 		wStruct := 1.0
 		if e.sc.StructuralBlendTauDays > 0 {
 			wStruct = math.Exp(-float64(day) / e.sc.StructuralBlendTauDays)
 		}
-		e.ethShare = wStruct*structShare + (1-wStruct)*priceShare
-		e.parts[0].hashrate = total * e.ethShare
-		e.parts[1].hashrate = total * (1 - e.ethShare)
+		den := 0.0
+		for i, sp := range specs {
+			den += sp.economicWeight() * e.Prices[i][day]
+		}
+		rest := 0.0
+		for i := 0; i < k-1; i++ {
+			structShare := hr[i] / total
+			priceShare := e.shares[i]
+			if den > 0 {
+				target := specs[i].economicWeight() * e.Prices[i][day] / den
+				priceShare = alloc.StepToward(e.shares[i], target)
+			}
+			mobile := priceShare
+			if s := e.parts[i].sticky; s > 0 {
+				mobile = s*structShare + (1-s)*priceShare
+			}
+			e.shares[i] = wStruct*structShare + (1-wStruct)*mobile
+			rest += e.shares[i]
+		}
+		resid := 1 - rest
+		// The residual partition's behaviour model still binds: its sticky
+		// fraction pins it toward its structural share, and the stepped
+		// partitions scale to keep the total at one. Profit-only residuals
+		// (sticky zero — including the legacy historical pair) skip this
+		// entirely, leaving the two-way arithmetic untouched.
+		if s := e.parts[k-1].sticky; s > 0 && rest > 0 {
+			structShare := hr[k-1] / total
+			resid = s*structShare + (1-s)*resid
+			scale := (1 - resid) / rest
+			for i := 0; i < k-1; i++ {
+				e.shares[i] *= scale
+			}
+		}
+		e.shares[k-1] = resid
+		for i, p := range e.parts {
+			p.hashrate = total * e.shares[i]
+		}
 
 		// Replay protection activation: pin the EIP-155 block to the
 		// chain's next height the day it ships.
@@ -469,10 +574,10 @@ func (e *Engine) Run() error {
 			}
 		}
 
-		// Step both partitions through the day.
+		// Step every partition through the day.
 		if concurrent {
 			var wg sync.WaitGroup
-			var errs [2]error
+			errs := make([]error, k)
 			for _, p := range e.parts {
 				wg.Add(1)
 				go func(p *partition) {
@@ -505,14 +610,14 @@ func (e *Engine) Run() error {
 			p.events = p.events[:0]
 		}
 
-		ev := &DayEvent{
-			Day:           day,
-			ETHUSD:        ethUSD,
-			ETCUSD:        etcUSD,
-			ETHHashrate:   e.parts[0].hashrate,
-			ETCHashrate:   e.parts[1].hashrate,
-			ETHDifficulty: e.ETH.HeadDifficulty(),
-			ETCDifficulty: e.ETC.HeadDifficulty(),
+		ev := &DayEvent{Day: day, Partitions: make([]PartitionDay, k)}
+		for i, p := range e.parts {
+			ev.Partitions[i] = PartitionDay{
+				Name:       p.name,
+				USD:        e.Prices[i][day],
+				Hashrate:   p.hashrate,
+				Difficulty: p.ledger.HeadDifficulty(),
+			}
 		}
 		for _, o := range e.observers {
 			o.OnDay(ev)
@@ -526,12 +631,11 @@ func (e *Engine) Run() error {
 // parallel mode; touches only partition-local state and the workload's
 // slot for this chain.
 func (e *Engine) stepDay(day int, p *partition) error {
-	// Pool consolidation (Fig 5): ETH is immediately stable; ETC
-	// begins consolidating once the dust settles.
-	if p.idx == 0 {
-		p.pools.Consolidate(e.sc.ETHPoolChurn, 1.0, e.sc.ETCPoolCap, p.poolR)
-	} else if day >= e.sc.PoolConsolidationLagDays {
-		p.pools.Consolidate(e.sc.ETCPoolChurn, e.sc.ETCPoolAlpha, e.sc.ETCPoolCap, p.poolR)
+	// Pool consolidation (Fig 5): each partition's churn starts once its
+	// configured lag has passed (the historical calibration: ETH stable
+	// from day one, ETC consolidating after the dust settled).
+	if day >= p.spec.PoolLagDays {
+		p.pools.Consolidate(p.spec.PoolChurn, p.spec.PoolAlpha, p.spec.PoolCap, p.poolR)
 	}
 
 	// Traffic for the day.

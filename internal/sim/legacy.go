@@ -1,0 +1,57 @@
+package sim
+
+// Legacy two-way partition synthesis. This file is the one place in the
+// simulation core that still spells out "ETH" and "ETC": it maps the
+// historical scalar knobs on Scenario onto the N-way PartitionSpec list,
+// so a scenario with no explicit Partitions reproduces the paper's
+// July-2016 split byte for byte. tools/partitionlint allowlists this
+// file; the literals are banned everywhere else in the core.
+
+// LegacyPartitions synthesises the historical ETH/ETC pair from the
+// scenario's scalar calibration. The mapping is exact: every per-chain
+// constant the two-way engine consumed appears here with the same value,
+// and partition 0 (the anchor) takes the residual hashrate share just as
+// the scalar ethShare always did.
+func (sc *Scenario) LegacyPartitions() []PartitionSpec {
+	return []PartitionSpec{
+		{
+			Name:            "ETH",
+			ChainID:         1,
+			DAOSupport:      true,
+			EconomicWeight:  1,
+			Price0:          sc.Market.ETH0,
+			DriftEdge:       sc.Market.ETHEdge,
+			RallyShare:      1,
+			PrimaryFraction: sc.PrimaryETHFraction,
+			TxPerDay:        sc.ETHTxPerDay,
+			Speculation:     true,
+			EIP155Day:       sc.EIP155DayETH,
+			Pools:           sc.ETHPools,
+			PoolZipf:        sc.ETHPoolZipf,
+			PoolChurn:       sc.ETHPoolChurn,
+			PoolAlpha:       1.0,
+			PoolCap:         sc.ETCPoolCap,
+			PoolLagDays:     0,
+		},
+		{
+			Name:            "ETC",
+			ChainID:         61,
+			DAOSupport:      false,
+			ShareAtFork:     sc.ETCShareAtFork,
+			EconomicWeight:  1,
+			RejoinShare:     sc.RejoinShare,
+			RejoinTauDays:   sc.RejoinTauDays,
+			Price0:          sc.Market.ETC0,
+			DriftEdge:       0,
+			RallyShare:      sc.Market.RallyETCShare,
+			PrimaryFraction: sc.PrimaryETCFraction,
+			TxPerDay:        sc.ETCTxPerDay,
+			EIP155Day:       sc.EIP155DayETC,
+			Pools:           sc.ETCPools,
+			PoolChurn:       sc.ETCPoolChurn,
+			PoolAlpha:       sc.ETCPoolAlpha,
+			PoolCap:         sc.ETCPoolCap,
+			PoolLagDays:     sc.PoolConsolidationLagDays,
+		},
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "forkwatch/internal/pool"
+
+// MatrixCell is one cell of the scenario-matrix sweep: a hashrate/
+// economic-weight grid point crossed with a pool behaviour model for the
+// minority partition. The sweep asks the question the paper's future
+// work poses — when does a minority fork survive? — across regimes where
+// hashrate and economic value agree, disagree, or disagree violently.
+type MatrixCell struct {
+	// Grid names the hashrate/economics regime: "aligned" (the market
+	// values the majority chain), "conflict" (the market values the
+	// minority), "extreme" (a sliver of hashrate holds nearly all the
+	// economic weight).
+	Grid string
+	// Behaviour is the minority partition's pool behaviour model.
+	Behaviour string
+	// Scenario is the ready-to-run configuration for the cell.
+	Scenario *Scenario
+}
+
+// matrixGrid is one hashrate/economics regime of the sweep.
+type matrixGrid struct {
+	name               string
+	minorityHash       float64
+	majorityEconWeight float64
+	minorityEconWeight float64
+}
+
+// matrixGrids spans agreement, disagreement and extreme disagreement
+// between where the hashrate sits and where the economic value sits.
+var matrixGrids = []matrixGrid{
+	{name: "aligned", minorityHash: 0.3, majorityEconWeight: 0.7, minorityEconWeight: 0.3},
+	{name: "conflict", minorityHash: 0.3, majorityEconWeight: 0.3, minorityEconWeight: 0.7},
+	{name: "extreme", minorityHash: 0.05, majorityEconWeight: 0.05, minorityEconWeight: 0.95},
+}
+
+// MatrixCells builds the full sweep: every grid regime crossed with
+// every minority behaviour model, 9 cells. Each cell is a fast-mode
+// two-partition scenario (named MAJ and MIN) over the given seed and
+// horizon; both partitions start from the same price so the economic
+// weights alone steer arbitrage.
+func MatrixCells(seed int64, days int) []MatrixCell {
+	behaviours := []string{
+		pool.BehaviourProfitOnlyName,
+		pool.BehaviourIdeologicalName,
+		pool.BehaviourMixedName,
+	}
+	var cells []MatrixCell
+	for _, g := range matrixGrids {
+		for _, b := range behaviours {
+			sc := NewScenario(seed, days)
+			sc.Partitions = []PartitionSpec{
+				{
+					Name:            "MAJ",
+					ChainID:         1,
+					DAOSupport:      true,
+					EconomicWeight:  g.majorityEconWeight,
+					Price0:          10,
+					RallyShare:      1,
+					PrimaryFraction: 0.55,
+					TxPerDay:        300 * (1 - g.minorityHash),
+					Speculation:     true,
+					EIP155Day:       -1,
+					Pools:           20,
+					PoolZipf:        1.0,
+					PoolAlpha:       1.0,
+					PoolCap:         0.24,
+				},
+				{
+					Name:             "MIN",
+					ChainID:          2,
+					ShareAtFork:      g.minorityHash,
+					EconomicWeight:   g.minorityEconWeight,
+					RejoinShare:      0.05,
+					RejoinTauDays:    10,
+					Behaviour:        b,
+					IdeologicalShare: 0.5,
+					Price0:           10,
+					RallyShare:       1,
+					PrimaryFraction:  0.25,
+					TxPerDay:         300 * g.minorityHash,
+					EIP155Day:        -1,
+					Pools:            25,
+					PoolChurn:        0.15,
+					PoolAlpha:        1.3,
+					PoolCap:          0.24,
+					PoolLagDays:      30,
+				},
+			}
+			cells = append(cells, MatrixCell{Grid: g.name, Behaviour: b, Scenario: sc})
+		}
+	}
+	return cells
+}

@@ -10,19 +10,25 @@ import (
 )
 
 // ChainDataDir returns the subdirectory of a scenario's DataDir holding
-// one chain's disk segments. The engine keeps the two partitions' stores
+// one chain's disk segments. The engine keeps the partitions' stores
 // apart — they share gossip, never storage — and a restart must resolve
 // the same layout to reopen them.
 func ChainDataDir(root, chainName string) string {
 	return filepath.Join(root, strings.ToLower(chainName))
 }
 
-// ChainConfigs builds the two partition chain configs exactly as New
-// does, so a restarting process can reopen persisted chains under
-// identical consensus rules without running the simulation.
-func ChainConfigs(sc *Scenario) (eth, etc *chain.Config) {
+// PartitionChainConfigs builds every partition's chain config exactly as
+// New does, in partition order, so a restarting process can reopen
+// persisted chains under identical consensus rules without running the
+// simulation.
+func PartitionChainConfigs(sc *Scenario) []*chain.Config {
 	w := NewWorkload(sc)
-	return chain.ETHConfig(1, w.DAODrainList(), DAORefundAddress), chain.ETCConfig(1)
+	specs := sc.PartitionSpecs()
+	out := make([]*chain.Config, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.ChainConfig(w.DAODrainList(), DAORefundAddress)
+	}
+	return out
 }
 
 // OpenFullLedger reopens a full-fidelity ledger over a store that already

@@ -65,12 +65,19 @@ type Scenario struct {
 	Crashes []CrashSpec
 
 	// Parallelism caps how many goroutines the engine uses to step the
-	// two partitions between day barriers: 0 means GOMAXPROCS, 1 forces
-	// the serial fallback, >=2 steps ETH and ETC concurrently. Output is
+	// partitions between day barriers: 0 means GOMAXPROCS, 1 forces
+	// the serial fallback, >=2 steps partitions concurrently. Output is
 	// byte-identical across all settings — every stochastic component
 	// draws from its own seed-derived stream (internal/prng), so
 	// scheduling never reorders draws (DESIGN.md §10).
 	Parallelism int
+
+	// Partitions lists the named partitions of the fork. Empty means the
+	// historical two-way ETH/ETC split synthesised from the scalar
+	// calibration below (LegacyPartitions); setting it explicitly turns
+	// the scenario into an N-way experiment — see DESIGN.md §12 and
+	// Scenario.Validate for the cross-field rules.
+	Partitions []PartitionSpec
 
 	// TotalHashrate is the combined network hashrate at the fork, in
 	// hashes/second. Genesis difficulty is calibrated so the pre-fork
@@ -163,8 +170,8 @@ type Scenario struct {
 	DAOFunds    *big.Int
 }
 
-// CrashSpec schedules one storage crash: the store of Chain ("ETH" or
-// "ETC") is killed Op write operations into the persistence of the
+// CrashSpec schedules one storage crash: the store of the partition
+// named Chain is killed Op write operations into the persistence of the
 // Block-th block (0-based) it mines on Day. The tear lands somewhere in
 // that block's commit — the state-trie batch, the WAL record or the data
 // batch, depending on Op — exercising every recovery path.
@@ -196,8 +203,8 @@ func ParseCrashSpecs(spec string) ([]CrashSpec, error) {
 			return nil, fmt.Errorf("sim: bad crash spec %q (want chain:day:block:op)", part)
 		}
 		chain := strings.ToUpper(strings.TrimSpace(fields[0]))
-		if chain != "ETH" && chain != "ETC" {
-			return nil, fmt.Errorf("sim: bad crash spec chain %q (want ETH or ETC)", fields[0])
+		if !partitionNameRE.MatchString(chain) {
+			return nil, fmt.Errorf("sim: bad crash spec chain %q (want a partition name)", fields[0])
 		}
 		day, err := strconv.Atoi(strings.TrimSpace(fields[1]))
 		if err != nil || day < 0 {

@@ -309,8 +309,8 @@ func TestEngineFullMode(t *testing.T) {
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	ethBC := eng.ETH.(*FullLedger).BC
-	etcBC := eng.ETC.(*FullLedger).BC
+	ethBC := eng.Ledger("ETH").(*FullLedger).BC
+	etcBC := eng.Ledger("ETC").(*FullLedger).BC
 	if ethBC.Genesis().Hash() != etcBC.Genesis().Hash() {
 		t.Error("chains must share genesis")
 	}

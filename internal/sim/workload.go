@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"strings"
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/keccak"
@@ -17,39 +18,31 @@ var workloadGasPrice = big.NewInt(20_000_000_000)
 // transferValue is the standard payment size (0.01 ether).
 var transferValue = big.NewInt(10_000_000_000_000_000)
 
-// chainIndex maps a partition name to its slot: ETH=0, ETC=1. Per-chain
-// state is keyed by slot so the two partitions touch disjoint array
-// elements when stepped on separate goroutines between day barriers.
-func chainIndex(chainName string) int {
-	if chainName == "ETC" {
-		return 1
-	}
-	return 0
-}
-
-// Workload generates the daily transaction traffic of both chains: user
-// payments and contract calls, the fund-splitting behaviour of cautious
-// users, gradual chain-id adoption, and the rebroadcast ("echo") attacker
-// of the paper's Figure 4.
+// Workload generates the daily transaction traffic of every partition:
+// user payments and contract calls, the fund-splitting behaviour of
+// cautious users, gradual chain-id adoption, and the rebroadcast
+// ("echo") attacker of the paper's Figure 4.
 //
 // Concurrency model: all per-chain state (traffic RNG, nonce tracking,
 // replay queues, the day's mined batches) lives in chainTraffic slots, and
-// the per-user flags are arrays indexed by chain slot, so DayTraffic and
+// the per-user flags are slices indexed by chain slot, so DayTraffic and
 // ObserveMined for different chains never write the same memory and may
 // run on separate goroutines. Anything that couples the chains — the echo
 // attacker's mirror decisions — is deferred to FlushEchoes, which the
 // engine calls single-threaded at the day barrier.
 type Workload struct {
-	sc *Scenario
+	sc    *Scenario
+	specs []PartitionSpec
 
 	users     []*simUser
-	active    [2][]*simUser // users transacting on each chain, by slot
+	active    [][]*simUser // users transacting on each chain, by slot
 	contracts []types.Address
 
-	chains [2]*chainTraffic
+	chains  []*chainTraffic
+	chainIx map[string]int
 
 	// echoR drives the rebroadcast attacker's per-sender mirror decisions.
-	// It is consumed only inside FlushEchoes — ETH blocks first, then ETC,
+	// It is consumed only inside FlushEchoes — partitions in order, each
 	// in block order — so its draw sequence is identical no matter how the
 	// partition goroutines interleaved during the day.
 	echoR *rand.Rand
@@ -68,6 +61,13 @@ type Workload struct {
 type chainTraffic struct {
 	idx  int
 	name string
+
+	// chainID, txPerDay and speculation come from the partition's spec:
+	// the replay domain for chain-bound signatures, the base Poisson
+	// rate, and whether the speculative ramp applies.
+	chainID     uint64
+	txPerDay    float64
+	speculation bool
 
 	// r is the chain's private traffic stream (prng.Derive over the
 	// scenario seed and the chain name): submission times, recipient
@@ -93,68 +93,89 @@ type simUser struct {
 	common   types.Address
 	split    bool
 	splitDay int
-	ethAddr  types.Address
-	etcAddr  types.Address
-	// primary is "ETH", "ETC" or "BOTH": the network(s) the user
-	// participates in.
-	primary string
+	// splitAddr is the user's chain-specific address per chain slot,
+	// derived from the lowercase partition name.
+	splitAddr []types.Address
+	// primaryIdx is the slot of the only network the user participates
+	// in, or -1 for users active on every partition.
+	primaryIdx int
 	// legacy users never adopt chain-bound transactions.
 	legacy bool
-	// splitDone per chain slot. An array, not a map: a user active on both
-	// chains is written by both partition goroutines, and distinct array
-	// elements are race-free where distinct map keys are not.
-	splitDone [2]bool
+	// splitDone per chain slot. Distinct elements of a slice are
+	// race-free where distinct map keys are not, and a user active on
+	// several chains is written by several partition goroutines.
+	splitDone []bool
 	// adopted per chain slot: whether the user switched to
 	// replay-protected transactions.
-	adopted [2]bool
+	adopted []bool
 }
 
 // NewWorkload builds the user population from the scenario. Every
 // stochastic component gets its own stream derived from the scenario seed
 // (internal/prng): the population itself, each chain's traffic, and the
 // echo attacker — which is what keeps runs byte-identical between the
-// serial and parallel engines.
+// serial and parallel engines. The streams key on partition names, so
+// the historical two-way population is unchanged under the N-way engine.
 func NewWorkload(sc *Scenario) *Workload {
+	specs := sc.PartitionSpecs()
+	k := len(specs)
 	r := prng.New(sc.Seed, "workload")
 	w := &Workload{
 		sc:       sc,
+		specs:    specs,
+		active:   make([][]*simUser, k),
+		chains:   make([]*chainTraffic, k),
+		chainIx:  make(map[string]int, k),
 		echoR:    prng.New(sc.Seed, "echo"),
 		replayed: map[types.Hash]bool{},
 		mirrored: map[types.Address]bool{},
 	}
-	for i, name := range [2]string{"ETH", "ETC"} {
+	for i, sp := range specs {
 		w.chains[i] = &chainTraffic{
-			idx:       i,
-			name:      name,
-			r:         prng.New(sc.Seed, "traffic", name),
-			nextNonce: map[types.Address]uint64{},
+			idx:         i,
+			name:        sp.Name,
+			chainID:     sp.ChainID,
+			txPerDay:    sp.TxPerDay,
+			speculation: sp.Speculation,
+			r:           prng.New(sc.Seed, "traffic", sp.Name),
+			nextNonce:   map[types.Address]uint64{},
 		}
+		w.chainIx[sp.Name] = i
 	}
 	for i := 0; i < sc.Users; i++ {
-		u := &simUser{common: UserAddress(i)}
-		switch roll := r.Float64(); {
-		case roll < sc.PrimaryETHFraction:
-			u.primary = "ETH"
-		case roll < sc.PrimaryETHFraction+sc.PrimaryETCFraction:
-			u.primary = "ETC"
-		default:
-			u.primary = "BOTH"
+		u := &simUser{
+			common:     UserAddress(i),
+			primaryIdx: -1,
+			splitDone:  make([]bool, k),
+			adopted:    make([]bool, k),
+		}
+		// One roll against the cumulative primary fractions, in partition
+		// order; users past the sum participate everywhere.
+		roll := r.Float64()
+		cum := 0.0
+		for j, sp := range specs {
+			cum += sp.PrimaryFraction
+			if roll < cum {
+				u.primaryIdx = j
+				break
+			}
 		}
 		u.legacy = r.Float64() >= sc.ChainIDAdoptionMax
 		if r.Float64() < sc.SplitFraction {
 			u.split = true
 			u.splitDay = 1 + r.Intn(14) // users react over the first two weeks
-			u.ethAddr = deriveAddr(u.common, "eth")
-			u.etcAddr = deriveAddr(u.common, "etc")
+			u.splitAddr = make([]types.Address, k)
+			for j, sp := range specs {
+				u.splitAddr[j] = deriveAddr(u.common, strings.ToLower(sp.Name))
+			}
 		}
 		w.users = append(w.users, u)
 	}
 	for _, u := range w.users {
-		if u.primary == "ETH" || u.primary == "BOTH" {
-			w.active[0] = append(w.active[0], u)
-		}
-		if u.primary == "ETC" || u.primary == "BOTH" {
-			w.active[1] = append(w.active[1], u)
+		for j := range specs {
+			if u.primaryIdx == j || u.primaryIdx == -1 {
+				w.active[j] = append(w.active[j], u)
+			}
 		}
 	}
 	for i := 0; i < 4; i++ {
@@ -168,7 +189,7 @@ func deriveAddr(base types.Address, tag string) types.Address {
 	return types.BytesToAddress(h[12:])
 }
 
-// Genesis returns the allocation shared by both chains: user balances,
+// Genesis returns the allocation shared by all chains: user balances,
 // DAO accounts and marker contracts.
 func (w *Workload) Genesis() *chain.Genesis {
 	gen := &chain.Genesis{
@@ -218,7 +239,7 @@ type txPlan struct {
 // balances. Safe to call concurrently for different chains: it only
 // touches the named chain's slot.
 func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int) []txPlan {
-	ct := w.chains[chainIndex(chainName)]
+	ct := w.chains[w.chainIx[chainName]]
 	// Release yesterday's unconfirmed nonces: the ledger is the truth.
 	ct.nextNonce = map[types.Address]uint64{}
 
@@ -240,15 +261,12 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 
 	// 2. Fund-splitting transactions. Users only split chains they
 	// participate in; a "picked one network" user leaves the other
-	// chain's copy of their funds at the vulnerable common address.
+	// chains' copies of their funds at the vulnerable common address.
 	for _, u := range w.active[ct.idx] {
 		if !u.split || u.splitDone[ct.idx] || day < u.splitDay {
 			continue
 		}
-		dest := u.ethAddr
-		if ct.idx == 1 {
-			dest = u.etcAddr
-		}
+		dest := u.splitAddr[ct.idx]
 		bal := led.BalanceOf(u.common)
 		// Keep a gas cushion behind.
 		cushion := new(big.Int).Mul(workloadGasPrice, big.NewInt(10*21_000))
@@ -267,11 +285,8 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 	}
 
 	// 3. Regular traffic.
-	rate := w.sc.ETHTxPerDay
-	if ct.idx == 1 {
-		rate = w.sc.ETCTxPerDay
-	}
-	if w.sc.SpeculationFactor > 1 && day >= w.sc.SpeculationStartDay && ct.idx == 0 {
+	rate := ct.txPerDay
+	if w.sc.SpeculationFactor > 1 && day >= w.sc.SpeculationStartDay && ct.speculation {
 		ramp := math.Min(1, float64(day-w.sc.SpeculationStartDay)/30)
 		rate *= 1 + (w.sc.SpeculationFactor-1)*ramp
 	}
@@ -311,10 +326,7 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 // senderFor picks the address a user transacts from on the given chain.
 func senderFor(u *simUser, idx int) types.Address {
 	if u.split && u.splitDone[idx] {
-		if idx == 1 {
-			return u.etcAddr
-		}
-		return u.ethAddr
+		return u.splitAddr[idx]
 	}
 	return u.common
 }
@@ -333,10 +345,7 @@ func (w *Workload) chainIDFor(ct *chainTraffic, day, eipDay int, u *simUser) uin
 		}
 		u.adopted[ct.idx] = true
 	}
-	if ct.idx == 1 {
-		return 61
-	}
-	return 1
+	return ct.chainID
 }
 
 func (ct *chainTraffic) claimNonce(led Ledger, addr types.Address) uint64 {
@@ -350,27 +359,26 @@ func (ct *chainTraffic) claimNonce(led Ledger, addr types.Address) uint64 {
 
 // ObserveMined records a mined block's included transactions for the
 // rebroadcast attacker. Only the calling chain's slot is appended to, so
-// the two partitions may call it concurrently; the echo decisions
-// themselves — which couple the chains — happen in FlushEchoes at the
-// day barrier.
+// partitions may call it concurrently; the echo decisions themselves —
+// which couple the chains — happen in FlushEchoes at the day barrier.
 func (w *Workload) ObserveMined(chainName string, txs []*chain.Transaction) {
 	if len(txs) == 0 {
 		return
 	}
-	ct := w.chains[chainIndex(chainName)]
+	ct := w.chains[w.chainIx[chainName]]
 	ct.mined = append(ct.mined, txs)
 }
 
 // FlushEchoes runs the rebroadcast attacker over the day's mined
-// transactions: ETH blocks first, then ETC, each in block order — a fixed
+// transactions: partitions in order, each in block order — a fixed
 // sequence regardless of how the partition goroutines interleaved during
 // the day, which keeps the echo stream's draws deterministic. Replayable
-// transactions from mirrored senders are queued for rebroadcast on the
-// other chain; DayTraffic drains the queues tomorrow, so deferring the
-// decisions to the barrier changes nothing downstream.
+// transactions from mirrored senders are queued for rebroadcast on every
+// OTHER chain (one attacker decision covers all of them); DayTraffic
+// drains the queues tomorrow, so deferring the decisions to the barrier
+// changes nothing downstream.
 func (w *Workload) FlushEchoes() {
-	for idx, ct := range w.chains {
-		other := w.chains[1-idx]
+	for _, ct := range w.chains {
 		for _, txs := range ct.mined {
 			for _, tx := range txs {
 				if tx.ChainID != 0 {
@@ -387,7 +395,11 @@ func (w *Workload) FlushEchoes() {
 				}
 				if on {
 					w.replayed[h] = true
-					other.replayQueue = append(other.replayQueue, tx)
+					for _, other := range w.chains {
+						if other != ct {
+							other.replayQueue = append(other.replayQueue, tx)
+						}
+					}
 				}
 			}
 		}

@@ -127,8 +127,8 @@ func TestFullModeKVRoundTrip(t *testing.T) {
 		}
 		return blocks, txs
 	}
-	ethBlocks, ethTxs := reload("ETH", eng.ETH)
-	etcBlocks, etcTxs := reload("ETC", eng.ETC)
+	ethBlocks, ethTxs := reload("ETH", eng.Ledger("ETH"))
+	etcBlocks, etcTxs := reload("ETC", eng.Ledger("ETC"))
 
 	col2 := analysis.NewCollector(sc.Epoch)
 	export.ReplayAll(

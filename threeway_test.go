@@ -1,0 +1,144 @@
+package forkwatch_test
+
+import (
+	"bytes"
+	"testing"
+
+	"forkwatch"
+	"forkwatch/internal/analysis"
+)
+
+// threeWayScenario builds the partition-and-heal scenario: an anchor
+// majority, a dying partition whose ideological miners follow its
+// structural schedule into a day-20 collapse (its hashrate drains to
+// zero and migrates to the survivors), and a minority that partially
+// rejoins (heals). TRI's zero economic weight keeps the market allocator
+// from propping it up; TWO rides the residual slot, so its heal shows up
+// through the blend of rejoin curve and market support.
+func threeWayScenario(seed int64, par int) *forkwatch.Scenario {
+	sc := forkwatch.NewScenario(seed, 40)
+	sc.Parallelism = par
+	sc.Partitions = []forkwatch.PartitionSpec{
+		{Name: "ONE", ChainID: 1, DAOSupport: true, EconomicWeight: 0.65,
+			Price0: 10, RallyShare: 1, PrimaryFraction: 0.5, TxPerDay: 200,
+			EIP155Day: -1, Pools: 20, PoolZipf: 1.0, PoolAlpha: 1, PoolCap: 0.24},
+		{Name: "TRI", ChainID: 3, ShareAtFork: 0.1, EconomicWeight: 0,
+			CollapseDay: 20, CollapseTauDays: 3, Behaviour: "ideological",
+			Price0: 2, RallyShare: 1, PrimaryFraction: 0.1, TxPerDay: 40,
+			EIP155Day: -1, Pools: 10, PoolAlpha: 1.3, PoolCap: 0.3},
+		{Name: "TWO", ChainID: 2, ShareAtFork: 0.2, EconomicWeight: 0.6,
+			RejoinShare: 0.05, RejoinTauDays: 10, Behaviour: "mixed", IdeologicalShare: 0.5,
+			Price0: 5, RallyShare: 1, PrimaryFraction: 0.3, TxPerDay: 80,
+			EIP155Day: 15, Pools: 15, PoolChurn: 0.1, PoolAlpha: 1.2, PoolCap: 0.24, PoolLagDays: 5},
+	}
+	return sc
+}
+
+// TestThreeWayPartitionAndHeal runs the three-partition scenario end to
+// end and checks the paper's O1/O2-style census per partition: every
+// chain mines, every chain carries its own difficulty trajectory, the
+// collapsed partition's hashrate drains to (near) zero and the survivors
+// absorb it.
+func TestThreeWayPartitionAndHeal(t *testing.T) {
+	rep, err := forkwatch.Run(threeWayScenario(11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Collector
+	names := rep.Chains()
+	if len(names) != 3 || names[0] != "ONE" || names[1] != "TRI" || names[2] != "TWO" {
+		t.Fatalf("chains = %v", names)
+	}
+
+	// O1 census: every partition mined blocks in the first week...
+	for _, name := range names {
+		if week := analysis.MeanOver(c.BlocksPerHour(name), 0, 168); week <= 0 {
+			t.Errorf("%s mined nothing in the first week", name)
+		}
+		if c.Days() != 40 {
+			t.Fatalf("days = %d", c.Days())
+		}
+	}
+	// ...at rates ordered like their hashrate shares, and the minorities
+	// below the anchor.
+	one := analysis.MeanOver(c.BlocksPerHour("ONE"), 0, 48)
+	two := analysis.MeanOver(c.BlocksPerHour("TWO"), 0, 48)
+	tri := analysis.MeanOver(c.BlocksPerHour("TRI"), 0, 48)
+	if !(one > two && two > tri) {
+		t.Errorf("block rates not ordered by share: ONE %.1f, TWO %.1f, TRI %.1f", one, two, tri)
+	}
+
+	// O2: each partition has its own difficulty trajectory, ordered by
+	// hashrate at the end of the run; the collapsed chain's difficulty
+	// fell from its pre-collapse level.
+	last := c.Days() - 1
+	dOne := c.DailyDifficulty("ONE")
+	dTwo := c.DailyDifficulty("TWO")
+	dTri := c.DailyDifficulty("TRI")
+	if !(dOne[last] > dTwo[last] && dTwo[last] > dTri[last]) {
+		t.Errorf("final difficulties not ordered: ONE %g, TWO %g, TRI %g", dOne[last], dTwo[last], dTri[last])
+	}
+	if dTri[last] >= dTri[19] {
+		t.Errorf("TRI difficulty did not fall after its collapse: day19 %g, day%d %g", dTri[19], last, dTri[last])
+	}
+
+	// Migration: TRI's hashrate collapses to (near) zero and the
+	// survivors absorb it.
+	hrTri := c.DailyHashrate("TRI")
+	hrOne := c.DailyHashrate("ONE")
+	hrTwo := c.DailyHashrate("TWO")
+	if hrTri[19] <= 0 {
+		t.Fatalf("TRI had no hashrate before collapse: %g", hrTri[19])
+	}
+	if frac := hrTri[last] / (hrOne[last] + hrTwo[last] + hrTri[last]); frac > 0.01 {
+		t.Errorf("TRI still holds %.3f of hashrate %d days after collapse", frac, last-20)
+	}
+	if hrOne[last]+hrTwo[last] <= hrOne[19]+hrTwo[19] {
+		t.Errorf("survivors did not absorb the collapsed hashrate: %g -> %g",
+			hrOne[19]+hrTwo[19], hrOne[last]+hrTwo[last])
+	}
+
+	// Heal: TWO's rejoin curve lifted its structural share above the fork
+	// share, visible as a hashrate share above ShareAtFork mid-run.
+	if share := hrTwo[15] / (hrOne[15] + hrTwo[15] + hrTri[15]); share <= 0.2 {
+		t.Errorf("TWO did not heal above its fork share: %.3f", share)
+	}
+
+	// Echoes flow between all pairs: with three chains the mirror fan-out
+	// must reach the third partition too.
+	if c.TotalEchoes("TRI") == 0 && c.TotalEchoes("TWO") == 0 {
+		t.Error("no echoes reached either minority chain")
+	}
+}
+
+// TestThreeWayParallelismByteIdentical locks the three-way run's figure
+// CSVs across serial and concurrent partition stepping — the N-way
+// extension of the engine's two-way determinism contract.
+func TestThreeWayParallelismByteIdentical(t *testing.T) {
+	render := func(par int) map[string][]byte {
+		rep, err := forkwatch.Run(threeWayScenario(11, par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		figs, err := forkwatch.RenderFigures(rep)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return figs
+	}
+	serial := render(1)
+	concurrent := render(0)
+	if len(serial) == 0 || len(serial) != len(concurrent) {
+		t.Fatalf("figure sets differ: %d vs %d", len(serial), len(concurrent))
+	}
+	for name, want := range serial {
+		got, ok := concurrent[name]
+		if !ok {
+			t.Errorf("figure %s missing from concurrent run", name)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("figure %s differs between parallelism 1 and N", name)
+		}
+	}
+}

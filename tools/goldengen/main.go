@@ -1,0 +1,59 @@
+// Command goldengen regenerates testdata/golden_twoway.json: SHA-256
+// digests of every figure CSV for the canonical two-way scenarios that
+// golden_test.go locks down. Run it ONLY when figure output is meant to
+// change (a calibration change, a new figure column); refactors must
+// leave the digests untouched — that is the point of the golden file.
+//
+//	go run ./tools/goldengen > testdata/golden_twoway.json
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"forkwatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("goldengen: ")
+
+	digests := map[string]string{}
+	for _, gc := range forkwatch.GoldenConfigs() {
+		rep, err := forkwatch.Run(gc.Scenario())
+		if err != nil {
+			log.Fatalf("%s: %v", gc.Name, err)
+		}
+		figs, err := forkwatch.RenderFigures(rep)
+		if err != nil {
+			log.Fatalf("%s: render: %v", gc.Name, err)
+		}
+		for name, data := range figs {
+			digests[gc.Name+"/"+name] = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+
+	keys := make([]string, 0, len(digests))
+	for k := range digests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, k := range keys {
+		kj, _ := json.Marshal(k)
+		vj, _ := json.Marshal(digests[k])
+		fmt.Fprintf(&buf, "  %s: %s", kj, vj)
+		if i < len(keys)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	os.Stdout.Write(buf.Bytes())
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet partitionlint matrix check bench benchcmp profile fuzz chaos chaos-disk rpcsmoke loadbench clean
+.PHONY: all build test race vet partitionlint matrix check bench benchcmp profile fuzz chaos chaos-disk chaos-replica rpcsmoke loadbench clean
 
 all: build
 
@@ -67,6 +67,16 @@ chaos:
 # all under the race detector (uses the test tempdir for storage).
 chaos-disk:
 	$(GO) test -race -run 'TestDisk|TestChaosDiskFiguresByteIdentical|TestOpenServes|TestOpenOrBuild' ./internal/chain/ ./internal/serve/ .
+
+# Replica-tier chaos under the race detector: primary + two replicas
+# over a 20%-loss faultnet wire with injected storage faults, a replica
+# crash/restart mid-run, and a failover client checking every answer
+# byte-for-byte against the primary. Failover stats land in
+# CHAOS_REPLICA_OUT (the artifact CI uploads).
+CHAOS_REPLICA_OUT ?= chaos-replica.json
+
+chaos-replica:
+	CHAOS_REPLICA_OUT=$(abspath $(CHAOS_REPLICA_OUT)) $(GO) test -race -v -run 'TestChaosReplica' ./internal/serve/
 
 # Benchmarks: three iterations per benchmark (benchtime=1x was too noisy
 # to diff between snapshots; iteration counts land in the JSON), raw text

@@ -1,17 +1,28 @@
 // Command forkload is a closed-loop load generator for the forkwatch
 // JSON-RPC archive: N client goroutines issue a mixed read workload
 // against both chain endpoints as fast as the server allows, then the
-// run's throughput, latency percentiles and cache hit rate are written
-// as JSON (BENCH_pr4.json by default).
+// run's throughput, latency percentiles, per-class failure counts and
+// cache hit rate are written as JSON (BENCH_pr4.json by default).
+//
+// Every request travels through the failover-aware rpc client, so -urls
+// can name several replicas of the same serving plane: the generator
+// health-checks them, prefers ready ones, hedges slow requests (-hedge)
+// and fails over on infrastructure errors — and its report breaks
+// failures down by class (timeout, overloaded, read_only, degraded,
+// circuit_open, draining, transport, protocol) instead of one lump sum.
+//
+// The run exits non-zero if any response violated the protocol (non-2.0
+// envelope, garbage body) or failed at the transport level: a correct
+// serving plane under load sheds typed errors, it never returns junk.
 //
 // Usage:
 //
 //	forkload -selfserve -duration 5s -clients 64        # in-process target
 //	forkload -url http://127.0.0.1:8545 -duration 10s   # external forkserve
+//	forkload -urls http://127.0.0.1:8546,http://127.0.0.1:8547 -hedge 100ms
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,27 +43,29 @@ import (
 
 // benchReport is the JSON record of one load run.
 type benchReport struct {
-	Target       string  `json:"target"`
-	Clients      int     `json:"clients"`
-	DurationSecs float64 `json:"duration_s"`
-	Requests     int64   `json:"requests"`
-	Throughput   float64 `json:"throughput_rps"`
-	P50Ms        float64 `json:"p50_ms"`
-	P90Ms        float64 `json:"p90_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	MaxMs        float64 `json:"max_ms"`
-	Shed429      int64   `json:"shed_429"`
-	RPCErrors    int64   `json:"rpc_errors"`
-	Transport    int64   `json:"transport_errors"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	Target       string           `json:"target"`
+	Clients      int              `json:"clients"`
+	DurationSecs float64          `json:"duration_s"`
+	Requests     int64            `json:"requests"`
+	Throughput   float64          `json:"throughput_rps"`
+	P50Ms        float64          `json:"p50_ms"`
+	P90Ms        float64          `json:"p90_ms"`
+	P99Ms        float64          `json:"p99_ms"`
+	MaxMs        float64          `json:"max_ms"`
+	Shed429      int64            `json:"shed_429"`
+	RPCErrors    int64            `json:"rpc_errors"`
+	Transport    int64            `json:"transport_errors"`
+	ByClass      map[string]int64 `json:"by_class"`
+	Failovers    uint64           `json:"failovers"`
+	Hedged       uint64           `json:"hedged"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
 }
 
-// workerStats is one client's tally, merged after the run.
+// workerStats is one client's tally, merged after the run. Latencies
+// cover answered requests (successes and typed errors alike).
 type workerStats struct {
 	latencies []time.Duration
-	shed      int64
-	rpcErrs   int64
-	transport int64
+	byClass   map[string]int64
 }
 
 func main() {
@@ -61,18 +74,23 @@ func main() {
 
 	var (
 		url       = flag.String("url", "", "base URL of a running forkserve (e.g. http://127.0.0.1:8545)")
-		selfserve = flag.Bool("selfserve", false, "boot an in-process archive and load that (ignores -url)")
+		urls      = flag.String("urls", "", "comma-separated base URLs of replicas serving the same chains; the client health-checks and fails over between them (overrides -url)")
+		selfserve = flag.Bool("selfserve", false, "boot an in-process archive and load that (ignores -url/-urls)")
 		seed      = flag.Int64("seed", 1, "selfserve scenario seed")
 		days      = flag.Int("days", 1, "selfserve days to simulate")
 		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		hedge     = flag.Duration("hedge", 0, "hedge a request to the next replica if the first has not answered within this delay (0 = off; needs >1 URL)")
 		out       = flag.String("out", "BENCH_pr4.json", "JSON report path (- for stdout)")
-		chainsCSV = flag.String("chains", "eth,etc", "comma-separated chain routes to load on an external -url target (selfserve discovers its own)")
+		chainsCSV = flag.String("chains", "eth,etc", "comma-separated chain routes to load on an external target (selfserve discovers its own)")
 	)
 	flag.Parse()
 
 	routes := strings.Split(*chainsCSV, ",")
-	base := *url
+	bases := []string{*url}
+	if *urls != "" {
+		bases = strings.Split(*urls, ",")
+	}
 	if *selfserve {
 		sc := forkwatch.NewScenario(*seed, *days)
 		sc.Mode = sim.ModeFull
@@ -84,28 +102,22 @@ func main() {
 		defer res.Server.Close()
 		ts := httptest.NewServer(res.Server)
 		defer ts.Close()
-		base = ts.URL
+		bases = []string{ts.URL}
 		routes = routes[:0]
 		headLog := make([]string, 0, len(res.Chains))
 		for _, c := range res.Chains {
 			routes = append(routes, strings.ToLower(c.Name))
 			headLog = append(headLog, fmt.Sprintf("%s head %d", c.Name, c.Ledger.BC.Head().Number()))
 		}
-		log.Printf("selfserve: %s on %s", strings.Join(headLog, ", "), base)
+		log.Printf("selfserve: %s on %s", strings.Join(headLog, ", "), bases[0])
 	}
-	if base == "" {
-		log.Fatal("need -url or -selfserve")
+	if len(bases) == 0 || bases[0] == "" {
+		log.Fatal("need -url, -urls or -selfserve")
 	}
-	base = strings.TrimRight(base, "/")
+	for i := range bases {
+		bases[i] = strings.TrimRight(bases[i], "/")
+	}
 
-	heads, err := headNumbers(base, routes)
-	if err != nil {
-		log.Fatalf("probing endpoints: %v", err)
-	}
-	log.Printf("loading %s for %s with %d clients", base, *duration, *clients)
-
-	bodies := workload(heads)
-	stats := make([]workerStats, *clients)
 	// One pooled transport sized for the fleet: the default transport
 	// keeps only 2 idle conns per host and would churn TCP handshakes.
 	transport := &http.Transport{
@@ -113,6 +125,38 @@ func main() {
 		MaxIdleConnsPerHost: *clients * 2,
 		IdleConnTimeout:     90 * time.Second,
 	}
+	hc := &http.Client{Timeout: 10 * time.Second, Transport: transport}
+
+	// One failover client per chain route, shared by every worker: a
+	// single-URL run degenerates to a classifying client with nowhere to
+	// fail over to.
+	fcs := map[string]*rpc.FailoverClient{}
+	for _, route := range routes {
+		eps := make([]string, len(bases))
+		for i, b := range bases {
+			eps[i] = b + "/" + route
+		}
+		fc, err := rpc.NewFailoverClient(rpc.FailoverConfig{
+			Endpoints:      eps,
+			HTTPClient:     hc,
+			HedgeDelay:     *hedge,
+			HealthInterval: 500 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fc.Close()
+		fcs[route] = fc
+	}
+
+	heads, err := headNumbers(fcs, routes)
+	if err != nil {
+		log.Fatalf("probing endpoints: %v", err)
+	}
+	log.Printf("loading %s for %s with %d clients", strings.Join(bases, " "), *duration, *clients)
+
+	bodies := workload(heads)
+	stats := make([]workerStats, *clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(*duration)
@@ -120,34 +164,19 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			hc := &http.Client{Timeout: 10 * time.Second, Transport: transport}
 			st := &stats[c]
-			var buf bytes.Buffer
+			st.byClass = map[string]int64{}
 			for i := 0; time.Now().Before(deadline); i++ {
 				req := bodies[(c+i)%len(bodies)]
+				fc := fcs[strings.TrimPrefix(req.path, "/")]
 				t0 := time.Now()
-				resp, err := hc.Post(base+req.path, "application/json", strings.NewReader(req.body))
+				_, outc := fc.Do([]byte(req.body))
 				lat := time.Since(t0)
-				if err != nil {
-					st.transport++
-					continue
-				}
-				// Drain the body (keeps the connection reusable) but skip a
-				// full JSON parse: the generator only needs to classify the
-				// response, correctness is the test suite's job.
-				buf.Reset()
-				_, readErr := buf.ReadFrom(resp.Body)
-				resp.Body.Close()
-				raw := buf.Bytes()
-				switch {
-				case resp.StatusCode == http.StatusTooManyRequests:
-					st.shed++
-				case resp.StatusCode != http.StatusOK || readErr != nil ||
-					!bytes.Contains(raw[:min(len(raw), 32)], []byte(`"jsonrpc"`)):
-					st.transport++
-				case bytes.Contains(raw, []byte(`"error":{`)):
-					st.rpcErrs++
-					st.latencies = append(st.latencies, lat)
+				st.byClass[outc.Class]++
+				switch outc.Class {
+				case rpc.ClassTransport, rpc.ClassTimeout:
+					// No well-formed answer arrived; the latency would
+					// measure the client's own deadline, not the server.
 				default:
 					st.latencies = append(st.latencies, lat)
 				}
@@ -157,8 +186,13 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := merge(stats, base, *clients, elapsed)
-	rep.CacheHitRate = scrapeHitRate(base)
+	rep := merge(stats, strings.Join(bases, ","), *clients, elapsed)
+	for _, fc := range fcs {
+		s := fc.Stats()
+		rep.Failovers += s.Failovers
+		rep.Hedged += s.Hedged
+	}
+	rep.CacheHitRate = scrapeHitRate(bases[0])
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -173,11 +207,14 @@ func main() {
 		}
 		log.Printf("wrote %s", *out)
 	}
-	log.Printf("%d requests in %.2fs = %.0f req/s; p50 %.3fms p99 %.3fms; %d shed, %d rpc errors, cache hit %.1f%%",
+	log.Printf("%d requests in %.2fs = %.0f req/s; p50 %.3fms p99 %.3fms; %d shed, %d rpc errors, %d failovers, %d hedged, cache hit %.1f%%",
 		rep.Requests, rep.DurationSecs, rep.Throughput, rep.P50Ms, rep.P99Ms,
-		rep.Shed429, rep.RPCErrors, 100*rep.CacheHitRate)
+		rep.Shed429, rep.RPCErrors, rep.Failovers, rep.Hedged, 100*rep.CacheHitRate)
+	if n := rep.ByClass[rpc.ClassProtocol]; n > 0 {
+		log.Fatalf("%d protocol-violating responses (malformed or non-2.0 envelopes)", n)
+	}
 	if rep.Transport > 0 {
-		log.Fatalf("%d transport errors (hung or malformed responses)", rep.Transport)
+		log.Fatalf("%d transport errors (hung or refused connections)", rep.Transport)
 	}
 }
 
@@ -218,13 +255,13 @@ func workload(heads map[string]uint64) []loadReq {
 	return reqs
 }
 
-// headNumbers probes each chain endpoint for its head.
-func headNumbers(base string, routes []string) (map[string]uint64, error) {
+// headNumbers probes each chain endpoint for its head through the
+// failover clients, so a run against replicas tolerates one being down.
+func headNumbers(fcs map[string]*rpc.FailoverClient, routes []string) (map[string]uint64, error) {
 	out := map[string]uint64{}
 	for _, chain := range routes {
-		cl := rpc.NewClient(base+"/"+chain, nil)
 		var hex string
-		if err := cl.Call(&hex, "eth_blockNumber"); err != nil {
+		if _, err := fcs[chain].Call(&hex, "eth_blockNumber"); err != nil {
 			return nil, fmt.Errorf("%s: %w", chain, err)
 		}
 		var head uint64
@@ -238,14 +275,17 @@ func headNumbers(base string, routes []string) (map[string]uint64, error) {
 
 func merge(stats []workerStats, target string, clients int, elapsed time.Duration) *benchReport {
 	var all []time.Duration
-	rep := &benchReport{Target: target, Clients: clients, DurationSecs: elapsed.Seconds()}
+	rep := &benchReport{Target: target, Clients: clients, DurationSecs: elapsed.Seconds(), ByClass: map[string]int64{}}
 	for i := range stats {
 		all = append(all, stats[i].latencies...)
-		rep.Shed429 += stats[i].shed
-		rep.RPCErrors += stats[i].rpcErrs
-		rep.Transport += stats[i].transport
+		for class, n := range stats[i].byClass {
+			rep.ByClass[class] += n
+			rep.Requests += n
+		}
 	}
-	rep.Requests = int64(len(all)) + rep.Shed429 + rep.Transport
+	rep.Shed429 = rep.ByClass[rpc.ClassOverloaded]
+	rep.RPCErrors = rep.ByClass[rpc.ClassRPCError]
+	rep.Transport = rep.ByClass[rpc.ClassTransport]
 	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) float64 {

@@ -6,7 +6,7 @@
 // Routes: POST /<lowercase chain name> per partition (JSON-RPC 2.0,
 // batches supported), GET /debug/metrics (counters, latency histograms,
 // storage stats), GET /debug/pprof/ (live CPU/heap/goroutine profiles),
-// GET /healthz.
+// GET /healthz, GET /readyz (503 while draining or degraded).
 //
 // Usage:
 //
@@ -18,15 +18,32 @@
 // With -storage disk the simulated chains persist in -datadir; a later
 // run against the same directory reopens the archive (WAL redo, no
 // re-simulation) and serves identical responses.
+//
+// Replica tier: a primary exposes its chains for replication with -p2p
+// (one listen address per partition); replicas boot with -follow pointed
+// at those addresses, sync every block over the wire into their own
+// stores, and serve the same RPC surface — tagging responses with a
+// staleness field and failing /readyz whenever they trail the primary by
+// more than -staleness-bound blocks:
+//
+//	forkserve -days 2 -addr :8545 -p2p 127.0.0.1:30301,127.0.0.1:30302
+//	forkserve -addr :8546 -follow 127.0.0.1:30301,127.0.0.1:30302 -replica-name r1
+//
+// SIGINT/SIGTERM drains gracefully: stop accepting, finish in-flight
+// requests, flush and close the stores.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"forkwatch"
@@ -53,6 +70,11 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request execution deadline")
 		par     = flag.Int("parallelism", 0, "simulation partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; served chains are identical either way")
 		parts   = flag.String("partitions", "", `N-way partition spec "NAME:key=v,...;NAME:key=v,..." (empty = historical two-way split)`)
+
+		p2pAddrs   = flag.String("p2p", "", "primary mode: comma-separated p2p listen addresses, one per partition in order, for replicas to sync from")
+		follow     = flag.String("follow", "", "replica mode: comma-separated primary p2p addresses, one per partition in order; the scenario flags must match the primary's")
+		repName    = flag.String("replica-name", "replica", "this replica's name on the sync plane (replica mode)")
+		staleBound = flag.Uint64("staleness-bound", 8, "blocks behind the primary head before a replica reports degraded and tags responses (replica mode)")
 	)
 	flag.Parse()
 
@@ -76,24 +98,61 @@ func main() {
 		log.Printf("storage faults stay enabled while serving: %v", f)
 	}
 
-	if *storage == forkwatch.StorageDisk {
-		log.Printf("opening archive from %s (simulating %d days first if empty)...", *datadir, *days)
-	} else {
-		log.Printf("simulating %d days (seed %d, full fidelity)...", *days, *seed)
-	}
-	res, err := serve.OpenOrBuild(sc, rpc.ServerConfig{
+	srvCfg := rpc.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheN,
 		RatePerSec:     *rate,
 		RequestTimeout: *timeout,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	defer res.Server.Close()
-	if res.Engine == nil {
-		log.Printf("reopened persisted archive from %s (no re-simulation)", *datadir)
+
+	// Boot one of the three shapes — replica, primary with a sync plane,
+	// or standalone archive. res serves; shutdown drains and flushes.
+	var (
+		res      *serve.Result
+		shutdown func()
+	)
+	if *follow != "" {
+		if *p2pAddrs != "" {
+			log.Fatal("-follow and -p2p are mutually exclusive (a node is a primary or a replica)")
+		}
+		rep, err := serve.NewReplica(sc, serve.ReplicaConfig{
+			Name:           *repName,
+			PrimaryAddrs:   strings.Split(*follow, ","),
+			Transport:      serve.TCPTransport(5 * time.Second),
+			StalenessBound: *staleBound,
+			DataDir:        *datadir,
+		}, srvCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, shutdown = &rep.Result, rep.Close
+		log.Printf("replica %q following %s (staleness bound %d blocks)", *repName, *follow, *staleBound)
+	} else {
+		if *storage == forkwatch.StorageDisk {
+			log.Printf("opening archive from %s (simulating %d days first if empty)...", *datadir, *days)
+		} else {
+			log.Printf("simulating %d days (seed %d, full fidelity)...", *days, *seed)
+		}
+		built, err := serve.OpenOrBuild(sc, srvCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if built.Engine == nil {
+			log.Printf("reopened persisted archive from %s (no re-simulation)", *datadir)
+		}
+		res, shutdown = built, built.Close
+		if *p2pAddrs != "" {
+			psrv, err := serve.ServePrimary(built, serve.PrimaryConfig{
+				Addrs:     strings.Split(*p2pAddrs, ","),
+				Transport: serve.TCPTransport(5 * time.Second),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			shutdown = func() { psrv.Close(); built.Close() }
+			log.Printf("primary sync plane on %s", *p2pAddrs)
+		}
 	}
 
 	// The RPC server stays the catch-all; the mux only peels off the
@@ -113,8 +172,24 @@ func main() {
 		routes[i] = "/" + strings.ToLower(c.Name)
 	}
 	log.Print(strings.Join(heads, ", "))
-	log.Printf("serving %s /debug/metrics /debug/pprof /healthz on %s", strings.Join(routes, " "), *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	log.Printf("serving %s /debug/metrics /debug/pprof /healthz /readyz on %s", strings.Join(routes, " "), *addr)
+
+	// Graceful drain: the first SIGINT/SIGTERM stops the listener and
+	// waits for in-flight HTTP requests; then the serving plane drains its
+	// worker pool and closes the stores so disk segments flush cleanly.
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigC
+		log.Printf("%s: draining (in-flight requests finish, stores flush)...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	shutdown()
+	log.Print("drained and closed cleanly")
 }

@@ -127,6 +127,57 @@ func TestRetryRespectsContextDeadline(t *testing.T) {
 	}
 }
 
+// TestRetryRespectsContextCancel: explicit cancellation — not a deadline
+// — must interrupt the retry loop mid-backoff while the store is
+// stalled. The policy's backoff is an hour long, modelling a stalled
+// device whose next attempt is far away: the caller hanging up must pull
+// the operation out of that sleep immediately, carrying both the context
+// error and the storage fault (PR 8 satellite; deadline expiry is
+// covered above).
+func TestRetryRespectsContextCancel(t *testing.T) {
+	f := &flakyKV{inner: NewMemDB(), failures: -1} // injected stall: never recovers
+	r := NewRetryPolicy(f, RetryPolicy{
+		Attempts:  1 << 20,
+		BaseDelay: time.Hour,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.WithContext(ctx).Put([]byte("k"), []byte("v")) }()
+	time.Sleep(20 * time.Millisecond) // let the loop fail once and enter the backoff sleep
+	start := time.Now()
+	cancel()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the hour-long backoff sleep")
+	}
+	if wait := time.Since(start); wait > time.Second {
+		t.Fatalf("Put returned %v after cancel; the backoff sleep was not interrupted", wait)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not carry the cancellation", err)
+	}
+	var st stubTransient
+	if !errors.As(err, &st) {
+		t.Fatalf("error %v does not carry the storage fault", err)
+	}
+	if f.calls > 1 {
+		t.Fatalf("loop burned %d attempts; cancellation should stop it inside the first backoff", f.calls)
+	}
+
+	// An already-cancelled context refuses before the first attempt.
+	f.calls = 0
+	if err := r.WithContext(ctx).Put([]byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: %v", err)
+	}
+	if f.calls != 0 {
+		t.Fatalf("cancelled context still attempted %d operations", f.calls)
+	}
+}
+
 // TestRetryMaxElapsed: the wall-clock cap ends the loop even when the
 // attempt budget has room, without entering a sleep that would cross it.
 func TestRetryMaxElapsed(t *testing.T) {

@@ -244,9 +244,17 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 // Snapshot returns every metric's current value keyed by name. Counter
 // and gauge values are numbers; histograms are HistogramSnapshot objects;
 // gauge funcs are sampled during the call.
+//
+// Gauge-func callbacks are sampled AFTER the registry lock is released:
+// callbacks reach into other subsystems (chain heads, sync trackers,
+// storage stats) that take their own locks, and sampling them under the
+// registry lock would let one slow or deadlocked callback wedge every
+// metric lookup in the process. A func registered under the same name as
+// a plain metric wins, so subsystems can upgrade a pre-registered static
+// default (e.g. the serving layer's zeroed replica gauges) to a live
+// source.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
 	for name, c := range r.counters {
 		out[name] = c.Value()
@@ -257,7 +265,12 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.hists {
 		out[name] = h.Snapshot()
 	}
+	funcs := make(map[string]func() float64, len(r.funcs))
 	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	r.mu.RUnlock()
+	for name, fn := range funcs {
 		out[name] = fn()
 	}
 	return out

@@ -707,6 +707,41 @@ func (s *Server) RequestNeighbors(target discover.NodeID) {
 	}
 }
 
+// BestPeerHead returns the heaviest head any live peer has advertised:
+// its height and total difficulty, and whether any peer has advertised a
+// head at all. Replicas read it to measure their own sync lag.
+func (s *Server) BestPeerHead() (number uint64, td *big.Int, ok bool) {
+	for _, p := range s.Peers() {
+		_, num, ptd := p.Head()
+		if ptd != nil && (td == nil || ptd.Cmp(td) > 0) {
+			number, td, ok = num, ptd, true
+		}
+	}
+	return number, td, ok
+}
+
+// SyncNow nudges the sync pull: if the best peer advertises a heavier
+// chain than ours, re-request the next block range from it. The follow
+// loop of a replica calls this periodically so a lost MsgBlocks frame
+// (or a head announcement dropped by a faulty network) never strands the
+// sync until the peer happens to announce again.
+func (s *Server) SyncNow() {
+	var best *Peer
+	var bestTD *big.Int
+	for _, p := range s.Peers() {
+		if p.Closed() {
+			continue
+		}
+		_, _, td := p.Head()
+		if td != nil && (bestTD == nil || td.Cmp(bestTD) > 0) {
+			best, bestTD = p, td
+		}
+	}
+	if best != nil {
+		s.maybeSync(best)
+	}
+}
+
 // Peers returns a snapshot of live peers.
 func (s *Server) Peers() []*Peer {
 	s.mu.Lock()

@@ -1,0 +1,112 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a consecutive-failure circuit breaker guarding a flaky
+// dependency (a failing store, an unreachable sync peer). Closed, it
+// passes every attempt through and counts consecutive failures; once
+// Threshold failures accumulate it opens and sheds every attempt for
+// Cooldown without touching the dependency; after the cooldown one probe
+// attempt is let through half-open — its outcome decides between closing
+// again and another full cooldown.
+//
+// The breaker only counts what callers report: feed it dependency
+// failures (storage errors, dial errors), not caller mistakes (invalid
+// params), or it will open against healthy infrastructure.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook; nil = time.Now
+
+	mu       sync.Mutex
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // zero = closed
+	probing  bool      // half-open probe in flight
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and shedding for cooldown before probing. A threshold <= 0
+// returns a disabled breaker that always allows and never opens.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether an attempt may proceed. While open it returns
+// false until the cooldown elapses, then admits exactly one half-open
+// probe; the probe's Success/Fail settles the state.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	if b.clock().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	if b.probing {
+		return false // one probe at a time
+	}
+	b.probing = true
+	return true
+}
+
+// Success reports a completed attempt: resets the failure streak and
+// closes the breaker if the attempt was the half-open probe.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.openedAt = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Fail reports a dependency failure. Reaching the threshold — or failing
+// the half-open probe — (re)opens the breaker for a fresh cooldown.
+func (b *Breaker) Fail() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openedAt.IsZero() {
+		// Failed probe (or a straggler from before the trip): restart the
+		// cooldown from now.
+		b.openedAt = b.clock()
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openedAt = b.clock()
+		b.fails = 0
+	}
+}
+
+// Open reports whether the breaker is currently shedding.
+func (b *Breaker) Open() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openedAt.IsZero() && b.clock().Sub(b.openedAt) < b.cooldown
+}

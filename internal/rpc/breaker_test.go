@@ -1,0 +1,81 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTripAndRecover walks the full state machine on a hand-driven
+// clock: closed until the threshold, open for the cooldown, a single
+// half-open probe, and both probe outcomes.
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	// Closed: failures below the threshold keep allowing.
+	b.Fail()
+	b.Fail()
+	if !b.Allow() || b.Open() {
+		t.Fatal("breaker opened below its threshold")
+	}
+	// A success resets the streak.
+	b.Success()
+	b.Fail()
+	b.Fail()
+	if b.Open() {
+		t.Fatal("success did not reset the failure streak")
+	}
+	// Third consecutive failure trips it.
+	b.Fail()
+	if !b.Open() || b.Allow() {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+
+	// Cooldown: still shedding just before it elapses.
+	now = now.Add(time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted work inside the cooldown")
+	}
+	// After the cooldown exactly one probe goes through.
+	now = now.Add(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	// Failed probe: re-open for a fresh cooldown.
+	b.Fail()
+	if b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	now = now.Add(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the probe after the second cooldown")
+	}
+	// Successful probe closes it.
+	b.Success()
+	if b.Open() || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// TestBreakerDisabled: a non-positive threshold disables the breaker
+// entirely (and a nil breaker behaves the same, so unregistered routes
+// need no special-casing).
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Second)
+	for i := 0; i < 100; i++ {
+		b.Fail()
+	}
+	if !b.Allow() || b.Open() {
+		t.Fatal("disabled breaker opened")
+	}
+	var nilB *Breaker
+	nilB.Fail()
+	nilB.Success()
+	if !nilB.Allow() || nilB.Open() {
+		t.Fatal("nil breaker did not pass through")
+	}
+}

@@ -120,11 +120,13 @@ func (c *Client) Batch(elems []BatchElem) error {
 }
 
 // clientResponse keeps Result raw so callers decode into their own type.
+// Staleness mirrors the server's degraded-mode envelope extension.
 type clientResponse struct {
-	JSONRPC string          `json:"jsonrpc"`
-	ID      json.RawMessage `json:"id"`
-	Result  json.RawMessage `json:"result"`
-	Error   *Error          `json:"error"`
+	JSONRPC   string          `json:"jsonrpc"`
+	ID        json.RawMessage `json:"id"`
+	Result    json.RawMessage `json:"result"`
+	Error     *Error          `json:"error"`
+	Staleness *uint64         `json:"staleness"`
 }
 
 func (r *clientResponse) unpack(out any) error {

@@ -1,0 +1,431 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forkwatch/internal/metrics"
+)
+
+// Failure classes a failover client assigns to request outcomes. Load
+// generators report per-class counts; the client uses them to steer
+// endpoint selection.
+const (
+	ClassOK          = "ok"           // success from a healthy endpoint
+	ClassDegraded    = "degraded"     // success tagged with a staleness field
+	ClassTimeout     = "timeout"      // transport timeout or -32011
+	ClassOverloaded  = "overloaded"   // HTTP 429 or -32012
+	ClassReadOnly    = "read_only"    // -32010 with data "read-only"
+	ClassStorage     = "storage"      // other -32010 storage failures
+	ClassCircuitOpen = "circuit_open" // -32013 (open circuit breaker)
+	ClassDraining    = "draining"     // HTTP 503 (drain or not ready)
+	ClassRPCError    = "rpc_error"    // other JSON-RPC errors (caller's fault)
+	ClassTransport   = "transport"    // connection-level failure
+	ClassProtocol    = "protocol"     // malformed / spec-violating response
+)
+
+// retryableClass reports whether an outcome justifies trying another
+// endpoint: infrastructure failures do, deterministic answers (success,
+// degraded-but-correct success, invalid params) do not.
+func retryableClass(class string) bool {
+	switch class {
+	case ClassOK, ClassDegraded, ClassRPCError:
+		return false
+	}
+	return true
+}
+
+// endpoint health states, ordered by dial preference.
+const (
+	epHealthy int32 = iota
+	epDegraded
+	epDown
+)
+
+// FailoverConfig configures a FailoverClient.
+type FailoverConfig struct {
+	// Endpoints are same-chain replica endpoints (full chain URLs, e.g.
+	// "http://127.0.0.1:8546/eth") in preference order.
+	Endpoints []string
+	// HTTPClient is shared by all endpoints (default: 10s timeout).
+	HTTPClient *http.Client
+	// HedgeDelay, when > 0, fires the same request at the next-best
+	// endpoint if the first has not answered within the delay; the first
+	// usable response wins (tail-latency insurance under faults).
+	HedgeDelay time.Duration
+	// HealthInterval, when > 0, polls every endpoint's /readyz in the
+	// background so failover decisions do not wait for a request to fail.
+	HealthInterval time.Duration
+	// Registry, when set, receives rpc.failovers / rpc.hedged counters
+	// (point it at a served registry to surface them at /debug/metrics).
+	Registry *metrics.Registry
+	// Logf receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// FailoverStats is a snapshot of a client's outcome tallies.
+type FailoverStats struct {
+	Requests  uint64            `json:"requests"`
+	Failovers uint64            `json:"failovers"`
+	Hedged    uint64            `json:"hedged"`
+	ByClass   map[string]uint64 `json:"by_class"`
+}
+
+// Outcome describes how one request was ultimately answered.
+type Outcome struct {
+	// Endpoint is the URL that produced the final answer.
+	Endpoint string
+	// Class is the final outcome class (Class* constants).
+	Class string
+	// Staleness is the response's staleness tag (valid when Tagged).
+	Staleness uint64
+	Tagged    bool
+	// Failovers counts endpoint switches made for this request.
+	Failovers int
+	// Hedged reports whether a hedge request was fired.
+	Hedged bool
+}
+
+// fepState is one endpoint's live health record.
+type fepState struct {
+	url      string
+	readyURL string
+	state    atomic.Int32
+}
+
+// FailoverClient is a health-checking, hedging, failing-over JSON-RPC
+// client for a set of replicas serving the same chain: requests go to
+// the healthiest endpoint first, infrastructure failures (transport
+// errors, 429/503, typed storage/timeout/breaker errors) move on to the
+// next, and slow answers are optionally hedged. Responses tagged with a
+// staleness field are surfaced as ClassDegraded, never hidden.
+type FailoverClient struct {
+	cfg    FailoverConfig
+	hc     *http.Client
+	eps    []*fepState
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	stats FailoverStats
+
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewFailoverClient builds a client over cfg.Endpoints (at least one).
+// Call Close to stop the background health loop.
+func NewFailoverClient(cfg FailoverConfig) (*FailoverClient, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("rpc: failover client needs at least one endpoint")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &FailoverClient{
+		cfg:  cfg,
+		hc:   cfg.HTTPClient,
+		quit: make(chan struct{}),
+	}
+	c.stats.ByClass = map[string]uint64{}
+	for _, ep := range cfg.Endpoints {
+		c.eps = append(c.eps, &fepState{url: ep, readyURL: readyURL(ep)})
+	}
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// readyURL rewrites a chain endpoint to its server's /readyz.
+func readyURL(endpoint string) string {
+	u, err := url.Parse(endpoint)
+	if err != nil {
+		return strings.TrimRight(endpoint, "/") + "/readyz"
+	}
+	u.Path = "/readyz"
+	u.RawQuery = ""
+	return u.String()
+}
+
+// Close stops the health loop.
+func (c *FailoverClient) Close() {
+	c.closeOnce.Do(func() { close(c.quit) })
+	c.wg.Wait()
+}
+
+// Stats returns a copy of the outcome tallies.
+func (c *FailoverClient) Stats() FailoverStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.ByClass = make(map[string]uint64, len(c.stats.ByClass))
+	for k, v := range c.stats.ByClass {
+		out.ByClass[k] = v
+	}
+	return out
+}
+
+// healthLoop polls every endpoint's /readyz: unreachable marks it down,
+// not-ready marks it degraded, ready marks it healthy. Request outcomes
+// update the same states in between polls.
+func (c *FailoverClient) healthLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-ticker.C:
+		}
+		for _, ep := range c.eps {
+			resp, err := c.hc.Get(ep.readyURL)
+			if err != nil {
+				ep.state.Store(epDown)
+				continue
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				ep.state.Store(epHealthy)
+			default:
+				ep.state.Store(epDegraded)
+			}
+		}
+	}
+}
+
+// order snapshots the endpoints sorted healthiest-first; config order
+// breaks ties, and even down endpoints stay in as a last resort.
+func (c *FailoverClient) order() []*fepState {
+	out := append([]*fepState(nil), c.eps...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].state.Load() < out[j].state.Load()
+	})
+	return out
+}
+
+func (c *FailoverClient) count(name string) {
+	if c.cfg.Registry != nil {
+		c.cfg.Registry.Counter(name).Inc()
+	}
+}
+
+// attemptResult carries one endpoint's answer back to Do.
+type attemptResult struct {
+	ep        *fepState
+	raw       []byte
+	class     string
+	staleness *uint64
+}
+
+// Do posts one single-request JSON-RPC body, failing over and hedging
+// across the endpoint set. It returns the winning endpoint's raw
+// response body (nil when every endpoint failed at the transport level)
+// and the outcome. Batch bodies are the caller's affair — Do does not
+// split them across endpoints.
+func (c *FailoverClient) Do(body []byte) ([]byte, Outcome) {
+	eps := c.order()
+	out := Outcome{}
+	results := make(chan attemptResult, len(eps))
+	inflight, next := 0, 0
+	launch := func() {
+		ep := eps[next]
+		next++
+		inflight++
+		go func() {
+			raw, class, st := c.attempt(ep, body)
+			results <- attemptResult{ep: ep, raw: raw, class: class, staleness: st}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeDelay > 0 && len(eps) > 1 {
+		timer := time.NewTimer(c.cfg.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var last attemptResult
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(eps) {
+				out.Hedged = true
+				c.count("rpc.hedged")
+				launch()
+			}
+		case res := <-results:
+			inflight--
+			c.noteEndpoint(res)
+			if !retryableClass(res.class) {
+				c.finish(&out, res)
+				return res.raw, out
+			}
+			last = res
+			if inflight == 0 && next < len(eps) {
+				out.Failovers++
+				c.count("rpc.failovers")
+				launch()
+			}
+		}
+	}
+	// Every endpoint failed; report the last failure honestly.
+	c.finish(&out, last)
+	return last.raw, out
+}
+
+// finish folds the winning attempt into the outcome and the tallies.
+func (c *FailoverClient) finish(out *Outcome, res attemptResult) {
+	if res.ep != nil {
+		out.Endpoint = res.ep.url
+	}
+	out.Class = res.class
+	if res.staleness != nil {
+		out.Tagged = true
+		out.Staleness = *res.staleness
+	}
+	c.mu.Lock()
+	c.stats.Requests++
+	c.stats.Failovers += uint64(out.Failovers)
+	if out.Hedged {
+		c.stats.Hedged++
+	}
+	c.stats.ByClass[res.class]++
+	c.mu.Unlock()
+}
+
+// noteEndpoint folds one attempt's class into the endpoint's health.
+func (c *FailoverClient) noteEndpoint(res attemptResult) {
+	switch res.class {
+	case ClassOK, ClassRPCError:
+		res.ep.state.Store(epHealthy)
+	case ClassTransport, ClassDraining:
+		res.ep.state.Store(epDown)
+	default:
+		res.ep.state.Store(epDegraded)
+	}
+}
+
+// attempt posts body to one endpoint and classifies the response.
+func (c *FailoverClient) attempt(ep *fepState, body []byte) (raw []byte, class string, staleness *uint64) {
+	resp, err := c.hc.Post(ep.url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		if isTimeout(err) {
+			return nil, ClassTimeout, nil
+		}
+		return nil, ClassTransport, nil
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, ClassTransport, nil
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return raw, ClassOverloaded, nil
+	case http.StatusServiceUnavailable:
+		return raw, ClassDraining, nil
+	default:
+		return raw, ClassProtocol, nil
+	}
+	var cr clientResponse
+	if err := json.Unmarshal(raw, &cr); err != nil || cr.JSONRPC != Version {
+		return raw, ClassProtocol, nil
+	}
+	if cr.Error != nil {
+		return raw, classifyError(cr.Error), cr.Staleness
+	}
+	if len(cr.Result) == 0 {
+		return raw, ClassProtocol, nil
+	}
+	if cr.Staleness != nil {
+		return raw, ClassDegraded, cr.Staleness
+	}
+	return raw, ClassOK, nil
+}
+
+// classifyError maps a typed JSON-RPC error to its failure class.
+func classifyError(e *Error) string {
+	switch e.Code {
+	case ErrCodeStorage:
+		if s, ok := e.Data.(string); ok && s == "read-only" {
+			return ClassReadOnly
+		}
+		return ClassStorage
+	case ErrCodeTimeout:
+		return ClassTimeout
+	case ErrCodeOverloaded:
+		return ClassOverloaded
+	case ErrCodeUnavailable:
+		return ClassCircuitOpen
+	default:
+		return ClassRPCError
+	}
+}
+
+// isTimeout reports whether a transport error was a timeout.
+func isTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	for e := err; e != nil; {
+		if t, ok := e.(timeouter); ok && t.Timeout() {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	return strings.Contains(err.Error(), "Client.Timeout")
+}
+
+// Call is the typed convenience on top of Do: it builds the request,
+// fails over, and decodes the result into out (nil discards). The
+// returned Outcome reports which endpoint answered and how degraded the
+// answer is; the error is *Error for JSON-RPC failures, a plain error
+// for transport-level exhaustion.
+func (c *FailoverClient) Call(out any, method string, params ...any) (Outcome, error) {
+	id := c.nextID.Add(1)
+	req, err := buildRequest(id, method, params)
+	if err != nil {
+		return Outcome{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Outcome{}, err
+	}
+	raw, outc := c.Do(body)
+	if raw == nil {
+		return outc, fmt.Errorf("rpc: every endpoint failed (last class %q)", outc.Class)
+	}
+	switch outc.Class {
+	case ClassOK, ClassDegraded:
+		var cr clientResponse
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			return outc, fmt.Errorf("rpc: decoding response: %w", err)
+		}
+		return outc, cr.unpack(out)
+	default:
+		var cr clientResponse
+		if err := json.Unmarshal(raw, &cr); err == nil && cr.Error != nil {
+			return outc, cr.Error
+		}
+		return outc, fmt.Errorf("rpc: request failed with class %q", outc.Class)
+	}
+}

@@ -55,6 +55,11 @@ const (
 	// ErrCodeOverloaded reports a request shed inside a batch when the
 	// server is saturated (whole-request shedding uses HTTP 429).
 	ErrCodeOverloaded = -32012
+	// ErrCodeUnavailable reports a request shed by an open circuit
+	// breaker: the route's storage or sync path is failing repeatedly and
+	// the server answers immediately instead of grinding against it. The
+	// Data member carries "circuit-open".
+	ErrCodeUnavailable = -32013
 )
 
 // Error is a typed JSON-RPC error object.
@@ -82,12 +87,18 @@ type Request struct {
 	Params  []json.RawMessage `json:"params,omitempty"`
 }
 
-// Response is one JSON-RPC response object.
+// Response is one JSON-RPC response object. Staleness is forkwatch's
+// degraded-mode extension: a replica serving more than its staleness
+// bound behind the primary tags every response with how many blocks it
+// lags instead of silently answering from an old head. Healthy serving
+// omits the member, so a caught-up replica's responses stay byte-
+// identical to the primary's.
 type Response struct {
-	JSONRPC string          `json:"jsonrpc"`
-	ID      json.RawMessage `json:"id"`
-	Result  any             `json:"result,omitempty"`
-	Error   *Error          `json:"error,omitempty"`
+	JSONRPC   string          `json:"jsonrpc"`
+	ID        json.RawMessage `json:"id"`
+	Result    any             `json:"result,omitempty"`
+	Error     *Error          `json:"error,omitempty"`
+	Staleness *uint64         `json:"staleness,omitempty"`
 }
 
 // reply builds a success response for req.
@@ -217,4 +228,3 @@ func (r *Request) CacheKey() string {
 	}
 	return b.String()
 }
-

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forkwatch/internal/metrics"
@@ -37,6 +38,17 @@ type ServerConfig struct {
 	RatePerSec float64
 	// RateBurst is the per-client bucket size (default 2×RatePerSec).
 	RateBurst int
+	// BreakerThreshold is how many consecutive storage failures on one
+	// route trip its circuit breaker; while open the route sheds with a
+	// typed ErrCodeUnavailable instead of grinding against a failing
+	// store (default 8; negative disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds before letting a
+	// single half-open probe through (default 2s).
+	BreakerCooldown time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight requests
+	// before giving up on them (default 5s).
+	DrainTimeout time.Duration
 	// Registry receives the server's metrics (default: a fresh registry).
 	Registry *metrics.Registry
 }
@@ -63,6 +75,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.RateBurst <= 0 {
 		c.RateBurst = int(2 * c.RatePerSec)
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -87,9 +108,14 @@ type Server struct {
 	reg     *metrics.Registry
 	limiter *rateLimiter
 
-	mu     sync.RWMutex
-	chains map[string]*Backend // route ("eth") -> backend
-	caches map[string]*respCache
+	mu       sync.RWMutex
+	chains   map[string]*Backend // route ("eth") -> backend
+	caches   map[string]*respCache
+	breakers map[string]*Breaker      // route -> storage circuit breaker
+	stale    map[string]StalenessFunc // route -> degraded-mode staleness source
+
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	jobs     chan *job
 	stopOnce sync.Once
@@ -97,19 +123,34 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// StalenessFunc reports how far one route's chain trails the head it
+// follows and whether that lag crosses the degraded line. The serving
+// path samples it per response: degraded routes tag every response with
+// the lag (see Response.Staleness) and flip the /readyz verdict.
+type StalenessFunc func() (lag uint64, degraded bool)
+
 // NewServer builds the server and starts its worker pool. Call Close to
 // stop the workers.
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
-		chains:  map[string]*Backend{},
-		caches:  map[string]*respCache{},
-		jobs:    make(chan *job, cfg.QueueDepth),
-		stopped: make(chan struct{}),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		limiter:  newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		chains:   map[string]*Backend{},
+		caches:   map[string]*respCache{},
+		breakers: map[string]*Breaker{},
+		stale:    map[string]StalenessFunc{},
+		jobs:     make(chan *job, cfg.QueueDepth),
+		stopped:  make(chan struct{}),
 	}
+	// Pre-register the replica-tier metrics so /debug/metrics always
+	// carries them: a standalone primary reports zeroes, a replica (or a
+	// failover client sharing the registry) moves them.
+	s.reg.Counter("rpc.failovers")
+	s.reg.Counter("rpc.hedged")
+	s.reg.Gauge("serve.degraded").Set(0)
+	s.reg.Gauge("sync.lag_blocks").Set(0)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -131,7 +172,20 @@ func (s *Server) RegisterChain(be *Backend) {
 	route := strings.ToLower(be.Name())
 	s.mu.Lock()
 	s.chains[route] = be
+	br, hasBreaker := s.breakers[route]
+	if !hasBreaker {
+		br = NewBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+		s.breakers[route] = br
+	}
 	s.mu.Unlock()
+	if !hasBreaker {
+		s.reg.GaugeFunc("rpc."+route+".breaker_open", func() float64 {
+			if br.Open() {
+				return 1
+			}
+			return 0
+		})
+	}
 	bc := be.Chain()
 	prefix := "storage." + route + "."
 	s.reg.GaugeFunc(prefix+"reads", func() float64 { return float64(bc.StorageStats().Reads) })
@@ -154,6 +208,92 @@ func (s *Server) RegisterChain(be *Backend) {
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// SetStaleness installs a route's staleness source (replicas wire their
+// sync-lag tracker here). A nil fn removes it.
+func (s *Server) SetStaleness(route string, fn StalenessFunc) {
+	s.mu.Lock()
+	if fn == nil {
+		delete(s.stale, route)
+	} else {
+		s.stale[route] = fn
+	}
+	s.mu.Unlock()
+}
+
+// stalenessFor returns the route's staleness source, or nil.
+func (s *Server) stalenessFor(route string) StalenessFunc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stale[route]
+}
+
+// breakerFor returns the route's circuit breaker (nil for unregistered
+// routes; a nil Breaker always allows).
+func (s *Server) breakerFor(route string) *Breaker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.breakers[route]
+}
+
+// Drain stops accepting chain requests (503 + Retry-After) and waits up
+// to DrainTimeout for the in-flight ones to finish, so a shutdown never
+// tears a response mid-write. /healthz, /readyz and /debug/metrics keep
+// answering — orchestration needs them during the drain. Idempotent.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.reg.Gauge("serve.draining").Set(1)
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// routeHealth is one route's entry in the /readyz report.
+type routeHealth struct {
+	Degraded  bool   `json:"degraded"`
+	Staleness uint64 `json:"staleness"`
+}
+
+// Readiness is the /readyz payload: Ready is true only when the server
+// is not draining and no route is degraded (stale beyond its bound or
+// shedding through an open breaker).
+type Readiness struct {
+	Ready    bool                   `json:"ready"`
+	Draining bool                   `json:"draining"`
+	Routes   map[string]routeHealth `json:"routes"`
+}
+
+// CheckReadiness evaluates the current readiness verdict.
+func (s *Server) CheckReadiness() Readiness {
+	rd := Readiness{Ready: true, Draining: s.draining.Load(), Routes: map[string]routeHealth{}}
+	if rd.Draining {
+		rd.Ready = false
+	}
+	s.mu.RLock()
+	routes := make([]string, 0, len(s.chains))
+	for route := range s.chains {
+		routes = append(routes, route)
+	}
+	s.mu.RUnlock()
+	for _, route := range routes {
+		h := routeHealth{}
+		if fn := s.stalenessFor(route); fn != nil {
+			h.Staleness, h.Degraded = fn()
+		}
+		if br := s.breakerFor(route); br.Open() {
+			h.Degraded = true
+		}
+		if h.Degraded {
+			rd.Ready = false
+		}
+		rd.Routes[route] = h
+	}
+	return rd
+}
 
 // cacheFor returns the per-(chain, method) response cache.
 func (s *Server) cacheFor(route, method string) *respCache {
@@ -184,6 +324,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "healthz":
 		fmt.Fprintln(w, "ok")
 		return
+	case "readyz":
+		rd := s.CheckReadiness()
+		status := http.StatusOK
+		if !rd.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, rd)
+		return
 	default:
 		s.mu.RLock()
 		be, ok := s.chains[path]
@@ -202,6 +350,16 @@ func (s *Server) serveChain(w http.ResponseWriter, r *http.Request, route string
 		http.Error(w, "JSON-RPC requires POST", http.StatusMethodNotAllowed)
 		return
 	}
+	// Draining: refuse new work before touching the queue, finish what is
+	// already in flight (tracked below).
+	if s.draining.Load() {
+		s.reg.Counter("rpc." + route + ".drained").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	s.reg.Counter("rpc." + route + ".http_requests").Inc()
 
 	// Per-client token bucket: shed before reading the body.
@@ -355,7 +513,7 @@ func (s *Server) call(ctx context.Context, route string, be *Backend, req *Reque
 	fn, ok := methods[req.Method]
 	if !ok {
 		s.reg.Counter(mName + ".errors").Inc()
-		return replyErr(req.ID, Errf(ErrCodeMethodNotFound, "method %q not found", req.Method))
+		return s.tagStaleness(route, replyErr(req.ID, Errf(ErrCodeMethodNotFound, "method %q not found", req.Method)))
 	}
 
 	// The generation is read BEFORE executing: if the head advances while
@@ -366,22 +524,55 @@ func (s *Server) call(ctx context.Context, route string, be *Backend, req *Reque
 	key := req.CacheKey()
 	if raw, ok := cache.get(key, gen); ok {
 		s.reg.Counter(mName + ".cache_hits").Inc()
-		return reply(req.ID, json.RawMessage(raw))
+		return s.tagStaleness(route, reply(req.ID, json.RawMessage(raw)))
 	}
 	s.reg.Counter(mName + ".cache_misses").Inc()
 
+	// Cache misses hit storage: behind an open circuit breaker they are
+	// shed with a typed error instead of grinding a failing store (cache
+	// hits above still serve — they cost the store nothing).
+	br := s.breakerFor(route)
+	if !br.Allow() {
+		s.reg.Counter(mName + ".errors").Inc()
+		s.reg.Counter("rpc." + route + ".breaker_shed").Inc()
+		e := Errf(ErrCodeUnavailable, "storage circuit open on %s, retry after cooldown", route)
+		e.Data = "circuit-open"
+		return s.tagStaleness(route, replyErr(req.ID, e))
+	}
+
 	result, rpcErr := safeCall(ctx, fn, be, req.Params)
 	if rpcErr != nil {
+		// Only dependency failures feed the breaker; caller mistakes
+		// (bad params, unknown blocks) say nothing about the store.
+		if rpcErr.Code == ErrCodeStorage {
+			br.Fail()
+		} else {
+			br.Success()
+		}
 		s.reg.Counter(mName + ".errors").Inc()
-		return replyErr(req.ID, rpcErr)
+		return s.tagStaleness(route, replyErr(req.ID, rpcErr))
 	}
+	br.Success()
 	enc, err := json.Marshal(result)
 	if err != nil {
 		s.reg.Counter(mName + ".errors").Inc()
-		return replyErr(req.ID, Errf(ErrCodeInternal, "marshalling result: %v", err))
+		return s.tagStaleness(route, replyErr(req.ID, Errf(ErrCodeInternal, "marshalling result: %v", err)))
 	}
 	cache.put(key, gen, enc)
-	return reply(req.ID, json.RawMessage(enc))
+	return s.tagStaleness(route, reply(req.ID, json.RawMessage(enc)))
+}
+
+// tagStaleness stamps a degraded route's lag onto the response envelope.
+// The response cache stores result bytes only, so the tag is computed
+// fresh per request: a replica that catches back up immediately stops
+// tagging, and its responses return to byte-identical with the primary.
+func (s *Server) tagStaleness(route string, resp *Response) *Response {
+	if fn := s.stalenessFor(route); fn != nil {
+		if lag, degraded := fn(); degraded {
+			resp.Staleness = &lag
+		}
+	}
+	return resp
 }
 
 // safeCall runs a method behind a panic fence: whatever a backend or a

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"forkwatch/internal/db"
+	"forkwatch/internal/db/faultkv"
+	"forkwatch/internal/faultnet"
+	"forkwatch/internal/metrics"
+	"forkwatch/internal/p2p"
+	"forkwatch/internal/rpc"
+	"forkwatch/internal/sim"
+)
+
+// replicaScenario is smallScenario on the in-memory backend: the replica
+// chaos run rebuilds stores from the wire, so persistence is not the
+// property under test and mem keeps the -race run fast.
+func replicaScenario() *sim.Scenario {
+	sc := sim.NewScenario(7, 1)
+	sc.Mode = sim.ModeFull
+	sc.DayLength = 3600
+	sc.Users = 40
+	sc.ETHTxPerDay = 30
+	sc.ETCTxPerDay = 12
+	return sc
+}
+
+// chaosTuneP2P shrinks the p2p resilience knobs for scaled-down chaos:
+// short enough to retry fast under 20% loss, lenient enough that the
+// injected faults never demote or ban the only primary.
+func chaosTuneP2P(c *p2p.Config) {
+	c.HandshakeTimeout = 500 * time.Millisecond
+	c.ReadTimeout = 2 * time.Second
+	c.WriteTimeout = 400 * time.Millisecond
+	c.SyncTimeout = 200 * time.Millisecond
+	c.DialBackoff = 25 * time.Millisecond
+	c.MaxDialBackoff = 250 * time.Millisecond
+	c.DialMaxFails = -1
+	c.DemoteScore = 5000
+	c.BanScore = 10000
+	c.BanWindow = time.Second
+}
+
+// swappableHandler lets a "process" restart behind a stable URL: the
+// failover client keeps its endpoint while the replica behind it is
+// crashed and replaced.
+type swappableHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappableHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swappableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// faultyReplicaKV builds a ReplicaConfig.WrapKV that layers injected
+// storage faults under a bounded retry, returning the fault handles so
+// the test can keep injection off while the store bootstraps.
+func faultyReplicaKV(seed int64) (func(string, db.KV) db.KV, *[]*faultkv.KV) {
+	var mu sync.Mutex
+	handles := &[]*faultkv.KV{}
+	wrap := func(chainName string, kv db.KV) db.KV {
+		fkv := faultkv.Wrap(kv, faultkv.Faults{
+			Seed:        seed + int64(len(chainName)),
+			ReadErrRate: 0.01,
+			StallEvery:  4000,
+			Stall:       5 * time.Millisecond,
+		})
+		fkv.SetEnabled(false)
+		mu.Lock()
+		*handles = append(*handles, fkv)
+		mu.Unlock()
+		// The retry absorbs most injected transients; the ones that leak
+		// through surface as typed -32010 errors and feed the breaker.
+		return db.NewRetry(fkv, 4)
+	}
+	return wrap, handles
+}
+
+// waitReplicaCaughtUp polls until every chain of r matches the primary's
+// heads exactly.
+func waitReplicaCaughtUp(t *testing.T, what string, r *Replica, primary *Result) {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		caught := true
+		for _, pc := range primary.Chains {
+			rl := r.Ledger(pc.Name)
+			if rl == nil || rl.BC.Head().Hash() != pc.Ledger.BC.Head().Hash() {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, pc := range primary.Chains {
+		if rl := r.Ledger(pc.Name); rl != nil {
+			t.Logf("%s: %s at %d, primary at %d", what, pc.Name,
+				rl.BC.Head().Number(), pc.Ledger.BC.Head().Number())
+		}
+	}
+	t.Fatalf("%s: replica never caught up with the primary", what)
+}
+
+// chaosReplicaStats is the artifact the chaos run writes for CI
+// ($CHAOS_REPLICA_OUT).
+type chaosReplicaStats struct {
+	Requests     int               `json:"requests"`
+	Successes    int               `json:"successes"`
+	SuccessRate  float64           `json:"success_rate"`
+	WrongAnswers int               `json:"wrong_answers"`
+	Failovers    uint64            `json:"failovers"`
+	Hedged       uint64            `json:"hedged"`
+	ByClass      map[string]uint64 `json:"by_class"`
+}
+
+// TestChaosReplicaServingPlane is the replica-tier acceptance test: a
+// primary and two replicas syncing over a 20%-loss faultnet transport
+// with injected storage faults, the client's preferred replica crashed
+// and restarted mid-run, a failover client hammering the pair
+// throughout. Every successful response must be byte-identical to the
+// primary's answer for the same request — degraded or not, the tier
+// never returns a wrong result — and the success rate must clear the
+// floor.
+func TestChaosReplicaServingPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity build plus chaos convergence")
+	}
+	sc := replicaScenario()
+	primary, err := Build(sc, rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer primary.Close()
+
+	// The wire: MemNet under faultnet — 20% frame loss plus jitter on
+	// every p2p connection in both directions.
+	mem := p2p.NewMemNet()
+	fnet := faultnet.New(mem, faultnet.Faults{
+		Seed:     42,
+		Latency:  time.Millisecond,
+		Jitter:   5 * time.Millisecond,
+		DropRate: 0.20,
+	})
+	base := Transport{Listen: mem.Listen, Dialer: mem}
+	primaryAddrs := make([]string, len(primary.Chains))
+	for i, c := range primary.Chains {
+		primaryAddrs[i] = "primary-" + c.Name
+	}
+	psrv, err := ServePrimary(primary, PrimaryConfig{
+		Addrs:     primaryAddrs,
+		Transport: FaultyTransport(base, fnet, "primary"),
+		TuneP2P:   chaosTuneP2P,
+	})
+	if err != nil {
+		t.Fatalf("ServePrimary: %v", err)
+	}
+	defer psrv.Close()
+
+	// shared survives replica1's crash/restart: both of its incarnations
+	// and the failover client count into it, so the /debug/metrics
+	// assertions below see the whole run.
+	shared := metrics.NewRegistry()
+	mkReplica := func(name string, faultSeed int64, reg *metrics.Registry) (*Replica, *[]*faultkv.KV) {
+		wrap, handles := faultyReplicaKV(faultSeed)
+		r, err := NewReplica(sc, ReplicaConfig{
+			Name:           name,
+			PrimaryAddrs:   primaryAddrs,
+			Transport:      FaultyTransport(base, fnet, name),
+			StalenessBound: 4,
+			PollInterval:   20 * time.Millisecond,
+			WrapKV:         wrap,
+			TuneP2P:        chaosTuneP2P,
+		}, rpc.ServerConfig{Registry: reg})
+		if err != nil {
+			t.Fatalf("NewReplica(%s): %v", name, err)
+		}
+		return r, handles
+	}
+	enable := func(handles *[]*faultkv.KV) {
+		for _, h := range *handles {
+			h.SetEnabled(true)
+		}
+	}
+
+	r1, f1 := mkReplica("replica1", 100, shared)
+	defer func() { r1.Close() }()
+	r2, f2 := mkReplica("replica2", 200, nil)
+	defer r2.Close()
+
+	// Initial convergence happens with storage faults off (the interesting
+	// fault window is the serving run, and sync-time injection only
+	// changes how long this wait takes); the wire faults are always on.
+	waitReplicaCaughtUp(t, "initial sync r1", r1, primary)
+	waitReplicaCaughtUp(t, "initial sync r2", r2, primary)
+	enable(f1)
+	enable(f2)
+
+	h1 := &swappableHandler{h: r1.Server}
+	ts1 := httptest.NewServer(h1)
+	defer ts1.Close()
+	ts2 := httptest.NewServer(r2.Server)
+	defer ts2.Close()
+
+	fc, err := rpc.NewFailoverClient(rpc.FailoverConfig{
+		Endpoints:      []string{ts1.URL + "/eth", ts2.URL + "/eth"},
+		HTTPClient:     &http.Client{Timeout: 3 * time.Second},
+		HedgeDelay:     150 * time.Millisecond,
+		HealthInterval: 25 * time.Millisecond,
+		Registry:       shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	// The request mix: read-path methods with concrete params at explicit
+	// heights, so the primary's answer for the identical body is the
+	// ground truth a correct replica must reproduce byte for byte.
+	ethHead := primary.Ledger("ETH").BC.Head().Number()
+	rng := rand.New(rand.NewSource(7))
+	nextBody := func(id int) string {
+		h := 1 + rng.Uint64()%ethHead
+		switch id % 3 {
+		case 0:
+			return fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"eth_getBlockByNumber","params":["0x%x", true]}`, id, h)
+		case 1:
+			return fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"fork_difficultyWindow","params":["0x1", "0x%x"]}`, id, h)
+		default:
+			return fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"fork_poolShares","params":["0x1", "0x%x"]}`, id, h)
+		}
+	}
+	type tagged struct {
+		Result    json.RawMessage `json:"result"`
+		Error     *rpc.Error      `json:"error"`
+		Staleness *uint64         `json:"staleness"`
+	}
+
+	const total = 400
+	successes, wrong := 0, 0
+	for i := 0; i < total; i++ {
+		switch i {
+		case total / 4:
+			// Crash the client's preferred replica mid-run: its server
+			// drains, its stores close; the endpoint answers 503 until the
+			// restart below, so the client must fail over to replica2.
+			r1.Close()
+		case total / 2:
+			// Restart it under the same name: fresh mem stores, full resync
+			// from the primary over the same faulty wire, same registry.
+			r1, f1 = mkReplica("replica1", 101, shared)
+			enable(f1)
+			h1.set(r1.Server)
+		}
+		body := nextBody(i)
+		raw, out := fc.Do([]byte(body))
+		if out.Class != rpc.ClassOK && out.Class != rpc.ClassDegraded {
+			continue // shed/unavailable: allowed, counted against the floor
+		}
+		successes++
+		var got tagged
+		if err := json.Unmarshal(raw, &got); err != nil || got.Error != nil || len(got.Result) == 0 {
+			wrong++
+			t.Errorf("request %d: success class %q with unusable body %s", i, out.Class, raw)
+			continue
+		}
+		want := post(t, primary.Server, "/eth", body)
+		var wantResp tagged
+		if err := json.Unmarshal(want, &wantResp); err != nil || wantResp.Error != nil {
+			t.Fatalf("request %d: primary refused the ground-truth request: %s", i, want)
+		}
+		if string(got.Result) != string(wantResp.Result) {
+			wrong++
+			t.Errorf("request %d (%s): replica result diverges from primary\n got: %s\nwant: %s",
+				i, body, got.Result, wantResp.Result)
+		}
+		if (out.Class == rpc.ClassDegraded) != (got.Staleness != nil) {
+			t.Errorf("request %d: class %q but staleness tag present=%v", i, out.Class, got.Staleness != nil)
+		}
+	}
+
+	stats := fc.Stats()
+	rate := float64(successes) / float64(total)
+	t.Logf("chaos replica run: %d/%d ok (%.1f%%), %d wrong, failovers=%d hedged=%d byClass=%v",
+		successes, total, 100*rate, wrong, stats.Failovers, stats.Hedged, stats.ByClass)
+	if wrong != 0 {
+		t.Fatalf("%d wrong answers; the tier must never return one", wrong)
+	}
+	if rate < 0.90 {
+		t.Fatalf("success rate %.2f below the 0.90 floor", rate)
+	}
+	if stats.Failovers == 0 {
+		t.Error("the crash window produced no failovers; the client never switched endpoints")
+	}
+
+	// The restarted replica reconverges to the primary's exact heads.
+	waitReplicaCaughtUp(t, "resync after restart", r1, primary)
+
+	// Satellite: the replica metrics surface. The per-replica gauges and
+	// the failover counters must all be present in the /debug/metrics
+	// snapshot, and the crash window must have moved rpc.failovers.
+	snap := shared.Snapshot()
+	for _, key := range []string{"sync.lag_blocks", "sync.eth.lag_blocks", "serve.degraded", "rpc.failovers", "rpc.hedged"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics snapshot is missing %q", key)
+		}
+	}
+	if v, ok := snap["rpc.failovers"].(uint64); !ok || v == 0 {
+		t.Errorf("rpc.failovers = %v, want the crash window's failovers counted", snap["rpc.failovers"])
+	}
+
+	if out := os.Getenv("CHAOS_REPLICA_OUT"); out != "" {
+		artifact, _ := json.MarshalIndent(chaosReplicaStats{
+			Requests:     total,
+			Successes:    successes,
+			SuccessRate:  rate,
+			WrongAnswers: wrong,
+			Failovers:    stats.Failovers,
+			Hedged:       stats.Hedged,
+			ByClass:      stats.ByClass,
+		}, "", "  ")
+		if err := os.WriteFile(out, append(artifact, '\n'), 0o644); err != nil {
+			t.Errorf("writing %s: %v", out, err)
+		}
+	}
+}
+
+// TestChaosReplicaDegradedSelfReport: a replica whose primary is
+// unreachable must say so — /readyz 503, every response tagged with a
+// staleness field, the serve.degraded gauge raised — instead of lying
+// with clean answers from a stale (here: genesis-only) head.
+func TestChaosReplicaDegradedSelfReport(t *testing.T) {
+	sc := replicaScenario()
+	mem := p2p.NewMemNet()
+	r, err := NewReplica(sc, ReplicaConfig{
+		Name:            "orphan",
+		PrimaryAddrs:    []string{"nowhere-ETH", "nowhere-ETC"},
+		Transport:       Transport{Listen: mem.Listen, Dialer: mem},
+		StalenessBound:  4,
+		PollInterval:    10 * time.Millisecond,
+		BreakerCooldown: 50 * time.Millisecond,
+		TuneP2P:         chaosTuneP2P,
+	}, rpc.ServerConfig{})
+	if err != nil {
+		t.Fatalf("NewReplica: %v", err)
+	}
+	defer r.Close()
+
+	// Readiness: degraded on every route, 503 on the wire.
+	rd := r.Server.CheckReadiness()
+	if rd.Ready {
+		t.Fatal("a replica that never saw its primary reported ready")
+	}
+	for route, h := range rd.Routes {
+		if !h.Degraded {
+			t.Errorf("route %s not degraded with an unreachable primary", route)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	r.Server.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503", rec.Code)
+	}
+
+	// Serving: answers still flow (the genesis head is real data) but
+	// every one carries the staleness tag.
+	raw := post(t, r.Server, "/eth", `{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}`)
+	var resp struct {
+		Result    json.RawMessage `json:"result"`
+		Staleness *uint64         `json:"staleness"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Result) != `"0x0"` {
+		t.Fatalf("orphan replica head = %s, want the genesis height", resp.Result)
+	}
+	if resp.Staleness == nil {
+		t.Fatalf("degraded response carries no staleness tag: %s", raw)
+	}
+
+	if v, ok := r.Server.Registry().Snapshot()["serve.degraded"].(float64); !ok || v != 1 {
+		t.Errorf("serve.degraded gauge = %v, want 1", v)
+	}
+
+	// The reconnect loop is paced — p2p's dial backoff plus the sync
+	// breaker — instead of hammering the dead address on every tick.
+	time.Sleep(400 * time.Millisecond)
+	dials, _ := r.Server.Registry().Snapshot()["sync.eth.dials"].(uint64)
+	if ticks := uint64(400 / 10); dials == 0 || dials >= ticks {
+		t.Errorf("%d dial attempts in 400ms of 10ms ticks; the reconnect loop is not paced", dials)
+	}
+}

@@ -10,6 +10,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"forkwatch/internal/chain"
 	"forkwatch/internal/db"
@@ -38,6 +39,41 @@ func (r *Result) Ledger(name string) *sim.FullLedger {
 	for _, c := range r.Chains {
 		if c.Name == name {
 			return c.Ledger
+		}
+	}
+	return nil
+}
+
+// Close shuts the archive down gracefully: drain the RPC server (stop
+// accepting, finish in-flight), stop the worker pool, then close every
+// chain's store so the disk backend flushes and fsyncs its segments —
+// the shutdown path never dies mid-commit.
+func (r *Result) Close() {
+	r.Server.Drain()
+	r.Server.Close()
+	for _, c := range r.Chains {
+		if err := closeKV(c.Ledger.BC.DB()); err != nil {
+			// The WAL already made the store crash-consistent; a failed
+			// flush costs recovery time on reopen, not data.
+			fmt.Printf("serve: closing %s store: %v\n", c.Name, err)
+		}
+	}
+}
+
+// closeKV walks a store's wrapper chain (retry, fault injection, cache)
+// to the first layer that can close, and closes it.
+func closeKV(kv db.KV) error {
+	for kv != nil {
+		if c, ok := kv.(io.Closer); ok {
+			return c.Close()
+		}
+		switch w := kv.(type) {
+		case interface{ Inner() db.KV }:
+			kv = w.Inner()
+		case interface{ Backend() db.KV }:
+			kv = w.Backend()
+		default:
+			return nil
 		}
 	}
 	return nil

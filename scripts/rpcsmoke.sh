@@ -1,22 +1,30 @@
 #!/bin/sh
 # rpcsmoke boots forkserve on a throwaway port, curls every served method
 # on both chain endpoints, checks /debug/metrics, and fails on any
-# malformed response. CI's RPC smoke job runs this; `make rpcsmoke`
-# locally does the same.
+# malformed response. It then boots a replica following the primary's
+# sync plane, waits for it to catch up, checks that the replica serves
+# the same answers plus the replica-tier metrics, and drains it with
+# SIGTERM. CI's RPC smoke job runs this; `make rpcsmoke` locally does
+# the same.
 set -eu
 
 ADDR="${RPCSMOKE_ADDR:-127.0.0.1:18545}"
 BASE="http://$ADDR"
+RADDR="${RPCSMOKE_REPLICA_ADDR:-127.0.0.1:18546}"
+RBASE="http://$RADDR"
+P2P="${RPCSMOKE_P2P:-127.0.0.1:18561,127.0.0.1:18562}"
 DAYS="${RPCSMOKE_DAYS:-1}"
 LOG="$(mktemp)"
+RLOG="$(mktemp)"
 GO="${GO:-go}"
 
 echo "rpcsmoke: building forkserve..."
 $GO build -o /tmp/forkserve ./cmd/forkserve
 
-/tmp/forkserve -days "$DAYS" -addr "$ADDR" >"$LOG" 2>&1 &
+/tmp/forkserve -days "$DAYS" -addr "$ADDR" -p2p "$P2P" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
+RPID=""
+trap 'kill $PID 2>/dev/null || true; [ -n "$RPID" ] && kill $RPID 2>/dev/null || true; rm -f "$LOG" "$RLOG"' EXIT
 
 echo "rpcsmoke: waiting for $BASE/healthz..."
 i=0
@@ -100,5 +108,84 @@ for key in 'rpc.eth.eth_blockNumber.requests' 'rpc.etc.eth_blockNumber.requests'
     esac
 done
 echo "rpcsmoke: ok   /debug/metrics"
+
+# Replica tier: boot a replica following the primary's sync plane, wait
+# for /readyz to flip to 200 (readiness implies the head sync caught up
+# within the staleness bound), then require byte-identical answers and
+# the replica-tier gauges.
+echo "rpcsmoke: booting replica following $P2P..."
+/tmp/forkserve -days "$DAYS" -addr "$RADDR" -follow "$P2P" -replica-name smoke >"$RLOG" 2>&1 &
+RPID=$!
+
+echo "rpcsmoke: waiting for $RBASE/readyz..."
+i=0
+until curl -sf "$RBASE/readyz" >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -gt 120 ]; then
+        echo "rpcsmoke: replica never became ready; log:" >&2
+        cat "$RLOG" >&2
+        exit 1
+    fi
+    if ! kill -0 $RPID 2>/dev/null; then
+        echo "rpcsmoke: replica exited early; log:" >&2
+        cat "$RLOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+echo "rpcsmoke: ok   replica /readyz"
+
+# A caught-up replica must answer exactly what the primary answers.
+for chain in eth etc; do
+    for body in \
+        '{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}' \
+        '{"jsonrpc":"2.0","id":1,"method":"eth_getBlockByNumber","params":["0x1",true]}' \
+        '{"jsonrpc":"2.0","id":1,"method":"fork_difficultyWindow","params":["0x1","0x20"]}'; do
+        want="$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "$BASE/$chain")"
+        got="$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "$RBASE/$chain")"
+        if [ "$want" != "$got" ]; then
+            echo "rpcsmoke: FAIL replica $chain answer diverges from primary" >&2
+            echo "  primary: $want" >&2
+            echo "  replica: $got" >&2
+            exit 1
+        fi
+    done
+    echo "rpcsmoke: ok   replica /$chain matches primary"
+done
+
+rmetrics="$(curl -sf "$RBASE/debug/metrics")"
+for key in 'sync.lag_blocks' 'sync.eth.lag_blocks' 'serve.degraded' 'rpc.failovers' 'rpc.hedged'; do
+    case "$rmetrics" in
+        *"$key"*) ;;
+        *) echo "rpcsmoke: FAIL replica metrics snapshot missing $key" >&2; exit 1 ;;
+    esac
+done
+echo "rpcsmoke: ok   replica /debug/metrics"
+
+# Graceful drain: SIGTERM must finish in-flight work, flush the stores
+# and exit 0 with the clean-shutdown log line.
+kill -TERM $RPID
+i=0
+while kill -0 $RPID 2>/dev/null; do
+    i=$((i+1))
+    if [ "$i" -gt 30 ]; then
+        echo "rpcsmoke: replica did not drain within 30s; log:" >&2
+        cat "$RLOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+wait $RPID 2>/dev/null || {
+    echo "rpcsmoke: replica exited nonzero on SIGTERM; log:" >&2
+    cat "$RLOG" >&2
+    exit 1
+}
+RPID=""
+case "$(cat "$RLOG")" in
+    *'drained and closed cleanly'*) echo "rpcsmoke: ok   replica graceful drain" ;;
+    *) echo "rpcsmoke: FAIL replica drain log missing clean-shutdown line:" >&2
+       cat "$RLOG" >&2
+       exit 1 ;;
+esac
 
 echo "rpcsmoke: PASS"

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet partitionlint matrix check bench benchcmp profile fuzz chaos chaos-disk chaos-replica rpcsmoke loadbench clean
+.PHONY: all build test race vet partitionlint matrix check bench benchcmp profile fuzz chaos chaos-disk chaos-replica rpcsmoke live-smoke loadbench clean
 
 all: build
 
@@ -112,16 +112,27 @@ profile:
 rpcsmoke:
 	GO="$(GO)" sh scripts/rpcsmoke.sh
 
+# Live measurement plane smoke: boot forkserve -live, follow the event
+# feed over RPC with forkanalyze -follow, and require the streamed CSV
+# tables byte-identical to a batch forksim export of the same scenario.
+# The convergence diff (empty on success) lands in LIVESMOKE_OUT; CI
+# uploads it as an artifact.
+LIVESMOKE_OUT ?= live-smoke-out
+
+live-smoke:
+	GO="$(GO)" LIVESMOKE_OUT="$(LIVESMOKE_OUT)" sh scripts/livesmoke.sh
+
 # Serving-layer load benchmark: closed-loop generator against an
 # in-process archive; throughput and latency percentiles land in
 # LOAD_JSON for the PR record.
 LOAD_JSON ?= BENCH_pr4.json
 LOAD_DURATION ?= 5s
 LOAD_CLIENTS ?= 64
+LOAD_SUBS ?= 8
 
 loadbench:
 	$(GO) run ./cmd/forkload -selfserve -days 1 -duration $(LOAD_DURATION) \
-		-clients $(LOAD_CLIENTS) -out $(LOAD_JSON)
+		-clients $(LOAD_CLIENTS) -subscribers $(LOAD_SUBS) -out $(LOAD_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -4,10 +4,20 @@
 // Chain names are recovered from the export itself, so N-way exports
 // analyze just like the historical pair.
 //
+// With -follow it instead attaches to a live forkserve archive and
+// replays the measurement feed as it happens: the streaming analyzer
+// maintains every O1–O6 observable incrementally, prints a rolling
+// per-chain line at each day barrier, and — when the run publishes its
+// EOF marker — prints the same figure summary and (with -out) writes
+// CSV tables byte-identical to what a batch export of the same run
+// would produce.
+//
 // Usage:
 //
 //	forksim -days 270 -out results/
 //	forkanalyze -dir results/
+//	forkserve -days 3 -live &
+//	forkanalyze -follow http://localhost:8545 -out results/
 package main
 
 import (
@@ -30,8 +40,17 @@ func main() {
 		dir       = flag.String("dir", ".", "directory holding blocks.csv and txs.csv")
 		epoch     = flag.Uint64("epoch", 1469020840, "fork unix time (day-0 anchor)")
 		dayLength = flag.Uint64("daylen", 86_400, "seconds per simulated day in the export")
+		follow    = flag.String("follow", "", "forkserve URL to follow live instead of reading an export (base URL discovers a route via /readyz; include a /route to pin one)")
+		out       = flag.String("out", "", "with -follow: directory to write the converged blocks.csv/txs.csv/days.csv into at EOF")
 	)
 	flag.Parse()
+
+	if *follow != "" {
+		if err := followLive(*follow, *out, *epoch); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	blocksF, err := os.Open(filepath.Join(*dir, "blocks.csv"))
 	if err != nil {

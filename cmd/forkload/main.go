@@ -20,6 +20,12 @@
 //	forkload -selfserve -duration 5s -clients 64        # in-process target
 //	forkload -url http://127.0.0.1:8545 -duration 10s   # external forkserve
 //	forkload -urls http://127.0.0.1:8546,http://127.0.0.1:8547 -hedge 100ms
+//	forkload -selfserve -subscribers 16                 # subscription mix
+//
+// -subscribers adds a live-feed mix on top of the read load: each
+// subscriber loops fork_subscribe → fork_pollSubscription (replaying
+// the feed from cursor 0 to its EOF marker) → fork_unsubscribe until
+// the deadline, and the report gains sub_events/sub_gaps/sub_errors.
 package main
 
 import (
@@ -59,6 +65,10 @@ type benchReport struct {
 	Failovers    uint64           `json:"failovers"`
 	Hedged       uint64           `json:"hedged"`
 	CacheHitRate float64          `json:"cache_hit_rate"`
+	Subscribers  int              `json:"subscribers,omitempty"`
+	SubEvents    int64            `json:"sub_events,omitempty"`
+	SubGaps      int64            `json:"sub_gaps,omitempty"`
+	SubErrors    int64            `json:"sub_errors,omitempty"`
 }
 
 // workerStats is one client's tally, merged after the run. Latencies
@@ -83,6 +93,8 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "hedge a request to the next replica if the first has not answered within this delay (0 = off; needs >1 URL)")
 		out       = flag.String("out", "BENCH_pr4.json", "JSON report path (- for stdout)")
 		chainsCSV = flag.String("chains", "eth,etc", "comma-separated chain routes to load on an external target (selfserve discovers its own)")
+		subs      = flag.Int("subscribers", 0, "subscriber goroutines riding along: each loops fork_subscribe → fork_pollSubscription → fork_unsubscribe against the live feed for the whole run")
+		substream = flag.String("substream", "events", "stream the subscriber mix follows (events, newHeads, newDays, pendingEchoes)")
 	)
 	flag.Parse()
 
@@ -157,9 +169,24 @@ func main() {
 
 	bodies := workload(heads)
 	stats := make([]workerStats, *clients)
+	substats := make([]subStats, *subs)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(*duration)
+	// The subscriber mix: each goroutine pins to one base URL (poll
+	// subscriptions are server-side state) and replays the live feed from
+	// cursor 0 to EOF in a loop, re-subscribing each round — steady
+	// subscription churn plus sustained poll traffic alongside the read
+	// load.
+	for s := 0; s < *subs; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			base := bases[s%len(bases)]
+			route := routes[s%len(routes)]
+			subscriberLoop(hc, base+"/"+strings.TrimPrefix(route, "/"), *substream, deadline, &substats[s])
+		}(s)
+	}
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -193,6 +220,16 @@ func main() {
 		rep.Hedged += s.Hedged
 	}
 	rep.CacheHitRate = scrapeHitRate(bases[0])
+	rep.Subscribers = *subs
+	for i := range substats {
+		rep.SubEvents += substats[i].events
+		rep.SubGaps += substats[i].gaps
+		rep.SubErrors += substats[i].errors
+	}
+	if *subs > 0 {
+		log.Printf("%d subscribers streamed %d events (%d gaps, %d errors)",
+			*subs, rep.SubEvents, rep.SubGaps, rep.SubErrors)
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -221,6 +258,81 @@ func main() {
 type loadReq struct {
 	path string
 	body string
+}
+
+// subStats is one subscriber goroutine's tally.
+type subStats struct {
+	events int64
+	gaps   int64
+	errors int64
+}
+
+// subCall issues one JSON-RPC call and decodes the result envelope.
+func subCall(hc *http.Client, url, method, params string, result any) error {
+	body := fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":"%s","params":%s}`, method, params)
+	resp, err := hc.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Result json.RawMessage `json:"result"`
+		Error  *rpc.Error      `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return err
+	}
+	if envelope.Error != nil {
+		return envelope.Error
+	}
+	if result != nil {
+		return json.Unmarshal(envelope.Result, result)
+	}
+	return nil
+}
+
+// subscriberLoop replays the live feed from cursor 0 to the run's EOF
+// marker through a poll subscription, over and over until the deadline:
+// subscription registration, polling and teardown all stay hot for the
+// whole run.
+func subscriberLoop(hc *http.Client, routeURL, stream string, deadline time.Time, st *subStats) {
+	for time.Now().Before(deadline) {
+		var sub struct {
+			Subscription string `json:"subscription"`
+		}
+		if err := subCall(hc, routeURL, "fork_subscribe", fmt.Sprintf(`["%s",0]`, stream), &sub); err != nil {
+			st.errors++
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		for time.Now().Before(deadline) {
+			var poll struct {
+				Events []struct {
+					Kind string `json:"kind"`
+				} `json:"events"`
+				Gap bool `json:"gap"`
+			}
+			if err := subCall(hc, routeURL, "fork_pollSubscription",
+				fmt.Sprintf(`["%s",4096,200]`, sub.Subscription), &poll); err != nil {
+				st.errors++
+				break
+			}
+			st.events += int64(len(poll.Events))
+			if poll.Gap {
+				st.gaps++
+			}
+			done := false
+			for _, ev := range poll.Events {
+				if ev.Kind == "eof" {
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+		_ = subCall(hc, routeURL, "fork_unsubscribe", fmt.Sprintf(`["%s"]`, sub.Subscription), nil)
+	}
 }
 
 // workload builds the request mix: head polls dominate (the cacheable

@@ -14,6 +14,15 @@
 //	forkserve -days 1 -storage-faults "seed=7,readerr=0.2"  # chaos serving
 //	forkserve -days 2 -storage disk -datadir /var/lib/forkwatch
 //	forkserve -days 1 -partitions 'ONE:share=0;TWO:share=0.2;TRI:share=0.1'
+//	forkserve -days 3 -live -pace 2s          # serve while simulating
+//
+// Every boot shape attaches the live measurement plane: fork_subscribe /
+// fork_pollSubscription / fork_liveEvents / fork_liveSnapshot on each
+// route, plus the persistent NDJSON stream at GET /<route>/stream. With
+// -live the scenario simulates in the background while the archive
+// serves, so subscribers (forkanalyze -follow) watch the partition
+// unfold and receive the feed's EOF when the run completes; -pace slows
+// the run to human speed.
 //
 // With -storage disk the simulated chains persist in -datadir; a later
 // run against the same directory reopens the archive (WAL redo, no
@@ -52,6 +61,14 @@ import (
 	"forkwatch/internal/sim"
 )
 
+// dayPacer slows a -live run down to watchable speed: it sleeps after
+// every simulated day, on the engine goroutine, so the feed's day
+// barrier is also the pacing barrier.
+type dayPacer time.Duration
+
+func (p dayPacer) OnBlock(*sim.BlockEvent) {}
+func (p dayPacer) OnDay(*sim.DayEvent)     { time.Sleep(time.Duration(p)) }
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("forkserve: ")
@@ -70,6 +87,9 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request execution deadline")
 		par     = flag.Int("parallelism", 0, "simulation partition-stepping goroutines: 0 = GOMAXPROCS, 1 = serial; served chains are identical either way")
 		parts   = flag.String("partitions", "", `N-way partition spec "NAME:key=v,...;NAME:key=v,..." (empty = historical two-way split)`)
+
+		liveRun = flag.Bool("live", false, "serve WHILE the scenario simulates: subscribers on fork_subscribe//<route>/stream watch the partition unfold, and the feed publishes EOF when the run ends")
+		pace    = flag.Duration("pace", 0, "with -live, sleep this long after each simulated day so followers can watch in something like real time (0 = run flat out)")
 
 		p2pAddrs   = flag.String("p2p", "", "primary mode: comma-separated p2p listen addresses, one per partition in order, for replicas to sync from")
 		follow     = flag.String("follow", "", "replica mode: comma-separated primary p2p addresses, one per partition in order; the scenario flags must match the primary's")
@@ -128,6 +148,27 @@ func main() {
 		}
 		res, shutdown = &rep.Result, rep.Close
 		log.Printf("replica %q following %s (staleness bound %d blocks)", *repName, *follow, *staleBound)
+	} else if *liveRun {
+		if *p2pAddrs != "" {
+			log.Fatal("-live and -p2p are mutually exclusive (the sync plane serves a finished archive)")
+		}
+		built, run, err := serve.BuildLive(sc, srvCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *pace > 0 {
+			built.Engine.AddObserver(dayPacer(*pace))
+		}
+		res, shutdown = built, built.Close
+		go func() {
+			start := time.Now()
+			if err := run(); err != nil {
+				log.Printf("live run failed: %v", err)
+				return
+			}
+			log.Printf("live run complete after %s: feed published EOF, archive now final", time.Since(start).Round(time.Millisecond))
+		}()
+		log.Printf("simulating %d days live (seed %d); subscribe while it runs", *days, *seed)
 	} else {
 		if *storage == forkwatch.StorageDisk {
 			log.Printf("opening archive from %s (simulating %d days first if empty)...", *datadir, *days)

@@ -48,6 +48,41 @@ var blockHeader = []string{"chain", "number", "hash", "time", "difficulty", "coi
 // txHeader is the CSV header of the transaction table.
 var txHeader = []string{"chain", "block", "blocktime", "hash", "from", "nonce", "chainid", "contract"}
 
+// BlockHeader returns the block-table CSV header.
+func BlockHeader() []string { return blockHeader }
+
+// TxHeader returns the transaction-table CSV header.
+func TxHeader() []string { return txHeader }
+
+// EncodeBlockRow renders one block row exactly as WriteBlocks does — the
+// shared formatting layer that lets the streaming analyzer's CSVs
+// converge byte-identically with the batch export.
+func EncodeBlockRow(r BlockRow) []string {
+	return []string{
+		r.Chain,
+		strconv.FormatUint(r.Number, 10),
+		r.Hash.Hex(),
+		strconv.FormatUint(r.Time, 10),
+		r.Difficulty.String(),
+		r.Coinbase.Hex(),
+		strconv.Itoa(r.TxCount),
+	}
+}
+
+// EncodeTxRow renders one transaction row exactly as WriteTxs does.
+func EncodeTxRow(r TxRow) []string {
+	return []string{
+		r.Chain,
+		strconv.FormatUint(r.BlockNumber, 10),
+		strconv.FormatUint(r.BlockTime, 10),
+		r.Hash.Hex(),
+		r.From.Hex(),
+		strconv.FormatUint(r.Nonce, 10),
+		strconv.FormatUint(r.ChainID, 10),
+		strconv.FormatBool(r.Contract),
+	}
+}
+
 // WriteBlocks writes block rows as CSV.
 func WriteBlocks(w io.Writer, rows []BlockRow) error {
 	cw := csv.NewWriter(w)
@@ -55,16 +90,7 @@ func WriteBlocks(w io.Writer, rows []BlockRow) error {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{
-			r.Chain,
-			strconv.FormatUint(r.Number, 10),
-			r.Hash.Hex(),
-			strconv.FormatUint(r.Time, 10),
-			r.Difficulty.String(),
-			r.Coinbase.Hex(),
-			strconv.Itoa(r.TxCount),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(EncodeBlockRow(r)); err != nil {
 			return err
 		}
 	}
@@ -79,17 +105,7 @@ func WriteTxs(w io.Writer, rows []TxRow) error {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{
-			r.Chain,
-			strconv.FormatUint(r.BlockNumber, 10),
-			strconv.FormatUint(r.BlockTime, 10),
-			r.Hash.Hex(),
-			r.From.Hex(),
-			strconv.FormatUint(r.Nonce, 10),
-			strconv.FormatUint(r.ChainID, 10),
-			strconv.FormatBool(r.Contract),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(EncodeTxRow(r)); err != nil {
 			return err
 		}
 	}
@@ -396,6 +412,21 @@ func dayHeader(chains []string) []string {
 	return out
 }
 
+// DayHeader returns the day-table CSV header for a chain list.
+func DayHeader(chains []string) []string { return dayHeader(chains) }
+
+// EncodeDayRow renders one day row exactly as WriteDays does.
+func EncodeDayRow(r DayRow) []string {
+	rec := []string{strconv.Itoa(r.Day)}
+	for _, v := range r.USD {
+		rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	for _, v := range r.Hashrate {
+		rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return rec
+}
+
 // WriteDays writes day rows as CSV. All rows must share one chain list
 // (one simulation's partitions).
 func WriteDays(w io.Writer, rows []DayRow) error {
@@ -411,14 +442,7 @@ func WriteDays(w io.Writer, rows []DayRow) error {
 		if len(r.Chains) != len(chains) || len(r.USD) != len(chains) || len(r.Hashrate) != len(chains) {
 			return fmt.Errorf("export: day row %d has %d chains, want %d", i, len(r.Chains), len(chains))
 		}
-		rec := []string{strconv.Itoa(r.Day)}
-		for _, v := range r.USD {
-			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
-		}
-		for _, v := range r.Hashrate {
-			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(EncodeDayRow(r)); err != nil {
 			return err
 		}
 	}

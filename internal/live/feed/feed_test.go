@@ -1,0 +1,150 @@
+package feed
+
+import (
+	"testing"
+
+	"forkwatch/internal/metrics"
+)
+
+// TestFeedCursorResumeAndGap exercises the replay ring: resuming from a
+// cursor, and gap detection once the cursor falls off the ring.
+func TestFeedCursorResumeAndGap(t *testing.T) {
+	f := NewFeed(nil, 8)
+	head := func(n uint64) Event {
+		return Event{Kind: KindHead, Head: &HeadEvent{Chain: "ONE", Number: n, Difficulty: "1"}}
+	}
+	for n := uint64(0); n < 4; n++ {
+		f.Publish(head(n))
+	}
+	evs, next, gap := f.ReadSince(StreamEvents, "", 0, 0)
+	if gap || len(evs) != 4 || next != 4 {
+		t.Fatalf("read = %d events, next %d, gap %v", len(evs), next, gap)
+	}
+	// Resume from the returned cursor: nothing new.
+	evs, next2, gap := f.ReadSince(StreamEvents, "", next, 0)
+	if len(evs) != 0 || next2 != next || gap {
+		t.Fatalf("resume read = %d events, next %d", len(evs), next2)
+	}
+	// Overflow the ring: cursor 0 is now behind the ring start.
+	for n := uint64(4); n < 20; n++ {
+		f.Publish(head(n))
+	}
+	evs, _, gap = f.ReadSince(StreamEvents, "", 0, 0)
+	if !gap {
+		t.Fatal("expected gap after ring overflow")
+	}
+	if len(evs) != 8 {
+		t.Fatalf("post-gap read = %d events, want the ring's 8", len(evs))
+	}
+
+	// Poll subscriptions resume server-side.
+	id, cur := f.SubscribePoll(StreamNewHeads, "ONE", nil)
+	if cur != 20 {
+		t.Fatalf("fresh subscription cursor = %d", cur)
+	}
+	f.Publish(head(20))
+	evs, cur, gap, lag, ok := f.Poll(id, 10)
+	if !ok || gap || len(evs) != 1 || cur != 21 || lag != 0 {
+		t.Fatalf("poll = %d events, cursor %d, gap %v, lag %d, ok %v", len(evs), cur, gap, lag, ok)
+	}
+	if !f.Unsubscribe(id) {
+		t.Fatal("unsubscribe failed")
+	}
+	if _, _, _, _, ok := f.Poll(id, 10); ok {
+		t.Fatal("poll after unsubscribe should fail")
+	}
+}
+
+// TestSlowSubscriberDropOldest pins the drop-oldest policy: a full push
+// buffer loses its OLDEST events, the drop counter advances, and the
+// publisher never blocks.
+func TestSlowSubscriberDropOldest(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := NewFeed(reg, 64)
+	sub := f.SubscribePush(StreamNewHeads, "", 4)
+	for n := uint64(0); n < 10; n++ {
+		f.Publish(Event{Kind: KindHead, Head: &HeadEvent{Chain: "ONE", Number: n, Difficulty: "1"}})
+	}
+	if got := sub.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	// The 4 buffered events are the NEWEST ones, in order.
+	for want := uint64(6); want < 10; want++ {
+		ev := <-sub.C
+		if ev.Head.Number != want {
+			t.Fatalf("buffered head = %d, want %d", ev.Head.Number, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap["live.events_dropped"].(uint64); v != 6 {
+		t.Errorf("live.events_dropped = %v", snap["live.events_dropped"])
+	}
+	if v, _ := snap["live.subscribers"].(int64); v != 1 {
+		t.Errorf("live.subscribers = %v", snap["live.subscribers"])
+	}
+	sub.Close()
+	if v, _ := reg.Snapshot()["live.subscribers"].(int64); v != 0 {
+		t.Errorf("live.subscribers after close = %v", v)
+	}
+}
+
+// TestFeedLagGauge checks the per-stream lag gauge tracks the worst
+// consumer backlog.
+func TestFeedLagGauge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := NewFeed(reg, 64)
+	id, _ := f.SubscribePoll(StreamEvents, "", nil)
+	for n := uint64(0); n < 5; n++ {
+		f.Publish(Event{Kind: KindHead, Head: &HeadEvent{Chain: "ONE", Number: n, Difficulty: "1"}})
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap["live.events.lag"].(float64); v != 5 {
+		t.Errorf("live.events.lag = %v, want 5", snap["live.events.lag"])
+	}
+	if _, _, _, _, ok := f.Poll(id, 100); !ok {
+		t.Fatal("poll failed")
+	}
+	if v, _ := reg.Snapshot()["live.events.lag"].(float64); v != 0 {
+		t.Errorf("lag after drain = %v", v)
+	}
+}
+
+// TestMatchAndValidate pins the stream-matching and validation tables.
+func TestMatchAndValidate(t *testing.T) {
+	h := Event{Kind: KindHead, Head: &HeadEvent{Chain: "ONE"}}
+	d := Event{Kind: KindDay, Day: &DayEvent{}}
+	e := Event{Kind: KindEcho, Echo: &EchoEvent{}}
+	eof := Event{Kind: KindEOF}
+	cases := []struct {
+		stream, chain string
+		ev            Event
+		want          bool
+	}{
+		{StreamEvents, "", h, true},
+		{StreamEvents, "", d, true},
+		{StreamNewHeads, "", h, true},
+		{StreamNewHeads, "ONE", h, true},
+		{StreamNewHeads, "TWO", h, false},
+		{StreamNewHeads, "", d, false},
+		{StreamNewDays, "", d, true},
+		{StreamNewDays, "", h, false},
+		{StreamEchoes, "", e, true},
+		{StreamEchoes, "", h, false},
+		{StreamEchoes, "", eof, true},
+		{StreamNewHeads, "TWO", eof, true},
+	}
+	for i, c := range cases {
+		if got := Match(c.stream, c.chain, c.ev); got != c.want {
+			t.Errorf("case %d: Match(%s,%s,%s) = %v", i, c.stream, c.chain, c.ev.Kind, got)
+		}
+	}
+	if err := (Event{Kind: KindHead}).Validate(); err == nil {
+		t.Error("head without payload should not validate")
+	}
+	if err := (Event{Kind: "nope"}).Validate(); err == nil {
+		t.Error("unknown kind should not validate")
+	}
+	if !ValidStream(StreamEchoes) || ValidStream("bogus") {
+		t.Error("ValidStream table wrong")
+	}
+}

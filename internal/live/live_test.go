@@ -1,0 +1,212 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"forkwatch/internal/export"
+	"forkwatch/internal/live/feed"
+	"forkwatch/internal/sim"
+)
+
+// threePartScenario is a small fast-mode three-partition run with
+// enough cross-partition traffic to produce echoes.
+func threePartScenario(seed int64, days, parallelism int) *sim.Scenario {
+	sc := sim.NewScenario(seed, days)
+	sc.DayLength = 3600
+	sc.Users = 30
+	sc.Parallelism = parallelism
+	sc.Partitions = []sim.PartitionSpec{
+		{Name: "ONE", ChainID: 1, DAOSupport: true, Price0: 10, RallyShare: 1,
+			PrimaryFraction: 0.5, TxPerDay: 30, EIP155Day: -1, Pools: 20, PoolAlpha: 1, PoolCap: 0.24},
+		{Name: "TWO", ChainID: 2, ShareAtFork: 0.2, Price0: 5, RallyShare: 1,
+			PrimaryFraction: 0.3, TxPerDay: 12, EIP155Day: -1, Pools: 15, PoolAlpha: 1.2, PoolCap: 0.24},
+		{Name: "TRI", ChainID: 3, ShareAtFork: 0.1, Price0: 2, RallyShare: 1,
+			PrimaryFraction: 0.1, TxPerDay: 8, EIP155Day: -1, Pools: 10, PoolAlpha: 1.3, PoolCap: 0.3},
+	}
+	return sc
+}
+
+// batchCSVs runs the batch exporter over a Recorder's capture.
+func batchCSVs(t *testing.T, rec *export.Recorder) (blocks, txs, days []byte) {
+	t.Helper()
+	var b, x, d bytes.Buffer
+	if err := export.WriteBlocks(&b, rec.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.WriteTxs(&x, rec.Txs); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.WriteDays(&d, rec.Days); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), x.Bytes(), d.Bytes()
+}
+
+func diffLine(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d lines", len(la), len(lb))
+}
+
+// TestInProcessConvergence attaches both the batch Recorder and the
+// live analyzer to the same engine and asserts the streamed CSV tables
+// are byte-identical to the batch export — at parallelism 1 and N.
+func TestInProcessConvergence(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			sc := threePartScenario(11, 3, par)
+			eng, err := sim.New(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &export.Recorder{}
+			an := NewAnalyzer(sc.Epoch, Options{})
+			eng.AddObserver(rec)
+			eng.AddObserver(an)
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.Blocks) == 0 || len(rec.Txs) == 0 || len(rec.Days) == 0 {
+				t.Fatal("recorder captured nothing")
+			}
+			wb, wx, wd := batchCSVs(t, rec)
+			if got := an.BlocksCSV(); !bytes.Equal(got, wb) {
+				t.Errorf("blocks diverge: %s", diffLine(got, wb))
+			}
+			if got := an.TxsCSV(); !bytes.Equal(got, wx) {
+				t.Errorf("txs diverge: %s", diffLine(got, wx))
+			}
+			if got := an.DaysCSV(); !bytes.Equal(got, wd) {
+				t.Errorf("days diverge: %s", diffLine(got, wd))
+			}
+			snap := an.Snapshot()
+			if len(snap.Chains) != 3 {
+				t.Fatalf("snapshot chains = %d", len(snap.Chains))
+			}
+			var echoes uint64
+			for _, c := range snap.Chains {
+				if c.Blocks == 0 {
+					t.Errorf("chain %s saw no blocks", c.Chain)
+				}
+				echoes += c.Echoes
+			}
+			if echoes == 0 {
+				t.Error("no cross-partition echoes observed (scenario should produce some)")
+			}
+			if len(snap.Correlations) != 3 {
+				t.Errorf("pair correlations = %d, want 3", len(snap.Correlations))
+			}
+		})
+	}
+}
+
+// TestWireRoundTripConvergence pushes every event through a JSON
+// marshal/unmarshal cycle — the wire — into a second analyzer, and
+// asserts it converges byte-identically with the in-process one.
+func TestWireRoundTripConvergence(t *testing.T) {
+	sc := threePartScenario(12, 2, 2)
+	eng, err := sim.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &export.Recorder{}
+	plane := NewPlane(sc.Epoch, Options{}, nil)
+	eng.AddObserver(rec)
+	eng.AddObserver(plane)
+
+	sub := plane.Feed.SubscribePush(feed.StreamEvents, "", 1<<20)
+	remote := NewAnalyzer(sc.Epoch, Options{})
+	done := make(chan error, 1)
+	go func() {
+		for ev := range sub.C {
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				done <- err
+				return
+			}
+			var wire feed.Event
+			if err := json.Unmarshal(raw, &wire); err != nil {
+				done <- err
+				return
+			}
+			if err := remote.Apply(wire); err != nil {
+				done <- err
+				return
+			}
+			if wire.Kind == feed.KindEOF {
+				done <- nil
+				return
+			}
+		}
+		done <- fmt.Errorf("feed closed before EOF")
+	}()
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	plane.Complete()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("events dropped on an unbounded-enough buffer: %d", sub.Dropped())
+	}
+
+	wb, wx, wd := batchCSVs(t, rec)
+	for _, cmp := range []struct {
+		name      string
+		got, want []byte
+	}{
+		{"blocks", remote.BlocksCSV(), wb},
+		{"txs", remote.TxsCSV(), wx},
+		{"days", remote.DaysCSV(), wd},
+	} {
+		if !bytes.Equal(cmp.got, cmp.want) {
+			t.Errorf("%s diverge over the wire: %s", cmp.name, diffLine(cmp.got, cmp.want))
+		}
+	}
+	// The remote snapshot must agree with the local one on the derived
+	// observables too (it re-derives echoes rather than trusting them).
+	local, dist := plane.Analyzer.Snapshot(), remote.Snapshot()
+	for i := range local.Chains {
+		if local.Chains[i].Echoes != dist.Chains[i].Echoes ||
+			local.Chains[i].SameDayEchoes != dist.Chains[i].SameDayEchoes {
+			t.Errorf("chain %s echo counts diverge: local %+v remote %+v",
+				local.Chains[i].Chain, local.Chains[i], dist.Chains[i])
+		}
+	}
+	if !dist.Complete {
+		t.Error("remote analyzer missed EOF")
+	}
+}
+
+// TestEchoSetEviction bounds the first-seen set: evictions advance and
+// the set never exceeds its cap.
+func TestEchoSetEviction(t *testing.T) {
+	an := NewAnalyzer(0, Options{EchoSetCap: 4})
+	for n := uint64(0); n < 10; n++ {
+		an.ApplyHead(&feed.HeadEvent{
+			Chain: "ONE", Number: n, Time: 1000 + n, Difficulty: "1",
+			Txs: []feed.TxInfo{{Hash: fmt.Sprintf("0x%02x", n), From: "0xaa"}},
+		})
+	}
+	snap := an.Snapshot()
+	if snap.EchoSetSize > 4 {
+		t.Errorf("echo set size = %d, cap 4", snap.EchoSetSize)
+	}
+	if snap.EchoSetEvictions != 6 {
+		t.Errorf("evictions = %d, want 6", snap.EchoSetEvictions)
+	}
+}

@@ -1,0 +1,67 @@
+package live
+
+import (
+	"forkwatch/internal/live/feed"
+	"forkwatch/internal/metrics"
+	"forkwatch/internal/sim"
+)
+
+// Plane bundles a Feed and an Analyzer into the live measurement plane
+// attached to a serving stack: one sim.Observer that both publishes the
+// wire feed and keeps the rolling observables, sharing a single code
+// path with over-the-wire consumers.
+type Plane struct {
+	Feed     *feed.Feed
+	Analyzer *Analyzer
+}
+
+// NewPlane builds a plane metered through reg.
+func NewPlane(epoch uint64, opts Options, reg *metrics.Registry) *Plane {
+	opts = opts.withDefaults()
+	p := &Plane{
+		Feed:     feed.NewFeed(reg, opts.RingSize),
+		Analyzer: NewAnalyzer(epoch, opts),
+	}
+	// Derived echo candidates go back out on the feed so pendingEchoes
+	// subscribers see the join as it happens. The sink runs under the
+	// analyzer lock; Feed.Publish takes only the feed lock (acyclic).
+	p.Analyzer.SetEchoSink(func(e feed.EchoEvent) {
+		ev := e
+		p.Feed.Publish(feed.Event{Kind: feed.KindEcho, Echo: &ev})
+	})
+	return p
+}
+
+// OnBlock implements sim.Observer: publish the head, then fold it into
+// the analyzer (which may publish derived echoes).
+func (p *Plane) OnBlock(ev *sim.BlockEvent) {
+	h := feed.HeadFromSim(ev)
+	p.Feed.Publish(feed.Event{Kind: feed.KindHead, Head: h})
+	p.Analyzer.ApplyHead(h)
+}
+
+// OnDay implements sim.Observer.
+func (p *Plane) OnDay(ev *sim.DayEvent) {
+	d := feed.DayFromSim(ev)
+	p.Feed.Publish(feed.Event{Kind: feed.KindDay, Day: d})
+	p.Analyzer.ApplyDay(d)
+}
+
+// PublishHead feeds a head that did not come from an engine observer —
+// the replica tier relays heads from its follow loop through this.
+func (p *Plane) PublishHead(h *feed.HeadEvent) {
+	p.Feed.Publish(feed.Event{Kind: feed.KindHead, Head: h})
+	p.Analyzer.ApplyHead(h)
+}
+
+// PublishDay is the day-event counterpart of PublishHead.
+func (p *Plane) PublishDay(d *feed.DayEvent) {
+	p.Feed.Publish(feed.Event{Kind: feed.KindDay, Day: d})
+	p.Analyzer.ApplyDay(d)
+}
+
+// Complete marks the run finished and publishes the EOF marker.
+func (p *Plane) Complete() {
+	p.Analyzer.MarkComplete()
+	p.Feed.Publish(feed.Event{Kind: feed.KindEOF})
+}

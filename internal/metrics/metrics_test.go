@@ -107,3 +107,68 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", got)
 	}
 }
+
+// TestHistogramSnapshotUnderConcurrentWriters takes snapshots WHILE
+// writers observe, and requires every snapshot to be internally
+// consistent: counts never exceed what has been written, quantiles stay
+// ordered, and the mean stays inside the observed value range. Run with
+// -race; the snapshot path must never tear.
+func TestHistogramSnapshotUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 5000
+	const lo, hi = 0.0005, 0.2
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := r.Histogram("lat")
+			for j := 0; j < perWriter; j++ {
+				// Alternate the two extremes so quantile ordering is
+				// exercised across buckets, not within one.
+				if (i+j)%2 == 0 {
+					h.Observe(lo)
+				} else {
+					h.Observe(hi)
+				}
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	go func() { wg.Wait(); close(stop) }()
+
+	// Snapshot continuously on this goroutine until the writers finish;
+	// the final iteration snapshots once more after the join.
+	for alive := true; alive; {
+		select {
+		case <-stop:
+			alive = false
+		default:
+		}
+		snap := r.Histogram("lat").Snapshot()
+		if snap.Count > writers*perWriter {
+			t.Fatalf("count %d exceeds writes issued", snap.Count)
+		}
+		if snap.P50 > snap.P90 || snap.P90 > snap.P99 {
+			t.Fatalf("quantiles unordered mid-write: %+v", snap)
+		}
+		if snap.Count > 0 && (snap.Mean <= 0 || snap.Mean > 2*hi) {
+			t.Fatalf("mean %v outside observed range", snap.Mean)
+		}
+		// The registry-level snapshot must carry the same histogram
+		// without racing either.
+		if _, ok := r.Snapshot()["lat"].(HistogramSnapshot); !ok {
+			t.Fatal("registry snapshot lost the histogram")
+		}
+	}
+
+	final := r.Histogram("lat").Snapshot()
+	if final.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", final.Count, writers*perWriter)
+	}
+	if final.P50 >= final.P99 {
+		t.Fatalf("bimodal load should spread quantiles: %+v", final)
+	}
+}

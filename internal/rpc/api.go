@@ -24,6 +24,7 @@ type Backend struct {
 	name  string
 	bc    *chain.Blockchain
 	peers []*Backend
+	live  *LiveSource
 }
 
 // NewBackend wraps one chain for serving. name is the chain label used
@@ -60,8 +61,10 @@ const maxWindow = 100_000
 // method is one RPC method implementation.
 type method func(ctx context.Context, b *Backend, params []json.RawMessage) (any, *Error)
 
-// methods is the dispatch table. Every entry is cacheable: results are
-// pure functions of (chain state at generation, params).
+// methods is the dispatch table. Entries are cacheable — results are
+// pure functions of (chain state at generation, params) — unless they
+// also appear in uncacheable (the live/subscription methods, whose
+// results change independently of the head).
 var methods = map[string]method{
 	"eth_blockNumber":           ethBlockNumber,
 	"eth_getBlockByNumber":      ethGetBlockByNumber,

@@ -117,10 +117,12 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
-	jobs     chan *job
-	stopOnce sync.Once
-	stopped  chan struct{}
-	wg       sync.WaitGroup
+	jobs      chan *job
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed when Drain starts; wakes stream handlers
+	wg        sync.WaitGroup
 }
 
 // StalenessFunc reports how far one route's chain trails the head it
@@ -143,6 +145,7 @@ func NewServer(cfg ServerConfig) *Server {
 		stale:    map[string]StalenessFunc{},
 		jobs:     make(chan *job, cfg.QueueDepth),
 		stopped:  make(chan struct{}),
+		drainCh:  make(chan struct{}),
 	}
 	// Pre-register the replica-tier metrics so /debug/metrics always
 	// carries them: a standalone primary reports zeroes, a replica (or a
@@ -242,6 +245,7 @@ func (s *Server) breakerFor(route string) *Breaker {
 // answering — orchestration needs them during the drain. Idempotent.
 func (s *Server) Drain() {
 	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.reg.Gauge("serve.draining").Set(1)
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
@@ -333,6 +337,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, rd)
 		return
 	default:
+		// /<route>/stream is the persistent subscription transport; the
+		// bare route is the POST JSON-RPC endpoint.
+		if route, ok := strings.CutSuffix(path, "/stream"); ok {
+			s.mu.RLock()
+			be, found := s.chains[route]
+			s.mu.RUnlock()
+			if !found {
+				http.NotFound(w, r)
+				return
+			}
+			s.serveStream(w, r, route, be)
+			return
+		}
 		s.mu.RLock()
 		be, ok := s.chains[path]
 		s.mu.RUnlock()
@@ -514,6 +531,24 @@ func (s *Server) call(ctx context.Context, route string, be *Backend, req *Reque
 	if !ok {
 		s.reg.Counter(mName + ".errors").Inc()
 		return s.tagStaleness(route, replyErr(req.ID, Errf(ErrCodeMethodNotFound, "method %q not found", req.Method)))
+	}
+
+	// Live/subscription methods bypass the cache AND the breaker: their
+	// results move independently of the head (so generation tagging would
+	// serve stale cursors), and they never touch storage (so a tripped
+	// breaker says nothing about them).
+	if uncacheable[req.Method] {
+		result, rpcErr := safeCall(ctx, fn, be, req.Params)
+		if rpcErr != nil {
+			s.reg.Counter(mName + ".errors").Inc()
+			return s.tagStaleness(route, replyErr(req.ID, rpcErr))
+		}
+		enc, err := json.Marshal(result)
+		if err != nil {
+			s.reg.Counter(mName + ".errors").Inc()
+			return s.tagStaleness(route, replyErr(req.ID, Errf(ErrCodeInternal, "marshalling result: %v", err)))
+		}
+		return s.tagStaleness(route, reply(req.ID, json.RawMessage(enc)))
 	}
 
 	// The generation is read BEFORE executing: if the head advances while

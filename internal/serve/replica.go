@@ -14,6 +14,7 @@ import (
 	"forkwatch/internal/discover"
 	"forkwatch/internal/faultnet"
 	"forkwatch/internal/keccak"
+	"forkwatch/internal/live/feed"
 	"forkwatch/internal/p2p"
 	"forkwatch/internal/prng"
 	"forkwatch/internal/rpc"
@@ -241,11 +242,21 @@ func (t *syncTracker) staleness() (uint64, bool) {
 type Replica struct {
 	Result
 	cfg       ReplicaConfig
+	epoch     uint64 // fork unix time (relayed heads derive Day from it)
+	dayLen    uint64
 	servers   []*p2p.Server
 	trackers  []*syncTracker
+	relays    []*headRelay
 	quit      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// headRelay tracks, per chain, which canonical blocks the follow loop
+// has already relayed onto the replica's live feed.
+type headRelay struct {
+	lastPub  uint64 // highest block number published
+	lastTime uint64 // its timestamp (for the next block's Delta)
 }
 
 // NewReplica builds a replica of sc's chains: fresh (or reopened, when
@@ -312,10 +323,25 @@ func NewReplica(sc *sim.Scenario, cfg ReplicaConfig, rcfg rpc.ServerConfig) (*Re
 		chains[i] = ServedChain{Name: sp.Name, Ledger: led}
 	}
 
+	srv, backends := mount(rcfg, chains)
+	// The replica's own live plane feeds from the follow loops: every
+	// newly synced canonical block is relayed as a head event, so
+	// subscriptions work on the replica tier too (staleness-stamped by
+	// the same source as plain responses when the replica is degraded).
+	plane := newPlane(srv, backends, sc.Epoch)
 	r := &Replica{
-		Result: Result{Server: mount(rcfg, chains), Chains: chains},
+		Result: Result{Server: srv, Chains: chains, Live: plane},
 		cfg:    cfg,
+		epoch:  sc.Epoch,
+		dayLen: sc.DayLength,
 		quit:   make(chan struct{}),
+	}
+	for _, c := range chains {
+		// Start relaying AFTER the boot head: a reopened store's history
+		// predates this process, and followers wanting it poll the
+		// primary's archive instead.
+		head := c.Ledger.BC.Head()
+		r.relays = append(r.relays, &headRelay{lastPub: head.Number(), lastTime: head.Header.Time})
 	}
 	reg := r.Server.Registry()
 	for i, c := range chains {
@@ -413,6 +439,53 @@ func (r *Replica) follow(i int) {
 			tracker.observe(head)
 		}
 		srv.SyncNow()
+		r.relayHeads(i)
+	}
+}
+
+// relayHeads publishes every canonical block the sync imported since
+// the last relay onto the replica's live feed, rebuilding the head
+// events exactly as the engine's observer delivery would have built
+// them (Day from the fork epoch, Delta from the parent's timestamp,
+// the contract/chain-bound markers from the transaction shape).
+func (r *Replica) relayHeads(i int) {
+	relay := r.relays[i]
+	bc := r.Chains[i].Ledger.BC
+	head := bc.Head().Number()
+	if head <= relay.lastPub {
+		return
+	}
+	name := r.Chains[i].Name
+	epoch, dayLen := r.epoch, r.dayLen
+	for _, b := range bc.CanonicalBlocks(relay.lastPub+1, head) {
+		t := b.Header.Time
+		day := 0
+		if t >= epoch && dayLen > 0 {
+			day = int((t - epoch) / dayLen)
+		}
+		h := &feed.HeadEvent{
+			Chain:      name,
+			Day:        day,
+			Number:     b.Number(),
+			Time:       t,
+			Delta:      t - relay.lastTime,
+			Difficulty: b.Header.Difficulty.String(),
+			Coinbase:   b.Header.Coinbase.Hex(),
+		}
+		if len(b.Txs) > 0 {
+			h.Txs = make([]feed.TxInfo, len(b.Txs))
+			for j, tx := range b.Txs {
+				h.Txs[j] = feed.TxInfo{
+					Hash:       tx.Hash().Hex(),
+					From:       tx.From.Hex(),
+					Contract:   tx.To == nil || len(tx.Data) > 0,
+					ChainBound: tx.ChainID != 0,
+				}
+			}
+		}
+		r.Live.PublishHead(h)
+		relay.lastPub = b.Number()
+		relay.lastTime = t
 	}
 }
 

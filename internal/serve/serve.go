@@ -15,6 +15,8 @@ import (
 	"forkwatch/internal/chain"
 	"forkwatch/internal/db"
 	_ "forkwatch/internal/db/diskdb" // register the disk backend with db.Open
+	"forkwatch/internal/export"
+	"forkwatch/internal/live"
 	"forkwatch/internal/rpc"
 	"forkwatch/internal/sim"
 )
@@ -32,6 +34,11 @@ type Result struct {
 	Server *rpc.Server
 	Chains []ServedChain
 	Engine *sim.Engine
+	// Live is the measurement plane behind the fork_live*/subscription
+	// methods and /<route>/stream transports (every boot path attaches
+	// one; it feeds from the engine, an archive replay, or — on the
+	// replica tier — the follow loops).
+	Live *live.Plane
 }
 
 // Ledger returns the named chain's ledger, or nil.
@@ -50,6 +57,11 @@ func (r *Result) Ledger(name string) *sim.FullLedger {
 // the shutdown path never dies mid-commit.
 func (r *Result) Close() {
 	r.Server.Drain()
+	if r.Live != nil {
+		// Wake long-poll waiters and close push channels so no follower
+		// blocks on a feed that will never publish again.
+		r.Live.Feed.Close()
+	}
 	r.Server.Close()
 	for _, c := range r.Chains {
 		if err := closeKV(c.Ledger.BC.DB()); err != nil {
@@ -82,7 +94,7 @@ func closeKV(kv db.KV) error {
 // mount registers every chain on a new server, cross-linking all ordered
 // backend pairs for the fork_* joins, and routes each at its lowercase
 // name.
-func mount(cfg rpc.ServerConfig, chains []ServedChain) *rpc.Server {
+func mount(cfg rpc.ServerConfig, chains []ServedChain) (*rpc.Server, []*rpc.Backend) {
 	srv := rpc.NewServer(cfg)
 	backends := make([]*rpc.Backend, len(chains))
 	for i, c := range chains {
@@ -96,34 +108,78 @@ func mount(cfg rpc.ServerConfig, chains []ServedChain) *rpc.Server {
 		}
 		srv.RegisterChain(b)
 	}
-	return srv
+	return srv, backends
+}
+
+// newPlane builds the live measurement plane on the server's registry
+// and attaches it to every route. All routes share one plane: the feed
+// carries every partition's events (newHeads filters per route), and
+// the snapshot covers the whole partition set, like the batch analyzer.
+func newPlane(srv *rpc.Server, backends []*rpc.Backend, epoch uint64) *live.Plane {
+	plane := live.NewPlane(epoch, live.Options{}, srv.Registry())
+	src := &rpc.LiveSource{
+		Feed:     plane.Feed,
+		Snapshot: func() any { return plane.Analyzer.Snapshot() },
+	}
+	for _, b := range backends {
+		b.SetLive(src)
+	}
+	return plane
 }
 
 // Build runs sc (which must be ModeFull — the archive needs real blocks
 // and tries) and mounts every resulting chain on a new server built from
 // cfg. The returned server routes each partition at its lowercase name,
-// all cross-linked as peers for the fork_* joins.
+// all cross-linked as peers for the fork_* joins. The live plane is
+// attached and already complete: Build serves after the run finishes.
 func Build(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
+	res, run, err := BuildLive(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := run(); err != nil {
+		res.Close()
+		return nil, err
+	}
+	return res, nil
+}
+
+// BuildLive mounts sc's chains at genesis and returns the archive plus
+// a run function that executes the simulation with the live measurement
+// plane attached as an engine observer. Callers serve WHILE run()
+// simulates — subscribers watch the partition unfold in real time —
+// and run() publishes the feed's EOF marker when the scenario ends.
+// (Concurrent serving is safe: the Blockchain's locks already carry the
+// replica tier's concurrent read-under-import load.)
+func BuildLive(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, func() error, error) {
 	if sc.Mode != sim.ModeFull {
-		return nil, fmt.Errorf("serve: scenario mode must be full (the archive serves real chains)")
+		return nil, nil, fmt.Errorf("serve: scenario mode must be full (the archive serves real chains)")
 	}
 	eng, err := sim.New(sc)
 	if err != nil {
-		return nil, fmt.Errorf("serve: building engine: %w", err)
-	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("serve: running scenario: %w", err)
+		return nil, nil, fmt.Errorf("serve: building engine: %w", err)
 	}
 	names := eng.PartitionNames()
 	chains := make([]ServedChain, len(names))
 	for i, name := range names {
 		led, ok := eng.LedgerAt(i).(*sim.FullLedger)
 		if !ok {
-			return nil, fmt.Errorf("serve: %s ledger is %T, want *sim.FullLedger", name, eng.LedgerAt(i))
+			return nil, nil, fmt.Errorf("serve: %s ledger is %T, want *sim.FullLedger", name, eng.LedgerAt(i))
 		}
 		chains[i] = ServedChain{Name: name, Ledger: led}
 	}
-	return &Result{Server: mount(cfg, chains), Chains: chains, Engine: eng}, nil
+	srv, backends := mount(cfg, chains)
+	plane := newPlane(srv, backends, sc.Epoch)
+	eng.AddObserver(plane)
+	res := &Result{Server: srv, Chains: chains, Engine: eng, Live: plane}
+	run := func() error {
+		if err := eng.Run(); err != nil {
+			return fmt.Errorf("serve: running scenario: %w", err)
+		}
+		plane.Complete()
+		return nil
+	}
+	return res, run, nil
 }
 
 // Open remounts an archive that an earlier Build persisted through the
@@ -160,7 +216,29 @@ func Open(sc *sim.Scenario, cfg rpc.ServerConfig) (*Result, error) {
 		}
 		chains[i] = ServedChain{Name: sp.Name, Ledger: led}
 	}
-	return &Result{Server: mount(cfg, chains), Chains: chains}, nil
+	srv, backends := mount(cfg, chains)
+	plane := newPlane(srv, backends, sc.Epoch)
+	// Rebuild the live observables by replaying the persisted chains in
+	// global time order (the same reconstruction the batch analyzer
+	// uses). Day-table economics are not persisted in the chain stores,
+	// so a reopened archive's plane has no day rows or hashes-per-USD —
+	// blocks, windows, echoes and pool shares are all restored. Echo
+	// TOTALS are conserved but per-chain attribution can differ from the
+	// original run's: the engine delivers a day's events in partition
+	// order while this replay interleaves by timestamp, so which chain
+	// "saw the tx first" may flip for same-day pairs. The run ended
+	// before the restart, so the feed completes immediately: followers
+	// replay the ring and see EOF.
+	var blocks []export.BlockRow
+	var txs []export.TxRow
+	for _, c := range chains {
+		b, t := export.FromBlockchain(c.Name, c.Ledger.BC)
+		blocks = append(blocks, b...)
+		txs = append(txs, t...)
+	}
+	export.Replay(blocks, txs, sc.Epoch, sc.DayLength, plane)
+	plane.Complete()
+	return &Result{Server: srv, Chains: chains, Live: plane}, nil
 }
 
 // OpenOrBuild reopens a persisted archive when the scenario's disk data

@@ -1,0 +1,97 @@
+#!/bin/sh
+# livesmoke is the live measurement plane's end-to-end gate: boot
+# forkserve -live (the archive serves WHILE the scenario simulates),
+# follow the event feed over RPC with forkanalyze -follow into CSV
+# tables, run the identical scenario through the batch exporter
+# (forksim -mode full), and require the two CSV sets byte-identical —
+# the streaming analyzer's convergence guarantee, exercised over a real
+# HTTP wire. It also checks the streamed head against the polled
+# eth_blockNumber and the subscription metrics. The convergence diff
+# lands in $OUT/convergence.diff (empty on success; CI uploads it).
+set -eu
+
+ADDR="${LIVESMOKE_ADDR:-127.0.0.1:18555}"
+BASE="http://$ADDR"
+SEED="${LIVESMOKE_SEED:-9}"
+DAYS="${LIVESMOKE_DAYS:-2}"
+OUT="${LIVESMOKE_OUT:-live-smoke-out}"
+GO="${GO:-go}"
+LOG="$(mktemp)"
+
+mkdir -p "$OUT"
+: > "$OUT/convergence.diff"
+
+echo "livesmoke: building forkserve, forkanalyze, forksim..."
+$GO build -o /tmp/forkserve ./cmd/forkserve
+$GO build -o /tmp/forkanalyze ./cmd/forkanalyze
+$GO build -o /tmp/forksim ./cmd/forksim
+
+/tmp/forkserve -seed "$SEED" -days "$DAYS" -live -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+echo "livesmoke: waiting for $BASE/healthz..."
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -gt 60 ]; then
+        echo "livesmoke: server never came up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    if ! kill -0 $PID 2>/dev/null; then
+        echo "livesmoke: server exited early; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# Follow the live run to its EOF marker; the analyzer writes its
+# converged CSV tables when the feed completes.
+echo "livesmoke: following the live feed..."
+/tmp/forkanalyze -follow "$BASE" -out "$OUT/live"
+
+# The streamed head must equal the served head: replay the newHeads
+# stream for the first route and compare its last head number against
+# eth_blockNumber on the same route.
+route="$(curl -s "$BASE/readyz" | sed -n 's/.*"routes":{"\([a-z0-9]*\)".*/\1/p')"
+[ -n "$route" ] || { echo "livesmoke: FAIL no route discovered from /readyz" >&2; exit 1; }
+streamed_head="$(curl -s --max-time 30 "$BASE/$route/stream?stream=newHeads&cursor=0" \
+    | sed -n 's/.*"number":\([0-9]*\).*/\1/p' | tail -1)"
+polled_hex="$(curl -s -X POST -H 'Content-Type: application/json' \
+    -d '{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}' \
+    "$BASE/$route" | sed -n 's/.*"result":"0x\([0-9a-f]*\)".*/\1/p')"
+polled_head="$(printf '%d' "0x$polled_hex")"
+if [ -z "$streamed_head" ] || [ "$streamed_head" -ne "$polled_head" ]; then
+    echo "livesmoke: FAIL streamed head ($streamed_head) != polled head ($polled_head) on /$route" >&2
+    exit 1
+fi
+echo "livesmoke: ok   streamed head matches polled head ($polled_head) on /$route"
+
+# Subscription gauges must be present after the follow traffic.
+metrics="$(curl -sf "$BASE/debug/metrics")"
+for key in 'live.subscribers' 'live.events' 'live.events_dropped'; do
+    case "$metrics" in
+        *"$key"*) ;;
+        *) echo "livesmoke: FAIL metrics snapshot missing $key" >&2; exit 1 ;;
+    esac
+done
+echo "livesmoke: ok   subscription metrics"
+
+# Ground truth: the identical scenario through the batch exporter.
+echo "livesmoke: running the batch export for comparison..."
+/tmp/forksim -seed "$SEED" -days "$DAYS" -mode full -out "$OUT/batch" >/dev/null
+
+status=0
+for f in blocks.csv txs.csv days.csv; do
+    if ! diff -u "$OUT/batch/$f" "$OUT/live/$f" >>"$OUT/convergence.diff" 2>&1; then
+        echo "livesmoke: FAIL $f diverges between live follow and batch export" >&2
+        status=1
+    else
+        echo "livesmoke: ok   $f byte-identical (live follow vs batch export)"
+    fi
+done
+[ "$status" -eq 0 ] || { echo "livesmoke: diff in $OUT/convergence.diff" >&2; exit 1; }
+
+echo "livesmoke: PASS"

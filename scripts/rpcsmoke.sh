@@ -109,6 +109,48 @@ for key in 'rpc.eth.eth_blockNumber.requests' 'rpc.etc.eth_blockNumber.requests'
 done
 echo "rpcsmoke: ok   /debug/metrics"
 
+# Subscription phase: the live measurement plane must answer on every
+# route — snapshot, subscribe/poll/unsubscribe round-trip (the archive
+# is complete, so a cursor-0 subscription replays the whole feed and
+# reaches the EOF marker), and the persistent NDJSON stream.
+for chain in eth etc; do
+    call "$chain" fork_liveSnapshot '[]'
+    subresp="$(curl -sf -X POST -H 'Content-Type: application/json' \
+        -d '{"jsonrpc":"2.0","id":1,"method":"fork_subscribe","params":["events",0]}' "$BASE/$chain")"
+    subid="$(printf '%s' "$subresp" | sed -n 's/.*"subscription":"\(0x[0-9a-f]*\)".*/\1/p')"
+    [ -n "$subid" ] || { echo "rpcsmoke: FAIL $chain fork_subscribe: $subresp" >&2; exit 1; }
+    seen_eof=""
+    n=0
+    while [ -z "$seen_eof" ] && [ "$n" -le 30 ]; do
+        pollresp="$(curl -sf -X POST -H 'Content-Type: application/json' \
+            -d "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"fork_pollSubscription\",\"params\":[\"$subid\",4096]}" \
+            "$BASE/$chain")"
+        case "$pollresp" in
+            *'"error"'*) echo "rpcsmoke: FAIL $chain fork_pollSubscription: $pollresp" >&2; exit 1 ;;
+            *'"kind":"eof"'*) seen_eof=1 ;;
+        esac
+        n=$((n+1))
+    done
+    [ -n "$seen_eof" ] || { echo "rpcsmoke: FAIL $chain subscription never reached EOF" >&2; exit 1; }
+    call "$chain" fork_unsubscribe "[\"$subid\"]"
+    echo "rpcsmoke: ok   $chain subscription replay to EOF"
+
+    headline="$(curl -s --max-time 20 "$BASE/$chain/stream?stream=newHeads&cursor=0" | sed -n '2p')"
+    case "$headline" in
+        *'"method":"fork_subscription"'*) echo "rpcsmoke: ok   $chain /stream" ;;
+        *) echo "rpcsmoke: FAIL $chain /stream first notification: $headline" >&2; exit 1 ;;
+    esac
+done
+
+lmetrics="$(curl -sf "$BASE/debug/metrics")"
+for key in 'live.subscribers' 'live.events' 'live.events_dropped'; do
+    case "$lmetrics" in
+        *"$key"*) ;;
+        *) echo "rpcsmoke: FAIL metrics snapshot missing $key" >&2; exit 1 ;;
+    esac
+done
+echo "rpcsmoke: ok   live metrics"
+
 # Replica tier: boot a replica following the primary's sync plane, wait
 # for /readyz to flip to 200 (readiness implies the head sync caught up
 # within the staleness bound), then require byte-identical answers and

@@ -47,11 +47,17 @@ type txSeen struct {
 	day   int
 }
 
+// chainSeries bundles one chain's bucket slices so the per-block hot path
+// resolves the chain name once instead of once per bucket access.
+type chainSeries struct {
+	hourly []*HourBucket
+	daily  []*DayBucket
+}
+
 // Collector implements sim.Observer and accumulates every figure's series.
 type Collector struct {
 	epoch  uint64
-	hourly map[string][]*HourBucket
-	daily  map[string][]*DayBucket
+	series map[string]*chainSeries
 	seen   map[types.Hash]txSeen
 	days   int
 }
@@ -60,28 +66,46 @@ type Collector struct {
 func NewCollector(epoch uint64) *Collector {
 	return &Collector{
 		epoch:  epoch,
-		hourly: map[string][]*HourBucket{},
-		daily:  map[string][]*DayBucket{},
+		series: map[string]*chainSeries{},
 		seen:   map[types.Hash]txSeen{},
 	}
 }
 
-func (c *Collector) hour(chain string, h int) *HourBucket {
-	buckets := c.hourly[chain]
-	for len(buckets) <= h {
-		buckets = append(buckets, &HourBucket{})
+func (c *Collector) chain(chain string) *chainSeries {
+	cs, ok := c.series[chain]
+	if !ok {
+		cs = &chainSeries{}
+		c.series[chain] = cs
 	}
-	c.hourly[chain] = buckets
-	return buckets[h]
+	return cs
 }
 
-func (c *Collector) day(chain string, d int) *DayBucket {
-	buckets := c.daily[chain]
-	for len(buckets) <= d {
-		buckets = append(buckets, &DayBucket{ByPool: map[types.Address]int{}})
+func (cs *chainSeries) hour(h int) *HourBucket {
+	for len(cs.hourly) <= h {
+		cs.hourly = append(cs.hourly, &HourBucket{})
 	}
-	c.daily[chain] = buckets
-	return buckets[d]
+	return cs.hourly[h]
+}
+
+func (cs *chainSeries) day(d int) *DayBucket {
+	for len(cs.daily) <= d {
+		cs.daily = append(cs.daily, &DayBucket{ByPool: map[types.Address]int{}})
+	}
+	return cs.daily[d]
+}
+
+func (c *Collector) hourly(chain string) []*HourBucket {
+	if cs, ok := c.series[chain]; ok {
+		return cs.hourly
+	}
+	return nil
+}
+
+func (c *Collector) daily(chain string) []*DayBucket {
+	if cs, ok := c.series[chain]; ok {
+		return cs.daily
+	}
+	return nil
 }
 
 // OnBlock implements sim.Observer.
@@ -89,21 +113,28 @@ func (c *Collector) OnBlock(ev *sim.BlockEvent) {
 	if ev.Time < c.epoch {
 		return
 	}
+	cs := c.chain(ev.Chain)
 	h := int((ev.Time - c.epoch) / 3600)
-	hb := c.hour(ev.Chain, h)
+	hb := cs.hour(h)
 	hb.Blocks++
 	d := types.BigToFloat64(ev.Difficulty)
 	hb.SumDiff += d
 	hb.SumDelta += float64(ev.Delta)
 	hb.LastDelta = ev.Delta
 
-	db := c.day(ev.Chain, ev.Day)
+	db := cs.day(ev.Day)
 	db.Blocks++
 	db.ByPool[ev.Coinbase]++
 	for _, tx := range ev.Txs {
 		db.Txs++
 		if tx.Contract {
 			db.ContractTxs++
+		}
+		if tx.ChainBound {
+			// Replay-protected transactions cannot appear on another
+			// chain (the binding is part of the hash), so they can
+			// neither be echoes nor echo originals: skip the join.
+			continue
 		}
 		if prev, ok := c.seen[tx.Hash]; ok && prev.chain != ev.Chain {
 			db.Echoes++
@@ -122,7 +153,7 @@ func (c *Collector) OnDay(ev *sim.DayEvent) {
 		c.days = ev.Day + 1
 	}
 	for _, pd := range ev.Partitions {
-		b := c.day(pd.Name, ev.Day)
+		b := c.chain(pd.Name).day(ev.Day)
 		b.USD = pd.USD
 		b.Hashrate = pd.Hashrate
 		b.Difficulty = types.BigToFloat64(pd.Difficulty)
@@ -134,21 +165,21 @@ func (c *Collector) OnDay(ev *sim.DayEvent) {
 // which has no day events) the extent of the per-day block buckets.
 func (c *Collector) Days() int {
 	days := c.days
-	for _, buckets := range c.daily {
-		if len(buckets) > days {
-			days = len(buckets)
+	for _, cs := range c.series {
+		if len(cs.daily) > days {
+			days = len(cs.daily)
 		}
 	}
 	return days
 }
 
 // Hours returns the number of observed hours for a chain.
-func (c *Collector) Hours(chain string) int { return len(c.hourly[chain]) }
+func (c *Collector) Hours(chain string) int { return len(c.hourly(chain)) }
 
 // BlocksPerHour returns the Fig 1 (top) series for a chain.
 func (c *Collector) BlocksPerHour(chain string) []float64 {
-	out := make([]float64, len(c.hourly[chain]))
-	for i, b := range c.hourly[chain] {
+	out := make([]float64, len(c.hourly(chain)))
+	for i, b := range c.hourly(chain) {
 		out[i] = float64(b.Blocks)
 	}
 	return out
@@ -157,9 +188,9 @@ func (c *Collector) BlocksPerHour(chain string) []float64 {
 // HourlyMeanDifficulty returns the Fig 1 (middle) series: the mean block
 // difficulty per hour (0 for empty hours carries the previous value).
 func (c *Collector) HourlyMeanDifficulty(chain string) []float64 {
-	out := make([]float64, len(c.hourly[chain]))
+	out := make([]float64, len(c.hourly(chain)))
 	prev := 0.0
-	for i, b := range c.hourly[chain] {
+	for i, b := range c.hourly(chain) {
 		if b.Blocks > 0 {
 			prev = b.SumDiff / float64(b.Blocks)
 		}
@@ -171,9 +202,9 @@ func (c *Collector) HourlyMeanDifficulty(chain string) []float64 {
 // HourlyMeanDelta returns the Fig 1 (bottom) series: the mean inter-block
 // time per hour in seconds.
 func (c *Collector) HourlyMeanDelta(chain string) []float64 {
-	out := make([]float64, len(c.hourly[chain]))
+	out := make([]float64, len(c.hourly(chain)))
 	prev := 0.0
-	for i, b := range c.hourly[chain] {
+	for i, b := range c.hourly(chain) {
 		if b.Blocks > 0 {
 			prev = b.SumDelta / float64(b.Blocks)
 		}
@@ -186,8 +217,8 @@ func (c *Collector) HourlyMeanDelta(chain string) []float64 {
 func (c *Collector) DailyDifficulty(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = c.daily[chain][i].Difficulty
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = c.daily(chain)[i].Difficulty
 	}
 	return out
 }
@@ -197,8 +228,8 @@ func (c *Collector) DailyDifficulty(chain string) []float64 {
 func (c *Collector) DailyHashrate(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = c.daily[chain][i].Hashrate
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = c.daily(chain)[i].Hashrate
 	}
 	return out
 }
@@ -207,8 +238,8 @@ func (c *Collector) DailyHashrate(chain string) []float64 {
 func (c *Collector) TxPerDay(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = float64(c.daily[chain][i].Txs)
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = float64(c.daily(chain)[i].Txs)
 	}
 	return out
 }
@@ -218,8 +249,8 @@ func (c *Collector) TxPerDay(chain string) []float64 {
 func (c *Collector) PctContract(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		b := c.daily[chain][i]
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		b := c.daily(chain)[i]
 		if b.Txs > 0 {
 			out[i] = 100 * float64(b.ContractTxs) / float64(b.Txs)
 		}
@@ -232,8 +263,8 @@ func (c *Collector) PctContract(chain string) []float64 {
 func (c *Collector) HashesPerUSD(chain string, rewardEther float64) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		b := c.daily[chain][i]
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		b := c.daily(chain)[i]
 		if b.USD > 0 {
 			out[i] = b.Difficulty / rewardEther / b.USD
 		}
@@ -256,8 +287,8 @@ func (c *Collector) PayoffCorrelation(rewardEther float64, chainA, chainB string
 func (c *Collector) EchoesPerDay(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = float64(c.daily[chain][i].Echoes)
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = float64(c.daily(chain)[i].Echoes)
 	}
 	return out
 }
@@ -267,8 +298,8 @@ func (c *Collector) EchoesPerDay(chain string) []float64 {
 func (c *Collector) EchoPct(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		b := c.daily[chain][i]
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		b := c.daily(chain)[i]
 		if b.Txs > 0 {
 			out[i] = 100 * float64(b.Echoes) / float64(b.Txs)
 		}
@@ -281,8 +312,8 @@ func (c *Collector) EchoPct(chain string) []float64 {
 func (c *Collector) SameDayEchoesPerDay(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = float64(c.daily[chain][i].SameDayEchoes)
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = float64(c.daily(chain)[i].SameDayEchoes)
 	}
 	return out
 }
@@ -292,7 +323,7 @@ func (c *Collector) SameDayEchoesPerDay(chain string) []float64 {
 // ETC.
 func (c *Collector) TotalEchoes(chain string) int {
 	total := 0
-	for _, b := range c.daily[chain] {
+	for _, b := range c.daily(chain) {
 		total += b.Echoes
 	}
 	return total
@@ -303,8 +334,8 @@ func (c *Collector) TotalEchoes(chain string) int {
 func (c *Collector) TopNShare(chain string, n int) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		out[i] = pool.TopNFromCounts(c.daily[chain][i].ByPool, n)
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		out[i] = pool.TopNFromCounts(c.daily(chain)[i].ByPool, n)
 	}
 	return out
 }
@@ -316,8 +347,8 @@ func (c *Collector) TopNShare(chain string, n int) []float64 {
 func (c *Collector) PoolGini(chain string) []float64 {
 	days := c.Days()
 	out := make([]float64, days)
-	for i := 0; i < days && i < len(c.daily[chain]); i++ {
-		counts := c.daily[chain][i].ByPool
+	for i := 0; i < days && i < len(c.daily(chain)); i++ {
+		counts := c.daily(chain)[i].ByPool
 		w := make([]float64, 0, len(counts))
 		for _, n := range counts {
 			w = append(w, float64(n))

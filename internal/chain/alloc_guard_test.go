@@ -1,0 +1,116 @@
+package chain
+
+import (
+	"math/big"
+	"testing"
+
+	"forkwatch/internal/state"
+	"forkwatch/internal/types"
+)
+
+// skipUnderRace skips allocation-count assertions when the race detector
+// is compiled in: its instrumentation allocates, so counts are only
+// meaningful in plain builds (which is what the CI bench job runs).
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}
+
+// Allocation guards for the engine's hottest per-block operations. The
+// order-of-magnitude speedup of the simulation engine rests on these
+// paths staying (near-)allocation-free; testing.AllocsPerRun pins each
+// one so an accidental big.Int copy, escaped scratch buffer or dropped
+// pool doesn't quietly reappear and only surface as a slow benchmark.
+
+// TestNextDifficultyAllocFree: with a caller-provided destination, the
+// difficulty filter must not allocate at all on realistic inputs (the
+// int64 fast path), across raise, clamp-limited drop and floor regimes.
+func TestNextDifficultyAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	cfg := MainnetLikeConfig()
+	parentDiff := big.NewInt(62_413_376_722_602)
+	dst := new(big.Int)
+	for _, delta := range []uint64{1, 14, 200, 10_000} {
+		delta := delta
+		allocs := testing.AllocsPerRun(200, func() {
+			NextDifficulty(cfg, 1_469_020_840+delta, 1_469_020_840, 1_920_000, parentDiff, dst)
+		})
+		if allocs != 0 {
+			t.Errorf("NextDifficulty(delta=%d) allocates %.1f/op, want 0", delta, allocs)
+		}
+	}
+}
+
+// TestTxAppendRLPAllocFree: encoding a signed transaction into a
+// presized buffer must be zero-alloc, and Encode exactly the one
+// exact-size output slice.
+func TestTxAppendRLPAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	to := types.HexToAddress("0xb0b")
+	tx := NewTransaction(7, &to, big.NewInt(1_000), 21_000, big.NewInt(20_000_000_000), nil).
+		Sign(types.HexToAddress("0xa11ce"), 1)
+	buf := make([]byte, 0, tx.EncodedSize())
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = tx.appendRLP(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("appendRLP into presized buffer allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = tx.Encode()
+	}); allocs != 1 {
+		t.Errorf("Encode allocates %.1f/op, want exactly the output slice", allocs)
+	}
+}
+
+// TestApplyTransactionAllocBudget bounds a plain value transfer through
+// the processor. Journal closures and state-object bookkeeping make true
+// zero impossible, but the pooled scratch big.Ints, pooled receipts and
+// memoized hashes keep the count small and stable; the budget has head
+// room for runtime variation, not for a new per-tx allocation source
+// (pre-PR-10 this path was ~60/op).
+func TestApplyTransactionAllocBudget(t *testing.T) {
+	skipUnderRace(t)
+	cfg := MainnetLikeConfig()
+	p := NewProcessor(cfg)
+	st := state.NewEmpty()
+	from := types.HexToAddress("0xa11ce")
+	to := types.HexToAddress("0xb0b")
+	st.AddBalance(from, new(big.Int).Mul(big.NewInt(1000), Ether))
+
+	// Pre-EIP155 signature: the mainnet-like config has no EIP155Block,
+	// so replay-domain ids are not yet valid.
+	tx := NewTransaction(0, &to, big.NewInt(1_000), 21_000, big.NewInt(1), nil).Sign(from, 0)
+	tx.Hash() // memoized: priced once, not per apply
+	header := &Header{
+		Coinbase:   types.HexToAddress("0x9001"),
+		Number:     1_920_001,
+		Time:       1_469_020_840,
+		Difficulty: big.NewInt(131072),
+		GasLimit:   cfg.GasLimit,
+	}
+
+	// Warm the receipt/scratch pools before measuring.
+	for i := 0; i < 3; i++ {
+		st.SetNonce(from, 0)
+		rec, _, err := p.ApplyTransaction(tx, st, header, cfg.GasLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseReceipt(rec)
+	}
+
+	const budget = 30
+	allocs := testing.AllocsPerRun(100, func() {
+		st.SetNonce(from, 0) // rewind so the same tx revalidates
+		rec, _, err := p.ApplyTransaction(tx, st, header, cfg.GasLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseReceipt(rec)
+	})
+	if allocs > budget {
+		t.Errorf("ApplyTransaction allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

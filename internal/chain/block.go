@@ -68,11 +68,47 @@ func (h *Header) sealFields() []rlp.Value {
 	}
 }
 
+// sealPayloadSize and appendSealFields are the append-style twins of
+// sealFields; they must stay field-for-field identical to it.
+func (h *Header) sealPayloadSize() int {
+	return (1 + types.HashLength) + // ParentHash
+		rlp.UintSize(h.Number) +
+		rlp.UintSize(h.Time) +
+		rlp.BigIntSize(h.Difficulty) +
+		rlp.UintSize(h.GasLimit) +
+		rlp.UintSize(h.GasUsed) +
+		(1 + types.AddressLength) + // Coinbase
+		3*(1+types.HashLength) + // StateRoot, TxRoot, ReceiptRoot
+		rlp.BytesSize(h.Extra) +
+		(1 + types.HashLength) // UncleHash
+}
+
+func (h *Header) appendSealFields(dst []byte) []byte {
+	dst = rlp.AppendBytes(dst, h.ParentHash[:])
+	dst = rlp.AppendUint(dst, h.Number)
+	dst = rlp.AppendUint(dst, h.Time)
+	dst = rlp.AppendBigInt(dst, h.Difficulty)
+	dst = rlp.AppendUint(dst, h.GasLimit)
+	dst = rlp.AppendUint(dst, h.GasUsed)
+	dst = rlp.AppendBytes(dst, h.Coinbase[:])
+	dst = rlp.AppendBytes(dst, h.StateRoot[:])
+	dst = rlp.AppendBytes(dst, h.TxRoot[:])
+	dst = rlp.AppendBytes(dst, h.ReceiptRoot[:])
+	dst = rlp.AppendBytes(dst, h.Extra)
+	dst = rlp.AppendBytes(dst, h.UncleHash[:])
+	return dst
+}
+
 // SealHash is the hash the PoW seal commits to (header without the seal
 // fields). Not memoized: it is only hashed during mining, before the
-// header is final.
+// header is final. Encoded into a pooled buffer: zero allocations.
 func (h *Header) SealHash() types.Hash {
-	sum := keccak.Sum256Pooled(rlp.EncodeList(h.sealFields()...))
+	bp := rlp.GetBuf()
+	buf := rlp.AppendListHeader(*bp, h.sealPayloadSize())
+	buf = h.appendSealFields(buf)
+	sum := keccak.Sum256Pooled(buf)
+	*bp = buf
+	rlp.PutBuf(bp)
 	return types.BytesToHash(sum[:])
 }
 
@@ -83,7 +119,11 @@ func (h *Header) Hash() types.Hash {
 	if p := h.hash.Load(); p != nil {
 		return *p
 	}
-	sum := keccak.Sum256Pooled(h.Encode())
+	bp := rlp.GetBuf()
+	buf := h.appendRLP(*bp)
+	sum := keccak.Sum256Pooled(buf)
+	*bp = buf
+	rlp.PutBuf(bp)
 	hh := types.BytesToHash(sum[:])
 	h.hash.Store(&hh)
 	return hh
@@ -95,9 +135,29 @@ func (h *Header) RLP() rlp.Value {
 	return rlp.List(append(h.sealFields(), rlp.Uint(h.Nonce), rlp.Bytes(h.MixDigest.Bytes()))...)
 }
 
-// Encode returns the canonical RLP encoding of the header.
+// EncodedSize returns the exact length of Encode's output.
+func (h *Header) EncodedSize() int {
+	return rlp.ListSize(h.payloadSize())
+}
+
+func (h *Header) payloadSize() int {
+	return h.sealPayloadSize() + rlp.UintSize(h.Nonce) + (1 + types.HashLength)
+}
+
+// appendRLP appends the canonical encoding onto dst; identical bytes to
+// rlp.Encode(h.RLP()).
+func (h *Header) appendRLP(dst []byte) []byte {
+	dst = rlp.AppendListHeader(dst, h.payloadSize())
+	dst = h.appendSealFields(dst)
+	dst = rlp.AppendUint(dst, h.Nonce)
+	dst = rlp.AppendBytes(dst, h.MixDigest[:])
+	return dst
+}
+
+// Encode returns the canonical RLP encoding of the header in one
+// exact-size allocation.
 func (h *Header) Encode() []byte {
-	return rlp.Encode(h.RLP())
+	return h.appendRLP(make([]byte, 0, h.EncodedSize()))
 }
 
 // DecodeHeader parses a header from its RLP encoding.
@@ -225,17 +285,30 @@ func (b *Block) ComputedTxRoot() types.Hash {
 func (b *Block) Number() uint64 { return b.Header.Number }
 
 // Encode returns the RLP encoding of the whole block, composed from the
-// parts' RLP values directly (no decode round-trips, nothing to fail).
+// parts' append-encoders directly into one exact-size buffer (no decode
+// round-trips, nothing to fail).
 func (b *Block) Encode() []byte {
-	txs := make([]rlp.Value, len(b.Txs))
-	for i, tx := range b.Txs {
-		txs[i] = tx.RLP()
+	txPayload := 0
+	for _, tx := range b.Txs {
+		txPayload += tx.EncodedSize()
 	}
-	uncles := make([]rlp.Value, len(b.Uncles))
-	for i, u := range b.Uncles {
-		uncles[i] = u.RLP()
+	unclePayload := 0
+	for _, u := range b.Uncles {
+		unclePayload += u.EncodedSize()
 	}
-	return rlp.EncodeList(b.Header.RLP(), rlp.List(txs...), rlp.List(uncles...))
+	payload := b.Header.EncodedSize() + rlp.ListSize(txPayload) + rlp.ListSize(unclePayload)
+	dst := make([]byte, 0, rlp.ListSize(payload))
+	dst = rlp.AppendListHeader(dst, payload)
+	dst = b.Header.appendRLP(dst)
+	dst = rlp.AppendListHeader(dst, txPayload)
+	for _, tx := range b.Txs {
+		dst = tx.appendRLP(dst)
+	}
+	dst = rlp.AppendListHeader(dst, unclePayload)
+	for _, u := range b.Uncles {
+		dst = u.appendRLP(dst)
+	}
+	return dst
 }
 
 // DecodeBlock parses a block from its RLP encoding.
@@ -283,8 +356,9 @@ func DecodeBlock(enc []byte) (*Block, error) {
 // ephemeral store: only the root survives the call.
 func ReceiptRoot(receipts []*Receipt) types.Hash {
 	tr := trie.NewEmpty(db.NewEphemeral())
+	var kb [9]byte
 	for i, r := range receipts {
-		key := rlp.Encode(rlp.Uint(uint64(i)))
+		key := rlp.AppendUint(kb[:0], uint64(i))
 		if err := tr.Update(key, r.Encode()); err != nil {
 			panic(err) // fresh ephemeral store: no faults, nothing to resolve
 		}
@@ -301,8 +375,9 @@ func ReceiptRoot(receipts []*Receipt) types.Hash {
 // ReceiptRoot.
 func TxRoot(txs []*Transaction) types.Hash {
 	tr := trie.NewEmpty(db.NewEphemeral())
+	var kb [9]byte
 	for i, tx := range txs {
-		key := rlp.Encode(rlp.Uint(uint64(i)))
+		key := rlp.AppendUint(kb[:0], uint64(i))
 		if err := tr.Update(key, tx.Encode()); err != nil {
 			panic(err) // fresh ephemeral store: no faults, nothing to resolve
 		}

@@ -445,6 +445,9 @@ func (bc *Blockchain) InsertBlock(b *Block) error {
 		}
 		bc.head = b
 	}
+	// The receipts are fully serialized into the committed batch; nothing
+	// retains the structs.
+	ReleaseReceipts(receipts)
 	return nil
 }
 
@@ -581,6 +584,7 @@ func (bc *Blockchain) BuildBlockWithUncles(coinbase types.Address, time uint64, 
 	// body validation will not rebuild the trie.
 	header.TxRoot = block.ComputedTxRoot()
 	header.ReceiptRoot = ReceiptRoot(receipts)
+	ReleaseReceipts(receipts) // consumed by the root; nothing retains them
 	return block, nil
 }
 

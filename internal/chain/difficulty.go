@@ -22,11 +22,19 @@ import (
 // difficulty in the measurement window (blocks ~1.9M–3.5M) and does not
 // affect any reported dynamics (recorded as a substitution in DESIGN.md).
 func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
-	// Validation guarantees time > parent.Time; guard anyway so a bad
+	return NextDifficulty(cfg, time, parent.Time, parent.Number, parent.Difficulty, nil)
+}
+
+// NextDifficulty is CalcDifficulty without the Header indirection and with
+// an optional destination: when dst is non-nil the result is stored into
+// it (and returned), so per-block callers can reuse one scratch big.Int
+// instead of allocating millions. The fast path then allocates nothing.
+func NextDifficulty(cfg *Config, time, parentTime, parentNumber uint64, parentDiff *big.Int, dst *big.Int) *big.Int {
+	// Validation guarantees time > parentTime; guard anyway so a bad
 	// caller gets a maximal raise rather than a uint64 wraparound.
 	var delta uint64
-	if time > parent.Time {
-		delta = time - parent.Time
+	if time > parentTime {
+		delta = time - parentTime
 	}
 
 	// Fast path: every realistic difficulty fits comfortably in an int64
@@ -35,7 +43,7 @@ func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
 	// machine words whenever it can. The bound keeps p plus its ~4.9%
 	// maximal step (and a bomb term capped at the same magnitude) far from
 	// overflow.
-	if pd := parent.Difficulty; pd.IsInt64() &&
+	if pd := parentDiff; pd.IsInt64() &&
 		cfg.DifficultyBoundDivisor.IsInt64() && cfg.MinimumDifficulty.IsInt64() {
 		p := pd.Int64()
 		if p > 0 && p < 1<<61 {
@@ -46,7 +54,7 @@ func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
 			d := p + p/cfg.DifficultyBoundDivisor.Int64()*adjust
 			bombOK := true
 			if cfg.EnableBomb {
-				period := (parent.Number + 1) / 100_000
+				period := (parentNumber + 1) / 100_000
 				if period >= 2 {
 					if period-2 < 61 {
 						d += int64(1) << (period - 2)
@@ -59,7 +67,10 @@ func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
 				if m := cfg.MinimumDifficulty.Int64(); d < m {
 					d = m
 				}
-				return big.NewInt(d)
+				if dst == nil {
+					return big.NewInt(d)
+				}
+				return dst.SetInt64(d)
 			}
 		}
 	}
@@ -74,19 +85,23 @@ func CalcDifficulty(cfg *Config, time uint64, parent *Header) *big.Int {
 		adjust = clamp
 	}
 
-	step := new(big.Int).Div(parent.Difficulty, cfg.DifficultyBoundDivisor)
-	diff := new(big.Int).Add(parent.Difficulty, step.Mul(step, adjust))
+	step := new(big.Int).Div(parentDiff, cfg.DifficultyBoundDivisor)
+	diff := new(big.Int).Add(parentDiff, step.Mul(step, adjust))
 
 	// Exponential difficulty bomb ("ice age"): +2^(number/100000 - 2).
 	// Off by default — at the fork height (~1.92M, period 19) it adds
 	// 2^17 against a ~7e13 difficulty, under a billionth; see
 	// TestBombNegligibleInStudyWindow.
 	if cfg.EnableBomb {
-		period := (parent.Number + 1) / 100_000
+		period := (parentNumber + 1) / 100_000
 		if period >= 2 {
 			bomb := new(big.Int).Lsh(big.NewInt(1), uint(period-2))
 			diff.Add(diff, bomb)
 		}
 	}
-	return types.BigMax(diff, cfg.MinimumDifficulty)
+	out := types.BigMax(diff, cfg.MinimumDifficulty)
+	if dst == nil {
+		return out
+	}
+	return dst.Set(out)
 }

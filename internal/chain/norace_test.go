@@ -1,0 +1,5 @@
+//go:build !race
+
+package chain
+
+const raceEnabled = false

@@ -3,11 +3,24 @@ package chain
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"forkwatch/internal/evm"
 	"forkwatch/internal/state"
 	"forkwatch/internal/types"
 )
+
+// txScratch holds the per-transaction big.Int workspace of
+// ApplyTransaction. The state mutators and the EVM copy their big.Int
+// arguments, so the scratches only need to live for the call; a pool (not
+// Processor fields) keeps ApplyTransaction safe under concurrent callers.
+type txScratch struct {
+	num   big.Int
+	gas   big.Int
+	money big.Int
+}
+
+var txScratchPool = sync.Pool{New: func() any { return new(txScratch) }}
 
 // Processor executes blocks against state: per-transaction gas purchase,
 // EVM execution, fee payment and the coinbase reward, plus the DAO
@@ -91,16 +104,27 @@ func (p *Processor) ValidateTx(tx *Transaction, st *state.DB, blockNum *big.Int)
 	if tx.IntrinsicGas() > tx.GasLimit {
 		return fmt.Errorf("%w: need %d, limit %d", ErrIntrinsicGas, tx.IntrinsicGas(), tx.GasLimit)
 	}
-	if st.GetBalance(tx.From).Cmp(tx.Cost()) < 0 {
-		return fmt.Errorf("%w: have %v, need %v", ErrInsufficientFunds, st.GetBalance(tx.From), tx.Cost())
+	sc := txScratchPool.Get().(*txScratch)
+	cost := tx.CostInto(&sc.money, &sc.gas)
+	if st.BalanceCmp(tx.From, cost) < 0 {
+		err := fmt.Errorf("%w: have %v, need %v", ErrInsufficientFunds, st.GetBalance(tx.From), tx.Cost())
+		txScratchPool.Put(sc)
+		return err
 	}
+	txScratchPool.Put(sc)
 	return nil
 }
 
 // ApplyTransaction executes one transaction, returning its receipt and the
 // gas it consumed from the block gas pool.
+// The returned receipt comes from the receipt arena; callers that fully
+// consume it (serialize, drop) should hand it back via ReleaseReceipt.
+// Every big.Int used for gas accounting is pooled scratch: the state
+// mutators and the EVM copy their arguments, so nothing leaks out.
 func (p *Processor) ApplyTransaction(tx *Transaction, st *state.DB, header *Header, gasPool uint64) (*Receipt, uint64, error) {
-	num := new(big.Int).SetUint64(header.Number)
+	sc := txScratchPool.Get().(*txScratch)
+	defer txScratchPool.Put(sc)
+	num := sc.num.SetUint64(header.Number)
 	if err := p.ValidateTx(tx, st, num); err != nil {
 		return nil, 0, err
 	}
@@ -111,7 +135,7 @@ func (p *Processor) ApplyTransaction(tx *Transaction, st *state.DB, header *Head
 	// Buy gas up front. The nonce bump for creations happens inside
 	// evm.Create (which derives the contract address from it); calls bump
 	// it here.
-	upfront := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(tx.GasLimit))
+	upfront := sc.money.Mul(tx.GasPrice, sc.gas.SetUint64(tx.GasLimit))
 	st.SubBalance(tx.From, upfront)
 	if !tx.IsContractCreation() {
 		st.SetNonce(tx.From, tx.Nonce+1)
@@ -127,7 +151,8 @@ func (p *Processor) ApplyTransaction(tx *Transaction, st *state.DB, header *Head
 	})
 	gas := tx.GasLimit - tx.IntrinsicGas()
 
-	rec := &Receipt{TxHash: tx.Hash()}
+	rec := NewPooledReceipt()
+	rec.TxHash = tx.Hash()
 	var gasLeft uint64
 	var execErr error
 	if tx.IsContractCreation() {
@@ -145,9 +170,9 @@ func (p *Processor) ApplyTransaction(tx *Transaction, st *state.DB, header *Head
 	rec.GasUsed = gasUsed
 
 	// Refund unused gas; pay the fee to the coinbase.
-	refund := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasLeft))
+	refund := sc.money.Mul(tx.GasPrice, sc.gas.SetUint64(gasLeft))
 	st.AddBalance(tx.From, refund)
-	fee := new(big.Int).Mul(tx.GasPrice, new(big.Int).SetUint64(gasUsed))
+	fee := sc.money.Mul(tx.GasPrice, sc.gas.SetUint64(gasUsed))
 	st.AddBalance(header.Coinbase, fee)
 	return rec, gasUsed, nil
 }

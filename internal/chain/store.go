@@ -96,11 +96,15 @@ func (s *Store) HasBlock(h types.Hash) (bool, error) {
 
 // PutReceipts queues the receipt list of block h.
 func (s *Store) PutReceipts(batch db.Batch, h types.Hash, receipts []*Receipt) {
-	items := make([]rlp.Value, len(receipts))
-	for i, r := range receipts {
-		items[i] = r.RLP()
+	payload := 0
+	for _, r := range receipts {
+		payload += r.EncodedSize()
 	}
-	batch.Put(hashKey(prefixReceipts, h), rlp.EncodeList(items...))
+	dst := rlp.AppendListHeader(make([]byte, 0, rlp.ListSize(payload)), payload)
+	for _, r := range receipts {
+		dst = r.appendRLP(dst)
+	}
+	batch.Put(hashKey(prefixReceipts, h), dst)
 }
 
 // Receipts reads and decodes the receipt list of block h.

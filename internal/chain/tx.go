@@ -92,23 +92,64 @@ func (tx *Transaction) Sign(from types.Address, chainID uint64) *Transaction {
 	return tx
 }
 
+// SignLazy records the sender and chain binding but defers the signature
+// tag (and therefore the payload keccak) to a later FinishSign. The
+// simulation engine uses this to fan signing out across a worker pool
+// after the day's deterministic transaction plan is drawn; the transaction
+// must not be validated, hashed or broadcast before FinishSign runs.
+func (tx *Transaction) SignLazy(from types.Address, chainID uint64) *Transaction {
+	tx.From = from
+	tx.ChainID = chainID
+	tx.SigTag = types.Hash{}
+	tx.hash.Store(nil)
+	tx.sigOK.Store(false)
+	return tx
+}
+
+// FinishSign completes a SignLazy by computing the signature tag. It is a
+// pure function of the already-frozen fields, so it is safe to call from a
+// worker goroutine as long as each transaction is finished exactly once.
+//
+// Unlike Sign, FinishSign marks verification as proven: the tag was
+// derived from the payload by this very call, so the recomputation
+// VerifySig would do is vacuously equal. Callers that mutate a
+// transaction after FinishSign must re-sign it; Sign keeps the
+// recompute-until-proven contract for tamper detection.
+func (tx *Transaction) FinishSign() {
+	tx.SigTag = tx.sigPayloadHash()
+	tx.sigOK.Store(true)
+}
+
 // sigPayloadHash covers every signed field, including the sender and the
 // chain id (the latter only when non-zero, mirroring EIP-155's
-// backwards-compatible encoding).
+// backwards-compatible encoding). Encoded into a pooled buffer and hashed
+// in place: zero allocations.
 func (tx *Transaction) sigPayloadHash() types.Hash {
-	items := []rlp.Value{
-		rlp.Uint(tx.Nonce),
-		rlp.BigInt(tx.GasPrice),
-		rlp.Uint(tx.GasLimit),
-		toValue(tx.To),
-		rlp.BigInt(tx.Value),
-		rlp.Bytes(tx.Data),
-		rlp.Bytes(tx.From.Bytes()),
-	}
+	payload := rlp.UintSize(tx.Nonce) +
+		rlp.BigIntSize(tx.GasPrice) +
+		rlp.UintSize(tx.GasLimit) +
+		toSize(tx.To) +
+		rlp.BigIntSize(tx.Value) +
+		rlp.BytesSize(tx.Data) +
+		1 + types.AddressLength
 	if tx.ChainID != 0 {
-		items = append(items, rlp.Uint(tx.ChainID))
+		payload += rlp.UintSize(tx.ChainID)
 	}
-	h := keccak.Sum256Pooled(rlp.EncodeList(items...))
+	bp := rlp.GetBuf()
+	buf := rlp.AppendListHeader(*bp, payload)
+	buf = rlp.AppendUint(buf, tx.Nonce)
+	buf = rlp.AppendBigInt(buf, tx.GasPrice)
+	buf = rlp.AppendUint(buf, tx.GasLimit)
+	buf = appendTo(buf, tx.To)
+	buf = rlp.AppendBigInt(buf, tx.Value)
+	buf = rlp.AppendBytes(buf, tx.Data)
+	buf = rlp.AppendBytes(buf, tx.From[:])
+	if tx.ChainID != 0 {
+		buf = rlp.AppendUint(buf, tx.ChainID)
+	}
+	h := keccak.Sum256Pooled(buf)
+	*bp = buf
+	rlp.PutBuf(bp)
 	return types.BytesToHash(h[:])
 }
 
@@ -134,7 +175,11 @@ func (tx *Transaction) Hash() types.Hash {
 	if p := tx.hash.Load(); p != nil {
 		return *p
 	}
-	h := keccak.Sum256Pooled(tx.Encode())
+	bp := rlp.GetBuf()
+	buf := tx.appendRLP(*bp)
+	h := keccak.Sum256Pooled(buf)
+	*bp = buf
+	rlp.PutBuf(bp)
 	hh := types.BytesToHash(h[:])
 	tx.hash.Store(&hh)
 	return hh
@@ -156,9 +201,42 @@ func (tx *Transaction) RLP() rlp.Value {
 	)
 }
 
-// Encode returns the canonical RLP encoding.
+// EncodedSize returns the exact length of Encode's output.
+func (tx *Transaction) EncodedSize() int {
+	return rlp.ListSize(tx.payloadSize())
+}
+
+func (tx *Transaction) payloadSize() int {
+	return rlp.UintSize(tx.Nonce) +
+		rlp.BigIntSize(tx.GasPrice) +
+		rlp.UintSize(tx.GasLimit) +
+		toSize(tx.To) +
+		rlp.BigIntSize(tx.Value) +
+		rlp.BytesSize(tx.Data) +
+		rlp.UintSize(tx.ChainID) +
+		1 + types.AddressLength +
+		1 + types.HashLength
+}
+
+// appendRLP appends the canonical encoding onto dst; identical bytes to
+// rlp.Encode(tx.RLP()) with no intermediate Value tree.
+func (tx *Transaction) appendRLP(dst []byte) []byte {
+	dst = rlp.AppendListHeader(dst, tx.payloadSize())
+	dst = rlp.AppendUint(dst, tx.Nonce)
+	dst = rlp.AppendBigInt(dst, tx.GasPrice)
+	dst = rlp.AppendUint(dst, tx.GasLimit)
+	dst = appendTo(dst, tx.To)
+	dst = rlp.AppendBigInt(dst, tx.Value)
+	dst = rlp.AppendBytes(dst, tx.Data)
+	dst = rlp.AppendUint(dst, tx.ChainID)
+	dst = rlp.AppendBytes(dst, tx.From[:])
+	dst = rlp.AppendBytes(dst, tx.SigTag[:])
+	return dst
+}
+
+// Encode returns the canonical RLP encoding in one exact-size allocation.
 func (tx *Transaction) Encode() []byte {
-	return rlp.Encode(tx.RLP())
+	return tx.appendRLP(make([]byte, 0, tx.EncodedSize()))
 }
 
 // DecodeTx parses a transaction from its RLP encoding.
@@ -232,6 +310,13 @@ func (tx *Transaction) Cost() *big.Int {
 	return cost.Add(cost, tx.Value)
 }
 
+// CostInto is Cost computed into caller scratch (dst holds the result, tmp
+// is clobbered), allocating nothing on the hot validation path.
+func (tx *Transaction) CostInto(dst, tmp *big.Int) *big.Int {
+	dst.Mul(tx.GasPrice, tmp.SetUint64(tx.GasLimit))
+	return dst.Add(dst, tx.Value)
+}
+
 // IntrinsicGas is the base cost charged before execution: 21000 plus
 // calldata costs (4 per zero byte, 68 per non-zero byte, Homestead).
 func (tx *Transaction) IntrinsicGas() uint64 {
@@ -254,6 +339,21 @@ func toValue(to *types.Address) rlp.Value {
 		return rlp.Bytes(nil)
 	}
 	return rlp.Bytes(to.Bytes())
+}
+
+// toSize and appendTo mirror toValue for the append-style encoders.
+func toSize(to *types.Address) int {
+	if to == nil {
+		return 1
+	}
+	return 1 + types.AddressLength
+}
+
+func appendTo(dst []byte, to *types.Address) []byte {
+	if to == nil {
+		return rlp.AppendBytes(dst, nil)
+	}
+	return rlp.AppendBytes(dst, to[:])
 }
 
 // Receipt records the outcome of one executed transaction.
@@ -286,8 +386,39 @@ func (r *Receipt) RLP() rlp.Value {
 	)
 }
 
+func (r *Receipt) payloadSize() int {
+	return (1 + types.HashLength) +
+		1 + // status: 0 or 1, single byte
+		rlp.UintSize(r.GasUsed) +
+		(1 + types.AddressLength) +
+		1 // contract flag: 0 or 1
+}
+
+// EncodedSize returns the exact length of Encode's output.
+func (r *Receipt) EncodedSize() int { return rlp.ListSize(r.payloadSize()) }
+
+// appendRLP appends the canonical encoding onto dst; identical bytes to
+// rlp.Encode(r.RLP()).
+func (r *Receipt) appendRLP(dst []byte) []byte {
+	status := uint64(0)
+	if r.Status {
+		status = 1
+	}
+	contract := uint64(0)
+	if r.ContractCall {
+		contract = 1
+	}
+	dst = rlp.AppendListHeader(dst, r.payloadSize())
+	dst = rlp.AppendBytes(dst, r.TxHash[:])
+	dst = rlp.AppendUint(dst, status)
+	dst = rlp.AppendUint(dst, r.GasUsed)
+	dst = rlp.AppendBytes(dst, r.ContractAddress[:])
+	dst = rlp.AppendUint(dst, contract)
+	return dst
+}
+
 // Encode returns the canonical RLP encoding of the receipt (committed to
-// by the header's receipt root).
+// by the header's receipt root) in one exact-size allocation.
 func (r *Receipt) Encode() []byte {
-	return rlp.Encode(r.RLP())
+	return r.appendRLP(make([]byte, 0, r.EncodedSize()))
 }

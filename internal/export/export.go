@@ -341,7 +341,9 @@ func (rec *Recorder) OnBlock(ev *sim.BlockEvent) {
 		Chain:      ev.Chain,
 		Number:     ev.Number,
 		Time:       ev.Time,
-		Difficulty: ev.Difficulty,
+		// The event is pooled and its Difficulty buffer is recycled at the
+		// day barrier; a retaining observer must copy it.
+		Difficulty: types.BigCopy(ev.Difficulty),
 		Coinbase:   ev.Coinbase,
 		TxCount:    len(ev.Txs),
 	})

@@ -11,6 +11,7 @@
 package keccak
 
 import (
+	"encoding/binary"
 	"hash"
 	"sync"
 )
@@ -147,69 +148,17 @@ func (d *state) checkSum(out []byte) {
 
 	// Squeeze. Both supported digest sizes fit inside a single rate
 	// block, so one extraction suffices.
-	for i := 0; i < d.size; i++ {
-		out[i] = byte(d.a[i/8] >> (8 * uint(i%8)))
+	for i := 0; i+8 <= d.size; i += 8 {
+		binary.LittleEndian.PutUint64(out[i:], d.a[i/8])
 	}
 }
 
 // absorb XORs a full rate block into the state and applies Keccak-f[1600].
 func (d *state) absorb(block []byte) {
 	for i := 0; i < len(block)/8; i++ {
-		var lane uint64
-		for j := 0; j < 8; j++ {
-			lane |= uint64(block[i*8+j]) << (8 * uint(j))
-		}
-		d.a[i] ^= lane
+		d.a[i] ^= binary.LittleEndian.Uint64(block[i*8:])
 	}
 	keccakF1600(&d.a)
 }
 
-// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
-func keccakF1600(a *[25]uint64) {
-	var c [5]uint64
-	var dcol [5]uint64
-	var b [25]uint64
-
-	for round := 0; round < 24; round++ {
-		// theta
-		for x := 0; x < 5; x++ {
-			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
-		}
-		for x := 0; x < 5; x++ {
-			dcol[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
-		}
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] ^= dcol[x]
-			}
-		}
-
-		// rho and pi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rhoOffsets[x+5*y])
-			}
-		}
-
-		// chi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
-			}
-		}
-
-		// iota
-		a[0] ^= roundConstants[round]
-	}
-}
-
-// rhoOffsets holds the rotation constants of the rho step, indexed x + 5y.
-var rhoOffsets = [25]uint{
-	0, 1, 62, 28, 27,
-	36, 44, 6, 55, 20,
-	3, 10, 43, 25, 39,
-	41, 45, 15, 21, 8,
-	18, 2, 61, 56, 14,
-}
-
-func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+// The permutation itself lives in keccakf.go (unrolled).

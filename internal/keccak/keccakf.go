@@ -1,0 +1,164 @@
+// Unrolled Keccak-f[1600] permutation. The straightforward spec loops in
+// this package's first implementation spent most of their time on modulo
+// index arithmetic, bounds checks and a full 25-lane temporary copy per
+// round; profiles of the nine-month figure benchmarks attributed ~40% of
+// total CPU to the permutation. This version keeps all 25 lanes in local
+// variables across the 24 rounds with every step index-resolved at compile
+// time. The schedule below is generated mechanically from the same
+// reference formulas (theta, rho, pi, chi, iota) and is bit-identical to
+// the loop form.
+
+package keccak
+
+import "math/bits"
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+func keccakF1600(a *[25]uint64) {
+	a0 := a[0]
+	a1 := a[1]
+	a2 := a[2]
+	a3 := a[3]
+	a4 := a[4]
+	a5 := a[5]
+	a6 := a[6]
+	a7 := a[7]
+	a8 := a[8]
+	a9 := a[9]
+	a10 := a[10]
+	a11 := a[11]
+	a12 := a[12]
+	a13 := a[13]
+	a14 := a[14]
+	a15 := a[15]
+	a16 := a[16]
+	a17 := a[17]
+	a18 := a[18]
+	a19 := a[19]
+	a20 := a[20]
+	a21 := a[21]
+	a22 := a[22]
+	a23 := a[23]
+	a24 := a[24]
+
+	for round := 0; round < 24; round++ {
+		// theta
+		c0 := a0 ^ a5 ^ a10 ^ a15 ^ a20
+		c1 := a1 ^ a6 ^ a11 ^ a16 ^ a21
+		c2 := a2 ^ a7 ^ a12 ^ a17 ^ a22
+		c3 := a3 ^ a8 ^ a13 ^ a18 ^ a23
+		c4 := a4 ^ a9 ^ a14 ^ a19 ^ a24
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+		a0 ^= d0
+		a1 ^= d1
+		a2 ^= d2
+		a3 ^= d3
+		a4 ^= d4
+		a5 ^= d0
+		a6 ^= d1
+		a7 ^= d2
+		a8 ^= d3
+		a9 ^= d4
+		a10 ^= d0
+		a11 ^= d1
+		a12 ^= d2
+		a13 ^= d3
+		a14 ^= d4
+		a15 ^= d0
+		a16 ^= d1
+		a17 ^= d2
+		a18 ^= d3
+		a19 ^= d4
+		a20 ^= d0
+		a21 ^= d1
+		a22 ^= d2
+		a23 ^= d3
+		a24 ^= d4
+
+		// rho and pi
+		b0 := a0
+		b16 := bits.RotateLeft64(a5, 36)
+		b7 := bits.RotateLeft64(a10, 3)
+		b23 := bits.RotateLeft64(a15, 41)
+		b14 := bits.RotateLeft64(a20, 18)
+		b10 := bits.RotateLeft64(a1, 1)
+		b1 := bits.RotateLeft64(a6, 44)
+		b17 := bits.RotateLeft64(a11, 10)
+		b8 := bits.RotateLeft64(a16, 45)
+		b24 := bits.RotateLeft64(a21, 2)
+		b20 := bits.RotateLeft64(a2, 62)
+		b11 := bits.RotateLeft64(a7, 6)
+		b2 := bits.RotateLeft64(a12, 43)
+		b18 := bits.RotateLeft64(a17, 15)
+		b9 := bits.RotateLeft64(a22, 61)
+		b5 := bits.RotateLeft64(a3, 28)
+		b21 := bits.RotateLeft64(a8, 55)
+		b12 := bits.RotateLeft64(a13, 25)
+		b3 := bits.RotateLeft64(a18, 21)
+		b19 := bits.RotateLeft64(a23, 56)
+		b15 := bits.RotateLeft64(a4, 27)
+		b6 := bits.RotateLeft64(a9, 20)
+		b22 := bits.RotateLeft64(a14, 39)
+		b13 := bits.RotateLeft64(a19, 8)
+		b4 := bits.RotateLeft64(a24, 14)
+
+		// chi
+		a0 = b0 ^ (^b1 & b2)
+		a1 = b1 ^ (^b2 & b3)
+		a2 = b2 ^ (^b3 & b4)
+		a3 = b3 ^ (^b4 & b0)
+		a4 = b4 ^ (^b0 & b1)
+		a5 = b5 ^ (^b6 & b7)
+		a6 = b6 ^ (^b7 & b8)
+		a7 = b7 ^ (^b8 & b9)
+		a8 = b8 ^ (^b9 & b5)
+		a9 = b9 ^ (^b5 & b6)
+		a10 = b10 ^ (^b11 & b12)
+		a11 = b11 ^ (^b12 & b13)
+		a12 = b12 ^ (^b13 & b14)
+		a13 = b13 ^ (^b14 & b10)
+		a14 = b14 ^ (^b10 & b11)
+		a15 = b15 ^ (^b16 & b17)
+		a16 = b16 ^ (^b17 & b18)
+		a17 = b17 ^ (^b18 & b19)
+		a18 = b18 ^ (^b19 & b15)
+		a19 = b19 ^ (^b15 & b16)
+		a20 = b20 ^ (^b21 & b22)
+		a21 = b21 ^ (^b22 & b23)
+		a22 = b22 ^ (^b23 & b24)
+		a23 = b23 ^ (^b24 & b20)
+		a24 = b24 ^ (^b20 & b21)
+
+		// iota
+		a0 ^= roundConstants[round]
+	}
+
+	a[0] = a0
+	a[1] = a1
+	a[2] = a2
+	a[3] = a3
+	a[4] = a4
+	a[5] = a5
+	a[6] = a6
+	a[7] = a7
+	a[8] = a8
+	a[9] = a9
+	a[10] = a10
+	a[11] = a11
+	a[12] = a12
+	a[13] = a13
+	a[14] = a14
+	a[15] = a15
+	a[16] = a16
+	a[17] = a17
+	a[18] = a18
+	a[19] = a19
+	a[20] = a20
+	a[21] = a21
+	a[22] = a22
+	a[23] = a23
+	a[24] = a24
+}

@@ -78,7 +78,16 @@ func NewPartitionSampler(seed int64, partition string) *Sampler {
 // a network hashing at `hashrate` H/s against `difficulty`: an exponential
 // with mean difficulty/hashrate.
 func (s *Sampler) BlockInterval(difficulty *big.Int, hashrate float64) uint64 {
-	mean := Mean(difficulty, hashrate)
+	return s.BlockIntervalFloat(types.BigToFloat64(difficulty), hashrate)
+}
+
+// BlockIntervalFloat is BlockInterval with the difficulty already reduced
+// to a float64 (types.BigToFloat64). The draw and rounding are identical —
+// one ExpFloat64 per call — so a caller that caches the float view of its
+// head difficulty produces byte-identical chains while skipping a big.Int
+// copy per block.
+func (s *Sampler) BlockIntervalFloat(difficulty, hashrate float64) uint64 {
+	mean := MeanFloat(difficulty, hashrate)
 	draw := s.r.ExpFloat64() * mean
 	if draw < 1 {
 		return 1
@@ -96,6 +105,14 @@ func (s *Sampler) WinnerIndex(weights []float64) int {
 	for _, w := range weights {
 		total += w
 	}
+	return s.WinnerIndexTotal(weights, total)
+}
+
+// WinnerIndexTotal is WinnerIndex with the weight sum precomputed by the
+// caller (it must be the left-to-right sum of weights, or the draw's
+// scaling — and therefore determinism — breaks). The engine sums each
+// day's pool weights once instead of once per block.
+func (s *Sampler) WinnerIndexTotal(weights []float64, total float64) int {
 	if total <= 0 {
 		return -1
 	}
@@ -112,11 +129,15 @@ func (s *Sampler) WinnerIndex(weights []float64) int {
 // Mean returns the expected block interval in seconds for the given
 // difficulty and hashrate.
 func Mean(difficulty *big.Int, hashrate float64) float64 {
+	return MeanFloat(types.BigToFloat64(difficulty), hashrate)
+}
+
+// MeanFloat is Mean over an already-reduced difficulty.
+func MeanFloat(difficulty, hashrate float64) float64 {
 	if hashrate <= 0 {
 		return math.Inf(1)
 	}
-	d := types.BigToFloat64(difficulty)
-	return d / hashrate
+	return difficulty / hashrate
 }
 
 // EquilibriumHashrate returns the hashrate that would produce the target

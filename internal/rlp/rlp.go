@@ -167,26 +167,44 @@ func (v Value) ListOf(n int) ([]Value, error) {
 	return items, nil
 }
 
-// Encode serializes v per the RLP rules.
+// Encode serializes v per the RLP rules. The output is built in a single
+// exact-size buffer: sizes are precomputed recursively, so nested lists do
+// not allocate intermediate payload slices.
 func Encode(v Value) []byte {
-	return appendValue(nil, v)
+	return appendValue(make([]byte, 0, Size(v)), v)
 }
 
 // EncodeList is shorthand for Encode(List(items...)).
 func EncodeList(items ...Value) []byte {
-	return Encode(List(items...))
+	v := Value{IsList: true, Items: items}
+	return appendValue(make([]byte, 0, Size(v)), v)
+}
+
+// Size returns the exact encoded length of v in bytes.
+func Size(v Value) int {
+	if !v.IsList {
+		return BytesSize(v.Str)
+	}
+	payload := 0
+	for _, item := range v.Items {
+		payload += Size(item)
+	}
+	return headSize(payload) + payload
 }
 
 func appendValue(dst []byte, v Value) []byte {
 	if !v.IsList {
 		return appendString(dst, v.Str)
 	}
-	var payload []byte
+	payload := 0
 	for _, item := range v.Items {
-		payload = appendValue(payload, item)
+		payload += Size(item)
 	}
-	dst = appendLength(dst, 0xc0, len(payload))
-	return append(dst, payload...)
+	dst = appendLength(dst, 0xc0, payload)
+	for _, item := range v.Items {
+		dst = appendValue(dst, item)
+	}
+	return dst
 }
 
 func appendString(dst, s []byte) []byte {

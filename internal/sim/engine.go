@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -31,6 +31,12 @@ type TxInfo struct {
 }
 
 // BlockEvent is emitted for every mined block.
+//
+// Events are pooled: the engine recycles each event (including its
+// Difficulty big.Int and Txs backing array) after the day barrier that
+// delivered it. Observers that retain anything past OnBlock must copy it
+// (types.BigCopy for Difficulty, a fresh slice for Txs); observers that
+// aggregate in place need no changes.
 type BlockEvent struct {
 	Chain      string
 	Day        int
@@ -40,6 +46,10 @@ type BlockEvent struct {
 	Difficulty *big.Int
 	Coinbase   types.Address
 	Txs        []TxInfo
+
+	// diffBuf backs Difficulty so a recycled event reuses one big.Int
+	// instead of copying the head difficulty per block.
+	diffBuf big.Int
 }
 
 // PartitionDay is one partition's slice of a DayEvent, in partition
@@ -122,8 +132,11 @@ type partition struct {
 	// pool.Behaviour.StickyFraction), resolved once at build time.
 	sticky float64
 
-	// pending carries unmined submissions across days.
+	// pending carries unmined submissions across days; pendBuf is its
+	// backing buffer, compacted to the front on every enqueue so the day
+	// loop's consumption doesn't slide through an ever-growing array.
 	pending []txPlan
+	pendBuf []txPlan
 
 	// storage is the chain's storage stack for fault injection and crash
 	// recovery; nil in ModeFast.
@@ -138,7 +151,27 @@ type partition struct {
 	hashrate float64
 	eipDay   int
 	events   []*BlockEvent
+
+	// evFree holds delivered events for reuse; the day barrier refills it
+	// after the observers have seen the day's blocks (DESIGN.md §15).
+	evFree []*BlockEvent
+	// txScratch and freshScratch carry one block's candidate transactions
+	// (and their arena-freshness) from the pending queue into MineBlock;
+	// reused every block.
+	txScratch    []*chain.Transaction
+	freshScratch []bool
 }
+
+// diffLender is the sim-internal side door both ledgers implement: it
+// lends the live head-difficulty big.Int so per-block events can copy it
+// into their own buffers without an allocation. Borrowers must not hold
+// the reference across a head change.
+type diffLender interface{ headDiffRef() *big.Int }
+
+// dayArena is implemented by ledgers that carve per-day scratch (the fast
+// ledger's included-transaction arena); the engine resets it at the day
+// barrier once echoes and observers are done with the day's slices.
+type dayArena interface{ resetDayArena() }
 
 // chainStorage is one chain's storage stack: the KV the Blockchain uses
 // (retry-wrapped when faults are on), the fault injector inside it, and
@@ -154,6 +187,12 @@ type chainStorage struct {
 	kv     db.KV
 	faults *faultkv.KV   // logical injection (mem/cached backends)
 	ffs    *faultfile.FS // physical injection (disk backend)
+	// coal batches a whole day of block commits into one backend write
+	// (flushed at the end of stepDay). Only installed when the scenario
+	// injects no storage faults and schedules no crashes: recovery
+	// semantics need per-block durability, coalescing trades exactly
+	// that away.
+	coal *db.Coalescer
 	// reopenDisk rebuilds the disk store over the surviving medium after a
 	// crash: close the dead store, re-run diskdb.Open's recovery scan with
 	// injection paused, re-wrap in the retry policy. Nil unless ffs is set.
@@ -281,6 +320,9 @@ func New(sc *Scenario) (*Engine, error) {
 		for i := range specs {
 			ledgers[i] = NewFastLedger(cfgs[i], gen)
 		}
+		// Fast-mode blocks are not retained anywhere, so the echo flush
+		// may recycle mined transactions with no surviving references.
+		w.recycleMined = true
 	case ModeFull:
 		// Each chain gets its own store opened from the same config:
 		// partitions never share storage, only gossip — the disk backend
@@ -311,7 +353,8 @@ func New(sc *Scenario) (*Engine, error) {
 				if err != nil {
 					return nil, err
 				}
-				return &chainStorage{kv: kv}, nil
+				coal := db.NewCoalescer(kv)
+				return &chainStorage{kv: coal, coal: coal}, nil
 			}
 			if cfg.Backend == db.BackendDisk {
 				if err := cfg.Validate(); err != nil {
@@ -607,7 +650,14 @@ func (e *Engine) Run() error {
 					o.OnBlock(ev)
 				}
 			}
+			// Observers are done with the day's events and (via
+			// FlushEchoes above) with the day's included-tx slices:
+			// recycle both.
+			p.evFree = append(p.evFree, p.events...)
 			p.events = p.events[:0]
+			if a, ok := p.ledger.(dayArena); ok {
+				a.resetDayArena()
+			}
 		}
 
 		ev := &DayEvent{Day: day, Partitions: make([]PartitionDay, k)}
@@ -638,10 +688,60 @@ func (e *Engine) stepDay(day int, p *partition) error {
 		p.pools.Consolidate(p.spec.PoolChurn, p.spec.PoolAlpha, p.spec.PoolCap, p.poolR)
 	}
 
-	// Traffic for the day.
-	p.enqueue(e.Workload.DayTraffic(day, p.name, p.ledger, p.eipDay))
+	// Traffic for the day: draw the deterministic plan single-threaded on
+	// this partition's streams, then fan the signature keccaks — the only
+	// order-independent part — across workers before anything validates.
+	plans := e.Workload.DayTraffic(day, p.name, p.ledger, p.eipDay)
+	e.finishSigning(plans)
+	p.enqueue(plans)
 
-	return e.mineDay(day, p)
+	if err := e.mineDay(day, p); err != nil {
+		return err
+	}
+	// One backend write for the whole day's block commits (fault-free
+	// full mode only; see chainStorage.coal).
+	if p.storage != nil && p.storage.coal != nil {
+		if err := p.storage.coal.Flush(); err != nil {
+			return fmt.Errorf("sim: %s day %d storage flush: %w", p.name, day, err)
+		}
+	}
+	return nil
+}
+
+// signFanoutMin is the plan size below which the fan-out overhead beats
+// the keccak savings and signing stays inline.
+const signFanoutMin = 256
+
+// finishSigning completes the lazy signatures of a day's fresh
+// transactions. Each FinishSign is a pure function of its own transaction,
+// so the work splits into chunks with no effect on ordering or RNG
+// streams — serial and parallel runs stay byte-identical. Inline when the
+// scenario is serial or the batch is small.
+func (e *Engine) finishSigning(plans []txPlan) {
+	if e.sc.ResolveParallelism() < 2 || len(plans) < signFanoutMin {
+		for i := range plans {
+			if plans[i].fresh {
+				plans[i].tx.FinishSign()
+			}
+		}
+		return
+	}
+	workers := e.sc.ResolveParallelism()
+	chunk := (len(plans) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < len(plans); start += chunk {
+		end := min(start+chunk, len(plans))
+		wg.Add(1)
+		go func(ps []txPlan) {
+			defer wg.Done()
+			for i := range ps {
+				if ps[i].fresh {
+					ps[i].tx.FinishSign()
+				}
+			}
+		}(plans[start:end])
+	}
+	wg.Wait()
 }
 
 // recoverMine handles a MineBlock failure on a chain wired for storage
@@ -693,9 +793,22 @@ func (e *Engine) recoverMine(led Ledger, stg *chainStorage, mineErr error, t uin
 }
 
 func (p *partition) enqueue(plans []txPlan) {
-	p.pending = append(p.pending, plans...)
-	sort.SliceStable(p.pending, func(i, j int) bool {
-		return p.pending[i].second < p.pending[j].second
+	// Compact leftovers to the front of the backing buffer (overlapping
+	// copy is fine), then append the day's plans.
+	merged := append(p.pendBuf[:0], p.pending...)
+	merged = append(merged, plans...)
+	p.pending = merged
+	p.pendBuf = merged[:0:cap(merged)]
+	// Stable sort fixes the order, so any stable algorithm gives the same
+	// queue; the generic form skips sort.SliceStable's reflection.
+	slices.SortStableFunc(p.pending, func(a, b txPlan) int {
+		switch {
+		case a.second < b.second:
+			return -1
+		case a.second > b.second:
+			return 1
+		}
+		return 0
 	})
 }
 
@@ -715,15 +828,23 @@ func (e *Engine) mineDay(day int, p *partition) error {
 		t = dayStart
 	}
 	weights := p.pools.Weights()
+	totalWeight := 0.0
+	for _, w := range weights {
+		totalWeight += w
+	}
+	lender, _ := led.(diffLender)
 	blockIdx := 0
 
 	for {
-		interval := p.sampler.BlockInterval(led.HeadDifficulty(), p.hashrate)
+		interval := p.sampler.BlockIntervalFloat(led.HeadDifficultyFloat(), p.hashrate)
 		t += interval
 		if t >= dayEnd {
 			return nil
 		}
-		// Submissions whose time has passed become the block body.
+		// Submissions whose time has passed become the block body. The
+		// batch lives in per-partition scratch: no ledger retains it
+		// (FastLedger copies into its arena, FullLedger rebuilds its own
+		// included slice).
 		queue := p.pending
 		daySecond := t - dayStart
 		cut := 0
@@ -731,16 +852,20 @@ func (e *Engine) mineDay(day int, p *partition) error {
 			cut++
 		}
 		var txs []*chain.Transaction
+		var fresh []bool
 		if cut > 0 {
-			txs = make([]*chain.Transaction, cut)
+			txs = p.txScratch[:0]
+			fresh = p.freshScratch[:0]
 			for i := 0; i < cut; i++ {
-				txs[i] = queue[i].tx
+				txs = append(txs, queue[i].tx)
+				fresh = append(fresh, queue[i].fresh)
 			}
+			p.txScratch, p.freshScratch = txs, fresh
 			p.pending = queue[cut:]
 		}
 
 		var coinbase types.Address
-		if winner := p.sampler.WinnerIndex(weights); winner >= 0 {
+		if winner := p.sampler.WinnerIndexTotal(weights, totalWeight); winner >= 0 {
 			coinbase = p.pools.Pools[winner].Address
 		}
 
@@ -770,26 +895,49 @@ func (e *Engine) mineDay(day int, p *partition) error {
 		blockIdx++
 		e.Workload.ObserveMined(p.name, included)
 
-		if len(e.observers) > 0 {
-			ev := &BlockEvent{
-				Chain:      p.name,
-				Day:        day,
-				Number:     led.HeadNumber(),
-				Time:       t,
-				Delta:      t - parentTime,
-				Difficulty: led.HeadDifficulty(),
-				Coinbase:   coinbase,
-			}
-			if len(included) > 0 {
-				ev.Txs = make([]TxInfo, len(included))
-				for i, tx := range included {
-					ev.Txs[i] = TxInfo{
-						Hash:       tx.Hash(),
-						From:       tx.From,
-						Contract:   tx.To == nil || len(tx.Data) > 0,
-						ChainBound: tx.ChainID != 0,
-					}
+		// Fresh transactions that were dropped (invalid nonce, out of
+		// funds, out of gas) were never mined anywhere and never echoed,
+		// so nothing else can reference them: recycle them into the
+		// transaction arena. included is an in-order subsequence of txs.
+		if len(txs) > 0 {
+			j := 0
+			for i, tx := range txs {
+				if j < len(included) && included[j] == tx {
+					j++
+					continue
 				}
+				if fresh[i] {
+					chain.ReleaseTransaction(tx)
+				}
+			}
+		}
+
+		if len(e.observers) > 0 {
+			var ev *BlockEvent
+			if n := len(p.evFree); n > 0 {
+				ev, p.evFree = p.evFree[n-1], p.evFree[:n-1]
+			} else {
+				ev = new(BlockEvent)
+			}
+			ev.Chain = p.name
+			ev.Day = day
+			ev.Number = led.HeadNumber()
+			ev.Time = t
+			ev.Delta = t - parentTime
+			if lender != nil {
+				ev.Difficulty = ev.diffBuf.Set(lender.headDiffRef())
+			} else {
+				ev.Difficulty = ev.diffBuf.Set(led.HeadDifficulty())
+			}
+			ev.Coinbase = coinbase
+			ev.Txs = ev.Txs[:0]
+			for _, tx := range included {
+				ev.Txs = append(ev.Txs, TxInfo{
+					Hash:       tx.Hash(),
+					From:       tx.From,
+					Contract:   tx.To == nil || len(tx.Data) > 0,
+					ChainBound: tx.ChainID != 0,
+				})
 			}
 			p.events = append(p.events, ev)
 		}

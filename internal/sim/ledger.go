@@ -42,6 +42,10 @@ type Ledger interface {
 	HeadTime() uint64
 	// HeadDifficulty returns the head block's difficulty.
 	HeadDifficulty() *big.Int
+	// HeadDifficultyFloat returns types.BigToFloat64 of the head
+	// difficulty without copying the big.Int — the sampler's hot input,
+	// consumed once per block attempt.
+	HeadDifficultyFloat() float64
 	// ValidateTx checks a transaction against the head state exactly as
 	// consensus would.
 	ValidateTx(tx *chain.Transaction) error
@@ -63,6 +67,13 @@ type fastAccount struct {
 
 // FastLedger simulates headers and account balances under the full
 // difficulty and replay rules, without EVM execution or tries.
+//
+// Per-block and per-transaction arithmetic runs entirely in reusable
+// scratch space (DESIGN.md §15): the difficulty double-buffers through
+// diffScratch, fees and costs accumulate in dedicated big.Ints, and the
+// included-transaction slices of a day's blocks are carved out of one
+// arena the engine resets at the day barrier. None of this is visible to
+// callers — the ledger is single-goroutine by contract.
 type FastLedger struct {
 	cfg      *chain.Config
 	number   uint64
@@ -72,20 +83,36 @@ type FastLedger struct {
 	// contracts marks addresses that carry code, for receipt-style
 	// classification of calls.
 	contracts map[types.Address]bool
+
+	// diffFloat caches types.BigToFloat64(diff), refreshed on every head
+	// change; the sampler reads it once per block attempt.
+	diffFloat float64
+	// diffScratch is the spare head-difficulty buffer NextDifficulty
+	// writes into before the swap.
+	diffScratch *big.Int
+	numScratch  big.Int // block-number scratch for rule checks
+	feeScratch  big.Int // per-transaction fee accumulation
+	costScratch big.Int // CostInto destination
+	costTmp     big.Int // CostInto clobber
+	// incArena backs MineBlock's included-transaction slices for the
+	// current day; resetDayArena truncates it at the day barrier.
+	incArena []*chain.Transaction
 }
 
 // NewFastLedger creates a fast ledger from a genesis spec.
 func NewFastLedger(cfg *chain.Config, gen *chain.Genesis) *FastLedger {
 	l := &FastLedger{
-		cfg:       cfg,
-		time:      gen.Time,
-		diff:      types.BigCopy(gen.Difficulty),
-		accounts:  make(map[types.Address]*fastAccount),
-		contracts: make(map[types.Address]bool),
+		cfg:         cfg,
+		time:        gen.Time,
+		diff:        types.BigCopy(gen.Difficulty),
+		diffScratch: new(big.Int),
+		accounts:    make(map[types.Address]*fastAccount),
+		contracts:   make(map[types.Address]bool),
 	}
 	if l.diff == nil {
 		l.diff = types.BigCopy(cfg.MinimumDifficulty)
 	}
+	l.diffFloat = types.BigToFloat64(l.diff)
 	for addr, bal := range gen.Alloc {
 		l.accounts[addr] = &fastAccount{balance: types.BigCopy(bal)}
 	}
@@ -109,6 +136,17 @@ func (l *FastLedger) HeadTime() uint64 { return l.time }
 
 // HeadDifficulty implements Ledger.
 func (l *FastLedger) HeadDifficulty() *big.Int { return types.BigCopy(l.diff) }
+
+// HeadDifficultyFloat implements Ledger.
+func (l *FastLedger) HeadDifficultyFloat() float64 { return l.diffFloat }
+
+// headDiffRef lends out the live head-difficulty big.Int; sim-internal
+// readers must copy (big.Int.Set) before the next MineBlock.
+func (l *FastLedger) headDiffRef() *big.Int { return l.diff }
+
+// resetDayArena recycles the day's included-transaction backing; the
+// engine calls it at the day barrier once every borrower is done.
+func (l *FastLedger) resetDayArena() { l.incArena = l.incArena[:0] }
 
 // IsContract reports whether the address carries code.
 func (l *FastLedger) IsContract(a types.Address) bool { return l.contracts[a] }
@@ -139,33 +177,46 @@ func (l *FastLedger) BalanceOf(a types.Address) *big.Int {
 }
 
 // ValidateTx mirrors chain.Processor.ValidateTx against the fast state.
+// Allocation-free on the accept path: number, cost and balance checks run
+// in ledger scratch space.
 func (l *FastLedger) ValidateTx(tx *chain.Transaction) error {
+	_, err := l.validateTx(tx)
+	return err
+}
+
+// validateTx is ValidateTx returning the sender's account record, so the
+// mining loop gets the one map lookup all its checks and debits share.
+func (l *FastLedger) validateTx(tx *chain.Transaction) (*fastAccount, error) {
 	if err := tx.VerifySig(); err != nil {
-		return err
+		return nil, err
 	}
 	if tx.ChainID != 0 {
-		blockNum := new(big.Int).SetUint64(l.number + 1)
-		if !l.cfg.IsEIP155(blockNum) {
-			return fmt.Errorf("%w: chain ids not active", chain.ErrWrongChainID)
+		if !l.cfg.IsEIP155(l.numScratch.SetUint64(l.number + 1)) {
+			return nil, fmt.Errorf("%w: chain ids not active", chain.ErrWrongChainID)
 		}
 		if tx.ChainID != l.cfg.ChainID {
-			return fmt.Errorf("%w: tx bound to %d, chain is %d", chain.ErrWrongChainID, tx.ChainID, l.cfg.ChainID)
+			return nil, fmt.Errorf("%w: tx bound to %d, chain is %d", chain.ErrWrongChainID, tx.ChainID, l.cfg.ChainID)
 		}
 	}
-	nonce := l.NonceOf(tx.From)
+	sender := l.accounts[tx.From]
+	var nonce uint64
+	if sender != nil {
+		nonce = sender.nonce
+	}
 	switch {
 	case tx.Nonce < nonce:
-		return fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooLow, tx.Nonce, nonce)
+		return nil, fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooLow, tx.Nonce, nonce)
 	case tx.Nonce > nonce:
-		return fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooHigh, tx.Nonce, nonce)
+		return nil, fmt.Errorf("%w: tx %d, account %d", chain.ErrNonceTooHigh, tx.Nonce, nonce)
 	}
 	if tx.IntrinsicGas() > tx.GasLimit {
-		return chain.ErrIntrinsicGas
+		return nil, chain.ErrIntrinsicGas
 	}
-	if l.BalanceOf(tx.From).Cmp(tx.Cost()) < 0 {
-		return chain.ErrInsufficientFunds
+	cost := tx.CostInto(&l.costScratch, &l.costTmp)
+	if sender == nil || sender.balance.Cmp(cost) < 0 {
+		return nil, chain.ErrInsufficientFunds
 	}
-	return nil
+	return sender, nil
 }
 
 // ApplyDAOFork mirrors the irregular state change for fast-mode chains.
@@ -187,19 +238,27 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 	if time <= l.time {
 		time = l.time + 1
 	}
-	parent := &chain.Header{Time: l.time, Difficulty: l.diff}
-	l.diff = chain.CalcDifficulty(l.cfg, time, parent)
+	// Double-buffer the difficulty: NextDifficulty writes the child value
+	// into diffScratch, then the buffers swap so the old head big.Int
+	// becomes the next call's scratch. No allocation either way.
+	next := chain.NextDifficulty(l.cfg, time, l.time, l.number, l.diff, l.diffScratch)
+	l.diffScratch, l.diff = l.diff, next
+	l.diffFloat = types.BigToFloat64(l.diff)
 	l.time = time
 	l.number++
 
-	if l.cfg.DAOForkSupport && l.cfg.IsDAOFork(new(big.Int).SetUint64(l.number)) {
+	if l.cfg.DAOForkSupport && l.cfg.IsDAOFork(l.numScratch.SetUint64(l.number)) {
 		l.ApplyDAOFork()
 	}
 
-	var included []*chain.Transaction
+	start := len(l.incArena)
 	gasPool := l.cfg.GasLimit
+	// One coinbase lookup per block: account pointers stay valid while
+	// the map grows underneath.
+	cb := l.account(coinbase)
 	for _, tx := range txs {
-		if err := l.ValidateTx(tx); err != nil {
+		sender, err := l.validateTx(tx)
+		if err != nil {
 			continue
 		}
 		gasUsed := tx.IntrinsicGas()
@@ -207,9 +266,8 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 			continue
 		}
 		gasPool -= gasUsed
-		fee := new(big.Int).SetUint64(gasUsed)
+		fee := l.feeScratch.SetUint64(gasUsed)
 		fee.Mul(fee, tx.GasPrice)
-		sender := l.account(tx.From)
 		sender.nonce = tx.Nonce + 1
 		sender.balance.Sub(sender.balance, tx.Value)
 		sender.balance.Sub(sender.balance, fee)
@@ -217,12 +275,16 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 			rcpt := l.account(*tx.To)
 			rcpt.balance.Add(rcpt.balance, tx.Value)
 		}
-		cb := l.account(coinbase)
 		cb.balance.Add(cb.balance, fee)
-		included = append(included, tx)
+		l.incArena = append(l.incArena, tx)
 	}
-	cb := l.account(coinbase)
 	cb.balance.Add(cb.balance, l.cfg.BlockReward)
+	if len(l.incArena) == start {
+		return nil, nil
+	}
+	// Full-capacity slice so a later append for another block cannot
+	// clobber this one's tail.
+	included := l.incArena[start:len(l.incArena):len(l.incArena)]
 	return included, nil
 }
 
@@ -233,6 +295,8 @@ func (l *FastLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 type FullLedger struct {
 	BC *chain.Blockchain
 	r  *rand.Rand
+
+	numScratch big.Int // block-number scratch for rule checks
 }
 
 // NewFullLedger creates a full-fidelity ledger from a genesis spec over a
@@ -265,13 +329,22 @@ func (l *FullLedger) HeadDifficulty() *big.Int {
 	return types.BigCopy(l.BC.Head().Header.Difficulty)
 }
 
+// HeadDifficultyFloat implements Ledger.
+func (l *FullLedger) HeadDifficultyFloat() float64 {
+	return types.BigToFloat64(l.BC.Head().Header.Difficulty)
+}
+
+// headDiffRef lends out the head block's difficulty; sim-internal readers
+// must copy (big.Int.Set) before the head moves.
+func (l *FullLedger) headDiffRef() *big.Int { return l.BC.Head().Header.Difficulty }
+
 // ValidateTx implements Ledger.
 func (l *FullLedger) ValidateTx(tx *chain.Transaction) error {
 	st, err := l.BC.HeadState()
 	if err != nil {
 		return err
 	}
-	return l.BC.Processor().ValidateTx(tx, st, new(big.Int).SetUint64(l.HeadNumber()+1))
+	return l.BC.Processor().ValidateTx(tx, st, l.numScratch.SetUint64(l.HeadNumber()+1))
 }
 
 // NonceOf implements Ledger.
@@ -299,14 +372,15 @@ func (l *FullLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 	if err != nil {
 		return nil, err
 	}
-	blockNum := new(big.Int).SetUint64(l.HeadNumber() + 1)
 	proc := l.BC.Processor()
-	header := &chain.Header{ // scratch header for pre-execution
-		Number:   blockNum.Uint64(),
-		Time:     time,
-		GasLimit: l.Config().GasLimit,
-		Coinbase: coinbase,
-	}
+	header := chain.NewPooledHeader() // scratch header for pre-execution
+	header.Number = l.HeadNumber() + 1
+	header.Time = time
+	header.GasLimit = l.Config().GasLimit
+	header.Coinbase = coinbase
+	defer chain.ReleaseHeader(header)
+	// included is NOT arena-backed: BuildBlock retains the slice inside
+	// the block it assembles.
 	var included []*chain.Transaction
 	gasPool := l.Config().GasLimit
 	for _, tx := range txs {
@@ -314,7 +388,7 @@ func (l *FullLedger) MineBlock(time uint64, coinbase types.Address, txs []*chain
 		if err != nil {
 			continue
 		}
-		_ = rec
+		chain.ReleaseReceipt(rec) // pre-execution receipt, never serialized
 		gasPool -= used
 		included = append(included, tx)
 	}

@@ -18,6 +18,17 @@ var workloadGasPrice = big.NewInt(20_000_000_000)
 // transferValue is the standard payment size (0.01 ether).
 var transferValue = big.NewInt(10_000_000_000_000_000)
 
+// zeroValue is the shared zero-wei operand of contract calls.
+var zeroValue = new(big.Int)
+
+// contractCallData is the fixed calldata of every marker-contract call.
+//
+// These three are shared by pointer across every workload transaction
+// (DESIGN.md §15): nothing downstream mutates a transaction's operands —
+// state and the EVM copy amounts before arithmetic — and the arena reset
+// drops the references without touching the shared values.
+var contractCallData = []byte{0xab, 0x01, 0x02, 0x03}
+
 // Workload generates the daily transaction traffic of every partition:
 // user payments and contract calls, the fund-splitting behaviour of
 // cautious users, gradual chain-id adoption, and the rebroadcast
@@ -54,6 +65,13 @@ type Workload struct {
 	// months, as Fig 4 shows. Both maps are only touched at the barrier.
 	replayed map[types.Hash]bool
 	mirrored map[types.Address]bool
+
+	// recycleMined lets FlushEchoes return mined transactions that
+	// provably have no remaining references — chain-bound ones, and legacy
+	// ones whose sender the attacker declined to mirror — to the arena.
+	// Only the fast ledger qualifies: full-mode blocks retain their
+	// transactions for serving and re-validation.
+	recycleMined bool
 }
 
 // chainTraffic is one chain's slice of workload state, owned by that
@@ -74,10 +92,18 @@ type chainTraffic struct {
 	// picks, adoption rolls.
 	r *rand.Rand
 
-	// nextNonce tracks nonces handed out today; re-synced from the ledger
-	// at each day start (dropped transactions release their nonces
-	// overnight).
+	// nextNonce tracks nonces handed out today; cleared and re-synced from
+	// the ledger at each day start (dropped transactions release their
+	// nonces overnight).
 	nextNonce map[types.Address]uint64
+
+	// lastSecond tracks each sender's latest submission second within the
+	// current DayTraffic call, cleared per day; keeps nonces in order.
+	lastSecond map[types.Address]uint64
+
+	// plans is the reusable DayTraffic output buffer; the engine copies
+	// the plans into its pending queue before the next day's call.
+	plans []txPlan
 
 	// replayQueue holds mined replayable transactions awaiting rebroadcast
 	// on THIS chain. Filled by FlushEchoes at the barrier, drained by
@@ -139,6 +165,7 @@ func NewWorkload(sc *Scenario) *Workload {
 			speculation: sp.Speculation,
 			r:           prng.New(sc.Seed, "traffic", sp.Name),
 			nextNonce:   map[types.Address]uint64{},
+			lastSecond:  map[types.Address]uint64{},
 		}
 		w.chainIx[sp.Name] = i
 	}
@@ -228,9 +255,14 @@ func (w *Workload) DAODrainList() []types.Address {
 }
 
 // txPlan is a transaction with its submission second within the day.
+// fresh marks transactions minted by this DayTraffic call (arena-backed,
+// lazily signed) as opposed to echoes replayed from another chain; the
+// engine finishes fresh signatures before mining and may recycle fresh
+// transactions that are dropped without ever being mined.
 type txPlan struct {
 	tx     *chain.Transaction
 	second uint64
+	fresh  bool
 }
 
 // DayTraffic generates the submission plan for one chain for one day,
@@ -241,9 +273,11 @@ type txPlan struct {
 func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int) []txPlan {
 	ct := w.chains[w.chainIx[chainName]]
 	// Release yesterday's unconfirmed nonces: the ledger is the truth.
-	ct.nextNonce = map[types.Address]uint64{}
-
-	var plans []txPlan
+	// The maps and the plan buffer are cleared in place, not reallocated.
+	clear(ct.nextNonce)
+	clear(ct.lastSecond)
+	plans := ct.plans[:0]
+	defer func() { ct.plans = plans }()
 
 	// 1. Queued rebroadcasts (the echo traffic). Submission seconds
 	// spread over the day but preserve queue order: the rebroadcaster
@@ -256,7 +290,7 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 		for i, tx := range q {
 			plans = append(plans, txPlan{tx: tx, second: uint64(i+1) * step})
 		}
-		ct.replayQueue = nil
+		ct.replayQueue = ct.replayQueue[:0]
 	}
 
 	// 2. Fund-splitting transactions. Users only split chains they
@@ -266,7 +300,6 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 		if !u.split || u.splitDone[ct.idx] || day < u.splitDay {
 			continue
 		}
-		dest := u.splitAddr[ct.idx]
 		bal := led.BalanceOf(u.common)
 		// Keep a gas cushion behind.
 		cushion := new(big.Int).Mul(workloadGasPrice, big.NewInt(10*21_000))
@@ -275,13 +308,17 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 			u.splitDone[ct.idx] = true
 			continue
 		}
-		nonce := ct.claimNonce(led, u.common)
-		tx := chain.NewTransaction(nonce, &dest, value, 21_000, workloadGasPrice, nil)
+		tx := chain.NewPooledTransaction()
+		tx.Nonce = ct.claimNonce(led, u.common)
+		tx.To = &u.splitAddr[ct.idx]
+		tx.Value = value
+		tx.GasLimit = 21_000
+		tx.GasPrice = workloadGasPrice
 		// Pre-EIP-155 there is nothing to bind to; the split tx itself
 		// is replayable — the hazard the paper describes.
-		tx.Sign(u.common, w.chainIDFor(ct, day, eipDay, u))
+		tx.SignLazy(u.common, w.chainIDFor(ct, day, eipDay, u))
 		u.splitDone[ct.idx] = true
-		plans = append(plans, txPlan{tx: tx, second: uint64(ct.r.Int63n(int64(w.sc.DayLength)))})
+		plans = append(plans, txPlan{tx: tx, second: uint64(ct.r.Int63n(int64(w.sc.DayLength))), fresh: true})
 	}
 
 	// 3. Regular traffic.
@@ -294,7 +331,7 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 	// Submission seconds are monotone per sender so a sender's nonces
 	// arrive in order (real wallets serialise; out-of-order nonces would
 	// be queued by real tx pools rather than dropped).
-	lastSecond := map[types.Address]uint64{}
+	lastSecond := ct.lastSecond
 	population := w.active[ct.idx]
 	if len(population) == 0 {
 		return plans
@@ -302,23 +339,29 @@ func (w *Workload) DayTraffic(day int, chainName string, led Ledger, eipDay int)
 	for i := 0; i < n; i++ {
 		u := population[ct.r.Intn(len(population))]
 		from := senderFor(u, ct.idx)
-		var tx *chain.Transaction
+		tx := chain.NewPooledTransaction()
 		if ct.r.Float64() < w.sc.ContractFraction {
-			to := w.contracts[ct.r.Intn(len(w.contracts))]
-			data := []byte{0xab, 0x01, 0x02, 0x03}
-			tx = chain.NewTransaction(ct.claimNonce(led, from), &to, nil, 120_000, workloadGasPrice, data)
+			tx.Nonce = ct.claimNonce(led, from)
+			tx.To = &w.contracts[ct.r.Intn(len(w.contracts))]
+			tx.Value = zeroValue
+			tx.GasLimit = 120_000
+			tx.GasPrice = workloadGasPrice
+			tx.Data = contractCallData
 		} else {
 			peer := population[ct.r.Intn(len(population))]
-			to := senderFor(peer, ct.idx)
-			tx = chain.NewTransaction(ct.claimNonce(led, from), &to, transferValue, 21_000, workloadGasPrice, nil)
+			tx.Nonce = ct.claimNonce(led, from)
+			tx.To = senderPtr(peer, ct.idx)
+			tx.Value = transferValue
+			tx.GasLimit = 21_000
+			tx.GasPrice = workloadGasPrice
 		}
-		tx.Sign(from, w.chainIDFor(ct, day, eipDay, u))
+		tx.SignLazy(from, w.chainIDFor(ct, day, eipDay, u))
 		second := uint64(ct.r.Int63n(int64(w.sc.DayLength)))
 		if prev, ok := lastSecond[from]; ok && second <= prev {
 			second = prev + 1
 		}
 		lastSecond[from] = second
-		plans = append(plans, txPlan{tx: tx, second: second})
+		plans = append(plans, txPlan{tx: tx, second: second, fresh: true})
 	}
 	return plans
 }
@@ -329,6 +372,16 @@ func senderFor(u *simUser, idx int) types.Address {
 		return u.splitAddr[idx]
 	}
 	return u.common
+}
+
+// senderPtr is senderFor without the copy: it points into the user's own
+// address storage, which is immutable once the population is built, so
+// transactions can share it as their To field.
+func senderPtr(u *simUser, idx int) *types.Address {
+	if u.split && u.splitDone[idx] {
+		return &u.splitAddr[idx]
+	}
+	return &u.common
 }
 
 // chainIDFor decides whether the user binds the transaction to the chain,
@@ -382,10 +435,17 @@ func (w *Workload) FlushEchoes() {
 		for _, txs := range ct.mined {
 			for _, tx := range txs {
 				if tx.ChainID != 0 {
-					continue // replay-protected
+					// Replay-protected: can never surface on another
+					// chain, so once mined nothing references it again.
+					if w.recycleMined {
+						chain.ReleaseTransaction(tx)
+					}
+					continue
 				}
 				h := tx.Hash()
 				if w.replayed[h] {
+					// An echo completing its tour; copies may still sit
+					// in other chains' replay queues, so never recycle.
 					continue
 				}
 				on, decided := w.mirrored[tx.From]
@@ -400,6 +460,10 @@ func (w *Workload) FlushEchoes() {
 							other.replayQueue = append(other.replayQueue, tx)
 						}
 					}
+				} else if w.recycleMined {
+					// The attacker never mirrors this sender: the tx was
+					// mined here and will exist nowhere else.
+					chain.ReleaseTransaction(tx)
 				}
 			}
 		}

@@ -46,6 +46,20 @@ func (a *Account) encode() []byte {
 	)
 }
 
+// appendTo appends the account's RLP encoding to dst — byte-identical to
+// encode (the conformance test pins this), minus its allocations.
+// Trie.Update copies values, so Commit encodes every account into one
+// reusable scratch buffer.
+func (a *Account) appendTo(dst []byte) []byte {
+	const hashStr = 1 + types.HashLength // header byte + 32-byte payload
+	payload := rlp.UintSize(a.Nonce) + rlp.BigIntSize(a.Balance) + 2*hashStr
+	dst = rlp.AppendListHeader(dst, payload)
+	dst = rlp.AppendUint(dst, a.Nonce)
+	dst = rlp.AppendBigInt(dst, a.Balance)
+	dst = rlp.AppendBytes(dst, a.StorageRoot[:])
+	return rlp.AppendBytes(dst, a.CodeHash[:])
+}
+
 func decodeAccount(enc []byte) (*Account, error) {
 	v, err := rlp.Decode(enc)
 	if err != nil {
@@ -105,6 +119,9 @@ type DB struct {
 	// cannot return errors, so faults are recorded here and surfaced by
 	// Commit — the transition that observed broken reads never persists.
 	dbErr error
+	// encBuf is Commit's reusable account-encoding scratch (Trie.Update
+	// copies the value, so one buffer serves every account in a commit).
+	encBuf []byte
 }
 
 // setError records the first storage fault observed by a getter.
@@ -215,6 +232,21 @@ func (s *DB) GetBalance(addr types.Address) *big.Int {
 		return types.BigCopy(obj.account.Balance)
 	}
 	return new(big.Int)
+}
+
+// BalanceCmp compares addr's balance to x without copying it — the
+// allocation-free form of GetBalance(addr).Cmp(x) for hot validation.
+func (s *DB) BalanceCmp(addr types.Address, x *big.Int) int {
+	if obj := s.getObject(addr); obj != nil {
+		return obj.account.Balance.Cmp(x)
+	}
+	if x.Sign() > 0 {
+		return -1
+	}
+	if x.Sign() < 0 {
+		return 1
+	}
+	return 0
 }
 
 // AddBalance credits amount to addr, creating the account if needed.
@@ -427,7 +459,8 @@ func (s *DB) Commit() (types.Hash, error) {
 		if obj.account.CodeHash != EmptyCodeHash && obj.code != nil {
 			batch.Put(obj.account.CodeHash.Bytes(), obj.code)
 		}
-		if err := s.tr.Update(addrKey(addr), obj.account.encode()); err != nil {
+		s.encBuf = obj.account.appendTo(s.encBuf[:0])
+		if err := s.tr.Update(addrKey(addr), s.encBuf); err != nil {
 			return types.Hash{}, err
 		}
 	}

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"bytes"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -287,6 +288,45 @@ func BenchmarkCommit100Accounts(b *testing.B) {
 		}
 		if _, err := s.Commit(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestAccountAppendToMatchesEncode pins the scratch-buffer account encoder
+// to the rlp.Value model across the value shapes that change the encoding:
+// zero/small/large nonces and balances, empty and set roots/code hashes.
+func TestAccountAppendToMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := []Account{
+		{Balance: new(big.Int)},
+		{Nonce: 1, Balance: big.NewInt(1)},
+		{Nonce: 127, Balance: big.NewInt(127)},
+		{Nonce: 128, Balance: big.NewInt(128)},
+		{Nonce: ^uint64(0), Balance: new(big.Int).Lsh(big.NewInt(1), 255)},
+	}
+	for i := 0; i < 200; i++ {
+		a := Account{
+			Nonce:   r.Uint64() >> uint(r.Intn(64)),
+			Balance: new(big.Int).Rand(r, new(big.Int).Lsh(big.NewInt(1), uint(1+r.Intn(256)))),
+		}
+		r.Read(a.StorageRoot[:])
+		r.Read(a.CodeHash[:])
+		cases = append(cases, a)
+	}
+	scratch := make([]byte, 0, 128)
+	for i, a := range cases {
+		want := a.encode()
+		got := a.appendTo(scratch[:0])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: appendTo = %x, encode = %x", i, got, want)
+		}
+		dec, err := decodeAccount(got)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if dec.Nonce != a.Nonce || dec.Balance.Cmp(a.Balance) != 0 ||
+			dec.StorageRoot != a.StorageRoot || dec.CodeHash != a.CodeHash {
+			t.Fatalf("case %d: round-trip mismatch: %+v vs %+v", i, dec, a)
 		}
 	}
 }

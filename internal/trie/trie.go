@@ -308,7 +308,7 @@ func (t *Trie) resolve(h hashNode) (node, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %x", ErrMissingNode, []byte(h))
 		}
-		sum := keccak.Sum256(enc)
+		sum := keccak.Sum256Pooled(enc)
 		if bytes.Equal(sum[:], h) {
 			break
 		}
@@ -345,13 +345,13 @@ func (t *Trie) CommitTo(batch db.Batch) types.Hash {
 	if t.root == nil {
 		return EmptyRoot
 	}
-	ref, _ := t.commit(t.root, batch)
+	ref := t.commit(t.root, batch)
 	switch ref := ref.(type) {
 	case hashNode:
 		return types.BytesToHash(ref)
 	default:
 		// Whole trie encodes under 32 bytes: hash the encoding itself.
-		enc := rlp.Encode(encodeNode(t.root))
+		enc := appendNode(make([]byte, 0, nodeSize(t.root)), t.root)
 		h := keccak.Sum256Pooled(enc)
 		batch.Put(h[:], enc)
 		return types.BytesToHash(h[:])
@@ -360,10 +360,10 @@ func (t *Trie) CommitTo(batch db.Batch) types.Hash {
 
 // commit returns the reference form of n (hashNode when the encoding is
 // >= 32 bytes, otherwise the node itself) and queues hashed encodings.
-func (t *Trie) commit(n node, batch db.Batch) (node, rlp.Value) {
+func (t *Trie) commit(n node, batch db.Batch) node {
 	switch n := n.(type) {
 	case *shortNode:
-		childRef, _ := t.commit(n.val, batch)
+		childRef := t.commit(n.val, batch)
 		collapsed := &shortNode{key: n.key, val: childRef}
 		return t.store(collapsed, batch)
 	case *fullNode:
@@ -372,26 +372,125 @@ func (t *Trie) commit(n node, batch db.Batch) (node, rlp.Value) {
 			if c == nil {
 				continue
 			}
-			ref, _ := t.commit(c, batch)
-			collapsed.children[i] = ref
+			collapsed.children[i] = t.commit(c, batch)
 		}
 		return t.store(collapsed, batch)
 	case hashNode, valueNode, nil:
-		return n, encodeNode(n)
+		return n
 	default:
 		panic(fmt.Sprintf("trie: unknown node type %T", n))
 	}
 }
 
-func (t *Trie) store(n node, batch db.Batch) (node, rlp.Value) {
-	v := encodeNode(n)
-	enc := rlp.Encode(v)
-	if len(enc) < 32 {
-		return n, v
+func (t *Trie) store(n node, batch db.Batch) node {
+	size := nodeSize(n)
+	if size < 32 {
+		return n
 	}
+	// Encoded directly into an exact-size buffer: the batch aliases the
+	// value until Write (and the db cache can retain it past that), so
+	// this allocation is owned by the store, never pooled.
+	enc := appendNode(make([]byte, 0, size), n)
 	h := keccak.Sum256Pooled(enc)
 	batch.Put(h[:], enc)
-	return hashNode(h[:]), v
+	return hashNode(h[:])
+}
+
+// nodeSize returns the exact RLP-encoded length of n — the byte count
+// appendNode will emit. Computing the size first lets store allocate the
+// final buffer once and skip encoding sub-32-byte nodes entirely (they
+// re-encode inline inside their parent).
+func nodeSize(n node) int {
+	switch n := n.(type) {
+	case nil:
+		return 1
+	case valueNode:
+		return rlp.BytesSize(n)
+	case hashNode:
+		return rlp.BytesSize(n)
+	case *shortNode:
+		payload := compactSize(n.key) + nodeSize(n.val)
+		return rlp.ListSize(payload)
+	case *fullNode:
+		payload := 0
+		for _, c := range n.children {
+			payload += nodeSize(c)
+		}
+		return rlp.ListSize(payload)
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+// appendNode appends the RLP encoding of n to dst — the allocation-free
+// replacement for rlp.Encode(encodeNode(n)) on the commit path. Child
+// references must already be collapsed (hashNode for >= 32-byte children),
+// which commit guarantees.
+func appendNode(dst []byte, n node) []byte {
+	switch n := n.(type) {
+	case nil:
+		return append(dst, 0x80)
+	case valueNode:
+		return rlp.AppendBytes(dst, n)
+	case hashNode:
+		return rlp.AppendBytes(dst, n)
+	case *shortNode:
+		payload := compactSize(n.key) + nodeSize(n.val)
+		dst = rlp.AppendListHeader(dst, payload)
+		dst = appendCompact(dst, n.key)
+		return appendNode(dst, n.val)
+	case *fullNode:
+		payload := 0
+		for _, c := range n.children {
+			payload += nodeSize(c)
+		}
+		dst = rlp.AppendListHeader(dst, payload)
+		for _, c := range n.children {
+			dst = appendNode(dst, c)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("trie: unknown node type %T", n))
+	}
+}
+
+// compactSize returns the RLP-encoded length of the hex-prefix compaction
+// of the nibble key (the string appendCompact emits, prefix included). The
+// one-byte compact form is always just the flag nibble pair, which is at
+// most 0x3f and therefore encodes as itself.
+func compactSize(hex []byte) int {
+	n := len(hex)
+	if hasTerm(hex) {
+		n--
+	}
+	kl := n/2 + 1
+	if kl == 1 {
+		return 1
+	}
+	return rlp.StringSize(kl)
+}
+
+// appendCompact appends the RLP string encoding of hexToCompact(hex)
+// without materializing the intermediate compact buffer.
+func appendCompact(dst, hex []byte) []byte {
+	first := byte(0)
+	if hasTerm(hex) {
+		first = 1 << 5
+		hex = hex[:len(hex)-1]
+	}
+	kl := len(hex)/2 + 1
+	if len(hex)%2 == 1 {
+		first |= 1<<4 | hex[0]
+		hex = hex[1:]
+	}
+	if kl > 1 {
+		dst = rlp.AppendStringHeader(dst, kl)
+	}
+	dst = append(dst, first)
+	for i := 0; i < len(hex); i += 2 {
+		dst = append(dst, hex[i]<<4|hex[i+1])
+	}
+	return dst
 }
 
 // encodeNode maps a node to its RLP Value. Child references become either

@@ -4,10 +4,12 @@
 // report, not a gate: the exit code is 0 regardless of direction, so CI
 // can surface regressions without flaking on noisy runners. With
 // -threshold N it becomes an opt-in gate, exiting 1 when any benchmark's
-// ns/op regressed by more than N percent.
+// ns/op regressed by more than N percent; -alloc-threshold N does the
+// same for allocs/op, which is far less noisy than wall time on shared
+// runners and is the primary CI gate for the pooled-allocation engine.
 //
 //	go run ./tools/benchcmp BENCH_pr2.json BENCH_pr6.json
-//	go run ./tools/benchcmp -threshold 25 BENCH_pr2.json BENCH_pr6.json
+//	go run ./tools/benchcmp -threshold 25 -alloc-threshold 10 BENCH_pr2.json BENCH_pr6.json
 package main
 
 import (
@@ -59,6 +61,8 @@ func pctDelta(old, new float64) string {
 func main() {
 	threshold := flag.Float64("threshold", 0,
 		"exit nonzero if any ns/op regression exceeds this percentage (0 = report only, never fail)")
+	allocThreshold := flag.Float64("alloc-threshold", 0,
+		"exit nonzero if any allocs/op regression exceeds this percentage (0 = report only, never fail)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold PCT] OLD.json NEW.json")
 		flag.PrintDefaults()
@@ -98,6 +102,12 @@ func main() {
 			if pct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp; pct > *threshold {
 				regressed = append(regressed,
 					fmt.Sprintf("%s: %+.1f%% ns/op (threshold %.1f%%)", name, pct, *threshold))
+			}
+		}
+		if *allocThreshold > 0 && or.AllocsPerOp > 0 {
+			if pct := 100 * float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp); pct > *allocThreshold {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %+.1f%% allocs/op (threshold %.1f%%)", name, pct, *allocThreshold))
 			}
 		}
 	}
